@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun3D(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-d", "10", "-k", "20", "-src", "0,0,0", "-dst", "9,9,9"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mesh 10x10x10", "axis-clear safe condition:", "on-axis extension (2):", "pivot extension (3):", "minimal path exists:", "oracle route:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRun3DErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-d", "10"}, &sb); err == nil {
+		t.Error("missing -dst should fail")
+	}
+	if err := run([]string{"-dst", "bad"}, &sb); err == nil {
+		t.Error("bad destination should fail")
+	}
+	if err := run([]string{"-dst", "1,2"}, &sb); err == nil {
+		t.Error("2-component destination should fail")
+	}
+	if err := run([]string{"-d", "0", "-dst", "1,1,1"}, &sb); err == nil {
+		t.Error("bad dimension should fail")
+	}
+	if err := run([]string{"-d", "4", "-k", "1000", "-dst", "1,1,1"}, &sb); err == nil {
+		t.Error("too many faults should fail")
+	}
+}

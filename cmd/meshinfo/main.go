@@ -1,0 +1,119 @@
+// Command meshinfo summarizes a faulty mesh's derived structures: the
+// faulty blocks and MCCs, affected rows/columns (with the Theorem-2
+// analytical expectation), the storage cost of the two information
+// models, and a histogram of scalar safety levels.
+//
+// Usage:
+//
+//	meshinfo -w 64 -h 64 -k 40 [-seed 1]
+//	meshinfo -w 12 -h 12 -faults "3,3;3,4;4,4;5,4;6,4;2,5;5,5;3,6"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"extmesh/internal/analytic"
+	"extmesh/internal/cli"
+	"extmesh/internal/fault"
+	"extmesh/internal/infocost"
+	"extmesh/internal/mesh"
+	"extmesh/internal/safety"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshinfo", flag.ContinueOnError)
+	var (
+		width  = fs.Int("w", 64, "mesh width")
+		height = fs.Int("h", 64, "mesh height")
+		faults = fs.String("faults", "", "explicit fault list x1,y1;x2,y2;...")
+		k      = fs.Int("k", 0, "number of random faults (when -faults is empty)")
+		seed   = fs.Int64("seed", 1, "PRNG seed for random faults")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m := mesh.Mesh{Width: *width, Height: *height}
+	flist, err := cli.Faults(m, *faults, *k, *seed)
+	if err != nil {
+		return err
+	}
+	sc, err := fault.NewScenario(m, flist)
+	if err != nil {
+		return err
+	}
+	bs := fault.BuildBlocks(sc)
+	mcc1 := fault.BuildMCC(sc, fault.TypeOne)
+	mcc2 := fault.BuildMCC(sc, fault.TypeTwo)
+	blocked := bs.BlockedGrid()
+
+	fmt.Fprintf(out, "mesh %v with %d faults\n\n", m, len(flist))
+	fmt.Fprintf(out, "fault regions:\n")
+	fmt.Fprintf(out, "  faulty blocks:        %d (deactivating %d healthy nodes)\n",
+		len(bs.Blocks), bs.DisabledCount())
+	fmt.Fprintf(out, "  type-one MCCs:        %d (deactivating %d)\n",
+		len(mcc1.Comps), mcc1.DisabledCount())
+	fmt.Fprintf(out, "  type-two MCCs:        %d (deactivating %d)\n",
+		len(mcc2.Comps), mcc2.DisabledCount())
+	largest := 0
+	for _, b := range bs.Blocks {
+		if a := b.Area(); a > largest {
+			largest = a
+		}
+	}
+	fmt.Fprintf(out, "  largest block area:   %d nodes\n\n", largest)
+
+	rows := safety.AffectedRows(m, blocked)
+	cols := safety.AffectedCols(m, blocked)
+	fmt.Fprintf(out, "information dissemination:\n")
+	fmt.Fprintf(out, "  affected rows:        %d / %d (Theorem 2 expects %.1f)\n",
+		rows, m.Height, analytic.ExpectedAffected(m.Height, len(flist)))
+	fmt.Fprintf(out, "  affected columns:     %d / %d\n", cols, m.Width)
+
+	rep := infocost.Measure(m, blocked, bs.Blocks)
+	fmt.Fprintf(out, "  storage, global map:  %.1f ints/node\n", rep.PerNodeGlobal())
+	fmt.Fprintf(out, "  storage, limited:     %.1f ints/node (%.0fx smaller)\n\n",
+		rep.PerNodeLimited(), rep.Ratio())
+
+	// Scalar safety-level histogram over free nodes.
+	levels := safety.Compute(m, blocked)
+	const buckets = 8
+	hist := make([]int, buckets+1)
+	free := 0
+	for i := 0; i < m.Size(); i++ {
+		if blocked[i] {
+			continue
+		}
+		free++
+		lvl := levels.At(m.CoordOf(i)).Min()
+		if lvl >= buckets {
+			hist[buckets]++
+		} else {
+			hist[lvl]++
+		}
+	}
+	fmt.Fprintf(out, "scalar safety level histogram (%d free nodes):\n", free)
+	for i := 0; i <= buckets; i++ {
+		label := fmt.Sprintf("%d", i)
+		if i == buckets {
+			label = fmt.Sprintf("%d+", buckets)
+		}
+		bar := ""
+		if free > 0 {
+			for j := 0; j < 50*hist[i]/free; j++ {
+				bar += "#"
+			}
+		}
+		fmt.Fprintf(out, "  %3s  %6d  %s\n", label, hist[i], bar)
+	}
+	return nil
+}

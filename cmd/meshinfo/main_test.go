@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-faults", "3,3;3,4;4,4;5,4;6,4;2,5;5,5;3,6"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mesh 12x12 with 8 faults",
+		"faulty blocks:        1 (deactivating 12 healthy nodes)",
+		"type-one MCCs:        1 (deactivating 8)",
+		"largest block area:   20 nodes",
+		"affected rows:        4 / 12",
+		"affected columns:     5 / 12",
+		"scalar safety level histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-w", "32", "-h", "32", "-k", "20"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "storage, limited:") {
+		t.Error("storage summary missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-faults", "bad"}, &sb); err == nil {
+		t.Error("bad fault list should fail")
+	}
+	if err := run([]string{"-w", "0"}, &sb); err == nil {
+		t.Error("bad dims should fail")
+	}
+	if err := run([]string{"-zz"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

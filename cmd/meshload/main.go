@@ -1,0 +1,146 @@
+// Command meshload runs the store-and-forward traffic simulator on a
+// faulty mesh and prints latency/throughput versus injection rate, for
+// Wu's limited-information protocol and the full-information oracle.
+// It extends the paper's evaluation from path-existence percentages to
+// communication-subsystem performance under load.
+//
+// Usage:
+//
+//	meshload [-n 32] [-k 30] [-seed 1] [-cycles 400] [-warmup 100]
+//	         [-rates "0.01,0.02,0.05,0.1,0.2"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/traffic"
+	"extmesh/internal/wormhole"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshload", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 32, "mesh side length")
+		k        = fs.Int("k", 30, "number of random faults")
+		seed     = fs.Int64("seed", 1, "PRNG seed")
+		cycles   = fs.Int("cycles", 400, "measured cycles")
+		warmup   = fs.Int("warmup", 100, "warmup cycles")
+		rates    = fs.String("rates", "0.01,0.02,0.05,0.1,0.2", "comma-separated injection rates")
+		capacity = fs.Int("capacity", 0, "per-link queue capacity (0 = unbounded)")
+		wh       = fs.Bool("wormhole", false, "flit-level wormhole switching instead of store-and-forward")
+		flits    = fs.Int("flits", 8, "flits per packet (wormhole mode)")
+		buffers  = fs.Int("buffers", 2, "flit buffer depth per virtual channel (wormhole mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rateList []float64
+	for _, s := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %v", s, err)
+		}
+		rateList = append(rateList, v)
+	}
+
+	m := mesh.Mesh{Width: *n, Height: *n}
+	rng := rand.New(rand.NewSource(*seed))
+	faults, err := fault.RandomFaults(m, *k, rng, nil)
+	if err != nil {
+		return err
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		return err
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+
+	routers := []struct {
+		name string
+		fn   traffic.RoutingFunc
+	}{
+		{"wu", traffic.WuRouting(route.NewRouter(m, blocked))},
+		{"oracle", traffic.OracleRouting(m, blocked)},
+		{"xy", traffic.XYRouting(m, blocked)},
+	}
+
+	mode := "store-and-forward"
+	if *wh {
+		mode = fmt.Sprintf("wormhole (%d flits, %d-flit buffers, 4 class VCs)", *flits, *buffers)
+	}
+	fmt.Fprintf(out, "# %s traffic on a %dx%d mesh with %d faults (seed %d), %d+%d cycles, guaranteed pairs only\n",
+		mode, *n, *n, *k, *seed, *warmup, *cycles)
+	fmt.Fprintf(out, "%8s  %8s  %10s  %10s  %10s  %10s  %10s  %10s\n",
+		"router", "rate", "delivered", "stranded", "latency", "stretch", "maxqueue", "throughput")
+	for _, r := range routers {
+		for _, rate := range rateList {
+			var (
+				delivered, stranded, maxq int
+				latency, stretch, thr     float64
+				deadlocked                bool
+			)
+			if *wh {
+				st, err := wormhole.Run(wormhole.Config{
+					M:              m,
+					Blocked:        blocked,
+					Route:          r.fn,
+					FlitsPerPacket: *flits,
+					BufferFlits:    *buffers,
+					ClassVCs:       true,
+					InjectionRate:  rate,
+					Cycles:         *cycles,
+					Warmup:         *warmup,
+					Seed:           *seed,
+					GuaranteedOnly: true,
+				})
+				if err != nil {
+					return err
+				}
+				delivered, stranded = st.Delivered, st.Undeliverable
+				latency, stretch, thr = st.AvgLatency, st.AvgStretch, st.Throughput
+				deadlocked = st.Deadlocked
+			} else {
+				st, err := traffic.Run(traffic.Config{
+					M:              m,
+					Blocked:        blocked,
+					Route:          r.fn,
+					InjectionRate:  rate,
+					Cycles:         *cycles,
+					Warmup:         *warmup,
+					Seed:           *seed,
+					GuaranteedOnly: true,
+					QueueCapacity:  *capacity,
+				})
+				if err != nil {
+					return err
+				}
+				delivered, stranded, maxq = st.Delivered, st.Undeliverable, st.MaxQueue
+				latency, stretch, thr = st.AvgLatency, st.AvgStretch, st.Throughput
+				deadlocked = st.Deadlocked
+			}
+			note := ""
+			if deadlocked {
+				note = "  DEADLOCK"
+			}
+			fmt.Fprintf(out, "%8s  %8.3f  %10d  %10d  %10.2f  %10.3f  %10d  %10.4f%s\n",
+				r.name, rate, delivered, stranded, latency, stretch, maxq, thr, note)
+		}
+	}
+	return nil
+}

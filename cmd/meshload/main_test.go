@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "12", "-k", "6", "-cycles", "60", "-warmup", "20", "-rates", "0.02,0.1"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"wu", "oracle", "xy", "latency", "12x12 mesh with 6 faults"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Three routers x two rates = 6 data lines + header + comment.
+	lines := strings.Count(strings.TrimSpace(out), "\n")
+	if lines != 7 {
+		t.Errorf("expected 8 lines, got %d:\n%s", lines+1, out)
+	}
+}
+
+func TestRunWithCapacity(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "10", "-k", "4", "-cycles", "80", "-warmup", "20",
+		"-rates", "0.3", "-capacity", "1"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "stranded") {
+		t.Errorf("missing column header:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-rates", "abc"}, &sb); err == nil {
+		t.Error("bad rate should fail")
+	}
+	if err := run([]string{"-n", "4", "-k", "100"}, &sb); err == nil {
+		t.Error("too many faults should fail")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunWormhole(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "10", "-k", "4", "-cycles", "80", "-warmup", "20",
+		"-rates", "0.01", "-wormhole", "-flits", "4", "-buffers", "1"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "wormhole (4 flits, 1-flit buffers") {
+		t.Errorf("missing wormhole header:\n%s", sb.String())
+	}
+}

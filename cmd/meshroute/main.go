@@ -1,0 +1,131 @@
+// Command meshroute routes a packet through a faulty 2-D mesh and
+// reports which sufficient conditions hold at the source, the path
+// found by Wu's limited-information protocol, and the full-information
+// oracle baseline.
+//
+// Usage:
+//
+//	meshroute -w 20 -h 20 -src 0,0 -dst 17,15 -k 12 [-seed 3]
+//	meshroute -w 12 -h 12 -src 0,0 -dst 11,11 \
+//	          -faults "3,3;3,4;4,4;5,4;6,4;2,5;5,5;3,6" -model mcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"extmesh"
+	"extmesh/internal/cli"
+	"extmesh/internal/mesh"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshroute", flag.ContinueOnError)
+	var (
+		width   = fs.Int("w", 20, "mesh width")
+		height  = fs.Int("h", 20, "mesh height")
+		srcFlag = fs.String("src", "0,0", "source node x,y")
+		dstFlag = fs.String("dst", "", "destination node x,y (required)")
+		faults  = fs.String("faults", "", "explicit fault list x1,y1;x2,y2;...")
+		k       = fs.Int("k", 0, "number of random faults (when -faults is empty)")
+		seed    = fs.Int64("seed", 1, "PRNG seed for random faults")
+		model   = fs.String("model", "blocks", "fault model: blocks or mcc")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dstFlag == "" {
+		return fmt.Errorf("-dst is required")
+	}
+	src, err := cli.ParseCoord(*srcFlag)
+	if err != nil {
+		return err
+	}
+	dst, err := cli.ParseCoord(*dstFlag)
+	if err != nil {
+		return err
+	}
+	var fm extmesh.FaultModel
+	switch *model {
+	case "blocks":
+		fm = extmesh.Blocks
+	case "mcc":
+		fm = extmesh.MCC
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	m := mesh.Mesh{Width: *width, Height: *height}
+	flist, err := cli.Faults(m, *faults, *k, *seed, src, dst)
+	if err != nil {
+		return err
+	}
+	net, err := extmesh.New(*width, *height, flist)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "mesh %dx%d, %d faults, %d faulty blocks, model %v\n",
+		*width, *height, len(flist), len(net.Blocks()), fm)
+	lvl, err := net.SafetyLevel(src, fm)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "source %v extended safety level: %v\n", src, lvl)
+	fmt.Fprintf(out, "destination %v, distance %d\n", dst, distance(src, dst))
+
+	fmt.Fprintf(out, "\nconditions at the source:\n")
+	fmt.Fprintf(out, "  base safe condition:        %v\n", net.Safe(src, dst, fm))
+	report := func(name string, st extmesh.Strategy) {
+		a := net.Ensure(src, dst, fm, st)
+		fmt.Fprintf(out, "  %-27s %v", name+":", a.Verdict)
+		if len(a.Via) > 0 {
+			fmt.Fprintf(out, " (via %v)", a.Via)
+		}
+		fmt.Fprintln(out)
+	}
+	report("extension 1", extmesh.Strategy{UseExtension1: true, AllowDetour: true})
+	report("extension 2 (seg 5)", extmesh.Strategy{UseExtension2: true, SegmentSize: 5})
+	report("extension 3 (level 3)", extmesh.Strategy{UseExtension3: true, PivotLevels: 3})
+	report("strategy 4 (all)", extmesh.DefaultStrategy())
+
+	fmt.Fprintf(out, "\nexact existence of a minimal path: %v\n", net.HasMinimalPath(src, dst))
+
+	path, a, err := net.RouteAssured(src, dst, fm, extmesh.DefaultStrategy())
+	switch {
+	case err == nil:
+		fmt.Fprintf(out, "Wu protocol (%v assurance): %d hops\n  %v\n", a.Verdict, path.Hops(), path)
+	default:
+		fmt.Fprintf(out, "Wu protocol: %v\n", err)
+		if p, perr := net.Route(src, dst, fm); perr == nil {
+			fmt.Fprintf(out, "unassured adaptive attempt succeeded anyway: %d hops\n", p.Hops())
+		}
+	}
+	if p, err := net.OracleRoute(src, dst); err == nil {
+		fmt.Fprintf(out, "oracle (global information): %d hops\n", p.Hops())
+	} else {
+		fmt.Fprintf(out, "oracle (global information): no minimal path\n")
+	}
+	return nil
+}
+
+func distance(a, b extmesh.Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperFaults = "3,3;3,4;4,4;5,4;6,4;2,5;5,5;3,6"
+
+func TestRunSafeSource(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-src", "0,0", "-dst", "9,5", "-faults", paperFaults}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"base safe condition:        true",
+		"exact existence of a minimal path: true",
+		"Wu protocol (minimal assurance): 14 hops",
+		"oracle (global information): 14 hops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMCCModel(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-src", "0,6", "-dst", "2,10", "-faults", paperFaults, "-model", "mcc"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "base safe condition:        true") {
+		t.Errorf("MCC model should make this source safe:\n%s", sb.String())
+	}
+}
+
+func TestRunRandomFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "24", "-h", "24", "-src", "0,0", "-dst", "20,20", "-k", "12", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "12 faults") {
+		t.Errorf("expected 12 faults in output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-w", "8", "-h", "8"}, &sb); err == nil {
+		t.Error("missing -dst should fail")
+	}
+	if err := run([]string{"-dst", "bad"}, &sb); err == nil {
+		t.Error("bad destination should fail")
+	}
+	if err := run([]string{"-src", "bad", "-dst", "1,1"}, &sb); err == nil {
+		t.Error("bad source should fail")
+	}
+	if err := run([]string{"-dst", "1,1", "-model", "nope"}, &sb); err == nil {
+		t.Error("bad model should fail")
+	}
+	if err := run([]string{"-dst", "1,1", "-faults", "99,99"}, &sb); err == nil {
+		t.Error("fault outside mesh should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "40", "-configs", "2", "-dests", "5", "-maxfaults", "20", "-step", "10"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig7", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b"} {
+		if !strings.Contains(out, id+" —") {
+			t.Errorf("output missing table %s", id)
+		}
+	}
+	if !strings.Contains(out, "40x40 mesh") {
+		t.Error("output missing header")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "40", "-configs", "2", "-dests", "5", "-maxfaults", "10", "-step", "10", "-exp", "fig9"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig9a —") || !strings.Contains(out, "fig9b —") {
+		t.Error("fig9 panels missing")
+	}
+	if strings.Contains(out, "fig10a —") {
+		t.Error("unexpected figure in filtered output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope", "-n", "40", "-configs", "1", "-dests", "2", "-maxfaults", "10", "-step", "10"}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-n", "2"}, &sb); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "40", "-configs", "1", "-dests", "3", "-maxfaults", "10", "-step", "10", "-json", "-exp", "fig7"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"id": "fig7"`) {
+		t.Errorf("JSON output missing table id:\n%s", out)
+	}
+	if strings.Contains(out, "—") {
+		t.Error("JSON output contains table formatting")
+	}
+}
+
+func TestRunScalingSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scaling", "-configs", "2", "-dests", "5"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "scaling — scalability at 0.50% fault density") {
+		t.Errorf("scaling table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "     300") {
+		t.Errorf("largest mesh row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperFaults = "3,3;3,4;4,4;5,4;6,4;2,5;5,5;3,6"
+
+func TestRunPlainGrid(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-faults", paperFaults}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "F") || !strings.Contains(out, "o") {
+		t.Errorf("grid missing fault/deactivated symbols:\n%s", out)
+	}
+	if !strings.Contains(out, "deactivated: 12 (blocks) / 8 (MCC)") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRunWithRoute(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-faults", paperFaults, "-src", "0,0", "-dst", "9,5"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"assurance: minimal, 14 hops", "S", "D", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMCC(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-faults", paperFaults, "-model", "mcc"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "o deactivated (mcc)") {
+		t.Error("MCC legend missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+		t.Error("bad model should fail")
+	}
+	if err := run([]string{"-src", "bad", "-dst", "1,1"}, &sb); err == nil {
+		t.Error("bad source should fail")
+	}
+	if err := run([]string{"-src", "1,1", "-dst", "bad"}, &sb); err == nil {
+		t.Error("bad destination should fail")
+	}
+	if err := run([]string{"-faults", "99,99"}, &sb); err == nil {
+		t.Error("fault outside mesh should fail")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunWithLines(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "12", "-h", "12", "-faults", paperFaults, "-lines"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1 L1 line", "3 L3 line", "1", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithLevels(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-w", "10", "-h", "8", "-faults", "4,4", "-levels"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1") || !strings.Contains(out, "~") {
+		t.Errorf("levels heatmap missing digits:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+package extmesh
+
+import (
+	"extmesh/internal/dynamic"
+	"extmesh/internal/mesh"
+)
+
+// DynamicNetwork maintains fault regions and extended safety levels
+// incrementally while faults keep arriving — the paper's maintenance
+// model, in which a disturbance updates only the affected nodes. Use
+// it for long-running systems; call Freeze to obtain an immutable
+// Network with the full API for the current fault set.
+type DynamicNetwork struct {
+	tracker *dynamic.Tracker
+	width   int
+	height  int
+}
+
+// NewDynamic returns a dynamic network over an initially fault-free
+// width x height mesh.
+func NewDynamic(width, height int) (*DynamicNetwork, error) {
+	m, err := mesh.New(width, height)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := dynamic.New(m)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicNetwork{tracker: tr, width: width, height: height}, nil
+}
+
+// AddFault marks c faulty and updates the fault regions and safety
+// levels incrementally. It returns an error for out-of-mesh or
+// duplicate faults.
+func (d *DynamicNetwork) AddFault(c Coord) error {
+	return d.tracker.AddFault(c)
+}
+
+// RemoveFault repairs a faulty node, shrinking its fault region
+// incrementally (only the affected component relabels and only its
+// rows and columns resweep).
+func (d *DynamicNetwork) RemoveFault(c Coord) error {
+	return d.tracker.RemoveFault(c)
+}
+
+// LastUpdateCost reports how local the most recent AddFault was: the
+// number of nodes that joined fault regions, and the rows and columns
+// whose safety levels resweeped.
+func (d *DynamicNetwork) LastUpdateCost() (cascade, rows, cols int) {
+	return d.tracker.LastUpdateCost()
+}
+
+// Faults returns the faults added so far, in arrival order.
+func (d *DynamicNetwork) Faults() []Coord {
+	return d.tracker.Faults()
+}
+
+// InRegion reports whether c currently belongs to a fault region
+// (block model).
+func (d *DynamicNetwork) InRegion(c Coord) bool {
+	return d.tracker.InRegion(c)
+}
+
+// SafetyLevel returns the current extended safety level of c.
+func (d *DynamicNetwork) SafetyLevel(c Coord) Level {
+	return d.tracker.Level(c)
+}
+
+// Safe evaluates the base sufficient safe condition on the current
+// state.
+func (d *DynamicNetwork) Safe(s, dst Coord) bool {
+	if d.InRegion(s) || d.InRegion(dst) {
+		return false
+	}
+	return d.tracker.Levels().SafeFor(s, dst)
+}
+
+// Freeze builds an immutable Network for the current fault set, giving
+// access to the full API (MCCs, routing, conditions, serialization).
+func (d *DynamicNetwork) Freeze() (*Network, error) {
+	return New(d.width, d.height, d.tracker.Faults())
+}

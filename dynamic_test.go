@@ -1,0 +1,123 @@
+package extmesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(0, 5); err == nil {
+		t.Error("bad dims should fail")
+	}
+	if _, err := NewDynamic(8, 8); err != nil {
+		t.Errorf("valid dims rejected: %v", err)
+	}
+}
+
+func TestDynamicNetworkBasics(t *testing.T) {
+	d, err := NewDynamic(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Coord{X: 0, Y: 0}
+	dst := Coord{X: 9, Y: 9}
+	if !d.Safe(s, dst) {
+		t.Error("fault-free dynamic network should be safe")
+	}
+	if err := d.AddFault(Coord{X: 4, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Safe(s, Coord{X: 9, Y: 0}) {
+		t.Error("blocked row should be unsafe")
+	}
+	if err := d.AddFault(Coord{X: 4, Y: 0}); err == nil {
+		t.Error("duplicate fault should fail")
+	}
+	if err := d.AddFault(Coord{X: 10, Y: 0}); err == nil {
+		t.Error("outside fault should fail")
+	}
+	if !d.InRegion(Coord{X: 4, Y: 0}) || d.InRegion(Coord{X: 5, Y: 5}) {
+		t.Error("InRegion wrong")
+	}
+	if got := d.SafetyLevel(s).E; got != 4 {
+		t.Errorf("E at origin = %d, want 4", got)
+	}
+	if len(d.Faults()) != 1 {
+		t.Errorf("Faults = %v", d.Faults())
+	}
+	cascade, rows, cols := d.LastUpdateCost()
+	if cascade != 1 || rows != 1 || cols != 1 {
+		t.Errorf("LastUpdateCost = %d/%d/%d", cascade, rows, cols)
+	}
+}
+
+// TestDynamicFreezeMatchesBatch verifies a frozen snapshot equals a
+// Network built from scratch with the same faults, and that the
+// incremental safety levels agree with the frozen ones at every step.
+func TestDynamicFreezeMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d, err := NewDynamic(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		c := Coord{X: rng.Intn(16), Y: rng.Intn(16)}
+		if d.InRegion(c) {
+			continue
+		}
+		if err := d.AddFault(c); err != nil {
+			t.Fatal(err)
+		}
+		frozen, err := d.Freeze()
+		if err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+		batch, err := New(16, 16, d.Faults())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if len(frozen.Blocks()) != len(batch.Blocks()) {
+			t.Fatalf("step %d: frozen and batch disagree on blocks", i)
+		}
+		for x := 0; x < 16; x++ {
+			for y := 0; y < 16; y++ {
+				n := Coord{X: x, Y: y}
+				if d.InRegion(n) != batch.InRegion(n, Blocks) {
+					t.Fatalf("step %d: region membership differs at %v", i, n)
+				}
+				if d.InRegion(n) {
+					continue
+				}
+				lvl, err := batch.SafetyLevel(n, Blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.SafetyLevel(n) != lvl {
+					t.Fatalf("step %d: safety level differs at %v: %v vs %v", i, n, d.SafetyLevel(n), lvl)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicNetworkRemoveFault(t *testing.T) {
+	d, err := NewDynamic(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddFault(Coord{X: 3, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SafetyLevel(Coord{X: 0, Y: 0}).E; got != 3 {
+		t.Fatalf("E = %d, want 3", got)
+	}
+	if err := d.RemoveFault(Coord{X: 3, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SafetyLevel(Coord{X: 0, Y: 0}).E; got != Unbounded {
+		t.Errorf("E after repair = %d, want Unbounded", got)
+	}
+	if err := d.RemoveFault(Coord{X: 3, Y: 0}); err == nil {
+		t.Error("double repair should fail")
+	}
+}

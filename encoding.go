@@ -1,0 +1,35 @@
+package extmesh
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// networkJSON is the serialized form of a Network: the mesh dimensions
+// and the fault list fully determine everything else.
+type networkJSON struct {
+	Width  int     `json:"width"`
+	Height int     `json:"height"`
+	Faults []Coord `json:"faults"`
+}
+
+// MarshalJSON serializes the network as its defining data (dimensions
+// and faults); all derived structures are rebuilt on load.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{
+		Width:  n.Width(),
+		Height: n.Height(),
+		Faults: n.Faults(),
+	})
+}
+
+// UnmarshalNetwork reconstructs a Network from MarshalJSON output.
+// (Network itself has no UnmarshalJSON: a Network is immutable after
+// construction, so decoding goes through the validating constructor.)
+func UnmarshalNetwork(data []byte) (*Network, error) {
+	var nj networkJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return nil, fmt.Errorf("extmesh: decode network: %w", err)
+	}
+	return New(nj.Width, nj.Height, nj.Faults)
+}

@@ -1,0 +1,64 @@
+package extmesh
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	n := paperNetwork(t)
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := UnmarshalNetwork(data)
+	if err != nil {
+		t.Fatalf("UnmarshalNetwork: %v", err)
+	}
+	if back.Width() != n.Width() || back.Height() != n.Height() {
+		t.Errorf("dims changed: %dx%d", back.Width(), back.Height())
+	}
+	if len(back.Faults()) != len(n.Faults()) {
+		t.Fatalf("fault count changed: %d", len(back.Faults()))
+	}
+	// Derived structures are identical.
+	a, b := n.Blocks(), back.Blocks()
+	if len(a) != len(b) {
+		t.Fatalf("blocks changed: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("block %d changed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if n.DisabledCount(MCC) != back.DisabledCount(MCC) {
+		t.Error("MCC disabled count changed")
+	}
+}
+
+func TestNetworkJSONStableFormat(t *testing.T) {
+	n, err := New(4, 3, []Coord{{X: 1, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"width":4,"height":3,"faults":[{"X":1,"Y":2}]}`
+	if string(data) != want {
+		t.Errorf("format drift:\n got %s\nwant %s", data, want)
+	}
+}
+
+func TestUnmarshalNetworkErrors(t *testing.T) {
+	if _, err := UnmarshalNetwork([]byte(`{`)); err == nil {
+		t.Error("syntax error should fail")
+	}
+	if _, err := UnmarshalNetwork([]byte(`{"width":0,"height":4}`)); err == nil {
+		t.Error("invalid dimensions should fail")
+	}
+	if _, err := UnmarshalNetwork([]byte(`{"width":4,"height":4,"faults":[{"X":9,"Y":0}]}`)); err == nil {
+		t.Error("out-of-mesh fault should fail")
+	}
+}

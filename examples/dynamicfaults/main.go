@@ -1,0 +1,70 @@
+// Dynamic faults: faults arrive one at a time while the system keeps
+// routing. The paper's information model is built for this — a new
+// disturbance updates only the affected nodes — and DynamicNetwork
+// maintains the fault regions and safety levels incrementally. The
+// example injects faults, shows how local each update is, and watches
+// a fixed source/destination pair's routing guarantee degrade and the
+// route adapt.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extmesh"
+)
+
+func main() {
+	const side = 24
+	dyn, err := extmesh.NewDynamic(side, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := extmesh.Coord{X: 2, Y: 2}
+	dst := extmesh.Coord{X: 21, Y: 19}
+	rng := rand.New(rand.NewSource(11))
+
+	// The first faults land near the source (its row, its column, and
+	// a diagonal pair that merges into a 2x2 block); the rest arrive at
+	// random.
+	scripted := []extmesh.Coord{
+		{X: 9, Y: 2}, {X: 2, Y: 12}, {X: 14, Y: 8}, {X: 15, Y: 9},
+	}
+	fmt.Printf("%6s  %8s  %18s  %10s  %6s  %s\n",
+		"fault", "at", "update (dead/rows/cols)", "safe", "hops", "level at source")
+	for n := 1; n <= 14; n++ {
+		// Draw a fault that is not the source, destination or already
+		// faulty.
+		var f extmesh.Coord
+		if n <= len(scripted) {
+			f = scripted[n-1]
+		} else {
+			for {
+				f = extmesh.Coord{X: rng.Intn(side), Y: rng.Intn(side)}
+				if f != src && f != dst && !dyn.InRegion(f) {
+					break
+				}
+			}
+		}
+		if err := dyn.AddFault(f); err != nil {
+			log.Fatal(err)
+		}
+		cascade, rows, cols := dyn.LastUpdateCost()
+
+		// Freeze a snapshot to route with the full protocol stack.
+		net, err := dyn.Freeze()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hops := "-"
+		if path, _, err := net.RouteAssured(src, dst, extmesh.Blocks, extmesh.DefaultStrategy()); err == nil {
+			hops = fmt.Sprintf("%d", path.Hops())
+		}
+		fmt.Printf("%6d  %8v  %10d/%d/%d %14v  %6s  %v\n",
+			n, f, cascade, rows, cols, dyn.Safe(src, dst), hops, dyn.SafetyLevel(src))
+	}
+
+	fmt.Println("\nEach update touched only the cascade's rows and columns —")
+	fmt.Println("never the whole mesh — while routing guarantees stayed live.")
+}

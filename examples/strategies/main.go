@@ -1,0 +1,108 @@
+// Strategies: a miniature version of the paper's evaluation run
+// through the public API. For growing fault counts it measures how
+// often each condition ensures a minimal path at the source, against
+// the exact existence baseline — the same quantities as Figures 9-12,
+// on a smaller mesh.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"extmesh"
+)
+
+const (
+	side    = 64
+	configs = 8
+	dests   = 40
+	seed    = 2024
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+	src := extmesh.Coord{X: side / 2, Y: side / 2}
+
+	strategies := []struct {
+		name string
+		st   extmesh.Strategy
+	}{
+		{"base condition ", extmesh.Strategy{}},
+		{"extension 1    ", extmesh.Strategy{UseExtension1: true}},
+		{"extension 2 (5)", extmesh.Strategy{UseExtension2: true, SegmentSize: 5}},
+		{"extension 3 (3)", extmesh.Strategy{UseExtension3: true, PivotLevels: 3}},
+		{"strategy 4     ", extmesh.DefaultStrategy()},
+	}
+
+	fmt.Printf("%dx%d mesh, source %v, %d configurations x %d destinations per point\n\n",
+		side, side, src, configs, dests)
+	fmt.Printf("%8s", "faults")
+	for _, s := range strategies {
+		fmt.Printf("  %s", s.name)
+	}
+	fmt.Printf("  %s\n", "existence")
+
+	for k := 8; k <= 64; k += 8 {
+		ensured := make([]int, len(strategies))
+		exist := 0
+		samples := 0
+		for c := 0; c < configs; c++ {
+			net := sampleNetwork(rng, k, src)
+			for i := 0; i < dests; i++ {
+				d := sampleDest(rng, net, src)
+				samples++
+				if net.HasMinimalPath(src, d) {
+					exist++
+				}
+				for si, s := range strategies {
+					if net.Ensure(src, d, extmesh.Blocks, s.st).Verdict == extmesh.Minimal {
+						ensured[si]++
+					}
+				}
+			}
+		}
+		fmt.Printf("%8d", k)
+		for _, e := range ensured {
+			fmt.Printf("  %15.3f", float64(e)/float64(samples))
+		}
+		fmt.Printf("  %9.3f\n", float64(exist)/float64(samples))
+	}
+}
+
+// sampleNetwork draws k distinct random faults (never on the source)
+// and retries until the source is outside every faulty block.
+func sampleNetwork(rng *rand.Rand, k int, src extmesh.Coord) *extmesh.Network {
+	for {
+		seen := map[extmesh.Coord]bool{src: true}
+		faults := make([]extmesh.Coord, 0, k)
+		for len(faults) < k {
+			c := extmesh.Coord{X: rng.Intn(side), Y: rng.Intn(side)}
+			if !seen[c] {
+				seen[c] = true
+				faults = append(faults, c)
+			}
+		}
+		net, err := extmesh.New(side, side, faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !net.InRegion(src, extmesh.Blocks) {
+			return net
+		}
+	}
+}
+
+// sampleDest draws a destination from the first quadrant of the
+// source, outside every faulty block.
+func sampleDest(rng *rand.Rand, net *extmesh.Network, src extmesh.Coord) extmesh.Coord {
+	for {
+		d := extmesh.Coord{
+			X: src.X + 1 + rng.Intn(side-src.X-1),
+			Y: src.Y + 1 + rng.Intn(side-src.Y-1),
+		}
+		if !net.InRegion(d, extmesh.Blocks) {
+			return d
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package extmesh
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNetworkConcurrentUse exercises the documented thread-safety of
+// an immutable Network: lazy caches (MCC sets, models, routers) must
+// build exactly once under concurrent access. Run with -race.
+func TestNetworkConcurrentUse(t *testing.T) {
+	n := paperNetwork(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := Coord{X: 0, Y: 0}
+			d := Coord{X: 9 - g%3, Y: 10 - g%2}
+			for i := 0; i < 20; i++ {
+				_ = n.Safe(s, d, Blocks)
+				_ = n.Safe(s, d, MCC)
+				_ = n.Ensure(s, d, MCC, DefaultStrategy())
+				if _, err := n.Route(s, d, Blocks); err != nil {
+					t.Errorf("Route: %v", err)
+					return
+				}
+				if _, err := n.Route(s, d, MCC); err != nil {
+					t.Errorf("Route MCC: %v", err)
+					return
+				}
+				_ = n.HasMinimalPath(s, d)
+				if _, err := n.SafetyLevel(s, MCC); err != nil {
+					t.Errorf("SafetyLevel: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

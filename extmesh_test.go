@@ -1,0 +1,422 @@
+package extmesh
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// paperNetwork builds the Figure 1 example network: eight faults
+// forming the faulty block [2:6, 3:6] in a 12x12 mesh.
+func paperNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(12, 12, []Coord{
+		{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 4}, {X: 5, Y: 4},
+		{X: 6, Y: 4}, {X: 2, Y: 5}, {X: 5, Y: 5}, {X: 3, Y: 6},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		w, h    int
+		faults  []Coord
+		wantErr bool
+	}{
+		{name: "ok", w: 8, h: 8, faults: []Coord{{X: 1, Y: 1}}},
+		{name: "no faults", w: 8, h: 8},
+		{name: "bad dims", w: 0, h: 8, wantErr: true},
+		{name: "fault outside", w: 8, h: 8, faults: []Coord{{X: 8, Y: 0}}, wantErr: true},
+		{name: "duplicate", w: 8, h: 8, faults: []Coord{{X: 1, Y: 1}, {X: 1, Y: 1}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.w, tt.h, tt.faults)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New: err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n := paperNetwork(t)
+	if n.Width() != 12 || n.Height() != 12 {
+		t.Errorf("dims = %dx%d", n.Width(), n.Height())
+	}
+	if !n.Contains(Coord{X: 11, Y: 11}) || n.Contains(Coord{X: 12, Y: 0}) {
+		t.Error("Contains wrong")
+	}
+	if got := len(n.Faults()); got != 8 {
+		t.Errorf("Faults() has %d entries, want 8", got)
+	}
+	if !n.IsFaulty(Coord{X: 3, Y: 3}) || n.IsFaulty(Coord{X: 0, Y: 0}) {
+		t.Error("IsFaulty wrong")
+	}
+	blocks := n.Blocks()
+	if len(blocks) != 1 || blocks[0] != (Rect{MinX: 2, MinY: 3, MaxX: 6, MaxY: 6}) {
+		t.Errorf("Blocks() = %v", blocks)
+	}
+	// Mutating the returned slices must not affect the network.
+	blocks[0] = Rect{}
+	if n.Blocks()[0] == (Rect{}) {
+		t.Error("Blocks() aliases internal state")
+	}
+	faults := n.Faults()
+	faults[0] = Coord{X: 11, Y: 11}
+	if n.Faults()[0] == (Coord{X: 11, Y: 11}) {
+		t.Error("Faults() aliases internal state")
+	}
+}
+
+func TestFaultModelString(t *testing.T) {
+	if Blocks.String() != "blocks" || MCC.String() != "mcc" || FaultModel(0).String() != "unknown" {
+		t.Error("FaultModel names wrong")
+	}
+}
+
+func TestInRegion(t *testing.T) {
+	n := paperNetwork(t)
+	inside := Coord{X: 4, Y: 5} // disabled under both models
+	nwCorner := Coord{X: 2, Y: 6}
+
+	if !n.InRegion(inside, Blocks) || !n.InRegion(inside, MCC) {
+		t.Error("interior node should be in both regions")
+	}
+	// The NW corner is removed by the type-one MCC but kept by the
+	// block model.
+	if !n.InRegion(nwCorner, Blocks) {
+		t.Error("NW corner should be in the block")
+	}
+	if n.InRegion(nwCorner, MCC) {
+		t.Error("NW corner should not be in the type-one MCC")
+	}
+	// Quadrant II routing uses the type-two MCC, which keeps it.
+	if !n.InRegionFor(nwCorner, MCC, Coord{X: 11, Y: 0}, Coord{X: 0, Y: 11}) {
+		t.Error("NW corner should be in the type-two MCC (quadrant II pair)")
+	}
+	if n.DisabledCount(MCC) >= n.DisabledCount(Blocks) {
+		t.Errorf("MCC disabled %d should be below block disabled %d",
+			n.DisabledCount(MCC), n.DisabledCount(Blocks))
+	}
+}
+
+func TestSafetyLevel(t *testing.T) {
+	n := paperNetwork(t)
+	lvl, err := n.SafetyLevel(Coord{X: 0, Y: 3}, Blocks)
+	if err != nil {
+		t.Fatalf("SafetyLevel: %v", err)
+	}
+	if lvl.E != 2 {
+		t.Errorf("E = %d, want 2 (block starts at x=2 on row 3)", lvl.E)
+	}
+	if lvl.W != Unbounded || lvl.S != Unbounded {
+		t.Errorf("W/S should be unbounded: %v", lvl)
+	}
+	if _, err := n.SafetyLevel(Coord{X: -1, Y: 0}, Blocks); err == nil {
+		t.Error("out-of-mesh SafetyLevel should fail")
+	}
+	// The MCC level can only be larger or equal (fewer blocked nodes).
+	mccLvl, err := n.SafetyLevel(Coord{X: 0, Y: 3}, MCC)
+	if err != nil {
+		t.Fatalf("SafetyLevel MCC: %v", err)
+	}
+	if mccLvl.E < lvl.E {
+		t.Errorf("MCC E = %d below block E = %d", mccLvl.E, lvl.E)
+	}
+}
+
+func TestHasMinimalPath(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	if !n.HasMinimalPath(s, Coord{X: 11, Y: 11}) {
+		t.Error("path around the block should exist")
+	}
+	if n.HasMinimalPath(s, Coord{X: 3, Y: 3}) {
+		t.Error("faulty destination should have no path")
+	}
+	if n.HasMinimalPath(Coord{X: -1, Y: 0}, s) {
+		t.Error("out-of-mesh source should have no path")
+	}
+	// Minimal paths may pass through disabled (healthy) nodes: the
+	// disabled node (4,3) is usable in reality.
+	if !n.HasMinimalPath(Coord{X: 4, Y: 0}, Coord{X: 4, Y: 3}) {
+		t.Error("path to a disabled but healthy node should exist")
+	}
+}
+
+func TestSafeAndEnsure(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	d := Coord{X: 11, Y: 11}
+	if !n.Safe(s, d, Blocks) || !n.Safe(s, d, MCC) {
+		t.Error("clear-axis source should be safe under both models")
+	}
+	// Unsafe source with a working strategy.
+	s2 := Coord{X: 0, Y: 3}
+	d2 := Coord{X: 9, Y: 10}
+	if n.Safe(s2, d2, Blocks) {
+		t.Error("source with blocked row should be unsafe")
+	}
+	a := n.Ensure(s2, d2, Blocks, DefaultStrategy())
+	if a.Verdict == Unknown {
+		t.Fatal("default strategy should find a guarantee")
+	}
+	// No strategy enabled means base condition only.
+	if got := n.Ensure(s2, d2, Blocks, Strategy{}); got.Verdict != Unknown {
+		t.Errorf("empty strategy = %v, want unknown", got.Verdict)
+	}
+	// Invalid model yields no guarantee.
+	if got := n.Ensure(s, d, FaultModel(99), DefaultStrategy()); got.Verdict != Unknown {
+		t.Errorf("bad model = %v, want unknown", got.Verdict)
+	}
+	if n.Safe(s, d, FaultModel(99)) {
+		t.Error("bad model should not be safe")
+	}
+}
+
+func TestRouteAndRouteAssured(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	d := Coord{X: 11, Y: 11}
+	p, err := n.Route(s, d, Blocks)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if !p.Minimal() {
+		t.Errorf("route not minimal: %d hops", p.Hops())
+	}
+
+	p2, a, err := n.RouteAssured(s, d, Blocks, DefaultStrategy())
+	if err != nil {
+		t.Fatalf("RouteAssured: %v", err)
+	}
+	if a.Verdict != Minimal || !p2.Minimal() {
+		t.Errorf("RouteAssured verdict %v, hops %d", a.Verdict, p2.Hops())
+	}
+
+	// A pair with no guarantee reports an error.
+	nBig, err := New(8, 8, []Coord{{X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nBig.RouteAssured(Coord{X: 0, Y: 0}, Coord{X: 7, Y: 7}, Blocks, Strategy{}); err == nil {
+		t.Error("boxed-in source should fail RouteAssured")
+	}
+
+	// MCC routing works for every quadrant pair.
+	quadDests := []Coord{{X: 11, Y: 11}, {X: 0, Y: 11}, {X: 11, Y: 0}}
+	src := Coord{X: 8, Y: 8}
+	for _, qd := range quadDests {
+		if p, err := n.Route(src, qd, MCC); err != nil {
+			t.Errorf("MCC route %v->%v: %v", src, qd, err)
+		} else if !p.Minimal() {
+			t.Errorf("MCC route %v->%v not minimal", src, qd)
+		}
+	}
+}
+
+func TestOracleRoute(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	p, err := n.OracleRoute(s, Coord{X: 11, Y: 11})
+	if err != nil {
+		t.Fatalf("OracleRoute: %v", err)
+	}
+	if !p.Minimal() {
+		t.Error("oracle route not minimal")
+	}
+	_, err = n.OracleRoute(s, Coord{X: 3, Y: 3})
+	var stuck *StuckError
+	if !errors.As(err, &stuck) {
+		t.Errorf("OracleRoute to fault: err = %v, want StuckError", err)
+	}
+}
+
+func TestAffectedRowsCols(t *testing.T) {
+	n := paperNetwork(t)
+	// Block spans rows 3..6 and columns 2..6.
+	if got := n.AffectedRows(Blocks); got != 4 {
+		t.Errorf("AffectedRows = %d, want 4", got)
+	}
+	if got := n.AffectedCols(Blocks); got != 5 {
+		t.Errorf("AffectedCols = %d, want 5", got)
+	}
+	if got := n.AffectedRows(MCC); got != 4 {
+		t.Errorf("AffectedRows(MCC) = %d, want 4", got)
+	}
+}
+
+// TestEndToEndRandom is the public-API integration property: over
+// random networks, every assurance returned by Ensure is realized by
+// RouteAssured with exactly the promised length, under both models and
+// all quadrants.
+func TestEndToEndRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		w := 12 + rng.Intn(16)
+		h := 12 + rng.Intn(16)
+		var faults []Coord
+		seen := make(map[Coord]bool)
+		for i := 0; i < rng.Intn(w*h/10); i++ {
+			c := Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			if !seen[c] {
+				seen[c] = true
+				faults = append(faults, c)
+			}
+		}
+		n, err := New(w, h, faults)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		for pair := 0; pair < 40; pair++ {
+			s := Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			d := Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			for _, fm := range []FaultModel{Blocks, MCC} {
+				if n.InRegionFor(s, fm, s, d) || n.InRegionFor(d, fm, s, d) {
+					continue
+				}
+				a := n.Ensure(s, d, fm, DefaultStrategy())
+				if a.Verdict == Unknown {
+					continue
+				}
+				p, got, err := n.RouteAssured(s, d, fm, DefaultStrategy())
+				if err != nil {
+					t.Fatalf("trial %d %v: RouteAssured(%v,%v): %v (faults %v)", trial, fm, s, d, err, faults)
+				}
+				if got.Verdict != a.Verdict {
+					t.Fatalf("trial %d: Ensure and RouteAssured disagree", trial)
+				}
+				want := distance(s, d)
+				if a.Verdict == SubMinimal {
+					want += 2
+				}
+				if p.Hops() != want {
+					t.Fatalf("trial %d %v: %v->%v hops %d, want %d", trial, fm, s, d, p.Hops(), want)
+				}
+				// Every hop avoids faulty nodes.
+				for _, c := range p {
+					if n.IsFaulty(c) {
+						t.Fatalf("trial %d: path through faulty node %v", trial, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func distance(a, b Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func TestHasMinimalPathAvoidingBlocks(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	if !n.HasMinimalPathAvoidingBlocks(s, Coord{X: 11, Y: 11}, Blocks) {
+		t.Error("block-avoiding path around the corner should exist")
+	}
+	// Destination boxed by the block model but free under MCC: the
+	// disabled corner (2,6) is unusable for the block model router but
+	// reachable in reality.
+	if n.HasMinimalPathAvoidingBlocks(s, Coord{X: 2, Y: 6}, Blocks) {
+		t.Error("destination inside a block is unreachable for the block model")
+	}
+	if !n.HasMinimalPathAvoidingBlocks(s, Coord{X: 2, Y: 6}, MCC) {
+		t.Error("the MCC model should reach the freed corner")
+	}
+	if n.HasMinimalPathAvoidingBlocks(Coord{X: -1, Y: 0}, s, Blocks) {
+		t.Error("outside endpoints should report false")
+	}
+	// Consistency: block-avoiding implies fault-avoiding.
+	for x := 0; x < 12; x += 3 {
+		for y := 0; y < 12; y += 3 {
+			d := Coord{X: x, Y: y}
+			if n.HasMinimalPathAvoidingBlocks(s, d, Blocks) && !n.HasMinimalPath(s, d) {
+				t.Errorf("block-avoiding path to %v without fault-avoiding path", d)
+			}
+		}
+	}
+}
+
+func TestDFSRoutePublic(t *testing.T) {
+	n := paperNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	d := Coord{X: 11, Y: 11}
+	p, err := n.DFSRoute(s, d, Blocks)
+	if err != nil {
+		t.Fatalf("DFSRoute: %v", err)
+	}
+	if p.Hops() < 22 {
+		t.Errorf("impossible DFS length %d", p.Hops())
+	}
+	if _, err := n.DFSRoute(s, Coord{X: 3, Y: 3}, Blocks); err == nil {
+		t.Error("faulty destination should fail")
+	}
+	if _, err := n.DFSRoute(s, d, FaultModel(9)); err == nil {
+		t.Error("bad model should fail")
+	}
+}
+
+func TestSafetyGridAndErrorPaths(t *testing.T) {
+	n := paperNetwork(t)
+	g, err := n.SafetyGrid(Blocks)
+	if err != nil {
+		t.Fatalf("SafetyGrid: %v", err)
+	}
+	lvl, err := n.SafetyLevel(Coord{X: 0, Y: 3}, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(Coord{X: 0, Y: 3}) != lvl {
+		t.Error("SafetyGrid disagrees with SafetyLevel")
+	}
+	if _, err := n.SafetyGrid(FaultModel(9)); err == nil {
+		t.Error("bad model should fail")
+	}
+	if _, err := n.SafetyLevel(Coord{X: 0, Y: 0}, FaultModel(9)); err == nil {
+		t.Error("bad model should fail")
+	}
+	if _, err := n.Route(Coord{X: 0, Y: 0}, Coord{X: 1, Y: 1}, FaultModel(9)); err == nil {
+		t.Error("Route with bad model should fail")
+	}
+	if _, _, err := n.RouteAssured(Coord{X: 0, Y: 0}, Coord{X: 1, Y: 1}, FaultModel(9), DefaultStrategy()); err == nil {
+		t.Error("RouteAssured with bad model should fail")
+	}
+	if got := n.AffectedRows(FaultModel(9)); got != 0 {
+		t.Errorf("AffectedRows bad model = %d", got)
+	}
+	if got := n.AffectedCols(FaultModel(9)); got != 0 {
+		t.Errorf("AffectedCols bad model = %d", got)
+	}
+	if got := n.AffectedCols(MCC); got != 5 {
+		t.Errorf("AffectedCols(MCC) = %d, want 5", got)
+	}
+}
+
+func TestDynamicSafeEndpointsInRegion(t *testing.T) {
+	d, err := NewDynamic(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddFault(Coord{X: 3, Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Safe(Coord{X: 3, Y: 3}, Coord{X: 0, Y: 0}) {
+		t.Error("faulty source should not be safe")
+	}
+	if d.Safe(Coord{X: 0, Y: 0}, Coord{X: 3, Y: 3}) {
+		t.Error("faulty destination should not be safe")
+	}
+}

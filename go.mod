@@ -1,0 +1,3 @@
+module extmesh
+
+go 1.22

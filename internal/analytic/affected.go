@@ -1,0 +1,61 @@
+// Package analytic implements the paper's analytical model (Theorem 2)
+// for the expected number of affected rows and columns — rows/columns
+// that intersect at least one fault region — in an n x n mesh with k
+// randomly placed faults.
+package analytic
+
+// ExpectedAffected returns the expected number of affected rows (and,
+// by symmetry, columns) of an n x n 2-D mesh with k random faults,
+// following Theorem 2: the x-th newly-hit row arrives after a
+// geometrically distributed number of faults with mean n/(n-x+1), so
+// the expectation is the largest x whose cumulative mean stays within
+// k:
+//
+//	E[x] = min{ x : sum_{i=1..x} n/(n-i+1) >= k }
+//
+// capped at min(k, n). The result is returned as a float64 computed by
+// linear interpolation between the bracketing integers so the curve is
+// smooth, matching the analytical plot of Figure 7.
+func ExpectedAffected(n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k >= couponTotal(n) {
+		return float64(n)
+	}
+	sum := 0.0
+	for x := 1; x <= n; x++ {
+		next := sum + float64(n)/float64(n-x+1)
+		if next >= float64(k) {
+			// Interpolate within the x-th stage.
+			frac := (float64(k) - sum) / (next - sum)
+			v := float64(x-1) + frac
+			if v > float64(k) {
+				v = float64(k)
+			}
+			return v
+		}
+		sum = next
+	}
+	return float64(n)
+}
+
+// ExpectedAffectedFraction returns ExpectedAffected normalized by n,
+// the percentage plotted in Figure 7.
+func ExpectedAffectedFraction(n, k int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return ExpectedAffected(n, k) / float64(n)
+}
+
+// couponTotal returns the expected number of faults needed to hit every
+// row once (the full coupon-collector sum), used as the saturation
+// bound.
+func couponTotal(n int) int {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += float64(n) / float64(n-i+1)
+	}
+	return int(sum) + 1
+}

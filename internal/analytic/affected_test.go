@@ -1,0 +1,130 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/safety"
+)
+
+func TestExpectedAffectedEdgeCases(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 10, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+		{-1, 5, 0},
+	}
+	for _, tt := range tests {
+		if got := ExpectedAffected(tt.n, tt.k); got != tt.want {
+			t.Errorf("ExpectedAffected(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedAffectedBounds(t *testing.T) {
+	for n := 1; n <= 250; n += 13 {
+		prev := 0.0
+		for k := 1; k <= 2*n; k++ {
+			v := ExpectedAffected(n, k)
+			if v < 0 || v > float64(n) {
+				t.Fatalf("ExpectedAffected(%d,%d) = %v out of [0,%d]", n, k, v, n)
+			}
+			if v > float64(k) {
+				t.Fatalf("ExpectedAffected(%d,%d) = %v exceeds k", n, k, v)
+			}
+			if v+1e-9 < prev {
+				t.Fatalf("ExpectedAffected(%d,%d) = %v not monotone (prev %v)", n, k, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestExpectedAffectedFirstFault(t *testing.T) {
+	// The first fault always hits a clean row.
+	if got := ExpectedAffected(100, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ExpectedAffected(100,1) = %v, want 1", got)
+	}
+}
+
+func TestExpectedAffectedPaperValues(t *testing.T) {
+	// Figure 7 for n=200: about 20% affected at k=50, 40% at k=100,
+	// 60% at k=200 (the paper's reading of its own plot).
+	tests := []struct {
+		k    int
+		want float64
+		tol  float64
+	}{
+		{50, 0.20, 0.04},
+		{100, 0.40, 0.04},
+		{200, 0.60, 0.05},
+	}
+	for _, tt := range tests {
+		got := ExpectedAffectedFraction(200, tt.k)
+		if math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("fraction(200,%d) = %.3f, want %.2f±%.2f", tt.k, got, tt.want, tt.tol)
+		}
+	}
+}
+
+// TestAnalyticMatchesSimulation reproduces the agreement shown in
+// Figure 7: the analytical expectation stays close to the simulated
+// number of affected rows, and the count is identical under the block
+// and MCC models (disabled nodes never hit a clean row or column).
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 100
+	m := mesh.Mesh{Width: n, Height: n}
+	for _, k := range []int{10, 40, 80} {
+		const trials = 30
+		sumRows := 0
+		for trial := 0; trial < trials; trial++ {
+			faults, err := fault.RandomFaults(m, k, rng, nil)
+			if err != nil {
+				t.Fatalf("RandomFaults: %v", err)
+			}
+			sc, err := fault.NewScenario(m, faults)
+			if err != nil {
+				t.Fatalf("NewScenario: %v", err)
+			}
+			bs := fault.BuildBlocks(sc)
+			rows := safety.AffectedRows(m, bs.BlockedGrid())
+			cols := safety.AffectedCols(m, bs.BlockedGrid())
+			sumRows += rows + cols
+
+			// Theorem 2's remark: the MCC model affects the same rows.
+			mcc := fault.BuildMCC(sc, fault.TypeOne)
+			if got := safety.AffectedRows(m, mcc.BlockedGrid()); got != rows {
+				t.Fatalf("k=%d: MCC affected rows %d != block %d", k, got, rows)
+			}
+		}
+		avg := float64(sumRows) / float64(2*trials)
+		want := ExpectedAffected(n, k)
+		if math.Abs(avg-want) > 0.12*float64(n) {
+			t.Errorf("k=%d: simulated %.1f vs analytic %.1f rows", k, avg, want)
+		}
+	}
+}
+
+func TestExpectedAffectedSaturation(t *testing.T) {
+	// Far beyond the coupon-collector total, every row is hit.
+	n := 20
+	if got := ExpectedAffected(n, 100000); got != float64(n) {
+		t.Errorf("saturated ExpectedAffected = %v, want %d", got, n)
+	}
+	if got := ExpectedAffectedFraction(n, 100000); got != 1.0 {
+		t.Errorf("saturated fraction = %v, want 1", got)
+	}
+	if got := ExpectedAffectedFraction(0, 5); got != 0 {
+		t.Errorf("fraction with n=0 = %v, want 0", got)
+	}
+	if got := ExpectedAffectedFraction(200, 50); got <= 0 || got >= 1 {
+		t.Errorf("mid fraction = %v out of (0,1)", got)
+	}
+}

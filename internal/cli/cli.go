@@ -1,0 +1,69 @@
+// Package cli holds small helpers shared by the command-line tools:
+// coordinate and fault-list parsing.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+// ParseCoord parses "x,y" into a coordinate.
+func ParseCoord(s string) (mesh.Coord, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 2 {
+		return mesh.Coord{}, fmt.Errorf("cli: coordinate %q must be x,y", s)
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return mesh.Coord{}, fmt.Errorf("cli: coordinate %q: %v", s, err)
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return mesh.Coord{}, fmt.Errorf("cli: coordinate %q: %v", s, err)
+	}
+	return mesh.Coord{X: x, Y: y}, nil
+}
+
+// ParseCoordList parses "x1,y1;x2,y2;..." into coordinates. An empty
+// string yields nil.
+func ParseCoordList(s string) ([]mesh.Coord, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []mesh.Coord
+	for _, item := range strings.Split(s, ";") {
+		if strings.TrimSpace(item) == "" {
+			continue
+		}
+		c, err := ParseCoord(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Faults resolves the fault set for a tool invocation: an explicit
+// "x,y;..." list wins; otherwise k faults are drawn at random with the
+// given seed, never on the listed protected nodes.
+func Faults(m mesh.Mesh, list string, k int, seed int64, protect ...mesh.Coord) ([]mesh.Coord, error) {
+	if strings.TrimSpace(list) != "" {
+		return ParseCoordList(list)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	guard := make(map[mesh.Coord]bool, len(protect))
+	for _, p := range protect {
+		guard[p] = true
+	}
+	return fault.RandomFaults(m, k, rng, func(c mesh.Coord) bool { return guard[c] })
+}

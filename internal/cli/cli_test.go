@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func TestParseCoord(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    mesh.Coord
+		wantErr bool
+	}{
+		{give: "3,4", want: mesh.Coord{X: 3, Y: 4}},
+		{give: " 3 , 4 ", want: mesh.Coord{X: 3, Y: 4}},
+		{give: "-1,7", want: mesh.Coord{X: -1, Y: 7}},
+		{give: "0,0", want: mesh.Coord{X: 0, Y: 0}},
+		{give: "3", wantErr: true},
+		{give: "3,4,5", wantErr: true},
+		{give: "a,4", wantErr: true},
+		{give: "3,b", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseCoord(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseCoord(%q) err = %v, wantErr %v", tt.give, err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("ParseCoord(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCoordList(t *testing.T) {
+	got, err := ParseCoordList("1,2;3,4; 5,6 ;")
+	if err != nil {
+		t.Fatalf("ParseCoordList: %v", err)
+	}
+	want := []mesh.Coord{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+
+	if got, err := ParseCoordList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+	if _, err := ParseCoordList("1,2;bad"); err == nil {
+		t.Error("bad entry should fail")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+
+	// Explicit list wins over k.
+	got, err := Faults(m, "1,1;2,2", 5, 1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("explicit list: %v, %v", got, err)
+	}
+
+	// Random faults avoid protected nodes.
+	protect := mesh.Coord{X: 5, Y: 5}
+	got, err = Faults(m, "", 20, 7, protect)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("random: %d faults, want 20", len(got))
+	}
+	for _, c := range got {
+		if c == protect {
+			t.Error("protected node selected")
+		}
+	}
+
+	// k <= 0 and no list yields nothing.
+	if got, err := Faults(m, "", 0, 1); err != nil || got != nil {
+		t.Errorf("no faults: %v, %v", got, err)
+	}
+
+	// Determinism per seed.
+	a, _ := Faults(m, "", 10, 3)
+	b, _ := Faults(m, "", 10, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different faults")
+		}
+	}
+}

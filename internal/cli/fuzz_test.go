@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCoordList checks the parser never panics and that accepted
+// inputs round-trip structurally: the number of parsed coordinates
+// equals the number of non-empty items.
+func FuzzParseCoordList(f *testing.F) {
+	for _, seed := range []string{
+		"", "1,2", "1,2;3,4", " 5 , 6 ;", "a,b", "1;2", "-3,-4;0,0",
+		"1,2;;3,4", strings.Repeat("9,9;", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		coords, err := ParseCoordList(s)
+		if err != nil {
+			return
+		}
+		nonEmpty := 0
+		for _, item := range strings.Split(s, ";") {
+			if strings.TrimSpace(item) != "" {
+				nonEmpty++
+			}
+		}
+		if s == "" {
+			nonEmpty = 0
+		}
+		if len(coords) != nonEmpty {
+			t.Fatalf("parsed %d coords from %d items (%q)", len(coords), nonEmpty, s)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package core implements the paper's primary contribution: the
+// sufficient safe condition for minimal routing in 2-D meshes with
+// fault regions (Definition 3 / Theorem 1) and its three extensions
+// (Theorems 1a, 1b, 1c), together with the combined routing strategies
+// evaluated in the paper. Everything works uniformly over both fault
+// models: the blocked grid may come from faulty blocks or from MCCs.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"extmesh/internal/mesh"
+	"extmesh/internal/safety"
+)
+
+// Verdict is the outcome of evaluating a condition at a source node.
+type Verdict int
+
+// Condition outcomes. Unknown means the condition cannot ensure any
+// path (a minimal path may still exist; the condition is sufficient,
+// not necessary).
+const (
+	Unknown Verdict = iota
+	Minimal
+	SubMinimal
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Minimal:
+		return "minimal"
+	case SubMinimal:
+		return "sub-minimal"
+	default:
+		return "unknown"
+	}
+}
+
+// Assurance is a positive condition result: the kind of path ensured
+// and the waypoints of the witnessing two-phase route. Via is empty for
+// the base condition, holds the intermediate node for extensions 1-3,
+// and for a sub-minimal assurance its first element is the spare
+// neighbor that begins the detour.
+type Assurance struct {
+	Verdict Verdict
+	Via     []mesh.Coord
+}
+
+// Model bundles the information one fault model exposes to the
+// conditions: the fault-region membership grid and the extended safety
+// levels derived from it.
+type Model struct {
+	M       mesh.Mesh
+	Blocked []bool
+	Levels  *safety.Grid
+
+	radiusOnce sync.Once
+	radius     []int32 // lazily built L1 distance transform
+}
+
+// NewModel computes the safety levels for the blocked grid and returns
+// the condition evaluator. blocked is indexed by mesh.Index and is not
+// copied; the caller must not mutate it afterwards.
+func NewModel(m mesh.Mesh, blocked []bool) (*Model, error) {
+	if len(blocked) != m.Size() {
+		return nil, fmt.Errorf("core: blocked grid has %d entries, mesh %v needs %d", len(blocked), m, m.Size())
+	}
+	return &Model{M: m, Blocked: blocked, Levels: safety.Compute(m, blocked)}, nil
+}
+
+// isBlocked reports whether c is inside a fault region (nodes outside
+// the mesh count as blocked: they can never carry a packet).
+func (md *Model) isBlocked(c mesh.Coord) bool {
+	if !md.M.Contains(c) {
+		return true
+	}
+	return md.Blocked[md.M.Index(c)]
+}
+
+// endpointsUsable reports whether both endpoints are inside the mesh
+// and outside every fault region, the standing assumption of all the
+// paper's conditions.
+func (md *Model) endpointsUsable(s, d mesh.Coord) bool {
+	return !md.isBlocked(s) && !md.isBlocked(d)
+}
+
+// Safe is the base sufficient safe condition (Definition 3, Theorem 1):
+// the source's row and column sections towards the destination are
+// clear of fault regions, which guarantees a minimal path.
+func (md *Model) Safe(s, d mesh.Coord) bool {
+	return md.endpointsUsable(s, d) && md.Levels.SafeFor(s, d)
+}
+
+// Extension1 implements Theorem 1a. Minimal routing is ensured when
+// the source is safe or one of its preferred neighbors is safe with
+// respect to d; failing that, sub-minimal routing (one detour, length
+// D(s,d)+2) is ensured when a spare neighbor is safe with respect to d.
+// Neighbors inside fault regions cannot carry the packet and are
+// skipped.
+func (md *Model) Extension1(s, d mesh.Coord) Assurance {
+	if !md.endpointsUsable(s, d) {
+		return Assurance{}
+	}
+	if md.Levels.SafeFor(s, d) {
+		return Assurance{Verdict: Minimal}
+	}
+	for _, dir := range mesh.PreferredDirs(s, d) {
+		n := s.Add(dir.Offset())
+		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
+			return Assurance{Verdict: Minimal, Via: []mesh.Coord{n}}
+		}
+	}
+	for _, dir := range mesh.SpareDirs(s, d) {
+		n := s.Add(dir.Offset())
+		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
+			return Assurance{Verdict: SubMinimal, Via: []mesh.Coord{n}}
+		}
+	}
+	return Assurance{}
+}
+
+// Extension2 implements Theorem 1b with the segment-size variation of
+// the paper's Section 4. When the source's row section towards d is
+// clear, the source knows one representative safety level per segment
+// of the clear region; if some representative within the section is
+// safe with respect to d, the two-phase route source -> representative
+// -> destination is minimal. The column section is used symmetrically.
+// segSize <= 0 selects the paper's "max" variant (one segment per
+// region); segSize == 1 uses every node of the region.
+func (md *Model) Extension2(s, d mesh.Coord, segSize int) Assurance {
+	if !md.endpointsUsable(s, d) {
+		return Assurance{}
+	}
+	if md.Levels.SafeFor(s, d) {
+		return Assurance{Verdict: Minimal}
+	}
+	dx := abs(d.X - s.X)
+	dy := abs(d.Y - s.Y)
+	hDir, vDir := axisDirs(s, d)
+
+	// Horizontal axis clear: try representatives along the row.
+	if hDir.Valid() && dx < md.Levels.At(s).Dist(hDir) && vDir.Valid() {
+		for _, rep := range safety.Reps(md.Levels, s, hDir, safety.ScoreMin, segSize) {
+			if abs(rep.C.X-s.X) > dx {
+				continue // outside the region [0:xd, 0:yd]
+			}
+			if md.Levels.SafeFor(rep.C, d) {
+				return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
+			}
+		}
+	}
+	// Vertical axis clear: try representatives along the column.
+	if vDir.Valid() && dy < md.Levels.At(s).Dist(vDir) && hDir.Valid() {
+		for _, rep := range safety.Reps(md.Levels, s, vDir, safety.ScoreMin, segSize) {
+			if abs(rep.C.Y-s.Y) > dy {
+				continue
+			}
+			if md.Levels.SafeFor(rep.C, d) {
+				return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
+			}
+		}
+	}
+	return Assurance{}
+}
+
+// Extension3 implements Theorem 1c: minimal routing is ensured when a
+// pivot node p inside the s-d rectangle satisfies both legs, i.e. s is
+// safe with respect to p and p is safe with respect to d. Pivots inside
+// fault regions are skipped. The pivot list typically comes from
+// safety.Pivots over the destination quadrant's submesh.
+func (md *Model) Extension3(s, d mesh.Coord, pivots []mesh.Coord) Assurance {
+	if !md.endpointsUsable(s, d) {
+		return Assurance{}
+	}
+	if md.Levels.SafeFor(s, d) {
+		return Assurance{Verdict: Minimal}
+	}
+	box := mesh.Rect{
+		MinX: min(s.X, d.X), MinY: min(s.Y, d.Y),
+		MaxX: max(s.X, d.X), MaxY: max(s.Y, d.Y),
+	}
+	for _, p := range pivots {
+		if !box.Contains(p) || md.isBlocked(p) {
+			continue
+		}
+		if md.Levels.SafeFor(s, p) && md.Levels.SafeFor(p, d) {
+			return Assurance{Verdict: Minimal, Via: []mesh.Coord{p}}
+		}
+	}
+	return Assurance{}
+}
+
+// axisDirs returns the horizontal and vertical directions from s
+// towards d; an axis with zero delta yields an invalid direction.
+func axisDirs(s, d mesh.Coord) (h, v mesh.Dir) {
+	switch {
+	case d.X > s.X:
+		h = mesh.East
+	case d.X < s.X:
+		h = mesh.West
+	}
+	switch {
+	case d.Y > s.Y:
+		v = mesh.North
+	case d.Y < s.Y:
+		v = mesh.South
+	}
+	return h, v
+}
+
+// Strategy is a cascaded combination of the extensions, evaluated in
+// the paper's order (1, then 2, then 3). The zero value applies only
+// the base sufficient safe condition.
+type Strategy struct {
+	UseExt1 bool
+	UseExt2 bool
+	SegSize int // extension 2 segment size; <= 0 means "max"
+	UseExt3 bool
+	Pivots  []mesh.Coord // extension 3 pivot set
+
+	// AllowSubMinimal reports extension 1's sub-minimal verdict instead
+	// of discarding it; the paper's strategy curves count minimal paths
+	// only, so it defaults to false.
+	AllowSubMinimal bool
+}
+
+// Strategy presets matching Figure 12 of the paper. PivotLevels is the
+// partition depth used for the pivot sets of strategies 2-4.
+const (
+	StrategySegSize = 5
+	PivotLevels     = 3
+)
+
+// NewStrategy1 returns strategy 1 (extension 1, then extension 2 with
+// segment size 5).
+func NewStrategy1() Strategy {
+	return Strategy{UseExt1: true, UseExt2: true, SegSize: StrategySegSize}
+}
+
+// NewStrategy2 returns strategy 2 (extension 1, then extension 3 with
+// partition level 3 and random pivots drawn from region using rng).
+func NewStrategy2(region mesh.Rect, rng *rand.Rand) Strategy {
+	return Strategy{UseExt1: true, UseExt3: true, Pivots: safety.Pivots(region, PivotLevels, safety.RandomPivots, rng)}
+}
+
+// NewStrategy3 returns strategy 3 (extension 2 with segment size 5,
+// then extension 3 with partition level 3).
+func NewStrategy3(region mesh.Rect, rng *rand.Rand) Strategy {
+	return Strategy{UseExt2: true, SegSize: StrategySegSize, UseExt3: true, Pivots: safety.Pivots(region, PivotLevels, safety.RandomPivots, rng)}
+}
+
+// NewStrategy4 returns strategy 4 (all three extensions in order).
+func NewStrategy4(region mesh.Rect, rng *rand.Rand) Strategy {
+	return Strategy{UseExt1: true, UseExt2: true, SegSize: StrategySegSize, UseExt3: true, Pivots: safety.Pivots(region, PivotLevels, safety.RandomPivots, rng)}
+}
+
+// Evaluate applies the strategy's extensions in order and returns the
+// first assurance obtained. The base sufficient safe condition is
+// always tried first (every extension subsumes it, so this is purely an
+// early exit).
+func (md *Model) Evaluate(s, d mesh.Coord, st Strategy) Assurance {
+	if !md.endpointsUsable(s, d) {
+		return Assurance{}
+	}
+	if md.Levels.SafeFor(s, d) {
+		return Assurance{Verdict: Minimal}
+	}
+	var sub Assurance
+	if st.UseExt1 {
+		if a := md.Extension1(s, d); a.Verdict == Minimal {
+			return a
+		} else if a.Verdict == SubMinimal {
+			sub = a
+		}
+	}
+	if st.UseExt2 {
+		if a := md.Extension2(s, d, st.SegSize); a.Verdict == Minimal {
+			return a
+		}
+	}
+	if st.UseExt3 {
+		if a := md.Extension3(s, d, st.Pivots); a.Verdict == Minimal {
+			return a
+		}
+	}
+	if st.AllowSubMinimal && sub.Verdict == SubMinimal {
+		return sub
+	}
+	return Assurance{}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Extension2Directional is the paper's second variation of extension
+// 2: instead of one representative per segment, up to four are kept —
+// one per direction, each the node with the best safety level along
+// that direction. For quadrant-oriented routing only the orthogonal
+// direction matters, so this variation strictly dominates the scalar
+// single-representative choice at the same segment size.
+func (md *Model) Extension2Directional(s, d mesh.Coord, segSize int) Assurance {
+	if !md.endpointsUsable(s, d) {
+		return Assurance{}
+	}
+	if md.Levels.SafeFor(s, d) {
+		return Assurance{Verdict: Minimal}
+	}
+	dx := abs(d.X - s.X)
+	dy := abs(d.Y - s.Y)
+	hDir, vDir := axisDirs(s, d)
+
+	try := func(along mesh.Dir, span int, onAxisX bool) Assurance {
+		for _, dir := range mesh.Directions() {
+			for _, rep := range safety.Reps(md.Levels, s, along, safety.ScoreDir(dir), segSize) {
+				off := abs(rep.C.X - s.X)
+				if !onAxisX {
+					off = abs(rep.C.Y - s.Y)
+				}
+				if off > span {
+					continue
+				}
+				if md.Levels.SafeFor(rep.C, d) {
+					return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
+				}
+			}
+		}
+		return Assurance{}
+	}
+	if hDir.Valid() && vDir.Valid() && dx < md.Levels.At(s).Dist(hDir) {
+		if a := try(hDir, dx, true); a.Verdict == Minimal {
+			return a
+		}
+	}
+	if hDir.Valid() && vDir.Valid() && dy < md.Levels.At(s).Dist(vDir) {
+		if a := try(vDir, dy, false); a.Verdict == Minimal {
+			return a
+		}
+	}
+	return Assurance{}
+}
+
+// RadiusSafe is the naive transplant of the hypercube's scalar safety
+// level to meshes: it guarantees a minimal path only when the L1
+// distance from the source to the nearest fault region exceeds the
+// whole travel distance, so that the entire s-d rectangle is clear.
+// The paper's extended 4-tuple exists precisely because this scalar
+// condition is far too weak in meshes; the evaluation quantifies the
+// gap.
+func (md *Model) RadiusSafe(s, d mesh.Coord) bool {
+	if !md.endpointsUsable(s, d) {
+		return false
+	}
+	md.radiusOnce.Do(func() {
+		md.radius = safety.DistanceTransform(md.M, md.Blocked)
+	})
+	return int(md.radius[md.M.Index(s)]) > mesh.Distance(s, d)
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+// FuzzBlockLabeling drives the faulty-block construction with
+// arbitrary fault patterns (each byte seeds one fault position in a
+// 12x12 mesh) and checks the structural invariants: blocks are filled
+// rectangles, pairwise consistent with the per-node status, and MCCs
+// stay inside them.
+func FuzzBlockLabeling(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 13, 26, 39})
+	f.Add([]byte{17, 30, 31, 44, 18})
+	f.Add([]byte{255, 254, 253, 128, 64, 32, 16, 8, 4, 2, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := mesh.Mesh{Width: 12, Height: 12}
+		seen := make(map[mesh.Coord]bool)
+		var faults []mesh.Coord
+		for _, b := range data {
+			c := m.CoordOf(int(b) % m.Size())
+			if !seen[c] {
+				seen[c] = true
+				faults = append(faults, c)
+			}
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := BuildBlocks(sc)
+		for bi, r := range bs.Blocks {
+			for y := r.MinY; y <= r.MaxY; y++ {
+				for x := r.MinX; x <= r.MaxX; x++ {
+					c := mesh.Coord{X: x, Y: y}
+					if !bs.InBlock(c) || bs.BlockAt(c) != bi {
+						t.Fatalf("block %v not a filled rectangle at %v", r, c)
+					}
+				}
+			}
+		}
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if !bs.InBlock(c) && bs.shouldDisable(c) {
+				t.Fatalf("not a fixpoint at %v", c)
+			}
+		}
+		for _, typ := range []MCCType{TypeOne, TypeTwo} {
+			ms := BuildMCC(sc, typ)
+			for i := 0; i < m.Size(); i++ {
+				c := m.CoordOf(i)
+				if ms.InMCC(c) && !bs.InBlock(c) {
+					t.Fatalf("%v MCC node %v escapes its block", typ, c)
+				}
+			}
+			for _, fc := range faults {
+				if !ms.InMCC(fc) {
+					t.Fatalf("fault %v missing from %v MCC", fc, typ)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"extmesh/internal/mesh"
+)
+
+// MCCType selects which minimal-connected-component labeling applies.
+// Type-one MCCs serve routings whose destination lies in quadrant I or
+// III of the source; type-two MCCs serve quadrants II and IV
+// (Definition 2 and the derived labelings in the paper).
+type MCCType uint8
+
+// The two MCC labelings.
+const (
+	TypeOne MCCType = iota + 1 // quadrant I / III destinations
+	TypeTwo                    // quadrant II / IV destinations
+)
+
+// String names the MCC type.
+func (t MCCType) String() string {
+	switch t {
+	case TypeOne:
+		return "type-one"
+	case TypeTwo:
+		return "type-two"
+	default:
+		return "unknown"
+	}
+}
+
+// ForQuadrant returns the MCC type that applies when the destination is
+// in the given quadrant (1..4) of the source.
+func ForQuadrant(q int) MCCType {
+	if q == 2 || q == 4 {
+		return TypeTwo
+	}
+	return TypeOne
+}
+
+// Node flag bits used internally by MCCSet.
+const (
+	flagFaulty uint8 = 1 << iota
+	flagUseless
+	flagCantReach
+)
+
+// MCCComponent is one minimal connected component: a rectilinear-
+// monotone polygonal region of faulty, useless and can't-reach nodes.
+type MCCComponent struct {
+	Extent mesh.Rect    // bounding rectangle of the component
+	Nodes  []mesh.Coord // all member nodes
+}
+
+// MCCSet is the result of one MCC labeling over a scenario.
+type MCCSet struct {
+	M     mesh.Mesh
+	Type  MCCType
+	Comps []MCCComponent
+
+	flags   []uint8
+	compIdx []int32
+}
+
+// BuildMCC applies the labeling of Definition 2 (or its quadrant-II/IV
+// mirror) to a scenario. For TypeOne and a quadrant-I destination:
+// a fault-free node whose north and east neighbors are both faulty or
+// useless becomes useless (entering it forces a west or south move);
+// a fault-free node whose south and west neighbors are both faulty or
+// can't-reach becomes can't-reach (entering it requires a west or south
+// move). Both rules are iterated to fixpoint; connected faulty, useless
+// and can't-reach nodes form the MCCs. Neighbors outside the mesh do
+// not block.
+func BuildMCC(s *Scenario, t MCCType) *MCCSet {
+	m := s.M
+	ms := &MCCSet{
+		M:       m,
+		Type:    t,
+		flags:   make([]uint8, m.Size()),
+		compIdx: make([]int32, m.Size()),
+	}
+	for i := range ms.compIdx {
+		ms.compIdx[i] = -1
+	}
+	for _, f := range s.Faults {
+		ms.flags[m.Index(f)] |= flagFaulty
+	}
+
+	// Direction pairs for the two rules. "Ahead" neighbors make a node
+	// useless, "behind" neighbors make it can't-reach. For type-one
+	// (quadrant I: +X/+Y moves) ahead = {E, N}, behind = {W, S}; for
+	// type-two (quadrant II: -X/+Y moves) ahead = {W, N}, behind = {E, S}.
+	aheadX, behindX := mesh.East, mesh.West
+	if t == TypeTwo {
+		aheadX, behindX = mesh.West, mesh.East
+	}
+	ms.propagate(flagUseless, aheadX, mesh.North)
+	ms.propagate(flagCantReach, behindX, mesh.South)
+
+	ms.collectComponents()
+	return ms
+}
+
+// propagate iterates one labeling rule (flag set when both the dx and
+// dy neighbors carry flagFaulty or flag) to fixpoint with a worklist.
+func (ms *MCCSet) propagate(flag uint8, dx, dy mesh.Dir) {
+	m := ms.M
+	mask := flagFaulty | flag
+	blocked := func(c mesh.Coord) bool {
+		if !m.Contains(c) {
+			return false
+		}
+		return ms.flags[m.Index(c)]&mask != 0
+	}
+	// Seed the worklist with nodes adjacent to faults: only they can
+	// satisfy the premise initially.
+	var queue []mesh.Coord
+	for i, f := range ms.flags {
+		if f&flagFaulty != 0 {
+			queue = m.Neighbors(queue, m.CoordOf(i))
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		i := m.Index(c)
+		if ms.flags[i]&mask != 0 { // already faulty or labeled
+			continue
+		}
+		if !blocked(c.Add(dx.Offset())) || !blocked(c.Add(dy.Offset())) {
+			continue
+		}
+		ms.flags[i] |= flag
+		// Only the opposite-side neighbors can newly satisfy the rule.
+		for _, n := range []mesh.Coord{c.Add(dx.Opposite().Offset()), c.Add(dy.Opposite().Offset())} {
+			if m.Contains(n) {
+				queue = append(queue, n)
+			}
+		}
+	}
+}
+
+// collectComponents groups connected flagged nodes into MCCs.
+func (ms *MCCSet) collectComponents() {
+	m := ms.M
+	var stack []mesh.Coord
+	var nbuf []mesh.Coord
+	for start := 0; start < m.Size(); start++ {
+		if ms.flags[start] == 0 || ms.compIdx[start] >= 0 {
+			continue
+		}
+		id := int32(len(ms.Comps))
+		comp := MCCComponent{Extent: mesh.RectAround(m.CoordOf(start))}
+		stack = append(stack[:0], m.CoordOf(start))
+		ms.compIdx[start] = id
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp.Extent = comp.Extent.Union(mesh.RectAround(c))
+			comp.Nodes = append(comp.Nodes, c)
+			nbuf = m.Neighbors(nbuf[:0], c)
+			for _, n := range nbuf {
+				ni := m.Index(n)
+				if ms.flags[ni] != 0 && ms.compIdx[ni] < 0 {
+					ms.compIdx[ni] = id
+					stack = append(stack, n)
+				}
+			}
+		}
+		ms.Comps = append(ms.Comps, comp)
+	}
+}
+
+// InMCC reports whether c belongs to some MCC under this labeling.
+func (ms *MCCSet) InMCC(c mesh.Coord) bool {
+	if !ms.M.Contains(c) {
+		return false
+	}
+	return ms.flags[ms.M.Index(c)] != 0
+}
+
+// IsUseless reports whether c carries the useless label.
+func (ms *MCCSet) IsUseless(c mesh.Coord) bool {
+	if !ms.M.Contains(c) {
+		return false
+	}
+	return ms.flags[ms.M.Index(c)]&flagUseless != 0
+}
+
+// IsCantReach reports whether c carries the can't-reach label.
+func (ms *MCCSet) IsCantReach(c mesh.Coord) bool {
+	if !ms.M.Contains(c) {
+		return false
+	}
+	return ms.flags[ms.M.Index(c)]&flagCantReach != 0
+}
+
+// ComponentAt returns the index of the MCC containing c, or -1.
+func (ms *MCCSet) ComponentAt(c mesh.Coord) int {
+	if !ms.M.Contains(c) {
+		return -1
+	}
+	return int(ms.compIdx[ms.M.Index(c)])
+}
+
+// DisabledCount returns the number of non-faulty nodes swallowed by
+// MCCs (useless or can't-reach but not faulty).
+func (ms *MCCSet) DisabledCount() int {
+	n := 0
+	for _, f := range ms.flags {
+		if f != 0 && f&flagFaulty == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedGrid returns a fresh boolean grid that is true for every MCC
+// member node.
+func (ms *MCCSet) BlockedGrid() []bool {
+	g := make([]bool, len(ms.flags))
+	for i, f := range ms.flags {
+		g[i] = f != 0
+	}
+	return g
+}
+
+// Extents returns the bounding rectangles of all components. These play
+// the role of the block list for Wang's coverage condition under the
+// MCC model.
+func (ms *MCCSet) Extents() []mesh.Rect {
+	rects := make([]mesh.Rect, len(ms.Comps))
+	for i, c := range ms.Comps {
+		rects[i] = c.Extent
+	}
+	return rects
+}

@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func TestForQuadrant(t *testing.T) {
+	tests := []struct {
+		q    int
+		want MCCType
+	}{
+		{1, TypeOne}, {2, TypeTwo}, {3, TypeOne}, {4, TypeTwo},
+	}
+	for _, tt := range tests {
+		if got := ForQuadrant(tt.q); got != tt.want {
+			t.Errorf("ForQuadrant(%d) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestMCCTypeString(t *testing.T) {
+	if TypeOne.String() != "type-one" || TypeTwo.String() != "type-two" {
+		t.Error("type names wrong")
+	}
+	if MCCType(9).String() != "unknown" {
+		t.Error("unknown type name wrong")
+	}
+}
+
+// TestBuildMCCPaperExample checks the per-node dual statuses discussed
+// around Figure 1 of the paper for the eight-fault example. Note: the
+// paper's prose lists (4,3) as fault-free under both labelings, but by
+// the letter of Definition 2 its north neighbor (4,4) and west neighbor
+// (3,3) are faulty, which makes it useless for quadrant-II routing (and
+// can't-reach under the quadrant-IV derivation), so it belongs to the
+// type-two MCC; we follow the definition. The remaining three published
+// examples match the definition and are asserted here.
+func TestBuildMCCPaperExample(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	s := mustScenario(t, m, paperFaults)
+	one := BuildMCC(s, TypeOne)
+	two := BuildMCC(s, TypeTwo)
+
+	tests := []struct {
+		c       mesh.Coord
+		inOne   bool
+		inTwo   bool
+		comment string
+	}{
+		{mesh.Coord{X: 2, Y: 6}, false, true, "NW corner: removed by type-one, kept by type-two"},
+		{mesh.Coord{X: 4, Y: 5}, true, true, "interior notch: disabled under both"},
+		{mesh.Coord{X: 2, Y: 3}, true, false, "SW corner: kept by type-one, removed by type-two"},
+		{mesh.Coord{X: 1, Y: 4}, false, false, "outside the block entirely"},
+		{mesh.Coord{X: 3, Y: 3}, true, true, "faulty node is always a member"},
+	}
+	for _, tt := range tests {
+		if got := one.InMCC(tt.c); got != tt.inOne {
+			t.Errorf("type-one InMCC(%v) = %v, want %v (%s)", tt.c, got, tt.inOne, tt.comment)
+		}
+		if got := two.InMCC(tt.c); got != tt.inTwo {
+			t.Errorf("type-two InMCC(%v) = %v, want %v (%s)", tt.c, got, tt.inTwo, tt.comment)
+		}
+	}
+
+	// (4,3) has faulty north and west neighbors: not in the type-one
+	// MCC (east neighbor (5,3) is free), in the type-two MCC.
+	c := mesh.Coord{X: 4, Y: 3}
+	if one.InMCC(c) {
+		t.Errorf("(4,3) should not be in the type-one MCC")
+	}
+	if !two.InMCC(c) {
+		t.Errorf("(4,3) should be in the type-two MCC (faulty N and W neighbors)")
+	}
+}
+
+func TestBuildMCCLabels(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	s := mustScenario(t, m, paperFaults)
+	one := BuildMCC(s, TypeOne)
+
+	// (2,4): north (2,5) and east (3,4) faulty => useless.
+	if !one.IsUseless(mesh.Coord{X: 2, Y: 4}) {
+		t.Error("(2,4) should be useless under type-one")
+	}
+	// (3,5): south (3,4) faulty, west (2,5) faulty => can't-reach.
+	if !one.IsCantReach(mesh.Coord{X: 3, Y: 5}) {
+		t.Error("(3,5) should be can't-reach under type-one")
+	}
+	// Faulty nodes carry neither derived label.
+	if one.IsUseless(mesh.Coord{X: 3, Y: 3}) || one.IsCantReach(mesh.Coord{X: 3, Y: 3}) {
+		t.Error("faulty node should not be labeled useless/can't-reach")
+	}
+	// Far away nodes carry no label.
+	if one.IsUseless(mesh.Coord{X: 0, Y: 0}) || one.IsCantReach(mesh.Coord{X: 0, Y: 0}) {
+		t.Error("distant node labeled")
+	}
+	// Out-of-mesh lookups are safe.
+	out := mesh.Coord{X: -1, Y: -1}
+	if one.InMCC(out) || one.IsUseless(out) || one.IsCantReach(out) || one.ComponentAt(out) != -1 {
+		t.Error("out-of-mesh lookups should be inert")
+	}
+}
+
+func TestBuildMCCNoFaults(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	ms := BuildMCC(mustScenario(t, m, nil), TypeOne)
+	if len(ms.Comps) != 0 || ms.DisabledCount() != 0 {
+		t.Errorf("MCC of fault-free mesh not empty: %d comps, %d disabled", len(ms.Comps), ms.DisabledCount())
+	}
+}
+
+// TestMCCSubsetOfBlocks verifies the refinement property: every MCC
+// node is contained in some faulty block (MCCs only ever shrink blocks)
+// and every fault is in an MCC.
+func TestMCCSubsetOfBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		w := 10 + rng.Intn(20)
+		h := 10 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/8), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		s := mustScenario(t, m, faults)
+		bs := BuildBlocks(s)
+		for _, typ := range []MCCType{TypeOne, TypeTwo} {
+			ms := BuildMCC(s, typ)
+			for i := 0; i < m.Size(); i++ {
+				c := m.CoordOf(i)
+				if ms.InMCC(c) && !bs.InBlock(c) {
+					t.Fatalf("trial %d: %v MCC node %v outside every faulty block", trial, typ, c)
+				}
+			}
+			for _, f := range faults {
+				if !ms.InMCC(f) {
+					t.Fatalf("trial %d: fault %v not in any %v MCC", trial, f, typ)
+				}
+			}
+			if ms.DisabledCount() > bs.DisabledCount() {
+				t.Fatalf("trial %d: %v MCC disabled %d > block disabled %d", trial, typ, ms.DisabledCount(), bs.DisabledCount())
+			}
+		}
+	}
+}
+
+// TestMCCComponentsConsistent checks that component bookkeeping matches
+// the per-node flags and that extents cover their nodes.
+func TestMCCComponentsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		m := mesh.Mesh{Width: 16, Height: 16}
+		faults, err := RandomFaults(m, rng.Intn(30), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		s := mustScenario(t, m, faults)
+		ms := BuildMCC(s, TypeOne)
+
+		total := 0
+		for ci, comp := range ms.Comps {
+			total += len(comp.Nodes)
+			for _, c := range comp.Nodes {
+				if !comp.Extent.Contains(c) {
+					t.Fatalf("node %v outside its component extent %v", c, comp.Extent)
+				}
+				if ms.ComponentAt(c) != ci {
+					t.Fatalf("ComponentAt(%v) = %d, want %d", c, ms.ComponentAt(c), ci)
+				}
+				if !ms.InMCC(c) {
+					t.Fatalf("component node %v not flagged", c)
+				}
+			}
+		}
+		flagged := 0
+		for i := 0; i < m.Size(); i++ {
+			if ms.InMCC(m.CoordOf(i)) {
+				flagged++
+			}
+		}
+		if total != flagged {
+			t.Fatalf("component nodes %d != flagged nodes %d", total, flagged)
+		}
+		g := ms.BlockedGrid()
+		for i := range g {
+			if g[i] != ms.InMCC(m.CoordOf(i)) {
+				t.Fatalf("BlockedGrid mismatch at %v", m.CoordOf(i))
+			}
+		}
+		if got := len(ms.Extents()); got != len(ms.Comps) {
+			t.Fatalf("Extents count %d != comps %d", got, len(ms.Comps))
+		}
+	}
+}
+
+// TestMCCFixpoint verifies no fault-free node still satisfies a
+// labeling premise after construction (the rules were iterated to
+// fixpoint).
+func TestMCCFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		m := mesh.Mesh{Width: 14, Height: 14}
+		faults, err := RandomFaults(m, rng.Intn(25), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		s := mustScenario(t, m, faults)
+		ms := BuildMCC(s, TypeOne)
+
+		uselessOrFaulty := func(c mesh.Coord) bool {
+			return s.IsFaulty(c) || ms.IsUseless(c)
+		}
+		cantOrFaulty := func(c mesh.Coord) bool {
+			return s.IsFaulty(c) || ms.IsCantReach(c)
+		}
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if s.IsFaulty(c) {
+				continue
+			}
+			n := mesh.Coord{X: c.X, Y: c.Y + 1}
+			e := mesh.Coord{X: c.X + 1, Y: c.Y}
+			so := mesh.Coord{X: c.X, Y: c.Y - 1}
+			w := mesh.Coord{X: c.X - 1, Y: c.Y}
+			if m.Contains(n) && m.Contains(e) && uselessOrFaulty(n) && uselessOrFaulty(e) && !ms.IsUseless(c) {
+				t.Fatalf("trial %d: %v satisfies useless premise but unlabeled", trial, c)
+			}
+			if m.Contains(so) && m.Contains(w) && cantOrFaulty(so) && cantOrFaulty(w) && !ms.IsCantReach(c) {
+				t.Fatalf("trial %d: %v satisfies can't-reach premise but unlabeled", trial, c)
+			}
+		}
+	}
+}
+
+// TestMCCQuadrantDualitySameSets verifies the paper's remark that the
+// MCCs generated for quadrants II and IV coincide: deriving the
+// quadrant-IV labeling (exchange useless and can't-reach roles from
+// quadrant II) yields the same member set as TypeTwo.
+func TestMCCQuadrantDualitySameSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		m := mesh.Mesh{Width: 14, Height: 14}
+		faults, err := RandomFaults(m, rng.Intn(25), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		s := mustScenario(t, m, faults)
+		two := BuildMCC(s, TypeTwo)
+
+		// Quadrant-IV labeling computed from first principles: useless
+		// if east & south blocked, can't-reach if west & north blocked.
+		qfour := &MCCSet{
+			M:       m,
+			Type:    TypeTwo,
+			flags:   make([]uint8, m.Size()),
+			compIdx: make([]int32, m.Size()),
+		}
+		for i := range qfour.compIdx {
+			qfour.compIdx[i] = -1
+		}
+		for _, f := range faults {
+			qfour.flags[m.Index(f)] |= flagFaulty
+		}
+		qfour.propagate(flagUseless, mesh.East, mesh.South)
+		qfour.propagate(flagCantReach, mesh.West, mesh.North)
+
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if two.InMCC(c) != (qfour.flags[i] != 0) {
+				t.Fatalf("trial %d: quadrant II vs IV MCC membership differs at %v", trial, c)
+			}
+		}
+	}
+}

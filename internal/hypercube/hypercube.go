@@ -1,0 +1,194 @@
+// Package hypercube implements the ancestor of the paper's extended
+// safety levels: Wu's safety levels for binary hypercubes (IEEE ToC
+// 46(2), 1997), which the paper cites as the origin of limited-global-
+// information routing. A node's safety level L guarantees a Hamming-
+// distance (minimal) path to every destination within distance L, and
+// safety-level-based greedy routing realizes it — the exact guarantee
+// the extended safety level transplants to 2-D meshes.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Cube is a binary n-cube with a set of faulty nodes.
+type Cube struct {
+	N      int // dimension; 2^N nodes
+	faulty []bool
+	levels []int
+}
+
+// New builds the cube and computes all safety levels. Node addresses
+// are the integers 0..2^n-1; two nodes are adjacent iff their
+// addresses differ in exactly one bit.
+func New(n int, faults []int) (*Cube, error) {
+	if n < 1 || n > 20 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of range [1,20]", n)
+	}
+	size := 1 << n
+	c := &Cube{N: n, faulty: make([]bool, size), levels: make([]int, size)}
+	for _, f := range faults {
+		if f < 0 || f >= size {
+			return nil, fmt.Errorf("hypercube: fault %d outside Q_%d", f, n)
+		}
+		if c.faulty[f] {
+			return nil, fmt.Errorf("hypercube: duplicate fault %d", f)
+		}
+		c.faulty[f] = true
+	}
+	c.computeLevels()
+	return c, nil
+}
+
+// Size returns the number of nodes.
+func (c *Cube) Size() int {
+	return 1 << c.N
+}
+
+// IsFaulty reports whether node u is faulty.
+func (c *Cube) IsFaulty(u int) bool {
+	return c.faulty[u]
+}
+
+// Level returns the safety level of node u: 0 for faulty nodes;
+// otherwise a (conservative) L guaranteeing a Hamming-distance path
+// from u to every node within Hamming distance L.
+func (c *Cube) Level(u int) int {
+	return c.levels[u]
+}
+
+// Distance returns the Hamming distance between two nodes.
+func Distance(u, v int) int {
+	return bits.OnesCount(uint(u ^ v))
+}
+
+// computeLevels iterates Wu's recursive definition to its (greatest)
+// fixpoint: the level of a faulty node is 0; for a healthy node with
+// ascending-sorted neighbor levels (s_1 <= ... <= s_n), the level is
+// the largest k <= n with s_i >= i for all i < k. Levels only ever
+// decrease from the initial all-n assignment, so the iteration
+// converges in at most n rounds of full passes.
+func (c *Cube) computeLevels() {
+	size := c.Size()
+	for u := 0; u < size; u++ {
+		if c.faulty[u] {
+			c.levels[u] = 0
+		} else {
+			c.levels[u] = c.N
+		}
+	}
+	neigh := make([]int, c.N)
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < size; u++ {
+			if c.faulty[u] {
+				continue
+			}
+			for d := 0; d < c.N; d++ {
+				neigh[d] = c.levels[u^(1<<d)]
+			}
+			sort.Ints(neigh)
+			k := c.N
+			for i := 1; i < c.N; i++ {
+				if neigh[i-1] < i {
+					k = i
+					break
+				}
+			}
+			if k < c.levels[u] {
+				c.levels[u] = k
+				changed = true
+			}
+		}
+	}
+}
+
+// Route performs safety-level-based greedy unicasting: at each hop the
+// packet moves to a preferred neighbor (one correcting a differing
+// bit) whose safety level is at least the remaining distance minus
+// one. Whenever Level(s) >= Distance(s, d) the route is guaranteed to
+// exist and to have exactly Hamming-distance length.
+func (c *Cube) Route(s, d int) ([]int, error) {
+	size := c.Size()
+	if s < 0 || s >= size || d < 0 || d >= size {
+		return nil, fmt.Errorf("hypercube: endpoints %d -> %d outside Q_%d", s, d, c.N)
+	}
+	if c.faulty[s] || c.faulty[d] {
+		return nil, fmt.Errorf("hypercube: endpoints %d -> %d faulty", s, d)
+	}
+	path := []int{s}
+	u := s
+	for u != d {
+		h := Distance(u, d)
+		next := -1
+		bestLevel := -1
+		diff := u ^ d
+		for diff != 0 {
+			bit := diff & -diff
+			diff &^= bit
+			v := u ^ bit
+			if c.faulty[v] {
+				continue
+			}
+			// Prefer the highest-level neighbor; any with level >=
+			// h-1 suffices for the guarantee.
+			if c.levels[v] > bestLevel {
+				bestLevel = c.levels[v]
+				next = v
+			}
+		}
+		if next < 0 || bestLevel < h-1 {
+			return nil, fmt.Errorf("hypercube: stuck at %d heading for %d", u, d)
+		}
+		u = next
+		path = append(path, u)
+	}
+	return path, nil
+}
+
+// MinimalPathExists is the exact ground truth: a DP over the subcube
+// spanned by the differing bits, avoiding faulty nodes.
+func (c *Cube) MinimalPathExists(s, d int) bool {
+	size := c.Size()
+	if s < 0 || s >= size || d < 0 || d >= size {
+		return false
+	}
+	if c.faulty[s] || c.faulty[d] {
+		return false
+	}
+	diff := s ^ d
+	// Enumerate submasks of diff in increasing popcount order via a
+	// simple DP keyed by the set of corrected bits.
+	k := bits.OnesCount(uint(diff))
+	if k == 0 {
+		return true
+	}
+	var dims []int
+	for b := 0; b < c.N; b++ {
+		if diff&(1<<b) != 0 {
+			dims = append(dims, b)
+		}
+	}
+	reach := make([]bool, 1<<k)
+	reach[0] = true
+	for mask := 1; mask < 1<<k; mask++ {
+		node := s
+		for i, b := range dims {
+			if mask&(1<<i) != 0 {
+				node ^= 1 << b
+			}
+		}
+		if c.faulty[node] {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 && reach[mask^(1<<i)] {
+				reach[mask] = true
+				break
+			}
+		}
+	}
+	return reach[1<<k-1]
+}

@@ -1,0 +1,245 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("dimension 0 should fail")
+	}
+	if _, err := New(21, nil); err == nil {
+		t.Error("dimension 21 should fail")
+	}
+	if _, err := New(3, []int{8}); err == nil {
+		t.Error("fault outside cube should fail")
+	}
+	if _, err := New(3, []int{1, 1}); err == nil {
+		t.Error("duplicate fault should fail")
+	}
+	c, err := New(3, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 8 || !c.IsFaulty(5) || c.IsFaulty(0) {
+		t.Error("basic accessors wrong")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		u, v, want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 7, 3}, {5, 6, 2}, {0b1010, 0b0101, 4},
+	}
+	for _, tt := range tests {
+		if got := Distance(tt.u, tt.v); got != tt.want {
+			t.Errorf("Distance(%b,%b) = %d, want %d", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestLevelsFaultFree(t *testing.T) {
+	c, err := New(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < c.Size(); u++ {
+		if c.Level(u) != 4 {
+			t.Errorf("fault-free level at %d = %d, want 4", u, c.Level(u))
+		}
+	}
+}
+
+func TestLevelsSingleFault(t *testing.T) {
+	// One fault in Q_3: its neighbors see sorted neighbor levels
+	// (0,3,3) so they drop to level 1... actually (0,3,3) fails s_1>=1,
+	// so k=1. Non-neighbors keep higher levels.
+	c, err := New(3, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Level(0) != 0 {
+		t.Errorf("faulty node level = %d, want 0", c.Level(0))
+	}
+	for _, u := range []int{1, 2, 4} { // neighbors of 0
+		if c.Level(u) != 1 {
+			t.Errorf("level of fault neighbor %d = %d, want 1", u, c.Level(u))
+		}
+	}
+	// The antipode 7 has neighbors 3, 5, 6 (levels 2 each? verify >= 2).
+	if c.Level(7) < 2 {
+		t.Errorf("antipode level = %d, want >= 2", c.Level(7))
+	}
+}
+
+// TestGuarantee is the defining property transplanted by the paper:
+// whenever Level(s) >= Distance(s,d), a Hamming-distance path exists
+// and safety-level-based greedy routing delivers it.
+func TestGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(4) // Q_4 .. Q_7
+		size := 1 << n
+		var faults []int
+		seen := make(map[int]bool)
+		for i := 0; i < rng.Intn(size/4); i++ {
+			f := rng.Intn(size)
+			if !seen[f] {
+				seen[f] = true
+				faults = append(faults, f)
+			}
+		}
+		c, err := New(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 120; pair++ {
+			s := rng.Intn(size)
+			d := rng.Intn(size)
+			if c.IsFaulty(s) || c.IsFaulty(d) {
+				continue
+			}
+			h := Distance(s, d)
+			if c.Level(s) < h {
+				continue // no guarantee claimed
+			}
+			if !c.MinimalPathExists(s, d) {
+				t.Fatalf("trial %d: level %d at %d promises distance %d to %d but no path",
+					trial, c.Level(s), s, h, d)
+			}
+			path, err := c.Route(s, d)
+			if err != nil {
+				t.Fatalf("trial %d: guaranteed route %d->%d failed: %v", trial, s, d, err)
+			}
+			if len(path)-1 != h {
+				t.Fatalf("trial %d: route length %d, want %d", trial, len(path)-1, h)
+			}
+			for i, u := range path {
+				if c.IsFaulty(u) {
+					t.Fatalf("trial %d: route through faulty node %d", trial, u)
+				}
+				if i > 0 && Distance(path[i-1], u) != 1 {
+					t.Fatalf("trial %d: route hop %d not adjacent", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteAlwaysMinimalOrFails mirrors the mesh router contract: the
+// greedy router either fails or returns a minimal fault-free path, for
+// any endpoint pair.
+func TestRouteAlwaysMinimalOrFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 5
+		size := 1 << n
+		var faults []int
+		seen := make(map[int]bool)
+		for i := 0; i < rng.Intn(10); i++ {
+			f := rng.Intn(size)
+			if !seen[f] {
+				seen[f] = true
+				faults = append(faults, f)
+			}
+		}
+		c, err := New(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 60; pair++ {
+			s, d := rng.Intn(size), rng.Intn(size)
+			if c.IsFaulty(s) || c.IsFaulty(d) {
+				continue
+			}
+			path, err := c.Route(s, d)
+			if err != nil {
+				continue
+			}
+			if len(path)-1 != Distance(s, d) {
+				t.Fatalf("trial %d: non-minimal route %d->%d", trial, s, d)
+			}
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	c, err := New(3, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Route(-1, 0); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	if _, err := c.Route(0, 3); err == nil {
+		t.Error("faulty destination should fail")
+	}
+	if _, err := c.Route(3, 0); err == nil {
+		t.Error("faulty source should fail")
+	}
+	p, err := c.Route(1, 1)
+	if err != nil || len(p) != 1 {
+		t.Errorf("self route = %v, %v", p, err)
+	}
+}
+
+// TestMinimalPathExistsBrute cross-checks the subcube DP against BFS
+// restricted to monotone moves.
+func TestMinimalPathExistsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 4
+		size := 1 << n
+		var faults []int
+		seen := make(map[int]bool)
+		for i := 0; i < rng.Intn(6); i++ {
+			f := rng.Intn(size)
+			if !seen[f] {
+				seen[f] = true
+				faults = append(faults, f)
+			}
+		}
+		c, err := New(n, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dfs func(u, d int) bool
+		dfs = func(u, d int) bool {
+			if c.IsFaulty(u) {
+				return false
+			}
+			if u == d {
+				return true
+			}
+			diff := u ^ d
+			for b := 0; b < n; b++ {
+				if diff&(1<<b) != 0 && dfs(u^(1<<b), d) {
+					return true
+				}
+			}
+			return false
+		}
+		for s := 0; s < size; s++ {
+			for d := 0; d < size; d++ {
+				if got, want := c.MinimalPathExists(s, d), !c.IsFaulty(s) && dfs(s, d); got != want {
+					t.Fatalf("trial %d: DP %v, DFS %v for %d->%d", trial, got, want, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalPathExistsBounds(t *testing.T) {
+	c, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinimalPathExists(-1, 0) || c.MinimalPathExists(0, 8) {
+		t.Error("out-of-range endpoints should report false")
+	}
+	if !c.MinimalPathExists(2, 2) {
+		t.Error("self path should exist")
+	}
+}

@@ -1,0 +1,90 @@
+// Package infocost quantifies the paper's memory argument: limited
+// global information (extended safety levels plus boundary-line
+// descriptors) is far cheaper to store than a global fault map at
+// every node, and the gap widens with mesh size. Costs are counted in
+// integers stored per node, the unit the paper's O(n^2)-per-node
+// comparison uses.
+package infocost
+
+import (
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/safety"
+)
+
+// Report is the measured storage of the two information models on one
+// fault configuration.
+type Report struct {
+	Nodes  int // total mesh nodes
+	Blocks int // fault regions
+
+	// GlobalInts is the total storage of the global-information model:
+	// every node keeps every block descriptor (4 integers per block).
+	GlobalInts int
+
+	// LevelInts is the storage of the extended safety levels: 4
+	// integers at each node that carries a non-default level (nodes on
+	// affected rows or columns; everyone else keeps the implicit
+	// (inf,inf,inf,inf)).
+	LevelInts int
+
+	// LineInts is the storage of the boundary-line information: 4
+	// integers (one block descriptor) per line membership at each node
+	// on a boundary line.
+	LineInts int
+}
+
+// LimitedInts is the total storage of the paper's limited model.
+func (r Report) LimitedInts() int {
+	return r.LevelInts + r.LineInts
+}
+
+// PerNodeGlobal is the average integers per node under the global
+// model.
+func (r Report) PerNodeGlobal() float64 {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.GlobalInts) / float64(r.Nodes)
+}
+
+// PerNodeLimited is the average integers per node under the limited
+// model.
+func (r Report) PerNodeLimited() float64 {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.LimitedInts()) / float64(r.Nodes)
+}
+
+// Ratio is global divided by limited storage (the savings factor); 0
+// when the limited model stores nothing.
+func (r Report) Ratio() float64 {
+	if r.LimitedInts() == 0 {
+		return 0
+	}
+	return float64(r.GlobalInts) / float64(r.LimitedInts())
+}
+
+// Measure computes the storage of both information models for one
+// blocked grid and its block list.
+func Measure(m mesh.Mesh, blocked []bool, blocks []mesh.Rect) Report {
+	rep := Report{Nodes: m.Size(), Blocks: len(blocks)}
+	rep.GlobalInts = m.Size() * 4 * len(blocks)
+
+	levels := safety.Compute(m, blocked)
+	for i := 0; i < m.Size(); i++ {
+		if blocked[i] {
+			continue
+		}
+		lvl := levels.At(m.CoordOf(i))
+		if lvl.E < safety.Unbounded || lvl.W < safety.Unbounded ||
+			lvl.N < safety.Unbounded || lvl.S < safety.Unbounded {
+			rep.LevelInts += 4
+		}
+	}
+	for _, tags := range route.Lines(m, blocked) {
+		rep.LineInts += 4 * len(tags)
+	}
+	return rep
+}

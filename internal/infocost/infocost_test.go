@@ -1,0 +1,78 @@
+package infocost
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+func measureRandom(t *testing.T, n, k int, seed int64) Report {
+	t.Helper()
+	m := mesh.Mesh{Width: n, Height: n}
+	rng := rand.New(rand.NewSource(seed))
+	faults, err := fault.RandomFaults(m, k, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := fault.BuildBlocks(sc)
+	return Measure(m, bs.BlockedGrid(), bs.Blocks)
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	rep := Measure(m, make([]bool, m.Size()), nil)
+	if rep.GlobalInts != 0 || rep.LimitedInts() != 0 {
+		t.Errorf("fault-free storage should be zero: %+v", rep)
+	}
+	if rep.Ratio() != 0 || rep.PerNodeGlobal() != 0 || rep.PerNodeLimited() != 0 {
+		t.Errorf("zero-case accessors wrong: %+v", rep)
+	}
+}
+
+func TestMeasureSingleBlock(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	blocked := make([]bool, m.Size())
+	blocked[m.Index(mesh.Coord{X: 4, Y: 5})] = true
+	rep := Measure(m, blocked, []mesh.Rect{{MinX: 4, MinY: 5, MaxX: 4, MaxY: 5}})
+
+	if rep.GlobalInts != 100*4 {
+		t.Errorf("GlobalInts = %d, want 400", rep.GlobalInts)
+	}
+	// Affected row 5 (9 free nodes) + column 4 (9 free nodes) carry
+	// levels.
+	if rep.LevelInts != 4*18 {
+		t.Errorf("LevelInts = %d, want 72", rep.LevelInts)
+	}
+	// L1 covers (4,4) plus the westward row 4 (x=0..3): 5 nodes; L3
+	// covers (3,5) plus the southward column 3 (y=0..4): 6 nodes.
+	if rep.LineInts != 4*11 {
+		t.Errorf("LineInts = %d, want 44", rep.LineInts)
+	}
+	if rep.Ratio() <= 1 {
+		t.Errorf("limited model should already win: ratio %v", rep.Ratio())
+	}
+}
+
+// TestSavingsGrowWithMeshSize checks the paper's scalability claim: at
+// fixed fault density the savings factor grows with the mesh.
+func TestSavingsGrowWithMeshSize(t *testing.T) {
+	small := measureRandom(t, 40, 16, 1)
+	large := measureRandom(t, 120, 144, 1)
+	if small.Ratio() <= 1 || large.Ratio() <= 1 {
+		t.Fatalf("limited model should win at both sizes: %v, %v", small.Ratio(), large.Ratio())
+	}
+	if large.Ratio() <= small.Ratio() {
+		t.Errorf("savings should grow with mesh size: small %v, large %v", small.Ratio(), large.Ratio())
+	}
+	// The limited model stays near-constant per node while the global
+	// model grows linearly with the block count.
+	if large.PerNodeGlobal() <= small.PerNodeGlobal() {
+		t.Errorf("global per-node cost should grow: %v vs %v", small.PerNodeGlobal(), large.PerNodeGlobal())
+	}
+}

@@ -1,0 +1,125 @@
+// Package mesh provides the 2-D mesh topology substrate used throughout
+// the library: coordinates, rectangles, directions, quadrants and the
+// Manhattan metric.
+//
+// An n x m 2-D mesh has n*m nodes addressed (x, y) with 0 <= x < n and
+// 0 <= y < m. Two nodes are connected iff their addresses differ by one
+// in exactly one dimension. Following the paper's convention, East is +X
+// and North is +Y, so "the destination is in the first quadrant of the
+// source" means xd > xs and yd > ys.
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Coord is the address of a node in a 2-D mesh.
+type Coord struct {
+	X int
+	Y int
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string {
+	return "(" + strconv.Itoa(c.X) + "," + strconv.Itoa(c.Y) + ")"
+}
+
+// Add returns the coordinate translated by d.
+func (c Coord) Add(d Coord) Coord {
+	return Coord{X: c.X + d.X, Y: c.Y + d.Y}
+}
+
+// Sub returns the coordinate difference c - d.
+func (c Coord) Sub(d Coord) Coord {
+	return Coord{X: c.X - d.X, Y: c.Y - d.Y}
+}
+
+// Distance returns the Manhattan distance |xa-xb| + |ya-yb| between two
+// nodes, which is the length of every minimal path between them.
+func Distance(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// Mesh describes the dimensions of a 2-D mesh. The zero value is an
+// empty mesh containing no nodes.
+type Mesh struct {
+	Width  int // extent of the X dimension (number of columns)
+	Height int // extent of the Y dimension (number of rows)
+}
+
+// New returns a mesh with the given dimensions. It returns an error if
+// either dimension is not positive.
+func New(width, height int) (Mesh, error) {
+	if width <= 0 || height <= 0 {
+		return Mesh{}, fmt.Errorf("mesh: dimensions must be positive, got %dx%d", width, height)
+	}
+	return Mesh{Width: width, Height: height}, nil
+}
+
+// String renders the mesh as "WxH".
+func (m Mesh) String() string {
+	return strconv.Itoa(m.Width) + "x" + strconv.Itoa(m.Height)
+}
+
+// Size returns the total number of nodes.
+func (m Mesh) Size() int {
+	return m.Width * m.Height
+}
+
+// Contains reports whether c addresses a node of the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+}
+
+// Index returns the row-major linear index of c. The caller must ensure
+// c is contained in the mesh.
+func (m Mesh) Index(c Coord) int {
+	return c.Y*m.Width + c.X
+}
+
+// CoordOf is the inverse of Index.
+func (m Mesh) CoordOf(i int) Coord {
+	return Coord{X: i % m.Width, Y: i / m.Width}
+}
+
+// Neighbors appends the existing neighbors of c (in E, S, W, N order) to
+// dst and returns the extended slice. Interior nodes have degree 4;
+// edge and corner nodes fewer.
+func (m Mesh) Neighbors(dst []Coord, c Coord) []Coord {
+	for _, d := range Directions() {
+		n := c.Add(d.Offset())
+		if m.Contains(n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// Degree returns the number of neighbors of c inside the mesh.
+func (m Mesh) Degree(c Coord) int {
+	deg := 0
+	for _, d := range Directions() {
+		if m.Contains(c.Add(d.Offset())) {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Center returns the node at the center of the mesh (rounding down).
+func (m Mesh) Center() Coord {
+	return Coord{X: m.Width / 2, Y: m.Height / 2}
+}
+
+// Bounds returns the rectangle covering the whole mesh.
+func (m Mesh) Bounds() Rect {
+	return Rect{MinX: 0, MinY: 0, MaxX: m.Width - 1, MaxY: m.Height - 1}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,109 @@
+package mesh
+
+import "fmt"
+
+// Rect is an inclusive axis-aligned rectangle of mesh nodes,
+// [MinX:MaxX, MinY:MaxY] in the paper's notation.
+type Rect struct {
+	MinX int
+	MinY int
+	MaxX int
+	MaxY int
+}
+
+// RectAround returns the 1x1 rectangle containing only c.
+func RectAround(c Coord) Rect {
+	return Rect{MinX: c.X, MinY: c.Y, MaxX: c.X, MaxY: c.Y}
+}
+
+// String renders the rectangle in the paper's [xmin:xmax, ymin:ymax]
+// notation.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d:%d, %d:%d]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Valid reports whether the rectangle is non-empty.
+func (r Rect) Valid() bool {
+	return r.MinX <= r.MaxX && r.MinY <= r.MaxY
+}
+
+// Width returns the number of columns covered.
+func (r Rect) Width() int {
+	return r.MaxX - r.MinX + 1
+}
+
+// Height returns the number of rows covered.
+func (r Rect) Height() int {
+	return r.MaxY - r.MinY + 1
+}
+
+// Area returns the number of nodes covered.
+func (r Rect) Area() int {
+	if !r.Valid() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Contains reports whether c lies inside the rectangle.
+func (r Rect) Contains(c Coord) bool {
+	return c.X >= r.MinX && c.X <= r.MaxX && c.Y >= r.MinY && c.Y <= r.MaxY
+}
+
+// ContainsX reports whether column x is covered by the rectangle.
+func (r Rect) ContainsX(x int) bool {
+	return x >= r.MinX && x <= r.MaxX
+}
+
+// ContainsY reports whether row y is covered by the rectangle.
+func (r Rect) ContainsY(y int) bool {
+	return y >= r.MinY && y <= r.MaxY
+}
+
+// Intersects reports whether the two rectangles share at least one node.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if !r.Valid() {
+		return o
+	}
+	if !o.Valid() {
+		return r
+	}
+	return Rect{
+		MinX: min(r.MinX, o.MinX),
+		MinY: min(r.MinY, o.MinY),
+		MaxX: max(r.MaxX, o.MaxX),
+		MaxY: max(r.MaxY, o.MaxY),
+	}
+}
+
+// Expand returns the rectangle grown by delta on all four sides.
+func (r Rect) Expand(delta int) Rect {
+	return Rect{MinX: r.MinX - delta, MinY: r.MinY - delta, MaxX: r.MaxX + delta, MaxY: r.MaxY + delta}
+}
+
+// Clip returns the intersection with o; the result may be invalid
+// (empty) if they do not intersect.
+func (r Rect) Clip(o Rect) Rect {
+	return Rect{
+		MinX: max(r.MinX, o.MinX),
+		MinY: max(r.MinY, o.MinY),
+		MaxX: min(r.MaxX, o.MaxX),
+		MaxY: min(r.MaxY, o.MaxY),
+	}
+}
+
+// Coords appends every node of the rectangle to dst in row-major order
+// and returns the extended slice.
+func (r Rect) Coords(dst []Coord) []Coord {
+	for y := r.MinY; y <= r.MaxY; y++ {
+		for x := r.MinX; x <= r.MaxX; x++ {
+			dst = append(dst, Coord{X: x, Y: y})
+		}
+	}
+	return dst
+}

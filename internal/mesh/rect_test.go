@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 3, MaxX: 6, MaxY: 6}
+	if got := r.String(); got != "[2:6, 3:6]" {
+		t.Errorf("String() = %q", got)
+	}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+	if got := r.Width(); got != 5 {
+		t.Errorf("Width() = %d, want 5", got)
+	}
+	if got := r.Height(); got != 4 {
+		t.Errorf("Height() = %d, want 4", got)
+	}
+	if got := r.Area(); got != 20 {
+		t.Errorf("Area() = %d, want 20", got)
+	}
+	if (Rect{MinX: 3, MaxX: 2, MinY: 0, MaxY: 0}).Valid() {
+		t.Error("inverted rect should be invalid")
+	}
+	if got := (Rect{MinX: 3, MaxX: 2, MinY: 0, MaxY: 0}).Area(); got != 0 {
+		t.Errorf("invalid rect Area() = %d, want 0", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 3, MaxX: 6, MaxY: 6}
+	tests := []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{2, 3}, true},
+		{Coord{6, 6}, true},
+		{Coord{4, 5}, true},
+		{Coord{1, 3}, false},
+		{Coord{7, 6}, false},
+		{Coord{2, 2}, false},
+		{Coord{2, 7}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.c); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+	if !r.ContainsX(2) || !r.ContainsX(6) || r.ContainsX(1) || r.ContainsX(7) {
+		t.Error("ContainsX boundary behavior wrong")
+	}
+	if !r.ContainsY(3) || !r.ContainsY(6) || r.ContainsY(2) || r.ContainsY(7) {
+		t.Error("ContainsY boundary behavior wrong")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	base := Rect{MinX: 2, MinY: 2, MaxX: 5, MaxY: 5}
+	tests := []struct {
+		name string
+		o    Rect
+		want bool
+	}{
+		{name: "identical", o: base, want: true},
+		{name: "inside", o: Rect{3, 3, 4, 4}, want: true},
+		{name: "corner touch", o: Rect{5, 5, 8, 8}, want: true},
+		{name: "disjoint east", o: Rect{6, 2, 8, 5}, want: false},
+		{name: "disjoint north", o: Rect{2, 6, 5, 8}, want: false},
+		{name: "overlap edge", o: Rect{0, 0, 2, 2}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := base.Intersects(tt.o); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.o.Intersects(base); got != tt.want {
+				t.Errorf("Intersects not symmetric")
+			}
+		})
+	}
+}
+
+func TestRectUnionClipExpand(t *testing.T) {
+	a := Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}
+	b := Rect{MinX: 2, MinY: 0, MaxX: 5, MaxY: 2}
+	u := a.Union(b)
+	want := Rect{MinX: 1, MinY: 0, MaxX: 5, MaxY: 3}
+	if u != want {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	c := a.Clip(b)
+	wantClip := Rect{MinX: 2, MinY: 1, MaxX: 3, MaxY: 2}
+	if c != wantClip {
+		t.Errorf("Clip = %v, want %v", c, wantClip)
+	}
+	e := a.Expand(1)
+	wantExp := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}
+	if e != wantExp {
+		t.Errorf("Expand = %v, want %v", e, wantExp)
+	}
+
+	var invalid Rect
+	invalid.MinX = 5 // MaxX zero => invalid
+	if got := invalid.Union(a); got != a {
+		t.Errorf("Union with invalid = %v, want %v", got, a)
+	}
+	if got := a.Union(invalid); got != a {
+		t.Errorf("Union with invalid (rhs) = %v, want %v", got, a)
+	}
+}
+
+func TestRectCoords(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 2, MaxY: 3}
+	got := r.Coords(nil)
+	want := []Coord{{1, 2}, {2, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Coords = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coords = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	c := Coord{4, 7}
+	r := RectAround(c)
+	if !r.Contains(c) || r.Area() != 1 {
+		t.Errorf("RectAround(%v) = %v", c, r)
+	}
+}
+
+func TestRectPropertyUnionContains(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{MinX: int(ax), MinY: int(ay), MaxX: int(ax) + int(aw%10), MaxY: int(ay) + int(ah%10)}
+		b := Rect{MinX: int(bx), MinY: int(by), MaxX: int(bx) + int(bw%10), MaxY: int(by) + int(bh%10)}
+		u := a.Union(b)
+		// The union contains every corner of both rectangles.
+		corners := []Coord{
+			{a.MinX, a.MinY}, {a.MaxX, a.MaxY},
+			{b.MinX, b.MinY}, {b.MaxX, b.MaxY},
+		}
+		for _, c := range corners {
+			if !u.Contains(c) {
+				return false
+			}
+		}
+		// Intersection is symmetric and consistent with Clip validity.
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		if a.Intersects(b) != a.Clip(b).Valid() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

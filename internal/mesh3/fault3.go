@@ -1,0 +1,202 @@
+package mesh3
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Box is an inclusive axis-aligned cuboid of nodes.
+type Box struct {
+	MinX, MinY, MinZ int
+	MaxX, MaxY, MaxZ int
+}
+
+// BoxAround returns the 1x1x1 box containing only c.
+func BoxAround(c Coord) Box {
+	return Box{MinX: c.X, MinY: c.Y, MinZ: c.Z, MaxX: c.X, MaxY: c.Y, MaxZ: c.Z}
+}
+
+// Contains reports whether c lies inside the box.
+func (b Box) Contains(c Coord) bool {
+	return c.X >= b.MinX && c.X <= b.MaxX &&
+		c.Y >= b.MinY && c.Y <= b.MaxY &&
+		c.Z >= b.MinZ && c.Z <= b.MaxZ
+}
+
+// Volume returns the number of nodes covered.
+func (b Box) Volume() int {
+	return (b.MaxX - b.MinX + 1) * (b.MaxY - b.MinY + 1) * (b.MaxZ - b.MinZ + 1)
+}
+
+// Union returns the smallest box covering both.
+func (b Box) Union(o Box) Box {
+	return Box{
+		MinX: min(b.MinX, o.MinX), MinY: min(b.MinY, o.MinY), MinZ: min(b.MinZ, o.MinZ),
+		MaxX: max(b.MaxX, o.MaxX), MaxY: max(b.MaxY, o.MaxY), MaxZ: max(b.MaxZ, o.MaxZ),
+	}
+}
+
+// Scenario couples a 3-D mesh with a set of faulty nodes.
+type Scenario struct {
+	M      Mesh
+	Faults []Coord
+
+	faulty []bool
+}
+
+// NewScenario validates the fault set and returns a scenario.
+func NewScenario(m Mesh, faults []Coord) (*Scenario, error) {
+	if m.Size() <= 0 {
+		return nil, fmt.Errorf("mesh3: invalid mesh %v", m)
+	}
+	s := &Scenario{M: m, Faults: append([]Coord(nil), faults...), faulty: make([]bool, m.Size())}
+	for _, f := range faults {
+		if !m.Contains(f) {
+			return nil, fmt.Errorf("mesh3: fault %v outside mesh %v", f, m)
+		}
+		i := m.Index(f)
+		if s.faulty[i] {
+			return nil, fmt.Errorf("mesh3: duplicate fault %v", f)
+		}
+		s.faulty[i] = true
+	}
+	return s, nil
+}
+
+// IsFaulty reports whether c is faulty.
+func (s *Scenario) IsFaulty(c Coord) bool {
+	return s.M.Contains(c) && s.faulty[s.M.Index(c)]
+}
+
+// RandomFaults draws k distinct faulty nodes uniformly, skipping nodes
+// for which exclude returns true.
+func RandomFaults(m Mesh, k int, rng *rand.Rand, exclude func(Coord) bool) ([]Coord, error) {
+	if k < 0 || k > m.Size() {
+		return nil, fmt.Errorf("mesh3: fault count %d out of range", k)
+	}
+	taken := make(map[Coord]bool, k)
+	out := make([]Coord, 0, k)
+	for attempts := 0; len(out) < k; attempts++ {
+		if attempts > 1000*(k+1) {
+			return nil, fmt.Errorf("mesh3: could not place %d faults", k)
+		}
+		c := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+		if taken[c] || (exclude != nil && exclude(c)) {
+			continue
+		}
+		taken[c] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// BlockSet is the 3-D fault-block construction: the natural
+// generalization of Definition 1 deactivates a healthy node when it
+// has faulty-or-disabled neighbors in at least two different
+// dimensions, iterated to fixpoint; connected dead nodes form fault
+// regions whose bounding boxes are reported. Unlike the 2-D case the
+// regions need not fill their bounding boxes, so all routing-facing
+// computations use the member grid, not the boxes.
+type BlockSet struct {
+	M     Mesh
+	Boxes []Box
+
+	dead    []bool
+	faulty  []bool
+	blockID []int32
+}
+
+// BuildBlocks runs the labeling to fixpoint and collects components.
+func BuildBlocks(s *Scenario) *BlockSet {
+	m := s.M
+	bs := &BlockSet{
+		M:       m,
+		dead:    make([]bool, m.Size()),
+		faulty:  make([]bool, m.Size()),
+		blockID: make([]int32, m.Size()),
+	}
+	for i := range bs.blockID {
+		bs.blockID[i] = -1
+	}
+	var queue []Coord
+	for _, f := range s.Faults {
+		i := m.Index(f)
+		bs.dead[i] = true
+		bs.faulty[i] = true
+		queue = m.Neighbors(queue, f)
+	}
+	deadAt := func(c Coord) bool {
+		return m.Contains(c) && bs.dead[m.Index(c)]
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		i := m.Index(c)
+		if bs.dead[i] {
+			continue
+		}
+		axes := 0
+		for a, pair := range [3][2]Dir{{East, West}, {North, South}, {Up, Down}} {
+			_ = a
+			if deadAt(c.Add(pair[0].Offset())) || deadAt(c.Add(pair[1].Offset())) {
+				axes++
+			}
+		}
+		if axes < 2 {
+			continue
+		}
+		bs.dead[i] = true
+		queue = m.Neighbors(queue, c)
+	}
+
+	// Components and bounding boxes.
+	var stack, nbuf []Coord
+	for start := 0; start < m.Size(); start++ {
+		if !bs.dead[start] || bs.blockID[start] >= 0 {
+			continue
+		}
+		id := int32(len(bs.Boxes))
+		box := BoxAround(m.CoordOf(start))
+		stack = append(stack[:0], m.CoordOf(start))
+		bs.blockID[start] = id
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			box = box.Union(BoxAround(c))
+			nbuf = m.Neighbors(nbuf[:0], c)
+			for _, n := range nbuf {
+				ni := m.Index(n)
+				if bs.dead[ni] && bs.blockID[ni] < 0 {
+					bs.blockID[ni] = id
+					stack = append(stack, n)
+				}
+			}
+		}
+		bs.Boxes = append(bs.Boxes, box)
+	}
+	return bs
+}
+
+// InRegion reports whether c belongs to a fault region.
+func (bs *BlockSet) InRegion(c Coord) bool {
+	return bs.M.Contains(c) && bs.dead[bs.M.Index(c)]
+}
+
+// DisabledCount returns the number of healthy nodes deactivated by the
+// labeling.
+func (bs *BlockSet) DisabledCount() int {
+	n := 0
+	for i, d := range bs.dead {
+		if d && !bs.faulty[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedGrid returns a fresh boolean grid of fault-region membership.
+func (bs *BlockSet) BlockedGrid() []bool {
+	g := make([]bool, len(bs.dead))
+	copy(g, bs.dead)
+	return g
+}

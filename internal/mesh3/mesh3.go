@@ -1,0 +1,205 @@
+// Package mesh3 extends the paper's machinery to 3-D meshes, the
+// direction named in its concluding future work: the topology
+// substrate, the fault-block labeling, 6-tuple extended safety levels,
+// the axis-clear sufficient safe condition with its neighbor extension,
+// and the exact monotone-DP existence baseline the conditions are
+// verified against.
+package mesh3
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Coord is the address of a node in a 3-D mesh.
+type Coord struct {
+	X int
+	Y int
+	Z int
+}
+
+// String renders the coordinate as "(x,y,z)".
+func (c Coord) String() string {
+	return "(" + strconv.Itoa(c.X) + "," + strconv.Itoa(c.Y) + "," + strconv.Itoa(c.Z) + ")"
+}
+
+// Add returns the coordinate translated by d.
+func (c Coord) Add(d Coord) Coord {
+	return Coord{X: c.X + d.X, Y: c.Y + d.Y, Z: c.Z + d.Z}
+}
+
+// Distance returns the Manhattan distance between two nodes, the
+// length of every minimal path.
+func Distance(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y) + abs(a.Z-b.Z)
+}
+
+// Dir identifies one of the six mesh directions.
+type Dir int
+
+// The six directions: East/West along X, North/South along Y, Up/Down
+// along Z.
+const (
+	East Dir = iota + 1
+	West
+	North
+	South
+	Up
+	Down
+)
+
+var _dirNames = [...]string{East: "E", West: "W", North: "N", South: "S", Up: "U", Down: "D"}
+
+var _dirOffsets = [...]Coord{
+	East:  {X: 1},
+	West:  {X: -1},
+	North: {Y: 1},
+	South: {Y: -1},
+	Up:    {Z: 1},
+	Down:  {Z: -1},
+}
+
+// Directions returns all six directions.
+func Directions() [6]Dir {
+	return [6]Dir{East, West, North, South, Up, Down}
+}
+
+// Valid reports whether d is one of the six directions.
+func (d Dir) Valid() bool {
+	return d >= East && d <= Down
+}
+
+// String returns the single-letter name of the direction.
+func (d Dir) String() string {
+	if !d.Valid() {
+		return "invalid"
+	}
+	return _dirNames[d]
+}
+
+// Offset returns the unit coordinate delta of one hop in direction d.
+func (d Dir) Offset() Coord {
+	if !d.Valid() {
+		return Coord{}
+	}
+	return _dirOffsets[d]
+}
+
+// Opposite returns the direction pointing the other way.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	case Up:
+		return Down
+	case Down:
+		return Up
+	default:
+		return 0
+	}
+}
+
+// Axis returns 0, 1 or 2 for X, Y, Z.
+func (d Dir) Axis() int {
+	switch d {
+	case East, West:
+		return 0
+	case North, South:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Mesh describes the dimensions of a 3-D mesh.
+type Mesh struct {
+	Width  int // X extent
+	Height int // Y extent
+	Depth  int // Z extent
+}
+
+// New returns a mesh with the given dimensions; all must be positive.
+func New(width, height, depth int) (Mesh, error) {
+	if width <= 0 || height <= 0 || depth <= 0 {
+		return Mesh{}, fmt.Errorf("mesh3: dimensions must be positive, got %dx%dx%d", width, height, depth)
+	}
+	return Mesh{Width: width, Height: height, Depth: depth}, nil
+}
+
+// String renders the mesh as "WxHxD".
+func (m Mesh) String() string {
+	return strconv.Itoa(m.Width) + "x" + strconv.Itoa(m.Height) + "x" + strconv.Itoa(m.Depth)
+}
+
+// Size returns the total number of nodes.
+func (m Mesh) Size() int {
+	return m.Width * m.Height * m.Depth
+}
+
+// Contains reports whether c addresses a node of the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width &&
+		c.Y >= 0 && c.Y < m.Height &&
+		c.Z >= 0 && c.Z < m.Depth
+}
+
+// Index returns the linear index of c (X fastest).
+func (m Mesh) Index(c Coord) int {
+	return (c.Z*m.Height+c.Y)*m.Width + c.X
+}
+
+// CoordOf is the inverse of Index.
+func (m Mesh) CoordOf(i int) Coord {
+	x := i % m.Width
+	i /= m.Width
+	return Coord{X: x, Y: i % m.Height, Z: i / m.Height}
+}
+
+// Neighbors appends the existing neighbors of c to dst.
+func (m Mesh) Neighbors(dst []Coord, c Coord) []Coord {
+	for _, d := range Directions() {
+		n := c.Add(d.Offset())
+		if m.Contains(n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// PreferredDirs returns the directions that reduce the distance from u
+// to d (up to three).
+func PreferredDirs(u, d Coord) []Dir {
+	var dirs []Dir
+	switch {
+	case d.X > u.X:
+		dirs = append(dirs, East)
+	case d.X < u.X:
+		dirs = append(dirs, West)
+	}
+	switch {
+	case d.Y > u.Y:
+		dirs = append(dirs, North)
+	case d.Y < u.Y:
+		dirs = append(dirs, South)
+	}
+	switch {
+	case d.Z > u.Z:
+		dirs = append(dirs, Up)
+	case d.Z < u.Z:
+		dirs = append(dirs, Down)
+	}
+	return dirs
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

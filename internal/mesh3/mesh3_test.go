@@ -1,0 +1,494 @@
+package mesh3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	if _, err := New(4, 5, 6); err != nil {
+		t.Errorf("New(4,5,6): %v", err)
+	}
+	for _, dims := range [][3]int{{0, 5, 6}, {4, 0, 6}, {4, 5, 0}, {-1, 5, 6}} {
+		if _, err := New(dims[0], dims[1], dims[2]); err == nil {
+			t.Errorf("New(%v) should fail", dims)
+		}
+	}
+	m, _ := New(4, 5, 6)
+	if m.Size() != 120 {
+		t.Errorf("Size = %d, want 120", m.Size())
+	}
+	if m.String() != "4x5x6" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	m := Mesh{Width: 4, Height: 5, Depth: 3}
+	seen := make(map[int]bool)
+	for z := 0; z < m.Depth; z++ {
+		for y := 0; y < m.Height; y++ {
+			for x := 0; x < m.Width; x++ {
+				c := Coord{X: x, Y: y, Z: z}
+				i := m.Index(c)
+				if i < 0 || i >= m.Size() || seen[i] {
+					t.Fatalf("bad index %d for %v", i, c)
+				}
+				seen[i] = true
+				if m.CoordOf(i) != c {
+					t.Fatalf("CoordOf(Index(%v)) = %v", c, m.CoordOf(i))
+				}
+			}
+		}
+	}
+}
+
+func TestDirections(t *testing.T) {
+	for _, d := range Directions() {
+		if !d.Valid() {
+			t.Errorf("%v invalid", d)
+		}
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not involutive for %v", d)
+		}
+		off := d.Offset()
+		if abs(off.X)+abs(off.Y)+abs(off.Z) != 1 {
+			t.Errorf("Offset(%v) not unit", d)
+		}
+		if d.Axis() != d.Opposite().Axis() {
+			t.Errorf("Axis mismatch for %v", d)
+		}
+	}
+	if Dir(0).Valid() || Dir(7).Valid() {
+		t.Error("out-of-range Dir valid")
+	}
+	if Dir(0).String() != "invalid" {
+		t.Error("invalid name wrong")
+	}
+}
+
+func TestNeighborsAndPreferred(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4, Depth: 4}
+	if got := len(m.Neighbors(nil, Coord{X: 2, Y: 2, Z: 2})); got != 6 {
+		t.Errorf("interior degree = %d, want 6", got)
+	}
+	if got := len(m.Neighbors(nil, Coord{X: 0, Y: 0, Z: 0})); got != 3 {
+		t.Errorf("corner degree = %d, want 3", got)
+	}
+	u := Coord{X: 1, Y: 1, Z: 1}
+	d := Coord{X: 3, Y: 0, Z: 1}
+	dirs := PreferredDirs(u, d)
+	if len(dirs) != 2 {
+		t.Fatalf("PreferredDirs = %v", dirs)
+	}
+	for _, dir := range dirs {
+		if Distance(u.Add(dir.Offset()), d) != Distance(u, d)-1 {
+			t.Errorf("dir %v not preferred", dir)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int8) bool {
+		a := Coord{int(ax), int(ay), int(az)}
+		b := Coord{int(bx), int(by), int(bz)}
+		return Distance(a, b) == Distance(b, a) && Distance(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4, Depth: 4}
+	if _, err := NewScenario(m, []Coord{{X: 4, Y: 0, Z: 0}}); err == nil {
+		t.Error("outside fault should fail")
+	}
+	if _, err := NewScenario(m, []Coord{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}); err == nil {
+		t.Error("duplicate fault should fail")
+	}
+	s, err := NewScenario(m, []Coord{{X: 1, Y: 2, Z: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsFaulty(Coord{X: 1, Y: 2, Z: 3}) || s.IsFaulty(Coord{X: 0, Y: 0, Z: 0}) {
+		t.Error("IsFaulty wrong")
+	}
+}
+
+func TestBuildBlocksSingleFault(t *testing.T) {
+	m := Mesh{Width: 6, Height: 6, Depth: 6}
+	s, err := NewScenario(m, []Coord{{X: 3, Y: 3, Z: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := BuildBlocks(s)
+	if len(bs.Boxes) != 1 || bs.Boxes[0].Volume() != 1 {
+		t.Errorf("Boxes = %v", bs.Boxes)
+	}
+	if bs.DisabledCount() != 0 {
+		t.Error("lone fault disabled neighbors")
+	}
+}
+
+func TestBuildBlocksDiagonalPair(t *testing.T) {
+	// Faults at (0,0,0) and (1,1,0): the 2-D merge logic applies in
+	// the XY plane: (1,0,0) has a dead X-neighbor and dead Y-neighbor.
+	m := Mesh{Width: 5, Height: 5, Depth: 5}
+	s, err := NewScenario(m, []Coord{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := BuildBlocks(s)
+	if len(bs.Boxes) != 1 {
+		t.Fatalf("Boxes = %v, want one merged region", bs.Boxes)
+	}
+	if !bs.InRegion(Coord{X: 1, Y: 0, Z: 0}) || !bs.InRegion(Coord{X: 0, Y: 1, Z: 0}) {
+		t.Error("gap nodes not disabled")
+	}
+	if bs.DisabledCount() != 2 {
+		t.Errorf("DisabledCount = %d, want 2", bs.DisabledCount())
+	}
+}
+
+func TestMinimalPathExistsBasic(t *testing.T) {
+	m := Mesh{Width: 5, Height: 5, Depth: 5}
+	blocked := make([]bool, m.Size())
+	s := Coord{X: 0, Y: 0, Z: 0}
+	d := Coord{X: 4, Y: 4, Z: 4}
+	if !MinimalPathExists(m, s, d, blocked) {
+		t.Error("fault-free path missing")
+	}
+	// A full wall across one plane blocks everything crossing it.
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			blocked[m.Index(Coord{X: x, Y: y, Z: 2})] = true
+		}
+	}
+	if MinimalPathExists(m, s, d, blocked) {
+		t.Error("wall should block the path")
+	}
+	if !MinimalPathExists(m, s, Coord{X: 4, Y: 4, Z: 1}, blocked) {
+		t.Error("path below the wall should exist")
+	}
+	// Open one hole in the wall.
+	blocked[m.Index(Coord{X: 3, Y: 3, Z: 2})] = false
+	if !MinimalPathExists(m, s, d, blocked) {
+		t.Error("hole in the wall should admit a path")
+	}
+	if MinimalPathExists(m, s, Coord{X: 1, Y: 1, Z: 4}, blocked) {
+		t.Error("monotone path to (1,1,4) cannot detour to the hole at (3,3,2)")
+	}
+}
+
+func TestComputeMatchesBruteForce3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		m := Mesh{Width: 4 + rng.Intn(6), Height: 4 + rng.Intn(6), Depth: 4 + rng.Intn(6)}
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < 0.1
+		}
+		g := Compute(m, blocked)
+		scan := func(c Coord, d Dir) int {
+			off := d.Offset()
+			for k := 1; ; k++ {
+				n := Coord{X: c.X + k*off.X, Y: c.Y + k*off.Y, Z: c.Z + k*off.Z}
+				if !m.Contains(n) {
+					return Unbounded
+				}
+				if blocked[m.Index(n)] {
+					return k
+				}
+			}
+		}
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if blocked[i] {
+				continue
+			}
+			lvl := g.At(c)
+			for _, d := range Directions() {
+				if got, want := lvl.Dist(d), scan(c, d); got != want {
+					t.Fatalf("trial %d: %v at %v = %d, want %d", trial, d, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSafe3DSoundness is the central 3-D property: whenever the
+// axis-clear condition (or its neighbor extension) holds, a minimal
+// path exists. This empirically validates the generalization the paper
+// leaves as future work.
+func TestSafe3DSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 150; trial++ {
+		m := Mesh{
+			Width:  5 + rng.Intn(9),
+			Height: 5 + rng.Intn(9),
+			Depth:  5 + rng.Intn(9),
+		}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := BuildBlocks(sc)
+		md, err := NewModel(m, bs.BlockedGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 60; pair++ {
+			s := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			d := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			if md.isBlocked(s) || md.isBlocked(d) {
+				continue
+			}
+			if md.Safe(s, d) && !MinimalPathExists(m, s, d, md.Blocked) {
+				t.Fatalf("trial %d: safe source %v -> %v has no minimal path (faults %v)", trial, s, d, faults)
+			}
+			if md.Extension1(s, d) && !MinimalPathExists(m, s, d, md.Blocked) {
+				t.Fatalf("trial %d: ext1 %v -> %v has no minimal path (faults %v)", trial, s, d, faults)
+			}
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	l := Level{E: 3, W: Unbounded, N: 0, S: 1, U: 2, D: 5}
+	if got := l.String(); got != "(3,inf,0,1,2,5)" {
+		t.Errorf("String = %q", got)
+	}
+	if l.Dist(Dir(0)) != 0 {
+		t.Error("invalid Dist wrong")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	m := Mesh{Width: 3, Height: 3, Depth: 3}
+	if _, err := NewModel(m, make([]bool, 5)); err == nil {
+		t.Error("short grid should fail")
+	}
+}
+
+func TestRandomFaults3D(t *testing.T) {
+	m := Mesh{Width: 6, Height: 6, Depth: 6}
+	rng := rand.New(rand.NewSource(2))
+	faults, err := RandomFaults(m, 30, rng, nil)
+	if err != nil || len(faults) != 30 {
+		t.Fatalf("RandomFaults: %v, %d", err, len(faults))
+	}
+	seen := make(map[Coord]bool)
+	for _, f := range faults {
+		if !m.Contains(f) || seen[f] {
+			t.Fatalf("bad fault %v", f)
+		}
+		seen[f] = true
+	}
+	if _, err := RandomFaults(m, -1, rng, nil); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := RandomFaults(m, 5, rng, func(Coord) bool { return true }); err == nil {
+		t.Error("full exclusion should fail")
+	}
+}
+
+func TestOracle3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		m := Mesh{Width: 5 + rng.Intn(6), Height: 5 + rng.Intn(6), Depth: 5 + rng.Intn(6)}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := BuildBlocks(sc).BlockedGrid()
+		for pair := 0; pair < 20; pair++ {
+			s := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			d := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			if blocked[m.Index(s)] || blocked[m.Index(d)] {
+				continue
+			}
+			want := MinimalPathExists(m, s, d, blocked)
+			p, err := Oracle(m, blocked, s, d)
+			if want != (err == nil) {
+				t.Fatalf("trial %d: oracle err=%v, existence=%v for %v->%v", trial, err, want, s, d)
+			}
+			if err != nil {
+				continue
+			}
+			if !p.Minimal() {
+				t.Fatalf("trial %d: oracle path not minimal for %v->%v", trial, s, d)
+			}
+			if err := p.Validate(m, blocked); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if p[0] != s || p[len(p)-1] != d {
+				t.Fatalf("trial %d: endpoints wrong", trial)
+			}
+		}
+	}
+}
+
+func TestPath3Basics(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4, Depth: 4}
+	blocked := make([]bool, m.Size())
+	var empty Path
+	if empty.Minimal() || empty.Hops() != 0 {
+		t.Error("empty path misbehaves")
+	}
+	if err := empty.Validate(m, blocked); err == nil {
+		t.Error("empty path should not validate")
+	}
+	p := Path{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 0}}
+	if !p.Minimal() || p.Hops() != 2 {
+		t.Errorf("path stats wrong: hops=%d", p.Hops())
+	}
+	if err := p.Validate(m, blocked); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	bad := Path{{X: 0, Y: 0, Z: 0}, {X: 2, Y: 0, Z: 0}}
+	if err := bad.Validate(m, blocked); err == nil {
+		t.Error("non-adjacent path should fail")
+	}
+	blocked[m.Index(Coord{X: 1, Y: 0, Z: 0})] = true
+	if err := p.Validate(m, blocked); err == nil {
+		t.Error("blocked path should fail")
+	}
+}
+
+// TestSafe3DSoundnessLong is the heavyweight randomized validation of
+// the 3-D axis-clear condition; skipped with -short.
+func TestSafe3DSoundnessLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized soundness run")
+	}
+	rng := rand.New(rand.NewSource(9191))
+	for trial := 0; trial < 800; trial++ {
+		m := Mesh{
+			Width:  5 + rng.Intn(9),
+			Height: 5 + rng.Intn(9),
+			Depth:  5 + rng.Intn(9),
+		}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := NewModel(m, BuildBlocks(sc).BlockedGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 40; pair++ {
+			s := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			d := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			if md.isBlocked(s) || md.isBlocked(d) {
+				continue
+			}
+			if md.Safe(s, d) && !MinimalPathExists(m, s, d, md.Blocked) {
+				t.Fatalf("trial %d: safe %v->%v without path", trial, s, d)
+			}
+		}
+	}
+}
+
+func TestPivots3Counts(t *testing.T) {
+	region := Box{MinX: 0, MinY: 0, MinZ: 0, MaxX: 63, MaxY: 63, MaxZ: 63}
+	tests := []struct {
+		levels, want int
+	}{
+		{0, 0}, {1, 1}, {2, 9}, {3, 73}, // 1 + 8 + 64
+	}
+	for _, tt := range tests {
+		got := Pivots3(region, tt.levels)
+		if len(got) != tt.want {
+			t.Errorf("levels=%d: %d pivots, want %d", tt.levels, len(got), tt.want)
+		}
+		for _, p := range got {
+			if !region.Contains(p) {
+				t.Errorf("pivot %v outside region", p)
+			}
+		}
+	}
+}
+
+// TestExtension3_3DSoundness: the 3-D pivot condition implies a
+// minimal path, and it dominates the base condition.
+func TestExtension3_3DSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		m := Mesh{Width: 6 + rng.Intn(7), Height: 6 + rng.Intn(7), Depth: 6 + rng.Intn(7)}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := NewModel(m, BuildBlocks(sc).BlockedGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := Box{MinX: 0, MinY: 0, MinZ: 0, MaxX: m.Width - 1, MaxY: m.Height - 1, MaxZ: m.Depth - 1}
+		pivots := Pivots3(region, 2)
+		for pair := 0; pair < 40; pair++ {
+			s := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			d := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			if md.isBlocked(s) || md.isBlocked(d) {
+				continue
+			}
+			if md.Safe(s, d) && !md.Extension3(s, d, pivots) {
+				t.Fatalf("trial %d: ext3 must subsume base at %v->%v", trial, s, d)
+			}
+			if md.Extension3(s, d, pivots) && !MinimalPathExists(m, s, d, md.Blocked) {
+				t.Fatalf("trial %d: ext3 %v->%v without path", trial, s, d)
+			}
+		}
+	}
+}
+
+// TestExtension2_3DSoundness: the 3-D on-axis condition implies a
+// minimal path and dominates the base condition.
+func TestExtension2_3DSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 80; trial++ {
+		m := Mesh{Width: 6 + rng.Intn(7), Height: 6 + rng.Intn(7), Depth: 6 + rng.Intn(7)}
+		faults, err := RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := NewModel(m, BuildBlocks(sc).BlockedGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 40; pair++ {
+			s := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			d := Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height), Z: rng.Intn(m.Depth)}
+			if md.isBlocked(s) || md.isBlocked(d) {
+				continue
+			}
+			if md.Safe(s, d) && !md.Extension2(s, d) {
+				t.Fatalf("trial %d: ext2 must subsume base at %v->%v", trial, s, d)
+			}
+			if md.Extension2(s, d) && !MinimalPathExists(m, s, d, md.Blocked) {
+				t.Fatalf("trial %d: ext2 %v->%v without path", trial, s, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package mesh3
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unbounded is the distance reported when no fault region lies in a
+// direction.
+const Unbounded = math.MaxInt32
+
+// Level is a 3-D extended safety level: the hops to the nearest
+// fault-region node in each of the six directions.
+type Level struct {
+	E, W, N, S, U, D int
+}
+
+// Dist returns the component along direction d.
+func (l Level) Dist(d Dir) int {
+	switch d {
+	case East:
+		return l.E
+	case West:
+		return l.W
+	case North:
+		return l.N
+	case South:
+		return l.S
+	case Up:
+		return l.U
+	case Down:
+		return l.D
+	default:
+		return 0
+	}
+}
+
+// String renders the level as (E,W,N,S,U,D) with "inf" for Unbounded.
+func (l Level) String() string {
+	f := func(v int) string {
+		if v >= Unbounded {
+			return "inf"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	return "(" + f(l.E) + "," + f(l.W) + "," + f(l.N) + "," + f(l.S) + "," + f(l.U) + "," + f(l.D) + ")"
+}
+
+// Grid holds the safety level of every node for one blocked grid.
+type Grid struct {
+	M      Mesh
+	levels []Level
+}
+
+// Compute derives the 6-tuple levels by six linear sweeps.
+func Compute(m Mesh, blocked []bool) *Grid {
+	g := &Grid{M: m, levels: make([]Level, m.Size())}
+	sweep := func(set func(*Level, int), outer1, outer2 int, at func(o1, o2, k int) int, length int, reverse bool) {
+		for a := 0; a < outer1; a++ {
+			for b := 0; b < outer2; b++ {
+				dist := Unbounded
+				if reverse {
+					for k := length - 1; k >= 0; k-- {
+						i := at(a, b, k)
+						if blocked[i] {
+							dist = 0
+						} else if dist < Unbounded {
+							dist++
+						}
+						set(&g.levels[i], dist)
+					}
+				} else {
+					for k := 0; k < length; k++ {
+						i := at(a, b, k)
+						if blocked[i] {
+							dist = 0
+						} else if dist < Unbounded {
+							dist++
+						}
+						set(&g.levels[i], dist)
+					}
+				}
+			}
+		}
+	}
+	atX := func(y, z, x int) int { return (z*m.Height+y)*m.Width + x }
+	atY := func(x, z, y int) int { return (z*m.Height+y)*m.Width + x }
+	atZ := func(x, y, z int) int { return (z*m.Height+y)*m.Width + x }
+
+	sweep(func(l *Level, v int) { l.E = v }, m.Height, m.Depth, atX, m.Width, true)
+	sweep(func(l *Level, v int) { l.W = v }, m.Height, m.Depth, atX, m.Width, false)
+	sweep(func(l *Level, v int) { l.N = v }, m.Width, m.Depth, atY, m.Height, true)
+	sweep(func(l *Level, v int) { l.S = v }, m.Width, m.Depth, atY, m.Height, false)
+	sweep(func(l *Level, v int) { l.U = v }, m.Width, m.Height, atZ, m.Depth, true)
+	sweep(func(l *Level, v int) { l.D = v }, m.Width, m.Height, atZ, m.Depth, false)
+	return g
+}
+
+// At returns the level of node c.
+func (g *Grid) At(c Coord) Level {
+	return g.levels[g.M.Index(c)]
+}
+
+// SafeFor is the 3-D generalization of Definition 3: the three axis
+// sections from s towards d must be clear of fault regions. It is a
+// sufficient condition for the existence of a minimal path (verified
+// against the exact DP in this package's tests).
+func (g *Grid) SafeFor(s, d Coord) bool {
+	lvl := g.At(s)
+	if dx := d.X - s.X; dx > 0 && dx >= lvl.E || dx < 0 && -dx >= lvl.W {
+		return false
+	}
+	if dy := d.Y - s.Y; dy > 0 && dy >= lvl.N || dy < 0 && -dy >= lvl.S {
+		return false
+	}
+	if dz := d.Z - s.Z; dz > 0 && dz >= lvl.U || dz < 0 && -dz >= lvl.D {
+		return false
+	}
+	return true
+}
+
+// Model couples a blocked grid with its levels and provides the
+// conditions.
+type Model struct {
+	M       Mesh
+	Blocked []bool
+	Levels  *Grid
+}
+
+// NewModel computes the safety levels for the blocked grid.
+func NewModel(m Mesh, blocked []bool) (*Model, error) {
+	if len(blocked) != m.Size() {
+		return nil, fmt.Errorf("mesh3: blocked grid has %d entries, mesh needs %d", len(blocked), m.Size())
+	}
+	return &Model{M: m, Blocked: blocked, Levels: Compute(m, blocked)}, nil
+}
+
+func (md *Model) isBlocked(c Coord) bool {
+	return !md.M.Contains(c) || md.Blocked[md.M.Index(c)]
+}
+
+// Safe is the base sufficient safe condition in 3-D.
+func (md *Model) Safe(s, d Coord) bool {
+	return !md.isBlocked(s) && !md.isBlocked(d) && md.Levels.SafeFor(s, d)
+}
+
+// Extension1 is the 3-D analog of Theorem 1a: minimal routing is
+// ensured when the source or one of its preferred neighbors is safe
+// with respect to d.
+func (md *Model) Extension1(s, d Coord) bool {
+	if md.isBlocked(s) || md.isBlocked(d) {
+		return false
+	}
+	if md.Levels.SafeFor(s, d) {
+		return true
+	}
+	for _, dir := range PreferredDirs(s, d) {
+		n := s.Add(dir.Offset())
+		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinimalPathExists is the exact ground truth: a monotone DP over the
+// s-d cuboid avoiding blocked nodes.
+func MinimalPathExists(m Mesh, s, d Coord, blocked []bool) bool {
+	if !m.Contains(s) || !m.Contains(d) {
+		return false
+	}
+	if blocked[m.Index(s)] || blocked[m.Index(d)] {
+		return false
+	}
+	sx, sy, sz := step(d.X-s.X), step(d.Y-s.Y), step(d.Z-s.Z)
+	nx, ny, nz := abs(d.X-s.X)+1, abs(d.Y-s.Y)+1, abs(d.Z-s.Z)+1
+	reach := make([]bool, nx*ny*nz)
+	idx := func(i, j, k int) int { return (k*ny+j)*nx + i }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				c := Coord{X: s.X + sx*i, Y: s.Y + sy*j, Z: s.Z + sz*k}
+				if blocked[m.Index(c)] {
+					continue
+				}
+				if i == 0 && j == 0 && k == 0 {
+					reach[idx(i, j, k)] = true
+					continue
+				}
+				ok := i > 0 && reach[idx(i-1, j, k)] ||
+					j > 0 && reach[idx(i, j-1, k)] ||
+					k > 0 && reach[idx(i, j, k-1)]
+				reach[idx(i, j, k)] = ok
+			}
+		}
+	}
+	return reach[idx(nx-1, ny-1, nz-1)]
+}
+
+// step returns the unit sign of v (1 when v is zero, so degenerate
+// axes still iterate once).
+func step(v int) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Path is the node sequence of a 3-D route, endpoints included.
+type Path []Coord
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Minimal reports whether the path length equals the Manhattan
+// distance between its endpoints.
+func (p Path) Minimal() bool {
+	if len(p) == 0 {
+		return false
+	}
+	return p.Hops() == Distance(p[0], p[len(p)-1])
+}
+
+// Validate checks adjacency and that no blocked node is used.
+func (p Path) Validate(m Mesh, blocked []bool) error {
+	if len(p) == 0 {
+		return fmt.Errorf("mesh3: empty path")
+	}
+	for i, c := range p {
+		if !m.Contains(c) {
+			return fmt.Errorf("mesh3: node %v outside mesh", c)
+		}
+		if blocked[m.Index(c)] {
+			return fmt.Errorf("mesh3: node %v is blocked", c)
+		}
+		if i > 0 && Distance(p[i-1], c) != 1 {
+			return fmt.Errorf("mesh3: nodes %v and %v not adjacent", p[i-1], c)
+		}
+	}
+	return nil
+}
+
+// Oracle routes with full global information in 3-D: it walks
+// preferred directions guided by a reverse reachability DP, finding a
+// minimal path exactly when one exists.
+func Oracle(m Mesh, blocked []bool, s, d Coord) (Path, error) {
+	if !m.Contains(s) || !m.Contains(d) {
+		return nil, fmt.Errorf("mesh3: endpoints %v -> %v outside mesh", s, d)
+	}
+	if !MinimalPathExists(m, s, d, blocked) {
+		return nil, fmt.Errorf("mesh3: no minimal path %v -> %v", s, d)
+	}
+	path := make(Path, 0, Distance(s, d)+1)
+	path = append(path, s)
+	u := s
+	for u != d {
+		advanced := false
+		for _, dir := range PreferredDirs(u, d) {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && !blocked[m.Index(n)] && MinimalPathExists(m, n, d, blocked) {
+				u = n
+				path = append(path, u)
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return nil, fmt.Errorf("mesh3: stuck at %v heading for %v", u, d)
+		}
+	}
+	return path, nil
+}
+
+// Pivots3 places pivot nodes by recursive 8-way (octant) partition of
+// a cuboid region, the 3-D analog of extension 3's submesh partition:
+// level 1 contributes the region center; the center splits the region
+// into eight octants, each recursively contributing the next level.
+func Pivots3(region Box, levels int) []Coord {
+	var pivots []Coord
+	var recurse func(b Box, depth int)
+	recurse = func(b Box, depth int) {
+		if depth <= 0 || b.MinX > b.MaxX || b.MinY > b.MaxY || b.MinZ > b.MaxZ {
+			return
+		}
+		p := Coord{
+			X: (b.MinX + b.MaxX) / 2,
+			Y: (b.MinY + b.MaxY) / 2,
+			Z: (b.MinZ + b.MaxZ) / 2,
+		}
+		pivots = append(pivots, p)
+		if depth == 1 {
+			return
+		}
+		xs := [2][2]int{{b.MinX, p.X}, {p.X + 1, b.MaxX}}
+		ys := [2][2]int{{b.MinY, p.Y}, {p.Y + 1, b.MaxY}}
+		zs := [2][2]int{{b.MinZ, p.Z}, {p.Z + 1, b.MaxZ}}
+		for _, xr := range xs {
+			for _, yr := range ys {
+				for _, zr := range zs {
+					recurse(Box{
+						MinX: xr[0], MaxX: xr[1],
+						MinY: yr[0], MaxY: yr[1],
+						MinZ: zr[0], MaxZ: zr[1],
+					}, depth-1)
+				}
+			}
+		}
+	}
+	recurse(region, levels)
+	return pivots
+}
+
+// Extension3 is the 3-D analog of Theorem 1c: minimal routing is
+// ensured when a pivot inside the s-d cuboid has both legs axis-clear.
+func (md *Model) Extension3(s, d Coord, pivots []Coord) bool {
+	if md.isBlocked(s) || md.isBlocked(d) {
+		return false
+	}
+	if md.Levels.SafeFor(s, d) {
+		return true
+	}
+	box := Box{
+		MinX: min(s.X, d.X), MaxX: max(s.X, d.X),
+		MinY: min(s.Y, d.Y), MaxY: max(s.Y, d.Y),
+		MinZ: min(s.Z, d.Z), MaxZ: max(s.Z, d.Z),
+	}
+	for _, p := range pivots {
+		if !box.Contains(p) || md.isBlocked(p) {
+			continue
+		}
+		if md.Levels.SafeFor(s, p) && md.Levels.SafeFor(p, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Extension2 is the 3-D analog of Theorem 1b: when an axis section
+// from s towards d is clear of fault regions, the source consults the
+// safety levels of the nodes along that section; a node safe with
+// respect to d yields a two-phase minimal route.
+func (md *Model) Extension2(s, d Coord) bool {
+	if md.isBlocked(s) || md.isBlocked(d) {
+		return false
+	}
+	if md.Levels.SafeFor(s, d) {
+		return true
+	}
+	lvl := md.Levels.At(s)
+	axes := [3]struct {
+		delta int
+		dir   Dir
+	}{
+		{d.X - s.X, East},
+		{d.Y - s.Y, North},
+		{d.Z - s.Z, Up},
+	}
+	for _, ax := range axes {
+		delta, dir := ax.delta, ax.dir
+		if delta < 0 {
+			delta = -delta
+			dir = dir.Opposite()
+		}
+		if delta == 0 || delta >= lvl.Dist(dir) {
+			continue // no section, or section not clear
+		}
+		off := dir.Offset()
+		for k := 1; k <= delta; k++ {
+			p := Coord{X: s.X + k*off.X, Y: s.Y + k*off.Y, Z: s.Z + k*off.Z}
+			if md.Levels.SafeFor(p, d) {
+				return true
+			}
+		}
+	}
+	return false
+}

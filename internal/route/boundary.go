@@ -1,0 +1,235 @@
+package route
+
+import (
+	"extmesh/internal/mesh"
+)
+
+// LineKind identifies the boundary line a node belongs to, in the
+// normalized orientation where the destination lies northeast of the
+// source. L1 is the horizontal line below an obstacle (carrying the
+// rule "stay below the line until east of the obstacle" for east-shadow
+// destinations); L3 is the vertical line west of an obstacle (carrying
+// the matching rule for north-shadow destinations).
+type LineKind uint8
+
+// Boundary line kinds relevant to northeast routing.
+const (
+	LineL1 LineKind = iota + 1
+	LineL3
+)
+
+// String names the line kind.
+func (k LineKind) String() string {
+	switch k {
+	case LineL1:
+		return "L1"
+	case LineL3:
+		return "L3"
+	}
+	return "?"
+}
+
+// lineRef is one piece of boundary information stored at a node: the
+// obstacle run the line belongs to, the line kind, and the next node of
+// the line toward the obstacle (the direction a constrained packet
+// follows; -1 when the line ends here).
+type lineRef struct {
+	run  int32
+	kind LineKind
+	succ int32
+}
+
+// boundarySet holds, for one mesh orientation, the boundary-line
+// information of every node: exactly the limited information the
+// paper's distribution protocol installs along the lines, including the
+// merged (turned/joined) sections around intervening fault regions.
+//
+// Obstacle geometry is kept as maximal runs of blocked nodes rather
+// than whole rectangles: vertical runs carry L1 lines and horizontal
+// runs carry L3 lines. For the rectangular blocks of the block fault
+// model the union of per-run rules is equivalent to the per-block rules
+// of the paper; for the rectilinear-monotone MCCs the runs follow the
+// staircase contour exactly, where a bounding rectangle would
+// over-constrain the packet.
+type boundarySet struct {
+	m     mesh.Mesh
+	hRuns []mesh.Rect // maximal horizontal runs (height 1)
+	vRuns []mesh.Rect // maximal vertical runs (width 1)
+	info  map[int32][]lineRef
+}
+
+// buildBoundaries derives the runs of the blocked grid and lays out the
+// merged L1/L3 polylines.
+func buildBoundaries(m mesh.Mesh, blocked []bool) *boundarySet {
+	bs := &boundarySet{m: m, info: make(map[int32][]lineRef)}
+	bs.hRuns = HorizontalRuns(m, blocked)
+	bs.vRuns = VerticalRuns(m, blocked)
+	for i, r := range bs.vRuns {
+		bs.walkL1(int32(i), r, blocked)
+	}
+	for i, r := range bs.hRuns {
+		bs.walkL3(int32(i), r, blocked)
+	}
+	return bs
+}
+
+// HorizontalRuns returns the maximal horizontal runs of blocked nodes
+// (height-1 rectangles). They carry the L3 boundary lines.
+func HorizontalRuns(m mesh.Mesh, blocked []bool) []mesh.Rect {
+	var runs []mesh.Rect
+	for y := 0; y < m.Height; y++ {
+		x := 0
+		for x < m.Width {
+			if !blocked[y*m.Width+x] {
+				x++
+				continue
+			}
+			start := x
+			for x < m.Width && blocked[y*m.Width+x] {
+				x++
+			}
+			runs = append(runs, mesh.Rect{MinX: start, MinY: y, MaxX: x - 1, MaxY: y})
+		}
+	}
+	return runs
+}
+
+// VerticalRuns returns the maximal vertical runs of blocked nodes
+// (width-1 rectangles). They carry the L1 boundary lines.
+func VerticalRuns(m mesh.Mesh, blocked []bool) []mesh.Rect {
+	var runs []mesh.Rect
+	for x := 0; x < m.Width; x++ {
+		y := 0
+		for y < m.Height {
+			if !blocked[y*m.Width+x] {
+				y++
+				continue
+			}
+			start := y
+			for y < m.Height && blocked[y*m.Width+x] {
+				y++
+			}
+			runs = append(runs, mesh.Rect{MinX: x, MinY: start, MaxX: x, MaxY: y - 1})
+		}
+	}
+	return runs
+}
+
+// add records that node c carries info for the line (run, kind) whose
+// next node toward the obstacle is succ.
+func (bs *boundarySet) add(c mesh.Coord, run int32, kind LineKind, succ mesh.Coord) {
+	i := int32(bs.m.Index(c))
+	s := int32(-1)
+	if bs.m.Contains(succ) {
+		s = int32(bs.m.Index(succ))
+	}
+	bs.info[i] = append(bs.info[i], lineRef{run: run, kind: kind, succ: s})
+}
+
+// at returns the boundary info stored at c.
+func (bs *boundarySet) at(c mesh.Coord) []lineRef {
+	return bs.info[int32(bs.m.Index(c))]
+}
+
+// rect resolves a lineRef to its obstacle run rectangle.
+func (bs *boundarySet) rect(ref lineRef) mesh.Rect {
+	if ref.kind == LineL1 {
+		return bs.vRuns[ref.run]
+	}
+	return bs.hRuns[ref.run]
+}
+
+// walkL1 lays out the L1 line of the vertical run r: the node just
+// below the run, then the contour extending west. When the line meets
+// another fault region it turns south along its east side down to that
+// region's own L1 level and continues west, joining the other line
+// (the paper's turn/join rule), which the contour walk performs one
+// step at a time: go west when the node is free, otherwise slide one
+// node south and retry.
+func (bs *boundarySet) walkL1(run int32, r mesh.Rect, blocked []bool) {
+	cur := mesh.Coord{X: r.MinX, Y: r.MinY - 1}
+	if !bs.m.Contains(cur) || blocked[bs.m.Index(cur)] {
+		return // run touches the south edge or sits in a pocket
+	}
+	first := mesh.Coord{X: r.MinX + 1, Y: r.MinY - 1}
+	if !bs.m.Contains(first) || blocked[bs.m.Index(first)] {
+		first = mesh.Coord{X: -1, Y: -1}
+	}
+	bs.add(cur, run, LineL1, first)
+	for {
+		west := mesh.Coord{X: cur.X - 1, Y: cur.Y}
+		if west.X < 0 {
+			return
+		}
+		if !blocked[bs.m.Index(west)] {
+			bs.add(west, run, LineL1, cur)
+			cur = west
+			continue
+		}
+		south := mesh.Coord{X: cur.X, Y: cur.Y - 1}
+		if south.Y < 0 || blocked[bs.m.Index(south)] {
+			return // mesh edge or pocket: the line ends
+		}
+		bs.add(south, run, LineL1, cur)
+		cur = south
+	}
+}
+
+// walkL3 lays out the L3 line of the horizontal run r: the node just
+// west of the run, then the contour extending south, turning west
+// around intervening fault regions: go south when the node is free,
+// otherwise slide one node west and retry.
+func (bs *boundarySet) walkL3(run int32, r mesh.Rect, blocked []bool) {
+	cur := mesh.Coord{X: r.MinX - 1, Y: r.MinY}
+	if !bs.m.Contains(cur) || blocked[bs.m.Index(cur)] {
+		return // run touches the west edge or sits in a pocket
+	}
+	first := mesh.Coord{X: r.MinX - 1, Y: r.MinY + 1}
+	if !bs.m.Contains(first) || blocked[bs.m.Index(first)] {
+		first = mesh.Coord{X: -1, Y: -1}
+	}
+	bs.add(cur, run, LineL3, first)
+	for {
+		south := mesh.Coord{X: cur.X, Y: cur.Y - 1}
+		if south.Y < 0 {
+			return
+		}
+		if !blocked[bs.m.Index(south)] {
+			bs.add(south, run, LineL3, cur)
+			cur = south
+			continue
+		}
+		west := mesh.Coord{X: cur.X - 1, Y: cur.Y}
+		if west.X < 0 || blocked[bs.m.Index(west)] {
+			return
+		}
+		bs.add(west, run, LineL3, cur)
+		cur = west
+	}
+}
+
+// LineTag is the exported form of one piece of boundary information
+// stored at a node: the obstacle run the line belongs to and the line
+// kind. It is used to cross-check the distributed information
+// dissemination against this package's direct computation.
+type LineTag struct {
+	Obstacle mesh.Rect
+	Kind     LineKind
+}
+
+// Lines computes the complete boundary-line information of the grid in
+// the native (unreflected) orientation: for every node, the tags of the
+// L1/L3 lines passing through it.
+func Lines(m mesh.Mesh, blocked []bool) map[mesh.Coord][]LineTag {
+	bs := buildBoundaries(m, blocked)
+	out := make(map[mesh.Coord][]LineTag, len(bs.info))
+	for i, refs := range bs.info {
+		c := m.CoordOf(int(i))
+		tags := make([]LineTag, len(refs))
+		for j, ref := range refs {
+			tags[j] = LineTag{Obstacle: bs.rect(ref), Kind: ref.kind}
+		}
+		out[c] = tags
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Package route implements the paper's routing machinery: the
+// faulty-block-information model (boundary lines L1..L4 with the
+// turn/join rule when a line meets another block), Wu's protocol for
+// minimal routing using only node-local boundary information, the
+// two-phase routing used by the extensions, and a full-information
+// oracle router that serves as the ground-truth baseline.
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"extmesh/internal/mesh"
+)
+
+// Path is the sequence of nodes a packet visits, including both
+// endpoints.
+type Path []mesh.Coord
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Minimal reports whether the path length equals the Manhattan
+// distance between its endpoints.
+func (p Path) Minimal() bool {
+	if len(p) == 0 {
+		return false
+	}
+	return p.Hops() == mesh.Distance(p[0], p[len(p)-1])
+}
+
+// Validate checks that the path is non-empty, stays inside the mesh,
+// advances one hop at a time and never enters a blocked node.
+func (p Path) Validate(m mesh.Mesh, blocked []bool) error {
+	if len(p) == 0 {
+		return errors.New("route: empty path")
+	}
+	for i, c := range p {
+		if !m.Contains(c) {
+			return fmt.Errorf("route: node %v at position %d outside mesh", c, i)
+		}
+		if blocked[m.Index(c)] {
+			return fmt.Errorf("route: node %v at position %d is blocked", c, i)
+		}
+		if i > 0 && mesh.Distance(p[i-1], c) != 1 {
+			return fmt.Errorf("route: nodes %v and %v at positions %d-%d not adjacent", p[i-1], c, i-1, i)
+		}
+	}
+	return nil
+}
+
+// StuckError reports a routing failure: the protocol had no usable
+// move at node At while heading for To.
+type StuckError struct {
+	At mesh.Coord
+	To mesh.Coord
+}
+
+// Error implements the error interface.
+func (e *StuckError) Error() string {
+	return fmt.Sprintf("route: stuck at %v heading for %v", e.At, e.To)
+}

@@ -1,0 +1,359 @@
+package route
+
+import (
+	"fmt"
+	"sync"
+
+	"extmesh/internal/mesh"
+	"extmesh/internal/wang"
+)
+
+// Router routes packets with Wu's protocol: adaptive minimal routing
+// that consults only the boundary-line information stored at the
+// current node. One Router serves all four quadrants by lazily building
+// a reflected view per orientation.
+type Router struct {
+	m       mesh.Mesh
+	blocked []bool
+
+	views [2][2]*view
+	once  [2][2]sync.Once
+}
+
+// view is the router's state for one mesh orientation: coordinates are
+// reflected so the destination always lies (weakly) northeast of the
+// source, which is the orientation the L1/L3 rules are stated in.
+type view struct {
+	m       mesh.Mesh
+	flipX   bool
+	flipY   bool
+	blocked []bool
+	bounds  *boundarySet
+}
+
+// NewRouter builds a router over the fault-region grid (faulty blocks
+// or MCCs). blocked is indexed by mesh.Index and is not copied.
+func NewRouter(m mesh.Mesh, blocked []bool) *Router {
+	return &Router{m: m, blocked: blocked}
+}
+
+// Route routes a packet from s to d with Wu's protocol and returns the
+// path taken. The route is minimal whenever the protocol succeeds; a
+// *StuckError is returned when the limited information was insufficient
+// (which Theorem 1 rules out for safe sources).
+func (r *Router) Route(s, d mesh.Coord) (Path, error) {
+	if !r.m.Contains(s) || !r.m.Contains(d) {
+		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, r.m)
+	}
+	if r.blocked[r.m.Index(s)] || r.blocked[r.m.Index(d)] {
+		return nil, fmt.Errorf("route: endpoints %v -> %v inside a fault region", s, d)
+	}
+	v := r.viewFor(s, d)
+	np, err := v.route(v.to(s), v.to(d))
+	if err != nil {
+		return nil, err
+	}
+	path := make(Path, len(np))
+	for i, c := range np {
+		path[i] = v.from(c)
+	}
+	return path, nil
+}
+
+// NextHop returns the single next hop Wu's protocol takes at u heading
+// for d. The protocol is memoryless — the decision depends only on the
+// current node, the destination and the boundary information stored at
+// u — so per-hop use (e.g. by a network simulator) and Route produce
+// identical trajectories.
+func (r *Router) NextHop(u, d mesh.Coord) (mesh.Coord, error) {
+	if !r.m.Contains(u) || !r.m.Contains(d) {
+		return mesh.Coord{}, fmt.Errorf("route: nodes %v -> %v outside mesh %v", u, d, r.m)
+	}
+	if u == d {
+		return d, nil
+	}
+	v := r.viewFor(u, d)
+	n, err := v.step(v.to(u), v.to(d))
+	if err != nil {
+		return mesh.Coord{}, err
+	}
+	return v.from(n), nil
+}
+
+// RouteVia routes through the given waypoints in order (the two-phase
+// routing of the paper's extensions), concatenating one Wu-protocol
+// route per leg.
+func (r *Router) RouteVia(s, d mesh.Coord, via ...mesh.Coord) (Path, error) {
+	stops := make([]mesh.Coord, 0, len(via)+2)
+	stops = append(stops, s)
+	stops = append(stops, via...)
+	stops = append(stops, d)
+	var path Path
+	for i := 0; i+1 < len(stops); i++ {
+		leg, err := r.Route(stops[i], stops[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("leg %v -> %v: %w", stops[i], stops[i+1], err)
+		}
+		if i == 0 {
+			path = append(path, leg...)
+		} else {
+			path = append(path, leg[1:]...)
+		}
+	}
+	return path, nil
+}
+
+// viewFor returns the (lazily built) view whose orientation puts d
+// weakly northeast of s.
+func (r *Router) viewFor(s, d mesh.Coord) *view {
+	fx, fy := 0, 0
+	if d.X < s.X {
+		fx = 1
+	}
+	if d.Y < s.Y {
+		fy = 1
+	}
+	r.once[fx][fy].Do(func() {
+		r.views[fx][fy] = r.buildView(fx == 1, fy == 1)
+	})
+	return r.views[fx][fy]
+}
+
+// buildView reflects the blocked grid into the requested orientation
+// and computes the boundary lines there.
+func (r *Router) buildView(flipX, flipY bool) *view {
+	v := &view{m: r.m, flipX: flipX, flipY: flipY}
+	v.blocked = make([]bool, len(r.blocked))
+	for i, b := range r.blocked {
+		if b {
+			v.blocked[v.m.Index(v.to(r.m.CoordOf(i)))] = true
+		}
+	}
+	v.bounds = buildBoundaries(v.m, v.blocked)
+	return v
+}
+
+// to maps a mesh coordinate into view coordinates.
+func (v *view) to(c mesh.Coord) mesh.Coord {
+	if v.flipX {
+		c.X = v.m.Width - 1 - c.X
+	}
+	if v.flipY {
+		c.Y = v.m.Height - 1 - c.Y
+	}
+	return c
+}
+
+// from maps a view coordinate back to mesh coordinates; the reflection
+// is an involution.
+func (v *view) from(c mesh.Coord) mesh.Coord {
+	return v.to(c)
+}
+
+// route runs Wu's protocol in view space, where d is weakly northeast
+// of s: at every hop pick a preferred direction (east or north), except
+// that boundary-line rules force the packet to stay on a line while the
+// destination lies in the corresponding shadow region of the block.
+func (v *view) route(s, d mesh.Coord) ([]mesh.Coord, error) {
+	path := make([]mesh.Coord, 0, mesh.Distance(s, d)+1)
+	path = append(path, s)
+	u := s
+	for u != d {
+		next, err := v.step(u, d)
+		if err != nil {
+			return nil, err
+		}
+		u = next
+		path = append(path, u)
+	}
+	return path, nil
+}
+
+// step picks the next hop at u.
+//
+// Critical-path rules: a node on (a merged section of) an obstacle's L1
+// whose destination lies in the obstacle's east shadow (region R6) must
+// stay on L1 until its intersection with L4; a node on an obstacle's L3
+// whose destination lies in the north shadow (region R4) must stay on
+// L3 until its intersection with L2. The line successor stored with the
+// boundary info encodes the merged (turned/joined) sections, so
+// following it carries the packet around intervening fault regions.
+//
+// Several lines can fire at the same node; their advice composes as
+// follows. The next hop must (a) be the successor of at least one fired
+// line — stepping off every fired line can strand the packet in a
+// pocket the merged sections detour around — and (b) respect the shadow
+// constraint of every fired line: while a destination sits in an
+// obstacle's east shadow the packet may not climb into the obstacle's
+// row range before passing its column range (and symmetrically for
+// north shadows). Among hops satisfying both, the adaptive preference
+// (larger remaining offset first) decides.
+func (v *view) step(u, d mesh.Coord) (mesh.Coord, error) {
+	type constraint struct {
+		rect mesh.Rect
+		kind LineKind
+	}
+	var (
+		fired     []constraint
+		succEast  bool
+		succNorth bool
+	)
+	for _, ref := range v.bounds.at(u) {
+		b := v.bounds.rect(ref)
+		var fire bool
+		switch ref.kind {
+		case LineL1:
+			fire = d.X > b.MaxX && d.Y >= b.MinY && d.Y <= b.MaxY
+		case LineL3:
+			fire = d.Y > b.MaxY && d.X >= b.MinX && d.X <= b.MaxX
+		}
+		if !fire {
+			continue
+		}
+		fired = append(fired, constraint{rect: b, kind: ref.kind})
+		if ref.succ >= 0 {
+			sc := v.m.CoordOf(int(ref.succ))
+			if sc.Y == u.Y {
+				succEast = true
+			} else {
+				succNorth = true
+			}
+		}
+	}
+
+	east := mesh.Coord{X: u.X + 1, Y: u.Y}
+	north := mesh.Coord{X: u.X, Y: u.Y + 1}
+	usable := func(n mesh.Coord) bool {
+		if n.X > d.X || n.Y > d.Y || !v.m.Contains(n) || v.blocked[v.m.Index(n)] {
+			return false
+		}
+		for _, c := range fired {
+			switch c.kind {
+			case LineL1:
+				if n.Y >= c.rect.MinY && n.X <= c.rect.MaxX {
+					return false
+				}
+			case LineL3:
+				if n.X >= c.rect.MinX && n.Y <= c.rect.MaxY {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	okEast := usable(east)
+	okNorth := usable(north)
+	if len(fired) > 0 {
+		// Constrained: only fired-line successors are candidates.
+		okEast = okEast && succEast
+		okNorth = okNorth && succNorth
+	}
+
+	// Adaptive preference: larger remaining offset first.
+	if d.Y-u.Y > d.X-u.X {
+		if okNorth {
+			return north, nil
+		}
+		if okEast {
+			return east, nil
+		}
+	} else {
+		if okEast {
+			return east, nil
+		}
+		if okNorth {
+			return north, nil
+		}
+	}
+	return mesh.Coord{}, &StuckError{At: u, To: d}
+}
+
+// Oracle routes with full global information: it walks preferred
+// directions guided by the exact reachability DP, so it finds a minimal
+// path whenever one exists. It is the baseline the limited-information
+// protocol is compared against.
+func Oracle(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
+	if !m.Contains(s) || !m.Contains(d) {
+		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
+	}
+	reach := wang.ReachFrom(m, d, blocked)
+	if !reach.CanReach(s) {
+		return nil, &StuckError{At: s, To: d}
+	}
+	path := make(Path, 0, mesh.Distance(s, d)+1)
+	path = append(path, s)
+	u := s
+	for u != d {
+		advanced := false
+		for _, dir := range mesh.PreferredDirs(u, d) {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && !blocked[m.Index(n)] && reach.CanReach(n) {
+				u = n
+				path = append(path, u)
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return nil, &StuckError{At: u, To: d} // unreachable given the reach check
+		}
+	}
+	return path, nil
+}
+
+// DFSRoute is the header-information baseline the paper contrasts its
+// information model against (Chen and Shin's depth-first-search
+// routing): the packet header carries the set of visited nodes, moves
+// are tried preferred-first, and the packet backtracks out of dead
+// ends. It delivers whenever source and destination are connected at
+// all, but the route need not be minimal; the returned path includes
+// backtracking hops, as the physical packet would travel them.
+func DFSRoute(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
+	if !m.Contains(s) || !m.Contains(d) {
+		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
+	}
+	if blocked[m.Index(s)] || blocked[m.Index(d)] {
+		return nil, fmt.Errorf("route: endpoints %v -> %v inside a fault region", s, d)
+	}
+	visited := make([]bool, m.Size())
+	visited[m.Index(s)] = true
+	path := Path{s}
+	stack := []mesh.Coord{s}
+
+	candidates := func(u mesh.Coord) []mesh.Coord {
+		// Preferred directions first, then spares, skipping blocked and
+		// visited nodes.
+		var out []mesh.Coord
+		for _, dir := range append(mesh.PreferredDirs(u, d), mesh.SpareDirs(u, d)...) {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && !blocked[m.Index(n)] && !visited[m.Index(n)] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		if u == d {
+			return path, nil
+		}
+		moved := false
+		for _, n := range candidates(u) {
+			visited[m.Index(n)] = true
+			stack = append(stack, n)
+			path = append(path, n)
+			moved = true
+			break
+		}
+		if !moved {
+			// Backtrack: physically retrace to the previous node.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				path = append(path, stack[len(stack)-1])
+			}
+		}
+	}
+	return nil, &StuckError{At: s, To: d}
+}

@@ -1,0 +1,614 @@
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/core"
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/wang"
+)
+
+func routerFrom(t *testing.T, m mesh.Mesh, faults []mesh.Coord) (*Router, *fault.BlockSet) {
+	t.Helper()
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	bs := fault.BuildBlocks(sc)
+	return NewRouter(m, bs.BlockedGrid()), bs
+}
+
+func TestRouteFaultFree(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	r, _ := routerFrom(t, m, nil)
+	pairs := []struct{ s, d mesh.Coord }{
+		{mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 9, Y: 9}},
+		{mesh.Coord{X: 9, Y: 9}, mesh.Coord{X: 0, Y: 0}},
+		{mesh.Coord{X: 0, Y: 9}, mesh.Coord{X: 9, Y: 0}},
+		{mesh.Coord{X: 9, Y: 0}, mesh.Coord{X: 0, Y: 9}},
+		{mesh.Coord{X: 3, Y: 3}, mesh.Coord{X: 3, Y: 3}},
+		{mesh.Coord{X: 0, Y: 4}, mesh.Coord{X: 9, Y: 4}},
+		{mesh.Coord{X: 4, Y: 9}, mesh.Coord{X: 4, Y: 0}},
+	}
+	for _, p := range pairs {
+		path, err := r.Route(p.s, p.d)
+		if err != nil {
+			t.Fatalf("Route(%v,%v): %v", p.s, p.d, err)
+		}
+		if !path.Minimal() {
+			t.Fatalf("Route(%v,%v) not minimal: %v", p.s, p.d, path)
+		}
+		if path[0] != p.s || path[len(path)-1] != p.d {
+			t.Fatalf("Route(%v,%v) endpoints wrong: %v", p.s, p.d, path)
+		}
+		if err := path.Validate(m, make([]bool, m.Size())); err != nil {
+			t.Fatalf("Route(%v,%v) invalid: %v", p.s, p.d, err)
+		}
+	}
+}
+
+func TestRouteAroundSingleBlock(t *testing.T) {
+	// Paper example block [2:6, 3:6]; source at the origin is safe for
+	// every first-quadrant destination, so the protocol must always
+	// produce a minimal path.
+	m := mesh.Mesh{Width: 12, Height: 12}
+	faults := []mesh.Coord{
+		{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 4}, {X: 5, Y: 4},
+		{X: 6, Y: 4}, {X: 2, Y: 5}, {X: 5, Y: 5}, {X: 3, Y: 6},
+	}
+	r, bs := routerFrom(t, m, faults)
+	s := mesh.Coord{X: 0, Y: 0}
+	blocked := bs.BlockedGrid()
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			d := mesh.Coord{X: x, Y: y}
+			if bs.InBlock(d) {
+				continue
+			}
+			path, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("Route(%v,%v): %v", s, d, err)
+			}
+			if !path.Minimal() {
+				t.Fatalf("Route(%v,%v) length %d, want %d", s, d, path.Hops(), mesh.Distance(s, d))
+			}
+			if err := path.Validate(m, blocked); err != nil {
+				t.Fatalf("Route(%v,%v): %v", s, d, err)
+			}
+		}
+	}
+}
+
+func TestRouteEastShadow(t *testing.T) {
+	// Destination in the east shadow (region R6) of the block: the
+	// packet must stay below the block; a naive greedy router that
+	// climbs early would get trapped against the block's west side.
+	m := mesh.Mesh{Width: 14, Height: 14}
+	var faults []mesh.Coord
+	for x := 4; x <= 8; x++ {
+		for y := 5; y <= 9; y++ {
+			faults = append(faults, mesh.Coord{X: x, Y: y})
+		}
+	}
+	r, bs := routerFrom(t, m, faults)
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 11, Y: 7} // east shadow: y inside block rows
+
+	path, err := r.Route(s, d)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if !path.Minimal() {
+		t.Fatalf("path not minimal: %d hops for distance %d", path.Hops(), mesh.Distance(s, d))
+	}
+	if err := path.Validate(m, bs.BlockedGrid()); err != nil {
+		t.Fatal(err)
+	}
+	// The path must pass below the block (y <= 4 while 4 <= x <= 8).
+	for _, c := range path {
+		if c.X >= 4 && c.X <= 8 && c.Y > 4 {
+			t.Fatalf("path climbed into the blocked band at %v: %v", c, path)
+		}
+	}
+}
+
+func TestRouteNorthShadow(t *testing.T) {
+	// Mirror case: destination in the north shadow (region R4).
+	m := mesh.Mesh{Width: 14, Height: 14}
+	var faults []mesh.Coord
+	for x := 5; x <= 9; x++ {
+		for y := 4; y <= 8; y++ {
+			faults = append(faults, mesh.Coord{X: x, Y: y})
+		}
+	}
+	r, bs := routerFrom(t, m, faults)
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 7, Y: 11}
+
+	path, err := r.Route(s, d)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if !path.Minimal() {
+		t.Fatalf("path not minimal: %d hops for distance %d", path.Hops(), mesh.Distance(s, d))
+	}
+	if err := path.Validate(m, bs.BlockedGrid()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range path {
+		if c.Y >= 4 && c.Y <= 8 && c.X > 4 {
+			t.Fatalf("path drifted into the blocked band at %v: %v", c, path)
+		}
+	}
+}
+
+func TestRouteMergedBoundary(t *testing.T) {
+	// Two blocks arranged so that L1 of the eastern block turns around
+	// the western block (Figure 3(b)): the packet must already stay low
+	// on the joined section west of the first block.
+	m := mesh.Mesh{Width: 20, Height: 20}
+	var faults []mesh.Coord
+	// Western block [5:7, 2:8].
+	for x := 5; x <= 7; x++ {
+		for y := 2; y <= 8; y++ {
+			faults = append(faults, mesh.Coord{X: x, Y: y})
+		}
+	}
+	// Eastern block [10:13, 6:10]; its L1 row (y=5) is blocked by the
+	// western block, so L1 turns south around it.
+	for x := 10; x <= 13; x++ {
+		for y := 6; y <= 10; y++ {
+			faults = append(faults, mesh.Coord{X: x, Y: y})
+		}
+	}
+	r, bs := routerFrom(t, m, faults)
+	s := mesh.Coord{X: 0, Y: 1}  // on the joined L1 section (row 1 = MinY-1 of western block)
+	d := mesh.Coord{X: 16, Y: 8} // east shadow of the eastern block
+
+	if !wang.MinimalPathExists(m, s, d, bs.BlockedGrid()) {
+		t.Fatal("scenario broken: no minimal path at all")
+	}
+	path, err := r.Route(s, d)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if !path.Minimal() {
+		t.Fatalf("path not minimal: %d hops for distance %d: %v", path.Hops(), mesh.Distance(s, d), path)
+	}
+	if err := path.Validate(m, bs.BlockedGrid()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteEndpointErrors(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	r, _ := routerFrom(t, m, []mesh.Coord{{X: 4, Y: 4}})
+	if _, err := r.Route(mesh.Coord{X: -1, Y: 0}, mesh.Coord{X: 1, Y: 1}); err == nil {
+		t.Error("out-of-mesh source should fail")
+	}
+	if _, err := r.Route(mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 4, Y: 4}); err == nil {
+		t.Error("blocked destination should fail")
+	}
+	if _, err := r.Route(mesh.Coord{X: 4, Y: 4}, mesh.Coord{X: 0, Y: 0}); err == nil {
+		t.Error("blocked source should fail")
+	}
+}
+
+func TestRouteVia(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	r, bs := routerFrom(t, m, []mesh.Coord{
+		{X: 4, Y: 2}, {X: 5, Y: 2}, {X: 6, Y: 2},
+		{X: 4, Y: 3}, {X: 5, Y: 3}, {X: 6, Y: 3},
+	})
+	s := mesh.Coord{X: 0, Y: 2}
+	d := mesh.Coord{X: 8, Y: 10}
+	w := mesh.Coord{X: 0, Y: 6}
+	path, err := r.RouteVia(s, d, w)
+	if err != nil {
+		t.Fatalf("RouteVia: %v", err)
+	}
+	if path.Hops() != mesh.Distance(s, w)+mesh.Distance(w, d) {
+		t.Fatalf("two-phase length %d, want %d", path.Hops(), mesh.Distance(s, w)+mesh.Distance(w, d))
+	}
+	if err := path.Validate(m, bs.BlockedGrid()); err != nil {
+		t.Fatal(err)
+	}
+	// The waypoint must be on the path exactly once.
+	seen := 0
+	for _, c := range path {
+		if c == w {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("waypoint appears %d times", seen)
+	}
+
+	// A failing leg propagates the error.
+	if _, err := r.RouteVia(s, d, mesh.Coord{X: 4, Y: 2}); err == nil {
+		t.Error("blocked waypoint should fail")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	_, bs := routerFrom(t, m, []mesh.Coord{
+		{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 4}, {X: 5, Y: 4},
+		{X: 6, Y: 4}, {X: 2, Y: 5}, {X: 5, Y: 5}, {X: 3, Y: 6},
+	})
+	blocked := bs.BlockedGrid()
+	s := mesh.Coord{X: 0, Y: 0}
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			d := mesh.Coord{X: x, Y: y}
+			want := wang.MinimalPathExists(m, s, d, blocked)
+			path, err := Oracle(m, blocked, s, d)
+			if want != (err == nil) {
+				t.Fatalf("Oracle(%v->%v) err=%v, existence=%v", s, d, err, want)
+			}
+			if err != nil {
+				var stuck *StuckError
+				if !errors.As(err, &stuck) {
+					t.Fatalf("Oracle error type: %v", err)
+				}
+				continue
+			}
+			if !path.Minimal() {
+				t.Fatalf("Oracle path not minimal for %v->%v", s, d)
+			}
+			if err := path.Validate(m, blocked); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRouterSoundness is the end-to-end guarantee of the paper: for
+// random fault configurations under both fault models, whenever the
+// base condition or an extension ensures a path, Wu's protocol (with
+// two-phase routing through the witness waypoints) delivers a path of
+// exactly the promised length.
+func TestRouterSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		w := 12 + rng.Intn(20)
+		h := 12 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/8), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+
+		type modelCase struct {
+			name    string
+			blocked []bool
+			quadOne bool // restrict pairs to quadrants I/III
+		}
+		mcc := fault.BuildMCC(sc, fault.TypeOne)
+		cases := []modelCase{
+			{name: "blocks", blocked: bs.BlockedGrid()},
+			{name: "mcc", blocked: mcc.BlockedGrid(), quadOne: true},
+		}
+		for _, mc := range cases {
+			md, err := core.NewModel(m, mc.blocked)
+			if err != nil {
+				t.Fatalf("NewModel: %v", err)
+			}
+			r := NewRouter(m, mc.blocked)
+			for pair := 0; pair < 40; pair++ {
+				s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				if mc.quadOne && (d.X-s.X)*(d.Y-s.Y) < 0 {
+					s.Y, d.Y = d.Y, s.Y
+				}
+				if mc.blocked[m.Index(s)] || mc.blocked[m.Index(d)] {
+					continue
+				}
+
+				verify := func(name string, a core.Assurance) {
+					t.Helper()
+					if a.Verdict == core.Unknown {
+						return
+					}
+					path, err := r.RouteVia(s, d, a.Via...)
+					if err != nil {
+						t.Fatalf("trial %d %s %s: mesh %v route %v->%v via %v: %v\nfaults: %v",
+							trial, mc.name, name, m, s, d, a.Via, err, faults)
+					}
+					want := mesh.Distance(s, d)
+					if a.Verdict == core.SubMinimal {
+						want += 2
+					}
+					if path.Hops() != want {
+						t.Fatalf("trial %d %s %s: %v->%v length %d, want %d",
+							trial, mc.name, name, s, d, path.Hops(), want)
+					}
+					if err := path.Validate(m, mc.blocked); err != nil {
+						t.Fatalf("trial %d %s %s: %v", trial, mc.name, name, err)
+					}
+				}
+
+				if md.Safe(s, d) {
+					verify("base", core.Assurance{Verdict: core.Minimal})
+				}
+				verify("ext1", md.Extension1(s, d))
+				verify("ext2", md.Extension2(s, d, 1))
+			}
+		}
+	}
+}
+
+func TestLineKindString(t *testing.T) {
+	if LineL1.String() != "L1" || LineL3.String() != "L3" || LineKind(7).String() != "?" {
+		t.Error("LineKind names wrong")
+	}
+}
+
+// TestNextHopMatchesRoute verifies the protocol is memoryless: walking
+// NextHop one hop at a time reproduces Route's trajectory exactly.
+func TestNextHopMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		w := 10 + rng.Intn(15)
+		h := 10 + rng.Intn(15)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/8), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+		r := NewRouter(m, bs.BlockedGrid())
+		for pair := 0; pair < 30; pair++ {
+			s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			if bs.InBlock(s) || bs.InBlock(d) {
+				continue
+			}
+			path, perr := r.Route(s, d)
+			u := s
+			var walked Path
+			walked = append(walked, u)
+			var werr error
+			for u != d {
+				next, err := r.NextHop(u, d)
+				if err != nil {
+					werr = err
+					break
+				}
+				u = next
+				walked = append(walked, u)
+			}
+			if (perr == nil) != (werr == nil) {
+				t.Fatalf("trial %d: Route err=%v, NextHop walk err=%v for %v->%v", trial, perr, werr, s, d)
+			}
+			if perr != nil {
+				continue
+			}
+			if len(path) != len(walked) {
+				t.Fatalf("trial %d: trajectory lengths differ for %v->%v:\n%v\n%v", trial, s, d, path, walked)
+			}
+			for i := range path {
+				if path[i] != walked[i] {
+					t.Fatalf("trial %d: trajectories diverge at %d for %v->%v", trial, i, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopEdgeCases(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 6}
+	r := NewRouter(m, make([]bool, m.Size()))
+	c := mesh.Coord{X: 2, Y: 2}
+	if got, err := r.NextHop(c, c); err != nil || got != c {
+		t.Errorf("NextHop to self = %v, %v", got, err)
+	}
+	if _, err := r.NextHop(mesh.Coord{X: -1, Y: 0}, c); err == nil {
+		t.Error("out-of-mesh NextHop should fail")
+	}
+}
+
+// TestRoutePathsAlwaysValid checks the universal contract: for ANY
+// endpoint pair outside fault regions, Route either fails or returns a
+// valid minimal path (the protocol never delivers a detour or an
+// illegal hop).
+func TestRoutePathsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		w := 8 + rng.Intn(20)
+		h := 8 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/5), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+		blocked := bs.BlockedGrid()
+		r := NewRouter(m, blocked)
+		for pair := 0; pair < 50; pair++ {
+			s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			if bs.InBlock(s) || bs.InBlock(d) {
+				continue
+			}
+			path, err := r.Route(s, d)
+			if err != nil {
+				continue // allowed: no guarantee was claimed
+			}
+			if !path.Minimal() {
+				t.Fatalf("trial %d: non-minimal path %v->%v: %d hops", trial, s, d, path.Hops())
+			}
+			if err := path.Validate(m, blocked); err != nil {
+				t.Fatalf("trial %d: invalid path %v->%v: %v", trial, s, d, err)
+			}
+			if path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("trial %d: endpoints wrong", trial)
+			}
+		}
+	}
+}
+
+// TestDFSRoute verifies the header-information baseline: it delivers
+// exactly when the endpoints are connected (any path, not only
+// minimal), every hop is legal, and the walk never exceeds the trivial
+// bound of two hops per mesh node.
+func TestDFSRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		w := 8 + rng.Intn(15)
+		h := 8 + rng.Intn(15)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/4), rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := fault.BuildBlocks(sc)
+		blocked := bs.BlockedGrid()
+
+		// Connectivity ground truth by BFS.
+		connected := func(s, d mesh.Coord) bool {
+			if blocked[m.Index(s)] || blocked[m.Index(d)] {
+				return false
+			}
+			seen := make([]bool, m.Size())
+			seen[m.Index(s)] = true
+			queue := []mesh.Coord{s}
+			var nbuf [4]mesh.Coord
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				if u == d {
+					return true
+				}
+				for _, n := range m.Neighbors(nbuf[:0], u) {
+					ni := m.Index(n)
+					if !seen[ni] && !blocked[ni] {
+						seen[ni] = true
+						queue = append(queue, n)
+					}
+				}
+			}
+			return false
+		}
+
+		for pair := 0; pair < 25; pair++ {
+			s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			if blocked[m.Index(s)] || blocked[m.Index(d)] {
+				continue
+			}
+			path, err := DFSRoute(m, blocked, s, d)
+			if connected(s, d) != (err == nil) {
+				t.Fatalf("trial %d: DFS err=%v but connected=%v for %v->%v", trial, err, connected(s, d), s, d)
+			}
+			if err != nil {
+				continue
+			}
+			if err := path.Validate(m, blocked); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("trial %d: endpoints wrong", trial)
+			}
+			if path.Hops() > 2*m.Size() {
+				t.Fatalf("trial %d: DFS walk of %d hops exceeds bound", trial, path.Hops())
+			}
+			if path.Hops() < mesh.Distance(s, d) {
+				t.Fatalf("trial %d: impossible path length", trial)
+			}
+		}
+	}
+}
+
+func TestDFSRouteErrors(t *testing.T) {
+	m := mesh.Mesh{Width: 5, Height: 5}
+	blocked := make([]bool, m.Size())
+	blocked[m.Index(mesh.Coord{X: 2, Y: 2})] = true
+	if _, err := DFSRoute(m, blocked, mesh.Coord{X: -1, Y: 0}, mesh.Coord{X: 1, Y: 1}); err == nil {
+		t.Error("outside endpoint should fail")
+	}
+	if _, err := DFSRoute(m, blocked, mesh.Coord{X: 2, Y: 2}, mesh.Coord{X: 0, Y: 0}); err == nil {
+		t.Error("blocked source should fail")
+	}
+	p, err := DFSRoute(m, blocked, mesh.Coord{X: 1, Y: 1}, mesh.Coord{X: 1, Y: 1})
+	if err != nil || p.Hops() != 0 {
+		t.Errorf("self route = %v, %v", p, err)
+	}
+}
+
+// TestRouterSoundnessLong is the heavyweight randomized soundness run
+// (hundreds of configurations across both models and all quadrants);
+// skipped with -short.
+func TestRouterSoundnessLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized soundness run")
+	}
+	rng := rand.New(rand.NewSource(5151))
+	for trial := 0; trial < 400; trial++ {
+		w := 12 + rng.Intn(20)
+		h := 12 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/8), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+		mcc := fault.BuildMCC(sc, fault.TypeOne)
+		for gi, blocked := range [][]bool{bs.BlockedGrid(), mcc.BlockedGrid()} {
+			md, err := core.NewModel(m, blocked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := NewRouter(m, blocked)
+			for pair := 0; pair < 25; pair++ {
+				s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				if gi == 1 && (d.X-s.X)*(d.Y-s.Y) < 0 {
+					s.Y, d.Y = d.Y, s.Y
+				}
+				if blocked[m.Index(s)] || blocked[m.Index(d)] {
+					continue
+				}
+				for _, a := range []core.Assurance{md.Extension1(s, d), md.Extension2(s, d, 1)} {
+					if a.Verdict == core.Unknown {
+						continue
+					}
+					p, err := r.RouteVia(s, d, a.Via...)
+					if err != nil {
+						t.Fatalf("trial %d grid %d: %v->%v via %v: %v", trial, gi, s, d, a.Via, err)
+					}
+					want := mesh.Distance(s, d)
+					if a.Verdict == core.SubMinimal {
+						want += 2
+					}
+					if p.Hops() != want {
+						t.Fatalf("trial %d grid %d: wrong length", trial, gi)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package safety
+
+import (
+	"math/rand"
+
+	"extmesh/internal/mesh"
+)
+
+// AffectedRows returns the number of rows that intersect at least one
+// blocked node. Nodes on affected rows (and only those) need to collect
+// extended-safety-level information in the paper's extension 2.
+func AffectedRows(m mesh.Mesh, blocked []bool) int {
+	n := 0
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			if blocked[y*m.Width+x] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// AffectedCols returns the number of columns that intersect at least
+// one blocked node.
+func AffectedCols(m mesh.Mesh, blocked []bool) int {
+	n := 0
+	for x := 0; x < m.Width; x++ {
+		for y := 0; y < m.Height; y++ {
+			if blocked[y*m.Width+x] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Rep is one representative safety level collected under extension 2:
+// the level of a node within the source's clear region along an axis.
+type Rep struct {
+	C mesh.Coord
+	L Level
+}
+
+// Scorer ranks candidate representatives within a segment; the node
+// with the highest score is selected.
+type Scorer func(Level) int
+
+// ScoreMin is the paper's default representative choice: "the one with
+// the highest safety level", read as the scalar level (the minimum of
+// the four components).
+func ScoreMin(l Level) int {
+	return l.Min()
+}
+
+// ScoreDir scores by a single directional component; selecting up to
+// four per-direction representatives per region is the paper's second
+// variation of extension 2.
+func ScoreDir(d mesh.Dir) Scorer {
+	return func(l Level) int { return l.Dist(d) }
+}
+
+// Reps returns the representatives node s collects along direction
+// `along` under extension 2 with the given segment size. The clear
+// region extends dist(along)-1 hops (capped at the mesh edge); it is
+// partitioned into consecutive segments of segSize nodes and from each
+// segment the node ranked best by score is selected. segSize <= 0
+// means one segment covering the whole region (the paper's "max"
+// variant); segSize == 1 yields every node of the region.
+func Reps(g *Grid, s mesh.Coord, along mesh.Dir, score Scorer, segSize int) []Rep {
+	limit := g.At(s).Dist(along) - 1 // farthest clear hop count
+	off := along.Offset()
+	// Cap at the mesh edge.
+	maxHops := 0
+	switch along {
+	case mesh.East:
+		maxHops = g.M.Width - 1 - s.X
+	case mesh.West:
+		maxHops = s.X
+	case mesh.North:
+		maxHops = g.M.Height - 1 - s.Y
+	case mesh.South:
+		maxHops = s.Y
+	}
+	if limit > maxHops {
+		limit = maxHops
+	}
+	if limit < 1 {
+		return nil
+	}
+	if segSize <= 0 || segSize > limit {
+		segSize = limit
+	}
+	var reps []Rep
+	for start := 1; start <= limit; start += segSize {
+		end := start + segSize - 1
+		if end > limit {
+			end = limit
+		}
+		best := Rep{}
+		bestScore := -1
+		for k := start; k <= end; k++ {
+			c := mesh.Coord{X: s.X + k*off.X, Y: s.Y + k*off.Y}
+			lvl := g.At(c)
+			if sc := score(lvl); sc > bestScore {
+				bestScore = sc
+				best = Rep{C: c, L: lvl}
+			}
+		}
+		reps = append(reps, best)
+	}
+	return reps
+}
+
+// PivotMode selects how extension 3 places its pivot nodes.
+type PivotMode uint8
+
+// Pivot placement modes. CenterPivots reproduces the deterministic
+// recursive-center selection of Figure 11; RandomPivots reproduces the
+// random per-submesh selection used for the strategies of Figure 12;
+// LatinPivots implements the paper's further variation in which pivots
+// are evenly distributed with no two on the same row or column.
+const (
+	CenterPivots PivotMode = iota + 1
+	RandomPivots
+	LatinPivots
+)
+
+// Pivots returns the pivot nodes produced by `levels` rounds of the
+// recursive 4-way partition of region described for extension 3. Level
+// 1 contributes one pivot (the region center, or a uniformly random
+// node for RandomPivots); the pivot splits the region into four
+// submeshes, each recursively contributing the next level. The total
+// number of pivots for k levels is (4^k - 1) / 3 on regions large
+// enough to keep splitting. rng is only consulted for RandomPivots.
+func Pivots(region mesh.Rect, levels int, mode PivotMode, rng *rand.Rand) []mesh.Coord {
+	if mode == LatinPivots {
+		return latinPivots(region, levels)
+	}
+	var pivots []mesh.Coord
+	var recurse func(r mesh.Rect, depth int)
+	recurse = func(r mesh.Rect, depth int) {
+		if depth <= 0 || !r.Valid() {
+			return
+		}
+		var p mesh.Coord
+		if mode == RandomPivots && rng != nil {
+			p = mesh.Coord{
+				X: r.MinX + rng.Intn(r.Width()),
+				Y: r.MinY + rng.Intn(r.Height()),
+			}
+		} else {
+			p = mesh.Coord{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+		}
+		pivots = append(pivots, p)
+		if depth == 1 {
+			return
+		}
+		subs := [4]mesh.Rect{
+			{MinX: r.MinX, MinY: r.MinY, MaxX: p.X, MaxY: p.Y},
+			{MinX: p.X + 1, MinY: r.MinY, MaxX: r.MaxX, MaxY: p.Y},
+			{MinX: r.MinX, MinY: p.Y + 1, MaxX: p.X, MaxY: r.MaxY},
+			{MinX: p.X + 1, MinY: p.Y + 1, MaxX: r.MaxX, MaxY: r.MaxY},
+		}
+		for _, sub := range subs {
+			recurse(sub, depth-1)
+		}
+	}
+	recurse(region, levels)
+	return pivots
+}
+
+// latinPivots places the same number of pivots as `levels` levels of
+// partition would ((4^levels - 1) / 3, capped at the region's smaller
+// side), evenly spread with pairwise distinct rows and columns: pivot
+// i takes the i-th column slot and the (i*p mod count)-th row slot,
+// where p is coprime with the count (a golden-ratio multiplier), which
+// scatters the pivots across the region instead of lining them up on
+// the diagonal.
+func latinPivots(region mesh.Rect, levels int) []mesh.Coord {
+	if levels <= 0 || !region.Valid() {
+		return nil
+	}
+	count := 0
+	for i, pow := 0, 1; i < levels; i, pow = i+1, pow*4 {
+		count += pow
+	}
+	if side := min(region.Width(), region.Height()); count > side {
+		count = side
+	}
+	if count <= 0 {
+		return nil
+	}
+	p := int(float64(count)*0.618) | 1 // odd golden-ratio step
+	for gcd(p, count) != 1 {
+		p += 2
+	}
+	pivots := make([]mesh.Coord, 0, count)
+	for i := 0; i < count; i++ {
+		col := region.MinX + (2*i+1)*region.Width()/(2*count)
+		rowSlot := (i * p) % count
+		row := region.MinY + (2*rowSlot+1)*region.Height()/(2*count)
+		pivots = append(pivots, mesh.Coord{X: col, Y: row})
+	}
+	return pivots
+}
+
+// gcd returns the greatest common divisor of two positive integers.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// DistanceTransform returns, for every node, the L1 distance to the
+// nearest blocked node (Unbounded if the grid has none): the naive
+// scalar "safety radius" that predates the extended safety level. A
+// source whose radius exceeds D(s,d) trivially guarantees a minimal
+// path (the whole s-d rectangle is clear), but the comparison
+// experiment shows how much weaker this is than the 4-tuple.
+func DistanceTransform(m mesh.Mesh, blocked []bool) []int32 {
+	dist := make([]int32, m.Size())
+	var queue []mesh.Coord
+	for i := range dist {
+		if blocked[i] {
+			dist[i] = 0
+			queue = append(queue, m.CoordOf(i))
+		} else {
+			dist[i] = Unbounded
+		}
+	}
+	var nbuf [4]mesh.Coord
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		dc := dist[m.Index(c)]
+		for _, n := range m.Neighbors(nbuf[:0], c) {
+			ni := m.Index(n)
+			if dist[ni] > dc+1 {
+				dist[ni] = dc + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}

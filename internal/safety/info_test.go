@@ -1,0 +1,251 @@
+package safety
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func TestAffectedRowsCols(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 5}
+	blocked := make([]bool, m.Size())
+	set := func(x, y int) { blocked[m.Index(mesh.Coord{X: x, Y: y})] = true }
+	set(1, 1)
+	set(2, 1) // same row as above
+	set(4, 3)
+
+	if got := AffectedRows(m, blocked); got != 2 {
+		t.Errorf("AffectedRows = %d, want 2", got)
+	}
+	if got := AffectedCols(m, blocked); got != 3 {
+		t.Errorf("AffectedCols = %d, want 3", got)
+	}
+
+	empty := make([]bool, m.Size())
+	if AffectedRows(m, empty) != 0 || AffectedCols(m, empty) != 0 {
+		t.Error("empty grid should have no affected rows/cols")
+	}
+}
+
+func TestRepsSegmentation(t *testing.T) {
+	// Row 0 of a 12x3 mesh is clear until a block at x=9; the region
+	// east of the source (0,0) is x=1..8 (8 nodes). Column blocks at
+	// (2,1) and (5,1) shape the N components so representatives are
+	// distinguishable: N(x)=1 for x=2,5, Unbounded otherwise.
+	m := mesh.Mesh{Width: 12, Height: 3}
+	blocked := make([]bool, m.Size())
+	blocked[m.Index(mesh.Coord{X: 9, Y: 0})] = true
+	blocked[m.Index(mesh.Coord{X: 2, Y: 1})] = true
+	blocked[m.Index(mesh.Coord{X: 5, Y: 1})] = true
+	g := Compute(m, blocked)
+	s := mesh.Coord{X: 0, Y: 0}
+
+	if got := g.At(s).E; got != 9 {
+		t.Fatalf("E at source = %d, want 9", got)
+	}
+
+	// Segment size 1: every node of the region is a representative.
+	reps := Reps(g, s, mesh.East, ScoreDir(mesh.North), 1)
+	if len(reps) != 8 {
+		t.Fatalf("seg=1: %d reps, want 8", len(reps))
+	}
+	for i, r := range reps {
+		want := mesh.Coord{X: i + 1, Y: 0}
+		if r.C != want {
+			t.Errorf("rep %d at %v, want %v", i, r.C, want)
+		}
+	}
+
+	// Segment size 4: two segments [1..4] and [5..8]; the first picks a
+	// node with N=Unbounded (not x=2), the second avoids x=5.
+	reps = Reps(g, s, mesh.East, ScoreDir(mesh.North), 4)
+	if len(reps) != 2 {
+		t.Fatalf("seg=4: %d reps, want 2", len(reps))
+	}
+	for _, r := range reps {
+		if r.L.N != Unbounded {
+			t.Errorf("representative %v has N=%d, expected a clear-column node", r.C, r.L.N)
+		}
+	}
+
+	// Max segment (segSize <= 0): single representative.
+	reps = Reps(g, s, mesh.East, ScoreDir(mesh.North), 0)
+	if len(reps) != 1 {
+		t.Fatalf("seg=max: %d reps, want 1", len(reps))
+	}
+
+	// Oversized segment behaves like max.
+	reps = Reps(g, s, mesh.East, ScoreDir(mesh.North), 100)
+	if len(reps) != 1 {
+		t.Fatalf("seg=100: %d reps, want 1", len(reps))
+	}
+}
+
+func TestRepsEdgeCases(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 6}
+	blocked := make([]bool, m.Size())
+	blocked[m.Index(mesh.Coord{X: 1, Y: 0})] = true
+	g := Compute(m, blocked)
+
+	// E = 1 at (0,0): no clear region east.
+	if reps := Reps(g, mesh.Coord{X: 0, Y: 0}, mesh.East, ScoreDir(mesh.North), 1); reps != nil {
+		t.Errorf("no-region reps = %v, want nil", reps)
+	}
+	// West of (0,0) is the mesh edge: no region.
+	if reps := Reps(g, mesh.Coord{X: 0, Y: 0}, mesh.West, ScoreDir(mesh.North), 1); reps != nil {
+		t.Errorf("edge reps = %v, want nil", reps)
+	}
+	// Clear row: region capped by the mesh edge, not Unbounded.
+	reps := Reps(g, mesh.Coord{X: 0, Y: 5}, mesh.East, ScoreDir(mesh.North), 1)
+	if len(reps) != 5 {
+		t.Errorf("clear-row reps = %d, want 5", len(reps))
+	}
+	// North and South along a column work symmetrically.
+	reps = Reps(g, mesh.Coord{X: 3, Y: 0}, mesh.North, ScoreDir(mesh.East), 2)
+	if len(reps) != 3 { // region 1..5, segments {1,2},{3,4},{5}
+		t.Errorf("north reps = %d, want 3", len(reps))
+	}
+	reps = Reps(g, mesh.Coord{X: 3, Y: 5}, mesh.South, ScoreDir(mesh.East), 5)
+	if len(reps) != 1 {
+		t.Errorf("south reps = %d, want 1", len(reps))
+	}
+}
+
+func TestPivotCounts(t *testing.T) {
+	region := mesh.Rect{MinX: 0, MinY: 0, MaxX: 99, MaxY: 99}
+	tests := []struct {
+		levels int
+		want   int
+	}{
+		{0, 0}, {1, 1}, {2, 5}, {3, 21}, {4, 85},
+	}
+	for _, tt := range tests {
+		got := Pivots(region, tt.levels, CenterPivots, nil)
+		if len(got) != tt.want {
+			t.Errorf("levels=%d: %d pivots, want %d", tt.levels, len(got), tt.want)
+		}
+		for _, p := range got {
+			if !region.Contains(p) {
+				t.Errorf("levels=%d: pivot %v outside region", tt.levels, p)
+			}
+		}
+	}
+}
+
+func TestPivotCenterDeterministic(t *testing.T) {
+	region := mesh.Rect{MinX: 0, MinY: 0, MaxX: 99, MaxY: 99}
+	a := Pivots(region, 3, CenterPivots, nil)
+	b := Pivots(region, 3, CenterPivots, nil)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic pivot count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic pivots at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Level-1 pivot is the center.
+	if a[0] != (mesh.Coord{X: 49, Y: 49}) {
+		t.Errorf("first pivot = %v, want (49,49)", a[0])
+	}
+}
+
+func TestPivotRandomInRegion(t *testing.T) {
+	region := mesh.Rect{MinX: 10, MinY: 20, MaxX: 29, MaxY: 49}
+	rng := rand.New(rand.NewSource(4))
+	pivots := Pivots(region, 3, RandomPivots, rng)
+	if len(pivots) != 21 {
+		t.Fatalf("%d pivots, want 21", len(pivots))
+	}
+	for _, p := range pivots {
+		if !region.Contains(p) {
+			t.Errorf("pivot %v outside region %v", p, region)
+		}
+	}
+}
+
+func TestPivotTinyRegion(t *testing.T) {
+	// A 1x1 region cannot be subdivided: deeper levels degrade
+	// gracefully instead of looping forever.
+	region := mesh.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}
+	pivots := Pivots(region, 3, CenterPivots, nil)
+	for _, p := range pivots {
+		if p != (mesh.Coord{X: 5, Y: 5}) {
+			t.Errorf("pivot %v outside 1x1 region", p)
+		}
+	}
+	if len(pivots) == 0 {
+		t.Error("no pivots for 1x1 region")
+	}
+}
+
+func TestLatinPivots(t *testing.T) {
+	region := mesh.Rect{MinX: 10, MinY: 20, MaxX: 109, MaxY: 139}
+	for _, levels := range []int{1, 2, 3} {
+		pivots := Pivots(region, levels, LatinPivots, nil)
+		wantCount := 0
+		for i, pow := 0, 1; i < levels; i, pow = i+1, pow*4 {
+			wantCount += pow
+		}
+		if len(pivots) != wantCount {
+			t.Fatalf("levels=%d: %d pivots, want %d", levels, len(pivots), wantCount)
+		}
+		rows := make(map[int]bool, len(pivots))
+		cols := make(map[int]bool, len(pivots))
+		for _, p := range pivots {
+			if !region.Contains(p) {
+				t.Fatalf("levels=%d: pivot %v outside region", levels, p)
+			}
+			if rows[p.Y] {
+				t.Fatalf("levels=%d: duplicate row %d", levels, p.Y)
+			}
+			if cols[p.X] {
+				t.Fatalf("levels=%d: duplicate column %d", levels, p.X)
+			}
+			rows[p.Y] = true
+			cols[p.X] = true
+		}
+	}
+	// Capped at the smaller side for tiny regions.
+	tiny := mesh.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 50}
+	pv := Pivots(tiny, 3, LatinPivots, nil)
+	if len(pv) != 5 {
+		t.Errorf("tiny region: %d pivots, want 5 (capped)", len(pv))
+	}
+	if got := Pivots(mesh.Rect{MinX: 2, MaxX: 1, MinY: 0, MaxY: 0}, 2, LatinPivots, nil); got != nil {
+		t.Error("invalid region should yield no pivots")
+	}
+	if got := Pivots(tiny, 0, LatinPivots, nil); got != nil {
+		t.Error("zero levels should yield no pivots")
+	}
+}
+
+func TestDistanceTransform(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 5}
+	blocked := make([]bool, m.Size())
+	blocked[m.Index(mesh.Coord{X: 2, Y: 2})] = true
+	dist := DistanceTransform(m, blocked)
+
+	tests := []struct {
+		c    mesh.Coord
+		want int32
+	}{
+		{mesh.Coord{X: 2, Y: 2}, 0},
+		{mesh.Coord{X: 3, Y: 2}, 1},
+		{mesh.Coord{X: 0, Y: 0}, 4},
+		{mesh.Coord{X: 5, Y: 4}, 5},
+	}
+	for _, tt := range tests {
+		if got := dist[m.Index(tt.c)]; got != tt.want {
+			t.Errorf("dist[%v] = %d, want %d", tt.c, got, tt.want)
+		}
+	}
+
+	empty := DistanceTransform(m, make([]bool, m.Size()))
+	for i, d := range empty {
+		if d != Unbounded {
+			t.Fatalf("fault-free transform at %v = %d", m.CoordOf(i), d)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package safety implements the paper's extended safety levels: the
+// 4-tuple (E, S, W, N) of distances from a node to the closest fault
+// region in each direction, plus the derived information models used by
+// the extended sufficient conditions (regions, segments and pivots).
+package safety
+
+import (
+	"fmt"
+	"math"
+
+	"extmesh/internal/mesh"
+)
+
+// Unbounded is the distance reported when no fault region lies in a
+// direction (the paper's infinity in the default level (∞,∞,∞,∞)).
+const Unbounded = math.MaxInt32
+
+// Level is the extended safety level of one node: the number of hops to
+// the nearest fault-region node towards East, South, West and North.
+// A value of 1 means the adjacent node in that direction is blocked;
+// Unbounded means the row/column is clear to the mesh edge.
+type Level struct {
+	E int
+	S int
+	W int
+	N int
+}
+
+// String renders the level as (E,S,W,N) with "inf" for Unbounded.
+func (l Level) String() string {
+	f := func(v int) string {
+		if v >= Unbounded {
+			return "inf"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	return "(" + f(l.E) + "," + f(l.S) + "," + f(l.W) + "," + f(l.N) + ")"
+}
+
+// Min returns the smallest of the four components: the scalar "safety
+// level" of the node (its distance to the nearest fault region in any
+// direction).
+func (l Level) Min() int {
+	m := l.E
+	if l.S < m {
+		m = l.S
+	}
+	if l.W < m {
+		m = l.W
+	}
+	if l.N < m {
+		m = l.N
+	}
+	return m
+}
+
+// Dist returns the component of the level along direction d.
+func (l Level) Dist(d mesh.Dir) int {
+	switch d {
+	case mesh.East:
+		return l.E
+	case mesh.South:
+		return l.S
+	case mesh.West:
+		return l.W
+	case mesh.North:
+		return l.N
+	default:
+		return 0
+	}
+}
+
+// Grid holds the extended safety level of every node of a mesh for one
+// blocked set (faulty blocks or MCCs of one type).
+type Grid struct {
+	M      mesh.Mesh
+	levels []Level
+}
+
+// Compute derives the safety levels of every node by four linear
+// sweeps over the blocked grid (indexed by mesh.Index). Nodes inside
+// the blocked set get a zero distance in every direction; routing never
+// consults them.
+func Compute(m mesh.Mesh, blocked []bool) *Grid {
+	g := &Grid{M: m, levels: make([]Level, m.Size())}
+
+	// East/West sweeps per row.
+	for y := 0; y < m.Height; y++ {
+		dist := Unbounded
+		for x := m.Width - 1; x >= 0; x-- { // East: scan right-to-left
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].E = dist
+		}
+		dist = Unbounded
+		for x := 0; x < m.Width; x++ { // West: scan left-to-right
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].W = dist
+		}
+	}
+	// North/South sweeps per column.
+	for x := 0; x < m.Width; x++ {
+		dist := Unbounded
+		for y := m.Height - 1; y >= 0; y-- { // North: scan top-to-bottom
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].N = dist
+		}
+		dist = Unbounded
+		for y := 0; y < m.Height; y++ { // South: scan bottom-to-top
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].S = dist
+		}
+	}
+	return g
+}
+
+// At returns the safety level of node c.
+func (g *Grid) At(c mesh.Coord) Level {
+	return g.levels[g.M.Index(c)]
+}
+
+// SafeFor implements Definition 3 generalized to any quadrant: node s
+// is safe with respect to destination d when the sections of its row
+// and column towards d are clear of fault regions, i.e. when
+// |xd-xs| < dist(horizontal dir) and |yd-ys| < dist(vertical dir).
+// Destinations sharing a row or column only need the one relevant
+// section clear.
+func (g *Grid) SafeFor(s, d mesh.Coord) bool {
+	lvl := g.At(s)
+	dx := d.X - s.X
+	dy := d.Y - s.Y
+	switch {
+	case dx > 0 && dx >= lvl.E:
+		return false
+	case dx < 0 && -dx >= lvl.W:
+		return false
+	}
+	switch {
+	case dy > 0 && dy >= lvl.N:
+		return false
+	case dy < 0 && -dy >= lvl.S:
+		return false
+	}
+	return true
+}
+
+// Update recomputes the levels of the given rows and columns against
+// the (updated) blocked grid. It is the incremental counterpart of
+// Compute: when blocked nodes are added, only their rows and columns
+// change, because E/W components depend solely on the node's row and
+// N/S components solely on its column.
+func (g *Grid) Update(blocked []bool, rows, cols []int) {
+	m := g.M
+	for _, y := range rows {
+		if y < 0 || y >= m.Height {
+			continue
+		}
+		dist := Unbounded
+		for x := m.Width - 1; x >= 0; x-- {
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].E = dist
+		}
+		dist = Unbounded
+		for x := 0; x < m.Width; x++ {
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].W = dist
+		}
+	}
+	for _, x := range cols {
+		if x < 0 || x >= m.Width {
+			continue
+		}
+		dist := Unbounded
+		for y := m.Height - 1; y >= 0; y-- {
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].N = dist
+		}
+		dist = Unbounded
+		for y := 0; y < m.Height; y++ {
+			i := y*m.Width + x
+			if blocked[i] {
+				dist = 0
+			} else if dist < Unbounded {
+				dist++
+			}
+			g.levels[i].S = dist
+		}
+	}
+}

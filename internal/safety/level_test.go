@@ -1,0 +1,222 @@
+package safety
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+func blockedFrom(t *testing.T, m mesh.Mesh, faults []mesh.Coord) []bool {
+	t.Helper()
+	s, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	return fault.BuildBlocks(s).BlockedGrid()
+}
+
+func TestComputeNoFaults(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 6}
+	g := Compute(m, make([]bool, m.Size()))
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			lvl := g.At(mesh.Coord{X: x, Y: y})
+			if lvl.E != Unbounded || lvl.S != Unbounded || lvl.W != Unbounded || lvl.N != Unbounded {
+				t.Fatalf("level at (%d,%d) = %v, want all Unbounded", x, y, lvl)
+			}
+		}
+	}
+}
+
+func TestComputeSingleBlock(t *testing.T) {
+	// One faulty node at (3,3) of a 7x7 mesh.
+	m := mesh.Mesh{Width: 7, Height: 7}
+	blocked := blockedFrom(t, m, []mesh.Coord{{X: 3, Y: 3}})
+	g := Compute(m, blocked)
+
+	tests := []struct {
+		c    mesh.Coord
+		want Level
+	}{
+		{mesh.Coord{X: 0, Y: 3}, Level{E: 3, S: Unbounded, W: Unbounded, N: Unbounded}},
+		{mesh.Coord{X: 6, Y: 3}, Level{E: Unbounded, S: Unbounded, W: 3, N: Unbounded}},
+		{mesh.Coord{X: 3, Y: 0}, Level{E: Unbounded, S: Unbounded, W: Unbounded, N: 3}},
+		{mesh.Coord{X: 3, Y: 6}, Level{E: Unbounded, S: 3, W: Unbounded, N: Unbounded}},
+		{mesh.Coord{X: 2, Y: 3}, Level{E: 1, S: Unbounded, W: Unbounded, N: Unbounded}},
+		{mesh.Coord{X: 0, Y: 0}, Level{E: Unbounded, S: Unbounded, W: Unbounded, N: Unbounded}},
+	}
+	for _, tt := range tests {
+		if got := g.At(tt.c); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+	// Blocked node reports zero distances.
+	if got := g.At(mesh.Coord{X: 3, Y: 3}); got.E != 0 || got.N != 0 || got.W != 0 || got.S != 0 {
+		t.Errorf("blocked node level = %v, want zeros", got)
+	}
+}
+
+// TestComputeMatchesBruteForce cross-checks the sweep implementation
+// against a per-node linear scan on random fault patterns.
+func TestComputeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		w := 5 + rng.Intn(20)
+		h := 5 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < 0.15
+		}
+		g := Compute(m, blocked)
+
+		scan := func(c mesh.Coord, d mesh.Dir) int {
+			off := d.Offset()
+			for k := 1; ; k++ {
+				n := mesh.Coord{X: c.X + k*off.X, Y: c.Y + k*off.Y}
+				if !m.Contains(n) {
+					return Unbounded
+				}
+				if blocked[m.Index(n)] {
+					return k
+				}
+			}
+		}
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if blocked[i] {
+				continue
+			}
+			lvl := g.At(c)
+			for _, d := range mesh.Directions() {
+				if got, want := lvl.Dist(d), scan(c, d); got != want {
+					t.Fatalf("trial %d: dist %v at %v = %d, want %d", trial, d, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSafeFor(t *testing.T) {
+	// Block [2:6,3:6] from the paper example in a 12x12 mesh.
+	m := mesh.Mesh{Width: 12, Height: 12}
+	faults := []mesh.Coord{
+		{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 4}, {X: 5, Y: 4},
+		{X: 6, Y: 4}, {X: 2, Y: 5}, {X: 5, Y: 5}, {X: 3, Y: 6},
+	}
+	g := Compute(m, blockedFrom(t, m, faults))
+
+	cd := func(x, y int) mesh.Coord { return mesh.Coord{X: x, Y: y} }
+	tests := []struct {
+		name string
+		s, d mesh.Coord
+		want bool
+	}{
+		// Source (0,0): x-axis row 0 and y-axis column 0 are entirely
+		// clear, so it is safe for every quadrant-I destination.
+		{name: "origin to far NE", s: cd(0, 0), d: cd(11, 11), want: true},
+		// Source (0,3): row 3 is blocked at x=2, so destinations east
+		// beyond 1 hop fail; column 0 is clear.
+		{name: "blocked row near", s: cd(0, 3), d: cd(1, 11), want: true},
+		{name: "blocked row at block", s: cd(0, 3), d: cd(2, 11), want: false},
+		{name: "blocked row far", s: cd(0, 3), d: cd(8, 11), want: false},
+		// Source (3,0): column 3 blocked at y=3.
+		{name: "blocked column", s: cd(3, 0), d: cd(11, 3), want: false},
+		{name: "blocked column short", s: cd(3, 0), d: cd(11, 2), want: true},
+		// Same row destination only needs the horizontal section.
+		{name: "same row", s: cd(0, 0), d: cd(11, 0), want: true},
+		{name: "same node", s: cd(0, 0), d: cd(0, 0), want: true},
+		// Westward and southward destinations use W and S components.
+		{name: "west clear", s: cd(11, 11), d: cd(8, 11), want: true},
+		{name: "west blocked", s: cd(11, 5), d: cd(4, 5), want: false},
+		{name: "south blocked", s: cd(3, 11), d: cd(3, 4), want: false},
+		{name: "south clear short", s: cd(3, 11), d: cd(3, 8), want: true},
+		// Quadrant III.
+		{name: "southwest blocked", s: cd(5, 11), d: cd(2, 5), want: false},
+		{name: "southwest clear", s: cd(11, 11), d: cd(8, 8), want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.SafeFor(tt.s, tt.d); got != tt.want {
+				t.Errorf("SafeFor(%v,%v) = %v, want %v", tt.s, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	l := Level{E: 3, S: Unbounded, W: 0, N: 7}
+	if got := l.String(); got != "(3,inf,0,7)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLevelDistInvalid(t *testing.T) {
+	l := Level{E: 1, S: 2, W: 3, N: 4}
+	if got := l.Dist(mesh.Dir(0)); got != 0 {
+		t.Errorf("Dist(invalid) = %d, want 0", got)
+	}
+}
+
+func TestLevelMinAndScoreMin(t *testing.T) {
+	tests := []struct {
+		l    Level
+		want int
+	}{
+		{Level{E: 3, S: 5, W: 7, N: 9}, 3},
+		{Level{E: 9, S: 2, W: 7, N: 5}, 2},
+		{Level{E: 9, S: 5, W: 1, N: 5}, 1},
+		{Level{E: 9, S: 5, W: 7, N: 0}, 0},
+		{Level{E: Unbounded, S: Unbounded, W: Unbounded, N: Unbounded}, Unbounded},
+	}
+	for _, tt := range tests {
+		if got := tt.l.Min(); got != tt.want {
+			t.Errorf("Min(%v) = %d, want %d", tt.l, got, tt.want)
+		}
+		if got := ScoreMin(tt.l); got != tt.want {
+			t.Errorf("ScoreMin(%v) = %d, want %d", tt.l, got, tt.want)
+		}
+	}
+}
+
+// TestUpdateMatchesRecompute verifies the incremental row/column
+// resweep equals a full recomputation for random block additions.
+func TestUpdateMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		m := mesh.Mesh{Width: 10 + rng.Intn(15), Height: 10 + rng.Intn(15)}
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < 0.05
+		}
+		g := Compute(m, blocked)
+
+		// Add a few more blocked nodes and resweep their rows/columns.
+		var rows, cols []int
+		for add := 0; add < 1+rng.Intn(4); add++ {
+			c := mesh.Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+			blocked[m.Index(c)] = true
+			rows = append(rows, c.Y)
+			cols = append(cols, c.X)
+		}
+		g.Update(blocked, rows, cols)
+
+		want := Compute(m, blocked)
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if g.At(c) != want.At(c) {
+				t.Fatalf("trial %d: incremental level at %v = %v, want %v", trial, c, g.At(c), want.At(c))
+			}
+		}
+		// Out-of-range rows/cols are ignored.
+		g.Update(blocked, []int{-1, m.Height}, []int{-2, m.Width})
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if g.At(c) != want.At(c) {
+				t.Fatalf("trial %d: out-of-range update changed %v", trial, c)
+			}
+		}
+	}
+}

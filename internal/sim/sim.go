@@ -1,0 +1,608 @@
+// Package sim is the Monte-Carlo harness that regenerates the paper's
+// evaluation (Figures 7-12): a 200x200 mesh, the source at the center,
+// randomly generated faults (up to 200), and destinations drawn
+// uniformly from the first-quadrant 100x100 submesh, with source and
+// destination outside every faulty block. For each fault count it
+// reports the percentage of source/destination pairs for which each
+// sufficient condition ensures a minimal (or sub-minimal) path, along
+// with the exact existence baseline.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"extmesh/internal/analytic"
+	"extmesh/internal/core"
+	"extmesh/internal/fault"
+	"extmesh/internal/infocost"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/safety"
+	"extmesh/internal/wang"
+)
+
+// Ext2SegSizes are the extension-2 segment-size variants of Figure 10;
+// 0 encodes the paper's "max" variant (one segment per region).
+var Ext2SegSizes = [4]int{1, 5, 10, 0}
+
+// Ext3Levels are the extension-3 partition levels of Figure 11.
+var Ext3Levels = [3]int{1, 2, 3}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	N              int   // mesh side length (the paper uses 200)
+	FaultCounts    []int // fault counts to sweep (the paper uses up to 200)
+	Configurations int   // fault configurations per count
+	DestsPerConfig int   // destinations sampled per configuration
+	Seed           int64 // PRNG seed; runs are fully reproducible
+
+	// Clusters switches fault injection from the paper's uniform
+	// placement to clustered placement around this many centers with
+	// ClusterSpread jitter, stressing large-block formation. Zero
+	// keeps the paper's uniform workload.
+	Clusters      int
+	ClusterSpread int
+}
+
+// DefaultConfig returns the paper-scale configuration: a 200x200 mesh,
+// fault counts 10..200 in steps of 10, and 20 configurations x 50
+// destinations (1000 samples) per point.
+func DefaultConfig() Config {
+	counts := make([]int, 0, 20)
+	for k := 10; k <= 200; k += 10 {
+		counts = append(counts, k)
+	}
+	return Config{
+		N:              200,
+		FaultCounts:    counts,
+		Configurations: 20,
+		DestsPerConfig: 50,
+		Seed:           1,
+	}
+}
+
+// Scale returns a copy of the configuration with the mesh side and
+// fault counts scaled by num/den, used by the benchmarks to exercise
+// the same code paths at a fraction of the paper's size.
+func (c Config) Scale(num, den int) Config {
+	s := c
+	s.N = c.N * num / den
+	s.FaultCounts = make([]int, len(c.FaultCounts))
+	for i, k := range c.FaultCounts {
+		if k = k * num / den; k < 1 {
+			k = 1
+		}
+		s.FaultCounts[i] = k
+	}
+	return s
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.N < 4 {
+		return fmt.Errorf("sim: mesh side %d too small", c.N)
+	}
+	if len(c.FaultCounts) == 0 {
+		return fmt.Errorf("sim: no fault counts")
+	}
+	for _, k := range c.FaultCounts {
+		if k < 0 || k > c.N*c.N/4 {
+			return fmt.Errorf("sim: fault count %d out of range", k)
+		}
+	}
+	if c.Configurations <= 0 || c.DestsPerConfig <= 0 {
+		return fmt.Errorf("sim: configurations and destinations must be positive")
+	}
+	if c.Clusters < 0 || c.ClusterSpread < 0 {
+		return fmt.Errorf("sim: clusters and spread must be non-negative")
+	}
+	return nil
+}
+
+// Metrics aggregates all measured quantities for one fault count. All
+// percentages are fractions in [0,1] over the sampled pairs.
+type Metrics struct {
+	K       int
+	Samples int
+
+	// Figure 7: affected rows/columns.
+	AffectedFracSim      float64
+	AffectedFracAnalytic float64
+
+	// Figure 8: average disabled (non-faulty) nodes per fault region.
+	DisabledPerBlock float64
+	DisabledPerMCC   float64
+
+	// Exact existence of a minimal path (Wang's condition / DP).
+	Existence float64
+
+	// Figure 9: base condition and extension 1, both models.
+	Safe    [2]float64 // [block, mcc]
+	Ext1Min [2]float64
+	Ext1Sub [2]float64 // minimal or sub-minimal ensured
+
+	// Figure 10: extension 2 by segment size (Ext2SegSizes order).
+	Ext2 [2][4]float64
+
+	// Figure 11: extension 3 by partition level (Ext3Levels order).
+	Ext3 [2][3]float64
+
+	// Figure 12: strategies 1-4 (and 1a-4a for the MCC model).
+	Strategies [2][4]float64
+
+	// Extra experiment: storage cost per node of the global fault map
+	// versus the paper's limited information model, and their ratio.
+	InfoPerNodeGlobal  float64
+	InfoPerNodeLimited float64
+	InfoRatio          float64
+
+	// Extra experiment: end-to-end success of Wu's protocol (which the
+	// paper does not measure): plain single-phase routing, and
+	// strategy-4 two-phase routing through the condition's witness,
+	// per fault model.
+	RouterPlain   [2]float64
+	RouterAssured [2]float64
+
+	// DFS (header-information) baseline: delivery fraction and the
+	// average stretch (hops / distance, including backtracking) of its
+	// delivered packets, per fault model.
+	DFSDelivered [2]float64
+	DFSStretch   [2]float64
+
+	// Extra experiment: the naive scalar "safety radius" (the direct
+	// transplant of hypercube safety levels to meshes) per fault model,
+	// quantifying why the paper introduces the extended 4-tuple.
+	RadiusSafe [2]float64
+
+	// Extra experiment: the paper's mentioned-but-unplotted variations.
+	// Ext2Dir holds the four-directional-representatives variation of
+	// extension 2 at segment sizes 5 and max; Ext3Latin holds extension
+	// 3 with evenly-spread row/column-distinct pivots per level.
+	Ext2Dir   [2][2]float64
+	Ext3Latin [2][3]float64
+}
+
+// model indices into the two-element arrays of Metrics.
+const (
+	blockModel = 0
+	mccModel   = 1
+)
+
+// Run executes the full evaluation and returns one Metrics per fault
+// count, in the order of cfg.FaultCounts.
+func Run(cfg Config) ([]Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Metrics, 0, len(cfg.FaultCounts))
+	for _, k := range cfg.FaultCounts {
+		m, err := runPoint(cfg, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// configResult is one configuration's contribution to a point.
+type configResult struct {
+	affectedFrac  float64
+	blockDisabled int
+	blockCount    int
+	mccDisabled   int
+	mccCount      int
+	infoGlobal    float64
+	infoLimited   float64
+	infoRatio     float64
+	infoMeasured  int
+
+	exist         int
+	routerPlain   [2]int
+	routerAssured [2]int
+	ext2Dir       [2][2]int
+	ext3Latin     [2][3]int
+	radiusSafe    [2]int
+	dfsDelivered  [2]int
+	dfsStretch    [2]float64
+	safe          [2]int
+	ext1Min       [2]int
+	ext1Sub       [2]int
+	ext2          [2][4]int
+	ext3          [2][3]int
+	strat         [2][4]int
+	nSamples      int
+}
+
+// runPoint samples cfg.Configurations fault patterns with k faults and
+// aggregates all metrics. Configurations are independent, so they run
+// on a worker pool; each gets its own deterministic seed drawn from
+// the point's stream, and partial results merge in configuration order,
+// which keeps every run bit-for-bit reproducible.
+func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
+	msh := mesh.Mesh{Width: cfg.N, Height: cfg.N}
+	src := msh.Center()
+	met := Metrics{K: k}
+
+	seeds := make([]int64, cfg.Configurations)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	results := make([]configResult, cfg.Configurations)
+	errs := make([]error, cfg.Configurations)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Configurations {
+		workers = cfg.Configurations
+	}
+	var (
+		wg   sync.WaitGroup
+		next int64
+	)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= cfg.Configurations {
+					return
+				}
+				// The storage comparison is expensive (it lays out
+				// every boundary line); a few configurations per
+				// point give a stable average.
+				results[c], errs[c] = runConfig(cfg, msh, src, k, seeds[c], c < 3)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total configResult
+	for c := range results {
+		if errs[c] != nil {
+			return Metrics{}, errs[c]
+		}
+		r := &results[c]
+		total.affectedFrac += r.affectedFrac
+		total.blockDisabled += r.blockDisabled
+		total.blockCount += r.blockCount
+		total.mccDisabled += r.mccDisabled
+		total.mccCount += r.mccCount
+		total.infoGlobal += r.infoGlobal
+		total.infoLimited += r.infoLimited
+		total.infoRatio += r.infoRatio
+		total.infoMeasured += r.infoMeasured
+		total.exist += r.exist
+		total.nSamples += r.nSamples
+		for mi := 0; mi < 2; mi++ {
+			total.routerPlain[mi] += r.routerPlain[mi]
+			total.routerAssured[mi] += r.routerAssured[mi]
+			for vi := range total.ext2Dir[mi] {
+				total.ext2Dir[mi][vi] += r.ext2Dir[mi][vi]
+			}
+			for li := range total.ext3Latin[mi] {
+				total.ext3Latin[mi][li] += r.ext3Latin[mi][li]
+			}
+			total.radiusSafe[mi] += r.radiusSafe[mi]
+			total.dfsDelivered[mi] += r.dfsDelivered[mi]
+			total.dfsStretch[mi] += r.dfsStretch[mi]
+			total.safe[mi] += r.safe[mi]
+			total.ext1Min[mi] += r.ext1Min[mi]
+			total.ext1Sub[mi] += r.ext1Sub[mi]
+			for si := range Ext2SegSizes {
+				total.ext2[mi][si] += r.ext2[mi][si]
+			}
+			for li := range Ext3Levels {
+				total.ext3[mi][li] += r.ext3[mi][li]
+			}
+			for si := range total.strat[mi] {
+				total.strat[mi][si] += r.strat[mi][si]
+			}
+		}
+	}
+
+	n := float64(total.nSamples)
+	met.Samples = total.nSamples
+	met.AffectedFracSim = total.affectedFrac / float64(cfg.Configurations)
+	met.AffectedFracAnalytic = analytic.ExpectedAffectedFraction(cfg.N, k)
+	if total.blockCount > 0 {
+		met.DisabledPerBlock = float64(total.blockDisabled) / float64(total.blockCount)
+	}
+	if total.mccCount > 0 {
+		met.DisabledPerMCC = float64(total.mccDisabled) / float64(total.mccCount)
+	}
+	if total.infoMeasured > 0 {
+		met.InfoPerNodeGlobal = total.infoGlobal / float64(total.infoMeasured)
+		met.InfoPerNodeLimited = total.infoLimited / float64(total.infoMeasured)
+		met.InfoRatio = total.infoRatio / float64(total.infoMeasured)
+	}
+	met.Existence = float64(total.exist) / n
+	for mi := 0; mi < 2; mi++ {
+		met.RouterPlain[mi] = float64(total.routerPlain[mi]) / n
+		met.RouterAssured[mi] = float64(total.routerAssured[mi]) / n
+		for vi := range met.Ext2Dir[mi] {
+			met.Ext2Dir[mi][vi] = float64(total.ext2Dir[mi][vi]) / n
+		}
+		for li := range met.Ext3Latin[mi] {
+			met.Ext3Latin[mi][li] = float64(total.ext3Latin[mi][li]) / n
+		}
+		met.RadiusSafe[mi] = float64(total.radiusSafe[mi]) / n
+		met.DFSDelivered[mi] = float64(total.dfsDelivered[mi]) / n
+		if total.dfsDelivered[mi] > 0 {
+			met.DFSStretch[mi] = total.dfsStretch[mi] / float64(total.dfsDelivered[mi])
+		}
+		met.Safe[mi] = float64(total.safe[mi]) / n
+		met.Ext1Min[mi] = float64(total.ext1Min[mi]) / n
+		met.Ext1Sub[mi] = float64(total.ext1Sub[mi]) / n
+		for si := range Ext2SegSizes {
+			met.Ext2[mi][si] = float64(total.ext2[mi][si]) / n
+		}
+		for li := range Ext3Levels {
+			met.Ext3[mi][li] = float64(total.ext3[mi][li]) / n
+		}
+		for si := range met.Strategies[mi] {
+			met.Strategies[mi][si] = float64(total.strat[mi][si]) / n
+		}
+	}
+	return met, nil
+}
+
+// runConfig evaluates every condition on one sampled fault pattern.
+func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, measureInfo bool) (configResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var res configResult
+
+	w, err := newWorkload(cfg, msh, src, k, rng)
+	if err != nil {
+		return configResult{}, err
+	}
+
+	// Figure 7 and 8 statistics.
+	blocked := w.bs.BlockedGrid()
+	rows := safety.AffectedRows(msh, blocked)
+	cols := safety.AffectedCols(msh, blocked)
+	res.affectedFrac = float64(rows+cols) / float64(2*cfg.N)
+	res.blockDisabled = w.bs.DisabledCount()
+	res.blockCount = len(w.bs.Blocks)
+	res.mccDisabled = w.mcc.DisabledCount()
+	res.mccCount = len(w.mcc.Comps)
+
+	// Storage comparison of the two information models.
+	if measureInfo {
+		rep := infocost.Measure(msh, blocked, w.bs.Blocks)
+		res.infoGlobal = rep.PerNodeGlobal()
+		res.infoLimited = rep.PerNodeLimited()
+		res.infoRatio = rep.Ratio()
+		res.infoMeasured = 1
+	}
+
+	// Pivot sets (per configuration, shared across destinations).
+	quadrant := mesh.Rect{MinX: src.X, MinY: src.Y, MaxX: cfg.N - 1, MaxY: cfg.N - 1}
+	var centers, latins [3][]mesh.Coord
+	for li, lvl := range Ext3Levels {
+		centers[li] = safety.Pivots(quadrant, lvl, safety.CenterPivots, nil)
+		latins[li] = safety.Pivots(quadrant, lvl, safety.LatinPivots, nil)
+	}
+	randomPivots := safety.Pivots(quadrant, core.PivotLevels, safety.RandomPivots, rng)
+
+	strategies := [4]core.Strategy{
+		{UseExt1: true, UseExt2: true, SegSize: core.StrategySegSize},
+		{UseExt1: true, UseExt3: true, Pivots: randomPivots},
+		{UseExt2: true, SegSize: core.StrategySegSize, UseExt3: true, Pivots: randomPivots},
+		{UseExt1: true, UseExt2: true, SegSize: core.StrategySegSize, UseExt3: true, Pivots: randomPivots},
+	}
+
+	models := [2]*core.Model{w.blockMd, w.mccMd}
+	routers := [2]*route.Router{
+		route.NewRouter(msh, w.blockMd.Blocked),
+		route.NewRouter(msh, w.mccMd.Blocked),
+	}
+	strategy4 := strategies[3]
+	for di := 0; di < cfg.DestsPerConfig; di++ {
+		d := w.sampleDest(rng)
+		res.nSamples++
+		if w.reach.CanReach(d) {
+			res.exist++
+		}
+		for mi, md := range models {
+			// End-to-end router success (not measured by the paper):
+			// plain single-phase, then strategy-4 two-phase through
+			// the witness waypoints.
+			if p, err := routers[mi].Route(src, d); err == nil && p.Minimal() {
+				res.routerPlain[mi]++
+			}
+			if p, err := route.DFSRoute(msh, models[mi].Blocked, src, d); err == nil {
+				res.dfsDelivered[mi]++
+				res.dfsStretch[mi] += float64(p.Hops()) / float64(mesh.Distance(src, d))
+			}
+			if a := md.Evaluate(src, d, strategy4); a.Verdict == core.Minimal {
+				if p, err := routers[mi].RouteVia(src, d, a.Via...); err == nil && p.Minimal() {
+					res.routerAssured[mi]++
+				}
+			}
+			if md.Safe(src, d) {
+				res.safe[mi]++
+			}
+			if md.RadiusSafe(src, d) {
+				res.radiusSafe[mi]++
+			}
+			a := md.Extension1(src, d)
+			if a.Verdict == core.Minimal {
+				res.ext1Min[mi]++
+			}
+			if a.Verdict != core.Unknown {
+				res.ext1Sub[mi]++
+			}
+			for si, seg := range Ext2SegSizes {
+				if md.Extension2(src, d, seg).Verdict == core.Minimal {
+					res.ext2[mi][si]++
+				}
+			}
+			for li := range Ext3Levels {
+				if md.Extension3(src, d, centers[li]).Verdict == core.Minimal {
+					res.ext3[mi][li]++
+				}
+				if md.Extension3(src, d, latins[li]).Verdict == core.Minimal {
+					res.ext3Latin[mi][li]++
+				}
+			}
+			for vi, seg := range [2]int{core.StrategySegSize, 0} {
+				if md.Extension2Directional(src, d, seg).Verdict == core.Minimal {
+					res.ext2Dir[mi][vi]++
+				}
+			}
+			for si, st := range strategies {
+				if md.Evaluate(src, d, st).Verdict == core.Minimal {
+					res.strat[mi][si]++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// workload is one sampled fault configuration with everything the
+// condition evaluations need.
+type workload struct {
+	m       mesh.Mesh
+	src     mesh.Coord
+	sc      *fault.Scenario
+	bs      *fault.BlockSet
+	mcc     *fault.MCCSet
+	blockMd *core.Model
+	mccMd   *core.Model
+	reach   *wang.Reach
+}
+
+// newWorkload draws fault patterns until the source lies outside every
+// faulty block, then precomputes both models and the existence grid.
+func newWorkload(cfg Config, m mesh.Mesh, src mesh.Coord, k int, rng *rand.Rand) (*workload, error) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		var (
+			faults []mesh.Coord
+			err    error
+		)
+		notSrc := func(c mesh.Coord) bool { return c == src }
+		if cfg.Clusters > 0 {
+			faults, err = fault.ClusteredFaults(m, k, cfg.Clusters, cfg.ClusterSpread, rng, notSrc)
+		} else {
+			faults, err = fault.RandomFaults(m, k, rng, notSrc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			return nil, err
+		}
+		bs := fault.BuildBlocks(sc)
+		if bs.InBlock(src) {
+			continue // the paper assumes the source outside every block
+		}
+		mcc := fault.BuildMCC(sc, fault.TypeOne)
+		blockMd, err := core.NewModel(m, bs.BlockedGrid())
+		if err != nil {
+			return nil, err
+		}
+		mccMd, err := core.NewModel(m, mcc.BlockedGrid())
+		if err != nil {
+			return nil, err
+		}
+		faultGrid := make([]bool, m.Size())
+		for _, f := range faults {
+			faultGrid[m.Index(f)] = true
+		}
+		return &workload{
+			m: m, src: src, sc: sc, bs: bs, mcc: mcc,
+			blockMd: blockMd, mccMd: mccMd,
+			reach: wang.ReachFrom(m, src, faultGrid),
+		}, nil
+	}
+	return nil, fmt.Errorf("sim: could not place %d faults with the source outside every block", k)
+}
+
+// sampleDest draws a destination uniformly from the first-quadrant
+// submesh, outside every faulty block.
+func (w *workload) sampleDest(rng *rand.Rand) mesh.Coord {
+	loX, loY := w.src.X+1, w.src.Y+1
+	for {
+		d := mesh.Coord{
+			X: loX + rng.Intn(w.m.Width-loX),
+			Y: loY + rng.Intn(w.m.Height-loY),
+		}
+		if !w.bs.InBlock(d) {
+			return d
+		}
+	}
+}
+
+// ScalingPoint is one row of the scalability experiment: a mesh side
+// and the measured fractions at constant fault density.
+type ScalingPoint struct {
+	N                  int
+	Safe               float64
+	Strategy4          float64
+	Existence          float64
+	InfoRatio          float64
+	InfoPerNodeLimited float64
+}
+
+// RunScaling sweeps the mesh side at a constant fault density (the
+// paper's scalability motivation): conditions are evaluated exactly as
+// in Run, with k = density * n^2 faults per configuration.
+func RunScaling(sides []int, density float64, configurations, dests int, seed int64) ([]ScalingPoint, error) {
+	if density < 0 || density > 0.25 {
+		return nil, fmt.Errorf("sim: fault density %v out of range", density)
+	}
+	var out []ScalingPoint
+	for _, n := range sides {
+		k := int(density * float64(n) * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		cfg := Config{
+			N:              n,
+			FaultCounts:    []int{k},
+			Configurations: configurations,
+			DestsPerConfig: dests,
+			Seed:           seed,
+		}
+		ms, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := ms[0]
+		out = append(out, ScalingPoint{
+			N:                  n,
+			Safe:               m.Safe[0],
+			Strategy4:          m.Strategies[0][3],
+			Existence:          m.Existence,
+			InfoRatio:          m.InfoRatio,
+			InfoPerNodeLimited: m.InfoPerNodeLimited,
+		})
+	}
+	return out, nil
+}
+
+// ScalingTable formats the scalability sweep.
+func ScalingTable(points []ScalingPoint, density float64) *Table {
+	t := &Table{
+		ID:     "scaling",
+		Title:  fmt.Sprintf("scalability at %.2f%% fault density", 100*density),
+		XLabel: "mesh side",
+		Columns: []string{
+			"safe source", "strategy 4", "existence", "limited ints/node", "savings ratio",
+		},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, TableRow{K: p.N, Values: []float64{
+			p.Safe, p.Strategy4, p.Existence, p.InfoPerNodeLimited, p.InfoRatio,
+		}})
+	}
+	return t
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		N:              40,
+		FaultCounts:    []int{4, 10, 20, 40},
+		Configurations: 6,
+		DestsPerConfig: 25,
+		Seed:           7,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(*Config) {}},
+		{name: "tiny mesh", mutate: func(c *Config) { c.N = 2 }, wantErr: true},
+		{name: "no counts", mutate: func(c *Config) { c.FaultCounts = nil }, wantErr: true},
+		{name: "negative count", mutate: func(c *Config) { c.FaultCounts = []int{-1} }, wantErr: true},
+		{name: "huge count", mutate: func(c *Config) { c.FaultCounts = []int{c.N * c.N} }, wantErr: true},
+		{name: "zero configs", mutate: func(c *Config) { c.Configurations = 0 }, wantErr: true},
+		{name: "zero dests", mutate: func(c *Config) { c.DestsPerConfig = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.N != 200 || len(cfg.FaultCounts) != 20 {
+		t.Errorf("default config not paper scale: N=%d, %d counts", cfg.N, len(cfg.FaultCounts))
+	}
+	if cfg.FaultCounts[0] != 10 || cfg.FaultCounts[19] != 200 {
+		t.Errorf("fault counts wrong: %v", cfg.FaultCounts)
+	}
+}
+
+func TestConfigScale(t *testing.T) {
+	cfg := DefaultConfig().Scale(1, 4)
+	if cfg.N != 50 {
+		t.Errorf("scaled N = %d, want 50", cfg.N)
+	}
+	if cfg.FaultCounts[0] != 2 || cfg.FaultCounts[19] != 50 {
+		t.Errorf("scaled counts wrong: %v", cfg.FaultCounts)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+}
+
+// TestRunInvariants runs a reduced evaluation and checks the structural
+// invariants every figure of the paper exhibits.
+func TestRunInvariants(t *testing.T) {
+	cfg := testConfig()
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ms) != len(cfg.FaultCounts) {
+		t.Fatalf("got %d metrics, want %d", len(ms), len(cfg.FaultCounts))
+	}
+	inUnit := func(name string, v float64) {
+		t.Helper()
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	for i, m := range ms {
+		if m.K != cfg.FaultCounts[i] {
+			t.Fatalf("metrics %d for k=%d, want %d", i, m.K, cfg.FaultCounts[i])
+		}
+		if m.Samples != cfg.Configurations*cfg.DestsPerConfig {
+			t.Fatalf("k=%d: %d samples, want %d", m.K, m.Samples, cfg.Configurations*cfg.DestsPerConfig)
+		}
+		inUnit("existence", m.Existence)
+		inUnit("affected sim", m.AffectedFracSim)
+		inUnit("affected analytic", m.AffectedFracAnalytic)
+		if m.DisabledPerBlock < 0 || m.DisabledPerMCC < 0 {
+			t.Fatalf("k=%d: negative disabled counts", m.K)
+		}
+		// The MCC model never disables more nodes than the block model.
+		if m.DisabledPerMCC > m.DisabledPerBlock+1e-9 {
+			t.Fatalf("k=%d: MCC disables more than blocks (%v > %v)", m.K, m.DisabledPerMCC, m.DisabledPerBlock)
+		}
+
+		for mi := 0; mi < 2; mi++ {
+			inUnit("safe", m.Safe[mi])
+			inUnit("ext1min", m.Ext1Min[mi])
+			inUnit("ext1sub", m.Ext1Sub[mi])
+			// Soundness at aggregate level: no condition ensures more
+			// than exist.
+			for _, v := range []float64{m.Safe[mi], m.Ext1Min[mi], m.Ext2[mi][0], m.Ext3[mi][2], m.Strategies[mi][3]} {
+				if v > m.Existence+1e-9 {
+					t.Fatalf("k=%d model %d: ensured %v exceeds existence %v", m.K, mi, v, m.Existence)
+				}
+			}
+			// Containment orderings.
+			if m.Ext1Min[mi] < m.Safe[mi]-1e-9 {
+				t.Fatalf("k=%d: ext1 below safe source", m.K)
+			}
+			if m.Ext1Sub[mi] < m.Ext1Min[mi]-1e-9 {
+				t.Fatalf("k=%d: ext1 sub-min below ext1 min", m.K)
+			}
+			for si := range Ext2SegSizes {
+				inUnit("ext2", m.Ext2[mi][si])
+				if m.Ext2[mi][si] < m.Safe[mi]-1e-9 {
+					t.Fatalf("k=%d: ext2 below safe source", m.K)
+				}
+				if m.Ext2[mi][si] > m.Ext2[mi][0]+1e-9 {
+					t.Fatalf("k=%d: ext2 seg=%d above seg=1", m.K, Ext2SegSizes[si])
+				}
+			}
+			for li := range Ext3Levels {
+				inUnit("ext3", m.Ext3[mi][li])
+				if li > 0 && m.Ext3[mi][li] < m.Ext3[mi][li-1]-1e-9 {
+					t.Fatalf("k=%d: ext3 levels not monotone", m.K)
+				}
+			}
+			// The naive radius condition is weaker than the 4-tuple.
+			if m.RadiusSafe[mi] > m.Safe[mi]+1e-9 {
+				t.Fatalf("k=%d: radius-safe %v above 4-tuple safe %v", m.K, m.RadiusSafe[mi], m.Safe[mi])
+			}
+			// Router success: plain <= assured ceiling relations.
+			if m.RouterAssured[mi] > m.Existence+1e-9 {
+				t.Fatalf("k=%d: assured routing %v exceeds existence %v", m.K, m.RouterAssured[mi], m.Existence)
+			}
+			if m.RouterAssured[mi] < m.Strategies[mi][3]-1e-9 {
+				t.Fatalf("k=%d: assured routing %v below strategy-4 guarantee %v (protocol failed a promise)",
+					m.K, m.RouterAssured[mi], m.Strategies[mi][3])
+			}
+			// Strategy 4 dominates its parts.
+			s := m.Strategies[mi]
+			if s[3] < s[0]-1e-9 || s[3] < math.Max(s[1], s[2])-1e-9 {
+				t.Fatalf("k=%d: strategy 4 not dominant: %v", m.K, s)
+			}
+			for _, v := range s {
+				inUnit("strategy", v)
+			}
+		}
+	}
+	// Few faults keep existence near 1.
+	if ms[0].Existence < 0.95 {
+		t.Errorf("existence at k=%d is %v, expected near 1", ms[0].K, ms[0].Existence)
+	}
+	// Analytic and simulated affected fractions stay close (Figure 7).
+	for _, m := range ms {
+		if math.Abs(m.AffectedFracSim-m.AffectedFracAnalytic) > 0.1 {
+			t.Errorf("k=%d: affected sim %v vs analytic %v", m.K, m.AffectedFracSim, m.AffectedFracAnalytic)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.N = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run should reject invalid config")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultCounts = []int{15}
+	cfg.Configurations = 3
+	cfg.DestsPerConfig = 10
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("same seed gave different metrics:\n%+v\n%+v", a[0], b[0])
+	}
+	cfg.Seed++
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] == c[0] {
+		t.Error("different seed gave identical metrics (suspicious)")
+	}
+}
+
+func TestTables(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultCounts = []int{5, 15}
+	cfg.Configurations = 3
+	cfg.DestsPerConfig = 10
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := AllTables(ms)
+	if len(tables) != 17 {
+		t.Fatalf("AllTables returned %d tables, want 17", len(tables))
+	}
+	seen := make(map[string]bool)
+	for _, tb := range tables {
+		if seen[tb.ID] {
+			t.Errorf("duplicate table id %q", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) != len(cfg.FaultCounts) {
+			t.Errorf("table %s has %d rows, want %d", tb.ID, len(tb.Rows), len(cfg.FaultCounts))
+		}
+		for _, r := range tb.Rows {
+			if len(r.Values) != len(tb.Columns) {
+				t.Errorf("table %s row k=%d has %d values for %d columns", tb.ID, r.K, len(r.Values), len(tb.Columns))
+			}
+		}
+		var sb strings.Builder
+		if err := tb.Format(&sb); err != nil {
+			t.Errorf("Format(%s): %v", tb.ID, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, "faults") {
+			t.Errorf("table %s formatting missing header: %q", tb.ID, out[:60])
+		}
+	}
+	// Column extraction.
+	f9 := Figure9(ms, 0)
+	col := f9.Column("existence")
+	if len(col) != len(cfg.FaultCounts) {
+		t.Errorf("Column(existence) = %v", col)
+	}
+	if f9.Column("nope") != nil {
+		t.Error("missing column should return nil")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultCounts = []int{5}
+	cfg.Configurations = 2
+	cfg.DestsPerConfig = 5
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, AllTables(ms)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Tables []struct {
+			ID      string   `json:"id"`
+			Columns []string `json:"columns"`
+			Rows    []struct {
+				Faults int       `json:"faults"`
+				Values []float64 `json:"values"`
+			} `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Tables) != 17 {
+		t.Fatalf("decoded %d tables, want 17", len(decoded.Tables))
+	}
+	for _, tb := range decoded.Tables {
+		if len(tb.Rows) != 1 || tb.Rows[0].Faults != 5 {
+			t.Errorf("table %s rows wrong: %+v", tb.ID, tb.Rows)
+		}
+		if len(tb.Rows[0].Values) != len(tb.Columns) {
+			t.Errorf("table %s value/column mismatch", tb.ID)
+		}
+	}
+}
+
+func TestRunClusteredWorkload(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultCounts = []int{30}
+	cfg.Configurations = 4
+	cfg.DestsPerConfig = 15
+	cfg.Clusters = 3
+	cfg.ClusterSpread = 3
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run clustered: %v", err)
+	}
+	if ms[0].Samples != 60 {
+		t.Fatalf("samples = %d", ms[0].Samples)
+	}
+	// Clustered faults form larger regions: disabled nodes per block
+	// should be clearly above the uniform workload's.
+	uniform := cfg
+	uniform.Clusters = 0
+	um, err := Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].DisabledPerBlock <= um[0].DisabledPerBlock {
+		t.Errorf("clustered disabled/block %v not above uniform %v",
+			ms[0].DisabledPerBlock, um[0].DisabledPerBlock)
+	}
+	cfg.Clusters = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative clusters should fail")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	points, err := RunScaling([]int{24, 48}, 0.005, 3, 10, 5)
+	if err != nil {
+		t.Fatalf("RunScaling: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Safe < 0 || p.Safe > 1 || p.Existence < p.Strategy4-1e-9 {
+			t.Errorf("point %+v inconsistent", p)
+		}
+	}
+	// The savings ratio grows with mesh size at fixed density.
+	if points[1].InfoRatio <= points[0].InfoRatio {
+		t.Errorf("savings ratio should grow with n: %v vs %v", points[0].InfoRatio, points[1].InfoRatio)
+	}
+	tb := ScalingTable(points, 0.005)
+	if tb.ID != "scaling" || len(tb.Rows) != 2 {
+		t.Errorf("table malformed: %+v", tb)
+	}
+	if _, err := RunScaling([]int{10}, 0.9, 1, 1, 1); err == nil {
+		t.Error("absurd density should fail")
+	}
+}

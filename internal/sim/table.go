@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: one row per fault count, one
+// column per plotted curve. It corresponds to one figure (or one panel
+// of a two-panel figure) of the paper.
+type Table struct {
+	ID      string
+	Title   string
+	XLabel  string // first-column label; defaults to "faults"
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one fault-count row of a table.
+type TableRow struct {
+	K      int
+	Values []float64
+}
+
+// Format writes the table as fixed-width text.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	xlabel := t.XLabel
+	if xlabel == "" {
+		xlabel = "faults"
+	}
+	header := fmt.Sprintf("%10s", xlabel)
+	for _, c := range t.Columns {
+		header += fmt.Sprintf("  %14s", c)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		line := fmt.Sprintf("%10d", r.K)
+		for _, v := range r.Values {
+			line += fmt.Sprintf("  %14.4f", v)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Column returns the values of the named column in row order, or nil
+// if the column does not exist.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Values[idx]
+	}
+	return out
+}
+
+// modelName labels the two fault models in table identifiers.
+var modelNames = [2]string{"block model", "MCC model"}
+
+// Figure7 extracts the affected rows/columns comparison (analytical vs
+// simulated) of Figure 7.
+func Figure7(ms []Metrics) *Table {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "expected fraction of affected rows (and columns): analytical model vs simulation",
+		Columns: []string{"analytical", "simulated"},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{m.AffectedFracAnalytic, m.AffectedFracSim}})
+	}
+	return t
+}
+
+// Figure8 extracts the average number of disabled nodes per fault
+// region under both models (Figure 8).
+func Figure8(ms []Metrics) *Table {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "average number of disabled nodes in a fault region",
+		Columns: []string{"Wu's model", "MCC"},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{m.DisabledPerBlock, m.DisabledPerMCC}})
+	}
+	return t
+}
+
+// Figure9 extracts the base-condition and extension-1 percentages for
+// the given model index (0 = block model, Figure 9a; 1 = MCC model,
+// Figure 9b).
+func Figure9(ms []Metrics, model int) *Table {
+	suffix := ""
+	if model == mccModel {
+		suffix = "a"
+	}
+	t := &Table{
+		ID:    fmt.Sprintf("fig9%c", 'a'+model),
+		Title: "minimal/sub-minimal path ensured at the source, " + modelNames[model],
+		Columns: []string{
+			"safe source",
+			"ext1" + suffix + " (min)",
+			"ext1" + suffix + " (sub-min)",
+			"existence",
+		},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{
+			m.Safe[model], m.Ext1Min[model], m.Ext1Sub[model], m.Existence,
+		}})
+	}
+	return t
+}
+
+// Figure10 extracts the extension-2 segment-size variations for the
+// given model index (Figure 10a/10b).
+func Figure10(ms []Metrics, model int) *Table {
+	suffix := ""
+	if model == mccModel {
+		suffix = "a"
+	}
+	cols := []string{"safe source"}
+	for _, seg := range Ext2SegSizes {
+		name := fmt.Sprintf("ext2%s (%d)", suffix, seg)
+		if seg == 0 {
+			name = fmt.Sprintf("ext2%s (max)", suffix)
+		}
+		cols = append(cols, name)
+	}
+	cols = append(cols, "existence")
+	t := &Table{
+		ID:      fmt.Sprintf("fig10%c", 'a'+model),
+		Title:   "minimal path ensured by extension 2 variations, " + modelNames[model],
+		Columns: cols,
+	}
+	for _, m := range ms {
+		vals := []float64{m.Safe[model]}
+		vals = append(vals, m.Ext2[model][:]...)
+		vals = append(vals, m.Existence)
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: vals})
+	}
+	return t
+}
+
+// Figure11 extracts the extension-3 partition-level variations for the
+// given model index (Figure 11a/11b).
+func Figure11(ms []Metrics, model int) *Table {
+	suffix := ""
+	if model == mccModel {
+		suffix = "a"
+	}
+	cols := []string{"safe source"}
+	for _, lvl := range Ext3Levels {
+		cols = append(cols, fmt.Sprintf("ext3%s (level %d)", suffix, lvl))
+	}
+	cols = append(cols, "existence")
+	t := &Table{
+		ID:      fmt.Sprintf("fig11%c", 'a'+model),
+		Title:   "minimal path ensured by extension 3 variations, " + modelNames[model],
+		Columns: cols,
+	}
+	for _, m := range ms {
+		vals := []float64{m.Safe[model]}
+		vals = append(vals, m.Ext3[model][:]...)
+		vals = append(vals, m.Existence)
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: vals})
+	}
+	return t
+}
+
+// Figure12 extracts the strategy combinations for the given model
+// index (Figure 12a/12b).
+func Figure12(ms []Metrics, model int) *Table {
+	suffix := ""
+	if model == mccModel {
+		suffix = "a"
+	}
+	t := &Table{
+		ID:    fmt.Sprintf("fig12%c", 'a'+model),
+		Title: "minimal path ensured by strategy combinations, " + modelNames[model],
+		Columns: []string{
+			"strategy 1" + suffix + " (1+2)",
+			"strategy 2" + suffix + " (1+3)",
+			"strategy 3" + suffix + " (2+3)",
+			"strategy 4" + suffix + " (1+2+3)",
+			"existence",
+		},
+	}
+	for _, m := range ms {
+		vals := append([]float64{}, m.Strategies[model][:]...)
+		vals = append(vals, m.Existence)
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: vals})
+	}
+	return t
+}
+
+// InfoCost extracts the extra storage-cost experiment: integers per
+// node under the global fault map versus the limited information
+// model, and the savings ratio.
+func InfoCost(ms []Metrics) *Table {
+	t := &Table{
+		ID:      "info",
+		Title:   "per-node storage (ints): global fault map vs limited information model",
+		Columns: []string{"global/node", "limited/node", "savings ratio"},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{
+			m.InfoPerNodeGlobal, m.InfoPerNodeLimited, m.InfoRatio,
+		}})
+	}
+	return t
+}
+
+// RouterSuccess extracts the extra end-to-end routing experiment:
+// the fraction of pairs Wu's protocol delivers minimally with plain
+// single-phase routing, with strategy-4 assured two-phase routing, and
+// the existence ceiling.
+func RouterSuccess(ms []Metrics, model int) *Table {
+	t := &Table{
+		ID:    fmt.Sprintf("router%c", 'a'+model),
+		Title: "end-to-end Wu-protocol delivery (minimal paths), " + modelNames[model],
+		Columns: []string{
+			"plain routing",
+			"assured (strategy 4)",
+			"existence",
+			"dfs delivered",
+			"dfs stretch",
+		},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{
+			m.RouterPlain[model], m.RouterAssured[model], m.Existence,
+			m.DFSDelivered[model], m.DFSStretch[model],
+		}})
+	}
+	return t
+}
+
+// Variations extracts the paper's mentioned-but-unplotted variations:
+// the four-directional-representatives form of extension 2 against the
+// scalar form, and extension 3 with evenly-spread Latin pivots against
+// the recursive centers.
+func Variations(ms []Metrics, model int) *Table {
+	t := &Table{
+		ID:    fmt.Sprintf("var%c", 'a'+model),
+		Title: "paper-mentioned variations of extensions 2 and 3, " + modelNames[model],
+		Columns: []string{
+			"ext2 (5)", "ext2 dir (5)",
+			"ext2 (max)", "ext2 dir (max)",
+			"ext3 center L3", "ext3 latin L3",
+		},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{
+			m.Ext2[model][1], m.Ext2Dir[model][0],
+			m.Ext2[model][3], m.Ext2Dir[model][1],
+			m.Ext3[model][2], m.Ext3Latin[model][2],
+		}})
+	}
+	return t
+}
+
+// Lineage extracts the comparison motivating the extended safety
+// level: the naive scalar safety radius (the hypercube concept applied
+// directly to meshes) against the 4-tuple condition and the existence
+// ceiling.
+func Lineage(ms []Metrics, model int) *Table {
+	t := &Table{
+		ID:    fmt.Sprintf("lineage%c", 'a'+model),
+		Title: "scalar safety radius vs extended safety level, " + modelNames[model],
+		Columns: []string{
+			"radius safe (naive)",
+			"safe source (4-tuple)",
+			"existence",
+		},
+	}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, TableRow{K: m.K, Values: []float64{
+			m.RadiusSafe[model], m.Safe[model], m.Existence,
+		}})
+	}
+	return t
+}
+
+// AllTables renders every figure of the paper from one evaluation run,
+// plus the extra storage-cost and router experiments.
+func AllTables(ms []Metrics) []*Table {
+	return []*Table{
+		Figure7(ms),
+		Figure8(ms),
+		Figure9(ms, blockModel), Figure9(ms, mccModel),
+		Figure10(ms, blockModel), Figure10(ms, mccModel),
+		Figure11(ms, blockModel), Figure11(ms, mccModel),
+		Figure12(ms, blockModel), Figure12(ms, mccModel),
+		InfoCost(ms),
+		RouterSuccess(ms, blockModel), RouterSuccess(ms, mccModel),
+		Variations(ms, blockModel), Variations(ms, mccModel),
+		Lineage(ms, blockModel), Lineage(ms, mccModel),
+	}
+}
+
+// jsonReport is the machine-readable form of an evaluation run.
+type jsonReport struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+// jsonTable mirrors Table for encoding/json.
+type jsonTable struct {
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"xLabel,omitempty"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+}
+
+// jsonRow mirrors TableRow for encoding/json.
+type jsonRow struct {
+	Faults int       `json:"faults"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON renders the tables of an evaluation run as a single JSON
+// document.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	rep := jsonReport{Tables: make([]jsonTable, 0, len(tables))}
+	for _, t := range tables {
+		jt := jsonTable{ID: t.ID, Title: t.Title, XLabel: t.XLabel, Columns: t.Columns}
+		for _, r := range t.Rows {
+			jt.Rows = append(jt.Rows, jsonRow{Faults: r.K, Values: r.Values})
+		}
+		rep.Tables = append(rep.Tables, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

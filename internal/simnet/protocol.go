@@ -1,0 +1,249 @@
+package simnet
+
+import (
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/safety"
+)
+
+// levelMsg announces the sender's distance towards dir ("my nearest
+// fault region towards dir is dist hops away").
+type levelMsg struct {
+	dir  mesh.Dir
+	dist int
+}
+
+// FormationLevels runs the paper's FORMATION-EXTENDED-SAFETY-LEVEL
+// protocol on the simulated network: nodes adjacent to a fault region
+// initiate a wave per direction and every node that receives a level
+// from its dir-side neighbor adds one hop and forwards away from the
+// region. It returns the per-node levels (indexed by mesh.Index);
+// fault-region nodes keep the zero level.
+func FormationLevels(m mesh.Mesh, blocked []bool) []safety.Level {
+	levels := make([]safety.Level, m.Size())
+	for i := range levels {
+		if !blocked[i] {
+			levels[i] = safety.Level{E: safety.Unbounded, S: safety.Unbounded, W: safety.Unbounded, N: safety.Unbounded}
+		}
+	}
+	setDist := func(lvl *safety.Level, d mesh.Dir, v int) {
+		switch d {
+		case mesh.East:
+			lvl.E = v
+		case mesh.South:
+			lvl.S = v
+		case mesh.West:
+			lvl.W = v
+		case mesh.North:
+			lvl.N = v
+		}
+	}
+
+	net := New(m, func(n *Node, msg Message) {
+		i := m.Index(n.C)
+		if blocked[i] {
+			return // fault-region nodes do not participate
+		}
+		lm, ok := msg.Payload.(levelMsg)
+		if !ok {
+			return
+		}
+		setDist(&levels[i], lm.dir, lm.dist)
+		// Forward away from the fault region: the neighbor on the
+		// opposite side learns a one-hop-larger distance.
+		next := n.C.Add(lm.dir.Opposite().Offset())
+		if m.Contains(next) && !blocked[m.Index(next)] {
+			n.Send(next, levelMsg{dir: lm.dir, dist: lm.dist + 1})
+		}
+	})
+
+	// Seed: every free node senses its own links, so a node whose
+	// dir-side neighbor is blocked knows dist 1 and starts the wave.
+	for i := 0; i < m.Size(); i++ {
+		if blocked[i] {
+			continue
+		}
+		c := m.CoordOf(i)
+		for _, d := range mesh.Directions() {
+			nb := c.Add(d.Offset())
+			if m.Contains(nb) && blocked[m.Index(nb)] {
+				net.Inject(c, levelMsg{dir: d, dist: 1})
+			}
+		}
+	}
+	// Each wave travels at most the mesh diameter.
+	net.Run(m.Width + m.Height + 2)
+	return levels
+}
+
+// lineMsg carries faulty-block information along a boundary line.
+type lineMsg struct {
+	obstacle mesh.Rect
+	kind     route.LineKind
+}
+
+// DistributeBoundaries floods each obstacle run's boundary information
+// along its L1/L3 lines with the paper's turn/join rule, executed hop
+// by hop on the simulated network: an L1 message keeps traveling west,
+// sliding one node south around an intervening fault region; an L3
+// message keeps traveling south, sliding west. It returns the per-node
+// line information gathered, for comparison against the direct
+// computation in package route.
+func DistributeBoundaries(m mesh.Mesh, blocked []bool) map[mesh.Coord][]route.LineTag {
+	got := make(map[mesh.Coord][]route.LineTag)
+	free := func(c mesh.Coord) bool {
+		return m.Contains(c) && !blocked[m.Index(c)]
+	}
+
+	net := New(m, func(n *Node, msg Message) {
+		lm, ok := msg.Payload.(lineMsg)
+		if !ok {
+			return
+		}
+		got[n.C] = append(got[n.C], route.LineTag{Obstacle: lm.obstacle, Kind: lm.kind})
+		switch lm.kind {
+		case route.LineL1:
+			west := n.C.Add(mesh.West.Offset())
+			south := n.C.Add(mesh.South.Offset())
+			switch {
+			case free(west):
+				n.Send(west, lm)
+			case m.Contains(west) && free(south):
+				// Turn around the encountered fault region.
+				n.Send(south, lm)
+			}
+		case route.LineL3:
+			south := n.C.Add(mesh.South.Offset())
+			west := n.C.Add(mesh.West.Offset())
+			switch {
+			case free(south):
+				n.Send(south, lm)
+			case m.Contains(south) && free(west):
+				n.Send(west, lm)
+			}
+		}
+	})
+
+	// Seed at the line start nodes (the fault region knows its own
+	// extent when the block forms).
+	for _, r := range route.VerticalRuns(m, blocked) {
+		start := mesh.Coord{X: r.MinX, Y: r.MinY - 1}
+		if free(start) {
+			net.Inject(start, lineMsg{obstacle: r, kind: route.LineL1})
+		}
+	}
+	for _, r := range route.HorizontalRuns(m, blocked) {
+		start := mesh.Coord{X: r.MinX - 1, Y: r.MinY}
+		if free(start) {
+			net.Inject(start, lineMsg{obstacle: r, kind: route.LineL3})
+		}
+	}
+	net.Run(4 * (m.Width + m.Height + 2))
+	return got
+}
+
+// Broadcast floods a payload from origin to every free node (the pivot
+// distribution of extension 3). It returns the number of nodes reached.
+func Broadcast(m mesh.Mesh, blocked []bool, origin mesh.Coord) int {
+	seen := make([]bool, m.Size())
+	net := New(m, func(n *Node, msg Message) {
+		i := m.Index(n.C)
+		if blocked[i] || seen[i] {
+			return
+		}
+		seen[i] = true
+		var nbuf [4]mesh.Coord
+		for _, nb := range m.Neighbors(nbuf[:0], n.C) {
+			if !blocked[m.Index(nb)] && !seen[m.Index(nb)] {
+				n.Send(nb, msg.Payload)
+			}
+		}
+	})
+	if !m.Contains(origin) || blocked[m.Index(origin)] {
+		return 0
+	}
+	net.Inject(origin, struct{}{})
+	net.Run(m.Size() + 2)
+	count := 0
+	for _, s := range seen {
+		if s {
+			count++
+		}
+	}
+	return count
+}
+
+// regionMsg is a partially accumulated safety-level packet traveling
+// along one row or column region (extension 2's information exchange).
+type regionMsg struct {
+	dir  mesh.Dir // travel direction
+	reps []safety.Rep
+}
+
+// RegionKnowledge is what one node learned from the exchange: the
+// safety levels of every other node in its row region and column
+// region (the regions are the maximal fault-free runs through the
+// node).
+type RegionKnowledge struct {
+	Row []safety.Rep
+	Col []safety.Rep
+}
+
+// ExchangeRegions runs the paper's extension-2 information exchange on
+// the simulated network: within every region of every row and column,
+// two partially accumulated packets start from the region's two ends
+// and push toward the other end; when both have passed, every node of
+// the region knows every region member's extended safety level. The
+// per-node knowledge is returned for comparison against the direct
+// computation.
+func ExchangeRegions(m mesh.Mesh, blocked []bool, levels *safety.Grid) map[mesh.Coord]*RegionKnowledge {
+	know := make(map[mesh.Coord]*RegionKnowledge)
+	at := func(c mesh.Coord) *RegionKnowledge {
+		k := know[c]
+		if k == nil {
+			k = &RegionKnowledge{}
+			know[c] = k
+		}
+		return k
+	}
+	free := func(c mesh.Coord) bool {
+		return m.Contains(c) && !blocked[m.Index(c)]
+	}
+
+	net := New(m, func(n *Node, msg Message) {
+		rm, ok := msg.Payload.(regionMsg)
+		if !ok || !free(n.C) {
+			return
+		}
+		k := at(n.C)
+		if rm.dir == mesh.East || rm.dir == mesh.West {
+			k.Row = append(k.Row, rm.reps...)
+		} else {
+			k.Col = append(k.Col, rm.reps...)
+		}
+		next := n.C.Add(rm.dir.Offset())
+		if free(next) {
+			n.Send(next, regionMsg{
+				dir:  rm.dir,
+				reps: append(append([]safety.Rep(nil), rm.reps...), safety.Rep{C: n.C, L: levels.At(n.C)}),
+			})
+		}
+	})
+
+	// Seed a wave at each region end: a free node whose neighbor
+	// against the travel direction is blocked or off-mesh.
+	for i := 0; i < m.Size(); i++ {
+		c := m.CoordOf(i)
+		if !free(c) {
+			continue
+		}
+		for _, d := range mesh.Directions() {
+			behind := c.Add(d.Opposite().Offset())
+			if !free(behind) {
+				net.Inject(c, regionMsg{dir: d})
+			}
+		}
+	}
+	net.Run(m.Width + m.Height + 2)
+	return know
+}

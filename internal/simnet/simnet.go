@@ -1,0 +1,121 @@
+// Package simnet is a small deterministic message-passing simulator
+// for 2-D meshes. Every node runs a handler; messages travel over the
+// four mesh links and are delivered in rounds (one hop per round, FIFO
+// per link), which models the synchronous information-dissemination
+// protocols of the paper: the FORMATION-EXTENDED-SAFETY-LEVEL flooding
+// and the boundary-line distribution of faulty-block information.
+//
+// The simulator exists to run the published protocols as written and to
+// prove (in tests) that their fixpoints equal the direct computations
+// used by the Monte-Carlo harness, which are much faster.
+package simnet
+
+import (
+	"fmt"
+
+	"extmesh/internal/mesh"
+)
+
+// Message is a payload in flight on a link. Payloads are opaque to the
+// network.
+type Message struct {
+	From    mesh.Coord
+	To      mesh.Coord
+	Payload any
+}
+
+// Handler reacts to a delivered message at a node. It may send further
+// messages through the Node's Send method.
+type Handler func(n *Node, msg Message)
+
+// Node is one mesh node attached to the network.
+type Node struct {
+	C mesh.Coord
+
+	net     *Network
+	handler Handler
+	// State is scratch space for the protocol running on the node.
+	State any
+}
+
+// Send enqueues a message to a neighbor for delivery next round.
+// Sending to a non-neighbor or off-mesh coordinate is a programming
+// error of the protocol and panics, mirroring the physical reality that
+// a mesh node only has four links.
+func (n *Node) Send(to mesh.Coord, payload any) {
+	if !n.net.m.Contains(to) || mesh.Distance(n.C, to) != 1 {
+		panic(fmt.Sprintf("simnet: node %v cannot send to %v", n.C, to))
+	}
+	n.net.outbox = append(n.net.outbox, Message{From: n.C, To: to, Payload: payload})
+}
+
+// Network is a deterministic synchronous mesh network.
+type Network struct {
+	m     mesh.Mesh
+	nodes []*Node
+
+	inbox  []Message
+	outbox []Message
+
+	rounds    int
+	delivered int
+}
+
+// New builds a network over the mesh with the given handler installed
+// on every node.
+func New(m mesh.Mesh, handler Handler) *Network {
+	net := &Network{m: m, nodes: make([]*Node, m.Size())}
+	for i := range net.nodes {
+		net.nodes[i] = &Node{C: m.CoordOf(i), net: net, handler: handler}
+	}
+	return net
+}
+
+// Node returns the node at c.
+func (net *Network) Node(c mesh.Coord) *Node {
+	return net.nodes[net.m.Index(c)]
+}
+
+// Inject queues a message for delivery to c in the next round, as if
+// it arrived from outside (From equals To). It seeds protocols.
+func (net *Network) Inject(c mesh.Coord, payload any) {
+	net.outbox = append(net.outbox, Message{From: c, To: c, Payload: payload})
+}
+
+// Step delivers all queued messages (one round) and returns the number
+// delivered. Handlers run in deterministic order (queue order).
+func (net *Network) Step() int {
+	net.inbox, net.outbox = net.outbox, net.inbox[:0]
+	for _, msg := range net.inbox {
+		n := net.nodes[net.m.Index(msg.To)]
+		if n.handler != nil {
+			n.handler(n, msg)
+		}
+	}
+	count := len(net.inbox)
+	net.rounds++
+	net.delivered += count
+	return count
+}
+
+// Run steps until the network is quiescent (no messages in flight) or
+// maxRounds is exceeded; it reports whether quiescence was reached.
+func (net *Network) Run(maxRounds int) bool {
+	for r := 0; r < maxRounds; r++ {
+		if len(net.outbox) == 0 {
+			return true
+		}
+		net.Step()
+	}
+	return len(net.outbox) == 0
+}
+
+// Rounds returns the number of delivery rounds executed.
+func (net *Network) Rounds() int {
+	return net.rounds
+}
+
+// Delivered returns the total number of messages delivered.
+func (net *Network) Delivered() int {
+	return net.delivered
+}

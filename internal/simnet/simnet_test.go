@@ -1,0 +1,279 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/safety"
+)
+
+func TestNetworkMechanics(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	visits := make(map[mesh.Coord]int)
+	net := New(m, func(n *Node, msg Message) {
+		visits[n.C]++
+		// Relay east once.
+		next := n.C.Add(mesh.East.Offset())
+		if m.Contains(next) && visits[n.C] == 1 {
+			n.Send(next, msg.Payload)
+		}
+	})
+	net.Inject(mesh.Coord{X: 0, Y: 2}, "hello")
+	if !net.Run(10) {
+		t.Fatal("network did not quiesce")
+	}
+	// The message relays along row 2: 4 deliveries.
+	if net.Delivered() != 4 {
+		t.Errorf("Delivered = %d, want 4", net.Delivered())
+	}
+	for x := 0; x < 4; x++ {
+		if visits[mesh.Coord{X: x, Y: 2}] != 1 {
+			t.Errorf("node (%d,2) visited %d times", x, visits[mesh.Coord{X: x, Y: 2}])
+		}
+	}
+	if net.Rounds() == 0 {
+		t.Error("rounds not counted")
+	}
+}
+
+func TestNodeSendValidation(t *testing.T) {
+	m := mesh.Mesh{Width: 3, Height: 3}
+	net := New(m, nil)
+	n := net.Node(mesh.Coord{X: 1, Y: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("sending to a non-neighbor should panic")
+		}
+	}()
+	n.Send(mesh.Coord{X: 2, Y: 2}, nil)
+}
+
+func TestRunNonQuiescent(t *testing.T) {
+	m := mesh.Mesh{Width: 3, Height: 1}
+	// Ping-pong forever between two nodes.
+	net := New(m, func(n *Node, msg Message) {
+		from := msg.From
+		if from == n.C { // injected: pick a neighbor
+			from = n.C.Add(mesh.East.Offset())
+		}
+		n.Send(from, msg.Payload)
+	})
+	net.Inject(mesh.Coord{X: 1, Y: 0}, 1)
+	if net.Run(5) {
+		t.Error("ping-pong protocol should not quiesce")
+	}
+}
+
+// TestFormationMatchesDirect verifies the paper's distributed
+// safety-level formation protocol computes exactly the levels the
+// direct sweep produces, over random fault patterns and both fault
+// models.
+func TestFormationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		w := 6 + rng.Intn(20)
+		h := 6 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		grids := [][]bool{
+			fault.BuildBlocks(sc).BlockedGrid(),
+			fault.BuildMCC(sc, fault.TypeOne).BlockedGrid(),
+		}
+		for gi, blocked := range grids {
+			want := safety.Compute(m, blocked)
+			got := FormationLevels(m, blocked)
+			for i := 0; i < m.Size(); i++ {
+				c := m.CoordOf(i)
+				if blocked[i] {
+					continue
+				}
+				if got[i] != want.At(c) {
+					t.Fatalf("trial %d grid %d: level at %v = %v, want %v",
+						trial, gi, c, got[i], want.At(c))
+				}
+			}
+		}
+	}
+}
+
+// TestDistributeMatchesDirect verifies the hop-by-hop boundary-line
+// dissemination reaches exactly the nodes the direct contour
+// computation assigns, with the same line tags.
+func TestDistributeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		w := 6 + rng.Intn(20)
+		h := 6 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		blocked := fault.BuildBlocks(sc).BlockedGrid()
+
+		want := route.Lines(m, blocked)
+		got := DistributeBoundaries(m, blocked)
+
+		norm := func(tags []route.LineTag) []route.LineTag {
+			out := append([]route.LineTag(nil), tags...)
+			sort.Slice(out, func(i, j int) bool {
+				a, b := out[i], out[j]
+				if a.Kind != b.Kind {
+					return a.Kind < b.Kind
+				}
+				if a.Obstacle.MinX != b.Obstacle.MinX {
+					return a.Obstacle.MinX < b.Obstacle.MinX
+				}
+				if a.Obstacle.MinY != b.Obstacle.MinY {
+					return a.Obstacle.MinY < b.Obstacle.MinY
+				}
+				if a.Obstacle.MaxX != b.Obstacle.MaxX {
+					return a.Obstacle.MaxX < b.Obstacle.MaxX
+				}
+				return a.Obstacle.MaxY < b.Obstacle.MaxY
+			})
+			return out
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d nodes got info, want %d", trial, len(got), len(want))
+		}
+		for c, wtags := range want {
+			gtags := norm(got[c])
+			wn := norm(wtags)
+			if len(gtags) != len(wn) {
+				t.Fatalf("trial %d: node %v has %d tags, want %d", trial, c, len(gtags), len(wn))
+			}
+			for i := range wn {
+				if gtags[i] != wn[i] {
+					t.Fatalf("trial %d: node %v tag %d = %+v, want %+v", trial, c, i, gtags[i], wn[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	blocked := make([]bool, m.Size())
+	// Wall splitting the mesh into two halves.
+	for y := 0; y < m.Height; y++ {
+		blocked[m.Index(mesh.Coord{X: 4, Y: y})] = true
+	}
+	left := Broadcast(m, blocked, mesh.Coord{X: 0, Y: 0})
+	if left != 4*8 {
+		t.Errorf("left broadcast reached %d nodes, want 32", left)
+	}
+	right := Broadcast(m, blocked, mesh.Coord{X: 6, Y: 3})
+	if right != 3*8 {
+		t.Errorf("right broadcast reached %d nodes, want 24", right)
+	}
+	if got := Broadcast(m, blocked, mesh.Coord{X: 4, Y: 4}); got != 0 {
+		t.Errorf("broadcast from blocked origin reached %d nodes, want 0", got)
+	}
+	if got := Broadcast(m, blocked, mesh.Coord{X: -1, Y: 0}); got != 0 {
+		t.Errorf("broadcast from outside reached %d nodes, want 0", got)
+	}
+}
+
+// TestExchangeRegionsComplete verifies extension 2's two-end exchange:
+// after the protocol runs, every free node knows the extended safety
+// level of every other node in its row region and column region, and
+// nothing else.
+func TestExchangeRegionsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		w := 6 + rng.Intn(14)
+		h := 6 + rng.Intn(14)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		blocked := fault.BuildBlocks(sc).BlockedGrid()
+		levels := safety.Compute(m, blocked)
+		know := ExchangeRegions(m, blocked, levels)
+
+		regionOf := func(c mesh.Coord, horizontal bool) []mesh.Coord {
+			var run []mesh.Coord
+			step := mesh.Coord{X: 1}
+			if !horizontal {
+				step = mesh.Coord{Y: 1}
+			}
+			// Walk back to the region start.
+			start := c
+			for {
+				prev := mesh.Coord{X: start.X - step.X, Y: start.Y - step.Y}
+				if !m.Contains(prev) || blocked[m.Index(prev)] {
+					break
+				}
+				start = prev
+			}
+			for cur := start; m.Contains(cur) && !blocked[m.Index(cur)]; cur = cur.Add(step) {
+				if cur != c {
+					run = append(run, cur)
+				}
+			}
+			return run
+		}
+
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if blocked[i] {
+				if know[c] != nil {
+					t.Fatalf("trial %d: blocked node %v received knowledge", trial, c)
+				}
+				continue
+			}
+			k := know[c]
+			var rowGot, colGot []safety.Rep
+			if k != nil {
+				rowGot, colGot = k.Row, k.Col
+			}
+			for _, tc := range []struct {
+				name string
+				got  []safety.Rep
+				want []mesh.Coord
+			}{
+				{"row", rowGot, regionOf(c, true)},
+				{"col", colGot, regionOf(c, false)},
+			} {
+				if len(tc.got) != len(tc.want) {
+					t.Fatalf("trial %d: %v %s knowledge has %d entries, want %d",
+						trial, c, tc.name, len(tc.got), len(tc.want))
+				}
+				seen := make(map[mesh.Coord]safety.Level, len(tc.got))
+				for _, r := range tc.got {
+					seen[r.C] = r.L
+				}
+				for _, wc := range tc.want {
+					lvl, ok := seen[wc]
+					if !ok {
+						t.Fatalf("trial %d: %v missing %s knowledge of %v", trial, c, tc.name, wc)
+					}
+					if lvl != levels.At(wc) {
+						t.Fatalf("trial %d: %v has stale level for %v", trial, c, wc)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package traffic is a discrete-time store-and-forward network
+// simulator for faulty 2-D meshes: the communication-subsystem
+// evaluation layer the paper's introduction motivates. Packets are
+// injected under uniform random traffic, forwarded one link per cycle
+// through per-link FIFO queues, and routed by a pluggable per-hop
+// routing function (Wu's limited-information protocol or the
+// full-information oracle), yielding latency and throughput under
+// increasing load and fault pressure.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/wang"
+)
+
+// RoutingFunc returns the next hop for a packet at u heading for d.
+// It must return an error when no usable move exists.
+type RoutingFunc func(u, d mesh.Coord) (mesh.Coord, error)
+
+// WuRouting adapts a route.Router to the simulator.
+func WuRouting(r *route.Router) RoutingFunc {
+	return r.NextHop
+}
+
+// XYRouting returns the classic dimension-ordered routing function: X
+// first, then Y, with no fault information at all. It is the
+// fault-intolerant baseline — deterministic and minimal in fault-free
+// meshes, but stuck at the first fault region in its fixed path.
+func XYRouting(m mesh.Mesh, blocked []bool) RoutingFunc {
+	return func(u, d mesh.Coord) (mesh.Coord, error) {
+		if u == d {
+			return d, nil
+		}
+		var n mesh.Coord
+		switch {
+		case d.X > u.X:
+			n = mesh.Coord{X: u.X + 1, Y: u.Y}
+		case d.X < u.X:
+			n = mesh.Coord{X: u.X - 1, Y: u.Y}
+		case d.Y > u.Y:
+			n = mesh.Coord{X: u.X, Y: u.Y + 1}
+		default:
+			n = mesh.Coord{X: u.X, Y: u.Y - 1}
+		}
+		if !m.Contains(n) || blocked[m.Index(n)] {
+			return mesh.Coord{}, &route.StuckError{At: u, To: d}
+		}
+		return n, nil
+	}
+}
+
+// OracleRouting returns a full-information routing function over the
+// blocked grid. Reachability DP grids are cached per destination.
+func OracleRouting(m mesh.Mesh, blocked []bool) RoutingFunc {
+	cache := make(map[mesh.Coord]*wang.Reach)
+	reachTo := func(d mesh.Coord) *wang.Reach {
+		r, ok := cache[d]
+		if !ok {
+			r = wang.ReachFrom(m, d, blocked)
+			cache[d] = r
+		}
+		return r
+	}
+	return func(u, d mesh.Coord) (mesh.Coord, error) {
+		if u == d {
+			return d, nil
+		}
+		reach := reachTo(d)
+		for _, dir := range mesh.PreferredDirs(u, d) {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && !blocked[m.Index(n)] && reach.CanReach(n) {
+				return n, nil
+			}
+		}
+		return mesh.Coord{}, &route.StuckError{At: u, To: d}
+	}
+}
+
+// Config parameterizes one traffic simulation.
+type Config struct {
+	M       mesh.Mesh
+	Blocked []bool      // fault-region grid: these nodes neither inject nor forward
+	Route   RoutingFunc // per-hop routing decision
+
+	// InjectionRate is the probability per free node per cycle of
+	// injecting one packet to a uniformly random free destination.
+	InjectionRate float64
+	Cycles        int // measured cycles (after warmup)
+	Warmup        int // cycles before measurement starts
+	Seed          int64
+
+	// GuaranteedOnly restricts generated packets to pairs for which a
+	// minimal path exists (so delivery failures measure the routing
+	// function, not the topology).
+	GuaranteedOnly bool
+
+	// QueueCapacity bounds each per-link FIFO; 0 means unbounded. With
+	// finite buffers a packet whose next queue is full stalls on its
+	// link (backpressure), which can deadlock — the run then stops and
+	// reports Stats.Deadlocked.
+	QueueCapacity int
+
+	// ClassChannels gives each link one virtual channel per quadrant
+	// class (NE, NW, SW, SE, fixed per packet at injection). Because a
+	// class only ever uses two directions and every hop strictly
+	// advances toward the destination corner, the channel dependency
+	// graph of each class is acyclic: minimal routing with class
+	// channels is deadlock-free even with capacity-1 buffers.
+	ClassChannels bool
+
+	// Preload places packets in the network at cycle zero (before any
+	// injection); used to construct specific contention patterns.
+	Preload []Flow
+
+	// HotspotFraction routes this fraction of injected packets to the
+	// Hotspot node instead of a uniform destination, modeling the
+	// classic hotspot workload. Zero keeps pure uniform traffic.
+	HotspotFraction float64
+	Hotspot         mesh.Coord
+}
+
+// Flow is one preloaded packet: a source and a destination.
+type Flow struct {
+	Src mesh.Coord
+	Dst mesh.Coord
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.M.Width <= 1 || c.M.Height <= 1 {
+		return fmt.Errorf("traffic: mesh %v too small", c.M)
+	}
+	if len(c.Blocked) != c.M.Size() {
+		return fmt.Errorf("traffic: blocked grid size %d != mesh size %d", len(c.Blocked), c.M.Size())
+	}
+	if c.Route == nil {
+		return fmt.Errorf("traffic: no routing function")
+	}
+	if c.InjectionRate < 0 || c.InjectionRate > 1 {
+		return fmt.Errorf("traffic: injection rate %v outside [0,1]", c.InjectionRate)
+	}
+	if c.Cycles <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("traffic: cycles must be positive and warmup non-negative")
+	}
+	if c.QueueCapacity < 0 {
+		return fmt.Errorf("traffic: negative queue capacity")
+	}
+	if c.HotspotFraction < 0 || c.HotspotFraction > 1 {
+		return fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", c.HotspotFraction)
+	}
+	if c.HotspotFraction > 0 {
+		if !c.M.Contains(c.Hotspot) || c.Blocked[c.M.Index(c.Hotspot)] {
+			return fmt.Errorf("traffic: hotspot %v unusable", c.Hotspot)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the outcome of a simulation run.
+type Stats struct {
+	Injected      int // packets injected during measurement
+	Delivered     int // packets delivered (measured packets only)
+	Undeliverable int // packets abandoned because routing got stuck
+	InFlight      int // packets still queued when the run ended
+	Rejected      int // injections refused because the source queue was full
+
+	// Deadlocked reports that finite buffers reached a state where no
+	// packet could move; the run stopped early.
+	Deadlocked bool
+
+	AvgLatency float64 // cycles from injection to delivery
+	AvgHops    float64 // links traversed by delivered packets
+	AvgStretch float64 // hops / Manhattan distance (1.0 = all minimal)
+	MaxQueue   int     // largest per-link queue observed
+	Throughput float64 // delivered packets per free node per cycle
+}
+
+// packet is one in-flight message.
+type packet struct {
+	src, dst mesh.Coord
+	at       mesh.Coord
+	born     int
+	hops     int
+	class    int // quadrant class, fixed at injection
+	measured bool
+}
+
+// quadrantClass maps a source/destination pair to its channel class.
+func quadrantClass(src, dst mesh.Coord) int {
+	return mesh.Quadrant(src, dst) - 1
+}
+
+// Run executes the simulation and returns the measured statistics.
+func Run(cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	m := cfg.M
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Free nodes are the injectors and possible destinations.
+	var free []mesh.Coord
+	for i := 0; i < m.Size(); i++ {
+		if !cfg.Blocked[i] {
+			free = append(free, m.CoordOf(i))
+		}
+	}
+	if len(free) < 2 {
+		return Stats{}, fmt.Errorf("traffic: fewer than two usable nodes")
+	}
+
+	// queues[channelIndex] is the FIFO of packets waiting to cross a
+	// directed link. Channels are indexed by (from, dir) and, when
+	// class channels are enabled, by the packet's quadrant class.
+	classes := 1
+	if cfg.ClassChannels {
+		classes = 4
+	}
+	queueIndex := func(from mesh.Coord, d mesh.Dir, class int) int {
+		return (m.Index(from)*4+int(d)-1)*classes + class
+	}
+	queues := make([][]*packet, m.Size()*4*classes)
+
+	var st Stats
+	var totalLatency, totalHops, totalStretch float64
+
+	hasRoom := func(qi int) bool {
+		return cfg.QueueCapacity == 0 || len(queues[qi]) < cfg.QueueCapacity
+	}
+
+	// nextQueue resolves the output channel a packet at `at` heading
+	// for its destination would join; ok=false means delivery or drop.
+	nextQueue := func(p *packet) (int, bool) {
+		next, err := cfg.Route(p.at, p.dst)
+		if err != nil {
+			return 0, false
+		}
+		dir, ok := mesh.DirTo(p.at, next)
+		if !ok {
+			return 0, false
+		}
+		class := 0
+		if cfg.ClassChannels {
+			class = p.class
+		}
+		return queueIndex(p.at, dir, class), true
+	}
+
+	deliver := func(p *packet, cycle int) {
+		if !p.measured {
+			return
+		}
+		st.Delivered++
+		totalLatency += float64(cycle - p.born)
+		totalHops += float64(p.hops)
+		totalStretch += float64(p.hops) / float64(max(1, mesh.Distance(p.src, p.dst)))
+	}
+
+	// enqueue routes p out of its current node; it reports true when
+	// the packet left the system (delivered or undeliverable).
+	enqueue := func(p *packet, cycle int) bool {
+		if p.at == p.dst {
+			deliver(p, cycle)
+			return true
+		}
+		qi, ok := nextQueue(p)
+		if !ok {
+			if p.measured {
+				st.Undeliverable++
+			}
+			return true
+		}
+		queues[qi] = append(queues[qi], p)
+		if len(queues[qi]) > st.MaxQueue {
+			st.MaxQueue = len(queues[qi])
+		}
+		return false
+	}
+
+	// Preloaded packets enter before the first cycle and are always
+	// measured.
+	for _, fl := range cfg.Preload {
+		if !m.Contains(fl.Src) || !m.Contains(fl.Dst) ||
+			cfg.Blocked[m.Index(fl.Src)] || cfg.Blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
+			return Stats{}, fmt.Errorf("traffic: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
+		}
+		p := &packet{src: fl.Src, dst: fl.Dst, at: fl.Src, class: quadrantClass(fl.Src, fl.Dst), measured: true}
+		st.Injected++
+		enqueue(p, 0)
+	}
+
+	totalCycles := cfg.Warmup + cfg.Cycles
+	idleCycles := 0
+	for cycle := 0; cycle < totalCycles; cycle++ {
+		measuring := cycle >= cfg.Warmup
+
+		// Injection phase.
+		for _, src := range free {
+			if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
+				continue
+			}
+			var dst mesh.Coord
+			if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction && src != cfg.Hotspot {
+				dst = cfg.Hotspot
+			} else {
+				dst = free[rng.Intn(len(free))]
+				for dst == src {
+					dst = free[rng.Intn(len(free))]
+				}
+			}
+			if cfg.GuaranteedOnly && !wang.MinimalPathExists(m, src, dst, cfg.Blocked) {
+				continue
+			}
+			p := &packet{src: src, dst: dst, at: src, born: cycle, class: quadrantClass(src, dst), measured: measuring}
+			if qi, ok := nextQueue(p); ok && !hasRoom(qi) {
+				if measuring {
+					st.Rejected++
+				}
+				continue
+			}
+			if measuring {
+				st.Injected++
+			}
+			enqueue(p, cycle)
+		}
+
+		// Transmission phase: every directed link moves its head packet
+		// unless the downstream queue is full (backpressure).
+		type arrival struct {
+			p  *packet
+			at mesh.Coord
+		}
+		var arrivals []arrival
+		moved := 0
+		queued := 0
+		// incoming reserves downstream capacity for moves already
+		// granted this cycle, so simultaneous arrivals cannot overfill
+		// a bounded queue.
+		var incoming map[int]int
+		if cfg.QueueCapacity > 0 {
+			incoming = make(map[int]int)
+		}
+		for i := 0; i < m.Size(); i++ {
+			from := m.CoordOf(i)
+			for _, d := range mesh.Directions() {
+				for class := 0; class < classes; class++ {
+					qi := queueIndex(from, d, class)
+					queued += len(queues[qi])
+					if len(queues[qi]) == 0 {
+						continue
+					}
+					to := from.Add(d.Offset())
+					if !m.Contains(to) {
+						// Defensive: routing never sends off-mesh.
+						queues[qi] = queues[qi][1:]
+						continue
+					}
+					p := queues[qi][0]
+					if cfg.QueueCapacity > 0 && to != p.dst {
+						// Peek the downstream queue before moving.
+						probe := *p
+						probe.at = to
+						if nqi, ok := nextQueue(&probe); ok {
+							if len(queues[nqi])+incoming[nqi] >= cfg.QueueCapacity {
+								continue // stall on the link
+							}
+							incoming[nqi]++
+						}
+					}
+					queues[qi] = queues[qi][1:]
+					p.at = to
+					p.hops++
+					moved++
+					arrivals = append(arrivals, arrival{p: p, at: to})
+				}
+			}
+		}
+		for _, a := range arrivals {
+			enqueue(a.p, cycle+1)
+		}
+		if cfg.QueueCapacity > 0 {
+			if queued > 0 && moved == 0 {
+				idleCycles++
+				if idleCycles >= 3 {
+					st.Deadlocked = true
+					break
+				}
+			} else {
+				idleCycles = 0
+			}
+		}
+	}
+
+	for _, q := range queues {
+		st.InFlight += len(q)
+	}
+	if st.Delivered > 0 {
+		st.AvgLatency = totalLatency / float64(st.Delivered)
+		st.AvgHops = totalHops / float64(st.Delivered)
+		st.AvgStretch = totalStretch / float64(st.Delivered)
+	}
+	st.Throughput = float64(st.Delivered) / float64(len(free)) / float64(cfg.Cycles)
+	return st, nil
+}

@@ -1,0 +1,497 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+)
+
+func faultFreeConfig(m mesh.Mesh) Config {
+	blocked := make([]bool, m.Size())
+	return Config{
+		M:             m,
+		Blocked:       blocked,
+		Route:         WuRouting(route.NewRouter(m, blocked)),
+		InjectionRate: 0.02,
+		Cycles:        200,
+		Warmup:        50,
+		Seed:          1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	base := faultFreeConfig(m)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tiny mesh", func(c *Config) { c.M = mesh.Mesh{Width: 1, Height: 8} }},
+		{"grid mismatch", func(c *Config) { c.Blocked = make([]bool, 3) }},
+		{"nil route", func(c *Config) { c.Route = nil }},
+		{"negative rate", func(c *Config) { c.InjectionRate = -0.1 }},
+		{"huge rate", func(c *Config) { c.InjectionRate = 1.5 }},
+		{"zero cycles", func(c *Config) { c.Cycles = 0 }},
+		{"negative warmup", func(c *Config) { c.Warmup = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+			if _, err := Run(cfg); err == nil {
+				t.Error("Run should reject invalid config")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunFaultFree(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	cfg := faultFreeConfig(m)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Injected == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	if st.Undeliverable != 0 {
+		t.Errorf("fault-free mesh dropped %d packets", st.Undeliverable)
+	}
+	// Monotone routing is always minimal: stretch exactly 1.
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("AvgStretch = %v, want 1.0", st.AvgStretch)
+	}
+	// One cycle per hop is a lower bound on latency.
+	if st.AvgLatency < st.AvgHops {
+		t.Errorf("latency %v below hop count %v", st.AvgLatency, st.AvgHops)
+	}
+	if st.Delivered+st.InFlight+st.Undeliverable < st.Injected {
+		t.Errorf("packet accounting broken: %+v", st)
+	}
+	if st.Throughput <= 0 {
+		t.Errorf("throughput = %v", st.Throughput)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	cfg := faultFreeConfig(m)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different stats:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seed produced identical stats")
+	}
+}
+
+func TestCongestionIncreasesLatency(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	low := faultFreeConfig(m)
+	low.InjectionRate = 0.01
+	high := faultFreeConfig(m)
+	high.InjectionRate = 0.6
+	high.Cycles = 200
+
+	ls, err := Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.AvgLatency <= ls.AvgLatency {
+		t.Errorf("congested latency %v not above light-load latency %v", hs.AvgLatency, ls.AvgLatency)
+	}
+	if hs.MaxQueue <= ls.MaxQueue {
+		t.Errorf("congested max queue %d not above light-load %d", hs.MaxQueue, ls.MaxQueue)
+	}
+}
+
+func TestRunWithFaultsGuaranteedOracle(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	rng := rand.New(rand.NewSource(4))
+	faults, err := fault.RandomFaults(m, 20, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+	cfg := Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          OracleRouting(m, blocked),
+		InjectionRate:  0.02,
+		Cycles:         300,
+		Warmup:         50,
+		Seed:           9,
+		GuaranteedOnly: true,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if st.Undeliverable != 0 {
+		t.Errorf("oracle dropped %d guaranteed packets", st.Undeliverable)
+	}
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("oracle stretch = %v, want 1.0", st.AvgStretch)
+	}
+}
+
+func TestRunWithFaultsWuRouting(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	rng := rand.New(rand.NewSource(8))
+	faults, err := fault.RandomFaults(m, 18, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+	cfg := Config{
+		M:             m,
+		Blocked:       blocked,
+		Route:         WuRouting(route.NewRouter(m, blocked)),
+		InjectionRate: 0.02,
+		Cycles:        300,
+		Warmup:        50,
+		Seed:          9,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	// Everything Wu's protocol delivers is minimal.
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("Wu stretch = %v, want 1.0", st.AvgStretch)
+	}
+	// Some pairs may legitimately be unreachable or unguaranteed; the
+	// sum must still account for every measured packet.
+	if st.Delivered+st.Undeliverable+st.InFlight < st.Injected {
+		t.Errorf("packet accounting broken: %+v", st)
+	}
+}
+
+func TestZeroInjection(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	cfg := faultFreeConfig(m)
+	cfg.InjectionRate = 0
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Injected != 0 || st.Delivered != 0 {
+		t.Errorf("zero-rate run produced traffic: %+v", st)
+	}
+}
+
+func TestFullyBlockedMesh(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	blocked := make([]bool, m.Size())
+	for i := range blocked {
+		blocked[i] = true
+	}
+	blocked[0] = false // a single free node cannot form a pair
+	cfg := faultFreeConfig(m)
+	cfg.Blocked = blocked
+	if _, err := Run(cfg); err == nil {
+		t.Error("run with fewer than two usable nodes should fail")
+	}
+}
+
+func TestXYRouting(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	blocked := make([]bool, m.Size())
+	cfg := faultFreeConfig(m)
+	cfg.Route = XYRouting(m, blocked)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Undeliverable != 0 || math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("fault-free XY routing should be perfect: %+v", st)
+	}
+
+	// With faults XY routing strands packets Wu's protocol delivers.
+	rng := rand.New(rand.NewSource(6))
+	faults, err := fault.RandomFaults(m, 14, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := fault.BuildBlocks(sc).BlockedGrid()
+
+	xy := cfg
+	xy.Blocked = fb
+	xy.Route = XYRouting(m, fb)
+	xy.GuaranteedOnly = true
+	xy.InjectionRate = 0.03
+	xys, err := Run(xy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wu := xy
+	wu.Route = WuRouting(route.NewRouter(m, fb))
+	wus, err := Run(wu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xys.Undeliverable == 0 {
+		t.Error("XY routing should strand some packets among faults")
+	}
+	if wus.Undeliverable >= xys.Undeliverable {
+		t.Errorf("Wu (%d stranded) should beat XY (%d stranded)", wus.Undeliverable, xys.Undeliverable)
+	}
+}
+
+func TestFiniteBuffersBackpressure(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	cfg := faultFreeConfig(m)
+	cfg.QueueCapacity = 2
+	cfg.InjectionRate = 0.4
+	cfg.Cycles = 150
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxQueue > cfg.QueueCapacity {
+		t.Errorf("queue grew to %d beyond capacity %d", st.MaxQueue, cfg.QueueCapacity)
+	}
+	if st.Delivered == 0 {
+		t.Error("no packets delivered under backpressure")
+	}
+	if st.Rejected == 0 {
+		t.Error("heavy load with tiny buffers should reject some injections")
+	}
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("stretch = %v, want 1.0", st.AvgStretch)
+	}
+	if st.Deadlocked {
+		// Monotone quadrant routing can deadlock across opposing
+		// flows; with capacity 2 at rate 0.4 it may or may not. Either
+		// outcome is legal, but a deadlocked run must stop with queued
+		// packets.
+		if st.InFlight == 0 {
+			t.Error("deadlock reported with empty queues")
+		}
+	}
+	if err := (Config{QueueCapacity: -1}).Validate(); err == nil {
+		t.Error("negative capacity should fail validation")
+	}
+}
+
+// deadlockSquare preloads four packets around the unit square
+// (0,0)-(1,1), one per quadrant class. With class-rotating routing
+// each packet's first output channel is exactly the channel the next
+// packet needs: (0,0)E -> (1,0)N -> (1,1)W -> (0,1)S -> (0,0)E.
+func deadlockSquare() []Flow {
+	return []Flow{
+		{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 1, Y: 1}}, // NE: east then north
+		{Src: mesh.Coord{X: 1, Y: 0}, Dst: mesh.Coord{X: 0, Y: 1}}, // NW: north then west
+		{Src: mesh.Coord{X: 1, Y: 1}, Dst: mesh.Coord{X: 0, Y: 0}}, // SW: west then south
+		{Src: mesh.Coord{X: 0, Y: 1}, Dst: mesh.Coord{X: 1, Y: 0}}, // SE: south then east
+	}
+}
+
+// rotatingRoute prefers a different first direction per quadrant (E
+// for NE, N for NW, W for SW, S for SE) — the turn pattern that closes
+// the four-channel cycle around the unit square.
+func rotatingRoute(m mesh.Mesh) RoutingFunc {
+	return func(u, d mesh.Coord) (mesh.Coord, error) {
+		if u == d {
+			return d, nil
+		}
+		var first, second mesh.Dir
+		switch mesh.Quadrant(u, d) {
+		case 1:
+			first, second = mesh.East, mesh.North
+		case 2:
+			first, second = mesh.North, mesh.West
+		case 3:
+			first, second = mesh.West, mesh.South
+		default:
+			first, second = mesh.South, mesh.East
+		}
+		for _, dir := range []mesh.Dir{first, second} {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && mesh.Distance(n, d) < mesh.Distance(u, d) {
+				return n, nil
+			}
+		}
+		return mesh.Coord{}, &route.StuckError{At: u, To: d}
+	}
+}
+
+// TestTurnCycleDeadlock constructs the canonical four-packet turn
+// cycle with capacity-1 shared channels and verifies it deadlocks;
+// enabling per-quadrant class channels dissolves the cycle and all
+// four packets deliver.
+func TestTurnCycleDeadlock(t *testing.T) {
+	m := mesh.Mesh{Width: 3, Height: 3}
+	blocked := make([]bool, m.Size())
+	base := Config{
+		M:             m,
+		Blocked:       blocked,
+		Route:         rotatingRoute(m),
+		InjectionRate: 0,
+		Cycles:        50,
+		Warmup:        0,
+		Seed:          1,
+		QueueCapacity: 1,
+		Preload:       deadlockSquare(),
+	}
+
+	st, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatalf("shared channels should deadlock: %+v", st)
+	}
+	if st.Delivered != 0 {
+		t.Fatalf("deadlocked run delivered %d packets", st.Delivered)
+	}
+	if st.InFlight != 4 {
+		t.Fatalf("deadlocked run should strand all 4 packets: %+v", st)
+	}
+
+	vc := base
+	vc.ClassChannels = true
+	st, err = Run(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("class channels should not deadlock: %+v", st)
+	}
+	if st.Delivered != 4 {
+		t.Fatalf("class channels delivered %d/4", st.Delivered)
+	}
+	if st.AvgStretch != 1.0 {
+		t.Fatalf("class-channel delivery not minimal: %+v", st)
+	}
+}
+
+// TestClassChannelsNeverDeadlock hammers small meshes with capacity-1
+// buffers under heavy uniform load: with per-quadrant class channels
+// the run never deadlocks (the per-class dependency graphs are
+// acyclic).
+func TestClassChannelsNeverDeadlock(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		m := mesh.Mesh{Width: 6, Height: 6}
+		blocked := make([]bool, m.Size())
+		cfg := Config{
+			M:             m,
+			Blocked:       blocked,
+			Route:         WuRouting(route.NewRouter(m, blocked)),
+			InjectionRate: 0.8,
+			Cycles:        150,
+			Warmup:        0,
+			Seed:          seed,
+			QueueCapacity: 1,
+			ClassChannels: true,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deadlocked {
+			t.Fatalf("seed %d: class channels deadlocked: %+v", seed, st)
+		}
+		if st.Delivered == 0 {
+			t.Fatalf("seed %d: nothing delivered", seed)
+		}
+	}
+}
+
+func TestPreloadValidation(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	cfg := faultFreeConfig(m)
+	cfg.Preload = []Flow{{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 0, Y: 0}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("self-flow preload should fail")
+	}
+	cfg.Preload = []Flow{{Src: mesh.Coord{X: 9, Y: 0}, Dst: mesh.Coord{X: 0, Y: 0}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-mesh preload should fail")
+	}
+}
+
+func TestHotspotTraffic(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	uniform := faultFreeConfig(m)
+	uniform.InjectionRate = 0.05
+	uniform.Cycles = 250
+
+	hot := uniform
+	hot.HotspotFraction = 0.5
+	hot.Hotspot = m.Center()
+
+	us, err := Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Delivered == 0 {
+		t.Fatal("hotspot run delivered nothing")
+	}
+	// Concentrating half the traffic on one ejection point congests
+	// the center: queues grow beyond the uniform case.
+	if hs.MaxQueue <= us.MaxQueue {
+		t.Errorf("hotspot max queue %d not above uniform %d", hs.MaxQueue, us.MaxQueue)
+	}
+
+	bad := uniform
+	bad.HotspotFraction = 1.5
+	if _, err := Run(bad); err == nil {
+		t.Error("bad fraction should fail")
+	}
+	bad = uniform
+	bad.HotspotFraction = 0.5
+	bad.Hotspot = mesh.Coord{X: -1, Y: 0}
+	if _, err := Run(bad); err == nil {
+		t.Error("bad hotspot should fail")
+	}
+}

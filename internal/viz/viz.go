@@ -1,0 +1,123 @@
+// Package viz renders 2-D mesh scenarios as ASCII art: fault regions,
+// boundary lines, safety information and routed paths. It is used by
+// cmd/meshviz and the examples.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"extmesh/internal/mesh"
+)
+
+// CellFunc returns the rune drawn for a node. Precedence is decided by
+// the composition helpers below: later layers override earlier ones.
+type CellFunc func(c mesh.Coord) rune
+
+// Base returns a layer drawing free nodes as '.'.
+func Base() CellFunc {
+	return func(mesh.Coord) rune { return '.' }
+}
+
+// Overlay stacks layers: the last layer returning a non-zero rune wins.
+func Overlay(layers ...CellFunc) CellFunc {
+	return func(c mesh.Coord) rune {
+		r := rune(0)
+		for _, l := range layers {
+			if l == nil {
+				continue
+			}
+			if v := l(c); v != 0 {
+				r = v
+			}
+		}
+		return r
+	}
+}
+
+// MarkGrid draws ch on every node whose grid entry is true.
+func MarkGrid(m mesh.Mesh, grid []bool, ch rune) CellFunc {
+	return func(c mesh.Coord) rune {
+		if m.Contains(c) && grid[m.Index(c)] {
+			return ch
+		}
+		return 0
+	}
+}
+
+// MarkSet draws ch on the listed nodes.
+func MarkSet(coords []mesh.Coord, ch rune) CellFunc {
+	set := make(map[mesh.Coord]bool, len(coords))
+	for _, c := range coords {
+		set[c] = true
+	}
+	return func(c mesh.Coord) rune {
+		if set[c] {
+			return ch
+		}
+		return 0
+	}
+}
+
+// MarkOne draws ch on a single node.
+func MarkOne(at mesh.Coord, ch rune) CellFunc {
+	return func(c mesh.Coord) rune {
+		if c == at {
+			return ch
+		}
+		return 0
+	}
+}
+
+// Render draws the mesh with the given cell function, highest row
+// first (so North is up, matching the paper's figures), with axis
+// ticks every five nodes.
+func Render(w io.Writer, m mesh.Mesh, cell CellFunc) error {
+	for y := m.Height - 1; y >= 0; y-- {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%4d ", y)
+		for x := 0; x < m.Width; x++ {
+			r := cell(mesh.Coord{X: x, Y: y})
+			if r == 0 {
+				r = ' '
+			}
+			sb.WriteRune(r)
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	// X axis ticks.
+	var tick strings.Builder
+	tick.WriteString("     ")
+	for x := 0; x < m.Width; x++ {
+		if x%5 == 0 {
+			tick.WriteByte('|')
+		} else {
+			tick.WriteByte(' ')
+		}
+	}
+	if _, err := fmt.Fprintln(w, tick.String()); err != nil {
+		return err
+	}
+	var lbl strings.Builder
+	lbl.WriteString("     ")
+	for x := 0; x < m.Width; x += 5 {
+		s := fmt.Sprintf("%d", x)
+		lbl.WriteString(s)
+		if pad := 5 - len(s); pad > 0 {
+			lbl.WriteString(strings.Repeat(" ", pad))
+		} else {
+			lbl.WriteByte(' ')
+		}
+	}
+	_, err := fmt.Fprintln(w, strings.TrimRight(lbl.String(), " "))
+	return err
+}
+
+// Legend writes a one-line legend for the standard symbols.
+func Legend(w io.Writer, entries ...string) error {
+	_, err := fmt.Fprintln(w, "legend: "+strings.Join(entries, "  "))
+	return err
+}

@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func TestRenderLayout(t *testing.T) {
+	m := mesh.Mesh{Width: 7, Height: 3}
+	var sb strings.Builder
+	cell := Overlay(
+		Base(),
+		MarkOne(mesh.Coord{X: 0, Y: 0}, 'S'),
+		MarkOne(mesh.Coord{X: 6, Y: 2}, 'D'),
+	)
+	if err := Render(&sb, m, cell); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// 3 grid rows + 2 axis rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	// Highest row first: D is on the first grid line, S on the last.
+	if !strings.Contains(lines[0], "D") {
+		t.Errorf("top row missing D: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "S") {
+		t.Errorf("bottom row missing S: %q", lines[2])
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "2") {
+		t.Errorf("top row should be labeled 2: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "0") || !strings.Contains(lines[4], "5") {
+		t.Errorf("x labels missing: %q", lines[4])
+	}
+}
+
+func TestOverlayPrecedence(t *testing.T) {
+	c := mesh.Coord{X: 1, Y: 1}
+	cell := Overlay(Base(), MarkOne(c, 'A'), MarkOne(c, 'B'), nil)
+	if got := cell(c); got != 'B' {
+		t.Errorf("later layer should win: got %q", got)
+	}
+	if got := cell(mesh.Coord{X: 0, Y: 0}); got != '.' {
+		t.Errorf("base should show through: got %q", got)
+	}
+}
+
+func TestMarkGrid(t *testing.T) {
+	m := mesh.Mesh{Width: 3, Height: 3}
+	grid := make([]bool, m.Size())
+	grid[m.Index(mesh.Coord{X: 2, Y: 1})] = true
+	cell := MarkGrid(m, grid, 'X')
+	if cell(mesh.Coord{X: 2, Y: 1}) != 'X' {
+		t.Error("marked node not drawn")
+	}
+	if cell(mesh.Coord{X: 0, Y: 0}) != 0 {
+		t.Error("unmarked node drawn")
+	}
+	if cell(mesh.Coord{X: -1, Y: 0}) != 0 {
+		t.Error("out-of-mesh node drawn")
+	}
+}
+
+func TestMarkSet(t *testing.T) {
+	coords := []mesh.Coord{{X: 0, Y: 0}, {X: 1, Y: 2}}
+	cell := MarkSet(coords, '*')
+	for _, c := range coords {
+		if cell(c) != '*' {
+			t.Errorf("set node %v not drawn", c)
+		}
+	}
+	if cell(mesh.Coord{X: 2, Y: 2}) != 0 {
+		t.Error("non-set node drawn")
+	}
+}
+
+func TestLegend(t *testing.T) {
+	var sb strings.Builder
+	if err := Legend(&sb, "a x", "b y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.Contains(got, "legend: a x  b y") {
+		t.Errorf("legend = %q", got)
+	}
+}

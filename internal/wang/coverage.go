@@ -1,0 +1,114 @@
+package wang
+
+import (
+	"extmesh/internal/mesh"
+)
+
+// HasMinimalPathBlocks is Wang's necessary and sufficient condition: a
+// minimal path from s to d that avoids every node of every block exists
+// iff no sequence of blocks covers s and d on x and none covers them on
+// y. The blocks must be pairwise disjoint, non-touching rectangles (as
+// produced by the faulty-block labeling) and s and d must lie outside
+// all of them.
+//
+// Our cover relation refines the paper's statement so that it is exact
+// against the dynamic-programming ground truth: block j covers block i
+// on y iff y(j)min > y(i)max and x(j)min <= x(i)max+1 <= x(j)max — the
+// +1 accounts for the first free column east of block i, which is the
+// column any monotone path is forced into after passing i.
+func HasMinimalPathBlocks(blocks []mesh.Rect, s, d mesh.Coord) bool {
+	// Normalize so the destination is in (weak) quadrant I of the
+	// source at the origin.
+	dx := d.X - s.X
+	dy := d.Y - s.Y
+	fx, fy := 1, 1
+	if dx < 0 {
+		fx = -1
+		dx = -dx
+	}
+	if dy < 0 {
+		fy = -1
+		dy = -dy
+	}
+	norm := make([]mesh.Rect, 0, len(blocks))
+	for _, b := range blocks {
+		x1 := fx * (b.MinX - s.X)
+		x2 := fx * (b.MaxX - s.X)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		y1 := fy * (b.MinY - s.Y)
+		y2 := fy * (b.MaxY - s.Y)
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		norm = append(norm, mesh.Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2})
+	}
+	return !coveredOnY(norm, dx, dy) && !coveredOnX(norm, dx, dy)
+}
+
+// coveredOnY detects a barrier of blocks climbing from the source
+// column (x=0) to at least the destination column, each band strictly
+// above the previous, that every monotone path must fail to cross.
+// Coordinates are normalized: source (0,0), destination (dx,dy) with
+// dx,dy >= 0.
+func coveredOnY(blocks []mesh.Rect, dx, dy int) bool {
+	isStart := func(b mesh.Rect) bool {
+		return b.MinX <= 0 && b.MaxX >= 0 && b.MinY >= 1
+	}
+	accepts := func(b mesh.Rect) bool {
+		return b.MaxX >= dx && b.MinY <= dy
+	}
+	covers := func(i, j mesh.Rect) bool { // j covers i on y
+		forced := i.MaxX + 1
+		return j.MinY > i.MaxY && j.MinX <= forced && forced <= j.MaxX
+	}
+	return barrierExists(blocks, isStart, accepts, covers)
+}
+
+// coveredOnX is coveredOnY with the roles of x and y exchanged.
+func coveredOnX(blocks []mesh.Rect, dx, dy int) bool {
+	isStart := func(b mesh.Rect) bool {
+		return b.MinY <= 0 && b.MaxY >= 0 && b.MinX >= 1
+	}
+	accepts := func(b mesh.Rect) bool {
+		return b.MaxY >= dy && b.MinX <= dx
+	}
+	covers := func(i, j mesh.Rect) bool { // j covers i on x
+		forced := i.MaxY + 1
+		return j.MinX > i.MaxX && j.MinY <= forced && forced <= j.MaxY
+	}
+	return barrierExists(blocks, isStart, accepts, covers)
+}
+
+// barrierExists runs a BFS over the cover relation from all start
+// blocks and reports whether an accepting block is reachable.
+func barrierExists(blocks []mesh.Rect, isStart, accepts func(mesh.Rect) bool, covers func(i, j mesh.Rect) bool) bool {
+	n := len(blocks)
+	visited := make([]bool, n)
+	var queue []int
+	for i, b := range blocks {
+		if isStart(b) {
+			if accepts(b) {
+				return true
+			}
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for j := 0; j < n; j++ {
+			if visited[j] || !covers(blocks[i], blocks[j]) {
+				continue
+			}
+			if accepts(blocks[j]) {
+				return true
+			}
+			visited[j] = true
+			queue = append(queue, j)
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package wang
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+func TestHasMinimalPathBlocksSimple(t *testing.T) {
+	// Single block between source and a destination in its east shadow:
+	// the path routes south of the block, so a minimal path exists.
+	blocks := []mesh.Rect{{MinX: 3, MinY: 3, MaxX: 5, MaxY: 5}}
+	s := mesh.Coord{X: 0, Y: 0}
+	if !HasMinimalPathBlocks(blocks, s, mesh.Coord{X: 8, Y: 4}) {
+		t.Error("single block should not cover a reachable destination")
+	}
+	// Destination northeast beyond the block: also fine (go around).
+	if !HasMinimalPathBlocks(blocks, s, mesh.Coord{X: 8, Y: 8}) {
+		t.Error("single block never blocks an interior-quadrant destination")
+	}
+}
+
+func TestHasMinimalPathBlocksBarrier(t *testing.T) {
+	// Two blocks forming a staircase barrier on y (cf. Figure 4(a)):
+	// block 1 spans the source column, block 2 continues east exactly
+	// at the forced column and spans the destination column.
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 8, Y: 9}
+	blocks := []mesh.Rect{
+		{MinX: -2, MinY: 2, MaxX: 4, MaxY: 3},
+		{MinX: 5, MinY: 6, MaxX: 9, MaxY: 7},
+	}
+	if HasMinimalPathBlocks(blocks, s, d) {
+		t.Error("staircase barrier should cover s and d on y")
+	}
+	// Pulling block 2 one column east opens a corridor at x=5.
+	open := []mesh.Rect{blocks[0], {MinX: 6, MinY: 6, MaxX: 9, MaxY: 7}}
+	if !HasMinimalPathBlocks(open, s, d) {
+		t.Error("corridor at the forced column should admit a minimal path")
+	}
+}
+
+func TestHasMinimalPathBlocksAxisAligned(t *testing.T) {
+	s := mesh.Coord{X: 0, Y: 0}
+	// Destination due east with a block sitting on the row.
+	blocks := []mesh.Rect{{MinX: 3, MinY: 0, MaxX: 4, MaxY: 1}}
+	if HasMinimalPathBlocks(blocks, s, mesh.Coord{X: 8, Y: 0}) {
+		t.Error("block on the only row should block a same-row destination")
+	}
+	if !HasMinimalPathBlocks(blocks, s, mesh.Coord{X: 2, Y: 0}) {
+		t.Error("destination before the block should be reachable")
+	}
+	// Destination due north with a clear column.
+	if !HasMinimalPathBlocks(blocks, s, mesh.Coord{X: 0, Y: 9}) {
+		t.Error("clear column to a same-column destination should be open")
+	}
+}
+
+func TestHasMinimalPathBlocksQuadrants(t *testing.T) {
+	// Symmetric scenario reflected into each quadrant: block adjacent
+	// to the source row covering the source column.
+	for _, q := range []struct {
+		name string
+		d    mesh.Coord
+		b    mesh.Rect
+	}{
+		{name: "QI", d: mesh.Coord{X: 5, Y: 5}, b: mesh.Rect{MinX: -1, MinY: 2, MaxX: 6, MaxY: 3}},
+		{name: "QII", d: mesh.Coord{X: -5, Y: 5}, b: mesh.Rect{MinX: -6, MinY: 2, MaxX: 1, MaxY: 3}},
+		{name: "QIII", d: mesh.Coord{X: -5, Y: -5}, b: mesh.Rect{MinX: -6, MinY: -3, MaxX: 1, MaxY: -2}},
+		{name: "QIV", d: mesh.Coord{X: 5, Y: -5}, b: mesh.Rect{MinX: -1, MinY: -3, MaxX: 6, MaxY: -2}},
+	} {
+		t.Run(q.name, func(t *testing.T) {
+			s := mesh.Coord{X: 0, Y: 0}
+			if HasMinimalPathBlocks([]mesh.Rect{q.b}, s, q.d) {
+				t.Errorf("block %v should cover %v -> %v", q.b, s, q.d)
+			}
+		})
+	}
+}
+
+// TestCoverageMatchesDP is the central equivalence property: for block
+// sets produced by the faulty-block labeling, Wang's coverage condition
+// agrees exactly with the monotone DP over the blocked grid, for random
+// source/destination pairs in all quadrants.
+func TestCoverageMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		w := 8 + rng.Intn(20)
+		h := 8 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/5), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+		blocked := bs.BlockedGrid()
+
+		for pair := 0; pair < 60; pair++ {
+			s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+			if bs.InBlock(s) || bs.InBlock(d) {
+				continue
+			}
+			got := HasMinimalPathBlocks(bs.Blocks, s, d)
+			want := MinimalPathExists(m, s, d, blocked)
+			if got != want {
+				t.Fatalf("trial %d: coverage(%v->%v) = %v, DP = %v (blocks %v)",
+					trial, s, d, got, want, bs.Blocks)
+			}
+		}
+	}
+}
+
+func TestHasMinimalPathBlocksNoBlocks(t *testing.T) {
+	if !HasMinimalPathBlocks(nil, mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 5, Y: 7}) {
+		t.Error("no blocks should always admit a minimal path")
+	}
+}

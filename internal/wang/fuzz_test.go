@@ -1,0 +1,45 @@
+package wang
+
+import (
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+// FuzzCoverageAgainstDP feeds arbitrary fault patterns and endpoint
+// pairs into both the coverage condition and the monotone DP and
+// requires exact agreement (the necessary-and-sufficient property).
+func FuzzCoverageAgainstDP(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint8(0), uint8(99))
+	f.Add([]byte{}, uint8(0), uint8(80))
+	f.Add([]byte{11, 12, 21, 33, 44, 55, 66}, uint8(90), uint8(9))
+
+	f.Fuzz(func(t *testing.T, data []byte, rawS, rawD uint8) {
+		m := mesh.Mesh{Width: 10, Height: 10}
+		seen := make(map[mesh.Coord]bool)
+		var faults []mesh.Coord
+		for _, b := range data {
+			c := m.CoordOf(int(b) % m.Size())
+			if !seen[c] {
+				seen[c] = true
+				faults = append(faults, c)
+			}
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		bs := fault.BuildBlocks(sc)
+		s := m.CoordOf(int(rawS) % m.Size())
+		d := m.CoordOf(int(rawD) % m.Size())
+		if bs.InBlock(s) || bs.InBlock(d) {
+			return
+		}
+		got := HasMinimalPathBlocks(bs.Blocks, s, d)
+		want := MinimalPathExists(m, s, d, bs.BlockedGrid())
+		if got != want {
+			t.Fatalf("coverage %v != DP %v for %v->%v faults %v", got, want, s, d, faults)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package wang provides the global-information baselines of the paper:
+// the exact existence of a minimal path (computed by dynamic
+// programming over the monotone routing DAG) and Wang's necessary and
+// sufficient coverage condition over fault blocks.
+package wang
+
+import (
+	"extmesh/internal/mesh"
+)
+
+// Reach holds, for one source, the set of nodes reachable by a minimal
+// (monotone) path in every quadrant. Because every minimal path from s
+// to d moves only in the two directions towards d, reachability is a
+// simple prefix DP per quadrant.
+type Reach struct {
+	M mesh.Mesh
+	S mesh.Coord
+
+	ok []bool
+}
+
+// ReachFrom computes minimal-path reachability from s to every node of
+// the mesh, avoiding nodes for which blocked is true. blocked is
+// indexed by mesh.Index. If s itself is blocked nothing is reachable.
+func ReachFrom(m mesh.Mesh, s mesh.Coord, blocked []bool) *Reach {
+	r := &Reach{M: m, S: s, ok: make([]bool, m.Size())}
+	if blocked[m.Index(s)] {
+		return r
+	}
+	// Sweep each quadrant cone independently; the axes shared between
+	// two cones compute the same value, so overwriting is harmless.
+	for _, sx := range []int{1, -1} {
+		for _, sy := range []int{1, -1} {
+			r.sweep(blocked, sx, sy)
+		}
+	}
+	return r
+}
+
+// sweep fills the cone of nodes with sign(x-sx)=sx, sign(y-sy)=sy using
+// the monotone recurrence reach(c) = !blocked(c) && (reach(pred_x) ||
+// reach(pred_y)).
+func (r *Reach) sweep(blocked []bool, sx, sy int) {
+	m := r.M
+	xEnd := m.Width
+	yEnd := m.Height
+	if sx < 0 {
+		xEnd = -1
+	}
+	if sy < 0 {
+		yEnd = -1
+	}
+	for y := r.S.Y; y != yEnd; y += sy {
+		for x := r.S.X; x != xEnd; x += sx {
+			i := y*m.Width + x
+			if blocked[i] {
+				r.ok[i] = false
+				continue
+			}
+			if x == r.S.X && y == r.S.Y {
+				r.ok[i] = true
+				continue
+			}
+			ok := false
+			if x != r.S.X {
+				ok = r.ok[y*m.Width+(x-sx)]
+			}
+			if !ok && y != r.S.Y {
+				ok = r.ok[(y-sy)*m.Width+x]
+			}
+			r.ok[i] = ok
+		}
+	}
+}
+
+// CanReach reports whether a minimal path exists from the source to d.
+func (r *Reach) CanReach(d mesh.Coord) bool {
+	return r.ok[r.M.Index(d)]
+}
+
+// MinimalPathExists reports whether a minimal path from s to d exists
+// avoiding the blocked nodes. It is a one-shot convenience around
+// ReachFrom restricted to the s-d rectangle.
+func MinimalPathExists(m mesh.Mesh, s, d mesh.Coord, blocked []bool) bool {
+	if !m.Contains(s) || !m.Contains(d) {
+		return false
+	}
+	if blocked[m.Index(s)] || blocked[m.Index(d)] {
+		return false
+	}
+	sx, sy := 1, 1
+	if d.X < s.X {
+		sx = -1
+	}
+	if d.Y < s.Y {
+		sy = -1
+	}
+	w := abs(d.X-s.X) + 1
+	h := abs(d.Y-s.Y) + 1
+	// Local DP over the s-d rectangle in relative coordinates.
+	prev := make([]bool, w)
+	cur := make([]bool, w)
+	for ry := 0; ry < h; ry++ {
+		for rx := 0; rx < w; rx++ {
+			c := mesh.Coord{X: s.X + sx*rx, Y: s.Y + sy*ry}
+			if blocked[m.Index(c)] {
+				cur[rx] = false
+				continue
+			}
+			switch {
+			case rx == 0 && ry == 0:
+				cur[rx] = true
+			case rx == 0:
+				cur[rx] = prev[rx]
+			case ry == 0:
+				cur[rx] = cur[rx-1]
+			default:
+				cur[rx] = cur[rx-1] || prev[rx]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[w-1]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,182 @@
+package wang
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+func grid(m mesh.Mesh, coords ...mesh.Coord) []bool {
+	g := make([]bool, m.Size())
+	for _, c := range coords {
+		g[m.Index(c)] = true
+	}
+	return g
+}
+
+func TestMinimalPathExistsEmpty(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	blocked := make([]bool, m.Size())
+	pairs := []struct{ s, d mesh.Coord }{
+		{mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 9, Y: 9}},
+		{mesh.Coord{X: 9, Y: 9}, mesh.Coord{X: 0, Y: 0}},
+		{mesh.Coord{X: 0, Y: 9}, mesh.Coord{X: 9, Y: 0}},
+		{mesh.Coord{X: 5, Y: 5}, mesh.Coord{X: 5, Y: 5}},
+		{mesh.Coord{X: 0, Y: 3}, mesh.Coord{X: 9, Y: 3}},
+	}
+	for _, p := range pairs {
+		if !MinimalPathExists(m, p.s, p.d, blocked) {
+			t.Errorf("no path %v -> %v in fault-free mesh", p.s, p.d)
+		}
+	}
+}
+
+func TestMinimalPathExistsWall(t *testing.T) {
+	// A horizontal wall across the full width blocks every monotone
+	// path that must cross it.
+	m := mesh.Mesh{Width: 6, Height: 6}
+	var wall []mesh.Coord
+	for x := 0; x < m.Width; x++ {
+		wall = append(wall, mesh.Coord{X: x, Y: 3})
+	}
+	blocked := grid(m, wall...)
+
+	if MinimalPathExists(m, mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 5, Y: 5}, blocked) {
+		t.Error("path should be blocked by full wall")
+	}
+	if !MinimalPathExists(m, mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 5, Y: 2}, blocked) {
+		t.Error("path below the wall should exist")
+	}
+	if !MinimalPathExists(m, mesh.Coord{X: 0, Y: 4}, mesh.Coord{X: 5, Y: 5}, blocked) {
+		t.Error("path above the wall should exist")
+	}
+}
+
+func TestMinimalPathExistsGap(t *testing.T) {
+	// Wall with one gap at x=4: monotone paths must pass through the
+	// gap, possible only if the destination is at or beyond it.
+	m := mesh.Mesh{Width: 6, Height: 6}
+	var wall []mesh.Coord
+	for x := 0; x < m.Width; x++ {
+		if x != 4 {
+			wall = append(wall, mesh.Coord{X: x, Y: 3})
+		}
+	}
+	blocked := grid(m, wall...)
+	s := mesh.Coord{X: 0, Y: 0}
+	if !MinimalPathExists(m, s, mesh.Coord{X: 5, Y: 5}, blocked) {
+		t.Error("path through gap should exist")
+	}
+	if !MinimalPathExists(m, s, mesh.Coord{X: 4, Y: 5}, blocked) {
+		t.Error("path ending at gap column should exist")
+	}
+	if MinimalPathExists(m, s, mesh.Coord{X: 3, Y: 5}, blocked) {
+		t.Error("monotone path cannot come back west of the gap")
+	}
+}
+
+func TestMinimalPathExistsEndpointsBlocked(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	c := mesh.Coord{X: 1, Y: 1}
+	blocked := grid(m, c)
+	if MinimalPathExists(m, c, mesh.Coord{X: 3, Y: 3}, blocked) {
+		t.Error("blocked source should have no path")
+	}
+	if MinimalPathExists(m, mesh.Coord{X: 0, Y: 0}, c, blocked) {
+		t.Error("blocked destination should have no path")
+	}
+	if MinimalPathExists(m, mesh.Coord{X: -1, Y: 0}, c, blocked) {
+		t.Error("out-of-mesh source should have no path")
+	}
+}
+
+// TestReachMatchesDP cross-checks the all-destination reach grid
+// against the one-shot DP for random configurations and all quadrants.
+func TestReachMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		w := 5 + rng.Intn(15)
+		h := 5 + rng.Intn(15)
+		m := mesh.Mesh{Width: w, Height: h}
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < 0.2
+		}
+		s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		blocked[m.Index(s)] = false
+		r := ReachFrom(m, s, blocked)
+		for i := 0; i < m.Size(); i++ {
+			d := m.CoordOf(i)
+			if got, want := r.CanReach(d), MinimalPathExists(m, s, d, blocked); got != want {
+				t.Fatalf("trial %d: reach(%v->%v) = %v, DP = %v", trial, s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestReachBlockedSource(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	s := mesh.Coord{X: 2, Y: 2}
+	r := ReachFrom(m, s, grid(m, s))
+	for i := 0; i < m.Size(); i++ {
+		if r.CanReach(m.CoordOf(i)) {
+			t.Fatalf("blocked source reaches %v", m.CoordOf(i))
+		}
+	}
+}
+
+// TestMCCEquivalence verifies the defining property of MCCs: for
+// quadrant-I source/destination pairs whose endpoints have fault-free
+// MCC status, a minimal path avoiding only the faulty nodes exists iff
+// one avoiding every type-one MCC node exists. (And symmetrically for
+// type-two MCCs with quadrant-II pairs.)
+func TestMCCEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		w := 8 + rng.Intn(15)
+		h := 8 + rng.Intn(15)
+		m := mesh.Mesh{Width: w, Height: h}
+		faults, err := fault.RandomFaults(m, rng.Intn(m.Size()/6), rng, nil)
+		if err != nil {
+			t.Fatalf("RandomFaults: %v", err)
+		}
+		sc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		faultGrid := make([]bool, m.Size())
+		for _, f := range faults {
+			faultGrid[m.Index(f)] = true
+		}
+
+		for _, typ := range []fault.MCCType{fault.TypeOne, fault.TypeTwo} {
+			ms := fault.BuildMCC(sc, typ)
+			mccGrid := ms.BlockedGrid()
+			for pair := 0; pair < 40; pair++ {
+				s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				d := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+				// Orient the pair to the quadrant served by typ.
+				if typ == fault.TypeOne { // quadrant I/III: same sign deltas
+					if (d.X-s.X)*(d.Y-s.Y) < 0 {
+						s.Y, d.Y = d.Y, s.Y
+					}
+				} else { // quadrant II/IV: opposite sign deltas
+					if (d.X-s.X)*(d.Y-s.Y) > 0 {
+						s.Y, d.Y = d.Y, s.Y
+					}
+				}
+				if ms.InMCC(s) || ms.InMCC(d) {
+					continue
+				}
+				got := MinimalPathExists(m, s, d, mccGrid)
+				want := MinimalPathExists(m, s, d, faultGrid)
+				if got != want {
+					t.Fatalf("trial %d: %v MCC equivalence broken for %v->%v: mcc=%v faults=%v",
+						trial, typ, s, d, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,398 @@
+// Package wormhole is a flit-level wormhole-switching simulator for
+// faulty 2-D meshes, the switching technique of the multicomputers the
+// paper targets. Packets are worms of flits that snake through virtual
+// channels: the head flit allocates one virtual channel per hop using
+// a pluggable routing function (Wu's protocol, the oracle, ...), body
+// flits follow the reserved chain one flit per physical link per
+// cycle, and the tail releases each channel as it passes. Finite
+// buffers plus channel allocation make deadlock a real possibility —
+// the simulator detects it — and per-quadrant virtual-channel classes
+// provably dissolve it for minimal routing.
+package wormhole
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extmesh/internal/mesh"
+	"extmesh/internal/traffic"
+	"extmesh/internal/wang"
+)
+
+// Config parameterizes one wormhole simulation.
+type Config struct {
+	M       mesh.Mesh
+	Blocked []bool              // fault-region grid
+	Route   traffic.RoutingFunc // per-hop head routing
+
+	// FlitsPerPacket is the worm length (head + body flits).
+	FlitsPerPacket int
+	// BufferFlits is the per-virtual-channel input buffer depth.
+	BufferFlits int
+	// VCs is the number of virtual channels per physical link. With
+	// ClassVCs the channel is chosen by the packet's quadrant class
+	// (VCs is forced to 4); otherwise the head takes any free channel.
+	VCs      int
+	ClassVCs bool
+
+	// InjectionRate is the probability per free node per cycle of
+	// injecting one packet to a uniformly random free destination.
+	InjectionRate float64
+	Cycles        int
+	Warmup        int
+	Seed          int64
+
+	// GuaranteedOnly restricts generated packets to pairs with a
+	// minimal path.
+	GuaranteedOnly bool
+
+	// Preload places worms in the network before the first cycle.
+	Preload []traffic.Flow
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.M.Width <= 1 || c.M.Height <= 1 {
+		return fmt.Errorf("wormhole: mesh %v too small", c.M)
+	}
+	if len(c.Blocked) != c.M.Size() {
+		return fmt.Errorf("wormhole: blocked grid size %d != mesh size %d", len(c.Blocked), c.M.Size())
+	}
+	if c.Route == nil {
+		return fmt.Errorf("wormhole: no routing function")
+	}
+	if c.FlitsPerPacket <= 0 {
+		return fmt.Errorf("wormhole: packet must have at least one flit")
+	}
+	if c.BufferFlits <= 0 {
+		return fmt.Errorf("wormhole: buffers must hold at least one flit")
+	}
+	if c.VCs <= 0 && !c.ClassVCs {
+		return fmt.Errorf("wormhole: need at least one virtual channel")
+	}
+	if c.InjectionRate < 0 || c.InjectionRate > 1 {
+		return fmt.Errorf("wormhole: injection rate %v outside [0,1]", c.InjectionRate)
+	}
+	if c.Cycles <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("wormhole: cycles must be positive and warmup non-negative")
+	}
+	return nil
+}
+
+// Stats aggregates the outcome of a wormhole run.
+type Stats struct {
+	Injected      int // worms injected during measurement
+	Delivered     int // worms fully consumed at their destinations
+	Undeliverable int // worms dropped because the head had no move
+	InFlight      int // worms still in the network at the end
+
+	Deadlocked bool // allocation/flow reached a standstill
+
+	AvgLatency float64 // cycles from injection to last-flit delivery
+	AvgHops    float64 // links traversed by the head
+	AvgStretch float64 // head hops / Manhattan distance
+	Throughput float64 // delivered flits per free node per cycle
+}
+
+// worm is one in-flight packet.
+type worm struct {
+	src, dst mesh.Coord
+	class    int
+	born     int
+	length   int
+
+	injected  int // flits that left the source
+	delivered int // flits consumed at the destination
+
+	chain      []int32      // allocated virtual channels, in hop order
+	chainNodes []mesh.Coord // downstream node of each allocated channel
+	entered    []int        // flits that entered each stage
+	left       []int        // flits that left each stage
+	measured   bool
+	done       bool
+}
+
+// headNode returns the node the head flit currently occupies (or the
+// source before the first allocation).
+func (w *worm) headNode() mesh.Coord {
+	if len(w.chain) == 0 {
+		return w.src
+	}
+	return w.chainNodes[len(w.chain)-1]
+}
+
+// headReady reports whether the head flit is buffered at the head node
+// (and therefore able to request the next channel).
+func (w *worm) headReady() bool {
+	if len(w.chain) == 0 {
+		return true
+	}
+	last := len(w.chain) - 1
+	return w.entered[last] > 0 && w.left[last] == 0
+}
+
+// vcOwner records which worm holds a virtual channel and at which
+// chain stage.
+type vcOwner struct {
+	w     *worm
+	stage int
+}
+
+// Run executes the wormhole simulation.
+func Run(cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if cfg.ClassVCs {
+		cfg.VCs = 4
+	}
+	m := cfg.M
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var free []mesh.Coord
+	for i := 0; i < m.Size(); i++ {
+		if !cfg.Blocked[i] {
+			free = append(free, m.CoordOf(i))
+		}
+	}
+	if len(free) < 2 {
+		return Stats{}, fmt.Errorf("wormhole: fewer than two usable nodes")
+	}
+
+	numLinks := m.Size() * 4
+	linkIndex := func(from mesh.Coord, d mesh.Dir) int {
+		return m.Index(from)*4 + int(d) - 1
+	}
+	owners := make([]*vcOwner, numLinks*cfg.VCs)
+	rr := make([]int, numLinks) // per-link round-robin pointer
+
+	var (
+		st           Stats
+		worms        []*worm
+		totalLatency float64
+		totalHops    float64
+		totalStretch float64
+		flitsOut     int
+	)
+
+	spawn := func(src, dst mesh.Coord, cycle int, measured bool) {
+		w := &worm{
+			src: src, dst: dst,
+			class:    mesh.Quadrant(src, dst) - 1,
+			born:     cycle,
+			length:   cfg.FlitsPerPacket,
+			measured: measured,
+		}
+		worms = append(worms, w)
+		if measured {
+			st.Injected++
+		}
+	}
+
+	release := func(w *worm, vc int32) {
+		if o := owners[vc]; o != nil && o.w == w {
+			owners[vc] = nil
+		}
+	}
+
+	finish := func(w *worm, cycle int) {
+		w.done = true
+		for _, vc := range w.chain {
+			release(w, vc)
+		}
+		if !w.measured {
+			return
+		}
+		st.Delivered++
+		totalLatency += float64(cycle - w.born)
+		totalHops += float64(len(w.chain))
+		totalStretch += float64(len(w.chain)) / float64(max(1, mesh.Distance(w.src, w.dst)))
+	}
+
+	drop := func(w *worm) {
+		w.done = true
+		for _, vc := range w.chain {
+			release(w, vc)
+		}
+		if w.measured {
+			st.Undeliverable++
+		}
+	}
+
+	for _, fl := range cfg.Preload {
+		if !m.Contains(fl.Src) || !m.Contains(fl.Dst) ||
+			cfg.Blocked[m.Index(fl.Src)] || cfg.Blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
+			return Stats{}, fmt.Errorf("wormhole: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
+		}
+		spawn(fl.Src, fl.Dst, 0, true)
+	}
+
+	totalCycles := cfg.Warmup + cfg.Cycles
+	idle := 0
+	for cycle := 0; cycle < totalCycles; cycle++ {
+		measuring := cycle >= cfg.Warmup
+
+		// Injection.
+		for _, src := range free {
+			if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
+				continue
+			}
+			dst := free[rng.Intn(len(free))]
+			for dst == src {
+				dst = free[rng.Intn(len(free))]
+			}
+			if cfg.GuaranteedOnly && !wang.MinimalPathExists(m, src, dst, cfg.Blocked) {
+				continue
+			}
+			spawn(src, dst, cycle, measuring)
+		}
+
+		progress := 0
+
+		// Virtual-channel allocation: each ready head requests the
+		// channel toward its next hop, in worm order (deterministic).
+		for _, w := range worms {
+			if w.done || !w.headReady() || w.headNode() == w.dst {
+				continue
+			}
+			at := w.headNode()
+			next, err := cfg.Route(at, w.dst)
+			if err != nil {
+				drop(w)
+				progress++
+				continue
+			}
+			dir, ok := mesh.DirTo(at, next)
+			if !ok {
+				drop(w)
+				progress++
+				continue
+			}
+			li := linkIndex(at, dir)
+			chosen := -1
+			if cfg.ClassVCs {
+				if owners[li*cfg.VCs+w.class] == nil {
+					chosen = w.class
+				}
+			} else {
+				for v := 0; v < cfg.VCs; v++ {
+					if owners[li*cfg.VCs+v] == nil {
+						chosen = v
+						break
+					}
+				}
+			}
+			if chosen < 0 {
+				continue // all channels busy: the head stalls
+			}
+			vc := int32(li*cfg.VCs + chosen)
+			owners[vc] = &vcOwner{w: w, stage: len(w.chain)}
+			w.chain = append(w.chain, vc)
+			w.chainNodes = append(w.chainNodes, next)
+			w.entered = append(w.entered, 0)
+			w.left = append(w.left, 0)
+			progress++
+		}
+
+		// Flit transmission: one flit per physical link per cycle,
+		// round-robin over its virtual channels.
+		for li := 0; li < numLinks; li++ {
+			for try := 0; try < cfg.VCs; try++ {
+				v := (rr[li] + try) % cfg.VCs
+				own := owners[li*cfg.VCs+v]
+				if own == nil {
+					continue
+				}
+				w, stage := own.w, own.stage
+				// Downstream buffer space.
+				if w.entered[stage]-w.left[stage] >= cfg.BufferFlits {
+					continue
+				}
+				// Upstream flit availability.
+				if stage == 0 {
+					if w.injected >= w.length {
+						continue
+					}
+					w.injected++
+				} else {
+					if w.entered[stage-1]-w.left[stage-1] <= 0 {
+						continue
+					}
+					w.left[stage-1]++
+				}
+				w.entered[stage]++
+				rr[li] = (v + 1) % cfg.VCs
+				progress++
+				break
+			}
+		}
+
+		// Ejection: a worm whose head has reached the destination
+		// consumes one flit per cycle; release channels the tail has
+		// fully passed.
+		for _, w := range worms {
+			if w.done || len(w.chain) == 0 {
+				continue
+			}
+			last := len(w.chain) - 1
+			if w.headNode() == w.dst && w.entered[last]-w.left[last] > 0 {
+				w.left[last]++
+				w.delivered++
+				if measuring {
+					flitsOut++
+				}
+				progress++
+				if w.delivered == w.length {
+					finish(w, cycle+1)
+					continue
+				}
+			}
+			for i, vc := range w.chain {
+				if w.left[i] == w.length {
+					release(w, vc)
+				}
+			}
+		}
+
+		// Deadlock detection.
+		active := 0
+		for _, w := range worms {
+			if !w.done {
+				active++
+			}
+		}
+		if active > 0 && progress == 0 {
+			idle++
+			if idle >= 3 {
+				st.Deadlocked = true
+				break
+			}
+		} else {
+			idle = 0
+		}
+
+		// Compact the worm list occasionally to keep iteration cheap.
+		if len(worms) > 1024 {
+			kept := worms[:0]
+			for _, w := range worms {
+				if !w.done {
+					kept = append(kept, w)
+				}
+			}
+			worms = kept
+		}
+	}
+
+	for _, w := range worms {
+		if !w.done {
+			st.InFlight++
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgLatency = totalLatency / float64(st.Delivered)
+		st.AvgHops = totalHops / float64(st.Delivered)
+		st.AvgStretch = totalStretch / float64(st.Delivered)
+	}
+	st.Throughput = float64(flitsOut) / float64(len(free)) / float64(cfg.Cycles)
+	return st, nil
+}

@@ -1,0 +1,317 @@
+package wormhole
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/traffic"
+)
+
+func baseConfig(m mesh.Mesh) Config {
+	blocked := make([]bool, m.Size())
+	return Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+		FlitsPerPacket: 4,
+		BufferFlits:    2,
+		VCs:            2,
+		InjectionRate:  0.01,
+		Cycles:         300,
+		Warmup:         50,
+		Seed:           1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	base := baseConfig(m)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tiny mesh", func(c *Config) { c.M = mesh.Mesh{Width: 1, Height: 8} }},
+		{"grid mismatch", func(c *Config) { c.Blocked = make([]bool, 3) }},
+		{"nil route", func(c *Config) { c.Route = nil }},
+		{"zero flits", func(c *Config) { c.FlitsPerPacket = 0 }},
+		{"zero buffer", func(c *Config) { c.BufferFlits = 0 }},
+		{"zero vcs", func(c *Config) { c.VCs = 0 }},
+		{"bad rate", func(c *Config) { c.InjectionRate = 2 }},
+		{"zero cycles", func(c *Config) { c.Cycles = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSingleWormTiming(t *testing.T) {
+	// One preloaded worm on an empty mesh: the head pipelines one hop
+	// per cycle (allocation then transmission), and the tail drains L
+	// flits after it, so total latency is close to hops + flits.
+	m := mesh.Mesh{Width: 10, Height: 10}
+	cfg := baseConfig(m)
+	cfg.InjectionRate = 0
+	cfg.Warmup = 0
+	cfg.FlitsPerPacket = 6
+	cfg.Preload = []traffic.Flow{{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 5, Y: 3}}}
+
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 {
+		t.Fatalf("worm not delivered: %+v", st)
+	}
+	if st.AvgHops != 8 || st.AvgStretch != 1.0 {
+		t.Errorf("head path not minimal: %+v", st)
+	}
+	// Lower bound: 8 hops for the head + 6 flits to drain; allow a few
+	// cycles of pipeline slack but nothing quadratic.
+	if st.AvgLatency < 13 || st.AvgLatency > 30 {
+		t.Errorf("latency %v outside expected pipeline range", st.AvgLatency)
+	}
+}
+
+func TestUniformLoadFaultFree(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	cfg := baseConfig(m)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Injected == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	if st.Undeliverable != 0 {
+		t.Errorf("fault-free run dropped %d worms", st.Undeliverable)
+	}
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("stretch = %v, want 1.0", st.AvgStretch)
+	}
+	if st.Deadlocked {
+		t.Error("light uniform load should not deadlock")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	cfg := baseConfig(m)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// rotatingRoute prefers a different first direction per quadrant — the
+// turn pattern that closes the four-channel cycle around a unit square.
+func rotatingRoute(m mesh.Mesh) traffic.RoutingFunc {
+	return func(u, d mesh.Coord) (mesh.Coord, error) {
+		if u == d {
+			return d, nil
+		}
+		var first, second mesh.Dir
+		switch mesh.Quadrant(u, d) {
+		case 1:
+			first, second = mesh.East, mesh.North
+		case 2:
+			first, second = mesh.North, mesh.West
+		case 3:
+			first, second = mesh.West, mesh.South
+		default:
+			first, second = mesh.South, mesh.East
+		}
+		for _, dir := range []mesh.Dir{first, second} {
+			n := u.Add(dir.Offset())
+			if m.Contains(n) && mesh.Distance(n, d) < mesh.Distance(u, d) {
+				return n, nil
+			}
+		}
+		return mesh.Coord{}, &route.StuckError{At: u, To: d}
+	}
+}
+
+// TestWormholeTurnCycleDeadlock reproduces the classic wormhole
+// deadlock at flit granularity: four worms around the unit square with
+// a single shared virtual channel per link lock up; per-quadrant
+// channel classes deliver all four.
+func TestWormholeTurnCycleDeadlock(t *testing.T) {
+	m := mesh.Mesh{Width: 3, Height: 3}
+	blocked := make([]bool, m.Size())
+	base := Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          rotatingRoute(m),
+		FlitsPerPacket: 3,
+		BufferFlits:    1,
+		VCs:            1,
+		InjectionRate:  0,
+		Cycles:         100,
+		Warmup:         0,
+		Seed:           1,
+		Preload: []traffic.Flow{
+			{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 1, Y: 1}},
+			{Src: mesh.Coord{X: 1, Y: 0}, Dst: mesh.Coord{X: 0, Y: 1}},
+			{Src: mesh.Coord{X: 1, Y: 1}, Dst: mesh.Coord{X: 0, Y: 0}},
+			{Src: mesh.Coord{X: 0, Y: 1}, Dst: mesh.Coord{X: 1, Y: 0}},
+		},
+	}
+
+	st, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatalf("single-VC wormhole should deadlock: %+v", st)
+	}
+	if st.Delivered != 0 {
+		t.Fatalf("deadlocked run delivered %d worms", st.Delivered)
+	}
+
+	vc := base
+	vc.ClassVCs = true
+	st, err = Run(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("class VCs should not deadlock: %+v", st)
+	}
+	if st.Delivered != 4 || st.AvgStretch != 1.0 {
+		t.Fatalf("class VCs should deliver all four minimally: %+v", st)
+	}
+}
+
+// TestClassVCsNeverDeadlockUnderLoad hammers a small mesh at a high
+// injection rate with one-flit buffers: per-quadrant channel classes
+// keep every run deadlock-free.
+func TestClassVCsNeverDeadlockUnderLoad(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		m := mesh.Mesh{Width: 6, Height: 6}
+		blocked := make([]bool, m.Size())
+		cfg := Config{
+			M:              m,
+			Blocked:        blocked,
+			Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+			FlitsPerPacket: 4,
+			BufferFlits:    1,
+			ClassVCs:       true,
+			InjectionRate:  0.3,
+			Cycles:         200,
+			Warmup:         0,
+			Seed:           seed,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deadlocked {
+			t.Fatalf("seed %d: class VCs deadlocked: %+v", seed, st)
+		}
+		if st.Delivered == 0 {
+			t.Fatalf("seed %d: nothing delivered", seed)
+		}
+	}
+}
+
+func TestWormholeWithFaults(t *testing.T) {
+	m := mesh.Mesh{Width: 14, Height: 14}
+	rng := rand.New(rand.NewSource(7))
+	faults, err := fault.RandomFaults(m, 14, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+	cfg := Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+		FlitsPerPacket: 4,
+		BufferFlits:    2,
+		ClassVCs:       true,
+		InjectionRate:  0.01,
+		Cycles:         400,
+		Warmup:         50,
+		Seed:           3,
+		GuaranteedOnly: true,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("no worms delivered among faults")
+	}
+	if math.Abs(st.AvgStretch-1.0) > 1e-9 {
+		t.Errorf("faulty-mesh worm routes not minimal: %+v", st)
+	}
+	if st.Deadlocked {
+		t.Error("guaranteed traffic with class VCs should not deadlock")
+	}
+}
+
+func TestPreloadValidation(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	cfg := baseConfig(m)
+	cfg.Preload = []traffic.Flow{{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 0, Y: 0}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("self flow should fail")
+	}
+	cfg.Preload = []traffic.Flow{{Src: mesh.Coord{X: 5, Y: 0}, Dst: mesh.Coord{X: 0, Y: 0}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("outside flow should fail")
+	}
+}
+
+// TestSharedVCDeadlockUnderLoadExists documents that without channel
+// classes, heavy adaptive traffic with tiny buffers does deadlock for
+// at least one seed — the hazard class channels remove.
+func TestSharedVCDeadlockUnderLoadExists(t *testing.T) {
+	sawDeadlock := false
+	for seed := int64(1); seed <= 10 && !sawDeadlock; seed++ {
+		m := mesh.Mesh{Width: 6, Height: 6}
+		blocked := make([]bool, m.Size())
+		cfg := Config{
+			M:              m,
+			Blocked:        blocked,
+			Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+			FlitsPerPacket: 4,
+			BufferFlits:    1,
+			VCs:            1,
+			InjectionRate:  0.3,
+			Cycles:         200,
+			Warmup:         0,
+			Seed:           seed,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deadlocked {
+			sawDeadlock = true
+		}
+	}
+	if !sawDeadlock {
+		t.Error("expected at least one deadlock across seeds with a single shared VC")
+	}
+}

@@ -1,0 +1,158 @@
+package extmesh
+
+import (
+	"fmt"
+
+	"extmesh/internal/route"
+	"extmesh/internal/traffic"
+	"extmesh/internal/wormhole"
+)
+
+// RoutingKind selects the routing function driving a traffic
+// simulation.
+type RoutingKind int
+
+// Routing kinds available to SimulateTraffic.
+const (
+	// WuProtocol routes with the paper's limited-information protocol.
+	WuProtocol RoutingKind = iota + 1
+	// OracleRouter routes with full global information (upper bound).
+	OracleRouter
+	// XYRouter is the classic fault-oblivious dimension-ordered
+	// baseline.
+	XYRouter
+)
+
+// TrafficOptions configures a SimulateTraffic run. The zero value is
+// not valid; start from DefaultTrafficOptions.
+type TrafficOptions struct {
+	Model   FaultModel
+	Routing RoutingKind
+
+	// InjectionRate is the probability per healthy node per cycle of
+	// injecting one packet to a uniformly random healthy destination.
+	InjectionRate float64
+	Cycles        int
+	Warmup        int
+	Seed          int64
+
+	// GuaranteedOnly restricts traffic to pairs with a minimal path.
+	GuaranteedOnly bool
+
+	// QueueCapacity bounds each per-link queue (0 = unbounded) in
+	// store-and-forward mode; ClassChannels adds one virtual channel
+	// per quadrant class, which makes minimal routing deadlock-free.
+	QueueCapacity int
+	ClassChannels bool
+
+	// Wormhole switches to flit-level wormhole simulation with
+	// FlitsPerPacket-flit worms, BufferFlits-deep virtual-channel
+	// buffers and per-quadrant channel classes.
+	Wormhole       bool
+	FlitsPerPacket int
+	BufferFlits    int
+}
+
+// DefaultTrafficOptions returns a light uniform load under the block
+// model with Wu-protocol routing.
+func DefaultTrafficOptions() TrafficOptions {
+	return TrafficOptions{
+		Model:          Blocks,
+		Routing:        WuProtocol,
+		InjectionRate:  0.02,
+		Cycles:         400,
+		Warmup:         100,
+		Seed:           1,
+		GuaranteedOnly: true,
+		FlitsPerPacket: 8,
+		BufferFlits:    2,
+	}
+}
+
+// TrafficStats is the unified outcome of a traffic simulation.
+type TrafficStats struct {
+	Injected      int
+	Delivered     int
+	Undeliverable int
+	Deadlocked    bool
+	AvgLatency    float64
+	AvgStretch    float64
+	Throughput    float64
+}
+
+// SimulateTraffic runs the network under uniform random load and
+// reports delivery statistics: either store-and-forward packet
+// switching or flit-level wormhole switching, with Wu's protocol, the
+// oracle, or the XY baseline making the per-hop decisions.
+func (n *Network) SimulateTraffic(opts TrafficOptions) (TrafficStats, error) {
+	md, err := n.modelFor(opts.Model, 1)
+	if err != nil {
+		return TrafficStats{}, err
+	}
+	blocked := md.Blocked
+
+	var fn traffic.RoutingFunc
+	switch opts.Routing {
+	case WuProtocol:
+		fn = traffic.WuRouting(route.NewRouter(n.m, blocked))
+	case OracleRouter:
+		fn = traffic.OracleRouting(n.m, blocked)
+	case XYRouter:
+		fn = traffic.XYRouting(n.m, blocked)
+	default:
+		return TrafficStats{}, fmt.Errorf("extmesh: unknown routing kind %d", opts.Routing)
+	}
+
+	if opts.Wormhole {
+		st, err := wormhole.Run(wormhole.Config{
+			M:              n.m,
+			Blocked:        blocked,
+			Route:          fn,
+			FlitsPerPacket: opts.FlitsPerPacket,
+			BufferFlits:    opts.BufferFlits,
+			ClassVCs:       true,
+			InjectionRate:  opts.InjectionRate,
+			Cycles:         opts.Cycles,
+			Warmup:         opts.Warmup,
+			Seed:           opts.Seed,
+			GuaranteedOnly: opts.GuaranteedOnly,
+		})
+		if err != nil {
+			return TrafficStats{}, err
+		}
+		return TrafficStats{
+			Injected:      st.Injected,
+			Delivered:     st.Delivered,
+			Undeliverable: st.Undeliverable,
+			Deadlocked:    st.Deadlocked,
+			AvgLatency:    st.AvgLatency,
+			AvgStretch:    st.AvgStretch,
+			Throughput:    st.Throughput,
+		}, nil
+	}
+
+	st, err := traffic.Run(traffic.Config{
+		M:              n.m,
+		Blocked:        blocked,
+		Route:          fn,
+		InjectionRate:  opts.InjectionRate,
+		Cycles:         opts.Cycles,
+		Warmup:         opts.Warmup,
+		Seed:           opts.Seed,
+		GuaranteedOnly: opts.GuaranteedOnly,
+		QueueCapacity:  opts.QueueCapacity,
+		ClassChannels:  opts.ClassChannels,
+	})
+	if err != nil {
+		return TrafficStats{}, err
+	}
+	return TrafficStats{
+		Injected:      st.Injected,
+		Delivered:     st.Delivered,
+		Undeliverable: st.Undeliverable,
+		Deadlocked:    st.Deadlocked,
+		AvgLatency:    st.AvgLatency,
+		AvgStretch:    st.AvgStretch,
+		Throughput:    st.Throughput,
+	}, nil
+}
