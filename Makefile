@@ -1,0 +1,32 @@
+GO ?= go
+
+# Packages with lock-guarded or worker-pool concurrency that the race
+# detector must cover.
+RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole
+
+.PHONY: all build test vet race bench verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# bench regenerates BENCH_routing.json on the paper-scale 200x200 mesh.
+bench:
+	$(GO) run ./cmd/meshbench -out BENCH_routing.json
+
+# verify is the gate for every change: static checks, full build, the
+# whole test suite, and the race detector on the concurrent packages.
+verify: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,133 @@
+package extmesh
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pair is one source/destination routing request for RouteMany.
+type Pair struct {
+	Src Coord
+	Dst Coord
+}
+
+// RouteResult is the outcome of one RouteMany request: the path found
+// or the error the router reported.
+type RouteResult struct {
+	Path Path
+	Err  error
+}
+
+// batchSerialLimit is the job count below which the batch APIs run
+// inline: spawning workers costs more than a handful of evaluations.
+const batchSerialLimit = 16
+
+// fanOut runs fn(i) for i in [0, jobs) on up to runtime.GOMAXPROCS(0)
+// workers sharing the Network's cached models — the worker-pool shape
+// proven in internal/sim. Small batches run inline. fn must be safe
+// for concurrent invocation with distinct i; results are written to
+// index i, so output order is deterministic regardless of scheduling.
+func fanOut(jobs int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if jobs < batchSerialLimit || workers < 2 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	var (
+		wg   sync.WaitGroup
+		next int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= jobs {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EnsureAll evaluates the strategy's conditions from one source toward
+// every destination and returns one Assurance per destination, in
+// order. It is the batch counterpart of Ensure: the safety-level model
+// is built once and shared, and destinations fan out over
+// runtime.GOMAXPROCS(0) workers, so sweeping a destination set against
+// one fault configuration costs O(1) model work per query.
+func (n *Network) EnsureAll(s Coord, dests []Coord, fm FaultModel, st Strategy) []Assurance {
+	out := make([]Assurance, len(dests))
+	if len(dests) == 0 {
+		return out
+	}
+	// Force the lazy single-flight model builds before fanning out so
+	// every worker starts on the hit path. Both MCC labelings may be
+	// needed, depending on the destinations' quadrants.
+	if fm == MCC {
+		n.modelPair(fm, s, dests[0])
+	} else {
+		n.modelFor(fm, 1)
+	}
+	fanOut(len(dests), func(i int) {
+		out[i] = n.Ensure(s, dests[i], fm, st)
+	})
+	return out
+}
+
+// HasMinimalPathAll reports, per destination, whether a minimal path
+// from s exists that avoids the faulty nodes. The whole batch is
+// served by a single reachability sweep from s (memoized for later
+// calls), so it costs O(N) total instead of one DP per destination.
+func (n *Network) HasMinimalPathAll(s Coord, dests []Coord) []bool {
+	out := make([]bool, len(dests))
+	c := n.reachCache()
+	for i, d := range dests {
+		out[i] = c.CanReach(s, d)
+	}
+	return out
+}
+
+// RouteMany routes every pair with Wu's limited-information protocol
+// under the model and returns one result per pair, in order. Pairs fan
+// out over runtime.GOMAXPROCS(0) workers sharing the Network's cached
+// routers, so batch routing throughput scales with cores while each
+// route stays identical to the sequential Route.
+func (n *Network) RouteMany(pairs []Pair, fm FaultModel) []RouteResult {
+	out := make([]RouteResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	// Pre-build the router(s) the batch needs on this goroutine so the
+	// workers share them without duplicate lazy construction.
+	n.routerPair(fm, pairs[0].Src, pairs[0].Dst)
+	fanOut(len(pairs), func(i int) {
+		out[i].Path, out[i].Err = n.Route(pairs[i].Src, pairs[i].Dst, fm)
+	})
+	return out
+}
+
+// OracleRouteMany routes every pair with the full-information oracle.
+// Destination-rooted reachability sweeps are shared through the
+// Network's reach cache, so routing many pairs toward few distinct
+// destinations costs one sweep per destination, not per pair.
+func (n *Network) OracleRouteMany(pairs []Pair) []RouteResult {
+	out := make([]RouteResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	n.reachCache()
+	fanOut(len(pairs), func(i int) {
+		out[i].Path, out[i].Err = n.OracleRoute(pairs[i].Src, pairs[i].Dst)
+	})
+	return out
+}

@@ -1,0 +1,232 @@
+package extmesh
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// batchNetwork builds a mid-density 40x40 network for the batch tests.
+func batchNetwork(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	var faults []Coord
+	seen := make(map[Coord]bool)
+	for len(faults) < 35 {
+		c := Coord{X: rng.Intn(40), Y: rng.Intn(40)}
+		if !seen[c] {
+			seen[c] = true
+			faults = append(faults, c)
+		}
+	}
+	n, err := New(40, 40, faults)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+// allDests returns every node of the mesh, including faulty and
+// out-of-quadrant ones, so the batch APIs see every input class.
+func allDests(n *Network) []Coord {
+	dests := make([]Coord, 0, n.Width()*n.Height())
+	for y := 0; y < n.Height(); y++ {
+		for x := 0; x < n.Width(); x++ {
+			dests = append(dests, Coord{X: x, Y: y})
+		}
+	}
+	return dests
+}
+
+// TestEnsureAllMatchesEnsure checks that the batch evaluation returns
+// exactly the sequential per-destination answers, in order, for both
+// fault models.
+func TestEnsureAllMatchesEnsure(t *testing.T) {
+	n := batchNetwork(t)
+	st := DefaultStrategy()
+	s := Coord{X: 3, Y: 3}
+	dests := allDests(n)
+	for _, fm := range []FaultModel{Blocks, MCC} {
+		got := n.EnsureAll(s, dests, fm, st)
+		if len(got) != len(dests) {
+			t.Fatalf("%v: EnsureAll returned %d results for %d dests", fm, len(got), len(dests))
+		}
+		for i, d := range dests {
+			want := n.Ensure(s, d, fm, st)
+			if got[i].Verdict != want.Verdict || len(got[i].Via) != len(want.Via) {
+				t.Fatalf("%v: EnsureAll[%v] = %+v, want %+v", fm, d, got[i], want)
+			}
+			for vi := range want.Via {
+				if got[i].Via[vi] != want.Via[vi] {
+					t.Fatalf("%v: EnsureAll[%v] via = %v, want %v", fm, d, got[i].Via, want.Via)
+				}
+			}
+		}
+	}
+	if n.EnsureAll(s, nil, Blocks, st) == nil {
+		t.Fatal("EnsureAll(nil dests) should return an empty non-nil slice")
+	}
+}
+
+// TestHasMinimalPathAllMatchesSingle cross-checks the batched
+// existence sweep against the per-query answer.
+func TestHasMinimalPathAllMatchesSingle(t *testing.T) {
+	n := batchNetwork(t)
+	s := Coord{X: 0, Y: 0}
+	dests := append(allDests(n), Coord{X: -1, Y: 2}, Coord{X: 40, Y: 40})
+	got := n.HasMinimalPathAll(s, dests)
+	for i, d := range dests {
+		if want := n.HasMinimalPath(s, d); got[i] != want {
+			t.Fatalf("HasMinimalPathAll[%v] = %v, want %v", d, got[i], want)
+		}
+	}
+}
+
+// TestRouteManyMatchesRoute checks that batch routing returns the same
+// paths and errors as sequential routing, in request order.
+func TestRouteManyMatchesRoute(t *testing.T) {
+	n := batchNetwork(t)
+	rng := rand.New(rand.NewSource(4))
+	var pairs []Pair
+	for len(pairs) < 120 {
+		p := Pair{
+			Src: Coord{X: rng.Intn(40), Y: rng.Intn(40)},
+			Dst: Coord{X: rng.Intn(40), Y: rng.Intn(40)},
+		}
+		pairs = append(pairs, p)
+	}
+	for _, fm := range []FaultModel{Blocks, MCC} {
+		got := n.RouteMany(pairs, fm)
+		for i, p := range pairs {
+			wantPath, wantErr := n.Route(p.Src, p.Dst, fm)
+			if (got[i].Err != nil) != (wantErr != nil) {
+				t.Fatalf("%v: RouteMany[%v] err = %v, want %v", fm, p, got[i].Err, wantErr)
+			}
+			if len(got[i].Path) != len(wantPath) {
+				t.Fatalf("%v: RouteMany[%v] path len %d, want %d", fm, p, len(got[i].Path), len(wantPath))
+			}
+			for j := range wantPath {
+				if got[i].Path[j] != wantPath[j] {
+					t.Fatalf("%v: RouteMany[%v] path %v, want %v", fm, p, got[i].Path, wantPath)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRouteManyMatchesOracle checks the batched oracle against
+// the sequential one and that successes align with HasMinimalPath.
+func TestOracleRouteManyMatchesOracle(t *testing.T) {
+	n := batchNetwork(t)
+	rng := rand.New(rand.NewSource(5))
+	var pairs []Pair
+	for len(pairs) < 80 {
+		pairs = append(pairs, Pair{
+			Src: Coord{X: rng.Intn(40), Y: rng.Intn(40)},
+			Dst: Coord{X: rng.Intn(40), Y: rng.Intn(40)},
+		})
+	}
+	got := n.OracleRouteMany(pairs)
+	for i, p := range pairs {
+		wantPath, wantErr := n.OracleRoute(p.Src, p.Dst)
+		if (got[i].Err != nil) != (wantErr != nil) {
+			t.Fatalf("OracleRouteMany[%v] err = %v, want %v", p, got[i].Err, wantErr)
+		}
+		if got[i].Err == nil {
+			if !got[i].Path.Minimal() {
+				t.Fatalf("OracleRouteMany[%v] returned non-minimal path", p)
+			}
+			if !n.HasMinimalPath(p.Src, p.Dst) {
+				t.Fatalf("OracleRouteMany[%v] succeeded but HasMinimalPath is false", p)
+			}
+			_ = wantPath
+		}
+	}
+}
+
+// TestHasMinimalPathCachedConsistency checks that the cached existence
+// answer matches a frozen reference across many sources, exercising
+// LRU eviction (sources exceed nothing here, but hits and misses both
+// occur) and the stats counters.
+func TestHasMinimalPathCachedConsistency(t *testing.T) {
+	n := batchNetwork(t)
+	ref := batchNetwork(t) // identical fault set, separate cache
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		s := Coord{X: rng.Intn(40), Y: rng.Intn(40)}
+		d := Coord{X: rng.Intn(40), Y: rng.Intn(40)}
+		if got, want := n.HasMinimalPath(s, d), ref.HasMinimalPath(s, d); got != want {
+			t.Fatalf("HasMinimalPath(%v,%v) = %v, want %v", s, d, got, want)
+		}
+	}
+	hits, misses := n.ReachCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestNetworkErr checks the error-surfacing satellite: a healthy
+// network reports nil, an unknown fault model makes Safe/Ensure return
+// deterministic zero values and surfaces the swallowed error.
+func TestNetworkErr(t *testing.T) {
+	n := paperNetwork(t)
+	if err := n.Err(); err != nil {
+		t.Fatalf("healthy network Err() = %v", err)
+	}
+	s := Coord{X: 0, Y: 0}
+	d := Coord{X: 9, Y: 9}
+	bad := FaultModel(99)
+	for i := 0; i < 3; i++ { // deterministic across repeats
+		if n.Safe(s, d, bad) {
+			t.Fatal("Safe with unknown model should be false")
+		}
+		if a := n.Ensure(s, d, bad, DefaultStrategy()); a.Verdict != Unknown {
+			t.Fatalf("Ensure with unknown model = %v, want Unknown", a.Verdict)
+		}
+		if n.AffectedRows(bad) != 0 || n.AffectedCols(bad) != 0 {
+			t.Fatal("AffectedRows/Cols with unknown model should be 0")
+		}
+	}
+	if err := n.Err(); err == nil {
+		t.Fatal("Err() should surface the swallowed unknown-model error")
+	}
+	// Valid queries still work and do not clear the sticky error.
+	if !n.Safe(Coord{X: 0, Y: 0}, Coord{X: 1, Y: 0}, Blocks) {
+		t.Fatal("valid Safe query broken after model error")
+	}
+	if n.Err() == nil {
+		t.Fatal("Err() should stay sticky")
+	}
+	if _, err := n.Route(s, d, FaultModel(99)); err == nil {
+		t.Fatal("Route with unknown model should error")
+	}
+}
+
+// TestBatchConcurrentUse hammers the batch APIs and the reach cache
+// from many goroutines; run with -race.
+func TestBatchConcurrentUse(t *testing.T) {
+	n := batchNetwork(t)
+	dests := allDests(n)[:200]
+	st := DefaultStrategy()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := Coord{X: g % 3, Y: g % 5}
+			_ = n.EnsureAll(s, dests, Blocks, st)
+			_ = n.HasMinimalPathAll(s, dests)
+			for i := 0; i < 50; i++ {
+				_ = n.HasMinimalPath(s, dests[i])
+			}
+			if _, err := n.OracleRoute(s, Coord{X: 39, Y: 39}); err != nil {
+				var stuck *StuckError
+				if !errors.As(err, &stuck) {
+					t.Errorf("OracleRoute: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

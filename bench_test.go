@@ -527,3 +527,91 @@ func BenchmarkDynamicRemoveFault(b *testing.B) {
 		}
 	}
 }
+
+// benchQueryNet builds a paper-scale 200x200 network for the
+// query-plane benchmarks (cache, batch, oracle).
+func benchQueryNet(b *testing.B) (*Network, []Coord) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(31))
+	var faults []Coord
+	seen := make(map[Coord]bool)
+	for len(faults) < 150 {
+		c := Coord{X: rng.Intn(200), Y: rng.Intn(200)}
+		if !seen[c] {
+			seen[c] = true
+			faults = append(faults, c)
+		}
+	}
+	n, err := New(200, 200, faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dests := make([]Coord, 0, 256)
+	for len(dests) < 256 {
+		c := Coord{X: rng.Intn(200), Y: rng.Intn(200)}
+		if !n.IsFaulty(c) {
+			dests = append(dests, c)
+		}
+	}
+	return n, dests
+}
+
+func BenchmarkHasMinimalPathUncached(b *testing.B) {
+	n, dests := benchQueryNet(b)
+	s := Coord{X: 100, Y: 100}
+	grid := make([]bool, 200*200)
+	for _, f := range n.Faults() {
+		grid[f.Y*200+f.X] = true
+	}
+	m := mesh.Mesh{Width: 200, Height: 200}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wang.MinimalPathExists(m, s, dests[i%len(dests)], grid)
+	}
+}
+
+func BenchmarkHasMinimalPathCached(b *testing.B) {
+	n, dests := benchQueryNet(b)
+	s := Coord{X: 100, Y: 100}
+	n.HasMinimalPath(s, dests[0]) // pay the per-source sweep up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.HasMinimalPath(s, dests[i%len(dests)])
+	}
+}
+
+func BenchmarkEnsureAllBatch(b *testing.B) {
+	n, dests := benchQueryNet(b)
+	s := Coord{X: 100, Y: 100}
+	st := DefaultStrategy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.EnsureAll(s, dests, Blocks, st)
+	}
+}
+
+func BenchmarkRouteMany(b *testing.B) {
+	n, dests := benchQueryNet(b)
+	pairs := make([]Pair, len(dests))
+	for i, d := range dests {
+		pairs[i] = Pair{Src: Coord{X: 100, Y: 100}, Dst: d}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.RouteMany(pairs, Blocks)
+	}
+}
+
+func BenchmarkOracleRouteCached(b *testing.B) {
+	n, dests := benchQueryNet(b)
+	s := Coord{X: 100, Y: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = n.OracleRoute(s, dests[i%len(dests)])
+	}
+}

@@ -1,0 +1,267 @@
+// Command meshbench measures the query-plane hot paths — minimal-path
+// existence, condition evaluation and routing, each in single-shot,
+// cached and batch form — on a paper-scale mesh, and writes the
+// results as machine-readable JSON (BENCH_routing.json) so the
+// performance trajectory is tracked from run to run.
+//
+// Usage:
+//
+//	meshbench [-w 200] [-h 200] [-k "100,200"] [-dests 256] [-seed 7]
+//	          [-benchtime 1s] [-out BENCH_routing.json]
+//
+// Every measurement reports ns/op, bytes/op and allocs/op from the
+// standard testing.Benchmark machinery plus a derived queries/sec
+// (batch operations are normalized by their batch size).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/wang"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tool       string     `json:"tool"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	MeshWidth  int        `json:"mesh_width"`
+	MeshHeight int        `json:"mesh_height"`
+	Dests      int        `json:"dests_per_batch"`
+	Seed       int64      `json:"seed"`
+	Scenarios  []Scenario `json:"scenarios"`
+}
+
+// Scenario is one fault count's measurements.
+type Scenario struct {
+	Faults  int      `json:"faults"`
+	Results []Result `json:"results"`
+}
+
+// Result is one measured operation.
+type Result struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	QueriesPerOp  int     `json:"queries_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshbench", flag.ContinueOnError)
+	var (
+		width     = fs.Int("w", 200, "mesh width")
+		height    = fs.Int("h", 200, "mesh height")
+		faultsArg = fs.String("k", "100,200", "comma-separated fault counts (paper densities)")
+		dests     = fs.Int("dests", 256, "destinations per batch operation")
+		seed      = fs.Int64("seed", 7, "PRNG seed for fault placement and query sampling")
+		benchtime = fs.Duration("benchtime", time.Second, "target time per measurement")
+		outFile   = fs.String("out", "BENCH_routing.json", "output JSON path ('-' for stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Register the testing flags so -benchtime can be forwarded to
+	// testing.Benchmark below.
+	testing.Init()
+	if *width < 2 || *height < 2 {
+		return fmt.Errorf("mesh must be at least 2x2, got %dx%d", *width, *height)
+	}
+	if *dests < 1 {
+		return fmt.Errorf("need at least one destination, got %d", *dests)
+	}
+	var counts []int
+	for _, f := range strings.Split(*faultsArg, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 0 {
+			return fmt.Errorf("bad fault count %q", f)
+		}
+		if k > *width**height-2 {
+			return fmt.Errorf("fault count %d leaves no source/destination in a %dx%d mesh", k, *width, *height)
+		}
+		counts = append(counts, k)
+	}
+
+	rep := Report{
+		Tool:       "meshbench",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MeshWidth:  *width,
+		MeshHeight: *height,
+		Dests:      *dests,
+		Seed:       *seed,
+	}
+	for _, k := range counts {
+		sc, err := measureScenario(out, *width, *height, k, *dests, *seed, *benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outFile != "-" {
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outFile)
+	} else {
+		out.Write(data)
+	}
+	return nil
+}
+
+// measureScenario builds one fault configuration and runs every
+// measurement against it.
+func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime time.Duration) (Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := mesh.Mesh{Width: w, Height: h}
+	var faults []extmesh.Coord
+	seen := make(map[extmesh.Coord]bool)
+	for len(faults) < k {
+		c := extmesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		if !seen[c] {
+			seen[c] = true
+			faults = append(faults, c)
+		}
+	}
+	net, err := extmesh.New(w, h, faults)
+	if err != nil {
+		return Scenario{}, err
+	}
+	faultGrid := make([]bool, m.Size())
+	for _, f := range faults {
+		faultGrid[m.Index(f)] = true
+	}
+
+	// Root the queries at the center, or the first non-faulty node if
+	// the center happens to be faulty (k <= w*h-2 guarantees one).
+	src := m.Center()
+	for i := 0; net.IsFaulty(src); i++ {
+		src = m.CoordOf(i)
+	}
+	// Sample non-faulty destinations across the whole mesh.
+	destList := make([]extmesh.Coord, 0, nDests)
+	for len(destList) < nDests {
+		c := extmesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		if !net.IsFaulty(c) && c != src {
+			destList = append(destList, c)
+		}
+	}
+	pairs := make([]extmesh.Pair, len(destList))
+	for i, d := range destList {
+		pairs[i] = extmesh.Pair{Src: src, Dst: d}
+	}
+	st := extmesh.DefaultStrategy()
+
+	fmt.Fprintf(out, "mesh %dx%d, %d faults, %d dests:\n", w, h, k, len(destList))
+	sc := Scenario{Faults: k}
+	record := func(name string, queriesPerOp int, fn func(b *testing.B)) {
+		old := flag.Lookup("test.benchtime")
+		if old != nil {
+			old.Value.Set(benchtime.String())
+		}
+		r := testing.Benchmark(fn)
+		res := Result{
+			Name:         name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			QueriesPerOp: queriesPerOp,
+		}
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = float64(queriesPerOp) * 1e9 / res.NsPerOp
+		}
+		sc.Results = append(sc.Results, res)
+		fmt.Fprintf(out, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op %14.0f q/s\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.QueriesPerSec)
+	}
+
+	// Existence: the uncached rectangle DP per query, then the cached
+	// per-source sweep, then the batched form.
+	record("has_minimal_path/single", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = wang.MinimalPathExists(m, src, destList[i%len(destList)], faultGrid)
+		}
+	})
+	net.HasMinimalPath(src, destList[0]) // pay the sweep before timing
+	record("has_minimal_path/cached", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.HasMinimalPath(src, destList[i%len(destList)])
+		}
+	})
+	record("has_minimal_path/batch", len(destList), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.HasMinimalPathAll(src, destList)
+		}
+	})
+
+	// Condition evaluation: per destination, then the worker-pool batch.
+	record("ensure/single", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.Ensure(src, destList[i%len(destList)], extmesh.Blocks, st)
+		}
+	})
+	record("ensure/batch", len(destList), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.EnsureAll(src, destList, extmesh.Blocks, st)
+		}
+	})
+
+	// Routing: Wu single vs batch, oracle uncached vs cached reach.
+	record("route/single", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = net.Route(src, destList[i%len(destList)], extmesh.Blocks)
+		}
+	})
+	record("route/batch", len(pairs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.RouteMany(pairs, extmesh.Blocks)
+		}
+	})
+	record("oracle_route/uncached", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = route.Oracle(m, faultGrid, src, destList[i%len(destList)])
+		}
+	})
+	record("oracle_route/cached", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = net.OracleRoute(src, destList[i%len(destList)])
+		}
+	})
+	return sc, nil
+}

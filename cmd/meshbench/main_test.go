@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunProducesValidJSON runs the tool on a small mesh with a short
+// benchtime and checks the emitted document parses and covers every
+// measured operation.
+func TestRunProducesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-w", "24", "-h", "24", "-k", "6,12", "-dests", "16",
+		"-benchtime", "2ms", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if rep.Tool != "meshbench" || rep.MeshWidth != 24 || rep.MeshHeight != 24 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if len(rep.Scenarios) != 2 || rep.Scenarios[0].Faults != 6 || rep.Scenarios[1].Faults != 12 {
+		t.Fatalf("scenarios wrong: %+v", rep.Scenarios)
+	}
+	want := map[string]bool{
+		"has_minimal_path/single": false,
+		"has_minimal_path/cached": false,
+		"has_minimal_path/batch":  false,
+		"ensure/single":           false,
+		"ensure/batch":            false,
+		"route/single":            false,
+		"route/batch":             false,
+		"oracle_route/uncached":   false,
+		"oracle_route/cached":     false,
+	}
+	for _, sc := range rep.Scenarios {
+		for name := range want {
+			want[name] = false
+		}
+		for _, r := range sc.Results {
+			if _, ok := want[r.Name]; !ok {
+				t.Fatalf("unexpected result %q", r.Name)
+			}
+			want[r.Name] = true
+			if r.NsPerOp <= 0 || r.QueriesPerOp <= 0 || r.QueriesPerSec <= 0 {
+				t.Fatalf("%s: non-positive measurement %+v", r.Name, r)
+			}
+			if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+				t.Fatalf("%s: negative alloc stats %+v", r.Name, r)
+			}
+		}
+		for name, seen := range want {
+			if !seen {
+				t.Fatalf("faults=%d: missing result %q", sc.Faults, name)
+			}
+		}
+	}
+}
+
+// TestRunRejectsBadFaultList pins the flag validation.
+func TestRunRejectsBadFaultList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "10,frog"}, &buf); err == nil {
+		t.Fatal("expected error for non-numeric fault count")
+	}
+	if err := run([]string{"-k", "-3"}, &buf); err == nil {
+		t.Fatal("expected error for negative fault count")
+	}
+}

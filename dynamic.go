@@ -1,8 +1,11 @@
 package extmesh
 
 import (
+	"sync"
+
 	"extmesh/internal/dynamic"
 	"extmesh/internal/mesh"
+	"extmesh/internal/wang"
 )
 
 // DynamicNetwork maintains fault regions and extended safety levels
@@ -10,10 +13,24 @@ import (
 // model, in which a disturbance updates only the affected nodes. Use
 // it for long-running systems; call Freeze to obtain an immutable
 // Network with the full API for the current fault set.
+//
+// Query results (SafetyLevel, Safe, HasMinimalPath) always reflect
+// every fault added or removed so far: the internal reachability memo
+// is version-stamped and dropped on each mutation, so a stale cached
+// verdict is never served. Mutations and queries must not race; guard
+// a DynamicNetwork shared across goroutines with your own lock.
 type DynamicNetwork struct {
 	tracker *dynamic.Tracker
 	width   int
 	height  int
+
+	// reach memoizes minimal-path reachability for the fault set at
+	// version reachVersion; every successful mutation bumps version,
+	// which invalidates the memo lazily.
+	mu           sync.Mutex
+	version      uint64
+	reachVersion uint64
+	reach        *wang.ReachCache
 }
 
 // NewDynamic returns a dynamic network over an initially fault-free
@@ -32,16 +49,56 @@ func NewDynamic(width, height int) (*DynamicNetwork, error) {
 
 // AddFault marks c faulty and updates the fault regions and safety
 // levels incrementally. It returns an error for out-of-mesh or
-// duplicate faults.
+// duplicate faults. On success any cached reachability verdicts are
+// invalidated.
 func (d *DynamicNetwork) AddFault(c Coord) error {
-	return d.tracker.AddFault(c)
+	if err := d.tracker.AddFault(c); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
 }
 
 // RemoveFault repairs a faulty node, shrinking its fault region
 // incrementally (only the affected component relabels and only its
-// rows and columns resweep).
+// rows and columns resweep). On success any cached reachability
+// verdicts are invalidated.
 func (d *DynamicNetwork) RemoveFault(c Coord) error {
-	return d.tracker.RemoveFault(c)
+	if err := d.tracker.RemoveFault(c); err != nil {
+		return err
+	}
+	d.invalidate()
+	return nil
+}
+
+// invalidate version-stamps the fault set so the reachability memo is
+// rebuilt on next use.
+func (d *DynamicNetwork) invalidate() {
+	d.mu.Lock()
+	d.version++
+	d.mu.Unlock()
+}
+
+// reachCache returns a reachability memo matching the current fault
+// set, rebuilding it if any fault arrived since it was built.
+func (d *DynamicNetwork) reachCache() *wang.ReachCache {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.reach == nil || d.reachVersion != d.version {
+		m := mesh.Mesh{Width: d.width, Height: d.height}
+		d.reach = wang.NewReachCache(m, d.tracker.FaultGrid(), ReachCacheCapacity)
+		d.reachVersion = d.version
+	}
+	return d.reach
+}
+
+// HasMinimalPath reports whether a minimal path from s to dst exists
+// that avoids the current faulty nodes. Repeated queries between
+// mutations share memoized per-source reachability sweeps; every
+// AddFault or RemoveFault invalidates the memo, so the answer always
+// reflects the latest fault set.
+func (d *DynamicNetwork) HasMinimalPath(s, dst Coord) bool {
+	return d.reachCache().CanReach(s, dst)
 }
 
 // LastUpdateCost reports how local the most recent AddFault was: the

@@ -121,3 +121,52 @@ func TestDynamicNetworkRemoveFault(t *testing.T) {
 		t.Error("double repair should fail")
 	}
 }
+
+// TestDynamicHasMinimalPathInvalidation checks the cache-invalidation
+// contract: a reachability verdict cached before a fault arrives must
+// never be served after it — every mutation version-stamps the memo.
+func TestDynamicHasMinimalPathInvalidation(t *testing.T) {
+	d, err := NewDynamic(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Coord{X: 0, Y: 0}
+	dst := Coord{X: 6, Y: 6}
+	if !d.HasMinimalPath(s, dst) {
+		t.Fatal("fault-free mesh must have a minimal path")
+	}
+	// Repeat so the verdict is definitely served from the memo.
+	if !d.HasMinimalPath(s, dst) {
+		t.Fatal("cached verdict flipped without a mutation")
+	}
+	// Wall off the first quadrant along the anti-diagonal x+y=6: every
+	// monotone path from (0,0) to (6,6) crosses it.
+	for x := 0; x <= 6; x++ {
+		if err := d.AddFault(Coord{X: x, Y: 6 - x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.HasMinimalPath(s, dst) {
+		t.Fatal("stale cached verdict served after faults arrived")
+	}
+	// Repair one wall node: the verdict must flip back immediately.
+	if err := d.RemoveFault(Coord{X: 3, Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasMinimalPath(s, dst) {
+		t.Fatal("stale blocked verdict served after repair")
+	}
+	// Cross-check against the frozen exact baseline.
+	n, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 7; y++ {
+		for x := 0; x < 7; x++ {
+			c := Coord{X: x, Y: y}
+			if got, want := d.HasMinimalPath(s, c), n.HasMinimalPath(s, c); got != want {
+				t.Fatalf("HasMinimalPath(%v,%v) = %v, frozen baseline %v", s, c, got, want)
+			}
+		}
+	}
+}

@@ -157,7 +157,18 @@ type Network struct {
 	routers    [3]*route.Router
 
 	faultGrid []bool
+
+	reachOnce sync.Once
+	reach     *wang.ReachCache
+
+	errMu    sync.Mutex
+	firstErr error
 }
+
+// ReachCacheCapacity bounds the per-source reachability memo behind
+// HasMinimalPath and OracleRoute: at most this many distinct query
+// roots keep their O(N) grid resident, least-recently-used first out.
+const ReachCacheCapacity = 1024
 
 // New builds a network over a width x height mesh with the given
 // faulty nodes and constructs the faulty blocks. It returns an error
@@ -247,14 +258,33 @@ func (n *Network) SafetyLevel(c Coord, fm FaultModel) (Level, error) {
 	return md.Levels.At(c), nil
 }
 
+// reachCache lazily builds the shared per-root reachability memo over
+// the raw fault grid. HasMinimalPath keys it by source, OracleRoute by
+// destination; both roots live in the same cache because the sweeps
+// run over the same immutable grid.
+func (n *Network) reachCache() *wang.ReachCache {
+	n.reachOnce.Do(func() {
+		n.reach = wang.NewReachCache(n.m, n.faultGrid, ReachCacheCapacity)
+	})
+	return n.reach
+}
+
 // HasMinimalPath reports whether a minimal path from s to d exists
 // that avoids the faulty nodes — the exact, global-information answer
-// (Wang's necessary and sufficient condition).
+// (Wang's necessary and sufficient condition). The first query from a
+// source pays one full-mesh reachability sweep; every further query
+// sharing that source (up to ReachCacheCapacity sources retained) is
+// an O(1) lookup, so sweeping many destinations against one fault
+// configuration is cheap.
 func (n *Network) HasMinimalPath(s, d Coord) bool {
-	if !n.m.Contains(s) || !n.m.Contains(d) {
-		return false
-	}
-	return wang.MinimalPathExists(n.m, s, d, n.faultGrid)
+	return n.reachCache().CanReach(s, d)
+}
+
+// ReachCacheStats reports the hit/miss counters of the reachability
+// memo behind HasMinimalPath and OracleRoute, for observability and
+// capacity tuning.
+func (n *Network) ReachCacheStats() (hits, misses uint64) {
+	return n.reachCache().Stats()
 }
 
 // Safe evaluates the base sufficient safe condition (Theorem 1) for
@@ -311,9 +341,15 @@ func (n *Network) RouteAssured(s, d Coord, fm FaultModel, st Strategy) (Path, As
 
 // OracleRoute routes with full global fault information; it finds a
 // minimal path exactly when HasMinimalPath holds. It is the baseline
-// the limited-information protocol is measured against.
+// the limited-information protocol is measured against. The
+// destination-rooted reachability sweep is memoized, so repeated
+// oracle routes toward one destination cost O(path) each after the
+// first.
 func (n *Network) OracleRoute(s, d Coord) (Path, error) {
-	return route.Oracle(n.m, n.faultGrid, s, d)
+	if !n.m.Contains(s) || !n.m.Contains(d) {
+		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, n.m)
+	}
+	return route.OracleFrom(n.m, n.faultGrid, n.reachCache().Reach(d), s, d)
 }
 
 // StuckError is returned when the routing protocol runs out of usable
@@ -362,10 +398,37 @@ func modelIndex(fm FaultModel, t fault.MCCType) (int, error) {
 	}
 }
 
+// recordErr remembers the first error a zero-value-returning accessor
+// swallowed, for retrieval through Err.
+func (n *Network) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	n.errMu.Lock()
+	if n.firstErr == nil {
+		n.firstErr = err
+	}
+	n.errMu.Unlock()
+}
+
+// Err returns the first error swallowed by an accessor that reports
+// zero values on failure (Safe, Ensure, AffectedRows, AffectedCols):
+// an unknown fault model or a failed lazy model construction. Those
+// methods deterministically return false / Unknown / 0 in that case;
+// Err exposes why. It returns nil while every evaluation so far has
+// been backed by a successfully built model.
+func (n *Network) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.firstErr
+}
+
 // modelFor lazily builds the condition evaluator for a model slot.
+// Construction failures are remembered for Err.
 func (n *Network) modelFor(fm FaultModel, t fault.MCCType) (*core.Model, error) {
 	idx, err := modelIndex(fm, t)
 	if err != nil {
+		n.recordErr(err)
 		return nil, err
 	}
 	n.modelOnce[idx].Do(func() {
@@ -378,10 +441,14 @@ func (n *Network) modelFor(fm FaultModel, t fault.MCCType) (*core.Model, error) 
 		md, err := core.NewModel(n.m, blocked)
 		if err == nil {
 			n.models[idx] = md
+		} else {
+			n.recordErr(fmt.Errorf("extmesh: model construction failed: %w", err))
 		}
 	})
 	if n.models[idx] == nil {
-		return nil, fmt.Errorf("extmesh: model construction failed")
+		err := fmt.Errorf("extmesh: model construction failed")
+		n.recordErr(err)
+		return nil, err
 	}
 	return n.models[idx], nil
 }

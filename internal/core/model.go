@@ -107,13 +107,14 @@ func (md *Model) Extension1(s, d mesh.Coord) Assurance {
 	if md.Levels.SafeFor(s, d) {
 		return Assurance{Verdict: Minimal}
 	}
-	for _, dir := range mesh.PreferredDirs(s, d) {
+	var dirBuf [4]mesh.Dir
+	for _, dir := range mesh.AppendPreferredDirs(dirBuf[:0], s, d) {
 		n := s.Add(dir.Offset())
 		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
 			return Assurance{Verdict: Minimal, Via: []mesh.Coord{n}}
 		}
 	}
-	for _, dir := range mesh.SpareDirs(s, d) {
+	for _, dir := range mesh.AppendSpareDirs(dirBuf[:0], s, d) {
 		n := s.Add(dir.Offset())
 		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
 			return Assurance{Verdict: SubMinimal, Via: []mesh.Coord{n}}

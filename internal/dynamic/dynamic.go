@@ -145,6 +145,14 @@ func (t *Tracker) BlockedGrid() []bool {
 	return g
 }
 
+// FaultGrid returns a copy of the raw faulty-node grid (faults only,
+// without the disable cascade), indexed by mesh.Index.
+func (t *Tracker) FaultGrid() []bool {
+	g := make([]bool, len(t.faulty))
+	copy(g, t.faulty)
+	return g
+}
+
 // Snapshot rebuilds the equivalent from-scratch structures (scenario
 // and block set) for the current fault list; used to hand the current
 // state to the batch APIs and by the equivalence tests.

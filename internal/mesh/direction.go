@@ -103,39 +103,52 @@ func Quadrant(s, d Coord) int {
 // distance to d) at node u. It returns zero, one or two directions; two
 // exactly when u and d differ in both dimensions.
 func PreferredDirs(u, d Coord) []Dir {
-	var dirs []Dir
+	return AppendPreferredDirs(nil, u, d)
+}
+
+// AppendPreferredDirs appends the preferred directions at u heading
+// for d to dst and returns the extended slice. Passing a slice backed
+// by a stack buffer ([4]Dir) makes per-hop routing decisions
+// allocation-free.
+func AppendPreferredDirs(dst []Dir, u, d Coord) []Dir {
 	switch {
 	case d.X > u.X:
-		dirs = append(dirs, East)
+		dst = append(dst, East)
 	case d.X < u.X:
-		dirs = append(dirs, West)
+		dst = append(dst, West)
 	}
 	switch {
 	case d.Y > u.Y:
-		dirs = append(dirs, North)
+		dst = append(dst, North)
 	case d.Y < u.Y:
-		dirs = append(dirs, South)
+		dst = append(dst, South)
 	}
-	return dirs
+	return dst
 }
 
 // SpareDirs returns the spare directions (those that increase the
 // distance to d) at node u.
 func SpareDirs(u, d Coord) []Dir {
-	pref := PreferredDirs(u, d)
-	isPref := func(x Dir) bool {
+	return AppendSpareDirs(nil, u, d)
+}
+
+// AppendSpareDirs appends the spare directions at u heading for d to
+// dst and returns the extended slice; the allocation-free counterpart
+// of SpareDirs.
+func AppendSpareDirs(dst []Dir, u, d Coord) []Dir {
+	var prefBuf [2]Dir
+	pref := AppendPreferredDirs(prefBuf[:0], u, d)
+	for _, dir := range Directions() {
+		spare := true
 		for _, p := range pref {
-			if p == x {
-				return true
+			if p == dir {
+				spare = false
+				break
 			}
 		}
-		return false
-	}
-	var dirs []Dir
-	for _, dir := range Directions() {
-		if !isPref(dir) {
-			dirs = append(dirs, dir)
+		if spare {
+			dst = append(dst, dir)
 		}
 	}
-	return dirs
+	return dst
 }

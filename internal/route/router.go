@@ -53,11 +53,12 @@ func (r *Router) Route(s, d mesh.Coord) (Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	path := make(Path, len(np))
-	for i, c := range np {
-		path[i] = v.from(c)
+	// Reflect back to mesh coordinates in place: the route buffer was
+	// allocated for this call, so no second path slice is needed.
+	for i := range np {
+		np[i] = v.from(np[i])
 	}
-	return path, nil
+	return Path(np), nil
 }
 
 // NextHop returns the single next hop Wu's protocol takes at u heading
@@ -193,8 +194,11 @@ func (v *view) step(u, d mesh.Coord) (mesh.Coord, error) {
 		rect mesh.Rect
 		kind LineKind
 	}
+	// Nodes rarely sit on more than a couple of lines at once; the
+	// stack-backed buffer keeps the per-hop decision allocation-free.
 	var (
-		fired     []constraint
+		firedBuf  [4]constraint
+		fired     = firedBuf[:0]
 		succEast  bool
 		succNorth bool
 	)
@@ -272,21 +276,34 @@ func (v *view) step(u, d mesh.Coord) (mesh.Coord, error) {
 // Oracle routes with full global information: it walks preferred
 // directions guided by the exact reachability DP, so it finds a minimal
 // path whenever one exists. It is the baseline the limited-information
-// protocol is compared against.
+// protocol is compared against. Each call pays one full-mesh sweep;
+// callers issuing many queries against one blocked grid should memoize
+// the sweep in a wang.ReachCache and use OracleFrom.
 func Oracle(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
 	if !m.Contains(s) || !m.Contains(d) {
 		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
 	}
-	reach := wang.ReachFrom(m, d, blocked)
+	return OracleFrom(m, blocked, wang.ReachFrom(m, d, blocked), s, d)
+}
+
+// OracleFrom is Oracle with the destination-rooted reachability sweep
+// supplied by the caller (typically from a wang.ReachCache), so that
+// repeated oracle routes to one destination cost O(path) instead of
+// O(N^2) each. reach must be rooted at d over the same blocked grid.
+func OracleFrom(m mesh.Mesh, blocked []bool, reach *wang.Reach, s, d mesh.Coord) (Path, error) {
+	if !m.Contains(s) || !m.Contains(d) {
+		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
+	}
 	if !reach.CanReach(s) {
 		return nil, &StuckError{At: s, To: d}
 	}
 	path := make(Path, 0, mesh.Distance(s, d)+1)
 	path = append(path, s)
 	u := s
+	var dirBuf [2]mesh.Dir
 	for u != d {
 		advanced := false
-		for _, dir := range mesh.PreferredDirs(u, d) {
+		for _, dir := range mesh.AppendPreferredDirs(dirBuf[:0], u, d) {
 			n := u.Add(dir.Offset())
 			if m.Contains(n) && !blocked[m.Index(n)] && reach.CanReach(n) {
 				u = n
@@ -321,17 +338,19 @@ func DFSRoute(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
 	path := Path{s}
 	stack := []mesh.Coord{s}
 
-	candidates := func(u mesh.Coord) []mesh.Coord {
-		// Preferred directions first, then spares, skipping blocked and
-		// visited nodes.
-		var out []mesh.Coord
-		for _, dir := range append(mesh.PreferredDirs(u, d), mesh.SpareDirs(u, d)...) {
+	// firstCandidate returns the best unvisited usable neighbor of u:
+	// preferred directions first, then spares.
+	var dirBuf [4]mesh.Dir
+	firstCandidate := func(u mesh.Coord) (mesh.Coord, bool) {
+		dirs := mesh.AppendPreferredDirs(dirBuf[:0], u, d)
+		dirs = mesh.AppendSpareDirs(dirs, u, d)
+		for _, dir := range dirs {
 			n := u.Add(dir.Offset())
 			if m.Contains(n) && !blocked[m.Index(n)] && !visited[m.Index(n)] {
-				out = append(out, n)
+				return n, true
 			}
 		}
-		return out
+		return mesh.Coord{}, false
 	}
 
 	for len(stack) > 0 {
@@ -340,12 +359,11 @@ func DFSRoute(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
 			return path, nil
 		}
 		moved := false
-		for _, n := range candidates(u) {
+		if n, ok := firstCandidate(u); ok {
 			visited[m.Index(n)] = true
 			stack = append(stack, n)
 			path = append(path, n)
 			moved = true
-			break
 		}
 		if !moved {
 			// Backtrack: physically retrace to the previous node.

@@ -1,0 +1,112 @@
+package safety
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+// TestUpdateMatchesComputeAfterRandomToggles is the property guard the
+// reach-cache layer leans on: after any sequence of incremental fault
+// toggles, Grid.Update over just the touched rows and columns must
+// produce a grid identical to a fresh Compute over the final blocked
+// set. E/W components depend only on a node's row and N/S only on its
+// column, so toggling cell (x, y) and resweeping row y and column x
+// must be exact.
+func TestUpdateMatchesComputeAfterRandomToggles(t *testing.T) {
+	meshes := []mesh.Mesh{
+		{Width: 1, Height: 1},
+		{Width: 1, Height: 9},
+		{Width: 9, Height: 1},
+		{Width: 12, Height: 9},
+		{Width: 17, Height: 23},
+	}
+	for _, m := range meshes {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			blocked := make([]bool, m.Size())
+			g := Compute(m, blocked)
+			for step := 0; step < 300; step++ {
+				i := rng.Intn(m.Size())
+				blocked[i] = !blocked[i]
+				c := m.CoordOf(i)
+				g.Update(blocked, []int{c.Y}, []int{c.X})
+				if step%29 != 0 { // full cross-checks are O(N); sample them
+					continue
+				}
+				fresh := Compute(m, blocked)
+				for j := 0; j < m.Size(); j++ {
+					n := m.CoordOf(j)
+					if g.At(n) != fresh.At(n) {
+						t.Fatalf("mesh %v seed %d step %d: level at %v = %v, fresh %v",
+							m, seed, step, n, g.At(n), fresh.At(n))
+					}
+				}
+			}
+			// Final full check after the whole toggle sequence.
+			fresh := Compute(m, blocked)
+			for j := 0; j < m.Size(); j++ {
+				n := m.CoordOf(j)
+				if g.At(n) != fresh.At(n) {
+					t.Fatalf("mesh %v seed %d final: level at %v = %v, fresh %v",
+						m, seed, n, g.At(n), fresh.At(n))
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBatchedRowsCols checks the batched form used by the
+// dynamic tracker: several cells toggle, then one Update covers all
+// touched rows and columns at once.
+func TestUpdateBatchedRowsCols(t *testing.T) {
+	m := mesh.Mesh{Width: 15, Height: 11}
+	rng := rand.New(rand.NewSource(42))
+	blocked := make([]bool, m.Size())
+	g := Compute(m, blocked)
+	for round := 0; round < 60; round++ {
+		batch := 1 + rng.Intn(6)
+		rowSet := map[int]struct{}{}
+		colSet := map[int]struct{}{}
+		for b := 0; b < batch; b++ {
+			i := rng.Intn(m.Size())
+			blocked[i] = !blocked[i]
+			c := m.CoordOf(i)
+			rowSet[c.Y] = struct{}{}
+			colSet[c.X] = struct{}{}
+		}
+		var rows, cols []int
+		for y := range rowSet {
+			rows = append(rows, y)
+		}
+		for x := range colSet {
+			cols = append(cols, x)
+		}
+		g.Update(blocked, rows, cols)
+		fresh := Compute(m, blocked)
+		for j := 0; j < m.Size(); j++ {
+			n := m.CoordOf(j)
+			if g.At(n) != fresh.At(n) {
+				t.Fatalf("round %d: level at %v = %v, fresh %v", round, n, g.At(n), fresh.At(n))
+			}
+		}
+	}
+}
+
+// TestUpdateIgnoresOutOfRangeIndices pins the documented tolerance of
+// Update for out-of-range row/column indices.
+func TestUpdateIgnoresOutOfRangeIndices(t *testing.T) {
+	m := mesh.Mesh{Width: 6, Height: 6}
+	blocked := make([]bool, m.Size())
+	g := Compute(m, blocked)
+	blocked[m.Index(mesh.Coord{X: 2, Y: 3})] = true
+	g.Update(blocked, []int{-1, 3, 99}, []int{-5, 2, 6})
+	fresh := Compute(m, blocked)
+	for j := 0; j < m.Size(); j++ {
+		n := m.CoordOf(j)
+		if g.At(n) != fresh.At(n) {
+			t.Fatalf("level at %v = %v, fresh %v", n, g.At(n), fresh.At(n))
+		}
+	}
+}

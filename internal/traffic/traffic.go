@@ -54,23 +54,17 @@ func XYRouting(m mesh.Mesh, blocked []bool) RoutingFunc {
 }
 
 // OracleRouting returns a full-information routing function over the
-// blocked grid. Reachability DP grids are cached per destination.
+// blocked grid. Reachability DP grids are memoized per destination in
+// a shared, concurrency-safe wang.ReachCache.
 func OracleRouting(m mesh.Mesh, blocked []bool) RoutingFunc {
-	cache := make(map[mesh.Coord]*wang.Reach)
-	reachTo := func(d mesh.Coord) *wang.Reach {
-		r, ok := cache[d]
-		if !ok {
-			r = wang.ReachFrom(m, d, blocked)
-			cache[d] = r
-		}
-		return r
-	}
+	cache := wang.NewReachCache(m, blocked, 0)
 	return func(u, d mesh.Coord) (mesh.Coord, error) {
 		if u == d {
 			return d, nil
 		}
-		reach := reachTo(d)
-		for _, dir := range mesh.PreferredDirs(u, d) {
+		reach := cache.Reach(d)
+		var dirBuf [2]mesh.Dir
+		for _, dir := range mesh.AppendPreferredDirs(dirBuf[:0], u, d) {
 			n := u.Add(dir.Offset())
 			if m.Contains(n) && !blocked[m.Index(n)] && reach.CanReach(n) {
 				return n, nil
@@ -127,6 +121,28 @@ type Config struct {
 type Flow struct {
 	Src mesh.Coord
 	Dst mesh.Coord
+}
+
+// guaranteedMemoNodes bounds the mesh size for which GuaranteedFilter
+// memoizes full per-source reachability sweeps. Above it a full memo
+// would cost O(Size^2) memory while the cyclic injection pattern of
+// the simulators would thrash any bounded cache, so the per-query
+// rectangle DP is the better trade there.
+const guaranteedMemoNodes = 1 << 12
+
+// GuaranteedFilter returns a predicate reporting whether a minimal
+// path between a pair exists in the blocked grid — the GuaranteedOnly
+// admission check. On meshes small enough for the memo to pay for
+// itself it amortizes one reachability sweep per source across every
+// packet that source ever injects, instead of re-running the
+// existence DP per packet.
+func GuaranteedFilter(m mesh.Mesh, blocked []bool) func(s, d mesh.Coord) bool {
+	if m.Size() <= guaranteedMemoNodes {
+		return wang.NewReachCache(m, blocked, 0).CanReach
+	}
+	return func(s, d mesh.Coord) bool {
+		return wang.MinimalPathExists(m, s, d, blocked)
+	}
 }
 
 // Validate reports whether the configuration is runnable.
@@ -201,6 +217,11 @@ func Run(cfg Config) (Stats, error) {
 	}
 	m := cfg.M
 	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var guaranteed func(s, d mesh.Coord) bool
+	if cfg.GuaranteedOnly {
+		guaranteed = GuaranteedFilter(m, cfg.Blocked)
+	}
 
 	// Free nodes are the injectors and possible destinations.
 	var free []mesh.Coord
@@ -312,7 +333,7 @@ func Run(cfg Config) (Stats, error) {
 					dst = free[rng.Intn(len(free))]
 				}
 			}
-			if cfg.GuaranteedOnly && !wang.MinimalPathExists(m, src, dst, cfg.Blocked) {
+			if cfg.GuaranteedOnly && !guaranteed(src, dst) {
 				continue
 			}
 			p := &packet{src: src, dst: dst, at: src, born: cycle, class: quadrantClass(src, dst), measured: measuring}

@@ -1,0 +1,75 @@
+package wang
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+// benchGrid builds a 200x200 blocked grid at the paper's peak fault
+// density (200 faults).
+func benchGrid(b *testing.B) (mesh.Mesh, []bool) {
+	b.Helper()
+	m := mesh.Mesh{Width: 200, Height: 200}
+	rng := rand.New(rand.NewSource(11))
+	blocked := make([]bool, m.Size())
+	placed := 0
+	for placed < 200 {
+		i := rng.Intn(m.Size())
+		if !blocked[i] {
+			blocked[i] = true
+			placed++
+		}
+	}
+	return m, blocked
+}
+
+// BenchmarkMinimalPathExists is the uncached per-query baseline: one
+// rectangle DP per call.
+func BenchmarkMinimalPathExists(b *testing.B) {
+	m, blocked := benchGrid(b)
+	s := m.Center()
+	d := mesh.Coord{X: m.Width - 5, Y: m.Height - 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinimalPathExists(m, s, d, blocked)
+	}
+}
+
+// BenchmarkReachCacheHit measures the amortized cached query: after
+// the first sweep every query is a lookup.
+func BenchmarkReachCacheHit(b *testing.B) {
+	m, blocked := benchGrid(b)
+	s := m.Center()
+	c := NewReachCache(m, blocked, 0)
+	dests := make([]mesh.Coord, 64)
+	for i := range dests {
+		dests[i] = mesh.Coord{X: (s.X + 3 + i) % m.Width, Y: (s.Y + 5 + 2*i) % m.Height}
+	}
+	c.CanReach(s, dests[0]) // pay the sweep outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.CanReach(s, dests[i%len(dests)])
+	}
+}
+
+// BenchmarkReachCacheMiss measures the worst case: every query evicts
+// and re-sweeps (capacity 1, alternating sources).
+func BenchmarkReachCacheMiss(b *testing.B) {
+	m, blocked := benchGrid(b)
+	c := NewReachCache(m, blocked, 1)
+	a := mesh.Coord{X: 1, Y: 1}
+	z := mesh.Coord{X: m.Width - 2, Y: m.Height - 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			_ = c.CanReach(a, z)
+		} else {
+			_ = c.CanReach(z, a)
+		}
+	}
+}

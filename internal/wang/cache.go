@@ -1,0 +1,136 @@
+package wang
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"extmesh/internal/mesh"
+)
+
+// DefaultCacheCapacity is the entry bound a ReachCache falls back to
+// when the caller passes a negative capacity.
+const DefaultCacheCapacity = 1024
+
+// ReachCache memoizes per-root reachability grids (ReachFrom sweeps)
+// for one immutable blocked grid, so that repeated minimal-path
+// queries against a fixed fault configuration cost an amortized O(1)
+// lookup instead of a fresh O(N^2) dynamic-programming sweep per
+// query. The root of a grid is the coordinate the sweep starts from —
+// a source for existence queries, a destination for the oracle router.
+//
+// The cache is safe for concurrent use. Entries are built at most once
+// (concurrent requests for the same root share one sweep) and, when a
+// positive capacity is configured, the least-recently-used entry is
+// evicted to admit a new root.
+type ReachCache struct {
+	m       mesh.Mesh
+	blocked []bool
+	cap     int
+
+	mu      sync.RWMutex
+	entries map[int]*cacheEntry
+
+	tick   atomic.Uint64 // recency clock
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is one memoized sweep. The once gate makes concurrent
+// requests for the same root share a single ReachFrom computation.
+type cacheEntry struct {
+	once sync.Once
+	r    *Reach
+	used atomic.Uint64
+}
+
+// NewReachCache returns a cache over the blocked grid (indexed by
+// mesh.Index, not copied; the caller must not mutate it afterwards).
+// capacity bounds the number of memoized roots: zero means unbounded
+// (a plain per-root memo, at most m.Size() entries of m.Size() bytes
+// each) and a negative value selects DefaultCacheCapacity.
+func NewReachCache(m mesh.Mesh, blocked []bool, capacity int) *ReachCache {
+	if capacity < 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &ReachCache{
+		m:       m,
+		blocked: blocked,
+		cap:     capacity,
+		entries: make(map[int]*cacheEntry),
+	}
+}
+
+// Reach returns the memoized reachability grid rooted at c, computing
+// it on first use. The caller must ensure c is inside the mesh. The
+// returned grid stays valid even if the entry is later evicted.
+func (c *ReachCache) Reach(root mesh.Coord) *Reach {
+	idx := c.m.Index(root)
+	c.mu.RLock()
+	e := c.entries[idx]
+	c.mu.RUnlock()
+	if e == nil {
+		c.mu.Lock()
+		e = c.entries[idx]
+		if e == nil {
+			if c.cap > 0 && len(c.entries) >= c.cap {
+				c.evictLocked()
+			}
+			e = &cacheEntry{}
+			c.entries[idx] = e
+			c.misses.Add(1)
+		} else {
+			c.hits.Add(1)
+		}
+		c.mu.Unlock()
+	} else {
+		c.hits.Add(1)
+	}
+	e.used.Store(c.tick.Add(1))
+	e.once.Do(func() { e.r = ReachFrom(c.m, root, c.blocked) })
+	return e.r
+}
+
+// CanReach reports whether a minimal path exists between s and d
+// avoiding the blocked nodes. It is equivalent to MinimalPathExists
+// over the same grid, but amortizes one full-mesh sweep per source
+// across every query sharing that source.
+func (c *ReachCache) CanReach(s, d mesh.Coord) bool {
+	if !c.m.Contains(s) || !c.m.Contains(d) {
+		return false
+	}
+	return c.Reach(s).CanReach(d)
+}
+
+// evictLocked removes the least-recently-used entry; the caller holds
+// the write lock.
+func (c *ReachCache) evictLocked() {
+	var (
+		victim   int
+		oldest   uint64
+		haveBest bool
+	)
+	for idx, e := range c.entries {
+		if u := e.used.Load(); !haveBest || u < oldest {
+			victim, oldest, haveBest = idx, u, true
+		}
+	}
+	if haveBest {
+		delete(c.entries, victim)
+	}
+}
+
+// Len returns the number of memoized roots.
+func (c *ReachCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Capacity returns the configured entry bound (zero means unbounded).
+func (c *ReachCache) Capacity() int { return c.cap }
+
+// Stats reports how many Reach lookups hit a memoized sweep and how
+// many had to compute one.
+func (c *ReachCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

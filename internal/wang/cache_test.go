@@ -1,0 +1,130 @@
+package wang
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+// randomBlocked returns a blocked grid with roughly density*Size
+// blocked nodes.
+func randomBlocked(m mesh.Mesh, density float64, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	blocked := make([]bool, m.Size())
+	for i := range blocked {
+		blocked[i] = rng.Float64() < density
+	}
+	return blocked
+}
+
+// TestReachCacheMatchesMinimalPathExists checks that the cached answer
+// agrees with the one-shot DP for every pair of a small mesh,
+// including blocked endpoints and repeated (hit-path) queries.
+func TestReachCacheMatchesMinimalPathExists(t *testing.T) {
+	m := mesh.Mesh{Width: 11, Height: 9}
+	for seed := int64(0); seed < 4; seed++ {
+		blocked := randomBlocked(m, 0.18, seed)
+		c := NewReachCache(m, blocked, 0)
+		for pass := 0; pass < 2; pass++ { // second pass hits the cache
+			for si := 0; si < m.Size(); si++ {
+				for di := 0; di < m.Size(); di++ {
+					s, d := m.CoordOf(si), m.CoordOf(di)
+					got := c.CanReach(s, d)
+					want := MinimalPathExists(m, s, d, blocked)
+					if got != want {
+						t.Fatalf("seed %d: CanReach(%v,%v) = %v, want %v", seed, s, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReachCacheOutsideMesh checks the bounds guards.
+func TestReachCacheOutsideMesh(t *testing.T) {
+	m := mesh.Mesh{Width: 5, Height: 5}
+	c := NewReachCache(m, make([]bool, m.Size()), 0)
+	in := mesh.Coord{X: 2, Y: 2}
+	for _, out := range []mesh.Coord{{X: -1, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: -1}, {X: 0, Y: 5}} {
+		if c.CanReach(out, in) || c.CanReach(in, out) {
+			t.Fatalf("CanReach accepted out-of-mesh coordinate %v", out)
+		}
+	}
+}
+
+// TestReachCacheEviction checks that a bounded cache never exceeds its
+// capacity and keeps answering correctly through evictions.
+func TestReachCacheEviction(t *testing.T) {
+	m := mesh.Mesh{Width: 10, Height: 10}
+	blocked := randomBlocked(m, 0.15, 7)
+	c := NewReachCache(m, blocked, 4)
+	for si := 0; si < m.Size(); si++ {
+		s := m.CoordOf(si)
+		d := m.CoordOf((si*31 + 17) % m.Size())
+		if got, want := c.CanReach(s, d), MinimalPathExists(m, s, d, blocked); got != want {
+			t.Fatalf("CanReach(%v,%v) = %v, want %v", s, d, got, want)
+		}
+		if c.Len() > 4 {
+			t.Fatalf("cache grew to %d entries, capacity 4", c.Len())
+		}
+	}
+	hits, misses := c.Stats()
+	if misses == 0 {
+		t.Fatal("expected misses while cycling through 100 sources")
+	}
+	_ = hits
+}
+
+// TestReachCacheLRUKeepsHotRoot checks that the recency policy keeps a
+// continuously re-queried root cached while cold roots cycle through.
+func TestReachCacheLRUKeepsHotRoot(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	blocked := make([]bool, m.Size())
+	c := NewReachCache(m, blocked, 3)
+	hot := mesh.Coord{X: 0, Y: 0}
+	c.Reach(hot)
+	for i := 1; i < 30; i++ {
+		c.Reach(m.CoordOf(i))
+		c.Reach(hot) // touch the hot root after every cold insert
+	}
+	hits, _ := c.Stats()
+	if hits < 29 {
+		t.Fatalf("hot root was evicted: only %d hits", hits)
+	}
+}
+
+// TestReachCacheDefaultCapacity checks the negative-capacity fallback.
+func TestReachCacheDefaultCapacity(t *testing.T) {
+	m := mesh.Mesh{Width: 4, Height: 4}
+	c := NewReachCache(m, make([]bool, m.Size()), -1)
+	if c.Capacity() != DefaultCacheCapacity {
+		t.Fatalf("Capacity() = %d, want %d", c.Capacity(), DefaultCacheCapacity)
+	}
+}
+
+// TestReachCacheConcurrent hammers one cache from many goroutines; run
+// with -race. Answers must stay consistent with the one-shot DP.
+func TestReachCacheConcurrent(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	blocked := randomBlocked(m, 0.12, 3)
+	c := NewReachCache(m, blocked, 8) // small capacity: force evictions
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				s := m.CoordOf(rng.Intn(m.Size()))
+				d := m.CoordOf(rng.Intn(m.Size()))
+				if got, want := c.CanReach(s, d), MinimalPathExists(m, s, d, blocked); got != want {
+					t.Errorf("CanReach(%v,%v) = %v, want %v", s, d, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

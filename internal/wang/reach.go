@@ -5,6 +5,8 @@
 package wang
 
 import (
+	"sync"
+
 	"extmesh/internal/mesh"
 )
 
@@ -78,9 +80,15 @@ func (r *Reach) CanReach(d mesh.Coord) bool {
 	return r.ok[r.M.Index(d)]
 }
 
+// dpScratch pools the two DP rows of MinimalPathExists so the
+// per-packet existence checks of the simulators allocate nothing in
+// steady state.
+var dpScratch = sync.Pool{New: func() any { return new([]bool) }}
+
 // MinimalPathExists reports whether a minimal path from s to d exists
 // avoiding the blocked nodes. It is a one-shot convenience around
-// ReachFrom restricted to the s-d rectangle.
+// ReachFrom restricted to the s-d rectangle; for repeated queries
+// against one blocked grid use a ReachCache instead.
 func MinimalPathExists(m mesh.Mesh, s, d mesh.Coord, blocked []bool) bool {
 	if !m.Contains(s) || !m.Contains(d) {
 		return false
@@ -97,9 +105,17 @@ func MinimalPathExists(m mesh.Mesh, s, d mesh.Coord, blocked []bool) bool {
 	}
 	w := abs(d.X-s.X) + 1
 	h := abs(d.Y-s.Y) + 1
-	// Local DP over the s-d rectangle in relative coordinates.
-	prev := make([]bool, w)
-	cur := make([]bool, w)
+	// Local DP over the s-d rectangle in relative coordinates, on
+	// pooled row buffers.
+	rows := dpScratch.Get().(*[]bool)
+	if cap(*rows) < 2*w {
+		*rows = make([]bool, 2*w)
+	}
+	buf := (*rows)[:2*w]
+	for i := range buf {
+		buf[i] = false
+	}
+	prev, cur := buf[:w], buf[w:]
 	for ry := 0; ry < h; ry++ {
 		for rx := 0; rx < w; rx++ {
 			c := mesh.Coord{X: s.X + sx*rx, Y: s.Y + sy*ry}
@@ -120,7 +136,9 @@ func MinimalPathExists(m mesh.Mesh, s, d mesh.Coord, blocked []bool) bool {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[w-1]
+	ok := prev[w-1]
+	dpScratch.Put(rows)
+	return ok
 }
 
 func abs(v int) int {

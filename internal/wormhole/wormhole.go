@@ -16,7 +16,6 @@ import (
 
 	"extmesh/internal/mesh"
 	"extmesh/internal/traffic"
-	"extmesh/internal/wang"
 )
 
 // Config parameterizes one wormhole simulation.
@@ -149,6 +148,11 @@ func Run(cfg Config) (Stats, error) {
 	m := cfg.M
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	var guaranteed func(s, d mesh.Coord) bool
+	if cfg.GuaranteedOnly {
+		guaranteed = traffic.GuaranteedFilter(m, cfg.Blocked)
+	}
+
 	var free []mesh.Coord
 	for i := 0; i < m.Size(); i++ {
 		if !cfg.Blocked[i] {
@@ -241,7 +245,7 @@ func Run(cfg Config) (Stats, error) {
 			for dst == src {
 				dst = free[rng.Intn(len(free))]
 			}
-			if cfg.GuaranteedOnly && !wang.MinimalPathExists(m, src, dst, cfg.Blocked) {
+			if cfg.GuaranteedOnly && !guaranteed(src, dst) {
 				continue
 			}
 			spawn(src, dst, cycle, measuring)
