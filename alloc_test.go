@@ -1,0 +1,36 @@
+package extmesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+// TestHasMinimalPathCachedAllocationFree pins the warm-cache existence
+// query at zero allocations: after the first query from a source pays
+// its reachability sweep, every further query sharing that source must
+// be a pure lookup.
+func TestHasMinimalPathCachedAllocationFree(t *testing.T) {
+	m := mesh.Mesh{Width: 48, Height: 48}
+	src := Coord{X: 3, Y: 3}
+	faults, err := fault.RandomFaults(m, 60, rand.New(rand.NewSource(17)), func(c mesh.Coord) bool { return c == src })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(m.Width, m.Height, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []Coord{{X: 45, Y: 44}, {X: 40, Y: 47}, {X: 47, Y: 30}, {X: 20, Y: 46}}
+	n.HasMinimalPath(src, dests[0]) // pay the per-source sweep up front
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		n.HasMinimalPath(src, dests[i%len(dests)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("cached HasMinimalPath allocates %.1f times per query, want 0", avg)
+	}
+}

@@ -54,12 +54,12 @@ func TestEnsureAllMatchesEnsure(t *testing.T) {
 		}
 		for i, d := range dests {
 			want := n.Ensure(s, d, fm, st)
-			if got[i].Verdict != want.Verdict || len(got[i].Via) != len(want.Via) {
+			if got[i].Verdict != want.Verdict || len(got[i].Via()) != len(want.Via()) {
 				t.Fatalf("%v: EnsureAll[%v] = %+v, want %+v", fm, d, got[i], want)
 			}
-			for vi := range want.Via {
-				if got[i].Via[vi] != want.Via[vi] {
-					t.Fatalf("%v: EnsureAll[%v] via = %v, want %v", fm, d, got[i].Via, want.Via)
+			for vi := range want.Via() {
+				if got[i].Via()[vi] != want.Via()[vi] {
+					t.Fatalf("%v: EnsureAll[%v] via = %v, want %v", fm, d, got[i].Via(), want.Via())
 				}
 			}
 		}

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"extmesh"
+	"extmesh/internal/core"
+	"extmesh/internal/fault"
 	"extmesh/internal/mesh"
 	"extmesh/internal/route"
 	"extmesh/internal/wang"
@@ -201,6 +203,86 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 		fmt.Fprintf(out, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op %14.0f q/s\n",
 			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.QueriesPerSec)
 	}
+
+	// Scenario construction: the full per-configuration pipeline — fault
+	// scenario, block and MCC labeling, safety levels for both models,
+	// and the reachability cone — built from scratch versus rebuilt into
+	// reused arena buffers, as internal/sim's workers do.
+	record("scenario_setup/fresh", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fsc, err := fault.NewScenario(m, faults)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bs := fault.BuildBlocks(fsc)
+			ms := fault.BuildMCC(fsc, fault.TypeOne)
+			if _, err := core.NewModel(m, bs.BlockedGrid()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.NewModel(m, ms.BlockedGrid()); err != nil {
+				b.Fatal(err)
+			}
+			_ = wang.ReachFrom(m, src, faultGrid)
+		}
+	})
+	record("scenario_setup/arena", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		var (
+			asc                *fault.Scenario
+			bs                 *fault.BlockSet
+			ms                 *fault.MCCSet
+			blockGrid, mccGrid []bool
+			blockMd, mccMd     core.Model
+			reach              *wang.Reach
+		)
+		for i := 0; i < b.N; i++ {
+			if asc == nil {
+				var err error
+				if asc, err = fault.NewScenario(m, faults); err != nil {
+					b.Fatal(err)
+				}
+			} else if err := asc.Reset(faults); err != nil {
+				b.Fatal(err)
+			}
+			bs = fault.BuildBlocksInto(bs, asc)
+			ms = fault.BuildMCCInto(ms, asc, fault.TypeOne)
+			blockGrid = bs.BlockedGridInto(blockGrid)
+			mccGrid = ms.BlockedGridInto(mccGrid)
+			if err := blockMd.Reset(m, blockGrid); err != nil {
+				b.Fatal(err)
+			}
+			if err := mccMd.Reset(m, mccGrid); err != nil {
+				b.Fatal(err)
+			}
+			reach = wang.ReachFromInto(reach, m, src, faultGrid)
+		}
+		_ = reach
+	})
+
+	// Condition evaluation on a prepared model: the Extension-2 segment
+	// scan is the strategy hot loop and must stay allocation-free.
+	condSc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		return Scenario{}, err
+	}
+	md, err := core.NewModel(m, fault.BuildBlocks(condSc).BlockedGrid())
+	if err != nil {
+		return Scenario{}, err
+	}
+	record("condition_eval/extension2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			md.Extension2(src, destList[i%len(destList)], core.StrategySegSize)
+		}
+	})
+	st1 := core.NewStrategy1()
+	record("condition_eval/strategy1", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			md.Evaluate(src, destList[i%len(destList)], st1)
+		}
+	})
 
 	// Existence: the uncached rectangle DP per query, then the cached
 	// per-source sweep, then the batched form.

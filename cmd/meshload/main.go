@@ -8,6 +8,7 @@
 //
 //	meshload [-n 32] [-k 30] [-seed 1] [-cycles 400] [-warmup 100]
 //	         [-rates "0.01,0.02,0.05,0.1,0.2"]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,19 +39,46 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshload", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 32, "mesh side length")
-		k        = fs.Int("k", 30, "number of random faults")
-		seed     = fs.Int64("seed", 1, "PRNG seed")
-		cycles   = fs.Int("cycles", 400, "measured cycles")
-		warmup   = fs.Int("warmup", 100, "warmup cycles")
-		rates    = fs.String("rates", "0.01,0.02,0.05,0.1,0.2", "comma-separated injection rates")
-		capacity = fs.Int("capacity", 0, "per-link queue capacity (0 = unbounded)")
-		wh       = fs.Bool("wormhole", false, "flit-level wormhole switching instead of store-and-forward")
-		flits    = fs.Int("flits", 8, "flits per packet (wormhole mode)")
-		buffers  = fs.Int("buffers", 2, "flit buffer depth per virtual channel (wormhole mode)")
+		n          = fs.Int("n", 32, "mesh side length")
+		k          = fs.Int("k", 30, "number of random faults")
+		seed       = fs.Int64("seed", 1, "PRNG seed")
+		cycles     = fs.Int("cycles", 400, "measured cycles")
+		warmup     = fs.Int("warmup", 100, "warmup cycles")
+		rates      = fs.String("rates", "0.01,0.02,0.05,0.1,0.2", "comma-separated injection rates")
+		capacity   = fs.Int("capacity", 0, "per-link queue capacity (0 = unbounded)")
+		wh         = fs.Bool("wormhole", false, "flit-level wormhole switching instead of store-and-forward")
+		flits      = fs.Int("flits", 8, "flits per packet (wormhole mode)")
+		buffers    = fs.Int("buffers", 2, "flit buffer depth per virtual channel (wormhole mode)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "meshload:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "meshload:", err)
+			}
+		}()
 	}
 	var rateList []float64
 	for _, s := range strings.Split(*rates, ",") {

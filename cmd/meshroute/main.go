@@ -88,8 +88,8 @@ func run(args []string, out io.Writer) error {
 	report := func(name string, st extmesh.Strategy) {
 		a := net.Ensure(src, dst, fm, st)
 		fmt.Fprintf(out, "  %-27s %v", name+":", a.Verdict)
-		if len(a.Via) > 0 {
-			fmt.Fprintf(out, " (via %v)", a.Via)
+		if len(a.Via()) > 0 {
+			fmt.Fprintf(out, " (via %v)", a.Via())
 		}
 		fmt.Fprintln(out)
 	}

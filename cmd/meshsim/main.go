@@ -7,8 +7,9 @@
 //
 // Usage:
 //
-//	meshsim [-exp all|fig7|fig8|fig9|fig10|fig11|fig12] [-n 200]
-//	        [-configs 20] [-dests 50] [-seed 1] [-maxfaults 200] [-step 10]
+//	meshsim [-exp all|fig7|fig8|fig9|fig10|fig11|fig12|info|router|var|lineage]
+//	        [-n 200] [-configs 20] [-dests 50] [-seed 1] [-maxfaults 200]
+//	        [-step 10] [-timing] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The defaults reproduce the paper's setup: a 200x200 mesh, the source
 // at the center, destinations in the first-quadrant 100x100 submesh,
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,21 +39,65 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshsim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment to run: all, fig7, fig8, fig9, fig10, fig11, fig12")
-		n         = fs.Int("n", 200, "mesh side length")
-		configs   = fs.Int("configs", 20, "fault configurations per fault count")
-		dests     = fs.Int("dests", 50, "destinations per configuration")
-		seed      = fs.Int64("seed", 1, "PRNG seed")
-		maxFaults = fs.Int("maxfaults", 200, "largest fault count")
-		step      = fs.Int("step", 10, "fault count step")
-		asJSON    = fs.Bool("json", false, "emit JSON instead of tables")
-		clusters  = fs.Int("clusters", 0, "cluster the faults around this many centers (0 = uniform, the paper's workload)")
-		spread    = fs.Int("spread", 4, "cluster spread (with -clusters)")
-		scaling   = fs.Bool("scaling", false, "run the mesh-size scalability sweep instead of the figures")
-		density   = fs.Float64("density", 0.005, "fault density for -scaling")
+		exp        = fs.String("exp", "all", "experiment to run: all, fig7, fig8, fig9, fig10, fig11, fig12")
+		n          = fs.Int("n", 200, "mesh side length")
+		configs    = fs.Int("configs", 20, "fault configurations per fault count")
+		dests      = fs.Int("dests", 50, "destinations per configuration")
+		seed       = fs.Int64("seed", 1, "PRNG seed")
+		maxFaults  = fs.Int("maxfaults", 200, "largest fault count")
+		step       = fs.Int("step", 10, "fault count step")
+		asJSON     = fs.Bool("json", false, "emit JSON instead of tables")
+		clusters   = fs.Int("clusters", 0, "cluster the faults around this many centers (0 = uniform, the paper's workload)")
+		spread     = fs.Int("spread", 4, "cluster spread (with -clusters)")
+		scaling    = fs.Bool("scaling", false, "run the mesh-size scalability sweep instead of the figures")
+		density    = fs.Float64("density", 0.005, "fault density for -scaling")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		timing     = fs.Bool("timing", false, "print the per-stage timing breakdown (setup/evaluation/aggregation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject an unknown experiment before paying for the simulation.
+	want := strings.ToLower(*exp)
+	if !*scaling && want != "all" {
+		known := false
+		for _, id := range sim.ExperimentIDs() {
+			if strings.HasPrefix(id, want) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q; known ids: all %s", *exp, strings.Join(sim.ExperimentIDs(), " "))
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "meshsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "meshsim:", err)
+			}
+		}()
 	}
 
 	if *scaling {
@@ -83,7 +130,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
-	ms, err := sim.Run(cfg)
+	ms, tm, err := sim.RunTimed(cfg)
 	if err != nil {
 		return err
 	}
@@ -91,10 +138,17 @@ func run(args []string, out io.Writer) error {
 	if cfg.Clusters > 0 {
 		workload = fmt.Sprintf("faults clustered around %d centers (spread %d)", cfg.Clusters, cfg.ClusterSpread)
 	}
-	fmt.Fprintf(out, "# extmesh evaluation: %dx%d mesh, %s, %d configs x %d dests per point, seed %d (%.1fs)\n\n",
+	fmt.Fprintf(out, "# extmesh evaluation: %dx%d mesh, %s, %d configs x %d dests per point, seed %d (%.1fs)\n",
 		cfg.N, cfg.N, workload, cfg.Configurations, cfg.DestsPerConfig, cfg.Seed, time.Since(start).Seconds())
+	if *timing {
+		worked := tm.Setup + tm.Evaluation + tm.Aggregation
+		fmt.Fprintf(out, "# stage breakdown (worker time): setup %.1fs (%.0f%%), evaluation %.1fs (%.0f%%), aggregation %.2fs\n",
+			tm.Setup.Seconds(), 100*float64(tm.Setup)/float64(max(1, int64(worked))),
+			tm.Evaluation.Seconds(), 100*float64(tm.Evaluation)/float64(max(1, int64(worked))),
+			tm.Aggregation.Seconds())
+	}
+	fmt.Fprintln(out)
 
-	want := strings.ToLower(*exp)
 	var selected []*sim.Table
 	for _, tb := range sim.AllTables(ms) {
 		if want != "all" && !strings.HasPrefix(tb.ID, want) {

@@ -39,14 +39,34 @@ func TestRunSingleFigure(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "nope", "-n", "40", "-configs", "1", "-dests", "2", "-maxfaults", "10", "-step", "10"}, &sb); err == nil {
+	// An unknown experiment must fail fast — before the simulation runs
+	// — and name the known ids.
+	err := run([]string{"-exp", "nope", "-n", "200", "-configs", "20", "-dests", "50", "-maxfaults", "200", "-step", "10"}, &sb)
+	if err == nil {
 		t.Error("unknown experiment should fail")
+	} else if !strings.Contains(err.Error(), "fig12b") || !strings.Contains(err.Error(), "lineagea") {
+		t.Errorf("unknown-experiment error should list known ids, got: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Error("unknown experiment must be rejected before any output")
 	}
 	if err := run([]string{"-n", "2"}, &sb); err == nil {
 		t.Error("invalid config should fail")
 	}
 	if err := run([]string{"-bogusflag"}, &sb); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+// TestRunTimingFlag checks the -timing stage breakdown line.
+func TestRunTimingFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "40", "-configs", "2", "-dests", "5", "-maxfaults", "10", "-step", "10", "-exp", "fig7", "-timing"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "# stage breakdown (worker time): setup ") {
+		t.Errorf("timing breakdown missing:\n%s", sb.String())
 	}
 }
 

@@ -332,7 +332,7 @@ func (n *Network) RouteAssured(s, d Coord, fm FaultModel, st Strategy) (Path, As
 	if err != nil {
 		return nil, a, err
 	}
-	p, err := r.RouteVia(s, d, a.Via...)
+	p, err := r.RouteVia(s, d, a.Via()...)
 	if err != nil {
 		return nil, a, err
 	}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+// allocModel builds a 32x32 model with a nontrivial fault pattern for
+// the allocation guards.
+func allocModel(t *testing.T) (*Model, mesh.Coord, []mesh.Coord) {
+	t.Helper()
+	m := mesh.Mesh{Width: 32, Height: 32}
+	src := mesh.Coord{X: 4, Y: 4}
+	faults, err := fault.RandomFaults(m, 40, rand.New(rand.NewSource(7)), func(c mesh.Coord) bool { return c == src })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := fault.BuildBlocks(sc)
+	if bs.InBlock(src) {
+		t.Fatal("source swallowed by a block; pick another seed")
+	}
+	md, err := NewModel(m, bs.BlockedGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dests []mesh.Coord
+	for _, d := range []mesh.Coord{{X: 30, Y: 29}, {X: 27, Y: 31}, {X: 31, Y: 20}, {X: 15, Y: 28}} {
+		if !bs.InBlock(d) {
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		t.Fatal("no usable destinations; pick another seed")
+	}
+	return md, src, dests
+}
+
+// TestConditionsAllocationFree pins the strategy-evaluation hot path at
+// zero allocations per query: the simulation evaluates millions of
+// conditions per run, so any per-query allocation reappears as GC
+// pressure across the whole evaluation.
+func TestConditionsAllocationFree(t *testing.T) {
+	md, src, dests := allocModel(t)
+	st := Strategy{UseExt1: true, UseExt2: true, SegSize: StrategySegSize}
+
+	checks := []struct {
+		name string
+		fn   func(d mesh.Coord)
+	}{
+		{"Safe", func(d mesh.Coord) { md.Safe(src, d) }},
+		{"RadiusSafe", func(d mesh.Coord) { md.RadiusSafe(src, d) }},
+		{"Extension1", func(d mesh.Coord) { md.Extension1(src, d) }},
+		{"Extension2/seg5", func(d mesh.Coord) { md.Extension2(src, d, StrategySegSize) }},
+		{"Extension2/max", func(d mesh.Coord) { md.Extension2(src, d, 0) }},
+		{"Extension2Directional", func(d mesh.Coord) { md.Extension2Directional(src, d, StrategySegSize) }},
+		{"Evaluate/strategy1", func(d mesh.Coord) { md.Evaluate(src, d, st) }},
+	}
+	for _, c := range checks {
+		t.Run(c.name, func(t *testing.T) {
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				c.fn(dests[i%len(dests)])
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s allocates %.1f times per evaluation, want 0", c.name, avg)
+			}
+		})
+	}
+}

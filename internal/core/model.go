@@ -40,13 +40,38 @@ func (v Verdict) String() string {
 }
 
 // Assurance is a positive condition result: the kind of path ensured
-// and the waypoints of the witnessing two-phase route. Via is empty for
-// the base condition, holds the intermediate node for extensions 1-3,
-// and for a sub-minimal assurance its first element is the spare
-// neighbor that begins the detour.
+// and the waypoints of the witnessing two-phase route. The waypoint
+// list (see Via) is empty for the base condition, holds the
+// intermediate node for extensions 1-3, and for a sub-minimal
+// assurance its first element is the spare neighbor that begins the
+// detour. Waypoints are stored inline so that evaluating a condition
+// never allocates.
 type Assurance struct {
 	Verdict Verdict
-	Via     []mesh.Coord
+
+	via  [maxVia]mesh.Coord
+	nVia uint8
+}
+
+// maxVia bounds the inline waypoint storage; every condition in the
+// paper witnesses through at most one intermediate node, the spare
+// slot leaves room for future two-waypoint witnesses.
+const maxVia = 2
+
+// Via returns the witnessing waypoints in visit order. The slice
+// aliases the assurance's inline storage and is valid as long as the
+// assurance value itself.
+func (a *Assurance) Via() []mesh.Coord {
+	return a.via[:a.nVia]
+}
+
+// assureVia builds an assurance witnessed by one waypoint without
+// heap-allocating the waypoint list.
+func assureVia(v Verdict, c mesh.Coord) Assurance {
+	a := Assurance{Verdict: v}
+	a.via[0] = c
+	a.nVia = 1
+	return a
 }
 
 // Model bundles the information one fault model exposes to the
@@ -63,12 +88,31 @@ type Model struct {
 
 // NewModel computes the safety levels for the blocked grid and returns
 // the condition evaluator. blocked is indexed by mesh.Index and is not
-// copied; the caller must not mutate it afterwards.
+// copied; the caller must not mutate it while querying the model (a
+// mutated grid may be re-installed with Reset).
 func NewModel(m mesh.Mesh, blocked []bool) (*Model, error) {
-	if len(blocked) != m.Size() {
-		return nil, fmt.Errorf("core: blocked grid has %d entries, mesh %v needs %d", len(blocked), m, m.Size())
+	md := &Model{}
+	if err := md.Reset(m, blocked); err != nil {
+		return nil, err
 	}
-	return &Model{M: m, Blocked: blocked, Levels: safety.Compute(m, blocked)}, nil
+	return md, nil
+}
+
+// Reset points the model at a (possibly updated) blocked grid,
+// recomputing the safety levels into the existing backing storage so a
+// long-lived model can evaluate many fault configurations without
+// reallocating its grids. blocked is retained, not copied. Reset must
+// not run concurrently with any query on the same model, and results
+// obtained before a Reset do not describe the model afterwards.
+func (md *Model) Reset(m mesh.Mesh, blocked []bool) error {
+	if len(blocked) != m.Size() {
+		return fmt.Errorf("core: blocked grid has %d entries, mesh %v needs %d", len(blocked), m, m.Size())
+	}
+	md.M = m
+	md.Blocked = blocked
+	md.Levels = safety.ComputeInto(md.Levels, m, blocked)
+	md.radiusOnce = sync.Once{} // lazily rebuilt against the new grid
+	return nil
 }
 
 // isBlocked reports whether c is inside a fault region (nodes outside
@@ -111,16 +155,49 @@ func (md *Model) Extension1(s, d mesh.Coord) Assurance {
 	for _, dir := range mesh.AppendPreferredDirs(dirBuf[:0], s, d) {
 		n := s.Add(dir.Offset())
 		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
-			return Assurance{Verdict: Minimal, Via: []mesh.Coord{n}}
+			return assureVia(Minimal, n)
 		}
 	}
 	for _, dir := range mesh.AppendSpareDirs(dirBuf[:0], s, d) {
 		n := s.Add(dir.Offset())
 		if !md.isBlocked(n) && md.Levels.SafeFor(n, d) {
-			return Assurance{Verdict: SubMinimal, Via: []mesh.Coord{n}}
+			return assureVia(SubMinimal, n)
 		}
 	}
 	return Assurance{}
+}
+
+// repScratch pools representative buffers for the extension-2 scans so
+// concurrent condition evaluations stay allocation-free in steady
+// state.
+var repScratch = sync.Pool{New: func() any { return new([]safety.Rep) }}
+
+// ext2Axis scans the representatives the source collects along `along`
+// (ranked by score within each segment) and returns the first one that
+// lies within span hops of s on that axis and is safe with respect to
+// d.
+func (md *Model) ext2Axis(s, d mesh.Coord, along mesh.Dir, span, segSize int, score safety.Scorer) (mesh.Coord, bool) {
+	bufp := repScratch.Get().(*[]safety.Rep)
+	reps := safety.AppendReps((*bufp)[:0], md.Levels, s, along, score, segSize)
+	var found mesh.Coord
+	ok := false
+	vertical := along == mesh.North || along == mesh.South
+	for _, rep := range reps {
+		off := abs(rep.C.X - s.X)
+		if vertical {
+			off = abs(rep.C.Y - s.Y)
+		}
+		if off > span {
+			continue // outside the region [0:xd, 0:yd]
+		}
+		if md.Levels.SafeFor(rep.C, d) {
+			found, ok = rep.C, true
+			break
+		}
+	}
+	*bufp = reps
+	repScratch.Put(bufp)
+	return found, ok
 }
 
 // Extension2 implements Theorem 1b with the segment-size variation of
@@ -144,24 +221,14 @@ func (md *Model) Extension2(s, d mesh.Coord, segSize int) Assurance {
 
 	// Horizontal axis clear: try representatives along the row.
 	if hDir.Valid() && dx < md.Levels.At(s).Dist(hDir) && vDir.Valid() {
-		for _, rep := range safety.Reps(md.Levels, s, hDir, safety.ScoreMin, segSize) {
-			if abs(rep.C.X-s.X) > dx {
-				continue // outside the region [0:xd, 0:yd]
-			}
-			if md.Levels.SafeFor(rep.C, d) {
-				return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
-			}
+		if c, ok := md.ext2Axis(s, d, hDir, dx, segSize, safety.ScoreMin); ok {
+			return assureVia(Minimal, c)
 		}
 	}
 	// Vertical axis clear: try representatives along the column.
 	if vDir.Valid() && dy < md.Levels.At(s).Dist(vDir) && hDir.Valid() {
-		for _, rep := range safety.Reps(md.Levels, s, vDir, safety.ScoreMin, segSize) {
-			if abs(rep.C.Y-s.Y) > dy {
-				continue
-			}
-			if md.Levels.SafeFor(rep.C, d) {
-				return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
-			}
+		if c, ok := md.ext2Axis(s, d, vDir, dy, segSize, safety.ScoreMin); ok {
+			return assureVia(Minimal, c)
 		}
 	}
 	return Assurance{}
@@ -188,7 +255,7 @@ func (md *Model) Extension3(s, d mesh.Coord, pivots []mesh.Coord) Assurance {
 			continue
 		}
 		if md.Levels.SafeFor(s, p) && md.Levels.SafeFor(p, d) {
-			return Assurance{Verdict: Minimal, Via: []mesh.Coord{p}}
+			return assureVia(Minimal, p)
 		}
 	}
 	return Assurance{}
@@ -317,31 +384,22 @@ func (md *Model) Extension2Directional(s, d mesh.Coord, segSize int) Assurance {
 	dy := abs(d.Y - s.Y)
 	hDir, vDir := axisDirs(s, d)
 
-	try := func(along mesh.Dir, span int, onAxisX bool) Assurance {
+	try := func(along mesh.Dir, span int) (mesh.Coord, bool) {
 		for _, dir := range mesh.Directions() {
-			for _, rep := range safety.Reps(md.Levels, s, along, safety.ScoreDir(dir), segSize) {
-				off := abs(rep.C.X - s.X)
-				if !onAxisX {
-					off = abs(rep.C.Y - s.Y)
-				}
-				if off > span {
-					continue
-				}
-				if md.Levels.SafeFor(rep.C, d) {
-					return Assurance{Verdict: Minimal, Via: []mesh.Coord{rep.C}}
-				}
+			if c, ok := md.ext2Axis(s, d, along, span, segSize, safety.ScoreDir(dir)); ok {
+				return c, true
 			}
 		}
-		return Assurance{}
+		return mesh.Coord{}, false
 	}
 	if hDir.Valid() && vDir.Valid() && dx < md.Levels.At(s).Dist(hDir) {
-		if a := try(hDir, dx, true); a.Verdict == Minimal {
-			return a
+		if c, ok := try(hDir, dx); ok {
+			return assureVia(Minimal, c)
 		}
 	}
 	if hDir.Valid() && vDir.Valid() && dy < md.Levels.At(s).Dist(vDir) {
-		if a := try(vDir, dy, false); a.Verdict == Minimal {
-			return a
+		if c, ok := try(vDir, dy); ok {
+			return assureVia(Minimal, c)
 		}
 	}
 	return Assurance{}
@@ -359,7 +417,7 @@ func (md *Model) RadiusSafe(s, d mesh.Coord) bool {
 		return false
 	}
 	md.radiusOnce.Do(func() {
-		md.radius = safety.DistanceTransform(md.M, md.Blocked)
+		md.radius = safety.DistanceTransformInto(md.radius, md.M, md.Blocked)
 	})
 	return int(md.radius[md.M.Index(s)]) > mesh.Distance(s, d)
 }

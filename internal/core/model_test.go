@@ -103,12 +103,12 @@ func TestExtension1(t *testing.T) {
 	if a.Verdict != SubMinimal {
 		t.Fatalf("Extension1 = %v, want sub-minimal", a.Verdict)
 	}
-	if len(a.Via) != 1 || mesh.Distance(s, a.Via[0]) != 1 {
-		t.Fatalf("sub-minimal witness %v should be a neighbor", a.Via)
+	if len(a.Via()) != 1 || mesh.Distance(s, a.Via()[0]) != 1 {
+		t.Fatalf("sub-minimal witness %v should be a neighbor", a.Via())
 	}
 
 	// A destination before the block keeps the source safe.
-	if a := md.Extension1(s, mesh.Coord{X: 3, Y: 10}); a.Verdict != Minimal || len(a.Via) != 0 {
+	if a := md.Extension1(s, mesh.Coord{X: 3, Y: 10}); a.Verdict != Minimal || len(a.Via()) != 0 {
 		t.Errorf("near destination: %+v, want safe-source minimal", a)
 	}
 
@@ -142,10 +142,10 @@ func TestExtension2(t *testing.T) {
 	if a.Verdict != Minimal {
 		t.Fatalf("Extension2 seg=1 = %v, want minimal", a.Verdict)
 	}
-	if len(a.Via) != 1 {
-		t.Fatalf("Extension2 witness = %v, want one waypoint", a.Via)
+	if len(a.Via()) != 1 {
+		t.Fatalf("Extension2 witness = %v, want one waypoint", a.Via())
 	}
-	w := a.Via[0]
+	w := a.Via()[0]
 	if w.X != s.X {
 		t.Fatalf("witness %v should be on the source column", w)
 	}
@@ -183,7 +183,7 @@ func TestExtension2HorizontalBranch(t *testing.T) {
 	if a.Verdict != Minimal {
 		t.Fatalf("Extension2 = %v, want minimal via the row", a.Verdict)
 	}
-	if w := a.Via[0]; w.Y != s.Y {
+	if w := a.Via()[0]; w.Y != s.Y {
 		t.Fatalf("witness %v should be on the source row", w)
 	}
 }
@@ -196,7 +196,7 @@ func TestExtension3(t *testing.T) {
 	// column, (pivot->d) has a clear row above the block.
 	pivot := mesh.Coord{X: 2, Y: 6}
 	a := md.Extension3(s, d, []mesh.Coord{pivot})
-	if a.Verdict != Minimal || len(a.Via) != 1 || a.Via[0] != pivot {
+	if a.Verdict != Minimal || len(a.Via()) != 1 || a.Via()[0] != pivot {
 		t.Fatalf("Extension3 = %+v, want minimal via %v", a, pivot)
 	}
 
@@ -298,20 +298,20 @@ func TestConditionSoundness(t *testing.T) {
 						return
 					case Minimal:
 						want := mesh.Distance(s, d)
-						got := pathLenVia(s, d, a.Via)
+						got := pathLenVia(s, d, a.Via())
 						if got != want {
-							t.Fatalf("trial %d %s: witness length %d != distance %d (via %v)", trial, name, got, want, a.Via)
+							t.Fatalf("trial %d %s: witness length %d != distance %d (via %v)", trial, name, got, want, a.Via())
 						}
 					case SubMinimal:
 						want := mesh.Distance(s, d) + 2
-						got := pathLenVia(s, d, a.Via)
+						got := pathLenVia(s, d, a.Via())
 						if got != want {
 							t.Fatalf("trial %d %s: sub-minimal witness length %d != %d", trial, name, got, want)
 						}
 					}
 					// Each leg of the witness must have a minimal path.
 					prev := s
-					for _, wpt := range append(append([]mesh.Coord{}, a.Via...), d) {
+					for _, wpt := range append(append([]mesh.Coord{}, a.Via()...), d) {
 						if !wang.MinimalPathExists(m, prev, wpt, blocked) {
 							t.Fatalf("trial %d %s: leg %v->%v has no minimal path", trial, name, prev, wpt)
 						}
@@ -442,7 +442,7 @@ func TestExtension2Directional(t *testing.T) {
 				if directional.Verdict == Minimal {
 					// Soundness: witness legs exist.
 					prev := s
-					for _, wpt := range append(append([]mesh.Coord{}, directional.Via...), d) {
+					for _, wpt := range append(append([]mesh.Coord{}, directional.Via()...), d) {
 						if !wang.MinimalPathExists(m, prev, wpt, md.Blocked) {
 							t.Fatalf("trial %d: directional witness leg %v->%v has no path", trial, prev, wpt)
 						}

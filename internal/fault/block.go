@@ -38,6 +38,10 @@ type BlockSet struct {
 
 	status   []Status
 	blockIdx []int32 // index into Blocks, -1 for enabled nodes
+
+	// scratch buffers reused across BuildBlocksInto calls
+	queue []mesh.Coord
+	nbuf  []mesh.Coord
 }
 
 // BuildBlocks applies Definition 1 to the scenario: a non-faulty node
@@ -46,22 +50,43 @@ type BlockSet struct {
 // reached. Connected faulty and disabled nodes then form the faulty
 // blocks, each of which is a rectangle.
 func BuildBlocks(s *Scenario) *BlockSet {
+	return BuildBlocksInto(nil, s)
+}
+
+// BuildBlocksInto is the arena form of BuildBlocks: it runs the same
+// labeling into dst, reusing dst's grids and worklists when they are
+// large enough (a nil dst allocates a fresh set), and returns the set
+// it filled. All previous results read from dst (statuses, block
+// indices, the Blocks slice) are invalidated.
+func BuildBlocksInto(dst *BlockSet, s *Scenario) *BlockSet {
 	m := s.M
-	bs := &BlockSet{
-		M:        m,
-		status:   make([]Status, m.Size()),
-		blockIdx: make([]int32, m.Size()),
+	bs := dst
+	if bs == nil {
+		bs = &BlockSet{}
+	}
+	bs.M = m
+	if cap(bs.status) < m.Size() {
+		bs.status = make([]Status, m.Size())
+	} else {
+		bs.status = bs.status[:m.Size()]
+		clear(bs.status)
+	}
+	if cap(bs.blockIdx) < m.Size() {
+		bs.blockIdx = make([]int32, m.Size())
+	} else {
+		bs.blockIdx = bs.blockIdx[:m.Size()]
 	}
 	for i := range bs.blockIdx {
 		bs.blockIdx[i] = -1
 	}
+	bs.Blocks = bs.Blocks[:0]
 	for _, f := range s.Faults {
 		bs.status[m.Index(f)] = Faulty
 	}
 
 	// Fixpoint labeling with a worklist: when a node becomes disabled,
 	// only its neighbors can newly satisfy the premise.
-	var queue []mesh.Coord
+	queue := bs.queue[:0]
 	for _, f := range s.Faults {
 		queue = m.Neighbors(queue, f)
 	}
@@ -78,6 +103,7 @@ func BuildBlocks(s *Scenario) *BlockSet {
 		bs.status[i] = Disabled
 		queue = m.Neighbors(queue, c)
 	}
+	bs.queue = queue[:0]
 
 	bs.collectBlocks()
 	return bs
@@ -106,8 +132,8 @@ func (bs *BlockSet) dead(c mesh.Coord) bool {
 // (verified by tests), so the rectangle is the faulty block.
 func (bs *BlockSet) collectBlocks() {
 	m := bs.M
-	var stack []mesh.Coord
-	var nbuf []mesh.Coord
+	stack := bs.queue[:0]
+	nbuf := bs.nbuf
 	for start := 0; start < m.Size(); start++ {
 		if bs.status[start] == Enabled || bs.blockIdx[start] >= 0 {
 			continue
@@ -131,6 +157,8 @@ func (bs *BlockSet) collectBlocks() {
 		}
 		bs.Blocks = append(bs.Blocks, rect)
 	}
+	bs.queue = stack[:0]
+	bs.nbuf = nbuf
 }
 
 // Status returns the node's label under the block model. Nodes outside
@@ -171,7 +199,18 @@ func (bs *BlockSet) DisabledCount() int {
 // is true for every node inside a faulty block. This is the "blocked
 // set" the safety-level and routing layers consume.
 func (bs *BlockSet) BlockedGrid() []bool {
-	g := make([]bool, len(bs.status))
+	return bs.BlockedGridInto(nil)
+}
+
+// BlockedGridInto is the arena form of BlockedGrid: it fills g (reusing
+// its backing when large enough; nil allocates) and returns the filled
+// grid.
+func (bs *BlockSet) BlockedGridInto(g []bool) []bool {
+	if cap(g) < len(bs.status) {
+		g = make([]bool, len(bs.status))
+	} else {
+		g = g[:len(bs.status)]
+	}
 	for i, st := range bs.status {
 		g[i] = st != Enabled
 	}

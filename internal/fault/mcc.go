@@ -59,6 +59,10 @@ type MCCSet struct {
 
 	flags   []uint8
 	compIdx []int32
+
+	// scratch buffers reused across BuildMCCInto calls
+	queue []mesh.Coord
+	nbuf  []mesh.Coord
 }
 
 // BuildMCC applies the labeling of Definition 2 (or its quadrant-II/IV
@@ -71,13 +75,35 @@ type MCCSet struct {
 // and can't-reach nodes form the MCCs. Neighbors outside the mesh do
 // not block.
 func BuildMCC(s *Scenario, t MCCType) *MCCSet {
+	return BuildMCCInto(nil, s, t)
+}
+
+// BuildMCCInto is the arena form of BuildMCC: it runs the same labeling
+// into dst, reusing dst's grids, worklists and component storage
+// (including each component's node list backing) when they are large
+// enough; a nil dst allocates a fresh set. All previous results read
+// from dst — flags, component indices, the Comps slice and the Nodes
+// slices inside it — are invalidated.
+func BuildMCCInto(dst *MCCSet, s *Scenario, t MCCType) *MCCSet {
 	m := s.M
-	ms := &MCCSet{
-		M:       m,
-		Type:    t,
-		flags:   make([]uint8, m.Size()),
-		compIdx: make([]int32, m.Size()),
+	ms := dst
+	if ms == nil {
+		ms = &MCCSet{}
 	}
+	ms.M = m
+	ms.Type = t
+	if cap(ms.flags) < m.Size() {
+		ms.flags = make([]uint8, m.Size())
+	} else {
+		ms.flags = ms.flags[:m.Size()]
+		clear(ms.flags)
+	}
+	if cap(ms.compIdx) < m.Size() {
+		ms.compIdx = make([]int32, m.Size())
+	} else {
+		ms.compIdx = ms.compIdx[:m.Size()]
+	}
+	ms.Comps = ms.Comps[:0]
 	for i := range ms.compIdx {
 		ms.compIdx[i] = -1
 	}
@@ -113,7 +139,7 @@ func (ms *MCCSet) propagate(flag uint8, dx, dy mesh.Dir) {
 	}
 	// Seed the worklist with nodes adjacent to faults: only they can
 	// satisfy the premise initially.
-	var queue []mesh.Coord
+	queue := ms.queue[:0]
 	for i, f := range ms.flags {
 		if f&flagFaulty != 0 {
 			queue = m.Neighbors(queue, m.CoordOf(i))
@@ -137,19 +163,29 @@ func (ms *MCCSet) propagate(flag uint8, dx, dy mesh.Dir) {
 			}
 		}
 	}
+	ms.queue = queue[:0]
 }
 
 // collectComponents groups connected flagged nodes into MCCs.
 func (ms *MCCSet) collectComponents() {
 	m := ms.M
-	var stack []mesh.Coord
-	var nbuf []mesh.Coord
+	stack := ms.queue[:0]
+	nbuf := ms.nbuf
 	for start := 0; start < m.Size(); start++ {
 		if ms.flags[start] == 0 || ms.compIdx[start] >= 0 {
 			continue
 		}
 		id := int32(len(ms.Comps))
-		comp := MCCComponent{Extent: mesh.RectAround(m.CoordOf(start))}
+		// Extend within capacity when possible so a reused set keeps the
+		// node-list backing of the component previously stored here.
+		if len(ms.Comps) < cap(ms.Comps) {
+			ms.Comps = ms.Comps[:id+1]
+		} else {
+			ms.Comps = append(ms.Comps, MCCComponent{})
+		}
+		comp := &ms.Comps[id]
+		comp.Extent = mesh.RectAround(m.CoordOf(start))
+		comp.Nodes = comp.Nodes[:0]
 		stack = append(stack[:0], m.CoordOf(start))
 		ms.compIdx[start] = id
 		for len(stack) > 0 {
@@ -166,8 +202,9 @@ func (ms *MCCSet) collectComponents() {
 				}
 			}
 		}
-		ms.Comps = append(ms.Comps, comp)
 	}
+	ms.queue = stack[:0]
+	ms.nbuf = nbuf
 }
 
 // InMCC reports whether c belongs to some MCC under this labeling.
@@ -217,7 +254,18 @@ func (ms *MCCSet) DisabledCount() int {
 // BlockedGrid returns a fresh boolean grid that is true for every MCC
 // member node.
 func (ms *MCCSet) BlockedGrid() []bool {
-	g := make([]bool, len(ms.flags))
+	return ms.BlockedGridInto(nil)
+}
+
+// BlockedGridInto is the arena form of BlockedGrid: it fills g (reusing
+// its backing when large enough; nil allocates) and returns the filled
+// grid.
+func (ms *MCCSet) BlockedGridInto(g []bool) []bool {
+	if cap(g) < len(ms.flags) {
+		g = make([]bool, len(ms.flags))
+	} else {
+		g = g[:len(ms.flags)]
+	}
 	for i, f := range ms.flags {
 		g[i] = f != 0
 	}

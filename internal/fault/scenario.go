@@ -27,23 +27,42 @@ func NewScenario(m mesh.Mesh, faults []mesh.Coord) (*Scenario, error) {
 	if m.Width <= 0 || m.Height <= 0 {
 		return nil, fmt.Errorf("fault: invalid mesh %v", m)
 	}
-	s := &Scenario{
-		M:      m,
-		Faults: make([]mesh.Coord, len(faults)),
-		faulty: make([]bool, m.Size()),
+	s := &Scenario{M: m}
+	if err := s.Reset(faults); err != nil {
+		return nil, err
 	}
-	copy(s.Faults, faults)
+	return s, nil
+}
+
+// Reset replaces the scenario's fault set in place, reusing the faulty
+// grid and fault-list backing so that one scenario can serve many fault
+// configurations over the same mesh without reallocating. It performs
+// the same validation as NewScenario; on error the scenario is left
+// with an empty fault set.
+func (s *Scenario) Reset(faults []mesh.Coord) error {
+	m := s.M
+	if cap(s.faulty) < m.Size() {
+		s.faulty = make([]bool, m.Size())
+	} else {
+		s.faulty = s.faulty[:m.Size()]
+		clear(s.faulty)
+	}
+	s.Faults = append(s.Faults[:0], faults...)
 	for _, f := range faults {
 		if !m.Contains(f) {
-			return nil, fmt.Errorf("fault: node %v outside mesh %v", f, m)
+			s.Faults = s.Faults[:0]
+			clear(s.faulty)
+			return fmt.Errorf("fault: node %v outside mesh %v", f, m)
 		}
 		i := m.Index(f)
 		if s.faulty[i] {
-			return nil, fmt.Errorf("fault: duplicate faulty node %v", f)
+			s.Faults = s.Faults[:0]
+			clear(s.faulty)
+			return fmt.Errorf("fault: duplicate faulty node %v", f)
 		}
 		s.faulty[i] = true
 	}
-	return s, nil
+	return nil
 }
 
 // IsFaulty reports whether c is a faulty node. Nodes outside the mesh

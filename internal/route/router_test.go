@@ -318,10 +318,10 @@ func TestRouterSoundness(t *testing.T) {
 					if a.Verdict == core.Unknown {
 						return
 					}
-					path, err := r.RouteVia(s, d, a.Via...)
+					path, err := r.RouteVia(s, d, a.Via()...)
 					if err != nil {
 						t.Fatalf("trial %d %s %s: mesh %v route %v->%v via %v: %v\nfaults: %v",
-							trial, mc.name, name, m, s, d, a.Via, err, faults)
+							trial, mc.name, name, m, s, d, a.Via(), err, faults)
 					}
 					want := mesh.Distance(s, d)
 					if a.Verdict == core.SubMinimal {
@@ -596,9 +596,9 @@ func TestRouterSoundnessLong(t *testing.T) {
 					if a.Verdict == core.Unknown {
 						continue
 					}
-					p, err := r.RouteVia(s, d, a.Via...)
+					p, err := r.RouteVia(s, d, a.Via()...)
 					if err != nil {
-						t.Fatalf("trial %d grid %d: %v->%v via %v: %v", trial, gi, s, d, a.Via, err)
+						t.Fatalf("trial %d grid %d: %v->%v via %v: %v", trial, gi, s, d, a.Via(), err)
 					}
 					want := mesh.Distance(s, d)
 					if a.Verdict == core.SubMinimal {

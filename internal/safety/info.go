@@ -2,6 +2,7 @@ package safety
 
 import (
 	"math/rand"
+	"sync"
 
 	"extmesh/internal/mesh"
 )
@@ -55,11 +56,20 @@ func ScoreMin(l Level) int {
 	return l.Min()
 }
 
+// dirScorers holds one pre-built scorer per direction so ScoreDir can
+// hand out closures without allocating on the hot path.
+var dirScorers = [...]Scorer{
+	mesh.East:  func(l Level) int { return l.E },
+	mesh.South: func(l Level) int { return l.S },
+	mesh.West:  func(l Level) int { return l.W },
+	mesh.North: func(l Level) int { return l.N },
+}
+
 // ScoreDir scores by a single directional component; selecting up to
 // four per-direction representatives per region is the paper's second
 // variation of extension 2.
 func ScoreDir(d mesh.Dir) Scorer {
-	return func(l Level) int { return l.Dist(d) }
+	return dirScorers[d]
 }
 
 // Reps returns the representatives node s collects along direction
@@ -70,6 +80,15 @@ func ScoreDir(d mesh.Dir) Scorer {
 // means one segment covering the whole region (the paper's "max"
 // variant); segSize == 1 yields every node of the region.
 func Reps(g *Grid, s mesh.Coord, along mesh.Dir, score Scorer, segSize int) []Rep {
+	return AppendReps(nil, g, s, along, score, segSize)
+}
+
+// AppendReps appends the representatives Reps would return to dst and
+// returns the extended slice. Passing a reused buffer (typically
+// dst[:0] of a per-worker scratch slice) keeps repeated extension-2
+// evaluations allocation-free once the buffer has grown to its
+// steady-state size.
+func AppendReps(dst []Rep, g *Grid, s mesh.Coord, along mesh.Dir, score Scorer, segSize int) []Rep {
 	limit := g.At(s).Dist(along) - 1 // farthest clear hop count
 	off := along.Offset()
 	// Cap at the mesh edge.
@@ -88,12 +107,11 @@ func Reps(g *Grid, s mesh.Coord, along mesh.Dir, score Scorer, segSize int) []Re
 		limit = maxHops
 	}
 	if limit < 1 {
-		return nil
+		return dst
 	}
 	if segSize <= 0 || segSize > limit {
 		segSize = limit
 	}
-	var reps []Rep
 	for start := 1; start <= limit; start += segSize {
 		end := start + segSize - 1
 		if end > limit {
@@ -109,9 +127,9 @@ func Reps(g *Grid, s mesh.Coord, along mesh.Dir, score Scorer, segSize int) []Re
 				best = Rep{C: c, L: lvl}
 			}
 		}
-		reps = append(reps, best)
+		dst = append(dst, best)
 	}
-	return reps
+	return dst
 }
 
 // PivotMode selects how extension 3 places its pivot nodes.
@@ -222,27 +240,59 @@ func gcd(a, b int) int {
 // path (the whole s-d rectangle is clear), but the comparison
 // experiment shows how much weaker this is than the 4-tuple.
 func DistanceTransform(m mesh.Mesh, blocked []bool) []int32 {
-	dist := make([]int32, m.Size())
-	var queue []mesh.Coord
-	for i := range dist {
+	return DistanceTransformInto(nil, m, blocked)
+}
+
+// bfsQueue pools the BFS worklist of DistanceTransformInto, which
+// grows to one entry per mesh node, so repeated transforms (one per
+// fault configuration in the simulation) allocate nothing in steady
+// state.
+var bfsQueue = sync.Pool{New: func() any { return new([]int32) }}
+
+// DistanceTransformInto is the arena form of DistanceTransform: it
+// fills dst (reusing its backing when large enough; nil allocates) and
+// returns the filled slice. The BFS worklist comes from an internal
+// pool, so steady-state calls are allocation-free.
+func DistanceTransformInto(dst []int32, m mesh.Mesh, blocked []bool) []int32 {
+	size := m.Size()
+	if cap(dst) < size {
+		dst = make([]int32, size)
+	} else {
+		dst = dst[:size]
+	}
+	qp := bfsQueue.Get().(*[]int32)
+	queue := (*qp)[:0]
+	for i := range dst {
 		if blocked[i] {
-			dist[i] = 0
-			queue = append(queue, m.CoordOf(i))
+			dst[i] = 0
+			queue = append(queue, int32(i))
 		} else {
-			dist[i] = Unbounded
+			dst[i] = Unbounded
 		}
 	}
-	var nbuf [4]mesh.Coord
+	w, h := m.Width, m.Height
 	for head := 0; head < len(queue); head++ {
-		c := queue[head]
-		dc := dist[m.Index(c)]
-		for _, n := range m.Neighbors(nbuf[:0], c) {
-			ni := m.Index(n)
-			if dist[ni] > dc+1 {
-				dist[ni] = dc + 1
-				queue = append(queue, n)
-			}
+		i := int(queue[head])
+		dc := dst[i] + 1
+		x, y := i%w, i/w
+		if x > 0 && dst[i-1] > dc {
+			dst[i-1] = dc
+			queue = append(queue, int32(i-1))
+		}
+		if x < w-1 && dst[i+1] > dc {
+			dst[i+1] = dc
+			queue = append(queue, int32(i+1))
+		}
+		if y > 0 && dst[i-w] > dc {
+			dst[i-w] = dc
+			queue = append(queue, int32(i-w))
+		}
+		if y < h-1 && dst[i+w] > dc {
+			dst[i+w] = dc
+			queue = append(queue, int32(i+w))
 		}
 	}
-	return dist
+	*qp = queue[:0]
+	bfsQueue.Put(qp)
+	return dst
 }

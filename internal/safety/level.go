@@ -77,12 +77,35 @@ type Grid struct {
 	levels []Level
 }
 
-// Compute derives the safety levels of every node by four linear
-// sweeps over the blocked grid (indexed by mesh.Index). Nodes inside
-// the blocked set get a zero distance in every direction; routing never
-// consults them.
+// Compute derives the safety levels of every node over a freshly
+// allocated grid by four linear sweeps over the blocked grid (indexed
+// by mesh.Index): East and West per row, North and South per column.
+// Nodes inside the blocked set get a zero distance in every direction;
+// routing never consults them.
 func Compute(m mesh.Mesh, blocked []bool) *Grid {
-	g := &Grid{M: m, levels: make([]Level, m.Size())}
+	return ComputeInto(nil, m, blocked)
+}
+
+// ComputeInto is the arena form of Compute: it runs the same four
+// linear sweeps into g, reusing g's []Level backing when it is large
+// enough (a nil g allocates a fresh grid), and returns the grid it
+// filled. Every entry is overwritten, so no clearing pass is needed.
+//
+// Aliasing rule: the returned grid is g itself, so levels previously
+// read from it describe the new blocked set after the call. A caller
+// that reuses one grid across fault configurations (e.g. a simulation
+// worker's arena) must not let results derived from the old blocked
+// set outlive the next ComputeInto on the same grid.
+func ComputeInto(g *Grid, m mesh.Mesh, blocked []bool) *Grid {
+	if g == nil {
+		g = &Grid{}
+	}
+	g.M = m
+	if cap(g.levels) < m.Size() {
+		g.levels = make([]Level, m.Size())
+	} else {
+		g.levels = g.levels[:m.Size()]
+	}
 
 	// East/West sweeps per row.
 	for y := 0; y < m.Height; y++ {

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/core"
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/wang"
+)
+
+// TestArenaReuseMatchesFresh drives the arena-form constructors
+// (Scenario.Reset, BuildBlocksInto, BuildMCCInto, BlockedGridInto,
+// Model.Reset, ReachFromInto) through a sequence of randomized fault
+// sets, reusing one set of buffers throughout, and checks every
+// observable result against a from-scratch construction of the same
+// fault set. Any stale state surviving a reuse shows up as a mismatch.
+func TestArenaReuseMatchesFresh(t *testing.T) {
+	m := mesh.Mesh{Width: 24, Height: 24}
+	src := m.Center()
+	rng := rand.New(rand.NewSource(29))
+
+	// Reused across all trials.
+	var (
+		sc      *fault.Scenario
+		bs      *fault.BlockSet
+		mcc     *fault.MCCSet
+		grid    []bool
+		mccGrid []bool
+		reach   *wang.Reach
+		md      core.Model
+	)
+
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(50)
+		faults, err := fault.RandomFaults(m, k, rng, func(c mesh.Coord) bool { return c == src })
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fresh construction.
+		fsc, err := fault.NewScenario(m, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbs := fault.BuildBlocks(fsc)
+		fmcc := fault.BuildMCC(fsc, fault.TypeOne)
+		fgrid := fbs.BlockedGrid()
+		fmccGrid := fmcc.BlockedGrid()
+		fmd, err := core.NewModel(m, fgrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freach := wang.ReachFrom(m, src, fgrid)
+
+		// Arena-reused construction.
+		if sc == nil {
+			sc, err = fault.NewScenario(m, faults)
+		} else {
+			err = sc.Reset(faults)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = fault.BuildBlocksInto(bs, sc)
+		mcc = fault.BuildMCCInto(mcc, sc, fault.TypeOne)
+		grid = bs.BlockedGridInto(grid)
+		mccGrid = mcc.BlockedGridInto(mccGrid)
+		if err := md.Reset(m, grid); err != nil {
+			t.Fatal(err)
+		}
+		reach = wang.ReachFromInto(reach, m, src, grid)
+
+		if len(bs.Blocks) != len(fbs.Blocks) {
+			t.Fatalf("trial %d: %d blocks reused vs %d fresh", trial, len(bs.Blocks), len(fbs.Blocks))
+		}
+		for i := range bs.Blocks {
+			if bs.Blocks[i] != fbs.Blocks[i] {
+				t.Fatalf("trial %d: block %d = %v, fresh %v", trial, i, bs.Blocks[i], fbs.Blocks[i])
+			}
+		}
+		if len(mcc.Comps) != len(fmcc.Comps) {
+			t.Fatalf("trial %d: %d MCCs reused vs %d fresh", trial, len(mcc.Comps), len(fmcc.Comps))
+		}
+		for i := range mcc.Comps {
+			if mcc.Comps[i].Extent != fmcc.Comps[i].Extent {
+				t.Fatalf("trial %d: MCC %d extent %v, fresh %v", trial, i, mcc.Comps[i].Extent, fmcc.Comps[i].Extent)
+			}
+			if len(mcc.Comps[i].Nodes) != len(fmcc.Comps[i].Nodes) {
+				t.Fatalf("trial %d: MCC %d has %d nodes, fresh %d", trial, i, len(mcc.Comps[i].Nodes), len(fmcc.Comps[i].Nodes))
+			}
+		}
+		for i := 0; i < m.Size(); i++ {
+			c := m.CoordOf(i)
+			if grid[i] != fgrid[i] {
+				t.Fatalf("trial %d: blocked[%v] = %v, fresh %v", trial, c, grid[i], fgrid[i])
+			}
+			if mccGrid[i] != fmccGrid[i] {
+				t.Fatalf("trial %d: mccBlocked[%v] = %v, fresh %v", trial, c, mccGrid[i], fmccGrid[i])
+			}
+			if bs.Status(c) != fbs.Status(c) || bs.BlockAt(c) != fbs.BlockAt(c) {
+				t.Fatalf("trial %d: status/block at %v differ from fresh", trial, c)
+			}
+			if mcc.InMCC(c) != fmcc.InMCC(c) || mcc.ComponentAt(c) != fmcc.ComponentAt(c) {
+				t.Fatalf("trial %d: MCC labels at %v differ from fresh", trial, c)
+			}
+			if md.Levels.At(c) != fmd.Levels.At(c) {
+				t.Fatalf("trial %d: level at %v = %v, fresh %v", trial, c, md.Levels.At(c), fmd.Levels.At(c))
+			}
+			if reach.CanReach(c) != freach.CanReach(c) {
+				t.Fatalf("trial %d: reach at %v = %v, fresh %v", trial, c, reach.CanReach(c), freach.CanReach(c))
+			}
+		}
+		if bs.DisabledCount() != fbs.DisabledCount() || mcc.DisabledCount() != fmcc.DisabledCount() {
+			t.Fatalf("trial %d: disabled counts differ from fresh", trial)
+		}
+	}
+}
+
+// TestRunTimedMatchesRun checks that the timed entry point returns the
+// same metrics as Run and reports nonzero stage durations.
+func TestRunTimedMatchesRun(t *testing.T) {
+	cfg := Config{N: 32, FaultCounts: []int{10, 20}, Configurations: 3, DestsPerConfig: 8, Seed: 7}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, tm, err := RunTimed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(timed) {
+		t.Fatalf("Run returned %d points, RunTimed %d", len(plain), len(timed))
+	}
+	for i := range plain {
+		if plain[i] != timed[i] {
+			t.Fatalf("point %d: RunTimed metrics diverge from Run", i)
+		}
+	}
+	if tm.Setup <= 0 || tm.Evaluation <= 0 {
+		t.Fatalf("expected positive setup/evaluation durations, got %+v", tm)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named testdata file, rewriting
+// the file under -update. The golden files were generated before the
+// scenario-arena and active-link changes landed, so a match certifies
+// the optimized paths are bit-for-bit equivalent to the original ones.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from pre-optimization golden %s\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestRunGolden pins the complete metric set of the Monte-Carlo harness
+// for fixed seeds: every figure-7..12 curve, the router tables and the
+// extra experiments must be byte-identical with and without the
+// reusable scenario arena.
+func TestRunGolden(t *testing.T) {
+	cfg := Config{
+		N:              40,
+		FaultCounts:    []int{8, 16},
+		Configurations: 4,
+		DestsPerConfig: 10,
+		Seed:           3,
+	}
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%+v\n", m)
+	}
+	checkGolden(t, "run_uniform.golden", sb.String())
+}
+
+// TestRunClusteredGolden pins the clustered-fault workload.
+func TestRunClusteredGolden(t *testing.T) {
+	cfg := Config{
+		N:              40,
+		FaultCounts:    []int{12},
+		Configurations: 3,
+		DestsPerConfig: 8,
+		Seed:           5,
+		Clusters:       2,
+		ClusterSpread:  3,
+	}
+	ms, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%+v\n", m)
+	}
+	checkGolden(t, "run_clustered.golden", sb.String())
+}
+
+// TestRunScalingGolden pins the scalability sweep.
+func TestRunScalingGolden(t *testing.T) {
+	points, err := RunScaling([]int{16, 24}, 0.01, 2, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%+v\n", p)
+	}
+	checkGolden(t, "run_scaling.golden", sb.String())
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"extmesh/internal/analytic"
 	"extmesh/internal/core"
@@ -172,22 +173,58 @@ const (
 	mccModel   = 1
 )
 
+// Timing breaks a run's work into stages. Setup covers scenario
+// construction (fault placement, block and MCC labeling, safety
+// levels, the existence grid); Evaluation covers condition evaluation
+// and routing over the sampled destinations; Aggregation covers
+// merging per-configuration results. Setup and Evaluation sum the time
+// spent by concurrent workers, so on a multi-core run they can exceed
+// the wall clock; their ratio is what matters.
+type Timing struct {
+	Setup       time.Duration
+	Evaluation  time.Duration
+	Aggregation time.Duration
+}
+
+// stageClock accumulates stage durations (in nanoseconds) across the
+// concurrent configuration workers.
+type stageClock struct {
+	setup int64
+	eval  int64
+	agg   int64
+}
+
+func (c *stageClock) timing() Timing {
+	return Timing{
+		Setup:       time.Duration(atomic.LoadInt64(&c.setup)),
+		Evaluation:  time.Duration(atomic.LoadInt64(&c.eval)),
+		Aggregation: time.Duration(atomic.LoadInt64(&c.agg)),
+	}
+}
+
 // Run executes the full evaluation and returns one Metrics per fault
 // count, in the order of cfg.FaultCounts.
 func Run(cfg Config) ([]Metrics, error) {
+	ms, _, err := RunTimed(cfg)
+	return ms, err
+}
+
+// RunTimed is Run with a per-stage timing breakdown of the work done.
+func RunTimed(cfg Config) ([]Metrics, Timing, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, Timing{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := make([]Metrics, 0, len(cfg.FaultCounts))
+	var clk stageClock
 	for _, k := range cfg.FaultCounts {
-		m, err := runPoint(cfg, k, rng)
+		m, err := runPoint(cfg, k, rng, &clk)
 		if err != nil {
-			return nil, err
+			return nil, Timing{}, err
 		}
 		out = append(out, m)
 	}
-	return out, nil
+	return out, clk.timing(), nil
 }
 
 // configResult is one configuration's contribution to a point.
@@ -223,8 +260,11 @@ type configResult struct {
 // aggregates all metrics. Configurations are independent, so they run
 // on a worker pool; each gets its own deterministic seed drawn from
 // the point's stream, and partial results merge in configuration order,
-// which keeps every run bit-for-bit reproducible.
-func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
+// which keeps every run bit-for-bit reproducible. Each worker owns one
+// scenario arena reused across the configurations it processes, so the
+// per-node grids are allocated once per point rather than once per
+// configuration.
+func runPoint(cfg Config, k int, rng *rand.Rand, clk *stageClock) (Metrics, error) {
 	msh := mesh.Mesh{Width: cfg.N, Height: cfg.N}
 	src := msh.Center()
 	met := Metrics{K: k}
@@ -235,6 +275,17 @@ func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
 	}
 	results := make([]configResult, cfg.Configurations)
 	errs := make([]error, cfg.Configurations)
+
+	// The deterministic pivot sets (extension 3's recursive centers and
+	// Latin spreads) depend only on the quadrant, so they are shared by
+	// every configuration of the point. The random pivot sets consume
+	// each configuration's RNG stream and stay per-configuration.
+	quadrant := mesh.Rect{MinX: src.X, MinY: src.Y, MaxX: cfg.N - 1, MaxY: cfg.N - 1}
+	var centers, latins [3][]mesh.Coord
+	for li, lvl := range Ext3Levels {
+		centers[li] = safety.Pivots(quadrant, lvl, safety.CenterPivots, nil)
+		latins[li] = safety.Pivots(quadrant, lvl, safety.LatinPivots, nil)
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.Configurations {
@@ -248,6 +299,7 @@ func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ar := NewArena()
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1
 				if c >= cfg.Configurations {
@@ -256,12 +308,13 @@ func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
 				// The storage comparison is expensive (it lays out
 				// every boundary line); a few configurations per
 				// point give a stable average.
-				results[c], errs[c] = runConfig(cfg, msh, src, k, seeds[c], c < 3)
+				results[c], errs[c] = runConfig(cfg, msh, src, k, seeds[c], c < 3, ar, &centers, &latins, clk)
 			}
 		}()
 	}
 	wg.Wait()
 
+	aggStart := time.Now()
 	var total configResult
 	for c := range results {
 		if errs[c] != nil {
@@ -349,21 +402,23 @@ func runPoint(cfg Config, k int, rng *rand.Rand) (Metrics, error) {
 			met.Strategies[mi][si] = float64(total.strat[mi][si]) / n
 		}
 	}
+	atomic.AddInt64(&clk.agg, int64(time.Since(aggStart)))
 	return met, nil
 }
 
-// runConfig evaluates every condition on one sampled fault pattern.
-func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, measureInfo bool) (configResult, error) {
+// runConfig evaluates every condition on one sampled fault pattern,
+// building the scenario inside the worker's arena.
+func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, measureInfo bool, w *Arena, centers, latins *[3][]mesh.Coord, clk *stageClock) (configResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var res configResult
 
-	w, err := newWorkload(cfg, msh, src, k, rng)
-	if err != nil {
+	setupStart := time.Now()
+	if err := w.Load(cfg, msh, src, k, rng); err != nil {
 		return configResult{}, err
 	}
 
 	// Figure 7 and 8 statistics.
-	blocked := w.bs.BlockedGrid()
+	blocked := w.blockMd.Blocked
 	rows := safety.AffectedRows(msh, blocked)
 	cols := safety.AffectedCols(msh, blocked)
 	res.affectedFrac = float64(rows+cols) / float64(2*cfg.N)
@@ -381,13 +436,9 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 		res.infoMeasured = 1
 	}
 
-	// Pivot sets (per configuration, shared across destinations).
+	// The random pivot set consumes this configuration's RNG stream, so
+	// unlike the deterministic sets it cannot be hoisted out.
 	quadrant := mesh.Rect{MinX: src.X, MinY: src.Y, MaxX: cfg.N - 1, MaxY: cfg.N - 1}
-	var centers, latins [3][]mesh.Coord
-	for li, lvl := range Ext3Levels {
-		centers[li] = safety.Pivots(quadrant, lvl, safety.CenterPivots, nil)
-		latins[li] = safety.Pivots(quadrant, lvl, safety.LatinPivots, nil)
-	}
 	randomPivots := safety.Pivots(quadrant, core.PivotLevels, safety.RandomPivots, rng)
 
 	strategies := [4]core.Strategy{
@@ -397,11 +448,13 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 		{UseExt1: true, UseExt2: true, SegSize: core.StrategySegSize, UseExt3: true, Pivots: randomPivots},
 	}
 
-	models := [2]*core.Model{w.blockMd, w.mccMd}
+	models := [2]*core.Model{&w.blockMd, &w.mccMd}
 	routers := [2]*route.Router{
 		route.NewRouter(msh, w.blockMd.Blocked),
 		route.NewRouter(msh, w.mccMd.Blocked),
 	}
+	atomic.AddInt64(&clk.setup, int64(time.Since(setupStart)))
+	evalStart := time.Now()
 	strategy4 := strategies[3]
 	for di := 0; di < cfg.DestsPerConfig; di++ {
 		d := w.sampleDest(rng)
@@ -421,7 +474,7 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 				res.dfsStretch[mi] += float64(p.Hops()) / float64(mesh.Distance(src, d))
 			}
 			if a := md.Evaluate(src, d, strategy4); a.Verdict == core.Minimal {
-				if p, err := routers[mi].RouteVia(src, d, a.Via...); err == nil && p.Minimal() {
+				if p, err := routers[mi].RouteVia(src, d, a.Via()...); err == nil && p.Minimal() {
 					res.routerAssured[mi]++
 				}
 			}
@@ -463,25 +516,47 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 			}
 		}
 	}
+	atomic.AddInt64(&clk.eval, int64(time.Since(evalStart)))
 	return res, nil
 }
 
-// workload is one sampled fault configuration with everything the
-// condition evaluations need.
-type workload struct {
-	m       mesh.Mesh
-	src     mesh.Coord
-	sc      *fault.Scenario
-	bs      *fault.BlockSet
-	mcc     *fault.MCCSet
-	blockMd *core.Model
-	mccMd   *core.Model
-	reach   *wang.Reach
+// Arena is a per-worker scratch area holding every grid and model one
+// fault configuration needs: the scenario, both fault-model labelings,
+// their blocked grids and safety-level models, and the existence grid.
+// A fresh arena allocates its grids on the first Load; subsequent
+// Loads rebuild everything in place, so a simulation worker that
+// evaluates many configurations over the same mesh allocates the
+// per-node grids exactly once. Load invalidates every result
+// previously read from the arena; an arena must not be shared between
+// goroutines.
+type Arena struct {
+	m   mesh.Mesh
+	src mesh.Coord
+
+	sc    *fault.Scenario
+	bs    *fault.BlockSet
+	mcc   *fault.MCCSet
+	reach *wang.Reach
+
+	blockMd core.Model
+	mccMd   core.Model
+
+	blockGrid []bool
+	mccGrid   []bool
+	faultGrid []bool
 }
 
-// newWorkload draws fault patterns until the source lies outside every
-// faulty block, then precomputes both models and the existence grid.
-func newWorkload(cfg Config, m mesh.Mesh, src mesh.Coord, k int, rng *rand.Rand) (*workload, error) {
+// NewArena returns an empty arena ready for Load.
+func NewArena() *Arena {
+	return &Arena{}
+}
+
+// Load draws fault patterns from rng until the source lies outside
+// every faulty block, then rebuilds both fault models and the
+// existence grid in place. It consumes exactly the same RNG stream as
+// building the scenario from scratch, so results are bit-for-bit
+// identical to the allocate-per-configuration path.
+func (w *Arena) Load(cfg Config, m mesh.Mesh, src mesh.Coord, k int, rng *rand.Rand) error {
 	for attempt := 0; attempt < 1000; attempt++ {
 		var (
 			faults []mesh.Coord
@@ -494,41 +569,48 @@ func newWorkload(cfg Config, m mesh.Mesh, src mesh.Coord, k int, rng *rand.Rand)
 			faults, err = fault.RandomFaults(m, k, rng, notSrc)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sc, err := fault.NewScenario(m, faults)
+		if w.sc == nil || w.sc.M != m {
+			w.sc, err = fault.NewScenario(m, faults)
+		} else {
+			err = w.sc.Reset(faults)
+		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bs := fault.BuildBlocks(sc)
-		if bs.InBlock(src) {
+		w.bs = fault.BuildBlocksInto(w.bs, w.sc)
+		if w.bs.InBlock(src) {
 			continue // the paper assumes the source outside every block
 		}
-		mcc := fault.BuildMCC(sc, fault.TypeOne)
-		blockMd, err := core.NewModel(m, bs.BlockedGrid())
-		if err != nil {
-			return nil, err
+		w.m, w.src = m, src
+		w.mcc = fault.BuildMCCInto(w.mcc, w.sc, fault.TypeOne)
+		w.blockGrid = w.bs.BlockedGridInto(w.blockGrid)
+		if err := w.blockMd.Reset(m, w.blockGrid); err != nil {
+			return err
 		}
-		mccMd, err := core.NewModel(m, mcc.BlockedGrid())
-		if err != nil {
-			return nil, err
+		w.mccGrid = w.mcc.BlockedGridInto(w.mccGrid)
+		if err := w.mccMd.Reset(m, w.mccGrid); err != nil {
+			return err
 		}
-		faultGrid := make([]bool, m.Size())
+		if cap(w.faultGrid) < m.Size() {
+			w.faultGrid = make([]bool, m.Size())
+		} else {
+			w.faultGrid = w.faultGrid[:m.Size()]
+			clear(w.faultGrid)
+		}
 		for _, f := range faults {
-			faultGrid[m.Index(f)] = true
+			w.faultGrid[m.Index(f)] = true
 		}
-		return &workload{
-			m: m, src: src, sc: sc, bs: bs, mcc: mcc,
-			blockMd: blockMd, mccMd: mccMd,
-			reach: wang.ReachFrom(m, src, faultGrid),
-		}, nil
+		w.reach = wang.ReachFromInto(w.reach, m, src, w.faultGrid)
+		return nil
 	}
-	return nil, fmt.Errorf("sim: could not place %d faults with the source outside every block", k)
+	return fmt.Errorf("sim: could not place %d faults with the source outside every block", k)
 }
 
 // sampleDest draws a destination uniformly from the first-quadrant
 // submesh, outside every faulty block.
-func (w *workload) sampleDest(rng *rand.Rand) mesh.Coord {
+func (w *Arena) sampleDest(rng *rand.Rand) mesh.Coord {
 	loX, loY := w.src.X+1, w.src.Y+1
 	for {
 		d := mesh.Coord{

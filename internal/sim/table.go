@@ -303,6 +303,23 @@ func Lineage(ms []Metrics, model int) *Table {
 	return t
 }
 
+// ExperimentIDs lists the table identifiers AllTables produces, in
+// order. Experiment selectors (meshsim's -exp) match by prefix, so
+// e.g. "fig9" selects fig9a and fig9b.
+func ExperimentIDs() []string {
+	return []string{
+		"fig7", "fig8",
+		"fig9a", "fig9b",
+		"fig10a", "fig10b",
+		"fig11a", "fig11b",
+		"fig12a", "fig12b",
+		"info",
+		"routera", "routerb",
+		"vara", "varb",
+		"lineagea", "lineageb",
+	}
+}
+
 // AllTables renders every figure of the paper from one evaluation run,
 // plus the extra storage-cost and router experiments.
 func AllTables(ms []Metrics) []*Table {

@@ -1,0 +1,97 @@
+package traffic
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from pre-optimization golden %s\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// goldenGrid builds a deterministic faulty 16x16 mesh shared by the
+// golden configurations.
+func goldenGrid(t *testing.T) (mesh.Mesh, []bool) {
+	t.Helper()
+	m := mesh.Mesh{Width: 16, Height: 16}
+	faults, err := fault.RandomFaults(m, 12, rand.New(rand.NewSource(9)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fault.BuildBlocks(sc).BlockedGrid()
+}
+
+// TestRunGolden pins the store-and-forward simulator's statistics for
+// fixed seeds across the feature matrix (unbounded, bounded queues,
+// class channels, hotspot, preload, guaranteed-only, every router).
+// The goldens predate active-link scheduling, so a match certifies the
+// scheduler visits links in an order indistinguishable from the
+// original full scan.
+func TestRunGolden(t *testing.T) {
+	m, blocked := goldenGrid(t)
+	wu := WuRouting(route.NewRouter(m, blocked))
+	var free []mesh.Coord
+	for i := 0; i < m.Size(); i++ {
+		if !blocked[i] {
+			free = append(free, m.CoordOf(i))
+		}
+	}
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"wu_unbounded", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.05, Cycles: 120, Warmup: 30, Seed: 1}},
+		{"wu_capacity2", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.10, Cycles: 120, Warmup: 30, Seed: 2, QueueCapacity: 2}},
+		{"wu_class_cap1", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.10, Cycles: 120, Warmup: 30, Seed: 3, QueueCapacity: 1, ClassChannels: true}},
+		{"wu_hotspot", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.08, Cycles: 120, Warmup: 30, Seed: 4, HotspotFraction: 0.3, Hotspot: mesh.Coord{X: 1, Y: 1}}},
+		{"wu_guaranteed", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.08, Cycles: 120, Warmup: 30, Seed: 5, GuaranteedOnly: true}},
+		{"oracle", Config{M: m, Blocked: blocked, Route: OracleRouting(m, blocked), InjectionRate: 0.08, Cycles: 120, Warmup: 30, Seed: 6}},
+		{"xy", Config{M: m, Blocked: blocked, Route: XYRouting(m, blocked), InjectionRate: 0.08, Cycles: 120, Warmup: 30, Seed: 7}},
+		{"preload", Config{M: m, Blocked: blocked, Route: wu, InjectionRate: 0.02, Cycles: 80, Warmup: 0, Seed: 8,
+			Preload: []Flow{
+				{Src: free[0], Dst: free[len(free)-1]},
+				{Src: free[len(free)-1], Dst: free[1]},
+			}}},
+	}
+	var sb strings.Builder
+	for _, c := range configs {
+		st, err := Run(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Fprintf(&sb, "%s: %+v\n", c.name, st)
+	}
+	checkGolden(t, "run_stats.golden", sb.String())
+}

@@ -11,6 +11,7 @@ package traffic
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"extmesh/internal/mesh"
 	"extmesh/internal/route"
@@ -246,6 +247,20 @@ func Run(cfg Config) (Stats, error) {
 	}
 	queues := make([][]*packet, m.Size()*4*classes)
 
+	// Active-link scheduling: instead of scanning every directed link
+	// each cycle, only links whose queue is nonempty are visited. The
+	// active list is sorted ascending before each transmission phase, so
+	// links move in exactly the order of the original full scan and the
+	// simulation stays bit-for-bit reproducible.
+	active := make([]int, 0, 64)
+	inActive := make([]bool, len(queues))
+	markActive := func(qi int) {
+		if !inActive[qi] {
+			inActive[qi] = true
+			active = append(active, qi)
+		}
+	}
+
 	var st Stats
 	var totalLatency, totalHops, totalStretch float64
 
@@ -296,6 +311,7 @@ func Run(cfg Config) (Stats, error) {
 			return true
 		}
 		queues[qi] = append(queues[qi], p)
+		markActive(qi)
 		if len(queues[qi]) > st.MaxQueue {
 			st.MaxQueue = len(queues[qi])
 		}
@@ -316,6 +332,12 @@ func Run(cfg Config) (Stats, error) {
 
 	totalCycles := cfg.Warmup + cfg.Cycles
 	idleCycles := 0
+	// Per-cycle scratch, hoisted out of the loop and reused.
+	var arrivals []*packet
+	var incoming map[int]int
+	if cfg.QueueCapacity > 0 {
+		incoming = make(map[int]int)
+	}
 	for cycle := 0; cycle < totalCycles; cycle++ {
 		measuring := cycle >= cfg.Warmup
 
@@ -349,59 +371,65 @@ func Run(cfg Config) (Stats, error) {
 			enqueue(p, cycle)
 		}
 
-		// Transmission phase: every directed link moves its head packet
-		// unless the downstream queue is full (backpressure).
-		type arrival struct {
-			p  *packet
-			at mesh.Coord
-		}
-		var arrivals []arrival
+		// Transmission phase: every active directed link moves its head
+		// packet unless the downstream queue is full (backpressure).
+		// Links are visited in ascending queue-index order — the order
+		// of the original full scan — and the active set is fixed for
+		// the phase because arrivals are applied afterwards.
+		arrivals = arrivals[:0]
 		moved := 0
 		queued := 0
 		// incoming reserves downstream capacity for moves already
 		// granted this cycle, so simultaneous arrivals cannot overfill
 		// a bounded queue.
-		var incoming map[int]int
 		if cfg.QueueCapacity > 0 {
-			incoming = make(map[int]int)
+			clear(incoming)
 		}
-		for i := 0; i < m.Size(); i++ {
-			from := m.CoordOf(i)
-			for _, d := range mesh.Directions() {
-				for class := 0; class < classes; class++ {
-					qi := queueIndex(from, d, class)
-					queued += len(queues[qi])
-					if len(queues[qi]) == 0 {
-						continue
+		slices.Sort(active)
+		for _, qi := range active {
+			queued += len(queues[qi])
+			if len(queues[qi]) == 0 {
+				continue
+			}
+			from := m.CoordOf(qi / classes / 4)
+			d := mesh.Dir(qi/classes%4 + 1)
+			to := from.Add(d.Offset())
+			if !m.Contains(to) {
+				// Defensive: routing never sends off-mesh.
+				queues[qi] = queues[qi][1:]
+				continue
+			}
+			p := queues[qi][0]
+			if cfg.QueueCapacity > 0 && to != p.dst {
+				// Peek the downstream queue before moving.
+				probe := *p
+				probe.at = to
+				if nqi, ok := nextQueue(&probe); ok {
+					if len(queues[nqi])+incoming[nqi] >= cfg.QueueCapacity {
+						continue // stall on the link
 					}
-					to := from.Add(d.Offset())
-					if !m.Contains(to) {
-						// Defensive: routing never sends off-mesh.
-						queues[qi] = queues[qi][1:]
-						continue
-					}
-					p := queues[qi][0]
-					if cfg.QueueCapacity > 0 && to != p.dst {
-						// Peek the downstream queue before moving.
-						probe := *p
-						probe.at = to
-						if nqi, ok := nextQueue(&probe); ok {
-							if len(queues[nqi])+incoming[nqi] >= cfg.QueueCapacity {
-								continue // stall on the link
-							}
-							incoming[nqi]++
-						}
-					}
-					queues[qi] = queues[qi][1:]
-					p.at = to
-					p.hops++
-					moved++
-					arrivals = append(arrivals, arrival{p: p, at: to})
+					incoming[nqi]++
 				}
 			}
+			queues[qi] = queues[qi][1:]
+			p.at = to
+			p.hops++
+			moved++
+			arrivals = append(arrivals, p)
 		}
-		for _, a := range arrivals {
-			enqueue(a.p, cycle+1)
+		// Drop drained links from the active set before arrivals re-add
+		// any of them.
+		live := active[:0]
+		for _, qi := range active {
+			if len(queues[qi]) > 0 {
+				live = append(live, qi)
+			} else {
+				inActive[qi] = false
+			}
+		}
+		active = live
+		for _, p := range arrivals {
+			enqueue(p, cycle+1)
 		}
 		if cfg.QueueCapacity > 0 {
 			if queued > 0 && moved == 0 {

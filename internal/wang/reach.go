@@ -25,12 +25,34 @@ type Reach struct {
 // the mesh, avoiding nodes for which blocked is true. blocked is
 // indexed by mesh.Index. If s itself is blocked nothing is reachable.
 func ReachFrom(m mesh.Mesh, s mesh.Coord, blocked []bool) *Reach {
-	r := &Reach{M: m, S: s, ok: make([]bool, m.Size())}
+	return ReachFromInto(nil, m, s, blocked)
+}
+
+// ReachFromInto is the arena form of ReachFrom: it runs the same
+// per-quadrant sweeps into r, reusing r's reachability grid when it is
+// large enough (a nil r allocates a fresh one), and returns the filled
+// Reach. Results previously read from r describe the new source and
+// blocked set after the call.
+func ReachFromInto(r *Reach, m mesh.Mesh, s mesh.Coord, blocked []bool) *Reach {
+	if r == nil {
+		r = &Reach{}
+	}
+	r.M = m
+	r.S = s
+	if cap(r.ok) < m.Size() {
+		r.ok = make([]bool, m.Size())
+	} else {
+		r.ok = r.ok[:m.Size()]
+	}
 	if blocked[m.Index(s)] {
+		// The sweeps below never run, so stale entries from a previous
+		// use of r must be cleared explicitly.
+		clear(r.ok)
 		return r
 	}
 	// Sweep each quadrant cone independently; the axes shared between
-	// two cones compute the same value, so overwriting is harmless.
+	// two cones compute the same value, so overwriting is harmless. The
+	// four cones jointly write every node, so no clearing is needed.
 	for _, sx := range []int{1, -1} {
 		for _, sy := range []int{1, -1} {
 			r.sweep(blocked, sx, sy)

@@ -1,0 +1,82 @@
+package wormhole
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/traffic"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from pre-optimization golden %s\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestRunGolden pins the wormhole simulator's statistics for fixed
+// seeds, with and without class virtual channels. The goldens predate
+// active-link scheduling, so a match certifies the optimized flit
+// transmission is bit-for-bit equivalent to the original full scan.
+func TestRunGolden(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	faults, err := fault.RandomFaults(m, 8, rand.New(rand.NewSource(13)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+	wu := traffic.WuRouting(route.NewRouter(m, blocked))
+
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"class_vcs", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 4, BufferFlits: 2,
+			ClassVCs: true, InjectionRate: 0.04, Cycles: 150, Warmup: 30, Seed: 21, GuaranteedOnly: true}},
+		{"two_vcs", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 6, BufferFlits: 1,
+			VCs: 2, InjectionRate: 0.03, Cycles: 150, Warmup: 30, Seed: 22}},
+		{"preload", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 3, BufferFlits: 2,
+			VCs: 1, InjectionRate: 0.01, Cycles: 100, Warmup: 0, Seed: 23,
+			Preload: []traffic.Flow{
+				{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 11, Y: 11}},
+				{Src: mesh.Coord{X: 11, Y: 0}, Dst: mesh.Coord{X: 0, Y: 11}},
+			}}},
+	}
+	var sb strings.Builder
+	for _, c := range configs {
+		st, err := Run(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Fprintf(&sb, "%s: %+v\n", c.name, st)
+	}
+	checkGolden(t, "run_stats.golden", sb.String())
+}

@@ -13,6 +13,7 @@ package wormhole
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"extmesh/internal/mesh"
 	"extmesh/internal/traffic"
@@ -170,6 +171,17 @@ func Run(cfg Config) (Stats, error) {
 	owners := make([]*vcOwner, numLinks*cfg.VCs)
 	rr := make([]int, numLinks) // per-link round-robin pointer
 
+	// Active-link scheduling: flit transmission only visits links with
+	// at least one owned virtual channel instead of scanning all 4*Size
+	// links every cycle. linkOwned counts owned channels per link; the
+	// active list is compacted and sorted before each transmission
+	// phase, so links are served in exactly the order of the original
+	// full scan (unowned links were no-ops there) and runs stay
+	// bit-for-bit reproducible.
+	linkOwned := make([]int, numLinks)
+	activeLinks := make([]int, 0, 64)
+	inActiveLink := make([]bool, numLinks)
+
 	var (
 		st           Stats
 		worms        []*worm
@@ -196,6 +208,7 @@ func Run(cfg Config) (Stats, error) {
 	release := func(w *worm, vc int32) {
 		if o := owners[vc]; o != nil && o.w == w {
 			owners[vc] = nil
+			linkOwned[int(vc)/cfg.VCs]--
 		}
 	}
 
@@ -291,6 +304,11 @@ func Run(cfg Config) (Stats, error) {
 			}
 			vc := int32(li*cfg.VCs + chosen)
 			owners[vc] = &vcOwner{w: w, stage: len(w.chain)}
+			linkOwned[li]++
+			if !inActiveLink[li] {
+				inActiveLink[li] = true
+				activeLinks = append(activeLinks, li)
+			}
 			w.chain = append(w.chain, vc)
 			w.chainNodes = append(w.chainNodes, next)
 			w.entered = append(w.entered, 0)
@@ -299,8 +317,21 @@ func Run(cfg Config) (Stats, error) {
 		}
 
 		// Flit transmission: one flit per physical link per cycle,
-		// round-robin over its virtual channels.
-		for li := 0; li < numLinks; li++ {
+		// round-robin over its virtual channels. Ownership is fixed for
+		// the phase (allocation precedes it, releases follow it), so the
+		// compacted, sorted active list is exactly the set of links the
+		// full scan would have moved flits on, in the same order.
+		live := activeLinks[:0]
+		for _, li := range activeLinks {
+			if linkOwned[li] > 0 {
+				live = append(live, li)
+			} else {
+				inActiveLink[li] = false
+			}
+		}
+		activeLinks = live
+		slices.Sort(activeLinks)
+		for _, li := range activeLinks {
 			for try := 0; try < cfg.VCs; try++ {
 				v := (rr[li] + try) % cfg.VCs
 				own := owners[li*cfg.VCs+v]
