@@ -4,10 +4,18 @@
 // It extends the paper's evaluation from path-existence percentages to
 // communication-subsystem performance under load.
 //
+// With -fault-rate or -fault-schedule the run becomes an online
+// fault-tolerance experiment: faults arrive (and possibly recover)
+// mid-run, fault regions and safety levels update incrementally, and
+// in-flight packets whose link died are rerouted, degraded to
+// Extension-1 spare-neighbor detours, or dropped per -policy.
+//
 // Usage:
 //
 //	meshload [-n 32] [-k 30] [-seed 1] [-cycles 400] [-warmup 100]
 //	         [-rates "0.01,0.02,0.05,0.1,0.2"]
+//	         [-fault-rate 0.001 | -fault-schedule "bursts:count=2,size=6"]
+//	         [-policy reroute|degrade|drop] [-fault-seed 7]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -23,6 +31,7 @@ import (
 	"strings"
 
 	"extmesh/internal/fault"
+	"extmesh/internal/inject"
 	"extmesh/internal/mesh"
 	"extmesh/internal/route"
 	"extmesh/internal/traffic"
@@ -49,6 +58,10 @@ func run(args []string, out io.Writer) error {
 		wh         = fs.Bool("wormhole", false, "flit-level wormhole switching instead of store-and-forward")
 		flits      = fs.Int("flits", 8, "flits per packet (wormhole mode)")
 		buffers    = fs.Int("buffers", 2, "flit buffer depth per virtual channel (wormhole mode)")
+		faultSched = fs.String("fault-schedule", "", "online fault schedule (random:rate=R, bursts:count=B,size=S,spread=P, transient:rate=R,repair=C, or fail@CYCLE:X,Y;... events)")
+		faultRate  = fs.Float64("fault-rate", 0, "shorthand for -fault-schedule random:rate=R")
+		policyName = fs.String("policy", "reroute", "in-flight packet policy under online faults: reroute, degrade or drop")
+		faultSeed  = fs.Int64("fault-seed", 0, "fault schedule seed (0 = seed+1)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,12 +115,42 @@ func run(args []string, out io.Writer) error {
 	blocked := fault.BuildBlocks(sc).BlockedGrid()
 
 	routers := []struct {
-		name string
-		fn   traffic.RoutingFunc
+		name    string
+		fn      traffic.RoutingFunc
+		rebuild func([]bool) traffic.RoutingFunc
 	}{
-		{"wu", traffic.WuRouting(route.NewRouter(m, blocked))},
-		{"oracle", traffic.OracleRouting(m, blocked)},
-		{"xy", traffic.XYRouting(m, blocked)},
+		{"wu", traffic.WuRouting(route.NewRouter(m, blocked)),
+			func(b []bool) traffic.RoutingFunc { return traffic.WuRouting(route.NewRouter(m, b)) }},
+		{"oracle", traffic.OracleRouting(m, blocked),
+			func(b []bool) traffic.RoutingFunc { return traffic.OracleRouting(m, b) }},
+		{"xy", traffic.XYRouting(m, blocked),
+			func(b []bool) traffic.RoutingFunc { return traffic.XYRouting(m, b) }},
+	}
+
+	// Online fault injection: parse the schedule (or the -fault-rate
+	// shorthand) and the packet policy up front.
+	spec := *faultSched
+	if *faultRate > 0 {
+		if spec != "" {
+			return fmt.Errorf("-fault-rate and -fault-schedule are mutually exclusive")
+		}
+		spec = fmt.Sprintf("random:rate=%g", *faultRate)
+	}
+	online := spec != ""
+	var sched inject.Schedule
+	policy := traffic.PolicyReroute
+	fseed := *faultSeed
+	if online {
+		var err error
+		if policy, err = traffic.ParsePolicy(*policyName); err != nil {
+			return err
+		}
+		if fseed == 0 {
+			fseed = *seed + 1
+		}
+		if sched, err = inject.Parse(m, *warmup+*cycles, fseed, spec); err != nil {
+			return err
+		}
 	}
 
 	mode := "store-and-forward"
@@ -116,17 +159,35 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "# %s traffic on a %dx%d mesh with %d faults (seed %d), %d+%d cycles, guaranteed pairs only\n",
 		mode, *n, *n, *k, *seed, *warmup, *cycles)
-	fmt.Fprintf(out, "%8s  %8s  %10s  %10s  %10s  %10s  %10s  %10s\n",
-		"router", "rate", "delivered", "stranded", "latency", "stretch", "maxqueue", "throughput")
+	if online {
+		fmt.Fprintf(out, "# online faults: %s (%d events, fault seed %d), policy %v\n",
+			spec, len(sched), fseed, policy)
+		fmt.Fprintf(out, "%8s  %8s  %10s  %10s  %10s  %10s  %10s  %10s  %8s  %8s  %8s  %8s\n",
+			"router", "rate", "delivered", "stranded", "latency", "stretch", "maxqueue", "throughput",
+			"events", "rerouted", "degraded", "dropped")
+	} else {
+		fmt.Fprintf(out, "%8s  %8s  %10s  %10s  %10s  %10s  %10s  %10s\n",
+			"router", "rate", "delivered", "stranded", "latency", "stretch", "maxqueue", "throughput")
+	}
 	for _, r := range routers {
 		for _, rate := range rateList {
 			var (
 				delivered, stranded, maxq int
 				latency, stretch, thr     float64
 				deadlocked                bool
+				ost                       traffic.OnlineStats
 			)
+			var on *traffic.Online
+			if online {
+				on = &traffic.Online{
+					InitialFaults: faults,
+					Schedule:      sched,
+					Policy:        policy,
+					Rebuild:       r.rebuild,
+				}
+			}
 			if *wh {
-				st, err := wormhole.Run(wormhole.Config{
+				cfg := wormhole.Config{
 					M:              m,
 					Blocked:        blocked,
 					Route:          r.fn,
@@ -138,7 +199,14 @@ func run(args []string, out io.Writer) error {
 					Warmup:         *warmup,
 					Seed:           *seed,
 					GuaranteedOnly: true,
-				})
+				}
+				var st wormhole.Stats
+				var err error
+				if online {
+					st, ost, err = wormhole.RunOnline(cfg, on)
+				} else {
+					st, err = wormhole.Run(cfg)
+				}
 				if err != nil {
 					return err
 				}
@@ -146,7 +214,7 @@ func run(args []string, out io.Writer) error {
 				latency, stretch, thr = st.AvgLatency, st.AvgStretch, st.Throughput
 				deadlocked = st.Deadlocked
 			} else {
-				st, err := traffic.Run(traffic.Config{
+				cfg := traffic.Config{
 					M:              m,
 					Blocked:        blocked,
 					Route:          r.fn,
@@ -156,7 +224,14 @@ func run(args []string, out io.Writer) error {
 					Seed:           *seed,
 					GuaranteedOnly: true,
 					QueueCapacity:  *capacity,
-				})
+				}
+				var st traffic.Stats
+				var err error
+				if online {
+					st, ost, err = traffic.RunOnline(cfg, on)
+				} else {
+					st, err = traffic.Run(cfg)
+				}
 				if err != nil {
 					return err
 				}
@@ -168,8 +243,14 @@ func run(args []string, out io.Writer) error {
 			if deadlocked {
 				note = "  DEADLOCK"
 			}
-			fmt.Fprintf(out, "%8s  %8.3f  %10d  %10d  %10.2f  %10.3f  %10d  %10.4f%s\n",
-				r.name, rate, delivered, stranded, latency, stretch, maxq, thr, note)
+			if online {
+				fmt.Fprintf(out, "%8s  %8.3f  %10d  %10d  %10.2f  %10.3f  %10d  %10.4f  %8d  %8d  %8d  %8d%s\n",
+					r.name, rate, delivered, stranded, latency, stretch, maxq, thr,
+					ost.Events, ost.Rerouted, ost.Degraded, ost.Dropped(), note)
+			} else {
+				fmt.Fprintf(out, "%8s  %8.3f  %10d  %10d  %10.2f  %10.3f  %10d  %10.4f%s\n",
+					r.name, rate, delivered, stranded, latency, stretch, maxq, thr, note)
+			}
 		}
 	}
 	return nil

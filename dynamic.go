@@ -14,12 +14,19 @@ import (
 // it for long-running systems; call Freeze to obtain an immutable
 // Network with the full API for the current fault set.
 //
-// Query results (SafetyLevel, Safe, HasMinimalPath) always reflect
-// every fault added or removed so far: the internal reachability memo
-// is version-stamped and dropped on each mutation, so a stale cached
-// verdict is never served. Mutations and queries must not race; guard
-// a DynamicNetwork shared across goroutines with your own lock.
+// Concurrency contract: a DynamicNetwork is safe for concurrent use.
+// Every mutation (AddFault, RemoveFault) and every query runs under an
+// internal lock, so queries never observe a half-applied update and
+// always reflect every mutation that completed before the query began.
+// Mutations serialize with each other; a query racing a mutation sees
+// the state either before or after it, never in between. The internal
+// reachability memo is version-stamped and dropped on each mutation,
+// so a stale cached verdict is never served.
 type DynamicNetwork struct {
+	// mu guards the tracker and the reachability memo below. The
+	// tracker itself is single-threaded by design; every method of
+	// DynamicNetwork that touches it must hold mu.
+	mu      sync.Mutex
 	tracker *dynamic.Tracker
 	width   int
 	height  int
@@ -27,7 +34,6 @@ type DynamicNetwork struct {
 	// reach memoizes minimal-path reachability for the fault set at
 	// version reachVersion; every successful mutation bumps version,
 	// which invalidates the memo lazily.
-	mu           sync.Mutex
 	version      uint64
 	reachVersion uint64
 	reach        *wang.ReachCache
@@ -52,10 +58,12 @@ func NewDynamic(width, height int) (*DynamicNetwork, error) {
 // duplicate faults. On success any cached reachability verdicts are
 // invalidated.
 func (d *DynamicNetwork) AddFault(c Coord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.tracker.AddFault(c); err != nil {
 		return err
 	}
-	d.invalidate()
+	d.version++
 	return nil
 }
 
@@ -64,23 +72,19 @@ func (d *DynamicNetwork) AddFault(c Coord) error {
 // rows and columns resweep). On success any cached reachability
 // verdicts are invalidated.
 func (d *DynamicNetwork) RemoveFault(c Coord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.tracker.RemoveFault(c); err != nil {
 		return err
 	}
-	d.invalidate()
+	d.version++
 	return nil
 }
 
-// invalidate version-stamps the fault set so the reachability memo is
-// rebuilt on next use.
-func (d *DynamicNetwork) invalidate() {
-	d.mu.Lock()
-	d.version++
-	d.mu.Unlock()
-}
-
 // reachCache returns a reachability memo matching the current fault
-// set, rebuilding it if any fault arrived since it was built.
+// set, rebuilding it if any fault arrived since it was built. The
+// returned cache is itself concurrency-safe and immutable with respect
+// to the fault set it was built from.
 func (d *DynamicNetwork) reachCache() *wang.ReachCache {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -96,7 +100,7 @@ func (d *DynamicNetwork) reachCache() *wang.ReachCache {
 // that avoids the current faulty nodes. Repeated queries between
 // mutations share memoized per-source reachability sweeps; every
 // AddFault or RemoveFault invalidates the memo, so the answer always
-// reflects the latest fault set.
+// reflects the latest completed mutation.
 func (d *DynamicNetwork) HasMinimalPath(s, dst Coord) bool {
 	return d.reachCache().CanReach(s, dst)
 }
@@ -105,29 +109,39 @@ func (d *DynamicNetwork) HasMinimalPath(s, dst Coord) bool {
 // number of nodes that joined fault regions, and the rows and columns
 // whose safety levels resweeped.
 func (d *DynamicNetwork) LastUpdateCost() (cascade, rows, cols int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.tracker.LastUpdateCost()
 }
 
 // Faults returns the faults added so far, in arrival order.
 func (d *DynamicNetwork) Faults() []Coord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.tracker.Faults()
 }
 
 // InRegion reports whether c currently belongs to a fault region
 // (block model).
 func (d *DynamicNetwork) InRegion(c Coord) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.tracker.InRegion(c)
 }
 
 // SafetyLevel returns the current extended safety level of c.
 func (d *DynamicNetwork) SafetyLevel(c Coord) Level {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.tracker.Level(c)
 }
 
 // Safe evaluates the base sufficient safe condition on the current
 // state.
 func (d *DynamicNetwork) Safe(s, dst Coord) bool {
-	if d.InRegion(s) || d.InRegion(dst) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tracker.InRegion(s) || d.tracker.InRegion(dst) {
 		return false
 	}
 	return d.tracker.Levels().SafeFor(s, dst)
@@ -136,5 +150,8 @@ func (d *DynamicNetwork) Safe(s, dst Coord) bool {
 // Freeze builds an immutable Network for the current fault set, giving
 // access to the full API (MCCs, routing, conditions, serialization).
 func (d *DynamicNetwork) Freeze() (*Network, error) {
-	return New(d.width, d.height, d.tracker.Faults())
+	d.mu.Lock()
+	faults := d.tracker.Faults()
+	d.mu.Unlock()
+	return New(d.width, d.height, faults)
 }

@@ -2,6 +2,7 @@ package extmesh
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -168,5 +169,64 @@ func TestDynamicHasMinimalPathInvalidation(t *testing.T) {
 				t.Fatalf("HasMinimalPath(%v,%v) = %v, frozen baseline %v", s, c, got, want)
 			}
 		}
+	}
+}
+
+// TestDynamicNetworkConcurrentUse exercises the documented concurrency
+// contract: mutations and queries may race freely, and queries never
+// observe a half-applied update. Run with -race.
+func TestDynamicNetworkConcurrentUse(t *testing.T) {
+	d, err := NewDynamic(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []Coord{
+		{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 10, Y: 2}, {X: 10, Y: 3},
+		{X: 6, Y: 12}, {X: 7, Y: 12}, {X: 12, Y: 9}, {X: 1, Y: 14},
+	}
+	var wg sync.WaitGroup
+	// One mutator adds and removes faults in a loop...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			for _, f := range faults {
+				if err := d.AddFault(f); err != nil {
+					t.Errorf("AddFault(%v): %v", f, err)
+					return
+				}
+			}
+			for _, f := range faults {
+				if err := d.RemoveFault(f); err != nil {
+					t.Errorf("RemoveFault(%v): %v", f, err)
+					return
+				}
+			}
+		}
+	}()
+	// ...while query goroutines hammer every read path.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := Coord{X: 0, Y: 0}
+			for i := 0; i < 200; i++ {
+				c := Coord{X: (g + i) % 16, Y: (g * i) % 16}
+				_ = d.HasMinimalPath(s, c)
+				_ = d.InRegion(c)
+				_ = d.SafetyLevel(c)
+				_ = d.Safe(s, c)
+				_ = d.Faults()
+				_, _, _ = d.LastUpdateCost()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The mutator finished on a clean slate: every query must agree.
+	if fs := d.Faults(); len(fs) != 0 {
+		t.Errorf("faults remain after balanced add/remove: %v", fs)
+	}
+	if !d.HasMinimalPath(Coord{X: 0, Y: 0}, Coord{X: 15, Y: 15}) {
+		t.Error("fault-free mesh lost a minimal path")
 	}
 }

@@ -23,6 +23,12 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// MaxDecodeNodes caps Width*Height when decoding a serialized network,
+// so untrusted input cannot make UnmarshalNetwork allocate mesh-sized
+// grids for absurd dimensions. Construct larger meshes directly with
+// New, which trusts its caller.
+const MaxDecodeNodes = 1 << 24
+
 // UnmarshalNetwork reconstructs a Network from MarshalJSON output.
 // (Network itself has no UnmarshalJSON: a Network is immutable after
 // construction, so decoding goes through the validating constructor.)
@@ -30,6 +36,9 @@ func UnmarshalNetwork(data []byte) (*Network, error) {
 	var nj networkJSON
 	if err := json.Unmarshal(data, &nj); err != nil {
 		return nil, fmt.Errorf("extmesh: decode network: %w", err)
+	}
+	if nj.Width <= 0 || nj.Height <= 0 || nj.Width > MaxDecodeNodes/nj.Height {
+		return nil, fmt.Errorf("extmesh: decode network: implausible dimensions %dx%d", nj.Width, nj.Height)
 	}
 	return New(nj.Width, nj.Height, nj.Faults)
 }

@@ -1,0 +1,72 @@
+package extmesh
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshalNetwork feeds arbitrary bytes through the JSON decoder.
+// Decoding must never panic, and any input it accepts must satisfy the
+// round-trip property: marshal and decode again, and the geometry and
+// fault set come back identical.
+func FuzzUnmarshalNetwork(f *testing.F) {
+	// Seed the corpus with real encodings across the size range...
+	seeds := []struct {
+		w, h   int
+		faults []Coord
+	}{
+		{2, 2, nil},
+		{4, 7, []Coord{{X: 1, Y: 1}}},
+		{12, 12, []Coord{{X: 3, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 4}, {X: 10, Y: 2}}},
+		{16, 3, []Coord{{X: 0, Y: 0}, {X: 15, Y: 2}}},
+	}
+	for _, s := range seeds {
+		n, err := New(s.w, s.h, s.faults)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// ...and with malformed shapes the decoder must reject cleanly.
+	for _, bad := range []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"width":0,"height":5}`,
+		`{"width":1000000,"height":1000000}`,
+		`{"width":4,"height":4,"faults":[{"x":9,"y":0}]}`,
+		`{"width":4,"height":4,"faults":[{"x":1,"y":1},{"x":1,"y":1}]}`,
+		`{"width":-3,"height":4,"faults":null}`,
+		`{"width":4,"height":4,"faults":[{"x":"a"}]}`,
+	} {
+		f.Add([]byte(bad))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := UnmarshalNetwork(data)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		out, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("accepted network failed to marshal: %v", err)
+		}
+		back, err := UnmarshalNetwork(out)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v\nencoding: %s", err, out)
+		}
+		if n.Width() != back.Width() || n.Height() != back.Height() {
+			t.Fatalf("geometry changed across round trip: %dx%d -> %dx%d",
+				n.Width(), n.Height(), back.Width(), back.Height())
+		}
+		if !reflect.DeepEqual(n.Faults(), back.Faults()) {
+			t.Fatalf("fault set changed across round trip: %v -> %v", n.Faults(), back.Faults())
+		}
+	})
+}

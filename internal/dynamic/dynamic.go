@@ -128,6 +128,12 @@ func (t *Tracker) InRegion(c mesh.Coord) bool {
 	return t.m.Contains(c) && t.dead[t.m.Index(c)]
 }
 
+// IsFaulty reports whether c itself is faulty (not merely disabled
+// into a fault region).
+func (t *Tracker) IsFaulty(c mesh.Coord) bool {
+	return t.m.Contains(c) && t.faulty[t.m.Index(c)]
+}
+
 // Level returns the current extended safety level of c.
 func (t *Tracker) Level(c mesh.Coord) safety.Level {
 	return t.levels.At(c)

@@ -1,0 +1,111 @@
+package inject
+
+import (
+	"fmt"
+
+	"extmesh/internal/dynamic"
+	"extmesh/internal/mesh"
+	"extmesh/internal/safety"
+)
+
+// Runtime replays a Schedule over the incrementally maintained fault
+// state of a dynamic.Tracker. The simulators call Step once per cycle;
+// when events applied, they read the updated fault-region grid and
+// safety levels back out. A Runtime is not safe for concurrent use.
+type Runtime struct {
+	m     mesh.Mesh
+	tr    *dynamic.Tracker
+	sched Schedule
+	next  int
+
+	applied  int
+	skipped  int
+	added    int
+	repaired int
+}
+
+// NewRuntime builds a runtime over mesh m seeded with the initial
+// (pre-run) fault list, ready to replay sched.
+func NewRuntime(m mesh.Mesh, initial []mesh.Coord, sched Schedule) (*Runtime, error) {
+	if err := sched.Validate(m); err != nil {
+		return nil, err
+	}
+	tr, err := dynamic.New(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range initial {
+		if err := tr.AddFault(c); err != nil {
+			return nil, fmt.Errorf("inject: initial fault: %w", err)
+		}
+	}
+	return &Runtime{m: m, tr: tr, sched: sched}, nil
+}
+
+// Step applies every event scheduled at or before cycle and reports
+// how many changed the fault state. Events that cannot apply — failing
+// an already-faulty node, recovering a healthy one — are skipped and
+// counted rather than fatal: generated schedules avoid them, but
+// hand-written event lists need not.
+func (r *Runtime) Step(cycle int) (applied int, err error) {
+	for r.next < len(r.sched) && r.sched[r.next].Cycle <= cycle {
+		ev := r.sched[r.next]
+		r.next++
+		switch ev.Op {
+		case Fail:
+			if r.tr.IsFaulty(ev.Node) {
+				r.skipped++
+				continue
+			}
+			if err := r.tr.AddFault(ev.Node); err != nil {
+				return applied, err
+			}
+			r.added++
+		case Recover:
+			if !r.tr.IsFaulty(ev.Node) {
+				r.skipped++
+				continue
+			}
+			if err := r.tr.RemoveFault(ev.Node); err != nil {
+				return applied, err
+			}
+			r.repaired++
+		}
+		applied++
+	}
+	r.applied += applied
+	return applied, nil
+}
+
+// Blocked returns a copy of the current fault-region grid (faulty and
+// disabled nodes), indexed by mesh.Index.
+func (r *Runtime) Blocked() []bool {
+	return r.tr.BlockedGrid()
+}
+
+// Levels exposes the incrementally maintained extended safety levels
+// (shared with the tracker; do not mutate).
+func (r *Runtime) Levels() *safety.Grid {
+	return r.tr.Levels()
+}
+
+// InRegion reports whether c currently belongs to a fault region.
+func (r *Runtime) InRegion(c mesh.Coord) bool {
+	return r.tr.InRegion(c)
+}
+
+// Faults returns the current fault list in arrival order.
+func (r *Runtime) Faults() []mesh.Coord {
+	return r.tr.Faults()
+}
+
+// Counts reports lifetime totals: events applied, events skipped as
+// inapplicable, nodes failed and nodes repaired.
+func (r *Runtime) Counts() (applied, skipped, added, repaired int) {
+	return r.applied, r.skipped, r.added, r.repaired
+}
+
+// Pending reports how many scheduled events have not yet fired.
+func (r *Runtime) Pending() int {
+	return len(r.sched) - r.next
+}

@@ -1,0 +1,35 @@
+package route
+
+import (
+	"extmesh/internal/mesh"
+	"extmesh/internal/safety"
+)
+
+// SpareHop returns the spare-neighbor detour hop of the paper's
+// Extension 1 at u heading for d: a usable neighbor in a spare
+// direction (one that increases the distance to d), preferring a
+// neighbor that is safe with respect to d under the supplied safety
+// levels — from a safe spare neighbor minimal routing is guaranteed
+// (Theorem 1a), so the detour costs exactly two extra hops and the
+// delivered path has length D(u,d)+2. levels may be nil, in which case
+// the first usable spare neighbor is returned; an unsafe spare is a
+// best-effort escape with no delivery guarantee. The second result is
+// false when no usable spare neighbor exists.
+func SpareHop(m mesh.Mesh, blocked []bool, levels *safety.Grid, u, d mesh.Coord) (mesh.Coord, bool) {
+	var buf [4]mesh.Dir
+	var fallback mesh.Coord
+	ok := false
+	for _, dir := range mesh.AppendSpareDirs(buf[:0], u, d) {
+		n := u.Add(dir.Offset())
+		if !m.Contains(n) || blocked[m.Index(n)] {
+			continue
+		}
+		if levels != nil && levels.SafeFor(n, d) {
+			return n, true
+		}
+		if !ok {
+			fallback, ok = n, true
+		}
+	}
+	return fallback, ok
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"extmesh/internal/inject"
 	"extmesh/internal/mesh"
 	"extmesh/internal/route"
 	"extmesh/internal/wang"
@@ -104,7 +105,9 @@ type Config struct {
 	// class only ever uses two directions and every hop strictly
 	// advances toward the destination corner, the channel dependency
 	// graph of each class is acyclic: minimal routing with class
-	// channels is deadlock-free even with capacity-1 buffers.
+	// channels is deadlock-free even with capacity-1 buffers. A stall
+	// in a static class-channel run is therefore a simulator bug and
+	// aborts the run with a *SimError instead of reporting Deadlocked.
 	ClassChannels bool
 
 	// Preload places packets in the network at cycle zero (before any
@@ -116,6 +119,21 @@ type Config struct {
 	// classic hotspot workload. Zero keeps pure uniform traffic.
 	HotspotFraction float64
 	Hotspot         mesh.Coord
+
+	// HopBudget bounds the links any one packet may traverse; 0 means
+	// 4*(Width+Height). Minimal routing can never come close (a
+	// minimal path has at most Width+Height-2 hops), so exceeding the
+	// budget in a static run flags a circulating packet — a simulator
+	// bug — and aborts with a *SimError. Online runs under the degrade
+	// policy can legitimately livelock; there the packet is dropped
+	// and counted in OnlineStats.DroppedLivelock instead.
+	HopBudget int
+
+	// OnDeliver, if set, observes every delivered packet — warmup and
+	// preload included — with its source, destination, total links
+	// traversed and distance-increasing (detour) hops. Analysis and
+	// test hook; leave nil in production runs.
+	OnDeliver func(src, dst mesh.Coord, hops, detours int)
 }
 
 // Flow is one preloaded packet: a source and a destination.
@@ -174,6 +192,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("traffic: hotspot %v unusable", c.Hotspot)
 		}
 	}
+	if c.HopBudget < 0 {
+		return fmt.Errorf("traffic: negative hop budget")
+	}
 	return nil
 }
 
@@ -202,6 +223,7 @@ type packet struct {
 	at       mesh.Coord
 	born     int
 	hops     int
+	detours  int // distance-increasing hops taken (online runs only)
 	class    int // quadrant class, fixed at injection
 	measured bool
 }
@@ -213,27 +235,85 @@ func quadrantClass(src, dst mesh.Coord) int {
 
 // Run executes the simulation and returns the measured statistics.
 func Run(cfg Config) (Stats, error) {
+	st, _, err := run(cfg, nil)
+	return st, err
+}
+
+// RunOnline executes the simulation with mid-run fault injection: the
+// schedule's fail/recover events are applied at the start of their
+// cycle through an incrementally maintained dynamic tracker, the
+// routing function is rebuilt for the new fault regions, and in-flight
+// packets whose link just died are handled by on.Policy. A nil online
+// configuration or an empty schedule reproduces Run bit for bit under
+// PolicyReroute and PolicyDrop; PolicyDegrade additionally rescues
+// packets stuck on the initial (static) faults with Extension-1
+// detours, so it delivers at least as many packets as the static run
+// on the same, unperturbed injection stream.
+func RunOnline(cfg Config, on *Online) (Stats, OnlineStats, error) {
+	if on == nil {
+		on = &Online{}
+	}
+	return run(cfg, on)
+}
+
+func run(cfg Config, on *Online) (Stats, OnlineStats, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, OnlineStats{}, err
 	}
 	m := cfg.M
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// blocked and routeFn start from the configuration and are swapped
+	// for rebuilt versions when online events change the fault state;
+	// every closure below reads these locals so rebuilds propagate.
+	blocked := cfg.Blocked
+	routeFn := cfg.Route
+
+	var ost OnlineStats
+	policy := PolicyReroute
+	var rt *inject.Runtime
+	if on != nil {
+		if on.Policy != 0 {
+			if !on.Policy.valid() {
+				return Stats{}, OnlineStats{}, fmt.Errorf("traffic: invalid fault policy %d", on.Policy)
+			}
+			policy = on.Policy
+		}
+		if len(on.Schedule) > 0 && on.Rebuild == nil {
+			return Stats{}, OnlineStats{}, fmt.Errorf("traffic: online schedule without a Rebuild function")
+		}
+		var err error
+		rt, err = inject.NewRuntime(m, on.InitialFaults, on.Schedule)
+		if err != nil {
+			return Stats{}, OnlineStats{}, err
+		}
+		if !slices.Equal(rt.Blocked(), blocked) {
+			return Stats{}, OnlineStats{}, fmt.Errorf("traffic: initial faults do not reproduce the blocked grid")
+		}
+	}
+	hopBudget := cfg.HopBudget
+	if hopBudget == 0 {
+		hopBudget = DefaultHopBudget(m)
+	}
+
 	var guaranteed func(s, d mesh.Coord) bool
 	if cfg.GuaranteedOnly {
-		guaranteed = GuaranteedFilter(m, cfg.Blocked)
+		guaranteed = GuaranteedFilter(m, blocked)
 	}
 
 	// Free nodes are the injectors and possible destinations.
 	var free []mesh.Coord
 	for i := 0; i < m.Size(); i++ {
-		if !cfg.Blocked[i] {
+		if !blocked[i] {
 			free = append(free, m.CoordOf(i))
 		}
 	}
 	if len(free) < 2 {
-		return Stats{}, fmt.Errorf("traffic: fewer than two usable nodes")
+		return Stats{}, OnlineStats{}, fmt.Errorf("traffic: fewer than two usable nodes")
 	}
+	// Throughput is normalized by the pre-run free-node count so the
+	// metric stays comparable when online faults shrink the node set.
+	baseFree := len(free)
 
 	// queues[channelIndex] is the FIFO of packets waiting to cross a
 	// directed link. Channels are indexed by (from, dir) and, when
@@ -263,30 +343,48 @@ func Run(cfg Config) (Stats, error) {
 
 	var st Stats
 	var totalLatency, totalHops, totalStretch float64
+	var fatal *SimError
 
 	hasRoom := func(qi int) bool {
 		return cfg.QueueCapacity == 0 || len(queues[qi]) < cfg.QueueCapacity
 	}
 
+	classOf := func(p *packet) int {
+		if cfg.ClassChannels {
+			return p.class
+		}
+		return 0
+	}
+
 	// nextQueue resolves the output channel a packet at `at` heading
 	// for its destination would join; ok=false means delivery or drop.
+	// Under the online degrade policy a stuck packet falls back to the
+	// paper's Extension-1 spare-neighbor detour (safe spares first)
+	// instead of being abandoned.
 	nextQueue := func(p *packet) (int, bool) {
-		next, err := cfg.Route(p.at, p.dst)
+		next, err := routeFn(p.at, p.dst)
 		if err != nil {
+			if rt != nil && policy == PolicyDegrade {
+				if n, ok := route.SpareHop(m, blocked, rt.Levels(), p.at, p.dst); ok {
+					if dir, dok := mesh.DirTo(p.at, n); dok {
+						return queueIndex(p.at, dir, classOf(p)), true
+					}
+				}
+			}
 			return 0, false
 		}
 		dir, ok := mesh.DirTo(p.at, next)
 		if !ok {
 			return 0, false
 		}
-		class := 0
-		if cfg.ClassChannels {
-			class = p.class
-		}
-		return queueIndex(p.at, dir, class), true
+		return queueIndex(p.at, dir, classOf(p)), true
 	}
 
 	deliver := func(p *packet, cycle int) {
+		ost.RecordDelivery(p.hops, mesh.Distance(p.src, p.dst))
+		if cfg.OnDeliver != nil {
+			cfg.OnDeliver(p.src, p.dst, p.hops, p.detours)
+		}
 		if !p.measured {
 			return
 		}
@@ -297,14 +395,27 @@ func Run(cfg Config) (Stats, error) {
 	}
 
 	// enqueue routes p out of its current node; it reports true when
-	// the packet left the system (delivered or undeliverable).
+	// the packet left the system (delivered, undeliverable or dropped).
 	enqueue := func(p *packet, cycle int) bool {
 		if p.at == p.dst {
 			deliver(p, cycle)
 			return true
 		}
+		if p.hops > hopBudget {
+			if rt != nil {
+				ost.DroppedLivelock++
+				return true
+			}
+			if fatal == nil {
+				fatal = &SimError{Sim: "traffic", Kind: InvariantLivelock, Cycle: cycle,
+					Detail: fmt.Sprintf("packet %v->%v at %v traversed %d links (budget %d)",
+						p.src, p.dst, p.at, p.hops, hopBudget)}
+			}
+			return true
+		}
 		qi, ok := nextQueue(p)
 		if !ok {
+			ost.StuckTotal++
 			if p.measured {
 				st.Undeliverable++
 			}
@@ -318,16 +429,80 @@ func Run(cfg Config) (Stats, error) {
 		return false
 	}
 
+	// sweep clears the wreckage after a fault-state change: packets at
+	// a node that died are lost with it, packets to a destination that
+	// died are dropped, and packets waiting on a link whose far end
+	// died are handled by the configured policy — rerouted from their
+	// current node (with the degrade fallback inside nextQueue), or
+	// dropped. Queues are visited in ascending index order so the
+	// outcome is deterministic.
+	sweep := func() {
+		slices.Sort(active)
+		for _, qi := range active {
+			q := queues[qi]
+			if len(q) == 0 {
+				continue
+			}
+			fromIdx := qi / classes / 4
+			from := m.CoordOf(fromIdx)
+			d := mesh.Dir(qi/classes%4 + 1)
+			to := from.Add(d.Offset())
+			fromDead := blocked[fromIdx]
+			linkDead := fromDead || !m.Contains(to) || blocked[m.Index(to)]
+			if !linkDead {
+				keep := q[:0]
+				for _, p := range q {
+					if blocked[m.Index(p.dst)] {
+						ost.DroppedDestFailed++
+					} else {
+						keep = append(keep, p)
+					}
+				}
+				queues[qi] = keep
+				continue
+			}
+			queues[qi] = q[:0]
+			for _, p := range q {
+				switch {
+				case fromDead:
+					ost.DroppedNodeFailed++
+				case blocked[m.Index(p.dst)]:
+					ost.DroppedDestFailed++
+				case policy == PolicyDrop:
+					ost.DroppedPolicy++
+				default:
+					nqi, ok := nextQueue(p)
+					if !ok {
+						ost.DroppedNoRoute++
+						continue
+					}
+					// A rerouted packet may transiently overfill a
+					// bounded queue; backpressure re-asserts next cycle.
+					queues[nqi] = append(queues[nqi], p)
+					markActive(nqi)
+					if len(queues[nqi]) > st.MaxQueue {
+						st.MaxQueue = len(queues[nqi])
+					}
+					ost.Rerouted++
+				}
+			}
+		}
+	}
+
 	// Preloaded packets enter before the first cycle and are always
 	// measured.
 	for _, fl := range cfg.Preload {
 		if !m.Contains(fl.Src) || !m.Contains(fl.Dst) ||
-			cfg.Blocked[m.Index(fl.Src)] || cfg.Blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
-			return Stats{}, fmt.Errorf("traffic: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
+			blocked[m.Index(fl.Src)] || blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
+			return Stats{}, OnlineStats{}, fmt.Errorf("traffic: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
 		}
 		p := &packet{src: fl.Src, dst: fl.Dst, at: fl.Src, class: quadrantClass(fl.Src, fl.Dst), measured: true}
 		st.Injected++
+		ost.Spawned++
 		enqueue(p, 0)
+	}
+	if fatal != nil {
+		return Stats{}, OnlineStats{}, fatal
 	}
 
 	totalCycles := cfg.Warmup + cfg.Cycles
@@ -339,36 +514,68 @@ func Run(cfg Config) (Stats, error) {
 		incoming = make(map[int]int)
 	}
 	for cycle := 0; cycle < totalCycles; cycle++ {
+		// Fault-event phase: apply scheduled fail/recover events, then
+		// rebuild the routing state and sweep the queues if anything
+		// changed. Zero-event cycles touch nothing, keeping the run
+		// identical to the static simulation.
+		if rt != nil && rt.Pending() > 0 {
+			applied, err := rt.Step(cycle)
+			if err != nil {
+				return Stats{}, OnlineStats{}, err
+			}
+			ost.Events += applied
+			if applied > 0 {
+				ost.Rebuilds++
+				blocked = rt.Blocked()
+				routeFn = on.Rebuild(blocked)
+				if cfg.GuaranteedOnly {
+					guaranteed = GuaranteedFilter(m, blocked)
+				}
+				free = free[:0]
+				for i := 0; i < m.Size(); i++ {
+					if !blocked[i] {
+						free = append(free, m.CoordOf(i))
+					}
+				}
+				sweep()
+			}
+		}
 		measuring := cycle >= cfg.Warmup
 
-		// Injection phase.
-		for _, src := range free {
-			if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
-				continue
-			}
-			var dst mesh.Coord
-			if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction && src != cfg.Hotspot {
-				dst = cfg.Hotspot
-			} else {
-				dst = free[rng.Intn(len(free))]
-				for dst == src {
+		// Injection phase. Online faults can shrink the free set below
+		// two nodes, leaving nowhere to send; injection pauses until a
+		// recovery grows it back.
+		if len(free) >= 2 {
+			for _, src := range free {
+				if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
+					continue
+				}
+				var dst mesh.Coord
+				if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction &&
+					src != cfg.Hotspot && !blocked[m.Index(cfg.Hotspot)] {
+					dst = cfg.Hotspot
+				} else {
 					dst = free[rng.Intn(len(free))]
+					for dst == src {
+						dst = free[rng.Intn(len(free))]
+					}
 				}
-			}
-			if cfg.GuaranteedOnly && !guaranteed(src, dst) {
-				continue
-			}
-			p := &packet{src: src, dst: dst, at: src, born: cycle, class: quadrantClass(src, dst), measured: measuring}
-			if qi, ok := nextQueue(p); ok && !hasRoom(qi) {
+				if cfg.GuaranteedOnly && !guaranteed(src, dst) {
+					continue
+				}
+				p := &packet{src: src, dst: dst, at: src, born: cycle, class: quadrantClass(src, dst), measured: measuring}
+				if qi, ok := nextQueue(p); ok && !hasRoom(qi) {
+					if measuring {
+						st.Rejected++
+					}
+					continue
+				}
 				if measuring {
-					st.Rejected++
+					st.Injected++
 				}
-				continue
+				ost.Spawned++
+				enqueue(p, cycle)
 			}
-			if measuring {
-				st.Injected++
-			}
-			enqueue(p, cycle)
 		}
 
 		// Transmission phase: every active directed link moves its head
@@ -412,6 +619,16 @@ func Run(cfg Config) (Stats, error) {
 				}
 			}
 			queues[qi] = queues[qi][1:]
+			if rt != nil && mesh.Distance(to, p.dst) > mesh.Distance(from, p.dst) {
+				// Every hop changes the Manhattan distance by exactly
+				// one, so distance-increasing hops count the detours: a
+				// delivered packet's path has length D(src,dst) + 2k.
+				if p.detours == 0 {
+					ost.Degraded++
+				}
+				p.detours++
+				ost.DetourHops++
+			}
 			p.at = to
 			p.hops++
 			moved++
@@ -431,10 +648,20 @@ func Run(cfg Config) (Stats, error) {
 		for _, p := range arrivals {
 			enqueue(p, cycle+1)
 		}
+		if fatal != nil {
+			return Stats{}, OnlineStats{}, fatal
+		}
 		if cfg.QueueCapacity > 0 {
 			if queued > 0 && moved == 0 {
 				idleCycles++
 				if idleCycles >= 3 {
+					if cfg.ClassChannels && ost.Events == 0 {
+						// Class channels with minimal routing cannot
+						// deadlock while the fault state is unchanged;
+						// a stall here is a simulator bug.
+						return Stats{}, OnlineStats{}, &SimError{Sim: "traffic", Kind: InvariantStall, Cycle: cycle,
+							Detail: fmt.Sprintf("%d packets queued, none moved for 3 cycles under class channels", queued)}
+					}
 					st.Deadlocked = true
 					break
 				}
@@ -447,11 +674,21 @@ func Run(cfg Config) (Stats, error) {
 	for _, q := range queues {
 		st.InFlight += len(q)
 	}
+	if rt != nil {
+		_, ost.Skipped, _, _ = rt.Counts()
+	}
+	// Packet conservation: every packet that entered the system must be
+	// accounted for, over all packets (warmup and preload included).
+	if got := ost.DeliveredTotal + ost.StuckTotal + ost.Dropped() + st.InFlight; got != ost.Spawned {
+		return Stats{}, OnlineStats{}, &SimError{Sim: "traffic", Kind: InvariantConservation, Cycle: totalCycles,
+			Detail: fmt.Sprintf("%d packets spawned but %d accounted for (%d delivered, %d stuck, %d dropped, %d in flight)",
+				ost.Spawned, got, ost.DeliveredTotal, ost.StuckTotal, ost.Dropped(), st.InFlight)}
+	}
 	if st.Delivered > 0 {
 		st.AvgLatency = totalLatency / float64(st.Delivered)
 		st.AvgHops = totalHops / float64(st.Delivered)
 		st.AvgStretch = totalStretch / float64(st.Delivered)
 	}
-	st.Throughput = float64(st.Delivered) / float64(len(free)) / float64(cfg.Cycles)
-	return st, nil
+	st.Throughput = float64(st.Delivered) / float64(baseFree) / float64(cfg.Cycles)
+	return st, ost, nil
 }

@@ -1,0 +1,213 @@
+package wormhole
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/inject"
+	"extmesh/internal/mesh"
+	"extmesh/internal/route"
+	"extmesh/internal/traffic"
+)
+
+// TestRunOnlineEmptyScheduleMatchesStatic mirrors the traffic-side
+// guard: with no scheduled events the online wormhole run must
+// reproduce the static goldens bit for bit under the minimal policies,
+// and keep the identical injection stream under degrade.
+func TestRunOnlineEmptyScheduleMatchesStatic(t *testing.T) {
+	m := mesh.Mesh{Width: 12, Height: 12}
+	faults, err := fault.RandomFaults(m, 8, rand.New(rand.NewSource(13)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.NewScenario(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fault.BuildBlocks(sc).BlockedGrid()
+	wu := traffic.WuRouting(route.NewRouter(m, blocked))
+
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"class_vcs", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 4, BufferFlits: 2,
+			ClassVCs: true, InjectionRate: 0.04, Cycles: 150, Warmup: 30, Seed: 21, GuaranteedOnly: true}},
+		{"two_vcs", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 6, BufferFlits: 1,
+			VCs: 2, InjectionRate: 0.03, Cycles: 150, Warmup: 30, Seed: 22}},
+		{"preload", Config{M: m, Blocked: blocked, Route: wu, FlitsPerPacket: 3, BufferFlits: 2,
+			VCs: 1, InjectionRate: 0.01, Cycles: 100, Warmup: 0, Seed: 23,
+			Preload: []traffic.Flow{
+				{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 11, Y: 11}},
+				{Src: mesh.Coord{X: 11, Y: 0}, Dst: mesh.Coord{X: 0, Y: 11}},
+			}}},
+	}
+	for _, c := range configs {
+		want, err := Run(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: static run: %v", c.name, err)
+		}
+		for _, p := range []traffic.Policy{traffic.PolicyReroute, traffic.PolicyDegrade, traffic.PolicyDrop} {
+			got, ost, err := RunOnline(c.cfg, &traffic.Online{InitialFaults: faults, Policy: p})
+			if err != nil {
+				t.Fatalf("%s/%v: online run: %v", c.name, p, err)
+			}
+			if p == traffic.PolicyDegrade {
+				// Degrade rescues worms the static run strands on the
+				// initial faults, which shifts channel contention, so
+				// only the injection stream is comparable. (Unlike
+				// store-and-forward, rescued worms hold virtual
+				// channels and can crowd out other deliveries.)
+				if got.Injected != want.Injected {
+					t.Errorf("%s/%v: injection stream perturbed: %d worms, static %d", c.name, p, got.Injected, want.Injected)
+				}
+				if got.Delivered == 0 {
+					t.Errorf("%s/%v: degrade delivered nothing", c.name, p)
+				}
+			} else if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%v: online stats diverged from static run\n got: %+v\nwant: %+v", c.name, p, got, want)
+			}
+			if ost.Events != 0 || ost.Rebuilds != 0 || ost.Dropped() != 0 {
+				t.Errorf("%s/%v: zero-event run reported fault activity: %+v", c.name, p, ost)
+			}
+			if got := ost.DeliveredTotal + ost.StuckTotal + ost.Dropped() + got.InFlight; got != ost.Spawned {
+				t.Errorf("%s/%v: conservation: %d spawned, %d accounted", c.name, p, ost.Spawned, got)
+			}
+		}
+	}
+}
+
+// TestRunOnlinePolicies drives one preloaded worm from (0,0) to (7,0)
+// on a fault-free 8x8 mesh and kills (3,0) early, leaving no surviving
+// minimal path (the destination shares the source's row). Reroute
+// strands the worm, degrade detours it around the fault for a
+// D+2k-channel chain, drop discards it by policy.
+func TestRunOnlinePolicies(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	src, dst := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 7, Y: 0}
+	blocked := make([]bool, m.Size())
+	base := Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+		FlitsPerPacket: 4,
+		BufferFlits:    2,
+		VCs:            1,
+		Cycles:         80,
+		Seed:           1,
+		Preload:        []traffic.Flow{{Src: src, Dst: dst}},
+	}
+	sched, err := inject.Parse(m, 80, 1, "fail@2:3,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := func(p traffic.Policy) *traffic.Online {
+		return &traffic.Online{
+			Schedule: sched,
+			Policy:   p,
+			Rebuild: func(b []bool) traffic.RoutingFunc {
+				return traffic.WuRouting(route.NewRouter(m, b))
+			},
+		}
+	}
+
+	t.Run("reroute", func(t *testing.T) {
+		st, ost, err := RunOnline(base, online(traffic.PolicyReroute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Delivered != 0 || ost.StuckTotal+ost.Dropped() != 1 {
+			t.Errorf("reroute: delivered %d, stats %+v; want the worm stranded", st.Delivered, ost)
+		}
+	})
+	t.Run("degrade", func(t *testing.T) {
+		cfg := base
+		var hops, detours int
+		cfg.OnDeliver = func(s, d mesh.Coord, h, k int) {
+			if s != src || d != dst {
+				t.Errorf("delivered unexpected worm %v->%v", s, d)
+			}
+			hops, detours = h, k
+		}
+		st, ost, err := RunOnline(cfg, online(traffic.PolicyDegrade))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Delivered != 1 || ost.Dropped() != 0 {
+			t.Fatalf("degrade: delivered %d, stats %+v; want the worm delivered", st.Delivered, ost)
+		}
+		if detours == 0 || hops != mesh.Distance(src, dst)+2*detours {
+			t.Errorf("degrade: chain of %d channels with %d detours, want D+2k", hops, detours)
+		}
+		if ost.Degraded != 1 || ost.DetourHops != detours {
+			t.Errorf("degrade: counters %+v; want one degraded worm with %d detour hops", ost, detours)
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		st, ost, err := RunOnline(base, online(traffic.PolicyDrop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Delivered != 0 || ost.DroppedPolicy+ost.StuckTotal != 1 {
+			t.Errorf("drop: delivered %d, stats %+v; want the worm discarded", st.Delivered, ost)
+		}
+	})
+}
+
+// TestRunOnlineSeveredWorms kills nodes under an in-flight worm: the
+// source while flits are still leaving it, and the destination. Both
+// sever the worm under every policy.
+func TestRunOnlineSeveredWorms(t *testing.T) {
+	m := mesh.Mesh{Width: 8, Height: 8}
+	blocked := make([]bool, m.Size())
+	base := Config{
+		M:              m,
+		Blocked:        blocked,
+		Route:          traffic.WuRouting(route.NewRouter(m, blocked)),
+		FlitsPerPacket: 6,
+		BufferFlits:    1,
+		VCs:            1,
+		Cycles:         60,
+		Seed:           1,
+		Preload:        []traffic.Flow{{Src: mesh.Coord{X: 0, Y: 0}, Dst: mesh.Coord{X: 5, Y: 0}}},
+	}
+	rebuild := func(b []bool) traffic.RoutingFunc {
+		return traffic.WuRouting(route.NewRouter(m, b))
+	}
+
+	for _, c := range []struct {
+		name  string
+		spec  string
+		check func(t *testing.T, ost traffic.OnlineStats)
+	}{
+		{"source_dies", "fail@2:0,0", func(t *testing.T, ost traffic.OnlineStats) {
+			if ost.DroppedNodeFailed != 1 {
+				t.Errorf("stats %+v; want one node-failed drop", ost)
+			}
+		}},
+		{"dest_dies", "fail@2:5,0", func(t *testing.T, ost traffic.OnlineStats) {
+			if ost.DroppedDestFailed != 1 {
+				t.Errorf("stats %+v; want one dest-failed drop", ost)
+			}
+		}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			sched, err := inject.Parse(m, 60, 1, c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []traffic.Policy{traffic.PolicyReroute, traffic.PolicyDegrade, traffic.PolicyDrop} {
+				st, ost, err := RunOnline(base, &traffic.Online{Schedule: sched, Policy: p, Rebuild: rebuild})
+				if err != nil {
+					t.Fatalf("%v: %v", p, err)
+				}
+				if st.Delivered != 0 {
+					t.Errorf("%v: severed worm delivered", p)
+				}
+				c.check(t, ost)
+			}
+		})
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"math/rand"
 	"slices"
 
+	"extmesh/internal/inject"
 	"extmesh/internal/mesh"
+	"extmesh/internal/route"
 	"extmesh/internal/traffic"
 )
 
@@ -48,6 +50,17 @@ type Config struct {
 
 	// Preload places worms in the network before the first cycle.
 	Preload []traffic.Flow
+
+	// HopBudget bounds the channels any one worm may chain; 0 means
+	// traffic.DefaultHopBudget. A static run that exceeds it aborts
+	// with a *traffic.SimError (minimal routing cannot circulate);
+	// online degrade runs drop the worm with a reason code instead.
+	HopBudget int
+
+	// OnDeliver, if set, observes every fully consumed worm — warmup
+	// included — with its source, destination, head hop count and
+	// distance-increasing (detour) hops. Analysis and test hook.
+	OnDeliver func(src, dst mesh.Coord, hops, detours int)
 }
 
 // Validate reports whether the configuration is runnable.
@@ -76,6 +89,9 @@ func (c Config) Validate() error {
 	if c.Cycles <= 0 || c.Warmup < 0 {
 		return fmt.Errorf("wormhole: cycles must be positive and warmup non-negative")
 	}
+	if c.HopBudget < 0 {
+		return fmt.Errorf("wormhole: negative hop budget")
+	}
 	return nil
 }
 
@@ -100,6 +116,7 @@ type worm struct {
 	class    int
 	born     int
 	length   int
+	detours  int // distance-increasing head hops (online runs only)
 
 	injected  int // flits that left the source
 	delivered int // flits consumed at the destination
@@ -140,8 +157,34 @@ type vcOwner struct {
 
 // Run executes the wormhole simulation.
 func Run(cfg Config) (Stats, error) {
+	st, _, err := run(cfg, nil)
+	return st, err
+}
+
+// RunOnline executes the wormhole simulation with mid-run fault
+// injection (see traffic.RunOnline for the schedule semantics). A worm
+// severed by a fault — its source died before all flits left, a node
+// on its reserved channel chain died, or its destination died — cannot
+// be saved under any policy: its reserved channels are torn down and
+// it is dropped with a reason code. Rerouting is otherwise implicit in
+// wormhole switching, because the head re-routes at every channel
+// allocation against the rebuilt routing function; the degrade policy
+// additionally lets a stuck head take an Extension-1 spare-neighbor
+// detour, and the drop policy proactively discards worms left with no
+// route when the fault state changes. A nil online configuration or an
+// empty schedule reproduces Run bit for bit under PolicyReroute and
+// PolicyDrop; PolicyDegrade additionally rescues worms stuck on the
+// initial (static) faults, which shifts channel contention.
+func RunOnline(cfg Config, on *traffic.Online) (Stats, traffic.OnlineStats, error) {
+	if on == nil {
+		on = &traffic.Online{}
+	}
+	return run(cfg, on)
+}
+
+func run(cfg Config, on *traffic.Online) (Stats, traffic.OnlineStats, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, traffic.OnlineStats{}, err
 	}
 	if cfg.ClassVCs {
 		cfg.VCs = 4
@@ -149,20 +192,53 @@ func Run(cfg Config) (Stats, error) {
 	m := cfg.M
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// blocked and routeFn are swapped for rebuilt versions when online
+	// events change the fault state.
+	blocked := cfg.Blocked
+	routeFn := cfg.Route
+
+	var ost traffic.OnlineStats
+	policy := traffic.PolicyReroute
+	var rt *inject.Runtime
+	if on != nil {
+		if on.Policy != 0 {
+			if on.Policy < traffic.PolicyReroute || on.Policy > traffic.PolicyDrop {
+				return Stats{}, traffic.OnlineStats{}, fmt.Errorf("wormhole: invalid fault policy %d", on.Policy)
+			}
+			policy = on.Policy
+		}
+		if len(on.Schedule) > 0 && on.Rebuild == nil {
+			return Stats{}, traffic.OnlineStats{}, fmt.Errorf("wormhole: online schedule without a Rebuild function")
+		}
+		var err error
+		rt, err = inject.NewRuntime(m, on.InitialFaults, on.Schedule)
+		if err != nil {
+			return Stats{}, traffic.OnlineStats{}, err
+		}
+		if !slices.Equal(rt.Blocked(), blocked) {
+			return Stats{}, traffic.OnlineStats{}, fmt.Errorf("wormhole: initial faults do not reproduce the blocked grid")
+		}
+	}
+	hopBudget := cfg.HopBudget
+	if hopBudget == 0 {
+		hopBudget = traffic.DefaultHopBudget(m)
+	}
+
 	var guaranteed func(s, d mesh.Coord) bool
 	if cfg.GuaranteedOnly {
-		guaranteed = traffic.GuaranteedFilter(m, cfg.Blocked)
+		guaranteed = traffic.GuaranteedFilter(m, blocked)
 	}
 
 	var free []mesh.Coord
 	for i := 0; i < m.Size(); i++ {
-		if !cfg.Blocked[i] {
+		if !blocked[i] {
 			free = append(free, m.CoordOf(i))
 		}
 	}
 	if len(free) < 2 {
-		return Stats{}, fmt.Errorf("wormhole: fewer than two usable nodes")
+		return Stats{}, traffic.OnlineStats{}, fmt.Errorf("wormhole: fewer than two usable nodes")
 	}
+	baseFree := len(free)
 
 	numLinks := m.Size() * 4
 	linkIndex := func(from mesh.Coord, d mesh.Dir) int {
@@ -189,6 +265,7 @@ func Run(cfg Config) (Stats, error) {
 		totalHops    float64
 		totalStretch float64
 		flitsOut     int
+		fatal        *traffic.SimError
 	)
 
 	spawn := func(src, dst mesh.Coord, cycle int, measured bool) {
@@ -200,6 +277,7 @@ func Run(cfg Config) (Stats, error) {
 			measured: measured,
 		}
 		worms = append(worms, w)
+		ost.Spawned++
 		if measured {
 			st.Injected++
 		}
@@ -212,10 +290,20 @@ func Run(cfg Config) (Stats, error) {
 		}
 	}
 
-	finish := func(w *worm, cycle int) {
+	// teardown ends a worm and frees its reserved channels; callers
+	// account for it in the appropriate ledger counter.
+	teardown := func(w *worm) {
 		w.done = true
 		for _, vc := range w.chain {
 			release(w, vc)
+		}
+	}
+
+	finish := func(w *worm, cycle int) {
+		teardown(w)
+		ost.RecordDelivery(len(w.chain), mesh.Distance(w.src, w.dst))
+		if cfg.OnDeliver != nil {
+			cfg.OnDeliver(w.src, w.dst, len(w.chain), w.detours)
 		}
 		if !w.measured {
 			return
@@ -227,19 +315,53 @@ func Run(cfg Config) (Stats, error) {
 	}
 
 	drop := func(w *worm) {
-		w.done = true
-		for _, vc := range w.chain {
-			release(w, vc)
-		}
+		teardown(w)
+		ost.StuckTotal++
 		if w.measured {
 			st.Undeliverable++
 		}
 	}
 
+	// sweep handles the in-flight worms after a fault-state change.
+	// Severed worms die under every policy; the drop policy also
+	// discards worms whose head has no surviving route.
+	sweep := func() {
+		for _, w := range worms {
+			if w.done {
+				continue
+			}
+			if blocked[m.Index(w.dst)] {
+				teardown(w)
+				ost.DroppedDestFailed++
+				continue
+			}
+			severed := blocked[m.Index(w.src)] && w.injected < w.length
+			if !severed {
+				for _, n := range w.chainNodes {
+					if blocked[m.Index(n)] {
+						severed = true
+						break
+					}
+				}
+			}
+			if severed {
+				teardown(w)
+				ost.DroppedNodeFailed++
+				continue
+			}
+			if policy == traffic.PolicyDrop {
+				if _, err := routeFn(w.headNode(), w.dst); err != nil && w.headNode() != w.dst {
+					teardown(w)
+					ost.DroppedPolicy++
+				}
+			}
+		}
+	}
+
 	for _, fl := range cfg.Preload {
 		if !m.Contains(fl.Src) || !m.Contains(fl.Dst) ||
-			cfg.Blocked[m.Index(fl.Src)] || cfg.Blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
-			return Stats{}, fmt.Errorf("wormhole: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
+			blocked[m.Index(fl.Src)] || blocked[m.Index(fl.Dst)] || fl.Src == fl.Dst {
+			return Stats{}, traffic.OnlineStats{}, fmt.Errorf("wormhole: invalid preloaded flow %v -> %v", fl.Src, fl.Dst)
 		}
 		spawn(fl.Src, fl.Dst, 0, true)
 	}
@@ -247,21 +369,47 @@ func Run(cfg Config) (Stats, error) {
 	totalCycles := cfg.Warmup + cfg.Cycles
 	idle := 0
 	for cycle := 0; cycle < totalCycles; cycle++ {
+		// Fault-event phase (see traffic.run): zero-event cycles touch
+		// nothing, keeping the run identical to the static simulation.
+		if rt != nil && rt.Pending() > 0 {
+			applied, err := rt.Step(cycle)
+			if err != nil {
+				return Stats{}, traffic.OnlineStats{}, err
+			}
+			ost.Events += applied
+			if applied > 0 {
+				ost.Rebuilds++
+				blocked = rt.Blocked()
+				routeFn = on.Rebuild(blocked)
+				if cfg.GuaranteedOnly {
+					guaranteed = traffic.GuaranteedFilter(m, blocked)
+				}
+				free = free[:0]
+				for i := 0; i < m.Size(); i++ {
+					if !blocked[i] {
+						free = append(free, m.CoordOf(i))
+					}
+				}
+				sweep()
+			}
+		}
 		measuring := cycle >= cfg.Warmup
 
-		// Injection.
-		for _, src := range free {
-			if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
-				continue
+		// Injection; paused while online faults leave under two nodes.
+		if len(free) >= 2 {
+			for _, src := range free {
+				if cfg.InjectionRate == 0 || rng.Float64() >= cfg.InjectionRate {
+					continue
+				}
+				dst := free[rng.Intn(len(free))]
+				for dst == src {
+					dst = free[rng.Intn(len(free))]
+				}
+				if cfg.GuaranteedOnly && !guaranteed(src, dst) {
+					continue
+				}
+				spawn(src, dst, cycle, measuring)
 			}
-			dst := free[rng.Intn(len(free))]
-			for dst == src {
-				dst = free[rng.Intn(len(free))]
-			}
-			if cfg.GuaranteedOnly && !guaranteed(src, dst) {
-				continue
-			}
-			spawn(src, dst, cycle, measuring)
 		}
 
 		progress := 0
@@ -273,11 +421,33 @@ func Run(cfg Config) (Stats, error) {
 				continue
 			}
 			at := w.headNode()
-			next, err := cfg.Route(at, w.dst)
+			if len(w.chain) >= hopBudget {
+				if rt != nil {
+					teardown(w)
+					ost.DroppedLivelock++
+					progress++
+					continue
+				}
+				if fatal == nil {
+					fatal = &traffic.SimError{Sim: "wormhole", Kind: traffic.InvariantLivelock, Cycle: cycle,
+						Detail: fmt.Sprintf("worm %v->%v at %v chained %d channels (budget %d)",
+							w.src, w.dst, at, len(w.chain), hopBudget)}
+				}
+				break
+			}
+			next, err := routeFn(at, w.dst)
 			if err != nil {
-				drop(w)
-				progress++
-				continue
+				if rt != nil && policy == traffic.PolicyDegrade {
+					if n, ok := route.SpareHop(m, blocked, rt.Levels(), at, w.dst); ok {
+						next = n
+						err = nil
+					}
+				}
+				if err != nil {
+					drop(w)
+					progress++
+					continue
+				}
 			}
 			dir, ok := mesh.DirTo(at, next)
 			if !ok {
@@ -309,11 +479,24 @@ func Run(cfg Config) (Stats, error) {
 				inActiveLink[li] = true
 				activeLinks = append(activeLinks, li)
 			}
+			if rt != nil && mesh.Distance(next, w.dst) > mesh.Distance(at, w.dst) {
+				// Distance-increasing head hops count the Extension-1
+				// detours: a delivered worm's chain has length
+				// D(src,dst) + 2k.
+				if w.detours == 0 {
+					ost.Degraded++
+				}
+				w.detours++
+				ost.DetourHops++
+			}
 			w.chain = append(w.chain, vc)
 			w.chainNodes = append(w.chainNodes, next)
 			w.entered = append(w.entered, 0)
 			w.left = append(w.left, 0)
 			progress++
+		}
+		if fatal != nil {
+			return Stats{}, traffic.OnlineStats{}, fatal
 		}
 
 		// Flit transmission: one flit per physical link per cycle,
@@ -399,6 +582,14 @@ func Run(cfg Config) (Stats, error) {
 		if active > 0 && progress == 0 {
 			idle++
 			if idle >= 3 {
+				if cfg.ClassVCs && ost.Events == 0 {
+					// Class virtual channels with minimal routing
+					// cannot deadlock while the fault state is
+					// unchanged; a stall here is a simulator bug.
+					return Stats{}, traffic.OnlineStats{}, &traffic.SimError{
+						Sim: "wormhole", Kind: traffic.InvariantStall, Cycle: cycle,
+						Detail: fmt.Sprintf("%d worms active, no progress for 3 cycles under class VCs", active)}
+				}
 				st.Deadlocked = true
 				break
 			}
@@ -423,11 +614,21 @@ func Run(cfg Config) (Stats, error) {
 			st.InFlight++
 		}
 	}
+	if rt != nil {
+		_, ost.Skipped, _, _ = rt.Counts()
+	}
+	// Packet conservation over all worms, warmup and preload included.
+	if got := ost.DeliveredTotal + ost.StuckTotal + ost.Dropped() + st.InFlight; got != ost.Spawned {
+		return Stats{}, traffic.OnlineStats{}, &traffic.SimError{
+			Sim: "wormhole", Kind: traffic.InvariantConservation, Cycle: totalCycles,
+			Detail: fmt.Sprintf("%d worms spawned but %d accounted for (%d delivered, %d stuck, %d dropped, %d in flight)",
+				ost.Spawned, got, ost.DeliveredTotal, ost.StuckTotal, ost.Dropped(), st.InFlight)}
+	}
 	if st.Delivered > 0 {
 		st.AvgLatency = totalLatency / float64(st.Delivered)
 		st.AvgHops = totalHops / float64(st.Delivered)
 		st.AvgStretch = totalStretch / float64(st.Delivered)
 	}
-	st.Throughput = float64(flitsOut) / float64(len(free)) / float64(cfg.Cycles)
-	return st, nil
+	st.Throughput = float64(flitsOut) / float64(baseFree) / float64(cfg.Cycles)
+	return st, ost, nil
 }
