@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with lock-guarded or worker-pool concurrency that the race
 # detector must cover.
-RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole
+RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./cmd/meshserved ./cmd/meshstress
 
-.PHONY: all build test vet race bench verify clean
+.PHONY: all build test vet fmt race bench smoke verify clean
 
 all: build
 
@@ -17,16 +17,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file is not gofmt-clean.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# bench regenerates BENCH_routing.json on the paper-scale 200x200 mesh.
+# bench regenerates BENCH_routing.json on the paper-scale 200x200 mesh,
+# including the serve/* HTTP round-trip measurements.
 bench:
 	$(GO) run ./cmd/meshbench -out BENCH_routing.json
 
-# verify is the gate for every change: static checks, full build, the
-# whole test suite, and the race detector on the concurrent packages.
-verify: vet build test race
+# smoke boots meshserved on an ephemeral port and drives a short
+# meshstress run against it (the cmd tests do this in-process too).
+smoke: build
+	$(GO) test ./cmd/meshserved ./cmd/meshstress
+
+# verify is the gate for every change: formatting, static checks, full
+# build, the whole test suite, and the race detector on the concurrent
+# packages.
+verify: fmt vet build test race
 
 clean:
 	$(GO) clean ./...

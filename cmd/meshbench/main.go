@@ -15,13 +15,17 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,7 +35,9 @@ import (
 	"extmesh/internal/core"
 	"extmesh/internal/fault"
 	"extmesh/internal/mesh"
+	"extmesh/internal/metrics"
 	"extmesh/internal/route"
+	"extmesh/internal/serve"
 	"extmesh/internal/wang"
 )
 
@@ -53,7 +59,9 @@ type Scenario struct {
 	Results []Result `json:"results"`
 }
 
-// Result is one measured operation.
+// Result is one measured operation. P50Ns/P99Ns are per-request
+// latency percentiles, reported only by the serve/* HTTP measurements
+// where tail latency is the interesting number.
 type Result struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -61,6 +69,8 @@ type Result struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	QueriesPerOp  int     `json:"queries_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Ns         float64 `json:"p50_ns,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
 }
 
 func main() {
@@ -345,5 +355,130 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 			_, _ = net.OracleRoute(src, destList[i%len(destList)])
 		}
 	})
+
+	// The served query plane: the same operations through meshserved's
+	// HTTP surface, measuring what a network client actually sees —
+	// JSON decode, snapshot lookup, query, JSON encode — with
+	// per-request latency percentiles.
+	serveResults, err := measureServe(out, w, h, faults, src, destList, pairs, benchtime)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Results = append(sc.Results, serveResults...)
 	return sc, nil
+}
+
+// measureServe stands up an in-process meshserved handler over the
+// scenario's mesh and times HTTP round trips against it.
+func measureServe(out io.Writer, w, h int, faults []extmesh.Coord, src extmesh.Coord, destList []extmesh.Coord, pairs []extmesh.Pair, benchtime time.Duration) ([]Result, error) {
+	d, err := extmesh.NewDynamic(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range faults {
+		if err := d.AddFault(c); err != nil {
+			return nil, err
+		}
+	}
+	srv := serve.New(serve.Options{Metrics: metrics.NewRegistry()})
+	if err := srv.Meshes().Create("bench", d); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Warm the snapshot and reach cache so the measurements see the
+	// steady state, mirroring the library-level cached numbers.
+	warm, _ := json.Marshal(map[string]any{"src": src, "dst": destList[0]})
+	if resp, err := client.Post(ts.URL+"/v1/mesh/bench/route", "application/json", strings.NewReader(string(warm))); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	type pairJSON struct {
+		Src extmesh.Coord `json:"src"`
+		Dst extmesh.Coord `json:"dst"`
+	}
+	singleBodies := make([][]byte, len(destList))
+	for i, dst := range destList {
+		b, err := json.Marshal(struct {
+			pairJSON
+			OmitPath bool `json:"omit_path"`
+		}{pairJSON{src, dst}, true})
+		if err != nil {
+			return nil, err
+		}
+		singleBodies[i] = b
+	}
+	batchPairs := make([]pairJSON, len(pairs))
+	for i, p := range pairs {
+		batchPairs[i] = pairJSON{p.Src, p.Dst}
+	}
+	routeBatchBody, err := json.Marshal(struct {
+		Pairs     []pairJSON `json:"pairs"`
+		OmitPaths bool       `json:"omit_paths"`
+	}{batchPairs, true})
+	if err != nil {
+		return nil, err
+	}
+	fanBody, err := json.Marshal(struct {
+		Src   extmesh.Coord   `json:"src"`
+		Dests []extmesh.Coord `json:"dests"`
+	}{src, destList})
+	if err != nil {
+		return nil, err
+	}
+
+	var results []Result
+	measure := func(name, path string, bodies [][]byte, queriesPerOp int) error {
+		url := ts.URL + "/v1/mesh/bench" + path
+		lats := make([]time.Duration, 0, 8192)
+		deadline := time.Now().Add(benchtime)
+		for i := 0; time.Now().Before(deadline); i++ {
+			body := bodies[i%len(bodies)]
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// 422 is the served "no minimal path" verdict — a legitimate
+			// answer at high fault densities, measured like any other.
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+				return fmt.Errorf("%s: status %s", path, resp.Status)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var total time.Duration
+		for _, l := range lats {
+			total += l
+		}
+		res := Result{
+			Name:         name,
+			NsPerOp:      float64(total.Nanoseconds()) / float64(len(lats)),
+			QueriesPerOp: queriesPerOp,
+			P50Ns:        float64(lats[len(lats)/2].Nanoseconds()),
+			P99Ns:        float64(lats[len(lats)*99/100].Nanoseconds()),
+		}
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = float64(queriesPerOp) * 1e9 / res.NsPerOp
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-28s %12.1f ns/op  p50=%.0fns p99=%.0fns %21.0f q/s\n",
+			name, res.NsPerOp, res.P50Ns, res.P99Ns, res.QueriesPerSec)
+		return nil
+	}
+
+	if err := measure("serve/route_single", "/route", singleBodies, 1); err != nil {
+		return nil, err
+	}
+	if err := measure("serve/route_batch", "/route/batch", [][]byte{routeBatchBody}, len(batchPairs)); err != nil {
+		return nil, err
+	}
+	if err := measure("serve/has_minimal_path_batch", "/has-minimal-path/batch", [][]byte{fanBody}, len(destList)); err != nil {
+		return nil, err
+	}
+	return results, nil
 }

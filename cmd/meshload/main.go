@@ -25,11 +25,10 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"extmesh/internal/cli"
 	"extmesh/internal/fault"
 	"extmesh/internal/inject"
 	"extmesh/internal/mesh"
@@ -62,37 +61,16 @@ func run(args []string, out io.Writer) error {
 		faultRate  = fs.Float64("fault-rate", 0, "shorthand for -fault-schedule random:rate=R")
 		policyName = fs.String("policy", "reroute", "in-flight packet policy under online faults: reroute, degrade or drop")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault schedule seed (0 = seed+1)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		prof       = cli.ProfileFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "meshload:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "meshload:", err)
-			}
-		}()
-	}
+	defer stopProf()
 	var rateList []float64
 	for _, s := range strings.Split(*rates, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

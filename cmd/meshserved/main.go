@@ -1,0 +1,180 @@
+// Command meshserved is the routing-as-a-service daemon: it serves
+// extmesh query and fault-admin endpoints over HTTP for a set of named
+// live meshes. Meshes can be preloaded from -mesh specs, created over
+// the API, or uploaded as network blobs; /metrics and /debug/vars
+// expose counters, gauges, and latency histograms; an admission gate
+// sheds load with 429 once the configured concurrency and queue are
+// exhausted; SIGINT/SIGTERM triggers a graceful drain.
+//
+// Usage:
+//
+//	meshserved [-addr :8423]
+//	           [-mesh name:WxH[:faults[:seed]]]...
+//	           [-max-inflight 0] [-max-queue 0] [-queue-wait 100ms]
+//	           [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//	           [-drain-timeout 15s] [-quiet]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Example:
+//
+//	meshserved -addr :8423 -mesh prod:200x200:40:1 -mesh small:16x16
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/cli"
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+	"extmesh/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshserved:", err)
+		os.Exit(1)
+	}
+}
+
+// meshSpecs collects repeatable -mesh flags.
+type meshSpecs []string
+
+func (m *meshSpecs) String() string     { return strings.Join(*m, ",") }
+func (m *meshSpecs) Set(s string) error { *m = append(*m, s); return nil }
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshserved", flag.ContinueOnError)
+	var specs meshSpecs
+	var (
+		addr         = fs.String("addr", ":8423", "listen address")
+		maxInflight  = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 4*GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "max requests queued for a slot (0 = 4*max-inflight)")
+		queueWait    = fs.Duration("queue-wait", 100*time.Millisecond, "max time a request waits in queue before a 429")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline for in-flight requests")
+		quiet        = fs.Bool("quiet", false, "disable per-request access logging")
+		prof         = cli.ProfileFlags(fs)
+	)
+	fs.Var(&specs, "mesh", "preload mesh, repeatable: name:WxH[:faults[:seed]] (e.g. prod:200x200:40:1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	logger := log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+	var accessLog *log.Logger
+	if !*quiet {
+		accessLog = logger
+	}
+	srv := serve.New(serve.Options{
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+		Log:         accessLog,
+	})
+
+	for _, spec := range specs {
+		name, d, err := buildMesh(spec)
+		if err != nil {
+			return fmt.Errorf("-mesh %q: %w", spec, err)
+		}
+		if err := srv.Meshes().Create(name, d); err != nil {
+			return err
+		}
+		logger.Printf("preloaded mesh %q: %dx%d, %d faults", name, d.Width(), d.Height(), d.FaultCount())
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		ErrorLog:     logger,
+	}
+	logger.Printf("serving on %s (%d meshes)", l.Addr(), len(srv.Meshes().Names()))
+	err = serve.Serve(ctx, httpSrv, l, *drainTimeout)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}
+
+// buildMesh parses a preload spec "name:WxH[:faults[:seed]]" and
+// constructs the mesh with that many uniformly random faults.
+func buildMesh(spec string) (string, *extmesh.DynamicNetwork, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return "", nil, fmt.Errorf("want name:WxH[:faults[:seed]]")
+	}
+	name := parts[0]
+	dims := strings.SplitN(parts[1], "x", 2)
+	if len(dims) != 2 {
+		return "", nil, fmt.Errorf("dimensions %q: want WxH", parts[1])
+	}
+	w, err := strconv.Atoi(dims[0])
+	if err != nil {
+		return "", nil, fmt.Errorf("width %q: %w", dims[0], err)
+	}
+	h, err := strconv.Atoi(dims[1])
+	if err != nil {
+		return "", nil, fmt.Errorf("height %q: %w", dims[1], err)
+	}
+	k := 0
+	if len(parts) >= 3 {
+		if k, err = strconv.Atoi(parts[2]); err != nil {
+			return "", nil, fmt.Errorf("fault count %q: %w", parts[2], err)
+		}
+	}
+	var seed int64 = 1
+	if len(parts) == 4 {
+		if seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("seed %q: %w", parts[3], err)
+		}
+	}
+
+	d, err := extmesh.NewDynamic(w, h)
+	if err != nil {
+		return "", nil, err
+	}
+	if k > 0 {
+		faults, err := fault.RandomFaults(mesh.Mesh{Width: w, Height: h}, k, rand.New(rand.NewSource(seed)), nil)
+		if err != nil {
+			return "", nil, err
+		}
+		for _, c := range faults {
+			if err := d.AddFault(c); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	return name, d, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildMeshSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		name    string
+		w, h, k int
+		ok      bool
+	}{
+		{"m:16x16", "m", 16, 16, 0, true},
+		{"prod:200x200:40:1", "prod", 200, 200, 40, true},
+		{"a:8x4:3", "a", 8, 4, 3, true},
+		{"noseparator", "", 0, 0, 0, false},
+		{"m:16", "", 0, 0, 0, false},
+		{"m:axb", "", 0, 0, 0, false},
+		{"m:0x5", "", 0, 0, 0, false},
+		{"m:4x4:nan", "", 0, 0, 0, false},
+		{"m:4x4:2:1:extra", "", 0, 0, 0, false},
+	} {
+		name, d, err := buildMesh(tc.spec)
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%q: accepted, want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.spec, err)
+			continue
+		}
+		if name != tc.name || d.Width() != tc.w || d.Height() != tc.h || d.FaultCount() != tc.k {
+			t.Errorf("%q: got %s %dx%d k=%d", tc.spec, name, d.Width(), d.Height(), d.FaultCount())
+		}
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port with a
+// preloaded mesh, queries it over real HTTP, then cancels the context
+// and requires a clean drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // run re-listens on the same port
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", addr, "-mesh", "m:16x16:5:1", "-quiet", "-drain-timeout", "2s",
+		}, &out)
+	}()
+
+	base := "http://" + addr
+	// Wait for the daemon to come up.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("daemon never came up: %v\n%s", err, out.String())
+	}
+	resp.Body.Close()
+
+	body := strings.NewReader(`{"src":{"x":0,"y":0},"dst":{"x":15,"y":15}}`)
+	r2, err := http.Post(base+"/v1/mesh/m/route", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Hops int `json:"hops"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK || rr.Hops != 30 {
+		t.Errorf("route = %d hops=%d, want 200 hops=30", r2.StatusCode, rr.Hops)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("missing drain log:\n%s", out.String())
+	}
+}
+
+func TestDaemonBadMeshSpec(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-mesh", "bad"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want spec failure", err)
+	}
+}
+
+func TestDaemonAddrInUse(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var out bytes.Buffer
+	err = run(context.Background(), []string{"-addr", l.Addr().String()}, &out)
+	if err == nil {
+		t.Fatal("second bind succeeded")
+	}
+	if !strings.Contains(fmt.Sprint(err), "in use") {
+		t.Logf("note: bind error was %v", err)
+	}
+}

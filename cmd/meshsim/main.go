@@ -28,11 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"extmesh/internal/cli"
 	"extmesh/internal/inject"
 	"extmesh/internal/mesh"
 	"extmesh/internal/route"
@@ -68,8 +67,7 @@ func run(args []string, out io.Writer) error {
 		cycles     = fs.Int("cycles", 400, "measured cycles (online sweep)")
 		warmup     = fs.Int("warmup", 100, "warmup cycles (online sweep)")
 		injRate    = fs.Float64("inj", 0.05, "packet injection rate (online sweep)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		prof       = cli.ProfileFlags(fs)
 		timing     = fs.Bool("timing", false, "print the per-stage timing breakdown (setup/evaluation/aggregation)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,31 +100,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "meshsim:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "meshsim:", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	if *scaling {
 		sides := []int{50, 100, 150, 200, 300}

@@ -1,0 +1,299 @@
+// Command meshstress is the load driver for meshserved: concurrent
+// workers fire route/condition/existence queries at a served mesh and
+// report throughput and per-request latency percentiles. Batch mode
+// (-batch N) packs N source/destination pairs per request — the way a
+// real client amortizes HTTP overhead — so a single daemon instance can
+// be driven well past the single-query round-trip ceiling.
+//
+// Usage:
+//
+//	meshstress [-addr http://localhost:8423] [-mesh prod]
+//	           [-endpoint route|has-minimal-path|ensure|safe]
+//	           [-workers 4] [-batch 64] [-paths] [-model blocks|mcc]
+//	           [-duration 10s] [-requests 0] [-seed 1]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Example (throughput sweep on a warm 200x200 mesh):
+//
+//	meshserved -addr :8423 -mesh prod:200x200:40:1 &
+//	meshstress -addr http://localhost:8423 -mesh prod -batch 64 -duration 10s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/cli"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meshstress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meshstress", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://localhost:8423", "meshserved base URL")
+		meshName = fs.String("mesh", "prod", "target mesh name")
+		endpoint = fs.String("endpoint", "route", "query kind: route, has-minimal-path, ensure, or safe")
+		workers  = fs.Int("workers", 4, "concurrent workers")
+		batch    = fs.Int("batch", 64, "pairs per request (1 = single-query endpoint)")
+		paths    = fs.Bool("paths", false, "include full paths in route responses (off = hop counts only)")
+		model    = fs.String("model", "blocks", "fault model: blocks or mcc")
+		duration = fs.Duration("duration", 10*time.Second, "run length (ignored if -requests > 0)")
+		requests = fs.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
+		seed     = fs.Int64("seed", 1, "PRNG seed for query endpoints")
+		prof     = cli.ProfileFlags(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 || *batch < 1 {
+		return fmt.Errorf("-workers and -batch must be >= 1")
+	}
+	if *endpoint == "safe" {
+		*batch = 1 // safe has no batch form
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	base := strings.TrimSuffix(*addr, "/")
+	info, err := fetchMeshInfo(base, *meshName)
+	if err != nil {
+		return err
+	}
+
+	bodies, perReq, path, err := buildBodies(info, *endpoint, *batch, *model, !*paths, *seed)
+	if err != nil {
+		return err
+	}
+	url := base + "/v1/mesh/" + *meshName + path
+
+	runCtx := ctx
+	if *requests <= 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	var (
+		reqBudget atomic.Int64
+		done      atomic.Uint64
+		errs      atomic.Uint64
+		shed      atomic.Uint64
+	)
+	reqBudget.Store(int64(*requests)) // <= 0 means unlimited
+
+	lats := make([][]time.Duration, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			lat := make([]time.Duration, 0, 4096)
+			i := w // stagger body pool starting points across workers
+			for runCtx.Err() == nil {
+				if *requests > 0 && reqBudget.Add(-1) < 0 {
+					break
+				}
+				body := bodies[i%len(bodies)]
+				i++
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					if runCtx.Err() != nil {
+						break
+					}
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat = append(lat, time.Since(t0))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					errs.Add(1)
+				default:
+					done.Add(1)
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	ok := done.Load()
+	queries := ok * uint64(perReq)
+	fmt.Fprintf(out, "meshstress: %s %s batch=%d workers=%d\n", *endpoint, info.label(), perReq, *workers)
+	fmt.Fprintf(out, "requests: %d ok, %d errors, %d shed (429) in %.2fs\n",
+		ok, errs.Load(), shed.Load(), elapsed.Seconds())
+	fmt.Fprintf(out, "throughput: %.0f queries/sec (%.1f requests/sec)\n",
+		float64(queries)/elapsed.Seconds(), float64(ok)/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Fprintf(out, "latency: p50=%s p90=%s p99=%s max=%s\n",
+			pct(all, 0.50), pct(all, 0.90), pct(all, 0.99), all[len(all)-1].Round(time.Microsecond))
+	}
+	if ok == 0 {
+		return fmt.Errorf("no successful requests (%d errors)", errs.Load())
+	}
+	return nil
+}
+
+// meshInfo is the subset of GET /v1/mesh/{name} meshstress needs.
+type meshInfo struct {
+	Name   string `json:"name"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+}
+
+func (m meshInfo) label() string {
+	return fmt.Sprintf("%s(%dx%d)", m.Name, m.Width, m.Height)
+}
+
+func fetchMeshInfo(base, name string) (meshInfo, error) {
+	var info meshInfo
+	resp, err := http.Get(base + "/v1/mesh/" + name)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("mesh %q: server returned %s", name, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, err
+	}
+	if info.Width <= 0 || info.Height <= 0 {
+		return info, fmt.Errorf("mesh %q: implausible dimensions %dx%d", name, info.Width, info.Height)
+	}
+	return info, nil
+}
+
+// buildBodies pre-marshals a pool of request bodies so worker CPU goes
+// to driving load, not JSON encoding — the client and server share
+// cores on small machines. Returns the bodies, queries per request,
+// and the endpoint path suffix.
+func buildBodies(info meshInfo, endpoint string, batch int, model string, omitPaths bool, seed int64) ([][]byte, int, string, error) {
+	const pool = 128
+	rng := rand.New(rand.NewSource(seed))
+	randCoord := func() extmesh.Coord {
+		return extmesh.Coord{X: rng.Intn(info.Width), Y: rng.Intn(info.Height)}
+	}
+
+	type pair struct {
+		Src extmesh.Coord `json:"src"`
+		Dst extmesh.Coord `json:"dst"`
+	}
+	bodies := make([][]byte, 0, pool)
+	marshal := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+		return nil
+	}
+
+	switch endpoint {
+	case "route", "has-minimal-path", "ensure", "safe":
+	default:
+		return nil, 0, "", fmt.Errorf("unknown endpoint %q", endpoint)
+	}
+
+	if batch == 1 {
+		for i := 0; i < pool; i++ {
+			if err := marshal(struct {
+				pair
+				Model    string `json:"model"`
+				OmitPath bool   `json:"omit_path"`
+			}{pair{randCoord(), randCoord()}, model, omitPaths}); err != nil {
+				return nil, 0, "", err
+			}
+		}
+		return bodies, 1, "/" + endpoint, nil
+	}
+
+	switch endpoint {
+	case "route":
+		for i := 0; i < pool; i++ {
+			pairs := make([]pair, batch)
+			for j := range pairs {
+				pairs[j] = pair{randCoord(), randCoord()}
+			}
+			if err := marshal(struct {
+				Pairs     []pair `json:"pairs"`
+				Model     string `json:"model"`
+				OmitPaths bool   `json:"omit_paths"`
+			}{pairs, model, omitPaths}); err != nil {
+				return nil, 0, "", err
+			}
+		}
+		return bodies, batch, "/route/batch", nil
+	case "has-minimal-path", "ensure":
+		for i := 0; i < pool; i++ {
+			dests := make([]extmesh.Coord, batch)
+			for j := range dests {
+				dests[j] = randCoord()
+			}
+			if err := marshal(struct {
+				Src   extmesh.Coord   `json:"src"`
+				Dests []extmesh.Coord `json:"dests"`
+				Model string          `json:"model"`
+			}{randCoord(), dests, model}); err != nil {
+				return nil, 0, "", err
+			}
+		}
+		return bodies, batch, "/" + endpoint + "/batch", nil
+	}
+	return nil, 0, "", fmt.Errorf("endpoint %q has no batch form; use -batch 1", endpoint)
+}
+
+// pct returns the q-quantile of sorted latencies (nearest-rank).
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extmesh"
+	"extmesh/internal/serve"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	d, err := extmesh.NewDynamic(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []extmesh.Coord{{X: 5, Y: 5}, {X: 20, Y: 11}, {X: 13, Y: 28}} {
+		if err := d.AddFault(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Meshes().Create("m", d); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStressSmoke drives a short fixed-request run against an
+// in-process server for each endpoint family and checks the report.
+func TestStressSmoke(t *testing.T) {
+	ts := newBackend(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"route-batch", []string{"-endpoint", "route", "-batch", "8"}},
+		{"route-single", []string{"-endpoint", "route", "-batch", "1"}},
+		{"existence-batch", []string{"-endpoint", "has-minimal-path", "-batch", "16"}},
+		{"ensure-batch", []string{"-endpoint", "ensure", "-batch", "4"}},
+		{"safe", []string{"-endpoint", "safe"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{
+				"-addr", ts.URL, "-mesh", "m", "-workers", "2", "-requests", "20",
+			}, tc.args...)
+			if err := run(context.Background(), args, &out); err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+			report := out.String()
+			for _, want := range []string{"requests: 20 ok, 0 errors", "throughput:", "latency: p50="} {
+				if !strings.Contains(report, want) {
+					t.Errorf("report missing %q:\n%s", want, report)
+				}
+			}
+		})
+	}
+}
+
+func TestStressUnknownMesh(t *testing.T) {
+	ts := newBackend(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-addr", ts.URL, "-mesh", "ghost", "-requests", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v, want unknown-mesh failure", err)
+	}
+}
+
+func TestStressBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-workers", "0"}, &out); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	ts := newBackend(t)
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-mesh", "m", "-endpoint", "teleport", "-requests", "1"}, &out); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+}

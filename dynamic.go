@@ -1,6 +1,7 @@
 package extmesh
 
 import (
+	"fmt"
 	"sync"
 
 	"extmesh/internal/dynamic"
@@ -37,6 +38,13 @@ type DynamicNetwork struct {
 	version      uint64
 	reachVersion uint64
 	reach        *wang.ReachCache
+
+	// snap memoizes the frozen Network for the fault set at version
+	// snapVersion, so long-running services can serve full-API queries
+	// (routing, conditions, MCCs) without rebuilding the derived
+	// structures on every request.
+	snapVersion uint64
+	snap        *Network
 }
 
 // NewDynamic returns a dynamic network over an initially fault-free
@@ -154,4 +162,115 @@ func (d *DynamicNetwork) Freeze() (*Network, error) {
 	faults := d.tracker.Faults()
 	d.mu.Unlock()
 	return New(d.width, d.height, faults)
+}
+
+// Width returns the mesh's X extent.
+func (d *DynamicNetwork) Width() int { return d.width }
+
+// Height returns the mesh's Y extent.
+func (d *DynamicNetwork) Height() int { return d.height }
+
+// Version returns the mutation counter: it increases on every
+// successful AddFault/RemoveFault, so two equal Version readings
+// bracket an unchanged fault set.
+func (d *DynamicNetwork) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// FaultCount returns the current number of faulty nodes.
+func (d *DynamicNetwork) FaultCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracker.FaultCount()
+}
+
+// IsFaulty reports whether c is currently faulty.
+func (d *DynamicNetwork) IsFaulty(c Coord) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracker.IsFaulty(c)
+}
+
+// Snapshot returns an immutable Network for the current fault set,
+// memoized by mutation version: while no fault arrives or recovers,
+// every call returns the same frozen Network (whose own lazy caches —
+// models, routers, reachability — therefore stay warm across calls).
+// This is the serving hot path: a daemon answers route and condition
+// queries against the snapshot and pays one rebuild per mutation, not
+// per request.
+//
+// A Snapshot call racing a mutation returns a Network for either the
+// pre- or post-mutation fault set, consistent with the DynamicNetwork
+// concurrency contract.
+func (d *DynamicNetwork) Snapshot() (*Network, error) {
+	d.mu.Lock()
+	if d.snap != nil && d.snapVersion == d.version {
+		n := d.snap
+		d.mu.Unlock()
+		return n, nil
+	}
+	v := d.version
+	faults := d.tracker.Faults()
+	d.mu.Unlock()
+
+	// Build outside the lock: construction is O(mesh), and queries or
+	// mutations must not stall behind it.
+	n, err := New(d.width, d.height, faults)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.version == v {
+		d.snap = n
+		d.snapVersion = v
+	}
+	d.mu.Unlock()
+	// If the version moved on, n still reflects the fault set at the
+	// time this call began; return it without caching.
+	return n, nil
+}
+
+// Apply performs a batch of mutations: every node in fail is marked
+// faulty and every node in recover is repaired, in order. Mutations
+// that cannot apply — failing an already-faulty node, recovering a
+// healthy one — are skipped and counted rather than fatal, matching
+// the online fault-injection runtime's replay semantics, so a fault
+// schedule can be replayed onto a live network idempotently. Nodes
+// outside the mesh return an error and abort the batch (applied
+// reports how far it got).
+func (d *DynamicNetwork) Apply(fail, recover []Coord) (applied, skipped int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := mesh.Mesh{Width: d.width, Height: d.height}
+	for _, c := range fail {
+		if !m.Contains(c) {
+			return applied, skipped, fmt.Errorf("extmesh: fail node %v outside mesh %v", c, m)
+		}
+		if d.tracker.IsFaulty(c) {
+			skipped++
+			continue
+		}
+		if err := d.tracker.AddFault(c); err != nil {
+			return applied, skipped, err
+		}
+		d.version++
+		applied++
+	}
+	for _, c := range recover {
+		if !m.Contains(c) {
+			return applied, skipped, fmt.Errorf("extmesh: recover node %v outside mesh %v", c, m)
+		}
+		if !d.tracker.IsFaulty(c) {
+			skipped++
+			continue
+		}
+		if err := d.tracker.RemoveFault(c); err != nil {
+			return applied, skipped, err
+		}
+		d.version++
+		applied++
+	}
+	return applied, skipped, nil
 }

@@ -230,3 +230,96 @@ func TestDynamicNetworkConcurrentUse(t *testing.T) {
 		t.Error("fault-free mesh lost a minimal path")
 	}
 }
+
+func TestDynamicSnapshotMemoization(t *testing.T) {
+	d, err := NewDynamic(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("unchanged fault set should return the identical snapshot")
+	}
+	if err := d.AddFault(Coord{X: 5, Y: 5}); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("mutation must invalidate the snapshot")
+	}
+	if !s3.IsFaulty(Coord{X: 5, Y: 5}) || s1.IsFaulty(Coord{X: 5, Y: 5}) {
+		t.Error("snapshots must reflect their fault sets")
+	}
+	// The snapshot agrees with the dynamic view on every query plane.
+	src, dst := Coord{X: 0, Y: 0}, Coord{X: 11, Y: 11}
+	if s3.HasMinimalPath(src, dst) != d.HasMinimalPath(src, dst) {
+		t.Error("snapshot and dynamic HasMinimalPath disagree")
+	}
+	if s3.Safe(src, dst, Blocks) != d.Safe(src, dst) {
+		t.Error("snapshot and dynamic Safe disagree")
+	}
+}
+
+func TestDynamicApplyBatch(t *testing.T) {
+	d, err := NewDynamic(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := d.Apply([]Coord{{X: 2, Y: 2}, {X: 3, Y: 3}}, nil)
+	if err != nil || applied != 2 || skipped != 0 {
+		t.Fatalf("Apply = (%d, %d, %v), want (2, 0, nil)", applied, skipped, err)
+	}
+	if d.FaultCount() != 2 {
+		t.Fatalf("FaultCount = %d, want 2", d.FaultCount())
+	}
+	// Re-failing a faulty node and recovering a healthy one skip.
+	applied, skipped, err = d.Apply([]Coord{{X: 2, Y: 2}}, []Coord{{X: 7, Y: 7}})
+	if err != nil || applied != 0 || skipped != 2 {
+		t.Fatalf("idempotent Apply = (%d, %d, %v), want (0, 2, nil)", applied, skipped, err)
+	}
+	// Recovery really repairs.
+	applied, skipped, err = d.Apply(nil, []Coord{{X: 3, Y: 3}})
+	if err != nil || applied != 1 || skipped != 0 {
+		t.Fatalf("recover Apply = (%d, %d, %v), want (1, 0, nil)", applied, skipped, err)
+	}
+	if d.IsFaulty(Coord{X: 3, Y: 3}) || !d.IsFaulty(Coord{X: 2, Y: 2}) {
+		t.Error("Apply recover did not repair the right node")
+	}
+	// Out-of-mesh aborts with the partial count reported.
+	if _, _, err := d.Apply([]Coord{{X: 99, Y: 0}}, nil); err == nil {
+		t.Error("out-of-mesh fail should error")
+	}
+	if d.Version() == 0 {
+		t.Error("mutations should bump the version")
+	}
+}
+
+func TestDynamicAccessors(t *testing.T) {
+	d, err := NewDynamic(6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 6 || d.Height() != 9 {
+		t.Fatalf("dims = %dx%d, want 6x9", d.Width(), d.Height())
+	}
+	v0 := d.Version()
+	if err := d.AddFault(Coord{X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != v0+1 {
+		t.Errorf("Version = %d, want %d", d.Version(), v0+1)
+	}
+	if !d.IsFaulty(Coord{X: 1, Y: 1}) || d.IsFaulty(Coord{X: 2, Y: 2}) {
+		t.Error("IsFaulty wrong")
+	}
+}

@@ -33,12 +33,56 @@ const MaxDecodeNodes = 1 << 24
 // (Network itself has no UnmarshalJSON: a Network is immutable after
 // construction, so decoding goes through the validating constructor.)
 func UnmarshalNetwork(data []byte) (*Network, error) {
-	var nj networkJSON
-	if err := json.Unmarshal(data, &nj); err != nil {
-		return nil, fmt.Errorf("extmesh: decode network: %w", err)
-	}
-	if nj.Width <= 0 || nj.Height <= 0 || nj.Width > MaxDecodeNodes/nj.Height {
-		return nil, fmt.Errorf("extmesh: decode network: implausible dimensions %dx%d", nj.Width, nj.Height)
+	nj, err := decodeNetworkJSON(data)
+	if err != nil {
+		return nil, err
 	}
 	return New(nj.Width, nj.Height, nj.Faults)
+}
+
+// MarshalJSON serializes the dynamic network's defining data — the
+// mesh dimensions and the current fault list — in the same format as
+// Network.MarshalJSON, so a frozen and a live network round-trip
+// through the same blobs.
+func (d *DynamicNetwork) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{
+		Width:  d.Width(),
+		Height: d.Height(),
+		Faults: d.Faults(),
+	})
+}
+
+// UnmarshalDynamic reconstructs a live DynamicNetwork from a network
+// blob (either MarshalJSON output above or Network.MarshalJSON's: the
+// formats are identical). The faults are replayed through the
+// incremental tracker in order, so the result is ready for further
+// mutations. Input is validated like UnmarshalNetwork, including the
+// MaxDecodeNodes dimension cap.
+func UnmarshalDynamic(data []byte) (*DynamicNetwork, error) {
+	nj, err := decodeNetworkJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	d, err := NewDynamic(nj.Width, nj.Height)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range nj.Faults {
+		if err := d.AddFault(c); err != nil {
+			return nil, fmt.Errorf("extmesh: decode network: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// decodeNetworkJSON parses and validates the shared serialized form.
+func decodeNetworkJSON(data []byte) (networkJSON, error) {
+	var nj networkJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return nj, fmt.Errorf("extmesh: decode network: %w", err)
+	}
+	if nj.Width <= 0 || nj.Height <= 0 || nj.Width > MaxDecodeNodes/nj.Height {
+		return nj, fmt.Errorf("extmesh: decode network: implausible dimensions %dx%d", nj.Width, nj.Height)
+	}
+	return nj, nil
 }

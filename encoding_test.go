@@ -62,3 +62,54 @@ func TestUnmarshalNetworkErrors(t *testing.T) {
 		t.Error("out-of-mesh fault should fail")
 	}
 }
+
+func TestDynamicJSONRoundTrip(t *testing.T) {
+	d, err := NewDynamic(9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Coord{{X: 2, Y: 3}, {X: 5, Y: 5}} {
+		if err := d.AddFault(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dynamic blob is readable both live and frozen.
+	back, err := UnmarshalDynamic(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width() != 9 || back.Height() != 7 || back.FaultCount() != 2 {
+		t.Fatalf("round trip changed the network: %dx%d, %d faults",
+			back.Width(), back.Height(), back.FaultCount())
+	}
+	frozen, err := UnmarshalNetwork(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frozen.Faults()) != 2 {
+		t.Fatalf("frozen decode lost faults: %v", frozen.Faults())
+	}
+	// The revived network keeps mutating.
+	if err := back.AddFault(Coord{X: 0, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDynamicErrors(t *testing.T) {
+	if _, err := UnmarshalDynamic([]byte(`{`)); err == nil {
+		t.Error("syntax error should fail")
+	}
+	if _, err := UnmarshalDynamic([]byte(`{"width":1000000,"height":1000000}`)); err == nil {
+		t.Error("implausible dimensions should fail")
+	}
+	if _, err := UnmarshalDynamic([]byte(`{"width":4,"height":4,"faults":[{"X":9,"Y":0}]}`)); err == nil {
+		t.Error("out-of-mesh fault should fail")
+	}
+	if _, err := UnmarshalDynamic([]byte(`{"width":4,"height":4,"faults":[{"X":1,"Y":1},{"X":1,"Y":1}]}`)); err == nil {
+		t.Error("duplicate fault should fail")
+	}
+}

@@ -1,0 +1,68 @@
+// Package cli holds flag plumbing shared by the command-line tools:
+// every binary that wants -cpuprofile/-memprofile registers the same
+// pair through ProfileFlags instead of hand-rolling the pprof
+// lifecycle.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"flag"
+)
+
+// Profile carries the -cpuprofile/-memprofile flag values of one
+// command invocation.
+type Profile struct {
+	CPU string
+	Mem string
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on fs and returns
+// the destination the parsed values land in.
+func ProfileFlags(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that ends it and writes the heap profile. The stop function is safe
+// to call exactly once (typically via defer); profile-write failures
+// at stop time are reported on stderr rather than lost, matching the
+// previous per-command behavior.
+func (p *Profile) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if p.Mem == "" {
+			return
+		}
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+		}
+	}, nil
+}

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "c.out", "-memprofile", "m.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU != "c.out" || p.Mem != "m.out" {
+		t.Fatalf("parsed %+v, want c.out/m.out", p)
+	}
+}
+
+func TestProfileStartStopWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profile{
+		CPU: filepath.Join(dir, "cpu.out"),
+		Mem: filepath.Join(dir, "mem.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, f := range []string{p.CPU, p.Mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestProfileDisabledIsNoop(t *testing.T) {
+	p := &Profile{}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // nothing requested, nothing written, no panic
+}

@@ -123,6 +123,12 @@ func (t *Tracker) Faults() []mesh.Coord {
 	return append([]mesh.Coord(nil), t.faults...)
 }
 
+// FaultCount returns the current number of faulty nodes without
+// copying the fault list.
+func (t *Tracker) FaultCount() int {
+	return len(t.faults)
+}
+
 // InRegion reports whether c currently belongs to a fault region.
 func (t *Tracker) InRegion(c mesh.Coord) bool {
 	return t.m.Contains(c) && t.dead[t.m.Index(c)]

@@ -189,16 +189,16 @@ func TestParse(t *testing.T) {
 		t.Errorf("Event.String = %q", got)
 	}
 	for _, bad := range []string{
-		"random",                  // missing required rate
-		"random:rate=abc",         // unparsable
-		"random:rate=0.1,foo=1",   // unknown argument
-		"bursts:count=-1",         // invalid shape
+		"random",                // missing required rate
+		"random:rate=abc",       // unparsable
+		"random:rate=0.1,foo=1", // unknown argument
+		"bursts:count=-1",       // invalid shape
 		"transient:rate=0.1,repair=-5",
-		"warp:rate=0.1",           // unknown kind
-		"fail@abc:1,2",            // bad cycle
-		"fail@10:99,2",            // outside mesh
-		"explode@10:1,2",          // bad op
-		"fail@10:1",               // bad node
+		"warp:rate=0.1",  // unknown kind
+		"fail@abc:1,2",   // bad cycle
+		"fail@10:99,2",   // outside mesh
+		"explode@10:1,2", // bad op
+		"fail@10:1",      // bad node
 	} {
 		if _, err := Parse(m, 100, 1, bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
@@ -273,7 +273,7 @@ func TestRuntimeSkipsInapplicable(t *testing.T) {
 	n := mesh.Coord{X: 3, Y: 3}
 	sched := Schedule{
 		{Cycle: 0, Node: n, Op: Fail},
-		{Cycle: 1, Node: n, Op: Fail},    // already faulty: skipped
+		{Cycle: 1, Node: n, Op: Fail}, // already faulty: skipped
 		{Cycle: 2, Node: n, Op: Recover},
 		{Cycle: 3, Node: n, Op: Recover}, // healthy again: skipped
 	}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total") != c {
+		t.Fatal("second lookup should return the same counter")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	// 99 observations at ~100µs, one at ~100ms: p50 must land in the
+	// 100µs decade and p99 reach no further than one bucket above the
+	// outlier's.
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100*time.Microsecond || p50 > 256*time.Microsecond {
+		t.Errorf("p50 = %v, want within one bucket of 100µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 100*time.Microsecond || p99 > 256*time.Microsecond {
+		t.Errorf("p99 = %v, want the 99th of 100 observations (~100µs), got %v", p99, p99)
+	}
+	p100 := h.Quantile(1)
+	if p100 < 100*time.Millisecond || p100 > 256*time.Millisecond {
+		t.Errorf("p100 = %v, want within one bucket of 100ms", p100)
+	}
+	if h.Mean() < 1000*time.Microsecond {
+		t.Errorf("mean = %v, want pulled up by the outlier", h.Mean())
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(-time.Second) // clamped, not a panic
+	if h.Count() != 1 {
+		t.Fatal("negative observation should be clamped and counted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("depth").Set(7)
+	r.Histogram("lat").Observe(time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a_total 1\n", "b_total 2\n", "depth 7\n", "lat_count 1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: a_total before b_total before depth.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("exposition not sorted:\n%s", out)
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return one process-wide registry")
+	}
+	Default().PublishExpvar()
+	Default().PublishExpvar() // second call must not panic
+}

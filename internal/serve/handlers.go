@@ -1,0 +1,611 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"extmesh"
+	"extmesh/internal/inject"
+	"extmesh/internal/mesh"
+)
+
+// Request-size limits: a decoded batch is capped like the encoding
+// layer caps mesh dimensions (extmesh.MaxDecodeNodes), so untrusted
+// input cannot make one request allocate unbounded result sets.
+const (
+	// MaxBatch bounds the pairs or destinations of one batch request.
+	MaxBatch = 4096
+	// MaxRequestBytes bounds a request body; the largest legitimate
+	// body is an uploaded network blob (dimensions plus fault list).
+	MaxRequestBytes = 8 << 20
+)
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // write errors mean a gone client; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the JSON request body into v, enforcing the size
+// cap and rejecting trailing garbage.
+func decodeBody(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", int64(MaxRequestBytes))
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// parseModel resolves the optional "model" request field.
+func parseModel(s string) (extmesh.FaultModel, error) {
+	switch s {
+	case "", "blocks":
+		return extmesh.Blocks, nil
+	case "mcc":
+		return extmesh.MCC, nil
+	default:
+		return 0, fmt.Errorf("unknown fault model %q (want blocks or mcc)", s)
+	}
+}
+
+// meshFor resolves the {name} path wildcard to a live mesh, writing
+// the 404 itself when absent.
+func (s *Server) meshFor(w http.ResponseWriter, r *http.Request) (string, *extmesh.DynamicNetwork) {
+	name := r.PathValue("name")
+	d := s.meshes.Get(name)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "mesh %q not registered", name)
+	}
+	return name, d
+}
+
+// snapshotFor resolves the mesh and its frozen query snapshot.
+func (s *Server) snapshotFor(w http.ResponseWriter, r *http.Request) (string, *extmesh.DynamicNetwork, *extmesh.Network) {
+	name, d := s.meshFor(w, r)
+	if d == nil {
+		return name, nil, nil
+	}
+	n, err := d.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return name, nil, nil
+	}
+	return name, d, n
+}
+
+// meshInfo is the summary the listing and info endpoints share.
+type meshInfo struct {
+	Name    string `json:"name"`
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	Faults  int    `json:"faults"`
+	Version uint64 `json:"version"`
+}
+
+func infoOf(name string, d *extmesh.DynamicNetwork) meshInfo {
+	return meshInfo{
+		Name:    name,
+		Width:   d.Width(),
+		Height:  d.Height(),
+		Faults:  d.FaultCount(),
+		Version: d.Version(),
+	}
+}
+
+// --- mesh lifecycle -------------------------------------------------
+
+// createRequest is the POST /v1/mesh body: a named mesh specification.
+type createRequest struct {
+	Name   string          `json:"name"`
+	Width  int             `json:"width"`
+	Height int             `json:"height"`
+	Faults []extmesh.Coord `json:"faults"`
+}
+
+func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ValidName(req.Name) {
+		writeError(w, http.StatusBadRequest, "invalid mesh name %q (want 1-64 of [A-Za-z0-9._-])", req.Name)
+		return
+	}
+	// Round-trip through the validated decoder so dimension caps and
+	// fault validation are identical to the encoding layer's.
+	blob, err := json.Marshal(map[string]any{
+		"width": req.Width, "height": req.Height, "faults": req.Faults,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	d, err := extmesh.UnmarshalDynamic(blob)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.meshes.Create(req.Name, d); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(req.Name, d))
+}
+
+// handleUploadMesh is PUT /v1/mesh/{name}: create or replace from a
+// serialized network blob (Network.MarshalJSON format).
+func (s *Server) handleUploadMesh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !ValidName(name) {
+		writeError(w, http.StatusBadRequest, "invalid mesh name %q", name)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	d, err := extmesh.UnmarshalDynamic(blob)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replaced := s.meshes.Get(name) != nil
+	if err := s.meshes.Put(name, d); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, infoOf(name, d))
+}
+
+func (s *Server) handleListMeshes(w http.ResponseWriter, r *http.Request) {
+	names := s.meshes.Names()
+	out := make([]meshInfo, 0, len(names))
+	for _, name := range names {
+		if d := s.meshes.Get(name); d != nil {
+			out = append(out, infoOf(name, d))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"meshes": out})
+}
+
+// handleGetMesh is GET /v1/mesh/{name}: the info plus the full fault
+// list — the blob form, so the endpoint doubles as export.
+func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
+	name, d := s.meshFor(w, r)
+	if d == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    name,
+		"width":   d.Width(),
+		"height":  d.Height(),
+		"faults":  d.Faults(),
+		"version": d.Version(),
+	})
+}
+
+func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.meshes.Delete(name) {
+		writeError(w, http.StatusNotFound, "mesh %q not registered", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- single queries -------------------------------------------------
+
+// queryRequest is the shared body of the single-pair query endpoints.
+type queryRequest struct {
+	Src      extmesh.Coord     `json:"src"`
+	Dst      extmesh.Coord     `json:"dst"`
+	Model    string            `json:"model"`     // "blocks" (default) or "mcc"
+	Strategy *extmesh.Strategy `json:"strategy"`  // nil = DefaultStrategy
+	OmitPath bool              `json:"omit_path"` // respond with hop count only
+}
+
+func (q *queryRequest) strategy() extmesh.Strategy {
+	if q.Strategy != nil {
+		return *q.Strategy
+	}
+	return extmesh.DefaultStrategy()
+}
+
+// routeResponse carries one routing outcome. Hops is len(path)-1; the
+// path itself is omitted when the client asked for counts only.
+type routeResponse struct {
+	Hops int          `json:"hops"`
+	Path extmesh.Path `json:"path,omitempty"`
+}
+
+func routeResponseOf(p extmesh.Path, omit bool) routeResponse {
+	resp := routeResponse{Hops: len(p) - 1}
+	if !omit {
+		resp.Path = p
+	}
+	return resp
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	p, err := n.Route(req.Src, req.Dst, fm)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, routeResponseOf(p, req.OmitPath))
+}
+
+// assuredResponse pairs a route with the condition that guaranteed it.
+type assuredResponse struct {
+	Verdict string          `json:"verdict"`
+	Via     []extmesh.Coord `json:"via,omitempty"`
+	Hops    int             `json:"hops"`
+	Path    extmesh.Path    `json:"path,omitempty"`
+}
+
+func (s *Server) handleRouteAssured(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	p, a, err := n.RouteAssured(req.Src, req.Dst, fm, req.strategy())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := assuredResponse{Verdict: a.Verdict.String(), Via: a.Via(), Hops: len(p) - 1}
+	if !req.OmitPath {
+		resp.Path = p
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSafe(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"safe": n.Safe(req.Src, req.Dst, fm)})
+}
+
+func (s *Server) handleEnsure(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	a := n.Ensure(req.Src, req.Dst, fm, req.strategy())
+	writeJSON(w, http.StatusOK, assuredResponse{Verdict: a.Verdict.String(), Via: a.Via(), Hops: -1})
+}
+
+func (s *Server) handleHasMinimalPath(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"exists": n.HasMinimalPath(req.Src, req.Dst)})
+}
+
+// --- batch queries --------------------------------------------------
+
+// pairJSON is one source/destination pair of a batch request.
+type pairJSON struct {
+	Src extmesh.Coord `json:"src"`
+	Dst extmesh.Coord `json:"dst"`
+}
+
+// routeBatchRequest is the POST .../route/batch body; the batch is
+// served by extmesh.RouteMany's worker pool.
+type routeBatchRequest struct {
+	Pairs     []pairJSON `json:"pairs"`
+	Model     string     `json:"model"`
+	OmitPaths bool       `json:"omit_paths"`
+}
+
+// routeBatchResult is one pair's outcome; exactly one of Error or the
+// route fields is meaningful.
+type routeBatchResult struct {
+	Hops  int          `json:"hops"`
+	Path  extmesh.Path `json:"path,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
+	var req routeBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Pairs) > MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d pairs exceeds the %d limit", len(req.Pairs), MaxBatch)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	pairs := make([]extmesh.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = extmesh.Pair{Src: p.Src, Dst: p.Dst}
+	}
+	results := n.RouteMany(pairs, fm)
+	out := make([]routeBatchResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = routeBatchResult{Hops: -1, Error: res.Err.Error()}
+			continue
+		}
+		out[i].Hops = len(res.Path) - 1
+		if !req.OmitPaths {
+			out[i].Path = res.Path
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// fanRequest is the shared one-source/many-destination batch body.
+type fanRequest struct {
+	Src      extmesh.Coord     `json:"src"`
+	Dests    []extmesh.Coord   `json:"dests"`
+	Model    string            `json:"model"`
+	Strategy *extmesh.Strategy `json:"strategy"`
+}
+
+func (f *fanRequest) strategy() extmesh.Strategy {
+	if f.Strategy != nil {
+		return *f.Strategy
+	}
+	return extmesh.DefaultStrategy()
+}
+
+func (f *fanRequest) validate() error {
+	if len(f.Dests) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	if len(f.Dests) > MaxBatch {
+		return fmt.Errorf("batch of %d destinations exceeds the %d limit", len(f.Dests), MaxBatch)
+	}
+	return nil
+}
+
+// handleHasMinimalPathBatch serves one source against many
+// destinations from a single reachability sweep (HasMinimalPathAll).
+func (s *Server) handleHasMinimalPathBatch(w http.ResponseWriter, r *http.Request) {
+	var req fanRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": n.HasMinimalPathAll(req.Src, req.Dests)})
+}
+
+func (s *Server) handleEnsureBatch(w http.ResponseWriter, r *http.Request) {
+	var req fanRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fm, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, _, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	assurances := n.EnsureAll(req.Src, req.Dests, fm, req.strategy())
+	out := make([]assuredResponse, len(assurances))
+	for i := range assurances {
+		out[i] = assuredResponse{Verdict: assurances[i].Verdict.String(), Via: assurances[i].Via(), Hops: -1}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// --- admin ----------------------------------------------------------
+
+// faultsRequest is the POST .../faults body: either explicit fail and
+// recover lists, or an inject schedule spec ("random:rate=0.01",
+// "bursts:count=2,size=6", "fail@0:3,4;recover@9:3,4", ...) whose
+// events are applied immediately, in schedule order.
+type faultsRequest struct {
+	Fail    []extmesh.Coord `json:"fail"`
+	Recover []extmesh.Coord `json:"recover"`
+	Spec    string          `json:"spec"`
+	Cycles  int             `json:"cycles"` // spec horizon (default 1000)
+	Seed    int64           `json:"seed"`   // spec generator seed
+}
+
+// faultsResponse reports what the batch changed.
+type faultsResponse struct {
+	Applied int    `json:"applied"`
+	Skipped int    `json:"skipped"`
+	Faults  int    `json:"faults"`
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req faultsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, d := s.meshFor(w, r)
+	if d == nil {
+		return
+	}
+	var applied, skipped int
+	if req.Spec != "" {
+		if len(req.Fail) > 0 || len(req.Recover) > 0 {
+			writeError(w, http.StatusBadRequest, "spec and explicit fail/recover lists are mutually exclusive")
+			return
+		}
+		cycles := req.Cycles
+		if cycles <= 0 {
+			cycles = 1000
+		}
+		m := mesh.Mesh{Width: d.Width(), Height: d.Height()}
+		sched, err := inject.Parse(m, cycles, req.Seed, req.Spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Apply event by event: schedule order interleaves fails and
+		// recoveries (a transient fault recovers before the next one
+		// arrives), which a two-list batch cannot express.
+		for _, ev := range sched {
+			var a, sk int
+			var err error
+			if ev.Op == inject.Fail {
+				a, sk, err = d.Apply([]extmesh.Coord{ev.Node}, nil)
+			} else {
+				a, sk, err = d.Apply(nil, []extmesh.Coord{ev.Node})
+			}
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			applied, skipped = applied+a, skipped+sk
+		}
+	} else {
+		if len(req.Fail)+len(req.Recover) == 0 {
+			writeError(w, http.StatusBadRequest, "nothing to apply: need fail, recover or spec")
+			return
+		}
+		if len(req.Fail)+len(req.Recover) > MaxBatch {
+			writeError(w, http.StatusBadRequest, "batch of %d events exceeds the %d limit",
+				len(req.Fail)+len(req.Recover), MaxBatch)
+			return
+		}
+		var err error
+		applied, skipped, err = d.Apply(req.Fail, req.Recover)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, faultsResponse{
+		Applied: applied,
+		Skipped: skipped,
+		Faults:  d.FaultCount(),
+		Version: d.Version(),
+	})
+}
+
+// statsResponse is the per-mesh observability view: the reach-cache
+// effectiveness of the current snapshot plus the mesh vitals.
+type statsResponse struct {
+	meshInfo
+	ReachHits    uint64  `json:"reach_hits"`
+	ReachMisses  uint64  `json:"reach_misses"`
+	ReachHitRate float64 `json:"reach_hit_rate"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name, d, n := s.snapshotFor(w, r)
+	if n == nil {
+		return
+	}
+	hits, misses := n.ReachCacheStats()
+	resp := statsResponse{meshInfo: infoOf(name, d), ReachHits: hits, ReachMisses: misses}
+	if total := hits + misses; total > 0 {
+		resp.ReachHitRate = float64(hits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

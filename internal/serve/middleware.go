@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"extmesh/internal/metrics"
+)
+
+// statusWriter records the response status and size for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// admission is the bounded-concurrency gate in front of the query
+// endpoints. At most MaxInFlight requests execute at once; up to
+// MaxQueue more wait up to QueueWait for a slot; everything beyond
+// that is shed immediately with 429, so overload degrades into fast
+// rejections instead of unbounded queueing. Operational endpoints
+// (health, metrics) bypass the gate.
+type admission struct {
+	slots chan struct{}
+	queue atomic.Int64
+	max   int64
+	wait  time.Duration
+
+	inflight *metrics.Gauge
+	depth    *metrics.Gauge
+	shed     *metrics.Counter
+	queued   *metrics.Counter
+}
+
+func newAdmission(maxInFlight, maxQueue int, wait time.Duration, m *metrics.Registry) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		max:      int64(maxQueue),
+		wait:     wait,
+		inflight: m.Gauge("http_inflight"),
+		depth:    m.Gauge("http_queue_depth"),
+		shed:     m.Counter("http_shed_total"),
+		queued:   m.Counter("http_queued_total"),
+	}
+}
+
+// retryAfter is the hint sent with every 429: under a load spike the
+// queue drains within the QueueWait horizon, so "try again in a
+// second" is honest.
+const retryAfter = "1"
+
+func (a *admission) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.slots <- struct{}{}: // free slot, no queueing
+		default:
+			if a.queue.Add(1) > a.max {
+				a.queue.Add(-1)
+				a.shed.Inc()
+				w.Header().Set("Retry-After", retryAfter)
+				writeError(w, http.StatusTooManyRequests, "server saturated: %d in flight, queue full", cap(a.slots))
+				return
+			}
+			a.queued.Inc()
+			a.depth.Set(a.queue.Load())
+			t := time.NewTimer(a.wait)
+			select {
+			case a.slots <- struct{}{}:
+				t.Stop()
+				a.queue.Add(-1)
+			case <-t.C:
+				a.queue.Add(-1)
+				a.shed.Inc()
+				w.Header().Set("Retry-After", retryAfter)
+				writeError(w, http.StatusTooManyRequests, "server saturated: queued longer than %v", a.wait)
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				a.queue.Add(-1)
+				a.shed.Inc()
+				return // client gave up while queued
+			}
+			a.depth.Set(a.queue.Load())
+		}
+		a.inflight.Set(int64(len(a.slots)))
+		defer func() {
+			<-a.slots
+			a.inflight.Set(int64(len(a.slots)))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// instrument wraps a handler with its per-endpoint request counter and
+// latency histogram. The endpoint label is a stable short name, not
+// the raw URL, so one mesh's traffic does not explode the metric
+// namespace.
+func instrument(m *metrics.Registry, endpoint string, next http.Handler) http.Handler {
+	requests := m.Counter("http_requests_total_" + endpoint)
+	errors := m.Counter("http_errors_total_" + endpoint)
+	latency := m.Histogram("http_latency_" + endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+			w = sw
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		latency.Observe(time.Since(start))
+		requests.Inc()
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	})
+}
+
+// reqSeq numbers requests process-wide; the request ID ties a log line
+// to the X-Request-Id response header.
+var reqSeq atomic.Uint64
+
+// logging assigns the request ID and writes one access-log line per
+// request. It is the outermost layer, so shed (429) and not-found
+// responses are logged too.
+func logging(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqSeq.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if logger != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logger.Printf("req=%d %s %s status=%d bytes=%d dur=%s",
+				id, r.Method, r.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"extmesh"
+	"extmesh/internal/metrics"
+)
+
+// nameRe constrains mesh names to URL-path-safe tokens.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidName reports whether name is an acceptable mesh name: 1-64
+// characters from [A-Za-z0-9._-], starting with an alphanumeric.
+func ValidName(name string) bool {
+	return nameRe.MatchString(name)
+}
+
+// Registry is the daemon's set of named live meshes. All methods are
+// safe for concurrent use; the per-mesh query state (snapshots, reach
+// caches, safety levels) lives in the DynamicNetwork itself.
+type Registry struct {
+	mu     sync.RWMutex
+	meshes map[string]*extmesh.DynamicNetwork
+	gauge  *metrics.Gauge
+}
+
+// NewRegistry returns an empty registry reporting its size to the
+// given metrics registry (nil for the process default).
+func NewRegistry(m *metrics.Registry) *Registry {
+	if m == nil {
+		m = metrics.Default()
+	}
+	return &Registry{
+		meshes: make(map[string]*extmesh.DynamicNetwork),
+		gauge:  m.Gauge("meshes_registered"),
+	}
+}
+
+// Create registers a new mesh under name; it fails if the name is
+// taken or invalid.
+func (r *Registry) Create(name string, d *extmesh.DynamicNetwork) error {
+	if !ValidName(name) {
+		return fmt.Errorf("serve: invalid mesh name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.meshes[name]; ok {
+		return fmt.Errorf("serve: mesh %q already exists", name)
+	}
+	r.meshes[name] = d
+	r.gauge.Set(int64(len(r.meshes)))
+	return nil
+}
+
+// Put registers or replaces the mesh under name.
+func (r *Registry) Put(name string, d *extmesh.DynamicNetwork) error {
+	if !ValidName(name) {
+		return fmt.Errorf("serve: invalid mesh name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meshes[name] = d
+	r.gauge.Set(int64(len(r.meshes)))
+	return nil
+}
+
+// Get returns the named mesh, or nil if absent.
+func (r *Registry) Get(name string) *extmesh.DynamicNetwork {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.meshes[name]
+}
+
+// Delete removes the named mesh and reports whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.meshes[name]
+	if ok {
+		delete(r.meshes, name)
+		r.gauge.Set(int64(len(r.meshes)))
+	}
+	return ok
+}
+
+// Names returns the registered mesh names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.meshes))
+	for name := range r.meshes {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

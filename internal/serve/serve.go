@@ -1,0 +1,172 @@
+// Package serve is the routing-as-a-service layer: an HTTP surface
+// over named live meshes (extmesh.DynamicNetwork) exposing the query
+// plane — single and batch route/condition/existence queries answered
+// from version-memoized snapshots — plus fault-injection admin
+// endpoints and production plumbing: per-endpoint metrics, request
+// logging with IDs, bounded-concurrency admission control with 429
+// load shedding, and graceful drain.
+//
+// The service is deliberately stateless per request, mirroring the
+// paper's limited-global-information model: every query is answered
+// from the per-mesh shared state (safety levels, reach caches,
+// routers), never from per-client session state, so instances scale
+// horizontally behind any load balancer.
+//
+// # Endpoints
+//
+//	GET    /healthz                              liveness
+//	GET    /metrics                              text exposition
+//	GET    /debug/vars                           expvar (includes the "extmesh" map)
+//	POST   /v1/mesh                              create {name,width,height,faults}
+//	GET    /v1/mesh                              list
+//	GET    /v1/mesh/{name}                       info + fault list (export blob)
+//	PUT    /v1/mesh/{name}                       create/replace from a network blob
+//	DELETE /v1/mesh/{name}                       remove
+//	POST   /v1/mesh/{name}/route                 Wu-protocol route
+//	POST   /v1/mesh/{name}/route-assured         Ensure + two-phase route
+//	POST   /v1/mesh/{name}/safe                  Theorem-1 safe condition
+//	POST   /v1/mesh/{name}/ensure                strategy cascade verdict
+//	POST   /v1/mesh/{name}/has-minimal-path      exact existence
+//	POST   /v1/mesh/{name}/route/batch           RouteMany worker-pool batch
+//	POST   /v1/mesh/{name}/ensure/batch          EnsureAll batch
+//	POST   /v1/mesh/{name}/has-minimal-path/batch  one sweep, many destinations
+//	POST   /v1/mesh/{name}/faults                apply fail/recover events (admin)
+//	GET    /v1/mesh/{name}/stats                 reach-cache hit rates, vitals
+package serve
+
+import (
+	"context"
+	"expvar"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"extmesh/internal/metrics"
+)
+
+// Options configures a Server. The zero value serves with defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently executing /v1 requests;
+	// 0 selects 4*GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInFlight; 0 selects 4*MaxInFlight. Requests beyond the queue
+	// are shed immediately with 429.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits before being
+	// shed with 429; 0 selects 100ms.
+	QueueWait time.Duration
+	// Log receives one access-log line per request; nil disables
+	// request logging.
+	Log *log.Logger
+	// Metrics is the instrument registry; nil selects the process-wide
+	// default (which the library hot paths already feed).
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 100 * time.Millisecond
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.Default()
+	}
+	return o
+}
+
+// Server is the meshserved request handler: the mesh registry, the
+// admission gate and the endpoint mux.
+type Server struct {
+	opts    Options
+	meshes  *Registry
+	metrics *metrics.Registry
+	admit   *admission
+	handler http.Handler
+}
+
+// New assembles a server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		metrics: opts.Metrics,
+		meshes:  NewRegistry(opts.Metrics),
+		admit:   newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait, opts.Metrics),
+	}
+	s.metrics.PublishExpvar()
+
+	mux := http.NewServeMux()
+	// Operational endpoints bypass admission: a saturated server must
+	// still answer health checks and publish its saturation.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.metrics.WriteText(w)
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	// Query and admin endpoints: metrics per endpoint, one shared
+	// admission gate.
+	v1 := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(s.metrics, endpoint, s.admit.wrap(h)))
+	}
+	v1("POST /v1/mesh", "mesh_create", s.handleCreateMesh)
+	v1("GET /v1/mesh", "mesh_list", s.handleListMeshes)
+	v1("GET /v1/mesh/{name}", "mesh_get", s.handleGetMesh)
+	v1("PUT /v1/mesh/{name}", "mesh_upload", s.handleUploadMesh)
+	v1("DELETE /v1/mesh/{name}", "mesh_delete", s.handleDeleteMesh)
+	v1("POST /v1/mesh/{name}/route", "route", s.handleRoute)
+	v1("POST /v1/mesh/{name}/route-assured", "route_assured", s.handleRouteAssured)
+	v1("POST /v1/mesh/{name}/safe", "safe", s.handleSafe)
+	v1("POST /v1/mesh/{name}/ensure", "ensure", s.handleEnsure)
+	v1("POST /v1/mesh/{name}/has-minimal-path", "has_minimal_path", s.handleHasMinimalPath)
+	v1("POST /v1/mesh/{name}/route/batch", "route_batch", s.handleRouteBatch)
+	v1("POST /v1/mesh/{name}/ensure/batch", "ensure_batch", s.handleEnsureBatch)
+	v1("POST /v1/mesh/{name}/has-minimal-path/batch", "has_minimal_path_batch", s.handleHasMinimalPathBatch)
+	v1("POST /v1/mesh/{name}/faults", "faults", s.handleFaults)
+	v1("GET /v1/mesh/{name}/stats", "stats", s.handleStats)
+
+	s.handler = logging(opts.Log, mux)
+	return s
+}
+
+// Handler returns the fully assembled middleware chain.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Meshes exposes the registry, so the daemon can preload meshes from
+// flags and tests can seed fixtures directly.
+func (s *Server) Meshes() *Registry { return s.meshes }
+
+// Serve runs srv on l until ctx is canceled, then drains gracefully:
+// the listener closes (new connections are refused), in-flight
+// requests get up to drainTimeout to complete, and only then are
+// stragglers cut off. It returns nil on a clean drain, the serve error
+// if the listener failed first, and the shutdown error if the drain
+// timed out.
+func Serve(ctx context.Context, srv *http.Server, l net.Listener, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return err
+	}
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"extmesh/internal/mesh"
+	"extmesh/internal/metrics"
 
 	"extmesh/internal/inject"
 )
@@ -127,6 +128,34 @@ type OnlineStats struct {
 func (o *OnlineStats) Dropped() int {
 	return o.DroppedNodeFailed + o.DroppedDestFailed + o.DroppedNoRoute +
 		o.DroppedPolicy + o.DroppedLivelock
+}
+
+// Publish adds the run's counters to the process-wide metrics registry
+// under online_* names, so the same instruments that back a CLI run's
+// printed ledger feed a daemon's /metrics exposition. Both simulators
+// call it once per completed online run; counters accumulate across
+// runs, as counters do.
+func (o *OnlineStats) Publish() {
+	r := metrics.Default()
+	add := func(name string, v int) {
+		if v > 0 {
+			r.Counter(name).Add(uint64(v))
+		}
+	}
+	add("online_events_applied_total", o.Events)
+	add("online_events_skipped_total", o.Skipped)
+	add("online_rebuilds_total", o.Rebuilds)
+	add("online_spawned_total", o.Spawned)
+	add("online_delivered_total", o.DeliveredTotal)
+	add("online_stuck_total", o.StuckTotal)
+	add("online_rerouted_total", o.Rerouted)
+	add("online_degraded_total", o.Degraded)
+	add("online_detour_hops_total", o.DetourHops)
+	add("online_dropped_node_failed_total", o.DroppedNodeFailed)
+	add("online_dropped_dest_failed_total", o.DroppedDestFailed)
+	add("online_dropped_no_route_total", o.DroppedNoRoute)
+	add("online_dropped_policy_total", o.DroppedPolicy)
+	add("online_dropped_livelock_total", o.DroppedLivelock)
 }
 
 // RecordDelivery counts one delivered packet in the total ledger and

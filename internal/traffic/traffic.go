@@ -253,7 +253,11 @@ func RunOnline(cfg Config, on *Online) (Stats, OnlineStats, error) {
 	if on == nil {
 		on = &Online{}
 	}
-	return run(cfg, on)
+	st, ost, err := run(cfg, on)
+	if err == nil {
+		ost.Publish()
+	}
+	return st, ost, err
 }
 
 func run(cfg Config, on *Online) (Stats, OnlineStats, error) {

@@ -5,6 +5,17 @@ import (
 	"sync/atomic"
 
 	"extmesh/internal/mesh"
+	"extmesh/internal/metrics"
+)
+
+// Process-wide mirrors of the per-cache hit/miss counters, resolved
+// once so the hot path pays a single extra atomic add. They aggregate
+// over every ReachCache in the process and feed the /metrics and
+// /debug/vars expositions of the serving layer; per-cache figures stay
+// available through Stats.
+var (
+	metricHits   = metrics.Default().Counter("reach_cache_hits_total")
+	metricMisses = metrics.Default().Counter("reach_cache_misses_total")
 )
 
 // DefaultCacheCapacity is the entry bound a ReachCache falls back to
@@ -78,12 +89,15 @@ func (c *ReachCache) Reach(root mesh.Coord) *Reach {
 			e = &cacheEntry{}
 			c.entries[idx] = e
 			c.misses.Add(1)
+			metricMisses.Inc()
 		} else {
 			c.hits.Add(1)
+			metricHits.Inc()
 		}
 		c.mu.Unlock()
 	} else {
 		c.hits.Add(1)
+		metricHits.Inc()
 	}
 	e.used.Store(c.tick.Add(1))
 	e.once.Do(func() { e.r = ReachFrom(c.m, root, c.blocked) })

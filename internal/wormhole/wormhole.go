@@ -179,7 +179,11 @@ func RunOnline(cfg Config, on *traffic.Online) (Stats, traffic.OnlineStats, erro
 	if on == nil {
 		on = &traffic.Online{}
 	}
-	return run(cfg, on)
+	st, ost, err := run(cfg, on)
+	if err == nil {
+		ost.Publish()
+	}
+	return st, ost, err
 }
 
 func run(cfg Config, on *traffic.Online) (Stats, traffic.OnlineStats, error) {
