@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with lock-guarded or worker-pool concurrency that the race
 # detector must cover.
-RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./cmd/meshserved ./cmd/meshstress
+RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
 
-.PHONY: all build test vet fmt race bench smoke verify clean
+.PHONY: all build test vet fmt race bench smoke chaos verify clean
 
 all: build
 
@@ -36,6 +36,14 @@ bench:
 # meshstress run against it (the cmd tests do this in-process too).
 smoke: build
 	$(GO) test ./cmd/meshserved ./cmd/meshstress
+
+# chaos is the crash-safety gate: kill -9 a journaled meshserved
+# mid-mutation-sequence and require bit-identical recovery, then run
+# the fault-injection e2e suite (client through a noisy transport must
+# answer exactly like the library) under the race detector.
+chaos: build
+	$(GO) test ./cmd/meshserved -run 'TestCrashRecovery|TestRestartAfterGracefulDrain' -count=1
+	$(GO) test -race ./internal/chaos ./meshclient
 
 # verify is the gate for every change: formatting, static checks, full
 # build, the whole test suite, and the race detector on the concurrent

@@ -34,6 +34,7 @@ import (
 	"extmesh"
 	"extmesh/internal/core"
 	"extmesh/internal/fault"
+	"extmesh/internal/journal"
 	"extmesh/internal/mesh"
 	"extmesh/internal/metrics"
 	"extmesh/internal/route"
@@ -51,6 +52,7 @@ type Report struct {
 	Dests      int        `json:"dests_per_batch"`
 	Seed       int64      `json:"seed"`
 	Scenarios  []Scenario `json:"scenarios"`
+	Journal    []Result   `json:"journal,omitempty"`
 }
 
 // Scenario is one fault count's measurements.
@@ -131,6 +133,11 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Scenarios = append(rep.Scenarios, sc)
 	}
+	jr, err := measureJournal(out, *benchtime)
+	if err != nil {
+		return err
+	}
+	rep.Journal = jr
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -480,5 +487,114 @@ func measureServe(out io.Writer, w, h int, faults []extmesh.Coord, src extmesh.C
 	if err := measure("serve/has_minimal_path_batch", "/has-minimal-path/batch", [][]byte{fanBody}, len(destList)); err != nil {
 		return nil, err
 	}
+	return results, nil
+}
+
+// measureJournal times the durability plane: append throughput with
+// and without per-record fsync, and cold replay of a populated
+// journal. These bound what a journaled meshserved can acknowledge.
+func measureJournal(out io.Writer, benchtime time.Duration) ([]Result, error) {
+	fmt.Fprintf(out, "journal:\n")
+	var results []Result
+	record := func(name string, queriesPerOp int, fn func(b *testing.B)) {
+		if old := flag.Lookup("test.benchtime"); old != nil {
+			old.Value.Set(benchtime.String())
+		}
+		r := testing.Benchmark(fn)
+		res := Result{
+			Name:         name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			QueriesPerOp: queriesPerOp,
+		}
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = float64(queriesPerOp) * 1e9 / res.NsPerOp
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op %14.0f q/s\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.QueriesPerSec)
+	}
+
+	rec := journal.Record{
+		Op:   journal.OpApply,
+		Name: "bench",
+		Fail: []extmesh.Coord{{X: 3, Y: 4}, {X: 5, Y: 6}},
+	}
+	appendBench := func(policy journal.SyncPolicy) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			dir, err := os.MkdirTemp("", "meshbench-journal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			store, err := journal.Open(dir, journal.Options{
+				Policy:       policy,
+				CompactEvery: 1 << 30, // appends only; no compaction mid-measure
+				Metrics:      metrics.NewRegistry(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			if _, err := store.Recover(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	record("journal/append_syncnever", 1, appendBench(journal.SyncNever))
+	record("journal/append_syncalways", 1, appendBench(journal.SyncAlways))
+
+	// Replay: a journal of replayRecords apply records, recovered from
+	// cold per iteration (open + frame-decode + close).
+	const replayRecords = 4096
+	dir, err := os.MkdirTemp("", "meshbench-replay-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	seedStore, err := journal.Open(dir, journal.Options{
+		Policy:       journal.SyncNever,
+		CompactEvery: 1 << 30,
+		Metrics:      metrics.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := seedStore.Recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < replayRecords; i++ {
+		if _, err := seedStore.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := seedStore.Close(); err != nil {
+		return nil, err
+	}
+	record("journal/replay", replayRecords, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store, err := journal.Open(dir, journal.Options{Metrics: metrics.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recovery, err := store.Recover()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recovery.Records) != replayRecords {
+				b.Fatalf("replayed %d records, want %d", len(recovery.Records), replayRecords)
+			}
+			store.Close()
+		}
+	})
 	return results, nil
 }

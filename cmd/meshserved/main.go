@@ -6,10 +6,19 @@
 // sheds load with 429 once the configured concurrency and queue are
 // exhausted; SIGINT/SIGTERM triggers a graceful drain.
 //
+// With -data-dir the registry is durable: every mutation is appended
+// to a CRC-framed journal before it is acknowledged, snapshots compact
+// the journal periodically, and on boot the daemon replays
+// snapshot+journal — answering /readyz with 503 until recovery
+// completes — so a kill -9 mid-traffic loses nothing that was
+// acknowledged. A graceful drain writes a final snapshot.
+//
 // Usage:
 //
 //	meshserved [-addr :8423]
 //	           [-mesh name:WxH[:faults[:seed]]]...
+//	           [-data-dir DIR] [-fsync always|interval|never]
+//	           [-fsync-interval 100ms] [-snapshot-every 4096]
 //	           [-max-inflight 0] [-max-queue 0] [-queue-wait 100ms]
 //	           [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //	           [-drain-timeout 15s] [-quiet]
@@ -17,7 +26,7 @@
 //
 // Example:
 //
-//	meshserved -addr :8423 -mesh prod:200x200:40:1 -mesh small:16x16
+//	meshserved -addr :8423 -data-dir /var/lib/meshserved -mesh prod:200x200:40:1
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"extmesh"
 	"extmesh/internal/cli"
 	"extmesh/internal/fault"
+	"extmesh/internal/journal"
 	"extmesh/internal/mesh"
 	"extmesh/internal/serve"
 )
@@ -72,6 +82,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline for in-flight requests")
 		quiet        = fs.Bool("quiet", false, "disable per-request access logging")
+		dataDir      = fs.String("data-dir", "", "durable state directory (empty = memory only)")
+		fsyncPolicy  = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
+		fsyncEvery   = fs.Duration("fsync-interval", 100*time.Millisecond, "max unsynced window under -fsync interval")
+		snapEvery    = fs.Int("snapshot-every", 4096, "journal records between snapshot compactions")
 		prof         = cli.ProfileFlags(fs)
 	)
 	fs.Var(&specs, "mesh", "preload mesh, repeatable: name:WxH[:faults[:seed]] (e.g. prod:200x200:40:1)")
@@ -90,19 +104,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if !*quiet {
 		accessLog = logger
 	}
+	var store *journal.Store
+	if *dataDir != "" {
+		policy, err := journal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		store, err = journal.Open(*dataDir, journal.Options{
+			Policy:       policy,
+			Interval:     *fsyncEvery,
+			CompactEvery: *snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+
 	srv := serve.New(serve.Options{
 		MaxInFlight: *maxInflight,
 		MaxQueue:    *maxQueue,
 		QueueWait:   *queueWait,
 		Log:         accessLog,
+		Journal:     store,
 	})
+	if store != nil {
+		start := time.Now()
+		if err := srv.Recover(); err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		logger.Printf("recovered %d meshes from %s in %s (journal seq %d)",
+			len(srv.Meshes().Names()), *dataDir, time.Since(start).Round(time.Millisecond), store.Seq())
+	}
 
 	for _, spec := range specs {
 		name, d, err := buildMesh(spec)
 		if err != nil {
 			return fmt.Errorf("-mesh %q: %w", spec, err)
 		}
-		if err := srv.Meshes().Create(name, d); err != nil {
+		// A recovered mesh outranks its preload spec: the journal holds
+		// the acknowledged history, the spec only the original seed.
+		if srv.Meshes().Get(name) != nil {
+			logger.Printf("mesh %q already recovered from journal, ignoring -mesh spec", name)
+			continue
+		}
+		if err := srv.RegisterMesh(name, d); err != nil {
 			return err
 		}
 		logger.Printf("preloaded mesh %q: %dx%d, %d faults", name, d.Width(), d.Height(), d.FaultCount())
@@ -123,6 +169,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	err = serve.Serve(ctx, httpSrv, l, *drainTimeout)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if store != nil {
+		// A final snapshot makes the next boot replay-free.
+		if err := srv.Checkpoint(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		logger.Printf("final snapshot written to %s", *dataDir)
 	}
 	logger.Printf("drained, exiting")
 	return nil

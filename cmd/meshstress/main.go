@@ -5,12 +5,21 @@
 // real client amortizes HTTP overhead — so a single daemon instance can
 // be driven well past the single-query round-trip ceiling.
 //
+// Workers share one resilient meshclient.Client: queries are
+// idempotent, so shed (429) and transiently failed attempts are
+// retried with backoff and a request that eventually succeeds counts
+// as a success. The report separates request outcomes from
+// attempt-level retry/shed/error counts, so saturation shows up as
+// retries and latency, not as spurious failures.
+//
 // Usage:
 //
 //	meshstress [-addr http://localhost:8423] [-mesh prod]
 //	           [-endpoint route|has-minimal-path|ensure|safe]
 //	           [-workers 4] [-batch 64] [-paths] [-model blocks|mcc]
 //	           [-duration 10s] [-requests 0] [-seed 1]
+//	           [-dial-timeout 2s] [-header-timeout 10s]
+//	           [-attempt-timeout 30s] [-retries 3]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Example (throughput sweep on a warm 200x200 mesh):
@@ -20,18 +29,15 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"os/signal"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -39,6 +45,7 @@ import (
 
 	"extmesh"
 	"extmesh/internal/cli"
+	"extmesh/meshclient"
 )
 
 func main() {
@@ -63,7 +70,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		duration = fs.Duration("duration", 10*time.Second, "run length (ignored if -requests > 0)")
 		requests = fs.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
 		seed     = fs.Int64("seed", 1, "PRNG seed for query endpoints")
-		prof     = cli.ProfileFlags(fs)
+
+		dialTimeout    = fs.Duration("dial-timeout", 2*time.Second, "TCP connect timeout")
+		headerTimeout  = fs.Duration("header-timeout", 10*time.Second, "response-header timeout per attempt")
+		attemptTimeout = fs.Duration("attempt-timeout", 30*time.Second, "full-attempt timeout (dial+write+read)")
+		retries        = fs.Int("retries", 3, "retries per request (-1 disables)")
+		prof           = cli.ProfileFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,8 +93,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer stopProf()
 
-	base := strings.TrimSuffix(*addr, "/")
-	info, err := fetchMeshInfo(base, *meshName)
+	client, err := meshclient.New(meshclient.Options{
+		BaseURL:               *addr,
+		DialTimeout:           *dialTimeout,
+		ResponseHeaderTimeout: *headerTimeout,
+		AttemptTimeout:        *attemptTimeout,
+		MaxRetries:            *retries,
+		RetrySeed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+	info, err := fetchMeshInfo(ctx, client, *meshName)
 	if err != nil {
 		return err
 	}
@@ -91,7 +113,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	url := base + "/v1/mesh/" + *meshName + path
+	url := "/v1/mesh/" + *meshName + path
 
 	runCtx := ctx
 	if *requests <= 0 {
@@ -103,10 +125,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		reqBudget atomic.Int64
 		done      atomic.Uint64
-		errs      atomic.Uint64
-		shed      atomic.Uint64
+		failed    atomic.Uint64
 	)
 	reqBudget.Store(int64(*requests)) // <= 0 means unlimited
+
+	// One error sample per kind is enough to diagnose a bad run without
+	// flooding the report at high failure rates.
+	var errMu sync.Mutex
+	errSamples := map[string]int{}
+	noteErr := func(err error) {
+		errMu.Lock()
+		if len(errSamples) < 8 {
+			errSamples[err.Error()]++
+		}
+		errMu.Unlock()
+	}
 
 	lats := make([][]time.Duration, *workers)
 	var wg sync.WaitGroup
@@ -115,7 +148,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			client := &http.Client{Timeout: 30 * time.Second}
 			lat := make([]time.Duration, 0, 4096)
 			i := w // stagger body pool starting points across workers
 			for runCtx.Err() == nil {
@@ -125,25 +157,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				body := bodies[i%len(bodies)]
 				i++
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				// Queries are idempotent: the client retries shed and
+				// transiently failed attempts, so a request that
+				// eventually succeeds is a success.
+				_, err := client.Do(runCtx, "POST", url, body, true)
 				if err != nil {
 					if runCtx.Err() != nil {
 						break
 					}
-					errs.Add(1)
+					failed.Add(1)
+					noteErr(err)
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
 				lat = append(lat, time.Since(t0))
-				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
-					shed.Add(1)
-				case resp.StatusCode != http.StatusOK:
-					errs.Add(1)
-				default:
-					done.Add(1)
-				}
+				done.Add(1)
 			}
 			lats[w] = lat
 		}(w)
@@ -159,17 +186,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ok := done.Load()
 	queries := ok * uint64(perReq)
+	counts := client.Counts()
 	fmt.Fprintf(out, "meshstress: %s %s batch=%d workers=%d\n", *endpoint, info.label(), perReq, *workers)
-	fmt.Fprintf(out, "requests: %d ok, %d errors, %d shed (429) in %.2fs\n",
-		ok, errs.Load(), shed.Load(), elapsed.Seconds())
+	fmt.Fprintf(out, "requests: %d ok, %d errors in %.2fs\n", ok, failed.Load(), elapsed.Seconds())
+	fmt.Fprintf(out, "attempts: %d total, %d retried, %d shed (429), %d net errors, %d server errors\n",
+		counts.Attempts, counts.Retries, counts.Shed, counts.NetErrors, counts.ServerErrors)
 	fmt.Fprintf(out, "throughput: %.0f queries/sec (%.1f requests/sec)\n",
 		float64(queries)/elapsed.Seconds(), float64(ok)/elapsed.Seconds())
 	if len(all) > 0 {
 		fmt.Fprintf(out, "latency: p50=%s p90=%s p99=%s max=%s\n",
 			pct(all, 0.50), pct(all, 0.90), pct(all, 0.99), all[len(all)-1].Round(time.Microsecond))
 	}
+	for msg, n := range errSamples {
+		fmt.Fprintf(out, "error (%dx): %s\n", n, msg)
+	}
 	if ok == 0 {
-		return fmt.Errorf("no successful requests (%d errors)", errs.Load())
+		return fmt.Errorf("no successful requests (%d errors)", failed.Load())
 	}
 	return nil
 }
@@ -185,19 +217,13 @@ func (m meshInfo) label() string {
 	return fmt.Sprintf("%s(%dx%d)", m.Name, m.Width, m.Height)
 }
 
-func fetchMeshInfo(base, name string) (meshInfo, error) {
+func fetchMeshInfo(ctx context.Context, client *meshclient.Client, name string) (meshInfo, error) {
 	var info meshInfo
-	resp, err := http.Get(base + "/v1/mesh/" + name)
+	st, err := client.GetMesh(ctx, name)
 	if err != nil {
-		return info, err
+		return info, fmt.Errorf("mesh %q: %w", name, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return info, fmt.Errorf("mesh %q: server returned %s", name, resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return info, err
-	}
+	info = meshInfo{Name: st.Name, Width: st.Width, Height: st.Height}
 	if info.Width <= 0 || info.Height <= 0 {
 		return info, fmt.Errorf("mesh %q: implausible dimensions %dx%d", name, info.Width, info.Height)
 	}

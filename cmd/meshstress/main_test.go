@@ -54,7 +54,7 @@ func TestStressSmoke(t *testing.T) {
 				t.Fatalf("run: %v\n%s", err, out.String())
 			}
 			report := out.String()
-			for _, want := range []string{"requests: 20 ok, 0 errors", "throughput:", "latency: p50="} {
+			for _, want := range []string{"requests: 20 ok, 0 errors", "attempts:", "throughput:", "latency: p50="} {
 				if !strings.Contains(report, want) {
 					t.Errorf("report missing %q:\n%s", want, report)
 				}

@@ -179,6 +179,25 @@ func (d *DynamicNetwork) Version() uint64 {
 	return d.version
 }
 
+// RestoreVersion fast-forwards the mutation counter to v. It exists
+// for durability layers that persist a network blob together with the
+// version it carried when saved: rebuilding from the blob replays only
+// the surviving faults, so the rebuilt network's counter restarts at
+// the fault count, not at the pre-crash mutation total. Restoring the
+// saved version keeps version-keyed state — snapshot memoization,
+// journal replay, crash-recovery equivalence checks — consistent with
+// the full pre-crash history. Moving the counter backwards is rejected:
+// it could make stale memoized state look current again.
+func (d *DynamicNetwork) RestoreVersion(v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v < d.version {
+		return fmt.Errorf("extmesh: cannot restore version %d below current %d", v, d.version)
+	}
+	d.version = v
+	return nil
+}
+
 // FaultCount returns the current number of faulty nodes.
 func (d *DynamicNetwork) FaultCount() int {
 	d.mu.Lock()

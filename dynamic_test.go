@@ -323,3 +323,159 @@ func TestDynamicAccessors(t *testing.T) {
 		t.Error("IsFaulty wrong")
 	}
 }
+
+// TestDynamicApplyEventOrder pins Apply's event-order semantics as a
+// table: the entire fail list is processed before any recover, a node
+// in both lists nets out healthy with both mutations counted,
+// duplicates skip, and an out-of-bounds entry aborts with the applied
+// prefix retained. The durable journal replays attempted lists, so
+// these semantics are a compatibility contract: changing them silently
+// corrupts crash recovery.
+func TestDynamicApplyEventOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		pre           []Coord // faults before the batch
+		fail, recover []Coord
+		wantApplied   int
+		wantSkipped   int
+		wantErr       bool
+		wantFaulty    []Coord
+		wantHealthy   []Coord
+		wantVersion   uint64 // total after pre + batch
+	}{
+		{
+			name:        "same node in fail and recover nets healthy",
+			fail:        []Coord{{X: 2, Y: 2}},
+			recover:     []Coord{{X: 2, Y: 2}},
+			wantApplied: 2, // fail applies first, then recover repairs it
+			wantHealthy: []Coord{{X: 2, Y: 2}},
+			wantVersion: 2,
+		},
+		{
+			name:        "recover of pre-existing fault plus re-fail",
+			pre:         []Coord{{X: 1, Y: 1}},
+			fail:        []Coord{{X: 1, Y: 1}},
+			recover:     []Coord{{X: 1, Y: 1}},
+			wantApplied: 1, // fail skips (already faulty), recover repairs
+			wantSkipped: 1,
+			wantHealthy: []Coord{{X: 1, Y: 1}},
+			wantVersion: 2,
+		},
+		{
+			name:        "duplicate fail entries: second skips",
+			fail:        []Coord{{X: 3, Y: 3}, {X: 3, Y: 3}},
+			wantApplied: 1,
+			wantSkipped: 1,
+			wantFaulty:  []Coord{{X: 3, Y: 3}},
+			wantVersion: 1,
+		},
+		{
+			name:        "duplicate recover entries: second skips",
+			pre:         []Coord{{X: 4, Y: 4}},
+			recover:     []Coord{{X: 4, Y: 4}, {X: 4, Y: 4}},
+			wantApplied: 1,
+			wantSkipped: 1,
+			wantHealthy: []Coord{{X: 4, Y: 4}},
+			wantVersion: 2,
+		},
+		{
+			name:        "out-of-bounds fail aborts, applied prefix retained",
+			fail:        []Coord{{X: 2, Y: 2}, {X: 99, Y: 0}, {X: 3, Y: 3}},
+			wantApplied: 1,
+			wantErr:     true,
+			wantFaulty:  []Coord{{X: 2, Y: 2}},
+			wantHealthy: []Coord{{X: 3, Y: 3}}, // never reached
+			wantVersion: 1,
+		},
+		{
+			name:        "out-of-bounds recover aborts after all fails applied",
+			fail:        []Coord{{X: 5, Y: 5}},
+			recover:     []Coord{{X: 0, Y: 99}},
+			wantApplied: 1,
+			wantErr:     true,
+			wantFaulty:  []Coord{{X: 5, Y: 5}},
+			wantVersion: 1,
+		},
+		{
+			name:        "empty batch is a no-op",
+			wantVersion: 0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewDynamic(8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range tc.pre {
+				if err := d.AddFault(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			applied, skipped, err := d.Apply(tc.fail, tc.recover)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if applied != tc.wantApplied || skipped != tc.wantSkipped {
+				t.Errorf("applied/skipped = %d/%d, want %d/%d", applied, skipped, tc.wantApplied, tc.wantSkipped)
+			}
+			for _, c := range tc.wantFaulty {
+				if !d.IsFaulty(c) {
+					t.Errorf("%v healthy, want faulty", c)
+				}
+			}
+			for _, c := range tc.wantHealthy {
+				if d.IsFaulty(c) {
+					t.Errorf("%v faulty, want healthy", c)
+				}
+			}
+			if d.Version() != tc.wantVersion {
+				t.Errorf("version = %d, want %d", d.Version(), tc.wantVersion)
+			}
+		})
+	}
+}
+
+// TestRestoreVersion pins the snapshot-recovery fast-forward: the
+// counter can only move forward, and queries observe the restored
+// value.
+func TestRestoreVersion(t *testing.T) {
+	d, err := NewDynamic(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddFault(Coord{X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreVersion(17); err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 17 {
+		t.Fatalf("Version = %d, want 17", d.Version())
+	}
+	if err := d.RestoreVersion(5); err == nil {
+		t.Fatal("RestoreVersion accepted a rollback")
+	}
+	// Mutations keep counting from the restored value.
+	if err := d.AddFault(Coord{X: 2, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 18 {
+		t.Fatalf("Version after mutation = %d, want 18", d.Version())
+	}
+	// Version-memoized snapshots respect the jump: a restore plus a
+	// mutation must yield a fresh snapshot, not a stale memo.
+	s1, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddFault(Coord{X: 3, Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("snapshot memo survived a post-restore mutation")
+	}
+}

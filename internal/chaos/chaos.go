@@ -1,0 +1,280 @@
+// Package chaos injects deterministic transport faults between a
+// client and a mesh service: dropped requests, spurious 429/500
+// responses, mid-body connection resets, duplicate deliveries and
+// added latency. Every decision is drawn in a fixed order from a
+// seeded PRNG, so a chaos run is reproducible bit for bit — the same
+// seed yields the same fault schedule, which is what lets the e2e
+// suite assert that a resilient client extracts identical answers
+// through the noise.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is a chaos schedule: per-request fault probabilities, all drawn
+// from one seeded stream. Probabilities are independent; a request can
+// be delayed and then dropped. The zero value injects nothing.
+type Plan struct {
+	// Seed fixes the decision stream; the same seed replays the same
+	// faults in the same order.
+	Seed int64
+
+	// DropRequest is the probability an exchange fails with a transport
+	// error before reaching the server.
+	DropRequest float64
+	// Spurious500 is the probability the server's answer is replaced by
+	// a synthesized 500 (the request still reached the server —
+	// exactly the ambiguity that makes non-idempotent retries unsafe).
+	Spurious500 float64
+	// Spurious429 is the probability of a synthesized shed: a 429 with
+	// Retry-After returned without the request reaching the server.
+	Spurious429 float64
+	// ResetBody is the probability the response body is cut off partway
+	// through with a connection-reset error.
+	ResetBody float64
+	// Duplicate is the probability the request is delivered twice; the
+	// caller sees only the second response.
+	Duplicate float64
+
+	// LatencyProb is the probability of sleeping Latency before the
+	// exchange.
+	LatencyProb float64
+	// Latency is the injected delay; 0 selects 2ms.
+	Latency time.Duration
+}
+
+// Counts reports how many of each fault the transport injected.
+type Counts struct {
+	Requests    uint64 // exchanges attempted through the transport
+	Dropped     uint64
+	Spurious500 uint64
+	Spurious429 uint64
+	BodyResets  uint64
+	Duplicates  uint64
+	Delayed     uint64
+}
+
+// Total is the number of injected faults of any kind.
+func (c Counts) Total() uint64 {
+	return c.Dropped + c.Spurious500 + c.Spurious429 + c.BodyResets + c.Duplicates + c.Delayed
+}
+
+// Transport is a fault-injecting http.RoundTripper. Decisions come
+// from the Plan's seeded PRNG in request order; the mutex serializes
+// draws so concurrent use is safe (at the cost of decision order then
+// depending on request arrival order — single-flight tests stay fully
+// deterministic).
+type Transport struct {
+	inner http.RoundTripper
+	plan  Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests, dropped, s500, s429 atomic.Uint64
+	resets, duplicates, delayed   atomic.Uint64
+}
+
+// NewTransport wraps inner (nil selects http.DefaultTransport) with
+// the plan's fault schedule.
+func NewTransport(inner http.RoundTripper, plan Plan) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if plan.Latency <= 0 {
+		plan.Latency = 2 * time.Millisecond
+	}
+	return &Transport{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Counts returns the faults injected so far.
+func (t *Transport) Counts() Counts {
+	return Counts{
+		Requests:    t.requests.Load(),
+		Dropped:     t.dropped.Load(),
+		Spurious500: t.s500.Load(),
+		Spurious429: t.s429.Load(),
+		BodyResets:  t.resets.Load(),
+		Duplicates:  t.duplicates.Load(),
+		Delayed:     t.delayed.Load(),
+	}
+}
+
+// decisions is one request's fault draw. Drawing every probability in
+// a fixed order — regardless of which faults are enabled — keeps the
+// stream alignment stable when a plan toggles one fault on or off.
+type decisions struct {
+	delay, drop, dup, s429, s500, reset bool
+	resetAfter                          int64
+}
+
+func (t *Transport) draw() decisions {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decisions
+	d.delay = t.rng.Float64() < t.plan.LatencyProb
+	d.drop = t.rng.Float64() < t.plan.DropRequest
+	d.dup = t.rng.Float64() < t.plan.Duplicate
+	d.s429 = t.rng.Float64() < t.plan.Spurious429
+	d.s500 = t.rng.Float64() < t.plan.Spurious500
+	d.reset = t.rng.Float64() < t.plan.ResetBody
+	d.resetAfter = t.rng.Int63n(64)
+	return d
+}
+
+// chaosError is the opaque transport failure injected for drops and
+// body resets.
+type chaosError struct{ kind string }
+
+func (e *chaosError) Error() string { return "chaos: injected " + e.kind }
+
+// RoundTrip applies the drawn faults around one exchange.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	d := t.draw()
+
+	if d.delay {
+		t.delayed.Add(1)
+		select {
+		case <-time.After(t.plan.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if d.s429 {
+		// Shed before reaching the server, like the admission gate.
+		t.s429.Add(1)
+		return synthesize(req, http.StatusTooManyRequests,
+			`{"error":"chaos: synthesized shed"}`, "Retry-After", "1"), nil
+	}
+	if d.drop {
+		t.dropped.Add(1)
+		return nil, &chaosError{kind: "request drop"}
+	}
+	if d.dup {
+		// Deliver twice; the first response is discarded, the caller
+		// sees the second. Requires a replayable body (GetBody), which
+		// bytes.Reader-bodied requests always have.
+		if req.Body == nil || req.GetBody != nil {
+			first, err := t.send(req)
+			if err == nil {
+				t.duplicates.Add(1)
+				io.Copy(io.Discard, first.Body)
+				first.Body.Close()
+			}
+			// A failed first delivery still falls through to the
+			// "second" attempt — duplication, not amplified failure.
+		}
+	}
+	resp, err := t.send(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.s500 {
+		t.s500.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return synthesize(req, http.StatusInternalServerError,
+			`{"error":"chaos: synthesized failure"}`), nil
+	}
+	if d.reset {
+		t.resets.Add(1)
+		resp.Body = &resetBody{inner: resp.Body, remaining: d.resetAfter}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// send performs one delivery, rewinding the body via GetBody when this
+// is a repeat.
+func (t *Transport) send(req *http.Request) (*http.Response, error) {
+	r := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = body
+	}
+	return t.inner.RoundTrip(r)
+}
+
+// synthesize fabricates a response that never touched the server.
+func synthesize(req *http.Request, status int, body string, headerPairs ...string) *http.Response {
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	for i := 0; i+1 < len(headerPairs); i += 2 {
+		h.Set(headerPairs[i], headerPairs[i+1])
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// resetBody yields remaining bytes of the real body, then fails like a
+// torn connection.
+type resetBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *resetBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &chaosError{kind: "connection reset mid-body"}
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err // body ended before the cut point; no fault felt
+	}
+	if err == nil && b.remaining <= 0 {
+		err = &chaosError{kind: "connection reset mid-body"}
+	}
+	return n, err
+}
+
+func (b *resetBody) Close() error { return b.inner.Close() }
+
+// NewProxy returns a reverse proxy to target whose outbound transport
+// injects the plan's faults — chaos as a standalone network hop for
+// black-box clients that cannot swap their RoundTripper.
+func NewProxy(target string, plan Plan) (*httputil.ReverseProxy, *Transport, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: bad proxy target %q: %v", target, err)
+	}
+	tr := NewTransport(nil, plan)
+	p := httputil.NewSingleHostReverseProxy(u)
+	p.Transport = tr
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// Injected drops surface to the proxy's client as 502s.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+	return p, tr, nil
+}

@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp, data, err
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("payload"))
+	}))
+	defer ts.Close()
+	tr := NewTransport(nil, Plan{})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 50; i++ {
+		resp, body, err := get(t, client, ts.URL)
+		if err != nil || resp.StatusCode != 200 || string(body) != "payload" {
+			t.Fatalf("zero plan altered exchange: %v %v %q", err, resp, body)
+		}
+	}
+	if c := tr.Counts(); c.Total() != 0 || c.Requests != 50 {
+		t.Fatalf("zero plan counts = %+v", c)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	run := func(seed int64) []string {
+		tr := NewTransport(nil, Plan{Seed: seed, DropRequest: 0.3, Spurious500: 0.2, Spurious429: 0.2})
+		client := &http.Client{Transport: tr}
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			resp, _, err := get(t, client, ts.URL)
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "drop")
+			case resp.StatusCode == 429:
+				outcomes = append(outcomes, "429")
+			case resp.StatusCode == 500:
+				outcomes = append(outcomes, "500")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at request %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if strings.Join(a, ",") == strings.Join(run(43), ",") {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+	// The schedule actually injects something at these rates.
+	joined := strings.Join(a, ",")
+	if !strings.Contains(joined, "drop") || !strings.Contains(joined, "429") || !strings.Contains(joined, "500") {
+		t.Errorf("schedule missing fault kinds: %s", joined)
+	}
+}
+
+func TestDropRequest(t *testing.T) {
+	var reached atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+	}))
+	defer ts.Close()
+	tr := NewTransport(nil, Plan{Seed: 1, DropRequest: 1})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("DropRequest=1 delivered the request")
+	}
+	if reached.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if tr.Counts().Dropped != 1 {
+		t.Fatalf("counts = %+v", tr.Counts())
+	}
+}
+
+func TestSpurious429NeverReachesServer(t *testing.T) {
+	var reached atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(nil, Plan{Seed: 1, Spurious429: 1})}
+	resp, _, err := get(t, client, ts.URL)
+	if err != nil || resp.StatusCode != 429 {
+		t.Fatalf("want synthesized 429, got %v %v", resp, err)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want 1", ra)
+	}
+	if reached.Load() != 0 {
+		t.Error("synthesized shed still reached the server")
+	}
+}
+
+func TestSpurious500ReachesServerFirst(t *testing.T) {
+	var reached atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+		w.Write([]byte("real answer"))
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: NewTransport(nil, Plan{Seed: 1, Spurious500: 1})}
+	resp, body, err := get(t, client, ts.URL)
+	if err != nil || resp.StatusCode != 500 {
+		t.Fatalf("want synthesized 500, got %v %v", resp, err)
+	}
+	if strings.Contains(string(body), "real answer") {
+		t.Error("synthesized 500 leaked the real body")
+	}
+	if reached.Load() != 1 {
+		t.Errorf("server reached %d times, want 1 (500 models a lost response)", reached.Load())
+	}
+}
+
+func TestResetBodyCutsMidStream(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+	tr := NewTransport(nil, Plan{Seed: 1, ResetBody: 1})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("mid-body reset produced a clean read")
+	}
+	if len(data) >= len(payload) {
+		t.Fatalf("read %d bytes of %d despite reset", len(data), len(payload))
+	}
+	if tr.Counts().BodyResets != 1 {
+		t.Fatalf("counts = %+v", tr.Counts())
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var reached atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		reached.Add(1)
+		w.Write(body) // echo, so we can check the caller sees a real answer
+	}))
+	defer ts.Close()
+	tr := NewTransport(nil, Plan{Seed: 1, Duplicate: 1})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("echo = %q, want %q", body, "hello")
+	}
+	if reached.Load() != 2 {
+		t.Fatalf("server reached %d times, want 2", reached.Load())
+	}
+	if tr.Counts().Duplicates != 1 {
+		t.Fatalf("counts = %+v", tr.Counts())
+	}
+}
+
+func TestProxyInjectsFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	proxy, tr, err := NewProxy(ts.URL, Plan{Seed: 5, DropRequest: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := httptest.NewServer(proxy)
+	defer ps.Close()
+
+	var drops, oks int
+	for i := 0; i < 40; i++ {
+		resp, _, err := get(t, http.DefaultClient, ps.URL)
+		if err != nil {
+			t.Fatal(err) // proxy converts drops to 502, never transport errors
+		}
+		switch resp.StatusCode {
+		case http.StatusBadGateway:
+			drops++
+		case http.StatusOK:
+			oks++
+		}
+	}
+	if drops == 0 || oks == 0 {
+		t.Fatalf("drops=%d oks=%d, want both nonzero", drops, oks)
+	}
+	if tr.Counts().Dropped == 0 {
+		t.Fatalf("transport counts = %+v", tr.Counts())
+	}
+}

@@ -1,0 +1,198 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/chaos"
+	"extmesh/internal/metrics"
+	"extmesh/internal/serve"
+	"extmesh/meshclient"
+)
+
+// chaosClient assembles a meshclient over a fault-injecting transport:
+// generous retries, tiny backoffs, breaker off — resilience without
+// slow tests.
+func chaosClient(t *testing.T, url string, plan chaos.Plan) (*meshclient.Client, *chaos.Transport) {
+	t.Helper()
+	tr := chaos.NewTransport(nil, plan)
+	c, err := meshclient.New(meshclient.Options{
+		BaseURL:          url,
+		Transport:        tr,
+		MaxRetries:       16,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		RetryAfterCap:    5 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+// TestQueriesThroughChaosBitIdentical routes a battery of queries
+// through a noisy transport and asserts every answer equals the
+// direct-library result — the resilient client must make chaos
+// invisible, not merely survivable.
+func TestQueriesThroughChaosBitIdentical(t *testing.T) {
+	s := serve.New(serve.Options{Metrics: metrics.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faults := []extmesh.Coord{{X: 3, Y: 3}, {X: 4, Y: 3}, {X: 3, Y: 4}, {X: 10, Y: 10}, {X: 11, Y: 10}}
+	d, err := extmesh.NewDynamic(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		if err := d.AddFault(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Meshes().Put("m", d)
+	n, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := chaos.Plan{
+		Seed:        1729,
+		DropRequest: 0.15,
+		Spurious500: 0.10,
+		Spurious429: 0.10,
+		ResetBody:   0.10,
+		LatencyProb: 0.20,
+		Latency:     time.Millisecond,
+	}
+	c, tr := chaosClient(t, ts.URL, plan)
+	ctx := context.Background()
+
+	// A deterministic battery spanning the mesh, including unreachable
+	// and faulty endpoints.
+	var pairs []meshclient.Pair
+	for i := 0; i < 24; i++ {
+		src := extmesh.Coord{X: (i * 5) % 16, Y: (i * 3) % 16}
+		dst := extmesh.Coord{X: (i*7 + 2) % 16, Y: (i*11 + 5) % 16}
+		pairs = append(pairs, meshclient.Pair{Src: src, Dst: dst})
+	}
+
+	for i, p := range pairs {
+		q := meshclient.Query{Src: p.Src, Dst: p.Dst}
+
+		gotRoute, rerr := c.Route(ctx, "m", q)
+		wantPath, werr := n.Route(p.Src, p.Dst, extmesh.Blocks)
+		if (rerr == nil) != (werr == nil) {
+			t.Fatalf("pair %d %v->%v: route errors diverge: client=%v lib=%v", i, p.Src, p.Dst, rerr, werr)
+		}
+		if werr == nil {
+			want, _ := json.Marshal(wantPath)
+			got, _ := json.Marshal(gotRoute.Path)
+			if string(got) != string(want) || gotRoute.Hops != len(wantPath)-1 {
+				t.Fatalf("pair %d: route through chaos = %s (hops %d), want %s", i, got, gotRoute.Hops, want)
+			}
+		}
+
+		gotSafe, err := c.Safe(ctx, "m", q)
+		if err != nil {
+			t.Fatalf("pair %d: Safe failed through chaos: %v", i, err)
+		}
+		if want := n.Safe(p.Src, p.Dst, extmesh.Blocks); gotSafe != want {
+			t.Fatalf("pair %d: Safe = %v, want %v", i, gotSafe, want)
+		}
+
+		gotExists, err := c.HasMinimalPath(ctx, "m", q)
+		if err != nil {
+			t.Fatalf("pair %d: HasMinimalPath failed: %v", i, err)
+		}
+		if want := n.HasMinimalPath(p.Src, p.Dst); gotExists != want {
+			t.Fatalf("pair %d: HasMinimalPath = %v, want %v", i, gotExists, want)
+		}
+
+		gotEns, err := c.Ensure(ctx, "m", q)
+		if err != nil {
+			t.Fatalf("pair %d: Ensure failed: %v", i, err)
+		}
+		wantEns := n.Ensure(p.Src, p.Dst, extmesh.Blocks, extmesh.DefaultStrategy())
+		if gotEns.Verdict != wantEns.Verdict.String() || len(gotEns.Via) != len(wantEns.Via()) {
+			t.Fatalf("pair %d: Ensure = %+v, want %v via %v", i, gotEns, wantEns.Verdict, wantEns.Via())
+		}
+		for vi, v := range wantEns.Via() {
+			if gotEns.Via[vi] != v {
+				t.Fatalf("pair %d: Ensure via = %v, want %v", i, gotEns.Via, wantEns.Via())
+			}
+		}
+	}
+
+	// Batches through the same noise.
+	src := extmesh.Coord{X: 0, Y: 0}
+	dests := []extmesh.Coord{{X: 15, Y: 15}, {X: 3, Y: 3}, {X: 8, Y: 1}, {X: 1, Y: 8}}
+	gotHB, err := c.HasMinimalPathBatch(ctx, "m", src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n.HasMinimalPathAll(src, dests); !reflect.DeepEqual(gotHB, want) {
+		t.Fatalf("HasMinimalPathBatch = %v, want %v", gotHB, want)
+	}
+
+	counts := tr.Counts()
+	if counts.Total() == 0 {
+		t.Fatal("chaos plan injected nothing — the test proved nothing")
+	}
+	cc := c.Counts()
+	if cc.Retries == 0 {
+		t.Error("client never retried despite chaos")
+	}
+	t.Logf("chaos: %+v; client: %+v", counts, cc)
+}
+
+// TestDuplicateMutationsConverge pushes fault mutations through a
+// transport that duplicates deliveries and checks the final mesh state
+// matches an uninterrupted run: DynamicNetwork mutations are
+// idempotent per node, so duplicate delivery must not corrupt state.
+func TestDuplicateMutationsConverge(t *testing.T) {
+	s := serve.New(serve.Options{Metrics: metrics.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d, err := extmesh.NewDynamic(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Meshes().Put("m", d)
+
+	c, tr := chaosClient(t, ts.URL, chaos.Plan{Seed: 7, Duplicate: 0.5})
+	ctx := context.Background()
+
+	muts := []meshclient.FaultsRequest{
+		{Fail: []extmesh.Coord{{X: 2, Y: 2}}},
+		{Fail: []extmesh.Coord{{X: 3, Y: 3}, {X: 4, Y: 4}}},
+		{Recover: []extmesh.Coord{{X: 3, Y: 3}}},
+		{Fail: []extmesh.Coord{{X: 5, Y: 5}}},
+	}
+	for i, m := range muts {
+		if _, err := c.ApplyFaults(ctx, "m", m); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	if tr.Counts().Duplicates == 0 {
+		t.Fatal("no duplicates injected — the test proved nothing")
+	}
+
+	// Final state must equal the uninterrupted run's: {2,2},{4,4},{5,5}.
+	want := map[extmesh.Coord]bool{{X: 2, Y: 2}: true, {X: 4, Y: 4}: true, {X: 5, Y: 5}: true}
+	got := d.Faults()
+	if len(got) != len(want) {
+		t.Fatalf("faults after duplicated mutations = %v, want %v", got, want)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Fatalf("unexpected fault %v (got %v)", f, got)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/metrics"
+)
+
+func testOptions() Options {
+	return Options{Policy: SyncNever, Metrics: metrics.NewRegistry()}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpPut, Name: "m", Blob: json.RawMessage(`{"width":8,"height":8,"faults":[]}`), Version: 0},
+		{Op: OpApply, Name: "m", Fail: []extmesh.Coord{{X: 1, Y: 1}, {X: 2, Y: 2}}},
+		{Op: OpEvents, Name: "m", Spec: "fail@0:3,3;recover@1:3,3", Events: []FaultEvent{
+			{Op: "fail", Node: extmesh.Coord{X: 3, Y: 3}},
+			{Op: "recover", Node: extmesh.Coord{X: 3, Y: 3}},
+		}},
+		{Op: OpDelete, Name: "gone"},
+	}
+}
+
+// TestAppendRecoverRoundTrip pins the core durability contract: what
+// was appended is what recovery returns, in order, with sequence
+// numbers assigned contiguously.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := mustOpen(t, dir, testOptions())
+	if len(rec.Meshes) != 0 || len(rec.Records) != 0 || rec.Truncated != 0 {
+		t.Fatalf("fresh dir recovery = %+v, want empty", rec)
+	}
+	want := sampleRecords()
+	for i, r := range want {
+		seq, err := s.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Errorf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2 := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, got := range rec2.Records {
+		exp := want[i]
+		exp.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("record %d = %+v, want %+v", i, got, exp)
+		}
+	}
+	if s2.Seq() != uint64(len(want)) {
+		t.Errorf("Seq = %d, want %d", s2.Seq(), len(want))
+	}
+	// Appends after recovery continue the sequence.
+	seq, err := s2.Append(Record{Op: OpDelete, Name: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want)+1) {
+		t.Errorf("post-recovery seq = %d, want %d", seq, len(want)+1)
+	}
+}
+
+// TestTailCorruptionTolerated crashes mid-append by hand: garbage after
+// the last full frame must be dropped, the valid prefix preserved, and
+// the file truncated so future appends extend a clean log.
+func TestTailCorruptionTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	walPath := filepath.Join(dir, walName(0))
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x37, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'h', 'a', 'l', 'f'}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	if len(rec.Records) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(sampleRecords()))
+	}
+	if rec.Truncated != len(torn) {
+		t.Errorf("Truncated = %d, want %d", rec.Truncated, len(torn))
+	}
+	// The log was physically truncated: appending and recovering again
+	// must yield old records plus the new one, no corruption residue.
+	if _, err := s2.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, rec3 := mustOpen(t, dir, testOptions())
+	if n := len(rec3.Records); n != len(sampleRecords())+1 || rec3.Truncated != 0 {
+		t.Errorf("after truncate+append: %d records truncated=%d, want %d records truncated=0",
+			n, rec3.Truncated, len(sampleRecords())+1)
+	}
+}
+
+// TestBitFlippedCRCStopsReplay flips one payload byte of a middle
+// frame: replay must stop before it, keeping only the earlier records.
+func TestBitFlippedCRCStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	var offsets []int
+	off := 0
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+		fi, _ := os.Stat(filepath.Join(dir, walName(0)))
+		off = int(fi.Size())
+	}
+	s.Close()
+
+	walPath := filepath.Join(dir, walName(0))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[1]+frameHeader+3] ^= 0x40 // corrupt record 1's payload
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if len(rec.Records) != 1 {
+		t.Fatalf("recovered %d records past a bit flip, want 1", len(rec.Records))
+	}
+	if rec.Truncated == 0 {
+		t.Error("bit-flipped tail not reported as truncated")
+	}
+}
+
+// TestCompaction folds state into a snapshot, rotates the log, removes
+// the old generation, and recovers from the snapshot alone.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := map[string]SnapshotMesh{
+		"m": {Blob: json.RawMessage(`{"width":8,"height":8,"faults":[{"x":1,"y":1}]}`), Version: 7},
+	}
+	if err := s.Compact(state); err != nil {
+		t.Fatal(err)
+	}
+	// Old generation gone, new snapshot + empty log present.
+	if _, err := os.Stat(filepath.Join(dir, walName(0))); !os.IsNotExist(err) {
+		t.Errorf("wal-0 still present after compaction (err=%v)", err)
+	}
+	// A post-compaction append lands in the new log.
+	if _, err := s.Append(Record{Op: OpApply, Name: "m", Fail: []extmesh.Coord{{X: 5, Y: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	got, ok := rec.Meshes["m"]
+	if !ok || got.Version != 7 || string(got.Blob) != string(state["m"].Blob) {
+		t.Errorf("snapshot mesh = %+v ok=%v, want version 7 and original blob", got, ok)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Op != OpApply {
+		t.Errorf("post-snapshot records = %+v, want the single apply", rec.Records)
+	}
+	if s2.Seq() != uint64(len(sampleRecords()))+1 {
+		t.Errorf("Seq = %d, want %d (continuity across compaction)", s2.Seq(), len(sampleRecords())+1)
+	}
+}
+
+// TestNeedsCompaction pins the hint threshold and its reset.
+func TestNeedsCompaction(t *testing.T) {
+	opts := testOptions()
+	opts.CompactEvery = 3
+	s, _ := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		if s.NeedsCompaction() {
+			t.Fatalf("NeedsCompaction true after %d of 3 records", i+1)
+		}
+	}
+	if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NeedsCompaction() {
+		t.Fatal("NeedsCompaction false at threshold")
+	}
+	if err := s.Compact(map[string]SnapshotMesh{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NeedsCompaction() {
+		t.Error("NeedsCompaction true right after Compact")
+	}
+}
+
+// TestSyncPolicies exercises the three flush policies; correctness of
+// the recovered content is identical, so the test pins metrics-visible
+// behavior (fsync counts, lag).
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		m := metrics.NewRegistry()
+		s, _ := mustOpen(t, t.TempDir(), Options{Policy: SyncAlways, Metrics: m})
+		defer s.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := m.Counter("journal_fsyncs_total").Value(); got != 3 {
+			t.Errorf("fsyncs = %d, want 3", got)
+		}
+		if s.Pending() != 0 {
+			t.Errorf("Pending = %d, want 0", s.Pending())
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		m := metrics.NewRegistry()
+		s, _ := mustOpen(t, t.TempDir(), Options{Policy: SyncNever, Metrics: m})
+		defer s.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := m.Counter("journal_fsyncs_total").Value(); got != 0 {
+			t.Errorf("fsyncs = %d, want 0", got)
+		}
+		if s.Pending() != 3 {
+			t.Errorf("Pending = %d, want 3", s.Pending())
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Pending() != 0 {
+			t.Errorf("Pending after Sync = %d, want 0", s.Pending())
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		m := metrics.NewRegistry()
+		s, _ := mustOpen(t, t.TempDir(), Options{Policy: SyncInterval, Interval: time.Hour, Metrics: m})
+		defer s.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A one-hour horizon means no flush happened yet.
+		if got := m.Counter("journal_fsyncs_total").Value(); got != 0 {
+			t.Errorf("fsyncs = %d, want 0 inside the interval", got)
+		}
+	})
+}
+
+// TestAppendBeforeRecover pins the misuse guard.
+func TestAppendBeforeRecover(t *testing.T) {
+	s, err := Open(t.TempDir(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err == nil {
+		t.Fatal("Append before Recover accepted")
+	}
+	if err := s.Compact(nil); err == nil {
+		t.Fatal("Compact before Recover accepted")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		p  SyncPolicy
+		ok bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+		{"", 0, false},
+	} {
+		p, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && p != tc.p) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, p, err)
+		}
+		if tc.ok && p.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", p, p.String(), tc.in)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"extmesh/internal/metrics"
+)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: nothing acknowledged is
+	// ever lost, at one disk flush per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when Options.Interval has elapsed since the
+	// last flush (checked on append) and on Sync/Compact/Close — the
+	// bounded-loss middle ground.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache (and Close). A
+	// crash can lose the unsynced tail; replay still recovers the
+	// synced prefix thanks to frame CRCs.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// String names the policy in ParseSyncPolicy's spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "invalid"
+	}
+}
+
+// Options configures a Store. The zero value fsyncs on every append
+// and compacts every 4096 records.
+type Options struct {
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush horizon; 0 selects 100ms.
+	Interval time.Duration
+	// CompactEvery makes NeedsCompaction report true once this many
+	// records accumulated in the current log generation; 0 selects
+	// 4096, negative disables the hint.
+	CompactEvery int
+	// Metrics is the instrument registry; nil selects the process-wide
+	// default.
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 4096
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.Default()
+	}
+	return o
+}
+
+// SnapshotMesh is one mesh's durable state inside a snapshot: the
+// network blob (DynamicNetwork.MarshalJSON format) and the mutation
+// version it carried when saved, so recovery can restore version
+// continuity across the blob round-trip.
+type SnapshotMesh struct {
+	Blob    json.RawMessage `json:"blob"`
+	Version uint64          `json:"version"`
+}
+
+// snapshotFile is the on-disk snapshot format.
+type snapshotFile struct {
+	Gen    uint64                  `json:"gen"`
+	Seq    uint64                  `json:"seq"` // last record folded into this snapshot
+	Meshes map[string]SnapshotMesh `json:"meshes"`
+}
+
+// Recovery is what Store.Recover reconstructed: the snapshot state,
+// the log records appended after it (in order), and how many bytes of
+// corrupt log tail were discarded.
+type Recovery struct {
+	Meshes    map[string]SnapshotMesh
+	Records   []Record
+	Truncated int
+}
+
+// Store manages one data directory: the current snapshot generation
+// and its append-only log. All methods are safe for concurrent use;
+// Recover must be called once, before the first Append.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	recovered bool
+	w         *os.File // current generation's log, opened for append
+	gen       uint64
+	seq       uint64
+	pending   int // records appended since the last fsync
+	walCount  int // records in the current log generation
+	lastSync  time.Time
+
+	appends   *metrics.Counter
+	fsyncs    *metrics.Counter
+	snapshots *metrics.Counter
+	replayed  *metrics.Counter
+	truncated *metrics.Counter
+	lag       *metrics.Gauge
+	walGauge  *metrics.Gauge
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.json", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016d.log", gen) }
+
+// Open prepares a store over dir, creating it if needed, and locates
+// the newest valid snapshot generation. Call Recover next.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	m := opts.Metrics
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		appends:   m.Counter("journal_appends_total"),
+		fsyncs:    m.Counter("journal_fsyncs_total"),
+		snapshots: m.Counter("journal_snapshots_total"),
+		replayed:  m.Counter("journal_replayed_records_total"),
+		truncated: m.Counter("journal_truncated_bytes_total"),
+		lag:       m.Gauge("journal_unsynced_records"),
+		walGauge:  m.Gauge("journal_wal_records"),
+	}
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	// Walk newest-first until a snapshot parses; generation 0 (no
+	// snapshot, possibly a bare wal-0 log) is always valid.
+	s.gen = 0
+	for i := len(gens) - 1; i >= 0; i-- {
+		if gens[i] == 0 {
+			break
+		}
+		if _, err := s.loadSnapshot(gens[i]); err == nil {
+			s.gen = gens[i]
+			break
+		}
+	}
+	return s, nil
+}
+
+// generations lists the snapshot/log generation numbers present in the
+// dir, sorted ascending (0 is implied and always included).
+func (s *Store) generations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	seen := map[uint64]bool{0: true}
+	for _, e := range entries {
+		name := e.Name()
+		var numPart string
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".json"):
+			numPart = strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json")
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			numPart = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+		default:
+			continue
+		}
+		if g, err := strconv.ParseUint(numPart, 10, 64); err == nil {
+			seen[g] = true
+		}
+	}
+	gens := make([]uint64, 0, len(seen))
+	for g := range seen {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func (s *Store) loadSnapshot(gen uint64) (*snapshotFile, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("journal: snapshot %s: %w", snapName(gen), err)
+	}
+	return &sf, nil
+}
+
+// Recover loads the current generation's snapshot and replays its log,
+// truncating any corrupt tail so subsequent appends extend a clean
+// prefix, then opens the log for appending.
+func (s *Store) Recover() (*Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered {
+		return nil, fmt.Errorf("journal: Recover called twice")
+	}
+	rec := &Recovery{Meshes: map[string]SnapshotMesh{}}
+	if s.gen > 0 {
+		sf, err := s.loadSnapshot(s.gen)
+		if err != nil {
+			return nil, err
+		}
+		rec.Meshes = sf.Meshes
+		if rec.Meshes == nil {
+			rec.Meshes = map[string]SnapshotMesh{}
+		}
+		s.seq = sf.Seq
+	}
+
+	walPath := filepath.Join(s.dir, walName(s.gen))
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, valid := ReadFrames(data)
+	rec.Records = recs
+	rec.Truncated = len(data) - valid
+	if rec.Truncated > 0 {
+		if err := os.Truncate(walPath, int64(valid)); err != nil {
+			return nil, fmt.Errorf("journal: truncate corrupt tail: %w", err)
+		}
+		s.truncated.Add(uint64(rec.Truncated))
+	}
+	for _, r := range recs {
+		if r.Seq > s.seq {
+			s.seq = r.Seq
+		}
+	}
+	s.replayed.Add(uint64(len(recs)))
+	s.walCount = len(recs)
+	s.walGauge.Set(int64(s.walCount))
+
+	w, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	s.w = w
+	s.lastSync = time.Now()
+	s.recovered = true
+	return rec, nil
+}
+
+// Append assigns the record its sequence number, frames it, writes it
+// to the log and applies the fsync policy. It returns the sequence
+// number for observability.
+func (s *Store) Append(r Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return 0, fmt.Errorf("journal: Append before Recover")
+	}
+	r.Seq = s.seq + 1
+	frame, err := encodeFrame(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.w.Write(frame); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	s.seq = r.Seq
+	s.pending++
+	s.walCount++
+	s.appends.Inc()
+	s.walGauge.Set(int64(s.walCount))
+
+	switch s.opts.Policy {
+	case SyncAlways:
+		if err := s.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(s.lastSync) >= s.opts.Interval {
+			if err := s.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	s.lag.Set(int64(s.pending))
+	return r.Seq, nil
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.w.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	s.pending = 0
+	s.lastSync = time.Now()
+	s.fsyncs.Inc()
+	s.lag.Set(0)
+	return nil
+}
+
+// Sync flushes any unsynced records to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+// NeedsCompaction reports whether the current log generation has
+// accumulated Options.CompactEvery records — the hint for the owner
+// (who holds the full state) to call Compact.
+func (s *Store) NeedsCompaction() bool {
+	if s.opts.CompactEvery <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walCount >= s.opts.CompactEvery
+}
+
+// Compact folds the given full state into a new snapshot generation:
+// the snapshot is written atomically (temp file, fsync, rename), the
+// log rotates to empty, and the previous generation's files are
+// removed. After Compact, recovery needs only the new snapshot.
+func (s *Store) Compact(meshes map[string]SnapshotMesh) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return fmt.Errorf("journal: Compact before Recover")
+	}
+	newGen := s.gen + 1
+	sf := snapshotFile{Gen: newGen, Seq: s.seq, Meshes: meshes}
+	blob, err := json.Marshal(sf)
+	if err != nil {
+		return fmt.Errorf("journal: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapName(newGen)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName(newGen))); err != nil {
+		return fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	s.syncDir()
+
+	// Rotate the log. The old generation's files are garbage once the
+	// new snapshot is durable; removal failures are non-fatal (the
+	// next Open simply prefers the newest valid snapshot).
+	w, err := os.OpenFile(filepath.Join(s.dir, walName(newGen)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotate log: %w", err)
+	}
+	old, oldGen := s.w, s.gen
+	s.w, s.gen = w, newGen
+	s.pending, s.walCount = 0, 0
+	s.walGauge.Set(0)
+	s.lag.Set(0)
+	s.lastSync = time.Now()
+	s.snapshots.Inc()
+	if old != nil {
+		old.Close()
+	}
+	os.Remove(filepath.Join(s.dir, walName(oldGen)))
+	if oldGen > 0 {
+		os.Remove(filepath.Join(s.dir, snapName(oldGen)))
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs the directory so renames and creates are
+// durable; not all platforms support it, and a failure only widens the
+// crash window rather than corrupting state.
+func (s *Store) syncDir() {
+	if df, err := os.Open(s.dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+}
+
+// Close flushes and closes the log. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Sync()
+	if cerr := s.w.Close(); err == nil {
+		err = cerr
+	}
+	s.w = nil
+	return err
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Seq returns the last assigned record sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Pending returns how many appended records are not yet fsynced — the
+// journal lag a crash right now would lose under SyncInterval/SyncNever.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}

@@ -9,6 +9,7 @@ import (
 
 	"extmesh"
 	"extmesh/internal/inject"
+	"extmesh/internal/journal"
 	"extmesh/internal/mesh"
 )
 
@@ -37,6 +38,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeMutationError maps a persister failure to a status: a journal
+// write failure is the server's fault (500, the mutation applied in
+// memory but is not crash-safe); anything else is the caller's, at the
+// given status.
+func writeMutationError(w http.ResponseWriter, err error, callerStatus int) {
+	var je *journalError
+	if errors.As(err, &je) {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeError(w, callerStatus, "%v", err)
 }
 
 // decodeBody parses the JSON request body into v, enforcing the size
@@ -147,8 +161,8 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.meshes.Create(req.Name, d); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+	if err := s.persist.create(req.Name, d); err != nil {
+		writeMutationError(w, err, http.StatusConflict)
 		return
 	}
 	writeJSON(w, http.StatusCreated, infoOf(req.Name, d))
@@ -173,8 +187,8 @@ func (s *Server) handleUploadMesh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	replaced := s.meshes.Get(name) != nil
-	if err := s.meshes.Put(name, d); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err := s.persist.put(name, d); err != nil {
+		writeMutationError(w, err, http.StatusBadRequest)
 		return
 	}
 	status := http.StatusCreated
@@ -213,7 +227,12 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.meshes.Delete(name) {
+	existed, err := s.persist.delete(name)
+	if err != nil {
+		writeMutationError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if !existed {
 		writeError(w, http.StatusNotFound, "mesh %q not registered", name)
 		return
 	}
@@ -526,7 +545,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	_, d := s.meshFor(w, r)
+	name, d := s.meshFor(w, r)
 	if d == nil {
 		return
 	}
@@ -549,19 +568,14 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		// Apply event by event: schedule order interleaves fails and
 		// recoveries (a transient fault recovers before the next one
 		// arrives), which a two-list batch cannot express.
-		for _, ev := range sched {
-			var a, sk int
-			var err error
-			if ev.Op == inject.Fail {
-				a, sk, err = d.Apply([]extmesh.Coord{ev.Node}, nil)
-			} else {
-				a, sk, err = d.Apply(nil, []extmesh.Coord{ev.Node})
-			}
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-			applied, skipped = applied+a, skipped+sk
+		events := make([]journal.FaultEvent, len(sched))
+		for i, ev := range sched {
+			events[i] = journal.FaultEvent{Op: ev.Op.String(), Node: ev.Node}
+		}
+		applied, skipped, err = s.persist.applyEvents(name, d, events, req.Spec)
+		if err != nil {
+			writeMutationError(w, err, http.StatusBadRequest)
+			return
 		}
 	} else {
 		if len(req.Fail)+len(req.Recover) == 0 {
@@ -574,9 +588,9 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var err error
-		applied, skipped, err = d.Apply(req.Fail, req.Recover)
+		applied, skipped, err = s.persist.apply(name, d, req.Fail, req.Recover)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeMutationError(w, err, http.StatusBadRequest)
 			return
 		}
 	}

@@ -41,10 +41,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // rejections instead of unbounded queueing. Operational endpoints
 // (health, metrics) bypass the gate.
 type admission struct {
-	slots chan struct{}
-	queue atomic.Int64
-	max   int64
-	wait  time.Duration
+	slots      chan struct{}
+	queue      atomic.Int64
+	max        int64
+	wait       time.Duration
+	retryAfter string
 
 	inflight *metrics.Gauge
 	depth    *metrics.Gauge
@@ -54,20 +55,28 @@ type admission struct {
 
 func newAdmission(maxInFlight, maxQueue int, wait time.Duration, m *metrics.Registry) *admission {
 	return &admission{
-		slots:    make(chan struct{}, maxInFlight),
-		max:      int64(maxQueue),
-		wait:     wait,
-		inflight: m.Gauge("http_inflight"),
-		depth:    m.Gauge("http_queue_depth"),
-		shed:     m.Counter("http_shed_total"),
-		queued:   m.Counter("http_queued_total"),
+		slots:      make(chan struct{}, maxInFlight),
+		max:        int64(maxQueue),
+		wait:       wait,
+		retryAfter: retryAfterSecs(wait),
+		inflight:   m.Gauge("http_inflight"),
+		depth:      m.Gauge("http_queue_depth"),
+		shed:       m.Counter("http_shed_total"),
+		queued:     m.Counter("http_queued_total"),
 	}
 }
 
-// retryAfter is the hint sent with every 429: under a load spike the
-// queue drains within the QueueWait horizon, so "try again in a
-// second" is honest.
-const retryAfter = "1"
+// retryAfterSecs is the hint sent with every 429: under a load spike
+// the queue drains within the QueueWait horizon, so its ceiling in
+// whole seconds — never below the 1 second the header grammar and
+// polite clients require — is an honest "try again then".
+func retryAfterSecs(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 func (a *admission) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +86,7 @@ func (a *admission) wrap(next http.Handler) http.Handler {
 			if a.queue.Add(1) > a.max {
 				a.queue.Add(-1)
 				a.shed.Inc()
-				w.Header().Set("Retry-After", retryAfter)
+				w.Header().Set("Retry-After", a.retryAfter)
 				writeError(w, http.StatusTooManyRequests, "server saturated: %d in flight, queue full", cap(a.slots))
 				return
 			}
@@ -91,7 +100,7 @@ func (a *admission) wrap(next http.Handler) http.Handler {
 			case <-t.C:
 				a.queue.Add(-1)
 				a.shed.Inc()
-				w.Header().Set("Retry-After", retryAfter)
+				w.Header().Set("Retry-After", a.retryAfter)
 				writeError(w, http.StatusTooManyRequests, "server saturated: queued longer than %v", a.wait)
 				return
 			case <-r.Context().Done():

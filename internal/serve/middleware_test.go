@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"extmesh/internal/metrics"
+)
+
+func TestRetryAfterSecs(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{100 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	} {
+		if got := retryAfterSecs(tc.wait); got != tc.want {
+			t.Errorf("retryAfterSecs(%v) = %q, want %q", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// blockingGate saturates an admission gate: it fills every slot with a
+// handler parked on a channel and returns the release function.
+func blockingGate(t *testing.T, a *admission, slots int) (h http.Handler, release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	var once sync.Once
+	h = a.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}))
+	return h, func() { once.Do(func() { close(block) }) }
+}
+
+// TestAdmission429RetryAfterInteger saturates slots and queue and
+// asserts every 429 carries a Retry-After that is integer seconds ≥ 1
+// — the contract the resilient client's backoff relies on.
+func TestAdmission429RetryAfterInteger(t *testing.T) {
+	a := newAdmission(1, 1, 10*time.Millisecond, metrics.NewRegistry())
+	h, release := blockingGate(t, a, 1)
+	defer release()
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		r := httptest.NewRequest("GET", "/x", nil)
+		h.ServeHTTP(httptest.NewRecorder(), r) // occupies the single slot
+	}()
+	<-started
+	// Wait until the slot is actually taken.
+	for i := 0; i < 200 && len(a.slots) == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Overrun slot + queue: responses must be 429 with a valid header.
+	var got429 bool
+	for i := 0; i < 8; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		if rec.Code != http.StatusTooManyRequests {
+			continue
+		}
+		got429 = true
+		ra := rec.Header().Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 {
+			t.Fatalf("Retry-After = %q, want integer seconds >= 1", ra)
+		}
+	}
+	if !got429 {
+		t.Fatal("saturation produced no 429")
+	}
+}
+
+// TestAdmissionCanceledQueuersReleaseSlots parks requests in the
+// queue, cancels their contexts, and verifies the queue drains to zero
+// and the gate still serves once the slot frees — a canceled waiter
+// must not leak its queue slot.
+func TestAdmissionCanceledQueuersReleaseSlots(t *testing.T) {
+	a := newAdmission(1, 4, time.Hour, metrics.NewRegistry()) // queue would park forever
+	h, release := blockingGate(t, a, 1)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}()
+	<-started
+	for i := 0; i < 200 && len(a.slots) == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Three requests queue behind the occupied slot, then give up.
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := httptest.NewRequest("GET", "/x", nil).WithContext(ctx)
+			h.ServeHTTP(httptest.NewRecorder(), r)
+		}()
+	}
+	// Wait until all three are queued.
+	for i := 0; i < 500 && a.queue.Load() != 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.queue.Load(); got != 3 {
+		t.Fatalf("queue depth = %d, want 3", got)
+	}
+	cancel()
+	wg.Wait()
+	if got := a.queue.Load(); got != 0 {
+		t.Fatalf("queue depth after cancellations = %d, want 0 (leaked slots)", got)
+	}
+
+	// The gate still works: release the slot and a fresh request runs.
+	release()
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		done <- rec.Code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("post-cancel request = %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate wedged after canceled queuers")
+	}
+}

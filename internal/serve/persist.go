@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"extmesh"
+	"extmesh/internal/journal"
+)
+
+// journalError marks a mutation that applied in memory but failed to
+// reach the journal — the one case where the server's durable and live
+// states can diverge. Handlers surface it as a 500 so clients know the
+// acknowledgment is not crash-safe.
+type journalError struct{ err error }
+
+func (e *journalError) Error() string { return "journal append failed: " + e.err.Error() }
+func (e *journalError) Unwrap() error { return e.err }
+
+// persister serializes registry mutations with their journal appends,
+// so the journal's record order always matches the order mutations
+// were applied in — the property replay correctness rests on. With a
+// nil store it degrades to plain (memory-only) mutations. Queries
+// never pass through here; only mutations serialize.
+type persister struct {
+	mu    sync.Mutex
+	store *journal.Store // nil: memory-only
+	reg   *Registry
+}
+
+// append journals the record and, when the log generation has grown
+// past the configured threshold, folds the registry into a fresh
+// snapshot. Callers hold p.mu.
+func (p *persister) append(r journal.Record) error {
+	if p.store == nil {
+		return nil
+	}
+	if _, err := p.store.Append(r); err != nil {
+		return &journalError{err}
+	}
+	if p.store.NeedsCompaction() {
+		if err := p.compactLocked(); err != nil {
+			return &journalError{err}
+		}
+	}
+	return nil
+}
+
+// putRecord builds the OpPut record for a mesh's current state.
+func putRecord(name string, d *extmesh.DynamicNetwork) (journal.Record, error) {
+	blob, err := d.MarshalJSON()
+	if err != nil {
+		return journal.Record{}, err
+	}
+	return journal.Record{Op: journal.OpPut, Name: name, Blob: blob, Version: d.Version()}, nil
+}
+
+// create registers a new mesh and journals it; a name conflict returns
+// the registry's error unwrapped (handlers map it to 409).
+func (p *persister) create(name string, d *extmesh.DynamicNetwork) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := putRecord(name, d)
+	if err != nil {
+		return err
+	}
+	if err := p.reg.Create(name, d); err != nil {
+		return err
+	}
+	return p.append(r)
+}
+
+// put registers or replaces a mesh and journals it.
+func (p *persister) put(name string, d *extmesh.DynamicNetwork) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := putRecord(name, d)
+	if err != nil {
+		return err
+	}
+	if err := p.reg.Put(name, d); err != nil {
+		return err
+	}
+	return p.append(r)
+}
+
+// delete removes a mesh, journaling only when something was removed.
+func (p *persister) delete(name string) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.reg.Delete(name) {
+		return false, nil
+	}
+	return true, p.append(journal.Record{Op: journal.OpDelete, Name: name})
+}
+
+// apply runs a fail/recover batch on d and journals the attempted
+// lists whenever state changed. Journaling intent rather than outcome
+// is safe because Apply is deterministic: replaying the same lists
+// against the same prior state reproduces the same applied/skipped
+// split — and the same partial prefix if the batch errors midway.
+func (p *persister) apply(name string, d *extmesh.DynamicNetwork, fail, recover []extmesh.Coord) (applied, skipped int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	applied, skipped, err = d.Apply(fail, recover)
+	if applied > 0 {
+		if jerr := p.append(journal.Record{Op: journal.OpApply, Name: name, Fail: fail, Recover: recover}); err == nil {
+			err = jerr
+		}
+	}
+	return applied, skipped, err
+}
+
+// applyEvents runs an ordered event sequence one event at a time —
+// the inject-schedule admin path, which interleaves failures and
+// recoveries — and journals the attempted sequence with its spec for
+// provenance. On a midway error only the attempted prefix is recorded.
+func (p *persister) applyEvents(name string, d *extmesh.DynamicNetwork, events []journal.FaultEvent, spec string) (applied, skipped int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := 0
+	for _, ev := range events {
+		var a, sk int
+		if ev.Op == "fail" {
+			a, sk, err = d.Apply([]extmesh.Coord{ev.Node}, nil)
+		} else {
+			a, sk, err = d.Apply(nil, []extmesh.Coord{ev.Node})
+		}
+		applied, skipped = applied+a, skipped+sk
+		if err != nil {
+			break
+		}
+		done++
+	}
+	if applied > 0 {
+		if jerr := p.append(journal.Record{Op: journal.OpEvents, Name: name, Events: events[:done], Spec: spec}); err == nil {
+			err = jerr
+		}
+	}
+	return applied, skipped, err
+}
+
+// snapshotState collects the registry's durable state under p.mu, so
+// the snapshot is a consistent point between mutations.
+func (p *persister) snapshotState() (map[string]journal.SnapshotMesh, error) {
+	state := make(map[string]journal.SnapshotMesh)
+	for _, name := range p.reg.Names() {
+		d := p.reg.Get(name)
+		if d == nil {
+			continue
+		}
+		blob, err := d.MarshalJSON()
+		if err != nil {
+			return nil, fmt.Errorf("serve: snapshot mesh %q: %w", name, err)
+		}
+		state[name] = journal.SnapshotMesh{Blob: blob, Version: d.Version()}
+	}
+	return state, nil
+}
+
+func (p *persister) compactLocked() error {
+	state, err := p.snapshotState()
+	if err != nil {
+		return err
+	}
+	return p.store.Compact(state)
+}
+
+// checkpoint folds the current registry into a fresh snapshot
+// generation — the graceful-drain and post-recovery entry point.
+func (p *persister) checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.store == nil {
+		return nil
+	}
+	return p.compactLocked()
+}
+
+// restoreMesh rebuilds one mesh from its durable form: the blob
+// replays the surviving faults, then the saved version is restored so
+// version continuity survives the round trip.
+func restoreMesh(name string, blob json.RawMessage, version uint64) (*extmesh.DynamicNetwork, error) {
+	d, err := extmesh.UnmarshalDynamic(blob)
+	if err != nil {
+		return nil, fmt.Errorf("serve: recover mesh %q: %w", name, err)
+	}
+	if err := d.RestoreVersion(version); err != nil {
+		return nil, fmt.Errorf("serve: recover mesh %q: %w", name, err)
+	}
+	return d, nil
+}
+
+// Recover replays the journal into the registry: the snapshot's meshes
+// first, then every logged mutation in order. It finishes by folding
+// the recovered state into a fresh snapshot generation (so the next
+// recovery starts from one file) and marking the server ready. It must
+// be called before serving when the server has a journal; without one
+// it is a no-op.
+//
+// Records referencing meshes that no longer exist (a mutation raced a
+// delete before the crash) are skipped, mirroring how the live server
+// would have answered 404 after the delete.
+func (s *Server) Recover() error {
+	if s.persist.store == nil {
+		s.SetReady(true)
+		return nil
+	}
+	rec, err := s.persist.store.Recover()
+	if err != nil {
+		return err
+	}
+	for name, sm := range rec.Meshes {
+		d, err := restoreMesh(name, sm.Blob, sm.Version)
+		if err != nil {
+			return err
+		}
+		if err := s.meshes.Put(name, d); err != nil {
+			return err
+		}
+	}
+	for _, r := range rec.Records {
+		switch r.Op {
+		case journal.OpPut:
+			d, err := restoreMesh(r.Name, r.Blob, r.Version)
+			if err != nil {
+				return err
+			}
+			if err := s.meshes.Put(r.Name, d); err != nil {
+				return err
+			}
+		case journal.OpDelete:
+			s.meshes.Delete(r.Name)
+		case journal.OpApply:
+			d := s.meshes.Get(r.Name)
+			if d == nil {
+				continue
+			}
+			// Replay re-executes the attempted batch; a partial batch
+			// errors at the same point it originally did, which is the
+			// recorded (and correct) final state, so the error only
+			// matters if it happens earlier — impossible for a
+			// deterministic mutation on identical state.
+			d.Apply(r.Fail, r.Recover)
+		case journal.OpEvents:
+			d := s.meshes.Get(r.Name)
+			if d == nil {
+				continue
+			}
+			for _, ev := range r.Events {
+				if ev.Op == "fail" {
+					d.Apply([]extmesh.Coord{ev.Node}, nil)
+				} else {
+					d.Apply(nil, []extmesh.Coord{ev.Node})
+				}
+			}
+		default:
+			return fmt.Errorf("serve: journal record %d has unknown op %q", r.Seq, r.Op)
+		}
+	}
+	if err := s.persist.checkpoint(); err != nil {
+		return err
+	}
+	s.SetReady(true)
+	return nil
+}
+
+// Checkpoint folds the live registry into a fresh snapshot generation;
+// the daemon calls it after a graceful drain so restart recovery is a
+// single snapshot load. A no-op without a journal.
+func (s *Server) Checkpoint() error { return s.persist.checkpoint() }
+
+// RegisterMesh registers a mesh through the durable path — preloads
+// from daemon flags journal exactly like API creations.
+func (s *Server) RegisterMesh(name string, d *extmesh.DynamicNetwork) error {
+	return s.persist.create(name, d)
+}

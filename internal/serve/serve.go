@@ -15,6 +15,7 @@
 // # Endpoints
 //
 //	GET    /healthz                              liveness
+//	GET    /readyz                               readiness (503 until journal recovery completes)
 //	GET    /metrics                              text exposition
 //	GET    /debug/vars                           expvar (includes the "extmesh" map)
 //	POST   /v1/mesh                              create {name,width,height,faults}
@@ -41,8 +42,10 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"extmesh/internal/journal"
 	"extmesh/internal/metrics"
 )
 
@@ -64,6 +67,12 @@ type Options struct {
 	// Metrics is the instrument registry; nil selects the process-wide
 	// default (which the library hot paths already feed).
 	Metrics *metrics.Registry
+	// Journal, when non-nil, makes every registry mutation durable:
+	// mesh creations, uploads and deletions, fault batches, and admin
+	// inject schedules are appended to the store before the response
+	// acknowledges them. The server starts not-ready; call Recover
+	// (which replays the store into the registry) before serving.
+	Journal *journal.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +98,8 @@ type Server struct {
 	meshes  *Registry
 	metrics *metrics.Registry
 	admit   *admission
+	persist *persister
+	ready   atomic.Bool
 	handler http.Handler
 }
 
@@ -101,6 +112,10 @@ func New(opts Options) *Server {
 		meshes:  NewRegistry(opts.Metrics),
 		admit:   newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait, opts.Metrics),
 	}
+	s.persist = &persister{store: opts.Journal, reg: s.meshes}
+	// A journaled server is not ready until Recover has replayed the
+	// store; a memory-only server has nothing to recover.
+	s.ready.Store(opts.Journal == nil)
 	s.metrics.PublishExpvar()
 
 	mux := http.NewServeMux()
@@ -108,6 +123,14 @@ func New(opts Options) *Server {
 	// still answer health checks and publish its saturation.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -143,9 +166,17 @@ func New(opts Options) *Server {
 // Handler returns the fully assembled middleware chain.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Meshes exposes the registry, so the daemon can preload meshes from
-// flags and tests can seed fixtures directly.
+// Meshes exposes the registry, so tests can seed fixtures directly.
+// Meshes registered this way bypass the journal; durable registration
+// goes through RegisterMesh.
 func (s *Server) Meshes() *Registry { return s.meshes }
+
+// SetReady flips the /readyz verdict. Recover calls it on completion;
+// it is exported for daemons with additional boot phases.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether /readyz currently answers 200.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Serve runs srv on l until ctx is canceled, then drains gracefully:
 // the listener closes (new connections are refused), in-flight

@@ -1,0 +1,322 @@
+package meshclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"extmesh"
+)
+
+// The wire types below mirror internal/serve's JSON contract. They are
+// declared here, not imported, so the client package documents the
+// protocol it speaks and stays importable outside this module.
+
+// MeshInfo is the summary the lifecycle endpoints return.
+type MeshInfo struct {
+	Name    string `json:"name"`
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	Faults  int    `json:"faults"`
+	Version uint64 `json:"version"`
+}
+
+// MeshState is the full export of GET /v1/mesh/{name}: the info plus
+// the complete fault list.
+type MeshState struct {
+	Name    string          `json:"name"`
+	Width   int             `json:"width"`
+	Height  int             `json:"height"`
+	Faults  []extmesh.Coord `json:"faults"`
+	Version uint64          `json:"version"`
+}
+
+// Query is the shared body of the single-pair query endpoints.
+type Query struct {
+	Src      extmesh.Coord     `json:"src"`
+	Dst      extmesh.Coord     `json:"dst"`
+	Model    string            `json:"model,omitempty"`    // "blocks" (default) or "mcc"
+	Strategy *extmesh.Strategy `json:"strategy,omitempty"` // nil = server default
+	OmitPath bool              `json:"omit_path,omitempty"`
+}
+
+// RouteResult is one routing outcome.
+type RouteResult struct {
+	Hops int          `json:"hops"`
+	Path extmesh.Path `json:"path,omitempty"`
+}
+
+// Assurance pairs a verdict with the condition that produced it.
+type Assurance struct {
+	Verdict string          `json:"verdict"`
+	Via     []extmesh.Coord `json:"via,omitempty"`
+	Hops    int             `json:"hops"`
+	Path    extmesh.Path    `json:"path,omitempty"`
+}
+
+// Pair is one source/destination pair of a batch request.
+type Pair struct {
+	Src extmesh.Coord `json:"src"`
+	Dst extmesh.Coord `json:"dst"`
+}
+
+// BatchRouteResult is one pair's outcome within a batch; Error is set
+// when that pair failed and the route fields are meaningless.
+type BatchRouteResult struct {
+	Hops  int          `json:"hops"`
+	Path  extmesh.Path `json:"path,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// FaultsRequest is the POST .../faults body: explicit lists or an
+// inject-schedule spec (mutually exclusive).
+type FaultsRequest struct {
+	Fail    []extmesh.Coord `json:"fail,omitempty"`
+	Recover []extmesh.Coord `json:"recover,omitempty"`
+	Spec    string          `json:"spec,omitempty"`
+	Cycles  int             `json:"cycles,omitempty"`
+	Seed    int64           `json:"seed,omitempty"`
+}
+
+// FaultsResult reports what a fault batch changed.
+type FaultsResult struct {
+	Applied int    `json:"applied"`
+	Skipped int    `json:"skipped"`
+	Faults  int    `json:"faults"`
+	Version uint64 `json:"version"`
+}
+
+// Stats is the per-mesh observability view.
+type Stats struct {
+	MeshInfo
+	ReachHits    uint64  `json:"reach_hits"`
+	ReachMisses  uint64  `json:"reach_misses"`
+	ReachHitRate float64 `json:"reach_hit_rate"`
+}
+
+// call marshals req (nil means no body), performs Do, and decodes a
+// 2xx body into out (nil discards it).
+func (c *Client) call(ctx context.Context, method, path string, req any, idempotent bool, out any) error {
+	var body []byte
+	if req != nil {
+		var err error
+		body, err = json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("meshclient: encode request: %w", err)
+		}
+	}
+	resp, err := c.Do(ctx, method, path, body, idempotent)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(resp.Body, out); err != nil {
+		return fmt.Errorf("meshclient: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func meshPath(name, suffix string) string {
+	return "/v1/mesh/" + url.PathEscape(name) + suffix
+}
+
+// --- lifecycle --------------------------------------------------------
+
+// CreateMesh registers a named mesh. Not idempotent: a replayed create
+// would 409 against its own first delivery, so ambiguous failures are
+// surfaced rather than retried.
+func (c *Client) CreateMesh(ctx context.Context, name string, width, height int, faults []extmesh.Coord) (*MeshInfo, error) {
+	req := map[string]any{"name": name, "width": width, "height": height, "faults": faults}
+	var info MeshInfo
+	if err := c.call(ctx, http.MethodPost, "/v1/mesh", req, false, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// UploadMesh creates or replaces a mesh from a serialized network blob
+// (extmesh.Network/DynamicNetwork MarshalJSON format). PUT is
+// idempotent — replaying it converges on the same state.
+func (c *Client) UploadMesh(ctx context.Context, name string, blob []byte) (*MeshInfo, error) {
+	resp, err := c.Do(ctx, http.MethodPut, meshPath(name, ""), blob, true)
+	if err != nil {
+		return nil, err
+	}
+	var info MeshInfo
+	if err := json.Unmarshal(resp.Body, &info); err != nil {
+		return nil, fmt.Errorf("meshclient: decode upload response: %w", err)
+	}
+	return &info, nil
+}
+
+// DeleteMesh removes a mesh. Idempotent in effect, but a replayed
+// delete answers 404 — callers tolerating that may ignore
+// *APIError with Status 404.
+func (c *Client) DeleteMesh(ctx context.Context, name string) error {
+	return c.call(ctx, http.MethodDelete, meshPath(name, ""), nil, true, nil)
+}
+
+// GetMesh exports a mesh: dimensions, version and full fault list.
+func (c *Client) GetMesh(ctx context.Context, name string) (*MeshState, error) {
+	var st MeshState
+	if err := c.call(ctx, http.MethodGet, meshPath(name, ""), nil, true, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ListMeshes returns the registered mesh summaries.
+func (c *Client) ListMeshes(ctx context.Context) ([]MeshInfo, error) {
+	var out struct {
+		Meshes []MeshInfo `json:"meshes"`
+	}
+	if err := c.call(ctx, http.MethodGet, "/v1/mesh", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Meshes, nil
+}
+
+// --- single queries ---------------------------------------------------
+
+// Route asks for a Wu-protocol route.
+func (c *Client) Route(ctx context.Context, mesh string, q Query) (*RouteResult, error) {
+	var out RouteResult
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/route"), q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RouteAssured asks for an Ensure verdict plus the two-phase route it
+// guarantees.
+func (c *Client) RouteAssured(ctx context.Context, mesh string, q Query) (*Assurance, error) {
+	var out Assurance
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/route-assured"), q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Safe evaluates the paper's Theorem-1 sufficient condition.
+func (c *Client) Safe(ctx context.Context, mesh string, q Query) (bool, error) {
+	var out struct {
+		Safe bool `json:"safe"`
+	}
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/safe"), q, true, &out); err != nil {
+		return false, err
+	}
+	return out.Safe, nil
+}
+
+// Ensure runs the strategy cascade and returns its verdict.
+func (c *Client) Ensure(ctx context.Context, mesh string, q Query) (*Assurance, error) {
+	var out Assurance
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/ensure"), q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// HasMinimalPath asks the exact existence question.
+func (c *Client) HasMinimalPath(ctx context.Context, mesh string, q Query) (bool, error) {
+	var out struct {
+		Exists bool `json:"exists"`
+	}
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/has-minimal-path"), q, true, &out); err != nil {
+		return false, err
+	}
+	return out.Exists, nil
+}
+
+// --- batch queries ----------------------------------------------------
+
+// RouteBatch routes many pairs in one request (server worker pool).
+func (c *Client) RouteBatch(ctx context.Context, mesh string, pairs []Pair, model string, omitPaths bool) ([]BatchRouteResult, error) {
+	req := map[string]any{"pairs": pairs, "model": model, "omit_paths": omitPaths}
+	var out struct {
+		Results []BatchRouteResult `json:"results"`
+	}
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/route/batch"), req, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// EnsureBatch fans one source against many destinations.
+func (c *Client) EnsureBatch(ctx context.Context, mesh string, src extmesh.Coord, dests []extmesh.Coord, model string, strategy *extmesh.Strategy) ([]Assurance, error) {
+	req := map[string]any{"src": src, "dests": dests, "model": model}
+	if strategy != nil {
+		req["strategy"] = strategy
+	}
+	var out struct {
+		Results []Assurance `json:"results"`
+	}
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/ensure/batch"), req, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// HasMinimalPathBatch answers existence for many destinations from one
+// reachability sweep.
+func (c *Client) HasMinimalPathBatch(ctx context.Context, mesh string, src extmesh.Coord, dests []extmesh.Coord) ([]bool, error) {
+	req := map[string]any{"src": src, "dests": dests}
+	var out struct {
+		Results []bool `json:"results"`
+	}
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/has-minimal-path/batch"), req, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// --- admin ------------------------------------------------------------
+
+// ApplyFaults applies a fault mutation. Not idempotent: replaying a
+// batch can double-apply against concurrent mutators, so ambiguous
+// failures surface to the caller (429s and dial failures still retry).
+func (c *Client) ApplyFaults(ctx context.Context, mesh string, req FaultsRequest) (*FaultsResult, error) {
+	var out FaultsResult
+	if err := c.call(ctx, http.MethodPost, meshPath(mesh, "/faults"), req, false, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InjectSpec applies an inject-schedule spec ("random:rate=0.01",
+// "fail@0:3,4;recover@9:3,4", ...) with the given horizon and seed.
+func (c *Client) InjectSpec(ctx context.Context, mesh, spec string, cycles int, seed int64) (*FaultsResult, error) {
+	return c.ApplyFaults(ctx, mesh, FaultsRequest{Spec: spec, Cycles: cycles, Seed: seed})
+}
+
+// Stats fetches the per-mesh observability view.
+func (c *Client) Stats(ctx context.Context, mesh string) (*Stats, error) {
+	var out Stats
+	if err := c.call(ctx, http.MethodGet, meshPath(mesh, "/stats"), nil, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready polls /readyz; true once the server has finished recovery.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	resp, err := c.Do(ctx, http.MethodGet, "/readyz", nil, true)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+			return false, nil
+		}
+		return false, err
+	}
+	return resp.Status == http.StatusOK, nil
+}
+
+// Healthy polls /healthz liveness.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/healthz", nil, true, nil)
+}
