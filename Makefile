@@ -4,7 +4,7 @@ GO ?= go
 # detector must cover.
 RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
 
-.PHONY: all build test vet fmt race bench smoke chaos verify clean
+.PHONY: all build test vet fmt race bench bench-smoke smoke chaos verify clean
 
 all: build
 
@@ -31,6 +31,14 @@ race:
 # including the serve/* HTTP round-trip measurements.
 bench:
 	$(GO) run ./cmd/meshbench -out BENCH_routing.json
+
+# bench-smoke runs every meshbench measurement — including the
+# reach_bitset/* kernel comparison and the serve_binary/* wire-protocol
+# rows — at a tiny benchtime on a small mesh. It gates nothing on the
+# numbers; it exists so CI notices when a measured code path stops
+# compiling or starts erroring.
+bench-smoke:
+	$(GO) run ./cmd/meshbench -w 48 -h 48 -k 20,60 -dests 64 -benchtime 5ms -out -
 
 # smoke boots meshserved on an ephemeral port and drives a short
 # meshstress run against it (the cmd tests do this in-process too).

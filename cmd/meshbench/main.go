@@ -16,11 +16,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -40,6 +43,7 @@ import (
 	"extmesh/internal/route"
 	"extmesh/internal/serve"
 	"extmesh/internal/wang"
+	"extmesh/meshclient"
 )
 
 // Report is the top-level JSON document.
@@ -323,6 +327,32 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 		}
 	})
 
+	// The reachability kernel itself: the retired per-cell bool sweep
+	// (kept here as the reference) against the bit-parallel sweep that
+	// replaced it, and the []bool entry point that pays the conversion
+	// on every call.
+	record("reach_bitset/bool_sweep", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = boolSweepReach(m, src, faultGrid)
+		}
+	})
+	faultBits := new(mesh.Bits).FromBools(m, faultGrid)
+	var rbits *wang.Reach
+	record("reach_bitset/bitset", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rbits = wang.ReachFromBitsInto(rbits, m, src, faultBits)
+		}
+	})
+	var rconv *wang.Reach
+	record("reach_bitset/from_bools", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rconv = wang.ReachFromInto(rconv, m, src, faultGrid)
+		}
+	})
+
 	// Condition evaluation: per destination, then the worker-pool batch.
 	record("ensure/single", 1, func(b *testing.B) {
 		b.ReportAllocs()
@@ -373,6 +403,38 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 	}
 	sc.Results = append(sc.Results, serveResults...)
 	return sc, nil
+}
+
+// boolSweepReach is the pre-bitset reachability algorithm — one bool
+// per cell, four quadrant cones, scalar recurrence — retained here as
+// the reference the reach_bitset/* measurements are judged against.
+func boolSweepReach(m mesh.Mesh, s mesh.Coord, blocked []bool) []bool {
+	ok := make([]bool, m.Size())
+	for _, sx := range [2]int{1, -1} {
+		for _, sy := range [2]int{1, -1} {
+			for y := s.Y; y >= 0 && y < m.Height; y += sy {
+				for x := s.X; x >= 0 && x < m.Width; x += sx {
+					i := y*m.Width + x
+					if blocked[i] {
+						continue
+					}
+					if x == s.X && y == s.Y {
+						ok[i] = true
+						continue
+					}
+					reach := false
+					if x != s.X {
+						reach = ok[y*m.Width+(x-sx)]
+					}
+					if !reach && y != s.Y {
+						reach = ok[(y-sy)*m.Width+x]
+					}
+					ok[i] = reach
+				}
+			}
+		}
+	}
+	return ok
 }
 
 // measureServe stands up an in-process meshserved handler over the
@@ -485,6 +547,87 @@ func measureServe(out io.Writer, w, h int, faults []extmesh.Coord, src extmesh.C
 		return nil, err
 	}
 	if err := measure("serve/has_minimal_path_batch", "/has-minimal-path/batch", [][]byte{fanBody}, len(destList)); err != nil {
+		return nil, err
+	}
+
+	// The same query plane over the binary wire protocol: one
+	// persistent connection, length-prefixed frames, no HTTP or JSON.
+	// Columns line up with the serve/* rows above so the per-request
+	// transport tax is read directly.
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	bctx, bcancel := context.WithCancel(context.Background())
+	bdone := make(chan error, 1)
+	go func() { bdone <- srv.ServeBinary(bctx, bl, time.Second) }()
+	defer func() {
+		bcancel()
+		<-bdone
+	}()
+	bc, err := meshclient.NewBinary(meshclient.BinaryOptions{Addr: bl.Addr().String()})
+	if err != nil {
+		return nil, err
+	}
+	defer bc.Close()
+	ctx := context.Background()
+	clientPairs := make([]meshclient.Pair, len(pairs))
+	for i, p := range pairs {
+		clientPairs[i] = meshclient.Pair{Src: p.Src, Dst: p.Dst}
+	}
+	measureCall := func(name string, queriesPerOp int, call func(i int) error) error {
+		lats := make([]time.Duration, 0, 8192)
+		deadline := time.Now().Add(benchtime)
+		for i := 0; time.Now().Before(deadline); i++ {
+			t0 := time.Now()
+			if err := call(i); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var total time.Duration
+		for _, l := range lats {
+			total += l
+		}
+		res := Result{
+			Name:         name,
+			NsPerOp:      float64(total.Nanoseconds()) / float64(len(lats)),
+			QueriesPerOp: queriesPerOp,
+			P50Ns:        float64(lats[len(lats)/2].Nanoseconds()),
+			P99Ns:        float64(lats[len(lats)*99/100].Nanoseconds()),
+		}
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = float64(queriesPerOp) * 1e9 / res.NsPerOp
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-28s %12.1f ns/op  p50=%.0fns p99=%.0fns %21.0f q/s\n",
+			name, res.NsPerOp, res.P50Ns, res.P99Ns, res.QueriesPerSec)
+		return nil
+	}
+	isNoPath := func(err error) bool {
+		var apiErr *meshclient.APIError
+		return errors.As(err, &apiErr) && apiErr.Status == http.StatusUnprocessableEntity
+	}
+	if err := measureCall("serve_binary/route_single", 1, func(i int) error {
+		_, err := bc.Route(ctx, "bench", meshclient.Query{Src: src, Dst: destList[i%len(destList)], OmitPath: true})
+		if err != nil && !isNoPath(err) {
+			return err
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measureCall("serve_binary/route_batch", len(clientPairs), func(int) error {
+		_, err := bc.RouteBatch(ctx, "bench", clientPairs, "blocks", true)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := measureCall("serve_binary/has_minimal_path_batch", len(destList), func(int) error {
+		_, err := bc.HasMinimalPathBatch(ctx, "bench", src, destList)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return results, nil

@@ -13,9 +13,15 @@
 // completes — so a kill -9 mid-traffic loses nothing that was
 // acknowledged. A graceful drain writes a final snapshot.
 //
+// With -binary-addr a second listener serves the query plane over the
+// length-prefixed binary wire protocol (pipelined persistent
+// connections, same answers as the JSON endpoints at a fraction of the
+// per-query cost); see meshclient.BinaryClient and meshstress -proto
+// binary.
+//
 // Usage:
 //
-//	meshserved [-addr :8423]
+//	meshserved [-addr :8423] [-binary-addr :8424]
 //	           [-mesh name:WxH[:faults[:seed]]]...
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 4096]
@@ -74,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var specs meshSpecs
 	var (
 		addr         = fs.String("addr", ":8423", "listen address")
+		binaryAddr   = fs.String("binary-addr", "", "binary query protocol listen address (empty = disabled)")
 		maxInflight  = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 4*GOMAXPROCS)")
 		maxQueue     = fs.Int("max-queue", 0, "max requests queued for a slot (0 = 4*max-inflight)")
 		queueWait    = fs.Duration("queue-wait", 100*time.Millisecond, "max time a request waits in queue before a 429")
@@ -165,10 +172,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		IdleTimeout:  *idleTimeout,
 		ErrorLog:     logger,
 	}
+	// The binary query listener shares the registry, snapshots and
+	// admission gate with the HTTP surface; mutations stay HTTP-only.
+	binErrc := make(chan error, 1)
+	if *binaryAddr != "" {
+		bl, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		logger.Printf("binary protocol on %s", bl.Addr())
+		go func() { binErrc <- srv.ServeBinary(ctx, bl, *drainTimeout) }()
+	} else {
+		binErrc <- nil
+	}
 	logger.Printf("serving on %s (%d meshes)", l.Addr(), len(srv.Meshes().Names()))
 	err = serve.Serve(ctx, httpSrv, l, *drainTimeout)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if err := <-binErrc; err != nil {
+		return fmt.Errorf("binary listener: %w", err)
 	}
 	if store != nil {
 		// A final snapshot makes the next boot replay-free.

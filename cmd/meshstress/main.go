@@ -12,9 +12,15 @@
 // attempt-level retry/shed/error counts, so saturation shows up as
 // retries and latency, not as spurious failures.
 //
+// With -proto binary the same query mix is driven over the daemon's
+// binary wire-protocol listener (-binary-addr): one persistent
+// connection per worker, length-prefixed frames, no HTTP or JSON cost
+// per query. The HTTP base URL is still used to resolve the mesh.
+//
 // Usage:
 //
 //	meshstress [-addr http://localhost:8423] [-mesh prod]
+//	           [-proto json|binary] [-binary-addr localhost:8424]
 //	           [-endpoint route|has-minimal-path|ensure|safe]
 //	           [-workers 4] [-batch 64] [-paths] [-model blocks|mcc]
 //	           [-duration 10s] [-requests 0] [-seed 1]
@@ -61,6 +67,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshstress", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "http://localhost:8423", "meshserved base URL")
+		proto    = fs.String("proto", "json", "transport: json (HTTP endpoints) or binary (wire protocol)")
+		binAddr  = fs.String("binary-addr", "localhost:8424", "binary listener address (with -proto binary)")
 		meshName = fs.String("mesh", "prod", "target mesh name")
 		endpoint = fs.String("endpoint", "route", "query kind: route, has-minimal-path, ensure, or safe")
 		workers  = fs.Int("workers", 4, "concurrent workers")
@@ -109,11 +117,50 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	bodies, perReq, path, err := buildBodies(info, *endpoint, *batch, *model, !*paths, *seed)
-	if err != nil {
-		return err
+	// newFire builds one worker's request function plus its cleanup.
+	// JSON workers share the one resilient client and a pre-marshaled
+	// body pool; binary workers each own a persistent connection and
+	// drive the same query mix through the wire protocol.
+	var newFire func(w int) (func(context.Context, int) error, func(), error)
+	var perReq int
+	switch *proto {
+	case "json":
+		bodies, per, path, err := buildBodies(info, *endpoint, *batch, *model, !*paths, *seed)
+		if err != nil {
+			return err
+		}
+		perReq = per
+		url := "/v1/mesh/" + *meshName + path
+		newFire = func(int) (func(context.Context, int) error, func(), error) {
+			return func(ctx context.Context, i int) error {
+				_, err := client.Do(ctx, "POST", url, bodies[i%len(bodies)], true)
+				return err
+			}, func() {}, nil
+		}
+	case "binary":
+		work, per, err := buildBinaryWork(info, *endpoint, *batch, *model, !*paths, *seed)
+		if err != nil {
+			return err
+		}
+		perReq = per
+		newFire = func(int) (func(context.Context, int) error, func(), error) {
+			bc, err := meshclient.NewBinary(meshclient.BinaryOptions{
+				Addr:        *binAddr,
+				DialTimeout: *dialTimeout,
+				CallTimeout: *attemptTimeout,
+				MaxRetries:  *retries,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			fire := func(ctx context.Context, i int) error {
+				return work[i%len(work)].do(ctx, bc, *meshName)
+			}
+			return fire, func() { bc.Close() }, nil
+		}
+	default:
+		return fmt.Errorf("unknown -proto %q (want json or binary)", *proto)
 	}
-	url := "/v1/mesh/" + *meshName + path
 
 	runCtx := ctx
 	if *requests <= 0 {
@@ -148,20 +195,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			fire, cleanup, err := newFire(w)
+			if err != nil {
+				noteErr(err)
+				return
+			}
+			defer cleanup()
 			lat := make([]time.Duration, 0, 4096)
-			i := w // stagger body pool starting points across workers
+			i := w // stagger work pool starting points across workers
 			for runCtx.Err() == nil {
 				if *requests > 0 && reqBudget.Add(-1) < 0 {
 					break
 				}
-				body := bodies[i%len(bodies)]
+				j := i
 				i++
 				t0 := time.Now()
-				// Queries are idempotent: the client retries shed and
+				// Queries are idempotent: both transports retry shed and
 				// transiently failed attempts, so a request that
 				// eventually succeeds is a success.
-				_, err := client.Do(runCtx, "POST", url, body, true)
-				if err != nil {
+				if err := fire(runCtx, j); err != nil {
 					if runCtx.Err() != nil {
 						break
 					}
@@ -186,11 +238,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ok := done.Load()
 	queries := ok * uint64(perReq)
-	counts := client.Counts()
-	fmt.Fprintf(out, "meshstress: %s %s batch=%d workers=%d\n", *endpoint, info.label(), perReq, *workers)
+	fmt.Fprintf(out, "meshstress: %s %s %s batch=%d workers=%d\n", *proto, *endpoint, info.label(), perReq, *workers)
 	fmt.Fprintf(out, "requests: %d ok, %d errors in %.2fs\n", ok, failed.Load(), elapsed.Seconds())
-	fmt.Fprintf(out, "attempts: %d total, %d retried, %d shed (429), %d net errors, %d server errors\n",
-		counts.Attempts, counts.Retries, counts.Shed, counts.NetErrors, counts.ServerErrors)
+	if *proto == "json" {
+		counts := client.Counts()
+		fmt.Fprintf(out, "attempts: %d total, %d retried, %d shed (429), %d net errors, %d server errors\n",
+			counts.Attempts, counts.Retries, counts.Shed, counts.NetErrors, counts.ServerErrors)
+	}
 	fmt.Fprintf(out, "throughput: %.0f queries/sec (%.1f requests/sec)\n",
 		float64(queries)/elapsed.Seconds(), float64(ok)/elapsed.Seconds())
 	if len(all) > 0 {
@@ -307,6 +361,92 @@ func buildBodies(info meshInfo, endpoint string, batch int, model string, omitPa
 		return bodies, batch, "/" + endpoint + "/batch", nil
 	}
 	return nil, 0, "", fmt.Errorf("endpoint %q has no batch form; use -batch 1", endpoint)
+}
+
+// binWork is one pre-built binary request's arguments; exactly one
+// group of fields is populated, matching the endpoint.
+type binWork struct {
+	endpoint  string
+	q         meshclient.Query // batch == 1
+	pairs     []meshclient.Pair
+	src       extmesh.Coord
+	dests     []extmesh.Coord
+	model     string
+	omitPaths bool
+}
+
+func (w *binWork) do(ctx context.Context, bc *meshclient.BinaryClient, mesh string) error {
+	var err error
+	switch w.endpoint {
+	case "route":
+		if w.pairs != nil {
+			_, err = bc.RouteBatch(ctx, mesh, w.pairs, w.model, w.omitPaths)
+		} else {
+			_, err = bc.Route(ctx, mesh, w.q)
+		}
+	case "has-minimal-path":
+		if w.dests != nil {
+			_, err = bc.HasMinimalPathBatch(ctx, mesh, w.src, w.dests)
+		} else {
+			_, err = bc.HasMinimalPath(ctx, mesh, w.q)
+		}
+	case "ensure":
+		if w.dests != nil {
+			_, err = bc.EnsureBatch(ctx, mesh, w.src, w.dests, w.model)
+		} else {
+			_, err = bc.Ensure(ctx, mesh, w.q)
+		}
+	case "safe":
+		_, err = bc.Safe(ctx, mesh, w.q)
+	}
+	return err
+}
+
+// buildBinaryWork pre-builds the binary query pool: the same endpoints
+// and random-coordinate mix as buildBodies, as typed arguments instead
+// of marshaled JSON.
+func buildBinaryWork(info meshInfo, endpoint string, batch int, model string, omitPaths bool, seed int64) ([]binWork, int, error) {
+	const pool = 128
+	rng := rand.New(rand.NewSource(seed))
+	randCoord := func() extmesh.Coord {
+		return extmesh.Coord{X: rng.Intn(info.Width), Y: rng.Intn(info.Height)}
+	}
+	switch endpoint {
+	case "route", "has-minimal-path", "ensure", "safe":
+	default:
+		return nil, 0, fmt.Errorf("unknown endpoint %q", endpoint)
+	}
+	work := make([]binWork, pool)
+	if batch == 1 {
+		for i := range work {
+			work[i] = binWork{
+				endpoint: endpoint,
+				q:        meshclient.Query{Src: randCoord(), Dst: randCoord(), Model: model, OmitPath: omitPaths},
+			}
+		}
+		return work, 1, nil
+	}
+	switch endpoint {
+	case "route":
+		for i := range work {
+			pairs := make([]meshclient.Pair, batch)
+			for j := range pairs {
+				pairs[j] = meshclient.Pair{Src: randCoord(), Dst: randCoord()}
+			}
+			work[i] = binWork{endpoint: endpoint, pairs: pairs, model: model, omitPaths: omitPaths}
+		}
+	case "has-minimal-path", "ensure":
+		for i := range work {
+			dests := make([]extmesh.Coord, batch)
+			for j := range dests {
+				dests[j] = randCoord()
+			}
+			work[i] = binWork{endpoint: endpoint, src: randCoord(), dests: dests, model: model}
+		}
+	default:
+		return nil, 0, fmt.Errorf("endpoint %q has no batch form; use -batch 1", endpoint)
+	}
+	return work, batch, nil
 }
 
 // pct returns the q-quantile of sorted latencies (nearest-rank).

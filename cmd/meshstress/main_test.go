@@ -3,15 +3,22 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"extmesh"
 	"extmesh/internal/serve"
 )
 
 func newBackend(t *testing.T) *httptest.Server {
+	ts, _ := newBackendServer(t)
+	return ts
+}
+
+func newBackendServer(t *testing.T) (*httptest.Server, *serve.Server) {
 	t.Helper()
 	s := serve.New(serve.Options{})
 	d, err := extmesh.NewDynamic(32, 32)
@@ -28,7 +35,27 @@ func newBackend(t *testing.T) *httptest.Server {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, s
+}
+
+// startBinaryListener exposes s over the wire protocol on a loopback
+// port and returns its address.
+func startBinaryListener(t *testing.T, s *serve.Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ServeBinary(ctx, l, time.Second) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("ServeBinary: %v", err)
+		}
+	})
+	return l.Addr().String()
 }
 
 // TestStressSmoke drives a short fixed-request run against an
@@ -55,6 +82,41 @@ func TestStressSmoke(t *testing.T) {
 			}
 			report := out.String()
 			for _, want := range []string{"requests: 20 ok, 0 errors", "attempts:", "throughput:", "latency: p50="} {
+				if !strings.Contains(report, want) {
+					t.Errorf("report missing %q:\n%s", want, report)
+				}
+			}
+		})
+	}
+}
+
+// TestStressBinarySmoke drives the same endpoint families over the
+// binary wire protocol. Binary mode reports no attempts line (the
+// client retries are per-connection), so the check list differs.
+func TestStressBinarySmoke(t *testing.T) {
+	ts, s := newBackendServer(t)
+	binAddr := startBinaryListener(t, s)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"route-batch", []string{"-endpoint", "route", "-batch", "8"}},
+		{"route-single", []string{"-endpoint", "route", "-batch", "1"}},
+		{"existence-batch", []string{"-endpoint", "has-minimal-path", "-batch", "16"}},
+		{"ensure-batch", []string{"-endpoint", "ensure", "-batch", "4"}},
+		{"safe", []string{"-endpoint", "safe"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{
+				"-addr", ts.URL, "-proto", "binary", "-binary-addr", binAddr,
+				"-mesh", "m", "-workers", "2", "-requests", "20",
+			}, tc.args...)
+			if err := run(context.Background(), args, &out); err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+			report := out.String()
+			for _, want := range []string{"binary", "requests: 20 ok, 0 errors", "throughput:", "latency: p50="} {
 				if !strings.Contains(report, want) {
 					t.Errorf("report missing %q:\n%s", want, report)
 				}

@@ -157,6 +157,7 @@ type Network struct {
 	routers    [3]*route.Router
 
 	faultGrid []bool
+	faultBits *mesh.Bits
 
 	reachOnce sync.Once
 	reach     *wang.ReachCache
@@ -187,6 +188,9 @@ func New(width, height int, faults []Coord) (*Network, error) {
 	for _, f := range sc.Faults {
 		n.faultGrid[m.Index(f)] = true
 	}
+	// The bit-packed twin of faultGrid feeds the word-parallel
+	// reachability sweeps behind HasMinimalPath and OracleRoute.
+	n.faultBits = new(mesh.Bits).FromBools(m, n.faultGrid)
 	return n, nil
 }
 
@@ -264,7 +268,7 @@ func (n *Network) SafetyLevel(c Coord, fm FaultModel) (Level, error) {
 // run over the same immutable grid.
 func (n *Network) reachCache() *wang.ReachCache {
 	n.reachOnce.Do(func() {
-		n.reach = wang.NewReachCache(n.m, n.faultGrid, ReachCacheCapacity)
+		n.reach = wang.NewReachCacheBits(n.m, n.faultBits, ReachCacheCapacity)
 	})
 	return n.reach
 }

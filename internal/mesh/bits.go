@@ -1,0 +1,131 @@
+package mesh
+
+import "math/bits"
+
+// wordBits is the width of one bitset word; a single AND/OR/shift
+// covers this many columns at once.
+const wordBits = 64
+
+// Bits is a per-row bitset over the nodes of a mesh: each row of the
+// mesh occupies a fixed span of uint64 words, with bit x of a row's
+// span standing for column x. It is the bit-parallel counterpart of a
+// []bool grid indexed by Mesh.Index — 64 columns per word operation —
+// and backs the reachability sweeps of the wang package.
+//
+// The zero value is an empty grid over the zero mesh; use Resize (or
+// FromBools) to shape it. Words past column Width-1 in each row's last
+// word are always zero, so whole-word operations never see phantom
+// columns.
+type Bits struct {
+	m     Mesh
+	wpr   int      // words per row
+	words []uint64 // len m.Height*wpr, row y at words[y*wpr:(y+1)*wpr]
+}
+
+// NewBits returns a zeroed bitset grid over m.
+func NewBits(m Mesh) *Bits {
+	b := &Bits{}
+	b.Resize(m)
+	return b
+}
+
+// Resize shapes the grid for m, reusing the word storage when it is
+// large enough, and zeroes every bit.
+func (b *Bits) Resize(m Mesh) {
+	b.m = m
+	b.wpr = (m.Width + wordBits - 1) / wordBits
+	n := m.Height * b.wpr
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+		return
+	}
+	b.words = b.words[:n]
+	clear(b.words)
+}
+
+// FromBools fills the grid from a []bool indexed by m.Index. It is the
+// conversion boundary between the compatibility []bool form and the
+// bit-parallel form; callers on a hot path should convert once and
+// keep the Bits.
+func (b *Bits) FromBools(m Mesh, v []bool) *Bits {
+	b.Resize(m)
+	for y := 0; y < m.Height; y++ {
+		row := b.words[y*b.wpr : (y+1)*b.wpr]
+		src := v[y*m.Width : (y+1)*m.Width]
+		for x, set := range src {
+			if set {
+				row[x>>6] |= 1 << uint(x&63)
+			}
+		}
+	}
+	return b
+}
+
+// Mesh returns the dimensions the grid is shaped for.
+func (b *Bits) Mesh() Mesh { return b.m }
+
+// WordsPerRow returns the number of uint64 words covering one row.
+func (b *Bits) WordsPerRow() int { return b.wpr }
+
+// Row returns the word span of row y. The caller must not grow it.
+func (b *Bits) Row(y int) []uint64 {
+	return b.words[y*b.wpr : (y+1)*b.wpr]
+}
+
+// TailMask returns the valid-column mask of word w within a row:
+// all-ones except for the phantom columns past Width-1 in the last
+// word.
+func (b *Bits) TailMask(w int) uint64 {
+	if w != b.wpr-1 {
+		return ^uint64(0)
+	}
+	if r := b.m.Width & 63; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
+
+// Set marks node c.
+func (b *Bits) Set(c Coord) {
+	b.words[c.Y*b.wpr+c.X>>6] |= 1 << uint(c.X&63)
+}
+
+// Clear unmarks node c.
+func (b *Bits) Clear(c Coord) {
+	b.words[c.Y*b.wpr+c.X>>6] &^= 1 << uint(c.X&63)
+}
+
+// Get reports whether node c is marked. The caller must ensure c is
+// inside the mesh.
+func (b *Bits) Get(c Coord) bool {
+	return b.words[c.Y*b.wpr+c.X>>6]&(1<<uint(c.X&63)) != 0
+}
+
+// Count returns the number of marked nodes.
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bools materializes the grid into dst (indexed by Mesh.Index, resized
+// as needed) and returns it — the thin compatibility view for callers
+// that still speak []bool.
+func (b *Bits) Bools(dst []bool) []bool {
+	n := b.m.Size()
+	if cap(dst) < n {
+		dst = make([]bool, n)
+	} else {
+		dst = dst[:n]
+	}
+	for y := 0; y < b.m.Height; y++ {
+		row := b.Row(y)
+		out := dst[y*b.m.Width : (y+1)*b.m.Width]
+		for x := range out {
+			out[x] = row[x>>6]&(1<<uint(x&63)) != 0
+		}
+	}
+	return dst
+}

@@ -1,0 +1,93 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []int{1, 63, 64, 65, 128, 130} {
+		m := Mesh{Width: w, Height: 5}
+		v := make([]bool, m.Size())
+		for i := range v {
+			v[i] = rng.Intn(2) == 0
+		}
+		b := new(Bits).FromBools(m, v)
+		for i := range v {
+			if got := b.Get(m.CoordOf(i)); got != v[i] {
+				t.Fatalf("w=%d: Get(%v) = %v, want %v", w, m.CoordOf(i), got, v[i])
+			}
+		}
+		back := b.Bools(nil)
+		for i := range v {
+			if back[i] != v[i] {
+				t.Fatalf("w=%d: Bools[%d] = %v, want %v", w, i, back[i], v[i])
+			}
+		}
+		want := 0
+		for _, set := range v {
+			if set {
+				want++
+			}
+		}
+		if got := b.Count(); got != want {
+			t.Fatalf("w=%d: Count = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestBitsSetClearTail(t *testing.T) {
+	m := Mesh{Width: 70, Height: 3}
+	b := NewBits(m)
+	c := Coord{X: 69, Y: 2}
+	b.Set(c)
+	if !b.Get(c) {
+		t.Fatal("Set then Get = false")
+	}
+	// The tail mask must admit the last real column and nothing beyond.
+	if mask := b.TailMask(1); mask != (1<<(70-64))-1 {
+		t.Fatalf("TailMask(last) = %#x", mask)
+	}
+	if mask := b.TailMask(0); mask != ^uint64(0) {
+		t.Fatalf("TailMask(full word) = %#x", mask)
+	}
+	b.Clear(c)
+	if b.Get(c) || b.Count() != 0 {
+		t.Fatal("Clear left bits behind")
+	}
+}
+
+func TestBitsResizeReuseClears(t *testing.T) {
+	big := Mesh{Width: 100, Height: 10}
+	b := NewBits(big)
+	for i := 0; i < big.Size(); i += 3 {
+		b.Set(big.CoordOf(i))
+	}
+	small := Mesh{Width: 20, Height: 4}
+	b.Resize(small)
+	if b.Count() != 0 {
+		t.Fatalf("Resize left %d stale bits", b.Count())
+	}
+	if b.Mesh() != small {
+		t.Fatalf("Mesh() = %v after resize", b.Mesh())
+	}
+}
+
+// TestBitsExactWidth covers the Width%64==0 tail: the mask must stay
+// all-ones rather than collapsing to zero.
+func TestBitsExactWidth(t *testing.T) {
+	m := Mesh{Width: 128, Height: 2}
+	b := NewBits(m)
+	if b.WordsPerRow() != 2 {
+		t.Fatalf("WordsPerRow = %d", b.WordsPerRow())
+	}
+	if b.TailMask(1) != ^uint64(0) {
+		t.Fatalf("TailMask = %#x for exact-width row", b.TailMask(1))
+	}
+	c := Coord{X: 127, Y: 1}
+	b.Set(c)
+	if !b.Get(c) {
+		t.Fatal("last column lost")
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/metrics"
+	"extmesh/internal/wire"
+)
+
+// binaryServer serves the wire protocol (internal/wire) over persistent
+// TCP connections: one goroutine per connection reads length-prefixed
+// request frames, answers them strictly in order through the same
+// registry, snapshots and admission gate as the JSON endpoints, and
+// batches response writes — the flush is deferred while more pipelined
+// requests are already buffered, so a deep pipeline pays one syscall
+// per burst instead of one per query.
+type binaryServer struct {
+	s *Server
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	drained bool
+
+	wg sync.WaitGroup
+
+	connsGauge *metrics.Gauge
+	requests   *metrics.Counter
+	errors     *metrics.Counter
+	latency    *metrics.Histogram
+}
+
+func newBinaryServer(s *Server) *binaryServer {
+	m := s.metrics
+	return &binaryServer{
+		s:          s,
+		conns:      make(map[net.Conn]struct{}),
+		connsGauge: m.Gauge("binary_conns"),
+		requests:   m.Counter("binary_requests_total"),
+		errors:     m.Counter("binary_errors_total"),
+		latency:    m.Histogram("binary_latency"),
+	}
+}
+
+// ServeBinary runs the binary query listener until ctx is canceled,
+// then drains: the listener closes, every connection's pending
+// responses are flushed and its reads are unblocked, and connections
+// still busy after drainTimeout are cut off. The query surface and
+// answers are identical to the JSON endpoints; mutating admin
+// operations stay HTTP-only.
+func (s *Server) ServeBinary(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
+	b := newBinaryServer(s)
+	errc := make(chan error, 1)
+	go func() { errc <- b.acceptLoop(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	l.Close()
+	<-errc
+	b.beginDrain()
+	done := make(chan struct{})
+	go func() { b.wg.Wait(); close(done) }()
+	t := time.NewTimer(drainTimeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-t.C:
+		b.closeAll()
+		<-done
+		return nil
+	}
+}
+
+func (b *binaryServer) acceptLoop(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !b.track(conn) {
+			conn.Close() // raced shutdown
+			return nil
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer b.untrack(conn)
+			b.serveConn(conn)
+		}()
+	}
+}
+
+func (b *binaryServer) track(conn net.Conn) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.drained {
+		return false
+	}
+	b.conns[conn] = struct{}{}
+	b.connsGauge.Set(int64(len(b.conns)))
+	return true
+}
+
+func (b *binaryServer) untrack(conn net.Conn) {
+	conn.Close()
+	b.mu.Lock()
+	delete(b.conns, conn)
+	b.connsGauge.Set(int64(len(b.conns)))
+	b.mu.Unlock()
+}
+
+// beginDrain unblocks every connection's pending read with an expired
+// deadline; handlers mid-request finish and flush before their next
+// read observes it.
+func (b *binaryServer) beginDrain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drained = true
+	past := time.Unix(1, 0)
+	for conn := range b.conns {
+		conn.SetReadDeadline(past)
+	}
+}
+
+func (b *binaryServer) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for conn := range b.conns {
+		conn.Close()
+	}
+}
+
+// serveConn is one connection's request loop. Frames are answered in
+// arrival order; the response writer is flushed only when no further
+// request is already buffered, so pipelined bursts coalesce.
+func (b *binaryServer) serveConn(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var reqBuf, respBuf []byte
+	for {
+		body, err := wire.ReadFrame(r, wire.MaxRequestFrame, reqBuf)
+		if err != nil {
+			// EOF, deadline (drain), or an oversized length prefix — the
+			// stream cannot be trusted past any of them.
+			w.Flush()
+			return
+		}
+		reqBuf = body[:0]
+		start := time.Now()
+		b.requests.Inc()
+		respBuf = b.handleFrame(respBuf[:0], body)
+		b.latency.Observe(time.Since(start))
+		if err := wire.WriteFrame(w, respBuf); err != nil {
+			return
+		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleFrame answers one request frame, appending the response body
+// onto buf. Every outcome — including malformed requests — produces a
+// response frame, so a pipelined client never desynchronizes.
+func (b *binaryServer) handleFrame(buf, body []byte) []byte {
+	req, err := wire.DecodeRequest(body)
+	if err != nil {
+		var id uint32
+		if req != nil {
+			id = req.ID
+		}
+		b.errors.Inc()
+		return wire.AppendError(buf, id, wire.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+	}
+	if err := b.s.admit.acquire(context.Background()); err != nil {
+		b.errors.Inc()
+		return wire.AppendError(buf, req.ID, wire.StatusSaturated, err.Error())
+	}
+	defer b.s.admit.release()
+
+	d := b.s.meshes.Get(req.Mesh)
+	if d == nil {
+		b.errors.Inc()
+		return wire.AppendError(buf, req.ID, wire.StatusNotFound, fmt.Sprintf("mesh %q not registered", req.Mesh))
+	}
+	n, err := d.Snapshot()
+	if err != nil {
+		b.errors.Inc()
+		return wire.AppendError(buf, req.ID, wire.StatusInternal, fmt.Sprintf("snapshot failed: %v", err))
+	}
+	fm := extmesh.Blocks
+	if req.MCC() {
+		fm = extmesh.MCC
+	}
+
+	switch req.Op {
+	case wire.OpRoute:
+		p, err := n.Route(req.Src, req.Dst, fm)
+		if err != nil {
+			b.errors.Inc()
+			return wire.AppendError(buf, req.ID, wire.StatusUnprocessable, err.Error())
+		}
+		buf = wire.AppendOKHeader(buf, req.ID)
+		buf = wire.AppendU32(buf, uint32(int32(len(p)-1)))
+		if req.OmitPaths() {
+			return wire.AppendU32(buf, 0)
+		}
+		return wire.AppendPath(buf, p)
+
+	case wire.OpHasMinimalPath:
+		buf = wire.AppendOKHeader(buf, req.ID)
+		return append(buf, boolByte(n.HasMinimalPath(req.Src, req.Dst)))
+
+	case wire.OpSafe:
+		buf = wire.AppendOKHeader(buf, req.ID)
+		return append(buf, boolByte(n.Safe(req.Src, req.Dst, fm)))
+
+	case wire.OpEnsure:
+		a := n.Ensure(req.Src, req.Dst, fm, extmesh.DefaultStrategy())
+		buf = wire.AppendOKHeader(buf, req.ID)
+		return wire.AppendEnsure(buf, uint8(a.Verdict), a.Via())
+
+	case wire.OpRouteBatch:
+		pairs := len(req.Pairs) / 2
+		if msg, ok := checkBatch(pairs, "pairs"); !ok {
+			b.errors.Inc()
+			return wire.AppendError(buf, req.ID, wire.StatusBadRequest, msg)
+		}
+		ps := make([]extmesh.Pair, pairs)
+		for i := range ps {
+			ps[i] = extmesh.Pair{Src: req.Pairs[2*i], Dst: req.Pairs[2*i+1]}
+		}
+		results := n.RouteMany(ps, fm)
+		buf = wire.AppendOKHeader(buf, req.ID)
+		buf = wire.AppendU16(buf, uint16(len(results)))
+		for _, res := range results {
+			if res.Err != nil {
+				buf = append(buf, 0)
+				msg := res.Err.Error()
+				if len(msg) > 0xffff {
+					msg = msg[:0xffff]
+				}
+				buf = wire.AppendU16(buf, uint16(len(msg)))
+				buf = append(buf, msg...)
+				continue
+			}
+			buf = append(buf, 1)
+			buf = wire.AppendU32(buf, uint32(int32(len(res.Path)-1)))
+			if req.OmitPaths() {
+				buf = wire.AppendU32(buf, 0)
+			} else {
+				buf = wire.AppendPath(buf, res.Path)
+			}
+		}
+		return buf
+
+	case wire.OpHasMinimalPathBatch:
+		if msg, ok := checkBatch(len(req.Dests), "destinations"); !ok {
+			b.errors.Inc()
+			return wire.AppendError(buf, req.ID, wire.StatusBadRequest, msg)
+		}
+		buf = wire.AppendOKHeader(buf, req.ID)
+		return wire.AppendBools(buf, n.HasMinimalPathAll(req.Src, req.Dests))
+
+	case wire.OpEnsureBatch:
+		if msg, ok := checkBatch(len(req.Dests), "destinations"); !ok {
+			b.errors.Inc()
+			return wire.AppendError(buf, req.ID, wire.StatusBadRequest, msg)
+		}
+		assurances := n.EnsureAll(req.Src, req.Dests, fm, extmesh.DefaultStrategy())
+		buf = wire.AppendOKHeader(buf, req.ID)
+		buf = wire.AppendU16(buf, uint16(len(assurances)))
+		for i := range assurances {
+			buf = wire.AppendEnsure(buf, uint8(assurances[i].Verdict), assurances[i].Via())
+		}
+		return buf
+	}
+	// DecodeRequest already rejected unknown ops; defensive fallthrough.
+	b.errors.Inc()
+	return wire.AppendError(buf, req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown op %d", req.Op))
+}
+
+// checkBatch enforces the shared batch bounds with the same messages
+// the JSON endpoints produce.
+func checkBatch(n int, noun string) (string, bool) {
+	if n == 0 {
+		return "empty batch", false
+	}
+	if n > MaxBatch {
+		return fmt.Sprintf("batch of %d %s exceeds the %d limit", n, noun, MaxBatch), false
+	}
+	return "", true
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"strconv"
@@ -78,44 +81,68 @@ func retryAfterSecs(wait time.Duration) string {
 	return strconv.FormatInt(secs, 10)
 }
 
+// errSaturated is what acquire returns when the request was shed; the
+// message is the same "server saturated" text the 429 body carries, so
+// both transports publish the same diagnosis.
+type errSaturated struct{ msg string }
+
+func (e *errSaturated) Error() string { return e.msg }
+
+// acquire claims an execution slot, queueing up to the gate's policy,
+// and is the transport-neutral core of the admission control: the HTTP
+// wrap and the binary listener both gate each request through it. It
+// returns nil when a slot is held (the caller must release), an
+// *errSaturated when the request was shed, and the context error when
+// the caller gave up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}: // free slot, no queueing
+	default:
+		if a.queue.Add(1) > a.max {
+			a.queue.Add(-1)
+			a.shed.Inc()
+			return &errSaturated{msg: fmt.Sprintf("server saturated: %d in flight, queue full", cap(a.slots))}
+		}
+		a.queued.Inc()
+		a.depth.Set(a.queue.Load())
+		t := time.NewTimer(a.wait)
+		select {
+		case a.slots <- struct{}{}:
+			t.Stop()
+			a.queue.Add(-1)
+		case <-t.C:
+			a.queue.Add(-1)
+			a.shed.Inc()
+			return &errSaturated{msg: fmt.Sprintf("server saturated: queued longer than %v", a.wait)}
+		case <-ctx.Done():
+			t.Stop()
+			a.queue.Add(-1)
+			a.shed.Inc()
+			return ctx.Err() // caller gave up while queued
+		}
+		a.depth.Set(a.queue.Load())
+	}
+	a.inflight.Set(int64(len(a.slots)))
+	return nil
+}
+
+// release returns the slot acquire claimed.
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Set(int64(len(a.slots)))
+}
+
 func (a *admission) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case a.slots <- struct{}{}: // free slot, no queueing
-		default:
-			if a.queue.Add(1) > a.max {
-				a.queue.Add(-1)
-				a.shed.Inc()
+		if err := a.acquire(r.Context()); err != nil {
+			var sat *errSaturated
+			if errors.As(err, &sat) {
 				w.Header().Set("Retry-After", a.retryAfter)
-				writeError(w, http.StatusTooManyRequests, "server saturated: %d in flight, queue full", cap(a.slots))
-				return
+				writeError(w, http.StatusTooManyRequests, "%s", sat.msg)
 			}
-			a.queued.Inc()
-			a.depth.Set(a.queue.Load())
-			t := time.NewTimer(a.wait)
-			select {
-			case a.slots <- struct{}{}:
-				t.Stop()
-				a.queue.Add(-1)
-			case <-t.C:
-				a.queue.Add(-1)
-				a.shed.Inc()
-				w.Header().Set("Retry-After", a.retryAfter)
-				writeError(w, http.StatusTooManyRequests, "server saturated: queued longer than %v", a.wait)
-				return
-			case <-r.Context().Done():
-				t.Stop()
-				a.queue.Add(-1)
-				a.shed.Inc()
-				return // client gave up while queued
-			}
-			a.depth.Set(a.queue.Load())
+			return // context errors: the client is gone, nothing to write
 		}
-		a.inflight.Set(int64(len(a.slots)))
-		defer func() {
-			<-a.slots
-			a.inflight.Set(int64(len(a.slots)))
-		}()
+		defer a.release()
 		next.ServeHTTP(w, r)
 	})
 }

@@ -56,6 +56,32 @@ func BenchmarkReachCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkReachFromBits measures one full-mesh word-parallel sweep on
+// the 200x200 scenario — the cost a ReachCache miss pays.
+func BenchmarkReachFromBits(b *testing.B) {
+	m, blocked := benchGrid(b)
+	bits := new(mesh.Bits).FromBools(m, blocked)
+	s := m.Center()
+	var r *Reach
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = ReachFromBitsInto(r, m, s, bits)
+	}
+}
+
+// BenchmarkReachFromBoolSweep is the retired per-cell sweep on the same
+// scenario, kept as the before-side of the bitset speedup.
+func BenchmarkReachFromBoolSweep(b *testing.B) {
+	m, blocked := benchGrid(b)
+	s := m.Center()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = boolSweepReach(m, s, blocked)
+	}
+}
+
 // BenchmarkReachCacheMiss measures the worst case: every query evicts
 // and re-sweeps (capacity 1, alternating sources).
 func BenchmarkReachCacheMiss(b *testing.B) {

@@ -35,7 +35,7 @@ const DefaultCacheCapacity = 1024
 // evicted to admit a new root.
 type ReachCache struct {
 	m       mesh.Mesh
-	blocked []bool
+	blocked *mesh.Bits // bit-packed; every sweep runs the word-parallel kernel
 	cap     int
 
 	mu      sync.RWMutex
@@ -55,11 +55,20 @@ type cacheEntry struct {
 }
 
 // NewReachCache returns a cache over the blocked grid (indexed by
-// mesh.Index, not copied; the caller must not mutate it afterwards).
-// capacity bounds the number of memoized roots: zero means unbounded
-// (a plain per-root memo, at most m.Size() entries of m.Size() bytes
-// each) and a negative value selects DefaultCacheCapacity.
+// mesh.Index). The grid is bit-packed once at construction, so later
+// mutations of the slice are not observed and every memoized sweep
+// runs word-parallel. capacity bounds the number of memoized roots:
+// zero means unbounded (a plain per-root memo, at most m.Size()
+// entries) and a negative value selects DefaultCacheCapacity.
 func NewReachCache(m mesh.Mesh, blocked []bool, capacity int) *ReachCache {
+	return NewReachCacheBits(m, new(mesh.Bits).FromBools(m, blocked), capacity)
+}
+
+// NewReachCacheBits is NewReachCache over an already bit-packed
+// blocked grid (shaped for m, not copied; the caller must not mutate
+// it afterwards), skipping the conversion for callers that keep the
+// bitset form around.
+func NewReachCacheBits(m mesh.Mesh, blocked *mesh.Bits, capacity int) *ReachCache {
 	if capacity < 0 {
 		capacity = DefaultCacheCapacity
 	}
@@ -100,7 +109,7 @@ func (c *ReachCache) Reach(root mesh.Coord) *Reach {
 		metricHits.Inc()
 	}
 	e.used.Store(c.tick.Add(1))
-	e.once.Do(func() { e.r = ReachFrom(c.m, root, c.blocked) })
+	e.once.Do(func() { e.r = ReachFromBits(c.m, root, c.blocked) })
 	return e.r
 }
 

@@ -14,11 +14,18 @@ import (
 // (monotone) path in every quadrant. Because every minimal path from s
 // to d moves only in the two directions towards d, reachability is a
 // simple prefix DP per quadrant.
+//
+// The grid is stored as uint64 bitset rows (mesh.Bits), so each
+// quadrant cone sweep computes a whole 64-column span per word
+// operation instead of one node per iteration; Bools exposes the
+// []bool view for compatibility.
 type Reach struct {
 	M mesh.Mesh
 	S mesh.Coord
 
-	ok []bool
+	bits    mesh.Bits // reachability, bit x of row y set iff reachable
+	scratch mesh.Bits // []bool blocked conversion buffer (Into form)
+	cur     []uint64  // per-cone running row of the sweep
 }
 
 // ReachFrom computes minimal-path reachability from s to every node of
@@ -29,77 +36,157 @@ func ReachFrom(m mesh.Mesh, s mesh.Coord, blocked []bool) *Reach {
 }
 
 // ReachFromInto is the arena form of ReachFrom: it runs the same
-// per-quadrant sweeps into r, reusing r's reachability grid when it is
-// large enough (a nil r allocates a fresh one), and returns the filled
-// Reach. Results previously read from r describe the new source and
-// blocked set after the call.
+// per-quadrant sweeps into r, reusing r's grids when they are large
+// enough (a nil r allocates fresh ones), and returns the filled Reach.
+// Results previously read from r describe the new source and blocked
+// set after the call. The []bool blocked grid is converted to bitset
+// rows on entry; callers sweeping repeatedly over one fault set should
+// convert once and use ReachFromBitsInto.
 func ReachFromInto(r *Reach, m mesh.Mesh, s mesh.Coord, blocked []bool) *Reach {
+	if r == nil {
+		r = &Reach{}
+	}
+	r.scratch.FromBools(m, blocked)
+	return ReachFromBitsInto(r, m, s, &r.scratch)
+}
+
+// ReachFromBits is ReachFrom over an already bit-packed blocked grid —
+// the hot-path form used by ReachCache.
+func ReachFromBits(m mesh.Mesh, s mesh.Coord, blocked *mesh.Bits) *Reach {
+	return ReachFromBitsInto(nil, m, s, blocked)
+}
+
+// ReachFromBitsInto is the arena form of ReachFromBits. blocked must be
+// shaped for m; it may alias r.scratch (ReachFromInto does) but not
+// r's result grid.
+func ReachFromBitsInto(r *Reach, m mesh.Mesh, s mesh.Coord, blocked *mesh.Bits) *Reach {
 	if r == nil {
 		r = &Reach{}
 	}
 	r.M = m
 	r.S = s
-	if cap(r.ok) < m.Size() {
-		r.ok = make([]bool, m.Size())
+	r.bits.Resize(m) // zeroed; the cone sweeps OR into it
+	wpr := r.bits.WordsPerRow()
+	if cap(r.cur) < wpr {
+		r.cur = make([]uint64, wpr)
 	} else {
-		r.ok = r.ok[:m.Size()]
+		r.cur = r.cur[:wpr]
 	}
-	if blocked[m.Index(s)] {
-		// The sweeps below never run, so stale entries from a previous
-		// use of r must be cleared explicitly.
-		clear(r.ok)
+	if blocked.Get(s) {
 		return r
 	}
 	// Sweep each quadrant cone independently; the axes shared between
-	// two cones compute the same value, so overwriting is harmless. The
-	// four cones jointly write every node, so no clearing is needed.
+	// two cones compute the same value, so OR-merging is harmless. Each
+	// cone carries its own running row (r.cur), because a monotone path
+	// never re-enters another cone's half-plane.
 	for _, sx := range []int{1, -1} {
 		for _, sy := range []int{1, -1} {
+			clear(r.cur)
 			r.sweep(blocked, sx, sy)
 		}
 	}
 	return r
 }
 
+// smearUp propagates seed bits toward higher bit indices through the
+// free mask f (Kogge-Stone occluded fill): the result is every bit of
+// f reachable from seed&f by repeated +1 steps that never leave f.
+func smearUp(seed, f uint64) uint64 {
+	seed &= f
+	seed |= f & (seed << 1)
+	f &= f << 1
+	seed |= f & (seed << 2)
+	f &= f << 2
+	seed |= f & (seed << 4)
+	f &= f << 4
+	seed |= f & (seed << 8)
+	f &= f << 8
+	seed |= f & (seed << 16)
+	f &= f << 16
+	seed |= f & (seed << 32)
+	return seed
+}
+
+// smearDown is smearUp towards lower bit indices.
+func smearDown(seed, f uint64) uint64 {
+	seed &= f
+	seed |= f & (seed >> 1)
+	f &= f >> 1
+	seed |= f & (seed >> 2)
+	f &= f >> 2
+	seed |= f & (seed >> 4)
+	f &= f >> 4
+	seed |= f & (seed >> 8)
+	f &= f >> 8
+	seed |= f & (seed >> 16)
+	f &= f >> 16
+	seed |= f & (seed >> 32)
+	return seed
+}
+
 // sweep fills the cone of nodes with sign(x-sx)=sx, sign(y-sy)=sy using
 // the monotone recurrence reach(c) = !blocked(c) && (reach(pred_x) ||
-// reach(pred_y)).
-func (r *Reach) sweep(blocked []bool, sx, sy int) {
-	m := r.M
-	xEnd := m.Width
-	yEnd := m.Height
-	if sx < 0 {
-		xEnd = -1
-	}
+// reach(pred_y)), one whole word span per operation: the vertical term
+// seeds each row from the cone's previous row, and the horizontal
+// closure is a bit-parallel smear through the row's free mask, with a
+// one-bit carry linking adjacent words in the propagation direction.
+// r.cur must be zeroed by the caller and holds the cone's previous-row
+// reach between iterations.
+func (r *Reach) sweep(blocked *mesh.Bits, sx, sy int) {
+	wpr := r.bits.WordsPerRow()
+	srcWord, srcBit := r.S.X>>6, uint(r.S.X&63)
+	yEnd := r.M.Height
 	if sy < 0 {
 		yEnd = -1
 	}
+	cur := r.cur
 	for y := r.S.Y; y != yEnd; y += sy {
-		for x := r.S.X; x != xEnd; x += sx {
-			i := y*m.Width + x
-			if blocked[i] {
-				r.ok[i] = false
-				continue
+		brow := blocked.Row(y)
+		rrow := r.bits.Row(y)
+		if sx > 0 {
+			var carry uint64 // bit 0: column 64w-1 of the previous word reached
+			for w := 0; w < wpr; w++ {
+				f := ^brow[w] & blocked.TailMask(w)
+				seed := (cur[w] | carry) & f
+				if y == r.S.Y && w == srcWord {
+					seed |= 1 << srcBit // source row seeds itself
+				}
+				v := smearUp(seed, f)
+				cur[w] = v
+				carry = v >> 63
+				rrow[w] |= v
 			}
-			if x == r.S.X && y == r.S.Y {
-				r.ok[i] = true
-				continue
+		} else {
+			var carry uint64 // bit 63: column 64w of the previous word reached
+			for w := wpr - 1; w >= 0; w-- {
+				f := ^brow[w] & blocked.TailMask(w)
+				seed := (cur[w] | carry) & f
+				if y == r.S.Y && w == srcWord {
+					seed |= 1 << srcBit
+				}
+				v := smearDown(seed, f)
+				cur[w] = v
+				carry = v << 63
+				rrow[w] |= v
 			}
-			ok := false
-			if x != r.S.X {
-				ok = r.ok[y*m.Width+(x-sx)]
-			}
-			if !ok && y != r.S.Y {
-				ok = r.ok[(y-sy)*m.Width+x]
-			}
-			r.ok[i] = ok
 		}
 	}
 }
 
 // CanReach reports whether a minimal path exists from the source to d.
 func (r *Reach) CanReach(d mesh.Coord) bool {
-	return r.ok[r.M.Index(d)]
+	return r.bits.Get(d)
+}
+
+// Bits exposes the bitset reachability grid. The caller must not
+// mutate it.
+func (r *Reach) Bits() *mesh.Bits { return &r.bits }
+
+// Bools materializes the reachability grid into dst (indexed by
+// mesh.Index, reallocated as needed) — the compatibility view for
+// callers that still consume []bool grids.
+func (r *Reach) Bools(dst []bool) []bool {
+	return r.bits.Bools(dst)
 }
 
 // dpScratch pools the two DP rows of MinimalPathExists so the

@@ -1,0 +1,144 @@
+package wang
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+// boolSweepReach is the pre-bitset reference implementation of
+// ReachFrom: one bool per node, the four quadrant cones swept cell by
+// cell with the monotone recurrence. The bit-parallel kernel is pinned
+// against it property-style below; if the kernels ever disagree, this
+// is the specification.
+func boolSweepReach(m mesh.Mesh, s mesh.Coord, blocked []bool) []bool {
+	ok := make([]bool, m.Size())
+	if blocked[m.Index(s)] {
+		return ok
+	}
+	for _, sx := range []int{1, -1} {
+		for _, sy := range []int{1, -1} {
+			xEnd := m.Width
+			yEnd := m.Height
+			if sx < 0 {
+				xEnd = -1
+			}
+			if sy < 0 {
+				yEnd = -1
+			}
+			for y := s.Y; y != yEnd; y += sy {
+				for x := s.X; x != xEnd; x += sx {
+					i := y*m.Width + x
+					if blocked[i] {
+						ok[i] = false
+						continue
+					}
+					if x == s.X && y == s.Y {
+						ok[i] = true
+						continue
+					}
+					reach := false
+					if x != s.X {
+						reach = ok[y*m.Width+(x-sx)]
+					}
+					if !reach && y != s.Y {
+						reach = ok[(y-sy)*m.Width+x]
+					}
+					ok[i] = reach
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// TestReachBitsetMatchesBoolSweep pins the word-parallel kernel to the
+// bool-sweep reference across random meshes, fault densities and
+// sources — including widths straddling the 64-column word boundary,
+// where the cross-word carries live.
+func TestReachBitsetMatchesBoolSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	widths := []int{1, 2, 7, 63, 64, 65, 100, 127, 128, 129, 200}
+	for trial := 0; trial < 300; trial++ {
+		w := widths[rng.Intn(len(widths))]
+		h := 1 + rng.Intn(40)
+		m := mesh.Mesh{Width: w, Height: h}
+		density := []float64{0, 0.05, 0.2, 0.5, 0.9}[rng.Intn(5)]
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < density
+		}
+		s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		if trial%5 != 0 {
+			blocked[m.Index(s)] = false // mostly-free sources, some blocked
+		}
+
+		want := boolSweepReach(m, s, blocked)
+		r := ReachFrom(m, s, blocked)
+		for i := 0; i < m.Size(); i++ {
+			d := m.CoordOf(i)
+			if got := r.CanReach(d); got != want[i] {
+				t.Fatalf("trial %d (%dx%d, density %.2f): reach(%v->%v) = %v, bool sweep = %v",
+					trial, w, h, density, s, d, got, want[i])
+			}
+		}
+		// The compatibility view must materialize the same grid.
+		if got := r.Bools(nil); len(got) != len(want) {
+			t.Fatalf("Bools length %d, want %d", len(got), len(want))
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Bools[%d] = %v, want %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReachIntoReuse verifies the arena form stays correct when one
+// Reach is cycled across differently shaped meshes and sources — stale
+// bits from a larger previous grid must never leak through.
+func TestReachIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var r *Reach
+	for trial := 0; trial < 100; trial++ {
+		w := 1 + rng.Intn(130)
+		h := 1 + rng.Intn(20)
+		m := mesh.Mesh{Width: w, Height: h}
+		blocked := make([]bool, m.Size())
+		for i := range blocked {
+			blocked[i] = rng.Float64() < 0.3
+		}
+		s := mesh.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+		r = ReachFromInto(r, m, s, blocked)
+		want := boolSweepReach(m, s, blocked)
+		for i := 0; i < m.Size(); i++ {
+			if got := r.CanReach(m.CoordOf(i)); got != want[i] {
+				t.Fatalf("trial %d (%dx%d): reused reach(%v->%v) = %v, want %v",
+					trial, w, h, s, m.CoordOf(i), got, want[i])
+			}
+		}
+	}
+}
+
+// TestReachCacheBitsMatchesBools verifies the two cache constructors
+// answer identically (the []bool form converts to the bitset form).
+func TestReachCacheBitsMatchesBools(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := mesh.Mesh{Width: 70, Height: 30}
+	blocked := make([]bool, m.Size())
+	for i := range blocked {
+		blocked[i] = rng.Float64() < 0.15
+	}
+	cb := NewReachCache(m, blocked, 0)
+	bits := new(mesh.Bits).FromBools(m, blocked)
+	cc := NewReachCacheBits(m, bits, 0)
+	for q := 0; q < 500; q++ {
+		s := mesh.Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+		d := mesh.Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+		if cb.CanReach(s, d) != cc.CanReach(s, d) {
+			t.Fatalf("cache forms disagree on %v->%v", s, d)
+		}
+	}
+}
