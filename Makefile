@@ -4,7 +4,7 @@ GO ?= go
 # detector must cover.
 RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
 
-.PHONY: all build test vet fmt race bench bench-smoke smoke chaos verify clean
+.PHONY: all build test vet fmt race bench bench-smoke bench-diff smoke chaos verify clean
 
 all: build
 
@@ -33,12 +33,27 @@ bench:
 	$(GO) run ./cmd/meshbench -out BENCH_routing.json
 
 # bench-smoke runs every meshbench measurement — including the
-# reach_bitset/* kernel comparison and the serve_binary/* wire-protocol
-# rows — at a tiny benchtime on a small mesh. It gates nothing on the
-# numbers; it exists so CI notices when a measured code path stops
-# compiling or starts erroring.
+# reach_bitset/* kernel comparison, the route_kernel/* rows and the
+# serve_binary/* wire-protocol rows — at a tiny benchtime on a small
+# mesh, then re-runs the same workload diffed against the first pass.
+# The wide tolerance means only a catastrophic slowdown (or a broken
+# measured path) fails; the point is that the -baseline plumbing itself
+# is exercised on every CI run, not to gate on noisy tiny-benchtime
+# numbers.
 bench-smoke:
-	$(GO) run ./cmd/meshbench -w 48 -h 48 -k 20,60 -dests 64 -benchtime 5ms -out -
+	$(GO) run ./cmd/meshbench -w 48 -h 48 -k 20,60 -dests 64 -benchtime 5ms -out /tmp/bench-smoke-baseline.json
+	$(GO) run ./cmd/meshbench -w 48 -h 48 -k 20,60 -dests 64 -benchtime 5ms -journal=false -out - \
+		-baseline /tmp/bench-smoke-baseline.json -tolerance 90
+
+# bench-diff reruns the full paper-scale suite and compares it against
+# the committed BENCH_routing.json, failing on any measurement whose
+# queries/sec dropped more than 15% — the local regression gate to run
+# before committing a performance-sensitive change. (Not in CI: the
+# full suite takes minutes and shared runners are too noisy for a 15%
+# bar.)
+bench-diff:
+	$(GO) run ./cmd/meshbench -out /tmp/bench-diff-candidate.json \
+		-baseline BENCH_routing.json -tolerance 15
 
 # smoke boots meshserved on an ephemeral port and drives a short
 # meshstress run against it (the cmd tests do this in-process too).

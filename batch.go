@@ -1,9 +1,13 @@
 package extmesh
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"extmesh/internal/route"
+	"extmesh/internal/wang"
 )
 
 // Pair is one source/destination routing request for RouteMany.
@@ -23,16 +27,46 @@ type RouteResult struct {
 // inline: spawning workers costs more than a handful of evaluations.
 const batchSerialLimit = 16
 
-// fanOut runs fn(i) for i in [0, jobs) on up to runtime.GOMAXPROCS(0)
-// workers sharing the Network's cached models — the worker-pool shape
-// proven in internal/sim. Small batches run inline. fn must be safe
-// for concurrent invocation with distinct i; results are written to
-// index i, so output order is deterministic regardless of scheduling.
+// fanOutWorkers runs fn(w, i) for i in [0, jobs) on up to
+// runtime.GOMAXPROCS(0) workers sharing the Network's cached models —
+// the worker-pool shape proven in internal/sim. w identifies the
+// worker: each w below the pool size is driven by exactly one
+// goroutine at a time, so per-worker scratch (the path slabs of a
+// RouteArena) needs no further synchronization. Small batches run
+// inline on worker 0. fn must be safe for concurrent invocation with
+// distinct i; results are written to index i, so output order is
+// deterministic regardless of scheduling.
+func fanOutWorkers(jobs int, fn func(worker, i int)) {
+	fanOutJob(jobs, funcJob(fn))
+}
+
+// fanOut is fanOutWorkers for callers without per-worker state.
 func fanOut(jobs int, fn func(i int)) {
+	fanOutWorkers(jobs, func(_, i int) { fn(i) })
+}
+
+// batchJob is the work item fanOutJob dispatches. Batch methods with a
+// zero-allocation contract implement it on a struct embedded in the
+// caller's arena: passing that struct's pointer through the interface
+// allocates nothing, whereas a closure referenced by the goroutine
+// launch is forced to the heap even when the batch runs inline.
+type batchJob interface {
+	run(worker, i int)
+}
+
+// funcJob adapts a plain function to batchJob for callers that don't
+// need the zero-allocation inline path.
+type funcJob func(worker, i int)
+
+func (f funcJob) run(worker, i int) { f(worker, i) }
+
+// fanOutJob runs j.run(w, i) for i in [0, jobs) under fanOutWorkers's
+// scheduling contract.
+func fanOutJob(jobs int, j batchJob) {
 	workers := runtime.GOMAXPROCS(0)
 	if jobs < batchSerialLimit || workers < 2 {
 		for i := 0; i < jobs; i++ {
-			fn(i)
+			j.run(0, i)
 		}
 		return
 	}
@@ -45,18 +79,56 @@ func fanOut(jobs int, fn func(i int)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= jobs {
 					return
 				}
-				fn(i)
+				j.run(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// RouteArena owns the storage a route batch writes into: the result
+// slice plus one coordinate slab per worker that the paths are packed
+// into back to back. Reusing one arena across batches reuses that
+// storage, so a warm batch of routes allocates nothing; in exchange,
+// the paths a batch returned remain valid only until the arena's next
+// use. The zero value is ready. An arena must not be used by two
+// batches concurrently, and must not be shared between Networks whose
+// results are still being read.
+type RouteArena struct {
+	results []RouteResult
+	slabs   [][]Coord
+
+	// Embedded job headers: batch state lives here instead of in a
+	// per-call closure, so dispatching a warm batch allocates nothing.
+	rj routeManyJob
+	oj oracleManyJob
+}
+
+// prepare sizes the arena for a batch of n jobs and returns the
+// zeroed result slice.
+func (a *RouteArena) prepare(n int) []RouteResult {
+	if cap(a.results) < n {
+		a.results = make([]RouteResult, n)
+	} else {
+		a.results = a.results[:n]
+		for i := range a.results {
+			a.results[i] = RouteResult{}
+		}
+	}
+	if w := runtime.GOMAXPROCS(0); len(a.slabs) < w {
+		a.slabs = append(a.slabs, make([][]Coord, w-len(a.slabs))...)
+	}
+	for i := range a.slabs {
+		a.slabs[i] = a.slabs[i][:0]
+	}
+	return a.results
 }
 
 // EnsureAll evaluates the strategy's conditions from one source toward
@@ -89,12 +161,35 @@ func (n *Network) EnsureAll(s Coord, dests []Coord, fm FaultModel, st Strategy) 
 // served by a single reachability sweep from s (memoized for later
 // calls), so it costs O(N) total instead of one DP per destination.
 func (n *Network) HasMinimalPathAll(s Coord, dests []Coord) []bool {
-	out := make([]bool, len(dests))
-	c := n.reachCache()
-	for i, d := range dests {
-		out[i] = c.CanReach(s, d)
+	return n.HasMinimalPathAllInto(nil, s, dests)
+}
+
+// HasMinimalPathAllInto is HasMinimalPathAll with a caller-supplied
+// result buffer: the answers are written into dst (reallocated only
+// when its capacity is short) and the resized slice returned, so a
+// caller reusing one buffer sweeps destination sets with zero
+// steady-state allocation. The source's reachability grid is resolved
+// from the memo once per call, not once per destination.
+func (n *Network) HasMinimalPathAllInto(dst []bool, s Coord, dests []Coord) []bool {
+	if cap(dst) < len(dests) {
+		dst = make([]bool, len(dests))
+	} else {
+		dst = dst[:len(dests)]
 	}
-	return out
+	if len(dests) == 0 {
+		return dst
+	}
+	if !n.m.Contains(s) {
+		for i := range dst {
+			dst[i] = false
+		}
+		return dst
+	}
+	r := n.reachCache().Reach(s)
+	for i, d := range dests {
+		dst[i] = n.m.Contains(d) && r.CanReach(d)
+	}
+	return dst
 }
 
 // RouteMany routes every pair with Wu's limited-information protocol
@@ -103,17 +198,56 @@ func (n *Network) HasMinimalPathAll(s Coord, dests []Coord) []bool {
 // routers, so batch routing throughput scales with cores while each
 // route stays identical to the sequential Route.
 func (n *Network) RouteMany(pairs []Pair, fm FaultModel) []RouteResult {
-	out := make([]RouteResult, len(pairs))
+	var a RouteArena // single-use: the results own the arena's storage
+	return n.RouteManyInto(&a, pairs, fm)
+}
+
+// RouteManyInto is RouteMany with caller-owned storage: results and
+// path coordinates are written into the arena, whose buffers are
+// reused across calls, so a warm batch runs with zero allocations.
+// The returned slice and the paths it holds alias the arena and are
+// valid only until its next use.
+func (n *Network) RouteManyInto(a *RouteArena, pairs []Pair, fm FaultModel) []RouteResult {
+	out := a.prepare(len(pairs))
 	if len(pairs) == 0 {
 		return out
 	}
 	// Pre-build the router(s) the batch needs on this goroutine so the
 	// workers share them without duplicate lazy construction.
 	n.routerPair(fm, pairs[0].Src, pairs[0].Dst)
-	fanOut(len(pairs), func(i int) {
-		out[i].Path, out[i].Err = n.Route(pairs[i].Src, pairs[i].Dst, fm)
-	})
+	a.rj = routeManyJob{n: n, a: a, pairs: pairs, fm: fm, out: out}
+	fanOutJob(len(pairs), &a.rj)
+	a.rj = routeManyJob{}
 	return out
+}
+
+// routeManyJob is RouteManyInto's per-pair work, embedded in the arena
+// (see batchJob).
+type routeManyJob struct {
+	n     *Network
+	a     *RouteArena
+	pairs []Pair
+	fm    FaultModel
+	out   []RouteResult
+}
+
+func (j *routeManyJob) run(w, i int) {
+	r, err := j.n.routerPair(j.fm, j.pairs[i].Src, j.pairs[i].Dst)
+	if err != nil {
+		j.out[i].Err = err
+		return
+	}
+	slab := j.a.slabs[w]
+	start := len(slab)
+	grown, err := r.RouteInto(slab, j.pairs[i].Src, j.pairs[i].Dst)
+	j.a.slabs[w] = grown
+	if err != nil {
+		j.out[i].Err = err
+		return
+	}
+	// Three-index subslice: an append through the result cannot clobber
+	// the slab region the next path is packed into.
+	j.out[i].Path = Path(grown[start:len(grown):len(grown)])
 }
 
 // OracleRouteMany routes every pair with the full-information oracle.
@@ -121,13 +255,47 @@ func (n *Network) RouteMany(pairs []Pair, fm FaultModel) []RouteResult {
 // Network's reach cache, so routing many pairs toward few distinct
 // destinations costs one sweep per destination, not per pair.
 func (n *Network) OracleRouteMany(pairs []Pair) []RouteResult {
-	out := make([]RouteResult, len(pairs))
+	var a RouteArena
+	return n.OracleRouteManyInto(&a, pairs)
+}
+
+// OracleRouteManyInto is OracleRouteMany with caller-owned storage,
+// under RouteManyInto's arena contract.
+func (n *Network) OracleRouteManyInto(a *RouteArena, pairs []Pair) []RouteResult {
+	out := a.prepare(len(pairs))
 	if len(pairs) == 0 {
 		return out
 	}
-	n.reachCache()
-	fanOut(len(pairs), func(i int) {
-		out[i].Path, out[i].Err = n.OracleRoute(pairs[i].Src, pairs[i].Dst)
-	})
+	c := n.reachCache()
+	a.oj = oracleManyJob{n: n, a: a, c: c, pairs: pairs, out: out}
+	fanOutJob(len(pairs), &a.oj)
+	a.oj = oracleManyJob{}
 	return out
+}
+
+// oracleManyJob is OracleRouteManyInto's per-pair work, embedded in
+// the arena (see batchJob).
+type oracleManyJob struct {
+	n     *Network
+	a     *RouteArena
+	c     *wang.ReachCache
+	pairs []Pair
+	out   []RouteResult
+}
+
+func (j *oracleManyJob) run(w, i int) {
+	s, d := j.pairs[i].Src, j.pairs[i].Dst
+	if !j.n.m.Contains(s) || !j.n.m.Contains(d) {
+		j.out[i].Err = fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, j.n.m)
+		return
+	}
+	slab := j.a.slabs[w]
+	start := len(slab)
+	grown, err := route.OracleFromInto(slab, j.n.m, j.c.Reach(d), s, d)
+	j.a.slabs[w] = grown
+	if err != nil {
+		j.out[i].Err = err
+		return
+	}
+	j.out[i].Path = Path(grown[start:len(grown):len(grown)])
 }

@@ -8,10 +8,17 @@
 //
 //	meshbench [-w 200] [-h 200] [-k "100,200"] [-dests 256] [-seed 7]
 //	          [-benchtime 1s] [-out BENCH_routing.json]
+//	          [-baseline BENCH_routing.json] [-tolerance 10]
 //
 // Every measurement reports ns/op, bytes/op and allocs/op from the
 // standard testing.Benchmark machinery plus a derived queries/sec
 // (batch operations are normalized by their batch size).
+//
+// With -baseline the fresh report is diffed against a previously
+// written report: every measurement shared by both runs must keep its
+// queries/sec within -tolerance percent of the baseline, or meshbench
+// prints the regressing rows and exits nonzero. Mesh dimensions must
+// match, measurements present on only one side are informational.
 package main
 
 import (
@@ -96,6 +103,9 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 7, "PRNG seed for fault placement and query sampling")
 		benchtime = fs.Duration("benchtime", time.Second, "target time per measurement")
 		outFile   = fs.String("out", "BENCH_routing.json", "output JSON path ('-' for stdout only)")
+		baseline  = fs.String("baseline", "", "baseline report to diff against; exit nonzero on q/s regressions")
+		tolerance = fs.Float64("tolerance", 10, "allowed queries/sec drop versus the baseline, in percent")
+		doJournal = fs.Bool("journal", true, "measure the journal durability plane (too noisy at smoke benchtimes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,11 +147,13 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Scenarios = append(rep.Scenarios, sc)
 	}
-	jr, err := measureJournal(out, *benchtime)
-	if err != nil {
-		return err
+	if *doJournal {
+		jr, err := measureJournal(out, *benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Journal = jr
 	}
-	rep.Journal = jr
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -156,6 +168,104 @@ func run(args []string, out io.Writer) error {
 	} else {
 		out.Write(data)
 	}
+	if *baseline != "" {
+		if err := diffBaseline(out, rep, *baseline, *tolerance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resultKey addresses one measurement across reports: the scenario's
+// fault count (journal measurements use journalFaults) plus the
+// result name.
+type resultKey struct {
+	faults int
+	name   string
+}
+
+// journalFaults is the pseudo fault count the fault-independent
+// journal measurements are filed under in a baseline diff.
+const journalFaults = -1
+
+// indexResults flattens a report into a key->result map.
+func indexResults(rep Report) map[resultKey]Result {
+	idx := make(map[resultKey]Result)
+	for _, sc := range rep.Scenarios {
+		for _, r := range sc.Results {
+			idx[resultKey{faults: sc.Faults, name: r.Name}] = r
+		}
+	}
+	for _, r := range rep.Journal {
+		idx[resultKey{faults: journalFaults, name: r.Name}] = r
+	}
+	return idx
+}
+
+// diffBaseline compares the fresh report's queries/sec against a
+// baseline report, measurement by measurement, and fails when any
+// shared measurement regressed by more than tolerance percent.
+// Measurements present on only one side are reported but never fail
+// the diff, so adding or retiring a section doesn't break CI.
+func diffBaseline(out io.Writer, rep Report, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.MeshWidth != rep.MeshWidth || base.MeshHeight != rep.MeshHeight {
+		return fmt.Errorf("baseline %s measured a %dx%d mesh, this run a %dx%d mesh: not comparable",
+			path, base.MeshWidth, base.MeshHeight, rep.MeshWidth, rep.MeshHeight)
+	}
+	baseIdx := indexResults(base)
+	curIdx := indexResults(rep)
+
+	keys := make([]resultKey, 0, len(curIdx))
+	for k := range curIdx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].faults != keys[j].faults {
+			return keys[i].faults < keys[j].faults
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	fmt.Fprintf(out, "baseline diff vs %s (tolerance %.0f%%):\n", path, tolerance)
+	var regressions []string
+	for _, k := range keys {
+		cur := curIdx[k]
+		old, ok := baseIdx[k]
+		if !ok {
+			fmt.Fprintf(out, "  k=%-5d %-28s %14.0f q/s  (new measurement, no baseline)\n", k.faults, k.name, cur.QueriesPerSec)
+			continue
+		}
+		if old.QueriesPerSec <= 0 || cur.QueriesPerSec <= 0 {
+			continue
+		}
+		deltaPct := (cur.QueriesPerSec/old.QueriesPerSec - 1) * 100
+		verdict := "ok"
+		if deltaPct < -tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("k=%d %s: %.0f -> %.0f q/s (%.1f%%)",
+				k.faults, k.name, old.QueriesPerSec, cur.QueriesPerSec, deltaPct))
+		}
+		fmt.Fprintf(out, "  k=%-5d %-28s %14.0f -> %12.0f q/s %+7.1f%%  %s\n",
+			k.faults, k.name, old.QueriesPerSec, cur.QueriesPerSec, deltaPct, verdict)
+	}
+	for k, old := range baseIdx {
+		if _, ok := curIdx[k]; !ok {
+			fmt.Fprintf(out, "  k=%-5d %-28s %14.0f q/s  (baseline only, not measured this run)\n", k.faults, k.name, old.QueriesPerSec)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d measurement(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), tolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "no regressions beyond %.0f%%\n", tolerance)
 	return nil
 }
 
@@ -320,10 +430,11 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 			_ = net.HasMinimalPath(src, destList[i%len(destList)])
 		}
 	})
+	var hmBuf []bool
 	record("has_minimal_path/batch", len(destList), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = net.HasMinimalPathAll(src, destList)
+			hmBuf = net.HasMinimalPathAllInto(hmBuf, src, destList)
 		}
 	})
 
@@ -390,6 +501,50 @@ func measureScenario(out io.Writer, w, h, k, nDests int, seed int64, benchtime t
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = net.OracleRoute(src, destList[i%len(destList)])
+		}
+	})
+
+	// The route kernel in isolation: per-hop decision, append-style
+	// single route into a reused buffer, the arena batch, the
+	// word-stepping oracle, and the cost of building one orientation
+	// view from scratch (contour walks + flat boundary index pack).
+	kernelGrid := fault.BuildBlocks(condSc).BlockedGrid()
+	kr := route.NewRouter(m, kernelGrid)
+	kr.NextHop(src, destList[0]) // build the view before timing
+	record("route_kernel/next_hop", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = kr.NextHop(src, destList[i%len(destList)])
+		}
+	})
+	var kbuf []mesh.Coord
+	record("route_kernel/route_into", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kbuf, _ = kr.RouteInto(kbuf[:0], src, destList[i%len(destList)])
+		}
+	})
+	var arena extmesh.RouteArena
+	net.RouteManyInto(&arena, pairs, extmesh.Blocks) // warm slabs and views
+	record("route_kernel/batch_into", len(pairs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = net.RouteManyInto(&arena, pairs, extmesh.Blocks)
+		}
+	})
+	var obuf extmesh.Path
+	net.OracleRoute(src, destList[0]) // pay the first reach sweep up front
+	record("route_kernel/oracle_into", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			obuf, _ = net.OracleRouteInto(obuf[:0], src, destList[i%len(destList)])
+		}
+	})
+	record("route_kernel/view_build", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := route.NewRouter(m, kernelGrid)
+			_, _ = r.NextHop(src, mesh.Coord{X: m.Width - 1, Y: m.Height - 1})
 		}
 	})
 

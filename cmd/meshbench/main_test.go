@@ -58,6 +58,11 @@ func TestRunProducesValidJSON(t *testing.T) {
 		"serve_binary/route_single":           false,
 		"serve_binary/route_batch":            false,
 		"serve_binary/has_minimal_path_batch": false,
+		"route_kernel/next_hop":               false,
+		"route_kernel/route_into":             false,
+		"route_kernel/batch_into":             false,
+		"route_kernel/oracle_into":            false,
+		"route_kernel/view_build":             false,
 	}
 	for _, sc := range rep.Scenarios {
 		for name := range want {
@@ -91,5 +96,96 @@ func TestRunRejectsBadFaultList(t *testing.T) {
 	}
 	if err := run([]string{"-k", "-3"}, &buf); err == nil {
 		t.Fatal("expected error for negative fault count")
+	}
+}
+
+func diffReport(mw, mh int, qps map[string]float64) Report {
+	rep := Report{MeshWidth: mw, MeshHeight: mh}
+	sc := Scenario{Faults: 10}
+	for name, q := range qps {
+		sc.Results = append(sc.Results, Result{Name: name, QueriesPerSec: q})
+	}
+	rep.Scenarios = []Scenario{sc}
+	return rep
+}
+
+// TestDiffBaseline pins the regression gate: within tolerance passes,
+// beyond tolerance fails and names the row, one-sided measurements are
+// informational, and mismatched mesh dimensions refuse to compare.
+func TestDiffBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeBase := func(name string, rep Report) string {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := writeBase("base.json", diffReport(40, 40, map[string]float64{
+		"route/batch":  100000,
+		"route/single": 5000,
+		"gone/only":    777,
+	}))
+
+	var buf bytes.Buffer
+	cur := diffReport(40, 40, map[string]float64{
+		"route/batch":  95000, // -5%: inside a 10% tolerance
+		"route/single": 6000,
+		"new/only":     123,
+	})
+	if err := diffBaseline(&buf, cur, base, 10); err != nil {
+		t.Fatalf("within-tolerance diff failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"new/only", "gone/only", "no regressions"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("diff output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	buf.Reset()
+	cur = diffReport(40, 40, map[string]float64{
+		"route/batch":  50000, // -50%: regression
+		"route/single": 5000,
+	})
+	err := diffBaseline(&buf, cur, base, 10)
+	if err == nil {
+		t.Fatalf("50%% drop passed a 10%% tolerance:\n%s", buf.String())
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("route/batch")) {
+		t.Fatalf("regression error does not name the row: %v", err)
+	}
+
+	buf.Reset()
+	if err := diffBaseline(&buf, diffReport(30, 30, nil), base, 10); err == nil {
+		t.Fatal("mismatched mesh dimensions compared anyway")
+	}
+	if err := diffBaseline(&buf, cur, filepath.Join(dir, "missing.json"), 10); err == nil {
+		t.Fatal("missing baseline file compared anyway")
+	}
+}
+
+// TestRunSelfBaseline runs the tool twice back to back on a small mesh
+// and diffs the second run against the first with a generous tolerance:
+// the end-to-end -baseline plumbing must not flag identical workloads.
+func TestRunSelfBaseline(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	var buf bytes.Buffer
+	args := []string{"-w", "24", "-h", "24", "-k", "8", "-dests", "16", "-benchtime", "2ms"}
+	if err := run(append(args, "-out", first), &buf); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	buf.Reset()
+	err := run(append(args, "-out", filepath.Join(dir, "second.json"),
+		"-baseline", first, "-tolerance", "95"), &buf)
+	if err != nil {
+		t.Fatalf("self-diff flagged a regression: %v\n%s", err, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("baseline diff")) {
+		t.Fatalf("diff output missing:\n%s", buf.String())
 	}
 }

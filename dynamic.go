@@ -6,6 +6,7 @@ import (
 
 	"extmesh/internal/dynamic"
 	"extmesh/internal/mesh"
+	"extmesh/internal/route"
 	"extmesh/internal/wang"
 )
 
@@ -45,6 +46,14 @@ type DynamicNetwork struct {
 	// structures on every request.
 	snapVersion uint64
 	snap        *Network
+
+	// views shares the routers' orientation views (boundary contours)
+	// across every Network materialized for one mutation version, the
+	// router-side analogue of the reach memo: a Freeze after a Snapshot
+	// at the same version skips the O(mesh) boundary reconstruction.
+	// Entries are generation-stamped with the mutation version, so a
+	// view never outlives the fault set it was built from.
+	views *route.ViewCache
 }
 
 // NewDynamic returns a dynamic network over an initially fault-free
@@ -58,7 +67,7 @@ func NewDynamic(width, height int) (*DynamicNetwork, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicNetwork{tracker: tr, width: width, height: height}, nil
+	return &DynamicNetwork{tracker: tr, width: width, height: height, views: route.NewViewCache()}, nil
 }
 
 // AddFault marks c faulty and updates the fault regions and safety
@@ -159,9 +168,17 @@ func (d *DynamicNetwork) Safe(s, dst Coord) bool {
 // access to the full API (MCCs, routing, conditions, serialization).
 func (d *DynamicNetwork) Freeze() (*Network, error) {
 	d.mu.Lock()
+	v := d.version
 	faults := d.tracker.Faults()
 	d.mu.Unlock()
-	return New(d.width, d.height, faults)
+	n, err := New(d.width, d.height, faults)
+	if err != nil {
+		return nil, err
+	}
+	if d.views != nil {
+		n.attachViewCache(d.views, v)
+	}
+	return n, nil
 }
 
 // Width returns the mesh's X extent.
@@ -239,6 +256,9 @@ func (d *DynamicNetwork) Snapshot() (*Network, error) {
 	n, err := New(d.width, d.height, faults)
 	if err != nil {
 		return nil, err
+	}
+	if d.views != nil {
+		n.attachViewCache(d.views, v)
 	}
 	d.mu.Lock()
 	if d.version == v {

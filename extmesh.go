@@ -156,6 +156,13 @@ type Network struct {
 	routerOnce [3]sync.Once
 	routers    [3]*route.Router
 
+	// Optional shared orientation-view store (attachViewCache): set by a
+	// DynamicNetwork so the Networks it materializes for one mutation
+	// version reuse each other's boundary contours instead of each
+	// paying the O(mesh) buildView.
+	viewCache *route.ViewCache
+	viewGen   uint64
+
 	faultGrid []bool
 	faultBits *mesh.Bits
 
@@ -323,6 +330,22 @@ func (n *Network) Route(s, d Coord, fm FaultModel) (Path, error) {
 	return r.Route(s, d)
 }
 
+// RouteInto is the append-style Route: the path is appended onto dst —
+// which may be nil, or carry capacity retained from earlier routes —
+// and the extended slice is returned, the new path occupying
+// out[len(dst):]. On error the returned slice keeps dst's length
+// (though possibly grown capacity). It is the building block callers
+// with their own path storage (batch arenas, the serving planes, the
+// simulators) use to route without a per-call allocation.
+func (n *Network) RouteInto(dst Path, s, d Coord, fm FaultModel) (Path, error) {
+	r, err := n.routerPair(fm, s, d)
+	if err != nil {
+		return dst, err
+	}
+	out, err := r.RouteInto(dst, s, d)
+	return Path(out), err
+}
+
 // RouteAssured combines Ensure and Route: it evaluates the strategy
 // and, when a guarantee exists, routes through the witness waypoints
 // (the paper's two-phase routing). The returned path has length
@@ -354,6 +377,17 @@ func (n *Network) OracleRoute(s, d Coord) (Path, error) {
 		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, n.m)
 	}
 	return route.OracleFrom(n.m, n.faultGrid, n.reachCache().Reach(d), s, d)
+}
+
+// OracleRouteInto is the append-style OracleRoute, with RouteInto's
+// buffer contract: the path is appended onto dst and the extended
+// slice returned; on error the returned slice keeps dst's length.
+func (n *Network) OracleRouteInto(dst Path, s, d Coord) (Path, error) {
+	if !n.m.Contains(s) || !n.m.Contains(d) {
+		return dst, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, n.m)
+	}
+	out, err := route.OracleFromInto(dst, n.m, n.reachCache().Reach(d), s, d)
+	return Path(out), err
 }
 
 // StuckError is returned when the routing protocol runs out of usable
@@ -481,9 +515,23 @@ func (n *Network) routerPair(fm FaultModel, s, d Coord) (*route.Router, error) {
 		return nil, err
 	}
 	n.routerOnce[idx].Do(func() {
-		n.routers[idx] = route.NewRouter(n.m, md.Blocked)
+		if n.viewCache != nil {
+			n.routers[idx] = route.NewRouterCached(n.m, md.Blocked, n.viewCache, n.viewGen, idx)
+		} else {
+			n.routers[idx] = route.NewRouter(n.m, md.Blocked)
+		}
 	})
 	return n.routers[idx], nil
+}
+
+// attachViewCache makes the Network's routers publish and reuse
+// orientation views through vc, stamped with gen. A DynamicNetwork
+// calls it on every Network it materializes, passing its mutation
+// version as gen, before the Network is shared; it must not be called
+// after the first Route.
+func (n *Network) attachViewCache(vc *route.ViewCache, gen uint64) {
+	n.viewCache = vc
+	n.viewGen = gen
 }
 
 // coreStrategy translates the public strategy into the internal one,

@@ -52,10 +52,24 @@ func (b *Bits) FromBools(m Mesh, v []bool) *Bits {
 	for y := 0; y < m.Height; y++ {
 		row := b.words[y*b.wpr : (y+1)*b.wpr]
 		src := v[y*m.Width : (y+1)*m.Width]
-		for x, set := range src {
-			if set {
-				row[x>>6] |= 1 << uint(x&63)
+		for w := range row {
+			lo := w << 6
+			hi := lo + wordBits
+			if hi > len(src) {
+				hi = len(src)
 			}
+			// Assemble the whole word in a register: the bool reads stay,
+			// but the per-bit read-modify-write of the word slot goes away
+			// and the conditional reduces to a flag-set.
+			var word uint64
+			for x := lo; x < hi; x++ {
+				var bit uint64
+				if src[x] {
+					bit = 1
+				}
+				word |= bit << uint(x&63)
+			}
+			row[w] = word
 		}
 	}
 	return b
@@ -99,6 +113,67 @@ func (b *Bits) Clear(c Coord) {
 // inside the mesh.
 func (b *Bits) Get(c Coord) bool {
 	return b.words[c.Y*b.wpr+c.X>>6]&(1<<uint(c.X&63)) != 0
+}
+
+// RunEast returns the length of the run of consecutive marked nodes
+// starting at (x, y) inclusive and extending east (+X), capped at max.
+// The run is counted a word at a time — one load and a trailing-ones
+// count per 64 columns — rather than per node. (x, y) must be inside
+// the mesh; max bounds how far east the run may be followed.
+func (b *Bits) RunEast(x, y, max int) int {
+	row := b.Row(y)
+	total := 0
+	w := x >> 6
+	bit := x & 63
+	for {
+		word := row[w] >> uint(bit)
+		ones := bits.TrailingZeros64(^word)
+		avail := wordBits - bit
+		if ones > avail {
+			ones = avail
+		}
+		total += ones
+		if total >= max {
+			return max
+		}
+		if ones < avail {
+			return total
+		}
+		w++
+		bit = 0
+		if w >= len(row) {
+			return total // run reached the row's last word boundary
+		}
+	}
+}
+
+// RunWest is RunEast towards -X: the length of the run of marked nodes
+// starting at (x, y) inclusive and extending west, capped at max.
+func (b *Bits) RunWest(x, y, max int) int {
+	row := b.Row(y)
+	total := 0
+	w := x >> 6
+	bit := x & 63
+	for {
+		word := row[w] << uint(63-bit)
+		ones := bits.LeadingZeros64(^word)
+		avail := bit + 1
+		if ones > avail {
+			ones = avail
+		}
+		total += ones
+		if total >= max {
+			return max
+		}
+		if ones < avail {
+			return total
+		}
+		w--
+		bit = 63
+		if w < 0 {
+			return total
+		}
+	}
 }
 
 // Count returns the number of marked nodes.

@@ -91,3 +91,62 @@ func TestBitsExactWidth(t *testing.T) {
 		t.Fatal("last column lost")
 	}
 }
+
+// runEastRef counts the run of marked nodes from (x, y) eastward one
+// node at a time — the reference RunEast's word stepping must match.
+func runEastRef(b *Bits, m Mesh, x, y, max int) int {
+	n := 0
+	for n < max && x+n < m.Width && b.Get(Coord{X: x + n, Y: y}) {
+		n++
+	}
+	return n
+}
+
+func runWestRef(b *Bits, m Mesh, x, y, max int) int {
+	n := 0
+	for n < max && x-n >= 0 && b.Get(Coord{X: x - n, Y: y}) {
+		n++
+	}
+	return n
+}
+
+// TestBitsRunEastWest drives the word-level run counters against the
+// per-node reference across word boundaries, exact multiples of 64,
+// ragged tails, and every max cap.
+func TestBitsRunEastWest(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, w := range []int{1, 5, 63, 64, 65, 127, 128, 130, 200} {
+		m := Mesh{Width: w, Height: 3}
+		v := make([]bool, m.Size())
+		for i := range v {
+			// Long runs so word boundaries are actually crossed.
+			v[i] = rng.Intn(8) != 0
+		}
+		b := new(Bits).FromBools(m, v)
+		for y := 0; y < m.Height; y++ {
+			for x := 0; x < w; x++ {
+				for _, max := range []int{0, 1, 2, 63, 64, 65, w, w + 9} {
+					if got, want := b.RunEast(x, y, max), runEastRef(b, m, x, y, max); got != want {
+						t.Fatalf("w=%d RunEast(%d,%d,max=%d) = %d, want %d", w, x, y, max, got, want)
+					}
+					if got, want := b.RunWest(x, y, max), runWestRef(b, m, x, y, max); got != want {
+						t.Fatalf("w=%d RunWest(%d,%d,max=%d) = %d, want %d", w, x, y, max, got, want)
+					}
+				}
+			}
+		}
+	}
+	// All-ones rows: runs must stop at the mesh edge, not the word edge.
+	m := Mesh{Width: 130, Height: 1}
+	v := make([]bool, m.Size())
+	for i := range v {
+		v[i] = true
+	}
+	b := new(Bits).FromBools(m, v)
+	if got := b.RunEast(0, 0, 1000); got != 130 {
+		t.Fatalf("RunEast over solid row = %d, want 130", got)
+	}
+	if got := b.RunWest(129, 0, 1000); got != 130 {
+		t.Fatalf("RunWest over solid row = %d, want 130", got)
+	}
+}

@@ -29,11 +29,21 @@ func (k LineKind) String() string {
 	return "?"
 }
 
-// lineRef is one piece of boundary information stored at a node: the
-// obstacle run the line belongs to, the line kind, and the next node of
-// the line toward the obstacle (the direction a constrained packet
-// follows; -1 when the line ends here).
-type lineRef struct {
+// Successor directions of a boundary line at a node, denormalized at
+// build time so the per-hop decision never resolves a coordinate.
+const (
+	succNoneDir  uint8 = iota // the line ends here
+	succEastDir               // the next line node is the east neighbor
+	succNorthDir              // the next line node is the north neighbor
+)
+
+// cellRef is one piece of boundary information during construction:
+// the node it is stored at, the obstacle run the line belongs to, the
+// line kind, and the next node of the line toward the obstacle (-1
+// when the line ends here). The build walks emit cellRefs in line
+// order; the counting sort below regroups them by node.
+type cellRef struct {
+	cell int32
 	run  int32
 	kind LineKind
 	succ int32
@@ -51,26 +61,99 @@ type lineRef struct {
 // of the paper; for the rectilinear-monotone MCCs the runs follow the
 // staircase contour exactly, where a bounding rectangle would
 // over-constrain the packet.
+//
+// Storage is a CSR-style flat layout: node i's refs occupy positions
+// off[i]..off[i+1] of the packed parallel arrays, so the per-hop
+// lookup in view.step is two adjacent int32 loads (almost always
+// finding an empty span) instead of a hash probe, and iterating a
+// node's refs walks contiguous memory. The fire-condition rectangle
+// bounds are denormalized per ref into minX/minY/maxX/maxY so firing
+// never chases the run table.
 type boundarySet struct {
 	m     mesh.Mesh
 	hRuns []mesh.Rect // maximal horizontal runs (height 1)
 	vRuns []mesh.Rect // maximal vertical runs (width 1)
-	info  map[int32][]lineRef
+
+	off []int32 // len m.Size()+1; node i's refs at [off[i], off[i+1])
+
+	// Parallel per-ref arrays, indexed by the off spans.
+	run                    []int32 // obstacle run (into hRuns or vRuns by kind)
+	kind                   []LineKind
+	succDir                []uint8 // succNone, succEast or succNorth
+	minX, minY, maxX, maxY []int32 // the run's rectangle, inlined
 }
 
 // buildBoundaries derives the runs of the blocked grid and lays out the
 // merged L1/L3 polylines.
 func buildBoundaries(m mesh.Mesh, blocked []bool) *boundarySet {
-	bs := &boundarySet{m: m, info: make(map[int32][]lineRef)}
+	bs := &boundarySet{m: m}
 	bs.hRuns = HorizontalRuns(m, blocked)
 	bs.vRuns = VerticalRuns(m, blocked)
+	var refs []cellRef
 	for i, r := range bs.vRuns {
-		bs.walkL1(int32(i), r, blocked)
+		refs = bs.walkL1(refs, int32(i), r, blocked)
 	}
 	for i, r := range bs.hRuns {
-		bs.walkL3(int32(i), r, blocked)
+		refs = bs.walkL3(refs, int32(i), r, blocked)
 	}
+	bs.pack(refs)
 	return bs
+}
+
+// pack lays the collected refs out in CSR form: a stable counting sort
+// by node, then the per-ref fields split into parallel arrays with the
+// owning run's rectangle bounds inlined.
+func (bs *boundarySet) pack(refs []cellRef) {
+	n := bs.m.Size()
+	bs.off = make([]int32, n+1)
+	for _, r := range refs {
+		bs.off[r.cell+1]++
+	}
+	for i := 0; i < n; i++ {
+		bs.off[i+1] += bs.off[i]
+	}
+	k := len(refs)
+	bs.run = make([]int32, k)
+	bs.kind = make([]LineKind, k)
+	bs.succDir = make([]uint8, k)
+	bs.minX = make([]int32, k)
+	bs.minY = make([]int32, k)
+	bs.maxX = make([]int32, k)
+	bs.maxY = make([]int32, k)
+	next := make([]int32, n)
+	copy(next, bs.off[:n])
+	w := int32(bs.m.Width)
+	for _, r := range refs {
+		j := next[r.cell]
+		next[r.cell]++
+		bs.run[j] = r.run
+		bs.kind[j] = r.kind
+		switch r.succ {
+		case -1:
+			bs.succDir[j] = succNoneDir
+		case r.cell + 1:
+			bs.succDir[j] = succEastDir
+		case r.cell + w:
+			bs.succDir[j] = succNorthDir
+		default:
+			// The walks only ever hand a line to the east or north
+			// neighbor; anything else would be a construction bug.
+			panic("route: boundary successor is not an east/north neighbor")
+		}
+		rect := bs.rectOf(r.kind, r.run)
+		bs.minX[j] = int32(rect.MinX)
+		bs.minY[j] = int32(rect.MinY)
+		bs.maxX[j] = int32(rect.MaxX)
+		bs.maxY[j] = int32(rect.MaxY)
+	}
+}
+
+// rectOf resolves a (kind, run) pair to its obstacle run rectangle.
+func (bs *boundarySet) rectOf(kind LineKind, run int32) mesh.Rect {
+	if kind == LineL1 {
+		return bs.vRuns[run]
+	}
+	return bs.hRuns[run]
 }
 
 // HorizontalRuns returns the maximal horizontal runs of blocked nodes
@@ -117,26 +200,13 @@ func VerticalRuns(m mesh.Mesh, blocked []bool) []mesh.Rect {
 
 // add records that node c carries info for the line (run, kind) whose
 // next node toward the obstacle is succ.
-func (bs *boundarySet) add(c mesh.Coord, run int32, kind LineKind, succ mesh.Coord) {
+func (bs *boundarySet) add(refs []cellRef, c mesh.Coord, run int32, kind LineKind, succ mesh.Coord) []cellRef {
 	i := int32(bs.m.Index(c))
 	s := int32(-1)
 	if bs.m.Contains(succ) {
 		s = int32(bs.m.Index(succ))
 	}
-	bs.info[i] = append(bs.info[i], lineRef{run: run, kind: kind, succ: s})
-}
-
-// at returns the boundary info stored at c.
-func (bs *boundarySet) at(c mesh.Coord) []lineRef {
-	return bs.info[int32(bs.m.Index(c))]
-}
-
-// rect resolves a lineRef to its obstacle run rectangle.
-func (bs *boundarySet) rect(ref lineRef) mesh.Rect {
-	if ref.kind == LineL1 {
-		return bs.vRuns[ref.run]
-	}
-	return bs.hRuns[ref.run]
+	return append(refs, cellRef{cell: i, run: run, kind: kind, succ: s})
 }
 
 // walkL1 lays out the L1 line of the vertical run r: the node just
@@ -146,31 +216,31 @@ func (bs *boundarySet) rect(ref lineRef) mesh.Rect {
 // (the paper's turn/join rule), which the contour walk performs one
 // step at a time: go west when the node is free, otherwise slide one
 // node south and retry.
-func (bs *boundarySet) walkL1(run int32, r mesh.Rect, blocked []bool) {
+func (bs *boundarySet) walkL1(refs []cellRef, run int32, r mesh.Rect, blocked []bool) []cellRef {
 	cur := mesh.Coord{X: r.MinX, Y: r.MinY - 1}
 	if !bs.m.Contains(cur) || blocked[bs.m.Index(cur)] {
-		return // run touches the south edge or sits in a pocket
+		return refs // run touches the south edge or sits in a pocket
 	}
 	first := mesh.Coord{X: r.MinX + 1, Y: r.MinY - 1}
 	if !bs.m.Contains(first) || blocked[bs.m.Index(first)] {
 		first = mesh.Coord{X: -1, Y: -1}
 	}
-	bs.add(cur, run, LineL1, first)
+	refs = bs.add(refs, cur, run, LineL1, first)
 	for {
 		west := mesh.Coord{X: cur.X - 1, Y: cur.Y}
 		if west.X < 0 {
-			return
+			return refs
 		}
 		if !blocked[bs.m.Index(west)] {
-			bs.add(west, run, LineL1, cur)
+			refs = bs.add(refs, west, run, LineL1, cur)
 			cur = west
 			continue
 		}
 		south := mesh.Coord{X: cur.X, Y: cur.Y - 1}
 		if south.Y < 0 || blocked[bs.m.Index(south)] {
-			return // mesh edge or pocket: the line ends
+			return refs // mesh edge or pocket: the line ends
 		}
-		bs.add(south, run, LineL1, cur)
+		refs = bs.add(refs, south, run, LineL1, cur)
 		cur = south
 	}
 }
@@ -179,31 +249,31 @@ func (bs *boundarySet) walkL1(run int32, r mesh.Rect, blocked []bool) {
 // west of the run, then the contour extending south, turning west
 // around intervening fault regions: go south when the node is free,
 // otherwise slide one node west and retry.
-func (bs *boundarySet) walkL3(run int32, r mesh.Rect, blocked []bool) {
+func (bs *boundarySet) walkL3(refs []cellRef, run int32, r mesh.Rect, blocked []bool) []cellRef {
 	cur := mesh.Coord{X: r.MinX - 1, Y: r.MinY}
 	if !bs.m.Contains(cur) || blocked[bs.m.Index(cur)] {
-		return // run touches the west edge or sits in a pocket
+		return refs // run touches the west edge or sits in a pocket
 	}
 	first := mesh.Coord{X: r.MinX - 1, Y: r.MinY + 1}
 	if !bs.m.Contains(first) || blocked[bs.m.Index(first)] {
 		first = mesh.Coord{X: -1, Y: -1}
 	}
-	bs.add(cur, run, LineL3, first)
+	refs = bs.add(refs, cur, run, LineL3, first)
 	for {
 		south := mesh.Coord{X: cur.X, Y: cur.Y - 1}
 		if south.Y < 0 {
-			return
+			return refs
 		}
 		if !blocked[bs.m.Index(south)] {
-			bs.add(south, run, LineL3, cur)
+			refs = bs.add(refs, south, run, LineL3, cur)
 			cur = south
 			continue
 		}
 		west := mesh.Coord{X: cur.X - 1, Y: cur.Y}
 		if west.X < 0 || blocked[bs.m.Index(west)] {
-			return
+			return refs
 		}
-		bs.add(west, run, LineL3, cur)
+		refs = bs.add(refs, west, run, LineL3, cur)
 		cur = west
 	}
 }
@@ -222,14 +292,17 @@ type LineTag struct {
 // L1/L3 lines passing through it.
 func Lines(m mesh.Mesh, blocked []bool) map[mesh.Coord][]LineTag {
 	bs := buildBoundaries(m, blocked)
-	out := make(map[mesh.Coord][]LineTag, len(bs.info))
-	for i, refs := range bs.info {
-		c := m.CoordOf(int(i))
-		tags := make([]LineTag, len(refs))
-		for j, ref := range refs {
-			tags[j] = LineTag{Obstacle: bs.rect(ref), Kind: ref.kind}
+	out := make(map[mesh.Coord][]LineTag)
+	for i := 0; i < m.Size(); i++ {
+		start, end := bs.off[i], bs.off[i+1]
+		if start == end {
+			continue
 		}
-		out[c] = tags
+		tags := make([]LineTag, 0, end-start)
+		for j := start; j < end; j++ {
+			tags = append(tags, LineTag{Obstacle: bs.rectOf(bs.kind[j], bs.run[j]), Kind: bs.kind[j]})
+		}
+		out[m.CoordOf(i)] = tags
 	}
 	return out
 }

@@ -16,6 +16,13 @@ type Router struct {
 	m       mesh.Mesh
 	blocked []bool
 
+	// Optional shared view store (NewRouterCached): orientation views
+	// are published there under (gen, model) so successive Routers over
+	// the same fault generation skip the O(mesh) boundary rebuild.
+	cache *ViewCache
+	gen   uint64
+	model int
+
 	views [2][2]*view
 	once  [2][2]sync.Once
 }
@@ -37,28 +44,53 @@ func NewRouter(m mesh.Mesh, blocked []bool) *Router {
 	return &Router{m: m, blocked: blocked}
 }
 
+// NewRouterCached is NewRouter sharing orientation views through vc:
+// views built by this Router are published under (gen, model), and
+// views another Router already published there are reused instead of
+// rebuilt. gen must change whenever the fault set does (callers stamp
+// it with their mutation version) and model distinguishes blocked
+// grids built from the same fault set (block vs MCC labelings).
+func NewRouterCached(m mesh.Mesh, blocked []bool, vc *ViewCache, gen uint64, model int) *Router {
+	return &Router{m: m, blocked: blocked, cache: vc, gen: gen, model: model}
+}
+
 // Route routes a packet from s to d with Wu's protocol and returns the
 // path taken. The route is minimal whenever the protocol succeeds; a
 // *StuckError is returned when the limited information was insufficient
 // (which Theorem 1 rules out for safe sources).
 func (r *Router) Route(s, d mesh.Coord) (Path, error) {
-	if !r.m.Contains(s) || !r.m.Contains(d) {
-		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, r.m)
-	}
-	if r.blocked[r.m.Index(s)] || r.blocked[r.m.Index(d)] {
-		return nil, fmt.Errorf("route: endpoints %v -> %v inside a fault region", s, d)
-	}
-	v := r.viewFor(s, d)
-	np, err := v.route(v.to(s), v.to(d))
+	out, err := r.RouteInto(nil, s, d)
 	if err != nil {
 		return nil, err
 	}
-	// Reflect back to mesh coordinates in place: the route buffer was
-	// allocated for this call, so no second path slice is needed.
-	for i := range np {
-		np[i] = v.from(np[i])
+	return Path(out), nil
+}
+
+// RouteInto is the append-style Route: the routed path is appended to
+// dst — which may be nil, or carry capacity retained from earlier
+// routes — and the extended slice is returned, the new path occupying
+// out[len(dst):]. On error the returned slice has dst's length (though
+// possibly grown capacity). Batch drivers route into per-worker slabs
+// so warm batches assemble every path without allocating.
+func (r *Router) RouteInto(dst []mesh.Coord, s, d mesh.Coord) ([]mesh.Coord, error) {
+	if !r.m.Contains(s) || !r.m.Contains(d) {
+		return dst, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, r.m)
 	}
-	return Path(np), nil
+	if r.blocked[r.m.Index(s)] || r.blocked[r.m.Index(d)] {
+		return dst, fmt.Errorf("route: endpoints %v -> %v inside a fault region", s, d)
+	}
+	v := r.viewFor(s, d)
+	start := len(dst)
+	out, err := v.routeInto(dst, v.to(s), v.to(d))
+	if err != nil {
+		return out, err
+	}
+	// Reflect back to mesh coordinates in place: the route was written
+	// into the caller's buffer, so no second path slice is needed.
+	for i := start; i < len(out); i++ {
+		out[i] = v.from(out[i])
+	}
+	return out, nil
 }
 
 // NextHop returns the single next hop Wu's protocol takes at u heading
@@ -115,7 +147,12 @@ func (r *Router) viewFor(s, d mesh.Coord) *view {
 		fy = 1
 	}
 	r.once[fx][fy].Do(func() {
-		r.views[fx][fy] = r.buildView(fx == 1, fy == 1)
+		if r.cache != nil {
+			r.views[fx][fy] = r.cache.getOrBuild(r.gen, r.model, fx == 1, fy == 1,
+				func() *view { return r.buildView(fx == 1, fy == 1) })
+		} else {
+			r.views[fx][fy] = r.buildView(fx == 1, fy == 1)
+		}
 	})
 	return r.views[fx][fy]
 }
@@ -151,23 +188,45 @@ func (v *view) from(c mesh.Coord) mesh.Coord {
 	return v.to(c)
 }
 
-// route runs Wu's protocol in view space, where d is weakly northeast
-// of s: at every hop pick a preferred direction (east or north), except
-// that boundary-line rules force the packet to stay on a line while the
-// destination lies in the corresponding shadow region of the block.
-func (v *view) route(s, d mesh.Coord) ([]mesh.Coord, error) {
-	path := make([]mesh.Coord, 0, mesh.Distance(s, d)+1)
-	path = append(path, s)
+// routeInto runs Wu's protocol in view space, where d is weakly
+// northeast of s, appending the path onto buf: at every hop pick a
+// preferred direction (east or north), except that boundary-line rules
+// force the packet to stay on a line while the destination lies in the
+// corresponding shadow region of the block. A successful route is
+// monotone, so its length is exactly Distance(s,d)+1 and the buffer is
+// grown at most once, up front.
+func (v *view) routeInto(buf []mesh.Coord, s, d mesh.Coord) ([]mesh.Coord, error) {
+	start := len(buf)
+	buf = growCoords(buf, mesh.Distance(s, d)+1)
+	buf = append(buf, s)
 	u := s
 	for u != d {
 		next, err := v.step(u, d)
 		if err != nil {
-			return nil, err
+			return buf[:start], err
 		}
 		u = next
-		path = append(path, u)
+		buf = append(buf, u)
 	}
-	return path, nil
+	return buf, nil
+}
+
+// growCoords ensures buf has capacity for need more elements beyond
+// its length, reallocating at most once. A warm buffer (the arena
+// steady state) never grows; a cold one grows with at least doubling,
+// so packing many paths back to back into one fresh slab copies O(n)
+// total, not O(n²).
+func growCoords(buf []mesh.Coord, need int) []mesh.Coord {
+	want := len(buf) + need
+	if cap(buf) >= want {
+		return buf
+	}
+	if c := 2 * cap(buf); want < c {
+		want = c
+	}
+	grown := make([]mesh.Coord, len(buf), want)
+	copy(grown, buf)
+	return grown
 }
 
 // step picks the next hop at u.
@@ -189,56 +248,54 @@ func (v *view) route(s, d mesh.Coord) ([]mesh.Coord, error) {
 // row range before passing its column range (and symmetrically for
 // north shadows). Among hops satisfying both, the adaptive preference
 // (larger remaining offset first) decides.
+//
+// The boundary info is read straight off the CSR arrays: two adjacent
+// offset loads find the node's (almost always empty) ref span, and the
+// fire tests touch only the denormalized bound arrays.
 func (v *view) step(u, d mesh.Coord) (mesh.Coord, error) {
-	type constraint struct {
-		rect mesh.Rect
-		kind LineKind
-	}
-	// Nodes rarely sit on more than a couple of lines at once; the
-	// stack-backed buffer keeps the per-hop decision allocation-free.
+	bs := v.bounds
+	w := v.m.Width
+	ui := u.Y*w + u.X
 	var (
-		firedBuf  [4]constraint
+		// Nodes rarely sit on more than a couple of lines at once; the
+		// stack-backed buffer keeps the per-hop decision allocation-free.
+		firedBuf  [4]int32
 		fired     = firedBuf[:0]
 		succEast  bool
 		succNorth bool
 	)
-	for _, ref := range v.bounds.at(u) {
-		b := v.bounds.rect(ref)
+	for j, end := bs.off[ui], bs.off[ui+1]; j < end; j++ {
 		var fire bool
-		switch ref.kind {
-		case LineL1:
-			fire = d.X > b.MaxX && d.Y >= b.MinY && d.Y <= b.MaxY
-		case LineL3:
-			fire = d.Y > b.MaxY && d.X >= b.MinX && d.X <= b.MaxX
+		if bs.kind[j] == LineL1 {
+			fire = int32(d.X) > bs.maxX[j] && int32(d.Y) >= bs.minY[j] && int32(d.Y) <= bs.maxY[j]
+		} else {
+			fire = int32(d.Y) > bs.maxY[j] && int32(d.X) >= bs.minX[j] && int32(d.X) <= bs.maxX[j]
 		}
 		if !fire {
 			continue
 		}
-		fired = append(fired, constraint{rect: b, kind: ref.kind})
-		if ref.succ >= 0 {
-			sc := v.m.CoordOf(int(ref.succ))
-			if sc.Y == u.Y {
-				succEast = true
-			} else {
-				succNorth = true
-			}
+		fired = append(fired, j)
+		switch bs.succDir[j] {
+		case succEastDir:
+			succEast = true
+		case succNorthDir:
+			succNorth = true
 		}
 	}
 
 	east := mesh.Coord{X: u.X + 1, Y: u.Y}
 	north := mesh.Coord{X: u.X, Y: u.Y + 1}
 	usable := func(n mesh.Coord) bool {
-		if n.X > d.X || n.Y > d.Y || !v.m.Contains(n) || v.blocked[v.m.Index(n)] {
+		if n.X > d.X || n.Y > d.Y || !v.m.Contains(n) || v.blocked[n.Y*w+n.X] {
 			return false
 		}
-		for _, c := range fired {
-			switch c.kind {
-			case LineL1:
-				if n.Y >= c.rect.MinY && n.X <= c.rect.MaxX {
+		for _, j := range fired {
+			if bs.kind[j] == LineL1 {
+				if int32(n.Y) >= bs.minY[j] && int32(n.X) <= bs.maxX[j] {
 					return false
 				}
-			case LineL3:
-				if n.X >= c.rect.MinX && n.Y <= c.rect.MaxY {
+			} else {
+				if int32(n.X) >= bs.minX[j] && int32(n.Y) <= bs.maxY[j] {
 					return false
 				}
 			}
@@ -273,6 +330,11 @@ func (v *view) step(u, d mesh.Coord) (mesh.Coord, error) {
 	return mesh.Coord{}, &StuckError{At: u, To: d}
 }
 
+// oracleScratch pools the full-mesh reachability grid a one-shot
+// Oracle call sweeps, so repeated uncached oracle routes reuse the
+// bitset rows instead of allocating a fresh O(N) grid per call.
+var oracleScratch = sync.Pool{New: func() any { return new(wang.Reach) }}
+
 // Oracle routes with full global information: it walks preferred
 // directions guided by the exact reachability DP, so it finds a minimal
 // path whenever one exists. It is the baseline the limited-information
@@ -283,7 +345,10 @@ func Oracle(m mesh.Mesh, blocked []bool, s, d mesh.Coord) (Path, error) {
 	if !m.Contains(s) || !m.Contains(d) {
 		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
 	}
-	return OracleFrom(m, blocked, wang.ReachFrom(m, d, blocked), s, d)
+	r := oracleScratch.Get().(*wang.Reach)
+	p, err := OracleFrom(m, blocked, wang.ReachFromInto(r, m, d, blocked), s, d)
+	oracleScratch.Put(r)
+	return p, err
 }
 
 // OracleFrom is Oracle with the destination-rooted reachability sweep
@@ -294,29 +359,76 @@ func OracleFrom(m mesh.Mesh, blocked []bool, reach *wang.Reach, s, d mesh.Coord)
 	if !m.Contains(s) || !m.Contains(d) {
 		return nil, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
 	}
-	if !reach.CanReach(s) {
-		return nil, &StuckError{At: s, To: d}
+	out, err := OracleFromInto(nil, m, reach, s, d)
+	if err != nil {
+		return nil, err
 	}
-	path := make(Path, 0, mesh.Distance(s, d)+1)
-	path = append(path, s)
+	return Path(out), nil
+}
+
+// OracleFromInto is the append-style OracleFrom, stepping on the reach
+// grid's bitset words directly: horizontal progress is consumed one
+// whole run of set bits at a time (word loads plus a trailing-ones
+// count, instead of a per-cell lookup), and vertical probes read the
+// next row's word once. reach must be rooted at d over the blocked
+// grid the caller routes against; a node's reach bit being set already
+// implies the node is not blocked, so the walk consults only the
+// bitset. The contract matches RouteInto: the path is appended to dst
+// and the extended slice returned, out[len(dst):] being the new path;
+// on error the returned slice keeps dst's length.
+func OracleFromInto(dst []mesh.Coord, m mesh.Mesh, reach *wang.Reach, s, d mesh.Coord) ([]mesh.Coord, error) {
+	if !m.Contains(s) || !m.Contains(d) {
+		return dst, fmt.Errorf("route: endpoints %v -> %v outside mesh %v", s, d, m)
+	}
+	if !reach.CanReach(s) {
+		return dst, &StuckError{At: s, To: d}
+	}
+	start := len(dst)
+	dst = growCoords(dst, mesh.Distance(s, d)+1)
+	dst = append(dst, s)
+	bits := reach.Bits()
+	sx, sy := 0, 0
+	if d.X > s.X {
+		sx = 1
+	} else if d.X < s.X {
+		sx = -1
+	}
+	if d.Y > s.Y {
+		sy = 1
+	} else if d.Y < s.Y {
+		sy = -1
+	}
 	u := s
-	var dirBuf [2]mesh.Dir
 	for u != d {
-		advanced := false
-		for _, dir := range mesh.AppendPreferredDirs(dirBuf[:0], u, d) {
-			n := u.Add(dir.Offset())
-			if m.Contains(n) && !blocked[m.Index(n)] && reach.CanReach(n) {
-				u = n
-				path = append(path, u)
-				advanced = true
-				break
+		// Preferred-direction order matches mesh.AppendPreferredDirs:
+		// the horizontal move is probed first, then the vertical one —
+		// so consuming the whole horizontal run of reachable nodes at
+		// once reproduces the per-hop walk exactly.
+		if u.X != d.X {
+			var run int
+			if sx > 0 {
+				run = bits.RunEast(u.X+1, u.Y, d.X-u.X)
+			} else {
+				run = bits.RunWest(u.X-1, u.Y, u.X-d.X)
+			}
+			if run > 0 {
+				for i := 0; i < run; i++ {
+					u.X += sx
+					dst = append(dst, u)
+				}
+				continue
 			}
 		}
-		if !advanced {
-			return nil, &StuckError{At: u, To: d} // unreachable given the reach check
+		if u.Y != d.Y {
+			if n := (mesh.Coord{X: u.X, Y: u.Y + sy}); bits.Get(n) {
+				u = n
+				dst = append(dst, u)
+				continue
+			}
 		}
+		return dst[:start], &StuckError{At: u, To: d} // unreachable given the reach check
 	}
-	return path, nil
+	return dst, nil
 }
 
 // DFSRoute is the header-information baseline the paper contrasts its

@@ -1,0 +1,85 @@
+package route
+
+import "sync"
+
+// ViewCache shares the orientation views Routers build — the reflected
+// blocked grid plus its boundary-line contours, an O(mesh) construction
+// — across Routers created for the same fault state. It mirrors the
+// reach cache's version discipline: entries are keyed by the caller's
+// generation stamp and model slot, and the first request carrying a
+// newer generation drops every older entry, so a view can never be
+// served against a blocked grid it was not built from. A straggler
+// Router still holding an older generation builds its views privately
+// without publishing them.
+//
+// The zero value is not usable; create with NewViewCache. All methods
+// are safe for concurrent use.
+type ViewCache struct {
+	mu    sync.Mutex
+	gen   uint64
+	has   bool
+	views map[viewKey]*view
+}
+
+// viewKey addresses one orientation view of one blocked-grid model
+// (block vs MCC labelings of the same fault set build different grids).
+type viewKey struct {
+	model  int
+	fx, fy bool
+}
+
+// NewViewCache returns an empty cache.
+func NewViewCache() *ViewCache {
+	return &ViewCache{views: make(map[viewKey]*view)}
+}
+
+// getOrBuild returns the view for (gen, model, fx, fy), building it
+// with build on a miss. The build runs outside the lock — it is the
+// expensive part — and the first finished build for a key wins, so two
+// racing Routers end up sharing one view.
+func (vc *ViewCache) getOrBuild(gen uint64, model int, fx, fy bool, build func() *view) *view {
+	key := viewKey{model: model, fx: fx, fy: fy}
+	vc.mu.Lock()
+	if !vc.has || gen > vc.gen {
+		clear(vc.views)
+		vc.gen, vc.has = gen, true
+	}
+	current := gen == vc.gen
+	if current {
+		if v := vc.views[key]; v != nil {
+			vc.mu.Unlock()
+			return v
+		}
+	}
+	vc.mu.Unlock()
+
+	v := build()
+
+	if current {
+		vc.mu.Lock()
+		if vc.has && gen == vc.gen {
+			if w := vc.views[key]; w != nil {
+				v = w // a concurrent build published first; share it
+			} else {
+				vc.views[key] = v
+			}
+		}
+		vc.mu.Unlock()
+	}
+	return v
+}
+
+// Len reports how many views are currently cached (test hook).
+func (vc *ViewCache) Len() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return len(vc.views)
+}
+
+// Generation reports the generation the cached views belong to (test
+// hook; 0 with ok=false when nothing has been cached yet).
+func (vc *ViewCache) Generation() (uint64, bool) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.gen, vc.has
+}

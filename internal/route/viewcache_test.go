@@ -1,0 +1,166 @@
+package route
+
+import (
+	"sync"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func twoGrids(m mesh.Mesh) (a, b []bool) {
+	a = make([]bool, m.Size())
+	b = make([]bool, m.Size())
+	a[m.Index(mesh.Coord{X: 4, Y: 4})] = true
+	a[m.Index(mesh.Coord{X: 4, Y: 5})] = true
+	b[m.Index(mesh.Coord{X: 9, Y: 2})] = true
+	b[m.Index(mesh.Coord{X: 10, Y: 2})] = true
+	return a, b
+}
+
+// TestViewCacheSharesWithinGeneration pins the cache's point: two
+// Routers created for the same generation resolve the same *view, and
+// all four orientations land in the cache.
+func TestViewCacheSharesWithinGeneration(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	grid, _ := twoGrids(m)
+	vc := NewViewCache()
+	r1 := NewRouterCached(m, grid, vc, 7, 0)
+	r2 := NewRouterCached(m, grid, vc, 7, 0)
+	for _, pair := range [][2]mesh.Coord{
+		{{X: 0, Y: 0}, {X: 15, Y: 15}},
+		{{X: 15, Y: 0}, {X: 0, Y: 15}},
+		{{X: 0, Y: 15}, {X: 15, Y: 0}},
+		{{X: 15, Y: 15}, {X: 0, Y: 0}},
+	} {
+		v1 := r1.viewFor(pair[0], pair[1])
+		v2 := r2.viewFor(pair[0], pair[1])
+		if v1 != v2 {
+			t.Fatalf("routers at the same generation built distinct views for %v->%v", pair[0], pair[1])
+		}
+	}
+	if got := vc.Len(); got != 4 {
+		t.Fatalf("cache holds %d views after all four orientations, want 4", got)
+	}
+	if gen, ok := vc.Generation(); !ok || gen != 7 {
+		t.Fatalf("cache generation = %d/%v, want 7/true", gen, ok)
+	}
+}
+
+// TestViewCacheInvalidatesAcrossGenerations pins the safety property:
+// a Router carrying a newer generation (a mutated blocked grid) must
+// never be served a view built from the older grid, and its routes
+// must reflect its own grid.
+func TestViewCacheInvalidatesAcrossGenerations(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	gridA, gridB := twoGrids(m)
+	vc := NewViewCache()
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 15, Y: 15}
+
+	rA := NewRouterCached(m, gridA, vc, 1, 0)
+	vA := rA.viewFor(s, d)
+	pA, errA := rA.Route(s, d)
+
+	rB := NewRouterCached(m, gridB, vc, 2, 0)
+	vB := rB.viewFor(s, d)
+	if vA == vB {
+		t.Fatal("newer-generation router was served the older generation's view")
+	}
+	if gen, _ := vc.Generation(); gen != 2 {
+		t.Fatalf("cache generation = %d after newer request, want 2", gen)
+	}
+
+	// Both routes must match uncached routers over the same grids.
+	pWantA, errWantA := NewRouter(m, gridA).Route(s, d)
+	pB, errB := rB.Route(s, d)
+	pWantB, errWantB := NewRouter(m, gridB).Route(s, d)
+	if (errA == nil) != (errWantA == nil) || (errA == nil && !samePath(pA, pWantA)) {
+		t.Fatalf("cached route over grid A diverged: %v (%v) vs %v (%v)", pA, errA, pWantA, errWantA)
+	}
+	if (errB == nil) != (errWantB == nil) || (errB == nil && !samePath(pB, pWantB)) {
+		t.Fatalf("cached route over grid B diverged: %v (%v) vs %v (%v)", pB, errB, pWantB, errWantB)
+	}
+}
+
+// TestViewCacheStragglerBuildsPrivately pins the straggler rule: after
+// the cache has moved to a newer generation, a Router still holding an
+// older one builds privately and must not publish into — or read from —
+// the newer generation's entries.
+func TestViewCacheStragglerBuildsPrivately(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	gridOld, gridNew := twoGrids(m)
+	vc := NewViewCache()
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 15, Y: 15}
+
+	rNew := NewRouterCached(m, gridNew, vc, 5, 0)
+	vNew := rNew.viewFor(s, d)
+
+	rOld := NewRouterCached(m, gridOld, vc, 3, 0) // straggler
+	vOld := rOld.viewFor(s, d)
+	if vOld == vNew {
+		t.Fatal("straggler was served the newer generation's view")
+	}
+	if gen, _ := vc.Generation(); gen != 5 {
+		t.Fatalf("straggler moved the cache generation to %d, want 5 unchanged", gen)
+	}
+	if got := vc.Len(); got != 1 {
+		t.Fatalf("straggler published into the cache: %d views, want 1", got)
+	}
+	// The straggler's private view still routes over its own grid.
+	p, err := rOld.Route(s, d)
+	pWant, errWant := NewRouter(m, gridOld).Route(s, d)
+	if (err == nil) != (errWant == nil) || (err == nil && !samePath(p, pWant)) {
+		t.Fatalf("straggler route diverged: %v (%v) vs %v (%v)", p, err, pWant, errWant)
+	}
+}
+
+// TestViewCacheModelSlotsAreDistinct pins that the two MCC labelings
+// (distinct model slots over distinct blocked grids) never collide in
+// the cache even at the same generation.
+func TestViewCacheModelSlotsAreDistinct(t *testing.T) {
+	m := mesh.Mesh{Width: 16, Height: 16}
+	gridA, gridB := twoGrids(m)
+	vc := NewViewCache()
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 15, Y: 15}
+	v0 := NewRouterCached(m, gridA, vc, 1, 0).viewFor(s, d)
+	v1 := NewRouterCached(m, gridB, vc, 1, 1).viewFor(s, d)
+	if v0 == v1 {
+		t.Fatal("distinct model slots shared one view")
+	}
+	if got := vc.Len(); got != 2 {
+		t.Fatalf("cache holds %d views, want 2 (one per model slot)", got)
+	}
+}
+
+// TestViewCacheConcurrentFirstBuild races many Routers at one
+// generation through a cold cache: everyone must converge on a single
+// published view per orientation.
+func TestViewCacheConcurrentFirstBuild(t *testing.T) {
+	m := mesh.Mesh{Width: 24, Height: 24}
+	grid, _ := twoGrids(m)
+	vc := NewViewCache()
+	s := mesh.Coord{X: 0, Y: 0}
+	d := mesh.Coord{X: 23, Y: 23}
+
+	const racers = 16
+	views := make([]*view, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = NewRouterCached(m, grid, vc, 9, 0).viewFor(s, d)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if views[i] != views[0] {
+			t.Fatalf("racer %d resolved a different view than racer 0", i)
+		}
+	}
+	if got := vc.Len(); got != 1 {
+		t.Fatalf("cache holds %d views after the race, want 1", got)
+	}
+}

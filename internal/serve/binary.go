@@ -206,10 +206,13 @@ func (b *binaryServer) handleFrame(buf, body []byte) []byte {
 	if req.MCC() {
 		fm = extmesh.MCC
 	}
+	sc := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(sc)
 
 	switch req.Op {
 	case wire.OpRoute:
-		p, err := n.Route(req.Src, req.Dst, fm)
+		p, err := n.RouteInto(sc.path[:0], req.Src, req.Dst, fm)
+		sc.path = p
 		if err != nil {
 			b.errors.Inc()
 			return wire.AppendError(buf, req.ID, wire.StatusUnprocessable, err.Error())
@@ -240,11 +243,12 @@ func (b *binaryServer) handleFrame(buf, body []byte) []byte {
 			b.errors.Inc()
 			return wire.AppendError(buf, req.ID, wire.StatusBadRequest, msg)
 		}
-		ps := make([]extmesh.Pair, pairs)
-		for i := range ps {
-			ps[i] = extmesh.Pair{Src: req.Pairs[2*i], Dst: req.Pairs[2*i+1]}
+		ps := sc.pairs[:0]
+		for i := 0; i < pairs; i++ {
+			ps = append(ps, extmesh.Pair{Src: req.Pairs[2*i], Dst: req.Pairs[2*i+1]})
 		}
-		results := n.RouteMany(ps, fm)
+		sc.pairs = ps
+		results := n.RouteManyInto(&sc.arena, ps, fm)
 		buf = wire.AppendOKHeader(buf, req.ID)
 		buf = wire.AppendU16(buf, uint16(len(results)))
 		for _, res := range results {
@@ -274,7 +278,8 @@ func (b *binaryServer) handleFrame(buf, body []byte) []byte {
 			return wire.AppendError(buf, req.ID, wire.StatusBadRequest, msg)
 		}
 		buf = wire.AppendOKHeader(buf, req.ID)
-		return wire.AppendBools(buf, n.HasMinimalPathAll(req.Src, req.Dests))
+		sc.bools = n.HasMinimalPathAllInto(sc.bools, req.Src, req.Dests)
+		return wire.AppendBools(buf, sc.bools)
 
 	case wire.OpEnsureBatch:
 		if msg, ok := checkBatch(len(req.Dests), "destinations"); !ok {

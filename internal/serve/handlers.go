@@ -287,7 +287,10 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if n == nil {
 		return
 	}
-	p, err := n.Route(req.Src, req.Dst, fm)
+	sc := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(sc)
+	p, err := n.RouteInto(sc.path[:0], req.Src, req.Dst, fm)
+	sc.path = p
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -427,22 +430,26 @@ func (s *Server) handleRouteBatch(w http.ResponseWriter, r *http.Request) {
 	if n == nil {
 		return
 	}
-	pairs := make([]extmesh.Pair, len(req.Pairs))
-	for i, p := range req.Pairs {
-		pairs[i] = extmesh.Pair{Src: p.Src, Dst: p.Dst}
+	sc := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(sc)
+	pairs := sc.pairs[:0]
+	for _, p := range req.Pairs {
+		pairs = append(pairs, extmesh.Pair{Src: p.Src, Dst: p.Dst})
 	}
-	results := n.RouteMany(pairs, fm)
-	out := make([]routeBatchResult, len(results))
-	for i, res := range results {
-		if res.Err != nil {
-			out[i] = routeBatchResult{Hops: -1, Error: res.Err.Error()}
-			continue
+	sc.pairs = pairs
+	results := n.RouteManyInto(&sc.arena, pairs, fm)
+	out := sc.out[:0]
+	for _, res := range results {
+		item := routeBatchResult{Hops: len(res.Path) - 1}
+		switch {
+		case res.Err != nil:
+			item = routeBatchResult{Hops: -1, Error: res.Err.Error()}
+		case !req.OmitPaths:
+			item.Path = res.Path
 		}
-		out[i].Hops = len(res.Path) - 1
-		if !req.OmitPaths {
-			out[i].Path = res.Path
-		}
+		out = append(out, item)
 	}
+	sc.out = out
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
@@ -487,7 +494,10 @@ func (s *Server) handleHasMinimalPathBatch(w http.ResponseWriter, r *http.Reques
 	if n == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": n.HasMinimalPathAll(req.Src, req.Dests)})
+	sc := scratchPool.Get().(*reqScratch)
+	defer scratchPool.Put(sc)
+	sc.bools = n.HasMinimalPathAllInto(sc.bools, req.Src, req.Dests)
+	writeJSON(w, http.StatusOK, map[string]any{"results": sc.bools})
 }
 
 func (s *Server) handleEnsureBatch(w http.ResponseWriter, r *http.Request) {

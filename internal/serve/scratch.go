@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"sync"
+
+	"extmesh"
+)
+
+// reqScratch is the per-request storage of the route-bound endpoints —
+// the decoded pair list, the batch route arena, a single-route path
+// buffer, the existence-result buffer and the JSON batch result slice
+// — pooled so a warm serving plane answers route traffic with zero
+// steady-state allocation in the routing layer. Handlers fully
+// serialize their response before the scratch returns to the pool, so
+// no buffer outlives its request.
+type reqScratch struct {
+	pairs []extmesh.Pair
+	arena extmesh.RouteArena
+	path  extmesh.Path
+	bools []bool
+	out   []routeBatchResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(reqScratch) }}

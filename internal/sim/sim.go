@@ -456,6 +456,7 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 	atomic.AddInt64(&clk.setup, int64(time.Since(setupStart)))
 	evalStart := time.Now()
 	strategy4 := strategies[3]
+	var pathBuf []mesh.Coord // reused across all destinations and models
 	for di := 0; di < cfg.DestsPerConfig; di++ {
 		d := w.sampleDest(rng)
 		res.nSamples++
@@ -466,7 +467,9 @@ func runConfig(cfg Config, msh mesh.Mesh, src mesh.Coord, k int, seed int64, mea
 			// End-to-end router success (not measured by the paper):
 			// plain single-phase, then strategy-4 two-phase through
 			// the witness waypoints.
-			if p, err := routers[mi].Route(src, d); err == nil && p.Minimal() {
+			out, err := routers[mi].RouteInto(pathBuf[:0], src, d)
+			pathBuf = out
+			if err == nil && route.Path(out).Minimal() {
 				res.routerPlain[mi]++
 			}
 			if p, err := route.DFSRoute(msh, models[mi].Blocked, src, d); err == nil {

@@ -1,0 +1,117 @@
+package extmesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmesh/internal/fault"
+	"extmesh/internal/mesh"
+)
+
+func pathsEqual(a, b Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIntoVariantsMatchAllocatingForms pins every append-style API to
+// its allocating form: same pairs, same success/failure, identical
+// paths, with the Into form threaded through one reused buffer/arena
+// so any cross-call aliasing bug would corrupt a later comparison.
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	m := mesh.Mesh{Width: 48, Height: 48}
+	faults, err := fault.RandomFaults(m, 70, rand.New(rand.NewSource(53)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(m.Width, m.Height, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	pairs := make([]Pair, 0, 128)
+	for len(pairs) < cap(pairs) {
+		pairs = append(pairs, Pair{
+			Src: Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)},
+			Dst: Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)},
+		})
+	}
+
+	for _, fm := range []FaultModel{Blocks, MCC} {
+		var buf Path
+		for _, p := range pairs {
+			want, wantErr := n.Route(p.Src, p.Dst, fm)
+			got, gotErr := n.RouteInto(buf[:0], p.Src, p.Dst, fm)
+			buf = got
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v RouteInto %v->%v err=%v, Route err=%v", fm, p.Src, p.Dst, gotErr, wantErr)
+			}
+			if wantErr == nil && !pathsEqual(want, got) {
+				t.Fatalf("%v RouteInto %v->%v = %v, want %v", fm, p.Src, p.Dst, got, want)
+			}
+		}
+
+		want := n.RouteMany(pairs, fm)
+		var a RouteArena
+		for round := 0; round < 3; round++ { // warm arena rounds reuse slabs
+			got := n.RouteManyInto(&a, pairs, fm)
+			for i := range pairs {
+				if (want[i].Err == nil) != (got[i].Err == nil) {
+					t.Fatalf("%v RouteManyInto[%d] err=%v, RouteMany err=%v", fm, i, got[i].Err, want[i].Err)
+				}
+				if want[i].Err == nil && !pathsEqual(want[i].Path, got[i].Path) {
+					t.Fatalf("%v RouteManyInto[%d] = %v, want %v", fm, i, got[i].Path, want[i].Path)
+				}
+			}
+		}
+	}
+
+	var buf Path
+	for _, p := range pairs {
+		want, wantErr := n.OracleRoute(p.Src, p.Dst)
+		got, gotErr := n.OracleRouteInto(buf[:0], p.Src, p.Dst)
+		buf = got
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("OracleRouteInto %v->%v err=%v, OracleRoute err=%v", p.Src, p.Dst, gotErr, wantErr)
+		}
+		if wantErr == nil && !pathsEqual(want, got) {
+			t.Fatalf("OracleRouteInto %v->%v = %v, want %v", p.Src, p.Dst, got, want)
+		}
+	}
+
+	want := n.OracleRouteMany(pairs)
+	var a RouteArena
+	for round := 0; round < 3; round++ {
+		got := n.OracleRouteManyInto(&a, pairs)
+		for i := range pairs {
+			if (want[i].Err == nil) != (got[i].Err == nil) {
+				t.Fatalf("OracleRouteManyInto[%d] err=%v, OracleRouteMany err=%v", i, got[i].Err, want[i].Err)
+			}
+			if want[i].Err == nil && !pathsEqual(want[i].Path, got[i].Path) {
+				t.Fatalf("OracleRouteManyInto[%d] = %v, want %v", i, got[i].Path, want[i].Path)
+			}
+		}
+	}
+
+	// HasMinimalPathAllInto against HasMinimalPath, reusing one buffer.
+	src := Coord{X: 1, Y: 1}
+	dests := make([]Coord, 64)
+	for i := range dests {
+		dests[i] = Coord{X: rng.Intn(m.Width), Y: rng.Intn(m.Height)}
+	}
+	var bools []bool
+	for round := 0; round < 2; round++ {
+		bools = n.HasMinimalPathAllInto(bools, src, dests)
+		for i, d := range dests {
+			if want := n.HasMinimalPath(src, d); bools[i] != want {
+				t.Fatalf("HasMinimalPathAllInto[%d] = %v, want %v", i, bools[i], want)
+			}
+		}
+	}
+}
