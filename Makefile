@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages with lock-guarded or worker-pool concurrency that the race
 # detector must cover.
-RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
+RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/wire ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
 
 .PHONY: all build test vet fmt race bench bench-smoke bench-diff smoke chaos verify clean
 
@@ -62,11 +62,16 @@ smoke: build
 
 # chaos is the crash-safety gate: kill -9 a journaled meshserved
 # mid-mutation-sequence and require bit-identical recovery, then run
-# the fault-injection e2e suite (client through a noisy transport must
-# answer exactly like the library) under the race detector.
+# the fault-injection e2e suites under the race detector — the client
+# through a noisy transport must answer exactly like the library, and
+# the replicated cluster (primary killed mid-stream, replication frames
+# torn/duplicated/corrupted, replicas partitioned) must converge
+# byte-identically with zero wrong cluster-client answers. A short
+# fuzz run over the replication frame decoder rides along.
 chaos: build
 	$(GO) test ./cmd/meshserved -run 'TestCrashRecovery|TestRestartAfterGracefulDrain' -count=1
 	$(GO) test -race ./internal/chaos ./meshclient
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReplicationFrames -fuzztime 5s
 
 # verify is the gate for every change: formatting, static checks, full
 # build, the whole test suite, and the race detector on the concurrent

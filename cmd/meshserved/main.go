@@ -19,10 +19,18 @@
 // per-query cost); see meshclient.BinaryClient and meshstress -proto
 // binary.
 //
+// With -replication-addr a journaled daemon also serves its journal to
+// read replicas over a CRC-framed TCP stream; a daemon started with
+// -replicate-from follows a primary instead, applying the stream
+// through the same deterministic journal replay as crash recovery and
+// answering queries read-only (mutations get 403). GET /replication
+// reports the node's role, sequence number and follower lag.
+//
 // Usage:
 //
 //	meshserved [-addr :8423] [-binary-addr :8424]
 //	           [-mesh name:WxH[:faults[:seed]]]...
+//	           [-replication-addr :8425 | -replicate-from host:8425]
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 4096]
 //	           [-max-inflight 0] [-max-queue 0] [-queue-wait 100ms]
@@ -90,6 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline for in-flight requests")
 		quiet        = fs.Bool("quiet", false, "disable per-request access logging")
 		dataDir      = fs.String("data-dir", "", "durable state directory (empty = memory only)")
+		repAddr      = fs.String("replication-addr", "", "journal replication listener for read replicas (requires -data-dir)")
+		repFrom      = fs.String("replicate-from", "", "primary replication address to follow as a read-only replica (requires -data-dir)")
 		fsyncPolicy  = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
 		fsyncEvery   = fs.Duration("fsync-interval", 100*time.Millisecond, "max unsynced window under -fsync interval")
 		snapEvery    = fs.Int("snapshot-every", 4096, "journal records between snapshot compactions")
@@ -98,6 +108,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.Var(&specs, "mesh", "preload mesh, repeatable: name:WxH[:faults[:seed]] (e.g. prod:200x200:40:1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*repAddr != "" || *repFrom != "") && *dataDir == "" {
+		return fmt.Errorf("-replication-addr and -replicate-from require -data-dir")
+	}
+	if *repAddr != "" && *repFrom != "" {
+		return fmt.Errorf("-replication-addr and -replicate-from are mutually exclusive (chained replication is not supported)")
+	}
+	if *repFrom != "" && len(specs) > 0 {
+		// A replica's state comes from the primary's journal; a local
+		// preload would assign sequence numbers that collide with the
+		// replicated stream.
+		return fmt.Errorf("-mesh preload specs cannot be combined with -replicate-from")
 	}
 
 	stopProf, err := prof.Start()
@@ -172,6 +194,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		IdleTimeout:  *idleTimeout,
 		ErrorLog:     logger,
 	}
+	// All serving planes — HTTP, binary, replication — share one derived
+	// context: when any of them exits (signal, listener failure), the
+	// others drain too. Without this, a SIGTERM that stopped the HTTP
+	// plane could leave the binary listener's persistent connections (or
+	// a replication stream) alive past the graceful drain.
+	srvCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
 	// The binary query listener shares the registry, snapshots and
 	// admission gate with the HTTP surface; mutations stay HTTP-only.
 	binErrc := make(chan error, 1)
@@ -181,17 +211,50 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("binary listener: %w", err)
 		}
 		logger.Printf("binary protocol on %s", bl.Addr())
-		go func() { binErrc <- srv.ServeBinary(ctx, bl, *drainTimeout) }()
+		go func() {
+			binErrc <- srv.ServeBinary(srvCtx, bl, *drainTimeout)
+			cancelAll()
+		}()
 	} else {
 		binErrc <- nil
 	}
+	// Replication: either serve followers (primary) or follow a primary
+	// (read-only replica).
+	repErrc := make(chan error, 1)
+	switch {
+	case *repAddr != "":
+		rl, err := net.Listen("tcp", *repAddr)
+		if err != nil {
+			return fmt.Errorf("replication listener: %w", err)
+		}
+		logger.Printf("replication on %s", rl.Addr())
+		go func() {
+			repErrc <- srv.ServeReplication(srvCtx, rl)
+			cancelAll()
+		}()
+	case *repFrom != "":
+		rep := serve.NewReplica(srv, serve.ReplicaOptions{Source: *repFrom})
+		logger.Printf("following primary at %s (read-only replica)", *repFrom)
+		go func() {
+			repErrc <- rep.Run(srvCtx)
+			cancelAll()
+		}()
+	default:
+		repErrc <- nil
+	}
 	logger.Printf("serving on %s (%d meshes)", l.Addr(), len(srv.Meshes().Names()))
-	err = serve.Serve(ctx, httpSrv, l, *drainTimeout)
+	err = serve.Serve(srvCtx, httpSrv, l, *drainTimeout)
+	cancelAll() // HTTP exit drains the binary and replication planes too
+	binErr := <-binErrc
+	repErr := <-repErrc
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if err := <-binErrc; err != nil {
-		return fmt.Errorf("binary listener: %w", err)
+	if binErr != nil {
+		return fmt.Errorf("binary listener: %w", binErr)
+	}
+	if repErr != nil && !errors.Is(repErr, context.Canceled) {
+		return fmt.Errorf("replication: %w", repErr)
 	}
 	if store != nil {
 		// A final snapshot makes the next boot replay-free.

@@ -135,3 +135,200 @@ func TestDaemonAddrInUse(t *testing.T) {
 		t.Logf("note: bind error was %v", err)
 	}
 }
+
+// freeAddr reserves an ephemeral port and releases it for run() to
+// re-listen on — the same pattern TestDaemonEndToEnd uses.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string, out fmt.Stringer) {
+	t.Helper()
+	var err error
+	for i := 0; i < 150; i++ {
+		var resp *http.Response
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon never came up: %v\n%s", err, out.String())
+}
+
+func TestReplicationFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replication-addr", ":0"},        // no -data-dir
+		{"-replicate-from", "localhost:1"}, // no -data-dir
+		{"-data-dir", t.TempDir(), "-replication-addr", ":0", "-replicate-from", "localhost:1"}, // both roles
+		{"-data-dir", t.TempDir(), "-replicate-from", "localhost:1", "-mesh", "m:8x8"},          // preload on a replica
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v accepted, want validation error", args)
+		}
+	}
+}
+
+// TestDrainClosesAllPlanes covers the shutdown bug: a SIGTERM-style
+// cancel must drain the HTTP plane AND close the binary listener's
+// persistent connections and the replication listener — none of them
+// may outlive run().
+func TestDrainClosesAllPlanes(t *testing.T) {
+	addr, binAddr, repAddr := freeAddr(t), freeAddr(t), freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", addr, "-binary-addr", binAddr,
+			"-data-dir", t.TempDir(), "-replication-addr", repAddr,
+			"-mesh", "m:8x8:2:1", "-quiet", "-drain-timeout", "2s",
+		}, &out)
+	}()
+	waitHealthy(t, "http://"+addr, &out)
+
+	// A persistent, idle binary connection — exactly what a pipelining
+	// client parks between bursts.
+	conn, err := net.Dial("tcp", binAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain with a parked binary connection")
+	}
+	// The parked connection must have been closed by the drain.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("binary connection still open after drain")
+	}
+}
+
+// TestDaemonReplicaPair boots a primary and a read-only replica as two
+// full daemons wired by -replication-addr/-replicate-from, mutates the
+// primary over HTTP, and requires the replica to converge, answer
+// queries identically, and refuse writes.
+func TestDaemonReplicaPair(t *testing.T) {
+	pAddr, repAddr := freeAddr(t), freeAddr(t)
+	rAddr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pOut, rOut bytes.Buffer
+	perrc := make(chan error, 1)
+	go func() {
+		perrc <- run(ctx, []string{
+			"-addr", pAddr, "-data-dir", t.TempDir(), "-replication-addr", repAddr,
+			"-quiet", "-drain-timeout", "2s",
+		}, &pOut)
+	}()
+	waitHealthy(t, "http://"+pAddr, &pOut)
+	rerrc := make(chan error, 1)
+	go func() {
+		rerrc <- run(ctx, []string{
+			"-addr", rAddr, "-data-dir", t.TempDir(), "-replicate-from", repAddr,
+			"-quiet", "-drain-timeout", "2s",
+		}, &rOut)
+	}()
+	waitHealthy(t, "http://"+rAddr, &rOut)
+
+	// Create a mesh and inject faults on the primary.
+	body := strings.NewReader(`{"name":"m","width":16,"height":16,"faults":[{"x":4,"y":4},{"x":5,"y":5}]}`)
+	resp, err := http.Post("http://"+pAddr+"/v1/mesh", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+
+	// The replica converges: same mesh, same route answer.
+	route := `{"src":{"x":0,"y":0},"dst":{"x":15,"y":15}}`
+	var hops int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Post("http://"+rAddr+"/v1/mesh/m/route", "application/json", strings.NewReader(route))
+		if err == nil && r.StatusCode == 200 {
+			var rr struct {
+				Hops int `json:"hops"`
+			}
+			json.NewDecoder(r.Body).Decode(&rr)
+			r.Body.Close()
+			hops = rr.Hops
+			break
+		}
+		if err == nil {
+			r.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never served the mesh\nprimary:\n%s\nreplica:\n%s", pOut.String(), rOut.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	pr, err := http.Post("http://"+pAddr+"/v1/mesh/m/route", "application/json", strings.NewReader(route))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prr struct {
+		Hops int `json:"hops"`
+	}
+	json.NewDecoder(pr.Body).Decode(&prr)
+	pr.Body.Close()
+	if hops != prr.Hops {
+		t.Fatalf("replica hops %d != primary hops %d", hops, prr.Hops)
+	}
+
+	// Writes on the replica are refused.
+	wr, err := http.Post("http://"+rAddr+"/v1/mesh", "application/json",
+		strings.NewReader(`{"name":"x","width":4,"height":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr.Body.Close()
+	if wr.StatusCode != 403 {
+		t.Fatalf("replica write = %d, want 403", wr.StatusCode)
+	}
+
+	// Roles visible over /replication.
+	var status struct {
+		Role string `json:"role"`
+	}
+	sr, err := http.Get("http://" + rAddr + "/replication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(sr.Body).Decode(&status)
+	sr.Body.Close()
+	if status.Role != "replica" {
+		t.Fatalf("replica role = %q", status.Role)
+	}
+
+	cancel()
+	for _, c := range []chan error{perrc, rerrc} {
+		select {
+		case err := <-c:
+			if err != nil {
+				t.Fatalf("daemon exit: %v\nprimary:\n%s\nreplica:\n%s", err, pOut.String(), rOut.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+}

@@ -17,9 +17,16 @@
 // connection per worker, length-prefixed frames, no HTTP or JSON cost
 // per query. The HTTP base URL is still used to resolve the mesh.
 //
+// With -replicas the query load is driven through
+// meshclient.ClusterClient: reads spread round-robin across the replica
+// URLs, fail over past dead or tripped nodes, reject answers lagging
+// the observed journal watermark by more than -max-staleness records,
+// and fall back to the primary when no replica can answer.
+//
 // Usage:
 //
 //	meshstress [-addr http://localhost:8423] [-mesh prod]
+//	           [-replicas http://r1:8423,http://r2:8423] [-max-staleness 0]
 //	           [-proto json|binary] [-binary-addr localhost:8424]
 //	           [-endpoint route|has-minimal-path|ensure|safe]
 //	           [-workers 4] [-batch 64] [-paths] [-model blocks|mcc]
@@ -44,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -66,7 +74,9 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshstress", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "http://localhost:8423", "meshserved base URL")
+		addr     = fs.String("addr", "http://localhost:8423", "meshserved base URL (the primary in cluster mode)")
+		replicas = fs.String("replicas", "", "comma-separated replica base URLs: drive reads through the cluster client")
+		maxStale = fs.Uint64("max-staleness", 0, "records a replica answer may lag the observed watermark (with -replicas)")
 		proto    = fs.String("proto", "json", "transport: json (HTTP endpoints) or binary (wire protocol)")
 		binAddr  = fs.String("binary-addr", "localhost:8424", "binary listener address (with -proto binary)")
 		meshName = fs.String("mesh", "prod", "target mesh name")
@@ -101,16 +111,35 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer stopProf()
 
-	client, err := meshclient.New(meshclient.Options{
+	nodeOpts := meshclient.Options{
 		BaseURL:               *addr,
 		DialTimeout:           *dialTimeout,
 		ResponseHeaderTimeout: *headerTimeout,
 		AttemptTimeout:        *attemptTimeout,
 		MaxRetries:            *retries,
 		RetrySeed:             *seed,
-	})
+	}
+	client, err := meshclient.New(nodeOpts)
 	if err != nil {
 		return err
+	}
+	// Cluster mode: reads spread across replicas with failover and
+	// bounded staleness; the single client above still resolves the mesh
+	// and serves as the write path inside the cluster client.
+	var cluster *meshclient.ClusterClient
+	if *replicas != "" {
+		if *proto != "json" {
+			return fmt.Errorf("-replicas requires -proto json (the binary plane has no cluster client)")
+		}
+		cluster, err = meshclient.NewCluster(meshclient.ClusterOptions{
+			Primary:             *addr,
+			Replicas:            strings.Split(*replicas, ","),
+			MaxStalenessRecords: *maxStale,
+			Node:                nodeOpts,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	info, err := fetchMeshInfo(ctx, client, *meshName)
 	if err != nil {
@@ -132,6 +161,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		perReq = per
 		url := "/v1/mesh/" + *meshName + path
 		newFire = func(int) (func(context.Context, int) error, func(), error) {
+			if cluster != nil {
+				return func(ctx context.Context, i int) error {
+					_, err := cluster.DoRead(ctx, "POST", url, bodies[i%len(bodies)])
+					return err
+				}, func() {}, nil
+			}
 			return func(ctx context.Context, i int) error {
 				_, err := client.Do(ctx, "POST", url, bodies[i%len(bodies)], true)
 				return err
@@ -242,8 +277,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "requests: %d ok, %d errors in %.2fs\n", ok, failed.Load(), elapsed.Seconds())
 	if *proto == "json" {
 		counts := client.Counts()
+		if cluster != nil {
+			// Attempt-level counts live in the per-node clients.
+			counts = cluster.Primary().Counts()
+			for _, rc := range cluster.ReplicaClients() {
+				c := rc.Counts()
+				counts.Attempts += c.Attempts
+				counts.Retries += c.Retries
+				counts.Shed += c.Shed
+				counts.NetErrors += c.NetErrors
+				counts.ServerErrors += c.ServerErrors
+			}
+		}
 		fmt.Fprintf(out, "attempts: %d total, %d retried, %d shed (429), %d net errors, %d server errors\n",
 			counts.Attempts, counts.Retries, counts.Shed, counts.NetErrors, counts.ServerErrors)
+		if cluster != nil {
+			cc := cluster.Counts()
+			fmt.Fprintf(out, "cluster: %d reads (%d primary fallbacks), %d failovers, %d stale rejects, %d breaker skips\n",
+				cc.Reads, cc.PrimaryReads, cc.Failovers, cc.StaleRejects, cc.BreakerSkips)
+		}
 	}
 	fmt.Fprintf(out, "throughput: %.0f queries/sec (%.1f requests/sec)\n",
 		float64(queries)/elapsed.Seconds(), float64(ok)/elapsed.Seconds())

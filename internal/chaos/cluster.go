@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"extmesh/internal/wire"
+)
+
+// FramePlan schedules chaos on a replication stream, per
+// primary→replica frame. Every knob is an every-Nth counter (0
+// disables it), so a given plan injects the same faults at the same
+// frame offsets on every run.
+type FramePlan struct {
+	// TearEvery: every Nth frame is truncated mid-body and the
+	// connection cut — the torn-write crash the replica must survive by
+	// reconnecting and resuming.
+	TearEvery int
+	// DuplicateEvery: every Nth frame is delivered twice. The replica's
+	// applied watermark must make redelivery idempotent.
+	DuplicateEvery int
+	// CorruptEvery: every Nth frame has one body byte flipped. The CRC
+	// (or the decoder's structural checks) must reject it and the
+	// replica must resync rather than apply garbage.
+	CorruptEvery int
+	// Seed drives which byte of a corrupted frame is flipped and where
+	// a torn frame is cut.
+	Seed int64
+}
+
+// FrameProxy relays the replication protocol between a replica and its
+// primary, injecting frame-level faults on the primary→replica
+// direction per a FramePlan, with a partition toggle that cuts and
+// refuses connections until healed. The replica dials the proxy's
+// Addr() instead of the primary.
+//
+// The replica→primary direction (hello, acks) passes through verbatim:
+// the interesting failure surface is the record stream.
+type FrameProxy struct {
+	l       net.Listener
+	backend string
+	plan    FramePlan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns map[net.Conn]struct{}
+	frame int // frames relayed, across all connections
+
+	partitioned atomic.Bool
+	wg          sync.WaitGroup
+
+	tears, duplicates, corruptions, refusals atomic.Uint64
+}
+
+// NewFrameProxy starts a frame proxy in front of backend (a replication
+// listener address).
+func NewFrameProxy(backend string, plan FramePlan) (*FrameProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FrameProxy{
+		l:       l,
+		backend: backend,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the address the replica should dial.
+func (p *FrameProxy) Addr() string { return p.l.Addr().String() }
+
+// Tears, Duplicates and Corruptions report how many faults were
+// actually injected; Refusals counts connections rejected while
+// partitioned. A chaos test that asserts convergence should also
+// assert these are nonzero — otherwise it proved nothing.
+func (p *FrameProxy) Tears() uint64       { return p.tears.Load() }
+func (p *FrameProxy) Duplicates() uint64  { return p.duplicates.Load() }
+func (p *FrameProxy) Corruptions() uint64 { return p.corruptions.Load() }
+func (p *FrameProxy) Refusals() uint64    { return p.refusals.Load() }
+
+// Partition cuts every live connection and, while on, refuses new
+// ones — the replica sees a dead link until the partition heals.
+func (p *FrameProxy) Partition(on bool) {
+	p.partitioned.Store(on)
+	if on {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the proxy and waits for its relays to exit.
+func (p *FrameProxy) Close() {
+	p.l.Close()
+	p.Partition(true)
+	p.wg.Wait()
+}
+
+func (p *FrameProxy) accept() {
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			p.refusals.Add(1)
+			client.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.relay(client)
+		}()
+	}
+}
+
+func (p *FrameProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *FrameProxy) untrack(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// decide draws the fault for the next primary→replica frame. The frame
+// counter is global across reconnects, so a plan keeps injecting even
+// though every fault forces a fresh connection.
+type frameFault int
+
+const (
+	faultNone frameFault = iota
+	faultTear
+	faultDuplicate
+	faultCorrupt
+)
+
+func (p *FrameProxy) decide() (frameFault, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frame++
+	draw := p.rng.Int63()
+	switch {
+	case p.plan.TearEvery > 0 && p.frame%p.plan.TearEvery == 0:
+		return faultTear, draw
+	case p.plan.CorruptEvery > 0 && p.frame%p.plan.CorruptEvery == 0:
+		return faultCorrupt, draw
+	case p.plan.DuplicateEvery > 0 && p.frame%p.plan.DuplicateEvery == 0:
+		return faultDuplicate, draw
+	}
+	return faultNone, draw
+}
+
+func (p *FrameProxy) relay(client net.Conn) {
+	defer p.untrack(client)
+	p.track(client)
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer p.untrack(server)
+	p.track(server)
+
+	done := make(chan struct{})
+	// Replica → primary: verbatim byte relay.
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4<<10)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		client.Close()
+		server.Close()
+	}()
+
+	// Primary → replica: frame-aware, fault-injecting relay.
+	br := bufio.NewReaderSize(server, 64<<10)
+	var buf []byte
+	for {
+		body, err := wire.ReadFrame(br, wire.MaxReplicationFrame, buf)
+		if err != nil {
+			break
+		}
+		buf = body[:0]
+		fault, draw := p.decide()
+		switch fault {
+		case faultTear:
+			p.tears.Add(1)
+			cut := 0
+			if len(body) > 0 {
+				cut = int(draw % int64(len(body)))
+			}
+			// Full length prefix, partial body, then a hard cut: the
+			// replica's next read blocks on bytes that never come and
+			// its stall/read error path must recover.
+			prefix := wire.AppendU32(nil, uint32(len(body)))
+			client.Write(append(prefix, body[:cut]...))
+			client.Close()
+			server.Close()
+			<-done
+			return
+		case faultCorrupt:
+			p.corruptions.Add(1)
+			if len(body) > 0 {
+				body[int(draw%int64(len(body)))] ^= 0x40
+			}
+			if wire.WriteFrame(client, body) != nil {
+				break
+			}
+		case faultDuplicate:
+			p.duplicates.Add(1)
+			if wire.WriteFrame(client, body) != nil || wire.WriteFrame(client, body) != nil {
+				break
+			}
+		default:
+			if wire.WriteFrame(client, body) != nil {
+				break
+			}
+		}
+	}
+	client.Close()
+	server.Close()
+	<-done
+}

@@ -124,8 +124,9 @@ type Store struct {
 	w         *os.File // current generation's log, opened for append
 	gen       uint64
 	seq       uint64
-	pending   int // records appended since the last fsync
-	walCount  int // records in the current log generation
+	snapSeq   uint64 // last record folded into the current snapshot
+	pending   int    // records appended since the last fsync
+	walCount  int    // records in the current log generation
 	lastSync  time.Time
 
 	appends   *metrics.Counter
@@ -241,6 +242,7 @@ func (s *Store) Recover() (*Recovery, error) {
 			rec.Meshes = map[string]SnapshotMesh{}
 		}
 		s.seq = sf.Seq
+		s.snapSeq = sf.Seq
 	}
 
 	walPath := filepath.Join(s.dir, walName(s.gen))
@@ -286,12 +288,36 @@ func (s *Store) Append(r Record) (uint64, error) {
 		return 0, fmt.Errorf("journal: Append before Recover")
 	}
 	r.Seq = s.seq + 1
+	return r.Seq, s.appendLocked(r)
+}
+
+// AppendExact appends a record preserving the sequence number it
+// already carries — the replica path, where sequence numbers were
+// assigned by the primary and local continuity with the replicated
+// stream matters more than local density. The record's Seq must exceed
+// the store's current seq (gaps are tolerated: a replica that failed
+// one local append keeps following the stream).
+func (s *Store) AppendExact(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return fmt.Errorf("journal: AppendExact before Recover")
+	}
+	if r.Seq <= s.seq {
+		return fmt.Errorf("journal: AppendExact seq %d not beyond current %d", r.Seq, s.seq)
+	}
+	return s.appendLocked(r)
+}
+
+// appendLocked frames r (whose Seq is already final), writes it to the
+// log and applies the fsync policy. Callers hold s.mu.
+func (s *Store) appendLocked(r Record) error {
 	frame, err := encodeFrame(nil, r)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if _, err := s.w.Write(frame); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
+		return fmt.Errorf("journal: append: %w", err)
 	}
 	s.seq = r.Seq
 	s.pending++
@@ -302,17 +328,17 @@ func (s *Store) Append(r Record) (uint64, error) {
 	switch s.opts.Policy {
 	case SyncAlways:
 		if err := s.syncLocked(); err != nil {
-			return 0, err
+			return err
 		}
 	case SyncInterval:
 		if time.Since(s.lastSync) >= s.opts.Interval {
 			if err := s.syncLocked(); err != nil {
-				return 0, err
+				return err
 			}
 		}
 	}
 	s.lag.Set(int64(s.pending))
-	return r.Seq, nil
+	return nil
 }
 
 func (s *Store) syncLocked() error {
@@ -358,8 +384,27 @@ func (s *Store) Compact(meshes map[string]SnapshotMesh) error {
 	if !s.recovered {
 		return fmt.Errorf("journal: Compact before Recover")
 	}
+	return s.compactLocked(meshes, s.seq)
+}
+
+// InstallSnapshot replaces the store's contents with a full snapshot
+// received from a primary: a new snapshot generation at the given
+// sequence number, an empty log. Any local records — even ones beyond
+// seq — are discarded; the primary's state is authoritative.
+func (s *Store) InstallSnapshot(meshes map[string]SnapshotMesh, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return fmt.Errorf("journal: InstallSnapshot before Recover")
+	}
+	return s.compactLocked(meshes, seq)
+}
+
+// compactLocked writes a new snapshot generation carrying the given
+// state and sequence number and rotates the log. Callers hold s.mu.
+func (s *Store) compactLocked(meshes map[string]SnapshotMesh, seq uint64) error {
 	newGen := s.gen + 1
-	sf := snapshotFile{Gen: newGen, Seq: s.seq, Meshes: meshes}
+	sf := snapshotFile{Gen: newGen, Seq: seq, Meshes: meshes}
 	blob, err := json.Marshal(sf)
 	if err != nil {
 		return fmt.Errorf("journal: encode snapshot: %w", err)
@@ -394,6 +439,7 @@ func (s *Store) Compact(meshes map[string]SnapshotMesh) error {
 	}
 	old, oldGen := s.w, s.gen
 	s.w, s.gen = w, newGen
+	s.seq, s.snapSeq = seq, seq
 	s.pending, s.walCount = 0, 0
 	s.walGauge.Set(0)
 	s.lag.Set(0)
@@ -450,4 +496,43 @@ func (s *Store) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pending
+}
+
+// SnapSeq returns the sequence number of the last record folded into
+// the current snapshot generation. Records with Seq <= SnapSeq are no
+// longer individually readable — they exist only folded into state.
+func (s *Store) SnapSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// ReadSince returns the records with Seq > since that are still
+// present in the current log generation, in order. ok is false when
+// since predates the current snapshot — compaction folded some of the
+// requested records away, so the caller must fall back to shipping a
+// full snapshot instead of an incremental tail.
+func (s *Store) ReadSince(since uint64) (recs []Record, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered {
+		return nil, false, fmt.Errorf("journal: ReadSince before Recover")
+	}
+	if since < s.snapSeq {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walName(s.gen)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, true, nil
+		}
+		return nil, false, fmt.Errorf("journal: %w", err)
+	}
+	all, _ := ReadFrames(data)
+	for _, r := range all {
+		if r.Seq > since {
+			recs = append(recs, r)
+		}
+	}
+	return recs, true, nil
 }

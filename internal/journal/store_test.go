@@ -1,0 +1,346 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"extmesh"
+)
+
+// tearTail appends a plausible-looking but incomplete frame to the
+// given generation's log, simulating a crash mid-append.
+func tearTail(t *testing.T, dir string, gen uint64) int {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, walName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'p', 'a', 'r', 't'}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return len(torn)
+}
+
+// TestRecoverTornFrameAfterCompaction covers the crash window the
+// single-generation tests miss: a compaction has already rotated to a
+// new generation, records landed in the new log, and the final frame is
+// torn. Recovery must keep the snapshot, replay the valid post-snapshot
+// prefix, and truncate only the torn bytes.
+func TestRecoverTornFrameAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := map[string]SnapshotMesh{
+		"m": {Blob: json.RawMessage(`{"width":8,"height":8,"faults":[]}`), Version: 4},
+	}
+	if err := s.Compact(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Op: OpApply, Name: "m", Fail: []extmesh.Coord{{X: 2, Y: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	torn := tearTail(t, dir, 1)
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if got := rec.Meshes["m"]; got.Version != 4 {
+		t.Errorf("snapshot mesh version = %d, want 4", got.Version)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Op != OpApply {
+		t.Fatalf("post-snapshot records = %+v, want the single apply", rec.Records)
+	}
+	if rec.Truncated != torn {
+		t.Errorf("Truncated = %d, want %d", rec.Truncated, torn)
+	}
+	if want := uint64(len(sampleRecords()) + 1); s2.Seq() != want {
+		t.Errorf("Seq = %d, want %d", s2.Seq(), want)
+	}
+	if want := uint64(len(sampleRecords())); s2.SnapSeq() != want {
+		t.Errorf("SnapSeq = %d, want %d", s2.SnapSeq(), want)
+	}
+}
+
+// TestRecoverStaleTmpSnapshot models a crash inside Compact before the
+// rename published the new snapshot: a snap-N.tmp file lingers. The
+// .tmp must be invisible to recovery (old generation wins) and a torn
+// tail in the old log is still handled.
+func TestRecoverStaleTmpSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// A fully-written but never-renamed snapshot at the would-be next gen.
+	tmp := filepath.Join(dir, snapName(1)+".tmp")
+	blob, _ := json.Marshal(snapshotFile{Gen: 1, Seq: 99, Meshes: nil})
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := tearTail(t, dir, 0)
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if len(rec.Records) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(sampleRecords()))
+	}
+	if rec.Truncated != torn {
+		t.Errorf("Truncated = %d, want %d", rec.Truncated, torn)
+	}
+	if s2.Seq() != uint64(len(sampleRecords())) {
+		t.Errorf("Seq = %d, want %d (tmp snapshot must not contribute)", s2.Seq(), len(sampleRecords()))
+	}
+}
+
+// TestRecoverSnapshotRenamedLogNotRotated models a crash between
+// publishing snap-1 and creating wal-1: the new snapshot exists, the
+// new log does not, and the old generation's files are still on disk.
+// Recovery must prefer the new snapshot; the old log's records are
+// already folded in, so none replay.
+func TestRecoverSnapshotRenamedLogNotRotated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Hand-publish the snapshot Compact would have written, leaving
+	// wal-0 in place and wal-1 missing.
+	state := map[string]SnapshotMesh{
+		"m": {Blob: json.RawMessage(`{"width":8,"height":8,"faults":[{"x":1,"y":1}]}`), Version: 9},
+	}
+	blob, _ := json.Marshal(snapshotFile{Gen: 1, Seq: uint64(len(sampleRecords())), Meshes: state})
+	if err := os.WriteFile(filepath.Join(dir, snapName(1)), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	if got := rec.Meshes["m"]; got.Version != 9 {
+		t.Errorf("snapshot mesh version = %d, want 9", got.Version)
+	}
+	if len(rec.Records) != 0 {
+		t.Errorf("replayed %d records from the pre-snapshot log, want 0", len(rec.Records))
+	}
+	if want := uint64(len(sampleRecords())); s2.Seq() != want || s2.SnapSeq() != want {
+		t.Errorf("Seq/SnapSeq = %d/%d, want %d/%d", s2.Seq(), s2.SnapSeq(), want, want)
+	}
+	// Appends continue the sequence into the (new) wal-1.
+	if _, err := s2.Append(Record{Op: OpDelete, Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, rec3 := mustOpen(t, dir, testOptions())
+	if len(rec3.Records) != 1 || rec3.Records[0].Seq != uint64(len(sampleRecords())+1) {
+		t.Errorf("post-crash append lost: records = %+v", rec3.Records)
+	}
+}
+
+// TestRecoverBothGenerationsPresent models a crash after the new
+// generation was fully written but before the old files were removed:
+// recovery must pick the newest generation and ignore the stale one.
+func TestRecoverBothGenerationsPresent(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(map[string]SnapshotMesh{
+		"m": {Blob: json.RawMessage(`{"width":8,"height":8,"faults":[]}`), Version: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Resurrect the old generation's log as if removal never happened.
+	old, err := os.Create(filepath.Join(dir, walName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := encodeFrame(nil, Record{Seq: 1, Op: OpDelete, Name: "stale"})
+	old.Write(frame)
+	old.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if got := rec.Meshes["m"]; got.Version != 4 {
+		t.Errorf("snapshot mesh version = %d, want 4", got.Version)
+	}
+	if len(rec.Records) != 0 {
+		t.Errorf("stale generation leaked %d records into recovery", len(rec.Records))
+	}
+}
+
+// TestRecoverCorruptNewestSnapshotWalksBack corrupts the newest
+// snapshot: Open must fall back to the previous valid generation (here
+// generation 0's bare log) rather than fail or lose everything.
+func TestRecoverCorruptNewestSnapshotWalksBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// A garbage snap-1 alongside the intact wal-0.
+	if err := os.WriteFile(filepath.Join(dir, snapName(1)), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if len(rec.Records) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records via walk-back, want %d", len(rec.Records), len(sampleRecords()))
+	}
+}
+
+// TestReadSince pins the incremental-tail contract the replication
+// stream depends on.
+func TestReadSince(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	defer s.Close()
+	want := sampleRecords()
+	for _, r := range want {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, ok, err := s.ReadSince(0)
+	if err != nil || !ok {
+		t.Fatalf("ReadSince(0) ok=%v err=%v, want full tail", ok, err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("ReadSince(0) returned %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		exp := want[i]
+		exp.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(r, exp) {
+			t.Errorf("record %d = %+v, want %+v", i, r, exp)
+		}
+	}
+
+	recs, ok, err = s.ReadSince(2)
+	if err != nil || !ok || len(recs) != len(want)-2 || recs[0].Seq != 3 {
+		t.Fatalf("ReadSince(2) = %d records ok=%v err=%v, want %d starting at seq 3",
+			len(recs), ok, err, len(want)-2)
+	}
+
+	// Caught-up follower: empty tail, still ok.
+	recs, ok, err = s.ReadSince(s.Seq())
+	if err != nil || !ok || len(recs) != 0 {
+		t.Fatalf("ReadSince(head) = %d records ok=%v err=%v, want empty ok", len(recs), ok, err)
+	}
+
+	// Compaction folds records 1..4 away; a follower behind the
+	// snapshot cannot be served incrementally.
+	if err := s.Compact(map[string]SnapshotMesh{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.ReadSince(2); err != nil || ok {
+		t.Fatalf("ReadSince(2) after compaction ok=%v err=%v, want ok=false", ok, err)
+	}
+	// At or past the snapshot boundary, incremental service resumes.
+	if _, err := s.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, ok, err = s.ReadSince(s.SnapSeq())
+	if err != nil || !ok || len(recs) != 1 || recs[0].Seq != s.Seq() {
+		t.Fatalf("ReadSince(snapSeq) = %+v ok=%v err=%v, want the one post-snapshot record", recs, ok, err)
+	}
+}
+
+// TestAppendExact pins the replica-side append path: primary-assigned
+// sequence numbers are preserved (including gaps), regressions are
+// rejected, and recovery sees the exact stream.
+func TestAppendExact(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	if err := s.AppendExact(Record{Seq: 3, Op: OpDelete, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendExact(Record{Seq: 7, Op: OpDelete, Name: "b"}); err != nil {
+		t.Fatalf("gap-tolerant append rejected: %v", err)
+	}
+	if err := s.AppendExact(Record{Seq: 7, Op: OpDelete, Name: "dup"}); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	if err := s.AppendExact(Record{Seq: 2, Op: OpDelete, Name: "old"}); err == nil {
+		t.Fatal("regressing seq accepted")
+	}
+	if s.Seq() != 7 {
+		t.Errorf("Seq = %d, want 7", s.Seq())
+	}
+	// Plain Append continues from the exact high-water mark.
+	seq, err := s.Append(Record{Op: OpDelete, Name: "c"})
+	if err != nil || seq != 8 {
+		t.Fatalf("Append after AppendExact = seq %d err %v, want 8", seq, err)
+	}
+	s.Close()
+
+	_, rec := mustOpen(t, dir, testOptions())
+	gotSeqs := make([]uint64, 0, len(rec.Records))
+	for _, r := range rec.Records {
+		gotSeqs = append(gotSeqs, r.Seq)
+	}
+	if !reflect.DeepEqual(gotSeqs, []uint64{3, 7, 8}) {
+		t.Errorf("recovered seqs = %v, want [3 7 8]", gotSeqs)
+	}
+}
+
+// TestInstallSnapshot pins the full-resync path: a replica's local
+// state — even one ahead of the incoming snapshot — is replaced
+// wholesale, and recovery starts from the installed state.
+func TestInstallSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	for _, r := range sampleRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := map[string]SnapshotMesh{
+		"fresh": {Blob: json.RawMessage(`{"width":4,"height":4,"faults":[]}`), Version: 2},
+	}
+	// Install at a seq below the local head: authoritative rewind.
+	if err := s.InstallSnapshot(state, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq() != 2 || s.SnapSeq() != 2 {
+		t.Errorf("Seq/SnapSeq = %d/%d after install, want 2/2", s.Seq(), s.SnapSeq())
+	}
+	// The stream continues with primary seqs after the snapshot point.
+	if err := s.AppendExact(Record{Seq: 3, Op: OpDelete, Name: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if len(rec.Meshes) != 1 || rec.Meshes["fresh"].Version != 2 {
+		t.Errorf("recovered meshes = %+v, want only the installed state", rec.Meshes)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Seq != 3 {
+		t.Errorf("recovered records = %+v, want the single seq-3 record", rec.Records)
+	}
+	if s2.Seq() != 3 {
+		t.Errorf("Seq = %d, want 3", s2.Seq())
+	}
+}

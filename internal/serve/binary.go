@@ -60,7 +60,13 @@ func (s *Server) ServeBinary(ctx context.Context, l net.Listener, drainTimeout t
 	go func() { errc <- b.acceptLoop(l) }()
 	select {
 	case err := <-errc:
-		return err // listener failed before shutdown was requested
+		// Listener failed before shutdown was requested. Connections
+		// accepted earlier are still being served — without a drain they
+		// would outlive this call, so cut them off before returning.
+		b.beginDrain()
+		b.closeAll()
+		b.wg.Wait()
+		return err
 	case <-ctx.Done():
 	}
 	l.Close()

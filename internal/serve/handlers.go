@@ -137,7 +137,20 @@ type createRequest struct {
 	Faults []extmesh.Coord `json:"faults"`
 }
 
+// denyReadOnly rejects a mutation on a read-only node (a replica):
+// the replication stream is its only legal write path.
+func (s *Server) denyReadOnly(w http.ResponseWriter) bool {
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, "node is a read-only replica: route mutations to the primary")
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
+	if s.denyReadOnly(w) {
+		return
+	}
 	var req createRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -171,6 +184,9 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 // handleUploadMesh is PUT /v1/mesh/{name}: create or replace from a
 // serialized network blob (Network.MarshalJSON format).
 func (s *Server) handleUploadMesh(w http.ResponseWriter, r *http.Request) {
+	if s.denyReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if !ValidName(name) {
 		writeError(w, http.StatusBadRequest, "invalid mesh name %q", name)
@@ -226,6 +242,9 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
+	if s.denyReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	existed, err := s.persist.delete(name)
 	if err != nil {
@@ -550,6 +569,9 @@ type faultsResponse struct {
 }
 
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if s.denyReadOnly(w) {
+		return
+	}
 	var req faultsRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

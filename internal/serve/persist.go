@@ -27,6 +27,34 @@ type persister struct {
 	mu    sync.Mutex
 	store *journal.Store // nil: memory-only
 	reg   *Registry
+	// noteSeq observes every durably applied sequence number (appends
+	// on a primary, replicated records on a replica); nil-safe.
+	noteSeq func(uint64)
+	// subs are live replication followers; each journaled record is
+	// fanned out to them in append order, under p.mu, so every follower
+	// observes mutations in exactly the order they were applied.
+	subs map[*repSub]struct{}
+}
+
+func (p *persister) note(seq uint64) {
+	if p.noteSeq != nil {
+		p.noteSeq(seq)
+	}
+}
+
+// broadcast fans a freshly journaled record out to the replication
+// followers. A follower whose buffer is full is cut off (its channel
+// closes) rather than allowed to stall mutations; it reconnects and
+// resumes from its applied offset. Callers hold p.mu.
+func (p *persister) broadcast(r journal.Record) {
+	for sub := range p.subs {
+		select {
+		case sub.ch <- r:
+		default:
+			delete(p.subs, sub)
+			close(sub.ch)
+		}
+	}
 }
 
 // append journals the record and, when the log generation has grown
@@ -36,9 +64,13 @@ func (p *persister) append(r journal.Record) error {
 	if p.store == nil {
 		return nil
 	}
-	if _, err := p.store.Append(r); err != nil {
+	seq, err := p.store.Append(r)
+	if err != nil {
 		return &journalError{err}
 	}
+	r.Seq = seq
+	p.note(seq)
+	p.broadcast(r)
 	if p.store.NeedsCompaction() {
 		if err := p.compactLocked(); err != nil {
 			return &journalError{err}
@@ -221,48 +253,59 @@ func (s *Server) Recover() error {
 		}
 	}
 	for _, r := range rec.Records {
-		switch r.Op {
-		case journal.OpPut:
-			d, err := restoreMesh(r.Name, r.Blob, r.Version)
-			if err != nil {
-				return err
-			}
-			if err := s.meshes.Put(r.Name, d); err != nil {
-				return err
-			}
-		case journal.OpDelete:
-			s.meshes.Delete(r.Name)
-		case journal.OpApply:
-			d := s.meshes.Get(r.Name)
-			if d == nil {
-				continue
-			}
-			// Replay re-executes the attempted batch; a partial batch
-			// errors at the same point it originally did, which is the
-			// recorded (and correct) final state, so the error only
-			// matters if it happens earlier — impossible for a
-			// deterministic mutation on identical state.
-			d.Apply(r.Fail, r.Recover)
-		case journal.OpEvents:
-			d := s.meshes.Get(r.Name)
-			if d == nil {
-				continue
-			}
-			for _, ev := range r.Events {
-				if ev.Op == "fail" {
-					d.Apply([]extmesh.Coord{ev.Node}, nil)
-				} else {
-					d.Apply(nil, []extmesh.Coord{ev.Node})
-				}
-			}
-		default:
-			return fmt.Errorf("serve: journal record %d has unknown op %q", r.Seq, r.Op)
+		if err := s.applyRecord(r); err != nil {
+			return err
 		}
 	}
 	if err := s.persist.checkpoint(); err != nil {
 		return err
 	}
+	s.journalSeq.Store(s.persist.store.Seq())
 	s.SetReady(true)
+	return nil
+}
+
+// applyRecord applies one journal record to the registry without
+// journaling it — the shared replay path of crash recovery and
+// replication streaming. Both callers feed it the same deterministic
+// record stream, which is what makes a replica's state bit-identical
+// to its primary's.
+func (s *Server) applyRecord(r journal.Record) error {
+	switch r.Op {
+	case journal.OpPut:
+		d, err := restoreMesh(r.Name, r.Blob, r.Version)
+		if err != nil {
+			return err
+		}
+		return s.meshes.Put(r.Name, d)
+	case journal.OpDelete:
+		s.meshes.Delete(r.Name)
+	case journal.OpApply:
+		d := s.meshes.Get(r.Name)
+		if d == nil {
+			return nil
+		}
+		// Replay re-executes the attempted batch; a partial batch
+		// errors at the same point it originally did, which is the
+		// recorded (and correct) final state, so the error only
+		// matters if it happens earlier — impossible for a
+		// deterministic mutation on identical state.
+		d.Apply(r.Fail, r.Recover)
+	case journal.OpEvents:
+		d := s.meshes.Get(r.Name)
+		if d == nil {
+			return nil
+		}
+		for _, ev := range r.Events {
+			if ev.Op == "fail" {
+				d.Apply([]extmesh.Coord{ev.Node}, nil)
+			} else {
+				d.Apply(nil, []extmesh.Coord{ev.Node})
+			}
+		}
+	default:
+		return fmt.Errorf("serve: journal record %d has unknown op %q", r.Seq, r.Op)
+	}
 	return nil
 }
 
@@ -270,6 +313,21 @@ func (s *Server) Recover() error {
 // the daemon calls it after a graceful drain so restart recovery is a
 // single snapshot load. A no-op without a journal.
 func (s *Server) Checkpoint() error { return s.persist.checkpoint() }
+
+// ExportState marshals the registry's full durable state (every mesh
+// blob plus version; map keys are emitted sorted by encoding/json)
+// under the mutation lock. Two nodes that applied the same record
+// stream produce byte-identical exports — the convergence check the
+// cluster chaos suite asserts on.
+func (s *Server) ExportState() ([]byte, error) {
+	s.persist.mu.Lock()
+	defer s.persist.mu.Unlock()
+	state, err := s.persist.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(state)
+}
 
 // RegisterMesh registers a mesh through the durable path — preloads
 // from daemon flags journal exactly like API creations.

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extmesh/internal/journal"
+	"extmesh/internal/metrics"
+	"extmesh/internal/wire"
+)
+
+// ReplicaOptions configures a read replica's connection to its primary.
+type ReplicaOptions struct {
+	// Source is the primary's replication listener address.
+	Source string
+	// Dial overrides the TCP dialer — the chaos seam, so tests can
+	// route the stream through a fault-injecting proxy. Nil selects a
+	// plain net.Dialer.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Retry is the pause between reconnect attempts; 0 selects 200ms.
+	Retry time.Duration
+}
+
+// Replica follows a primary's replication stream: it applies every
+// record through the same deterministic applyRecord path crash
+// recovery uses, persists the stream to its own journal (primary
+// sequence numbers preserved), and keeps reconnecting with
+// resume-from-offset until its context is canceled. Registering a
+// Replica puts the server in read-only mode: the stream is the only
+// write path, which is what makes convergence bit-identical.
+type Replica struct {
+	s    *Server
+	opts ReplicaOptions
+
+	mu        sync.Mutex
+	connected bool
+	lastErr   string
+	lag       atomic.Uint64
+
+	lagGauge    *metrics.Gauge
+	applied     *metrics.Counter
+	resyncs     *metrics.Counter
+	disconnects *metrics.Counter
+}
+
+// NewReplica attaches a replica to s and flips it read-only. Call Run
+// to start following.
+func NewReplica(s *Server, opts ReplicaOptions) *Replica {
+	if opts.Retry <= 0 {
+		opts.Retry = 200 * time.Millisecond
+	}
+	m := s.metrics
+	r := &Replica{
+		s:           s,
+		opts:        opts,
+		lagGauge:    m.Gauge("replication_lag_records"),
+		applied:     m.Counter("replication_records_applied_total"),
+		resyncs:     m.Counter("replication_resyncs_total"),
+		disconnects: m.Counter("replication_disconnects_total"),
+	}
+	s.replica.Store(r)
+	s.SetReadOnly(true)
+	return r
+}
+
+func (r *Replica) setConnected(ok bool) {
+	r.mu.Lock()
+	r.connected = ok
+	r.mu.Unlock()
+}
+
+func (r *Replica) setErr(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+func (r *Replica) status() (source string, connected bool, lag uint64, lastErr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Source, r.connected, r.lag.Load(), r.lastErr
+}
+
+// Run follows the primary until ctx is canceled, reconnecting (and
+// resuming from the applied watermark) after every stream failure.
+func (r *Replica) Run(ctx context.Context) error {
+	for {
+		err := r.follow(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.setErr(err)
+		r.disconnects.Inc()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(r.opts.Retry):
+		}
+	}
+}
+
+// follow speaks one connection's worth of the stream: handshake with
+// the applied watermark, then apply frames until the stream errors.
+// Any protocol violation — CRC mismatch, sequence gap, unknown frame —
+// returns an error, dropping the connection; the reconnect handshake
+// is the single recovery path for all of them.
+func (r *Replica) follow(ctx context.Context) error {
+	dial := r.opts.Dial
+	if dial == nil {
+		d := &net.Dialer{Timeout: repWriteTimeout}
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, r.opts.Source)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
+	if err := wire.WriteFrame(bw, wire.AppendRepHello(nil, r.s.journalSeq.Load())); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	r.setConnected(true)
+	defer r.setConnected(false)
+
+	ack := func() error {
+		conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
+		body := wire.AppendRepMessage(nil, &wire.RepMessage{Type: wire.RepAck, Seq: r.s.journalSeq.Load()})
+		if err := wire.WriteFrame(bw, body); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	var buf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(repStallTimeout))
+		body, err := wire.ReadFrame(br, wire.MaxReplicationFrame, buf)
+		if err != nil {
+			return err
+		}
+		m, err := wire.DecodeRepMessage(body)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case wire.RepSnapshot:
+			if err := r.installSnapshot(m.Payload, m.Seq); err != nil {
+				return err
+			}
+			r.resyncs.Inc()
+			if err := ack(); err != nil {
+				return err
+			}
+		case wire.RepRecord:
+			var rec journal.Record
+			if err := json.Unmarshal(m.Payload, &rec); err != nil {
+				return err
+			}
+			if rec.Seq != m.Seq {
+				return fmt.Errorf("serve: replication frame seq %d carries record seq %d", m.Seq, rec.Seq)
+			}
+			if err := r.applyReplicated(rec); err != nil {
+				return err
+			}
+			r.applied.Inc()
+			// Ack when the pipeline is drained, so bursts cost one ack.
+			if br.Buffered() == 0 {
+				if err := ack(); err != nil {
+					return err
+				}
+			}
+		case wire.RepHeartbeat:
+			var lag uint64
+			if have := r.s.journalSeq.Load(); m.Seq > have {
+				lag = m.Seq - have
+			}
+			r.lag.Store(lag)
+			r.lagGauge.Set(int64(lag))
+			if err := ack(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("serve: unexpected replication frame type %d", m.Type)
+		}
+		buf = body[:0]
+	}
+}
+
+// applyReplicated applies one streamed record: duplicates (a replay
+// after reconnect) are skipped, gaps abort the stream, and everything
+// else goes through applyRecord + the local journal under the
+// persister lock — so the replica's own compactions interleave
+// consistently with stream application.
+func (r *Replica) applyReplicated(rec journal.Record) error {
+	p := r.s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	have := r.s.journalSeq.Load()
+	if rec.Seq <= have {
+		return nil // duplicate delivery: already applied
+	}
+	if rec.Seq != have+1 {
+		return fmt.Errorf("serve: replication gap: applied %d, received %d", have, rec.Seq)
+	}
+	if err := r.s.applyRecord(rec); err != nil {
+		return err
+	}
+	if p.store != nil {
+		if err := p.store.AppendExact(rec); err != nil {
+			// Local durability failed but the in-memory apply stands;
+			// the stream continues (AppendExact tolerates the gap) and
+			// the next compaction folds the state in anyway.
+			r.setErr(err)
+		}
+		if p.store.NeedsCompaction() {
+			if err := p.compactLocked(); err != nil {
+				r.setErr(err)
+			}
+		}
+	}
+	p.note(rec.Seq)
+	return nil
+}
+
+// installSnapshot replaces the registry and local journal with the
+// primary's full state at seq — the resync path when incremental
+// resume is impossible (compaction passed the watermark, or this
+// replica is ahead of a rolled-back primary).
+func (r *Replica) installSnapshot(payload []byte, seq uint64) error {
+	var snap repSnapshotPayload
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("serve: decode replication snapshot: %w", err)
+	}
+	p := r.s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, name := range p.reg.Names() {
+		if _, ok := snap.Meshes[name]; !ok {
+			p.reg.Delete(name)
+		}
+	}
+	for name, sm := range snap.Meshes {
+		d, err := restoreMesh(name, sm.Blob, sm.Version)
+		if err != nil {
+			return err
+		}
+		if err := p.reg.Put(name, d); err != nil {
+			return err
+		}
+	}
+	if p.store != nil {
+		if err := p.store.InstallSnapshot(snap.Meshes, seq); err != nil {
+			return err
+		}
+	}
+	p.note(seq)
+	return nil
+}

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extmesh/internal/journal"
+	"extmesh/internal/metrics"
+	"extmesh/internal/wire"
+)
+
+// Replication timing. Heartbeats flow primary → replica during idle
+// periods; a follower that cannot absorb a write within repWriteTimeout
+// is cut off (it reconnects and resumes), and a replica that sees
+// nothing for repStallTimeout treats the link as dead.
+const (
+	repHeartbeatEvery = 500 * time.Millisecond
+	repWriteTimeout   = 2 * time.Second
+	repStallTimeout   = 5 * time.Second
+)
+
+// repSub is one follower's live feed: journaled records are pushed into
+// ch under the persister lock, in append order. The buffer absorbs
+// bursts; overflow closes the channel, which the writer loop treats as
+// an instruction to drop the connection.
+type repSub struct {
+	ch chan journal.Record
+}
+
+// repSnapshotPayload is the RepSnapshot frame body: the full registry
+// state, keyed by mesh name.
+type repSnapshotPayload struct {
+	Meshes map[string]journal.SnapshotMesh `json:"meshes"`
+}
+
+// repHub is the primary side of replication: it owns the follower set
+// and turns the persister's record feed into RepRecord frames.
+type repHub struct {
+	s *Server
+
+	mu        sync.Mutex
+	serving   bool
+	followers map[*repFollower]struct{}
+
+	followerGauge *metrics.Gauge
+	recordsSent   *metrics.Counter
+	snapshotsSent *metrics.Counter
+	connects      *metrics.Counter
+	drops         *metrics.Counter
+}
+
+// repFollower is one connected replica, as the primary sees it.
+type repFollower struct {
+	conn  net.Conn
+	addr  string
+	since uint64
+	acked atomic.Uint64
+}
+
+func newRepHub(s *Server) *repHub {
+	m := s.metrics
+	return &repHub{
+		s:             s,
+		followers:     make(map[*repFollower]struct{}),
+		followerGauge: m.Gauge("replication_followers"),
+		recordsSent:   m.Counter("replication_records_sent_total"),
+		snapshotsSent: m.Counter("replication_snapshots_sent_total"),
+		connects:      m.Counter("replication_connects_total"),
+		drops:         m.Counter("replication_drops_total"),
+	}
+}
+
+// ServeReplication runs the replication listener until ctx is
+// canceled, then closes every follower connection. Requires a journal:
+// resume-from-offset is meaningless without one.
+func (s *Server) ServeReplication(ctx context.Context, l net.Listener) error {
+	if s.persist.store == nil {
+		return fmt.Errorf("serve: replication requires a journal (-data-dir)")
+	}
+	h := s.hub
+	h.mu.Lock()
+	h.serving = true
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					errc <- nil
+				} else {
+					errc <- err
+				}
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h.serveFollower(ctx, conn)
+			}()
+		}
+	}()
+	var err error
+	select {
+	case err = <-errc:
+	case <-ctx.Done():
+		l.Close()
+		<-errc
+	}
+	h.closeFollowers()
+	wg.Wait()
+	return err
+}
+
+func (h *repHub) closeFollowers() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for f := range h.followers {
+		f.conn.Close()
+	}
+}
+
+// serveFollower speaks one replica connection: handshake, catch-up
+// (incremental tail or full snapshot), then the live feed interleaved
+// with heartbeats. A reader goroutine consumes RepAcks for lag
+// accounting and closes the conn on any stream error.
+func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	h.connects.Inc()
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	conn.SetReadDeadline(time.Now().Add(repStallTimeout))
+	body, err := wire.ReadFrame(br, wire.MaxReplicationFrame, nil)
+	if err != nil {
+		return
+	}
+	hello, err := wire.DecodeRepMessage(body)
+	if err != nil || hello.Type != wire.RepHello {
+		return
+	}
+	f := &repFollower{conn: conn, addr: conn.RemoteAddr().String(), since: hello.Seq}
+	f.acked.Store(hello.Seq)
+
+	// Catch-up state and subscription are computed under one hold of
+	// the persister lock: nothing can be appended between the two, so
+	// the tail plus the feed is gap-free and duplicate-free.
+	snap, recs, sub, err := h.s.persist.subscribe(hello.Seq)
+	if err != nil {
+		return
+	}
+	defer h.s.persist.unsubscribe(sub)
+
+	h.mu.Lock()
+	h.followers[f] = struct{}{}
+	h.followerGauge.Set(int64(len(h.followers)))
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.followers, f)
+		h.followerGauge.Set(int64(len(h.followers)))
+		h.mu.Unlock()
+		h.drops.Inc()
+	}()
+
+	// Ack reader: updates the follower's applied watermark and closes
+	// the conn on error, which unblocks the writer below.
+	go func() {
+		buf := []byte(nil)
+		for {
+			conn.SetReadDeadline(time.Now().Add(repStallTimeout))
+			body, err := wire.ReadFrame(br, wire.MaxReplicationFrame, buf)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			buf = body[:0]
+			m, err := wire.DecodeRepMessage(body)
+			if err != nil || m.Type != wire.RepAck {
+				conn.Close()
+				return
+			}
+			f.acked.Store(m.Seq)
+		}
+	}()
+
+	send := func(m *wire.RepMessage) bool {
+		conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
+		return wire.WriteFrame(bw, wire.AppendRepMessage(nil, m)) == nil
+	}
+	if snap != nil {
+		h.snapshotsSent.Inc()
+		if !send(&wire.RepMessage{Type: wire.RepSnapshot, Seq: snap.seq, Payload: snap.blob}) {
+			return
+		}
+	}
+	for _, r := range recs {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			return
+		}
+		if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+			return
+		}
+		h.recordsSent.Inc()
+	}
+	if bw.Flush() != nil {
+		return
+	}
+
+	hb := time.NewTicker(repHeartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case r, ok := <-sub.ch:
+			if !ok {
+				return // overflowed: the replica resyncs on reconnect
+			}
+			blob, err := json.Marshal(r)
+			if err != nil {
+				return
+			}
+			if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+				return
+			}
+			h.recordsSent.Inc()
+			// Drain whatever else is already queued before flushing, so
+			// a burst of mutations pays one syscall.
+			for len(sub.ch) > 0 {
+				r, ok := <-sub.ch
+				if !ok {
+					return
+				}
+				blob, err := json.Marshal(r)
+				if err != nil {
+					return
+				}
+				if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+					return
+				}
+				h.recordsSent.Inc()
+			}
+			if bw.Flush() != nil {
+				return
+			}
+		case <-hb.C:
+			if !send(&wire.RepMessage{Type: wire.RepHeartbeat, Seq: h.s.journalSeq.Load()}) {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// repCatchup is a full-snapshot catch-up: the registry state at seq.
+type repCatchup struct {
+	seq  uint64
+	blob []byte
+}
+
+// subscribe registers a follower resuming after `since` and computes
+// its catch-up under one hold of the mutation lock: either the
+// incremental record tail, or — when compaction folded the requested
+// offset away, or the follower is ahead of us (a rewind) — a full
+// snapshot at the current head. Gap-freedom follows from the lock:
+// every record appended after this call lands in sub.ch.
+func (p *persister) subscribe(since uint64) (snap *repCatchup, recs []journal.Record, sub *repSub, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	head := p.store.Seq()
+	needSnap := since > head // follower ahead of us: authoritative rewind
+	if !needSnap {
+		var ok bool
+		recs, ok, err = p.store.ReadSince(since)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		needSnap = !ok // compaction folded the offset away
+	}
+	if needSnap {
+		recs = nil
+		state, err := p.snapshotState()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		blob, err := json.Marshal(repSnapshotPayload{Meshes: state})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		snap = &repCatchup{seq: head, blob: blob}
+	}
+	sub = &repSub{ch: make(chan journal.Record, 1024)}
+	p.subs[sub] = struct{}{}
+	return snap, recs, sub, nil
+}
+
+func (p *persister) unsubscribe(sub *repSub) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.subs[sub]; ok {
+		delete(p.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// --- status endpoint -------------------------------------------------
+
+// FollowerStatus is one connected replica in the /replication answer.
+type FollowerStatus struct {
+	Addr     string `json:"addr"`
+	AckedSeq uint64 `json:"acked_seq"`
+	Lag      uint64 `json:"lag"`
+}
+
+// ReplicationStatus is the GET /replication body.
+type ReplicationStatus struct {
+	Role      string           `json:"role"` // "primary", "replica" or "single"
+	Seq       uint64           `json:"seq"`
+	Followers []FollowerStatus `json:"followers,omitempty"`
+	Source    string           `json:"source,omitempty"`
+	Connected bool             `json:"connected,omitempty"`
+	Lag       uint64           `json:"lag,omitempty"`
+	LastError string           `json:"last_error,omitempty"`
+}
+
+// ReplicationStatus reports the node's replication role and progress.
+func (s *Server) ReplicationStatus() ReplicationStatus {
+	st := ReplicationStatus{Role: "single", Seq: s.journalSeq.Load()}
+	if r := s.replica.Load(); r != nil {
+		st.Role = "replica"
+		st.Source, st.Connected, st.Lag, st.LastError = r.status()
+		return st
+	}
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.serving {
+		st.Role = "primary"
+	}
+	for f := range h.followers {
+		acked := f.acked.Load()
+		var lag uint64
+		if st.Seq > acked {
+			lag = st.Seq - acked
+		}
+		st.Followers = append(st.Followers, FollowerStatus{Addr: f.addr, AckedSeq: acked, Lag: lag})
+	}
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].Addr < st.Followers[j].Addr })
+	return st
+}
+
+func (s *Server) handleReplicationStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ReplicationStatus())
+}

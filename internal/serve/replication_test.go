@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/journal"
+	"extmesh/internal/metrics"
+)
+
+// newJournaledServer builds a recovered server over its own temp data
+// dir. CompactEvery is disabled unless the test overrides it.
+func newRepServer(t *testing.T, compactEvery int) *Server {
+	t.Helper()
+	store, err := journal.Open(t.TempDir(), journal.Options{
+		Policy:       journal.SyncNever,
+		CompactEvery: compactEvery,
+		Metrics:      metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Journal: store, Metrics: metrics.NewRegistry()})
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return s
+}
+
+// startPrimary runs a replication listener for s until the test ends,
+// returning its address.
+func startPrimary(t *testing.T, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeReplication(ctx, l)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		l.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+// startReplica attaches a replica server to the given primary address
+// and runs it until the test ends.
+func startReplica(t *testing.T, s *Server, source string) *Replica {
+	t.Helper()
+	r := NewReplica(s, ReplicaOptions{Source: source, Retry: 20 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return r
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// assertConverged compares two servers' full durable state byte for
+// byte, plus a battery of route answers.
+func assertConverged(t *testing.T, a, b *Server) {
+	t.Helper()
+	sa, err := a.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("states diverged:\n a=%s\n b=%s", sa, sb)
+	}
+	for _, name := range a.Meshes().Names() {
+		da, db := a.Meshes().Get(name), b.Meshes().Get(name)
+		if da == nil || db == nil {
+			t.Fatalf("mesh %q missing on one side", name)
+		}
+		na, err := da.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := db.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]extmesh.Coord{
+			{{X: 0, Y: 0}, {X: 7, Y: 7}},
+			{{X: 1, Y: 6}, {X: 6, Y: 0}},
+			{{X: 0, Y: 3}, {X: 7, Y: 4}},
+		} {
+			pa, ea := na.Route(pair[0], pair[1], extmesh.Blocks)
+			pb, eb := nb.Route(pair[0], pair[1], extmesh.Blocks)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("mesh %q route %v: error mismatch %v vs %v", name, pair, ea, eb)
+			}
+			if len(pa) != len(pb) {
+				t.Fatalf("mesh %q route %v: path %v vs %v", name, pair, pa, pb)
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("mesh %q route %v: path %v vs %v", name, pair, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+func mustDynamic(t *testing.T, w, h int) *extmesh.DynamicNetwork {
+	t.Helper()
+	d, err := extmesh.NewDynamic(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestReplicationStreaming pins the basic loop: mutations on the
+// primary stream to a live replica, which converges bit-identically
+// and enforces read-only mode.
+func TestReplicationStreaming(t *testing.T) {
+	primary := newRepServer(t, -1)
+	addr := startPrimary(t, primary)
+	replica := newRepServer(t, -1)
+	startReplica(t, replica, addr)
+
+	if err := primary.RegisterMesh("m", mustDynamic(t, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	d := primary.Meshes().Get("m")
+	if _, _, err := primary.persist.apply("m", d, []extmesh.Coord{{X: 2, Y: 2}, {X: 3, Y: 3}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := primary.persist.apply("m", d, []extmesh.Coord{{X: 5, Y: 1}}, []extmesh.Coord{{X: 2, Y: 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "replica catch-up", func() bool {
+		return replica.JournalSeq() == primary.JournalSeq()
+	})
+	assertConverged(t, primary, replica)
+
+	if !replica.ReadOnly() {
+		t.Fatal("replica not read-only")
+	}
+	// Mutations on the replica answer 403.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/mesh", strings.NewReader(`{"name":"x","width":4,"height":4}`))
+	replica.Handler().ServeHTTP(rec, req)
+	if rec.Code != 403 {
+		t.Fatalf("replica mutation answered %d, want 403", rec.Code)
+	}
+
+	// Roles and follower accounting.
+	if st := primary.ReplicationStatus(); st.Role != "primary" || len(st.Followers) != 1 {
+		t.Fatalf("primary status = %+v, want primary with one follower", st)
+	}
+	if st := replica.ReplicationStatus(); st.Role != "replica" || !st.Connected {
+		t.Fatalf("replica status = %+v, want connected replica", st)
+	}
+}
+
+// TestReplicationSeqHeader pins the staleness watermark: every /v1
+// response carries X-Journal-Seq, and a mutation's response carries
+// the seq of the mutation it journaled.
+func TestReplicationSeqHeader(t *testing.T) {
+	s := newRepServer(t, -1)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/mesh", strings.NewReader(`{"name":"m","width":4,"height":4}`))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 201 {
+		t.Fatalf("create answered %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Journal-Seq"); got != "1" {
+		t.Fatalf("mutation X-Journal-Seq = %q, want 1 (stamped after the journal append)", got)
+	}
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/v1/mesh", nil)
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Journal-Seq"); got != "1" {
+		t.Fatalf("read X-Journal-Seq = %q, want 1", got)
+	}
+}
+
+// TestReplicationSnapshotCatchUp covers the resync path: a replica
+// joining after the primary compacted its journal (so the incremental
+// tail is gone) receives a full snapshot and still converges.
+func TestReplicationSnapshotCatchUp(t *testing.T) {
+	primary := newRepServer(t, 4)
+	if err := primary.RegisterMesh("m", mustDynamic(t, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	d := primary.Meshes().Get("m")
+	for i := 0; i < 6; i++ {
+		if _, _, err := primary.persist.apply("m", d, []extmesh.Coord{{X: i, Y: i}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if primary.persist.store.SnapSeq() == 0 {
+		t.Fatal("test setup: primary never compacted")
+	}
+	addr := startPrimary(t, primary)
+
+	replica := newRepServer(t, -1)
+	r := startReplica(t, replica, addr)
+	waitFor(t, "snapshot catch-up", func() bool {
+		return replica.JournalSeq() == primary.JournalSeq()
+	})
+	assertConverged(t, primary, replica)
+	if r.resyncs.Value() == 0 {
+		t.Fatal("replica converged without a snapshot resync; expected the full-snapshot path")
+	}
+}
+
+// TestReplicationResumeFromOffset covers reconnect-resume: a replica
+// that followed, went away, and missed mutations resumes incrementally
+// from its applied watermark after restart — from its own recovered
+// journal, not from zero.
+func TestReplicationResumeFromOffset(t *testing.T) {
+	primary := newRepServer(t, -1)
+	addr := startPrimary(t, primary)
+	if err := primary.RegisterMesh("m", mustDynamic(t, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	d := primary.Meshes().Get("m")
+
+	dir := t.TempDir()
+	open := func() *Server {
+		store, err := journal.Open(dir, journal.Options{Policy: journal.SyncNever, CompactEvery: -1, Metrics: metrics.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Options{Journal: store, Metrics: metrics.NewRegistry()})
+		if err := s.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	replica := open()
+	ctx, cancel := context.WithCancel(context.Background())
+	rep := NewReplica(replica, ReplicaOptions{Source: addr, Retry: 20 * time.Millisecond})
+	done := make(chan struct{})
+	go func() { defer close(done); rep.Run(ctx) }()
+	waitFor(t, "initial catch-up", func() bool { return replica.JournalSeq() == primary.JournalSeq() })
+	cancel()
+	<-done
+	replica.persist.store.Close()
+
+	// Mutations while the replica is down.
+	for i := 0; i < 3; i++ {
+		if _, _, err := primary.persist.apply("m", d, []extmesh.Coord{{X: i + 1, Y: 6}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replica2 := open()
+	if replica2.JournalSeq() == 0 {
+		t.Fatal("restarted replica lost its journal offset")
+	}
+	r2 := startReplica(t, replica2, addr)
+	waitFor(t, "resumed catch-up", func() bool { return replica2.JournalSeq() == primary.JournalSeq() })
+	assertConverged(t, primary, replica2)
+	if r2.resyncs.Value() != 0 {
+		t.Fatal("resume used a full snapshot; expected the incremental tail")
+	}
+	replica2.persist.store.Close()
+}

@@ -18,6 +18,7 @@
 //	GET    /readyz                               readiness (503 until journal recovery completes)
 //	GET    /metrics                              text exposition
 //	GET    /debug/vars                           expvar (includes the "extmesh" map)
+//	GET    /replication                          replication role, lag and follower status
 //	POST   /v1/mesh                              create {name,width,height,faults}
 //	GET    /v1/mesh                              list
 //	GET    /v1/mesh/{name}                       info + fault list (export blob)
@@ -42,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -101,6 +103,17 @@ type Server struct {
 	persist *persister
 	ready   atomic.Bool
 	handler http.Handler
+
+	// journalSeq is the last durably applied sequence number — appended
+	// on a primary, replicated on a replica. Every /v1 response carries
+	// it as X-Journal-Seq so cluster clients can bound read staleness.
+	journalSeq atomic.Uint64
+	// readOnly rejects registry mutations with 403 — the replica mode,
+	// where the only legal write path is the replication stream.
+	readOnly atomic.Bool
+
+	hub     *repHub
+	replica atomic.Pointer[Replica]
 }
 
 // New assembles a server.
@@ -112,7 +125,13 @@ func New(opts Options) *Server {
 		meshes:  NewRegistry(opts.Metrics),
 		admit:   newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait, opts.Metrics),
 	}
-	s.persist = &persister{store: opts.Journal, reg: s.meshes}
+	s.persist = &persister{
+		store:   opts.Journal,
+		reg:     s.meshes,
+		noteSeq: s.journalSeq.Store,
+		subs:    make(map[*repSub]struct{}),
+	}
+	s.hub = newRepHub(s)
 	// A journaled server is not ready until Recover has replayed the
 	// store; a memory-only server has nothing to recover.
 	s.ready.Store(opts.Journal == nil)
@@ -137,11 +156,13 @@ func New(opts Options) *Server {
 		s.metrics.WriteText(w)
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /replication", s.handleReplicationStatus)
 
 	// Query and admin endpoints: metrics per endpoint, one shared
-	// admission gate.
+	// admission gate. Innermost, every response is stamped with the
+	// durable sequence number it was answered at.
 	v1 := func(pattern, endpoint string, h http.HandlerFunc) {
-		mux.Handle(pattern, instrument(s.metrics, endpoint, s.admit.wrap(h)))
+		mux.Handle(pattern, instrument(s.metrics, endpoint, s.admit.wrap(s.stampSeq(h))))
 	}
 	v1("POST /v1/mesh", "mesh_create", s.handleCreateMesh)
 	v1("GET /v1/mesh", "mesh_list", s.handleListMeshes)
@@ -177,6 +198,49 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Ready reports whether /readyz currently answers 200.
 func (s *Server) Ready() bool { return s.ready.Load() }
+
+// SetReadOnly flips replica mode: mutations answer 403 and clients are
+// pointed at the primary. Queries are unaffected.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether mutations are currently rejected.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// JournalSeq returns the last durably applied sequence number — the
+// value /v1 responses carry as X-Journal-Seq.
+func (s *Server) JournalSeq() uint64 { return s.journalSeq.Load() }
+
+// seqWriter stamps X-Journal-Seq at write time (not at dispatch time),
+// so a mutation's response carries the sequence number of the mutation
+// it just journaled — the watermark cluster clients bound staleness by.
+type seqWriter struct {
+	http.ResponseWriter
+	s       *Server
+	stamped bool
+}
+
+func (w *seqWriter) stamp() {
+	if !w.stamped {
+		w.stamped = true
+		w.Header().Set("X-Journal-Seq", strconv.FormatUint(w.s.journalSeq.Load(), 10))
+	}
+}
+
+func (w *seqWriter) WriteHeader(code int) {
+	w.stamp()
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *seqWriter) Write(p []byte) (int, error) {
+	w.stamp()
+	return w.ResponseWriter.Write(p)
+}
+
+func (s *Server) stampSeq(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		next(&seqWriter{ResponseWriter: w, s: s}, r)
+	}
+}
 
 // Serve runs srv on l until ctx is canceled, then drains gracefully:
 // the listener closes (new connections are refused), in-flight

@@ -1,0 +1,165 @@
+// Replication stream protocol.
+//
+// A replica dials the primary's replication listener and the two speak
+// length-prefixed frames (WriteFrame/ReadFrame, like the query plane)
+// whose bodies are RepMessage encodings:
+//
+//	u8  type
+//	u64 seq
+//	u32 crc32-IEEE of type+seq+payload
+//	u32 payload length
+//	... payload
+//
+// The conversation is: replica sends RepHello carrying the last
+// sequence number it applied (seq field; payload is the protocol
+// magic). The primary answers either an incremental stream of
+// RepRecord frames — one journal record each, seq strictly ascending —
+// or, when the requested offset predates its snapshot horizon (or lies
+// beyond its head: a rewind), a single RepSnapshot carrying the full
+// registry state at seq, followed by RepRecords from there. RepHeartbeat
+// frames (empty payload, seq = primary head) flow during idle periods so
+// followers can distinguish a quiet primary from a dead link; replicas
+// answer with RepAck (seq = applied watermark) so the primary can
+// export per-replica lag.
+//
+// Each frame carries a CRC over its type, sequence number and payload
+// on top of the frame length prefix: a torn or bit-flipped frame —
+// including a flipped seq, which unchecked could silently rewind or
+// wedge a follower's watermark — is detected at the message layer, and
+// the follower's only recovery is to drop the connection and
+// re-handshake from its applied watermark — exactly the reconnect path
+// it already needs for network faults, so corruption never makes it
+// into Apply.
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication message types.
+const (
+	RepHello     = 1 // replica → primary: seq = resume-after offset, payload = magic
+	RepSnapshot  = 2 // primary → replica: seq = snapshot horizon, payload = state JSON
+	RepRecord    = 3 // primary → replica: seq = record seq, payload = journal record JSON
+	RepHeartbeat = 4 // primary → replica: seq = primary head, empty payload
+	RepAck       = 5 // replica → primary: seq = applied watermark, empty payload
+)
+
+// RepMagic is the RepHello payload ("MRP1" little-endian): a version
+// gate so a query client dialing the replication port (or vice versa)
+// fails the handshake instead of desynchronizing.
+const RepMagic uint32 = 0x3150524D
+
+// MaxReplicationFrame bounds replication frame bodies. Snapshots carry
+// the whole registry (every mesh blob), so the ceiling is well above
+// the query plane's.
+const MaxReplicationFrame = 64 << 20
+
+// repHeader is the fixed-size prefix of a RepMessage body.
+const repHeader = 1 + 8 + 4 + 4
+
+// RepMessage is one replication stream message. Payload is opaque at
+// this layer — journal record JSON, snapshot JSON, or empty — and is
+// integrity-checked by the embedded CRC.
+type RepMessage struct {
+	Type    uint8
+	Seq     uint64
+	Payload []byte
+}
+
+// AppendU64 appends v little-endian.
+func AppendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// U64 reads a little-endian u64 off the cursor.
+func (c *Cursor) U64() (uint64, error) {
+	if c.off+8 > len(c.b) {
+		return 0, errShort
+	}
+	v := uint64(c.b[c.off]) | uint64(c.b[c.off+1])<<8 |
+		uint64(c.b[c.off+2])<<16 | uint64(c.b[c.off+3])<<24 |
+		uint64(c.b[c.off+4])<<32 | uint64(c.b[c.off+5])<<40 |
+		uint64(c.b[c.off+6])<<48 | uint64(c.b[c.off+7])<<56
+	c.off += 8
+	return v, nil
+}
+
+// AppendRepMessage encodes m onto b. The CRC chains over the type and
+// seq bytes just written plus the payload, so header corruption is as
+// detectable as payload corruption.
+func AppendRepMessage(b []byte, m *RepMessage) []byte {
+	b = append(b, m.Type)
+	b = AppendU64(b, m.Seq)
+	crc := crc32.ChecksumIEEE(b[len(b)-9:])
+	crc = crc32.Update(crc, crc32.IEEETable, m.Payload)
+	b = AppendU32(b, crc)
+	b = AppendU32(b, uint32(len(m.Payload)))
+	return append(b, m.Payload...)
+}
+
+// AppendRepHello encodes the handshake: resume after `since`.
+func AppendRepHello(b []byte, since uint64) []byte {
+	magic := AppendU32(nil, RepMagic)
+	return AppendRepMessage(b, &RepMessage{Type: RepHello, Seq: since, Payload: magic})
+}
+
+// DecodeRepMessage decodes and integrity-checks one replication
+// message body. The returned Payload aliases body. Any error means the
+// stream is untrustworthy past this frame; the caller must drop the
+// connection and re-handshake.
+func DecodeRepMessage(body []byte) (*RepMessage, error) {
+	cur := NewCursor(body)
+	typ, err := cur.U8()
+	if err != nil {
+		return nil, err
+	}
+	if typ < RepHello || typ > RepAck {
+		return nil, fmt.Errorf("wire: unknown replication message type %d", typ)
+	}
+	seq, err := cur.U64()
+	if err != nil {
+		return nil, err
+	}
+	crc, err := cur.U32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := cur.U32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) != int64(len(body)-repHeader) {
+		return nil, fmt.Errorf("wire: replication payload length %d does not match frame (%d)", n, len(body)-repHeader)
+	}
+	payload, err := cur.Bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Update(crc32.ChecksumIEEE(body[:9]), crc32.IEEETable, payload); got != crc {
+		return nil, fmt.Errorf("wire: replication frame crc mismatch (frame %08x, computed %08x)", crc, got)
+	}
+	m := &RepMessage{Type: typ, Seq: seq, Payload: payload}
+	if typ == RepHello {
+		if err := m.checkHello(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// checkHello validates the handshake payload against the magic.
+func (m *RepMessage) checkHello() error {
+	if len(m.Payload) != 4 {
+		return fmt.Errorf("wire: replication hello payload is %d bytes, want 4", len(m.Payload))
+	}
+	got := uint32(m.Payload[0]) | uint32(m.Payload[1])<<8 |
+		uint32(m.Payload[2])<<16 | uint32(m.Payload[3])<<24
+	if got != RepMagic {
+		return fmt.Errorf("wire: replication hello magic %08x, want %08x", got, RepMagic)
+	}
+	return nil
+}

@@ -137,6 +137,8 @@ type Counts struct {
 	NetErrors        uint64 // transport or body-read failures observed
 	ServerErrors     uint64 // 5xx responses observed
 	BreakerFastFails uint64 // calls rejected while the breaker was open
+	BreakerOpens     uint64 // closed→open transitions (incl. failed probes re-opening)
+	BreakerProbes    uint64 // half-open probes admitted
 }
 
 // Client is a resilient meshserved client. All methods are safe for
@@ -191,11 +193,16 @@ func New(opts Options) (*Client, error) {
 	}
 	c.breaker.threshold = opts.BreakerThreshold
 	c.breaker.cooldown = opts.BreakerCooldown
+	// The breaker's half-open horizon is jittered from its own seeded
+	// stream, so a fleet of clients tripped by the same outage does not
+	// probe the recovering server in lockstep.
+	c.breaker.rng = rand.New(rand.NewSource(opts.RetrySeed + 0x9E3779B9))
 	return c, nil
 }
 
 // Counts returns the attempt-level accounting so far.
 func (c *Client) Counts() Counts {
+	opens, probes := c.breaker.counts()
 	return Counts{
 		Requests:         c.requests.Load(),
 		Attempts:         c.attempts.Load(),
@@ -204,7 +211,19 @@ func (c *Client) Counts() Counts {
 		NetErrors:        c.netErrors.Load(),
 		ServerErrors:     c.serverErrors.Load(),
 		BreakerFastFails: c.breakerFastFails.Load(),
+		BreakerOpens:     opens,
+		BreakerProbes:    probes,
 	}
+}
+
+// BreakerOpen reports whether the circuit breaker is currently inside
+// its cooldown — rejecting calls without probing. Cluster routing uses
+// it to steer reads away from a tripped node.
+func (c *Client) BreakerOpen() bool {
+	b := &c.breaker
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open && time.Now().Before(b.openUntil)
 }
 
 // Response is the raw outcome of Do: the status and the fully read
@@ -212,6 +231,13 @@ func (c *Client) Counts() Counts {
 type Response struct {
 	Status int
 	Body   []byte
+
+	// JournalSeq is the server's X-Journal-Seq header: the durable
+	// sequence number the response was answered at. HasJournalSeq
+	// distinguishes "seq 0" from "header absent" (a pre-replication
+	// server). Cluster reads bound staleness with it.
+	JournalSeq    uint64
+	HasJournalSeq bool
 
 	retryAfter string // Retry-After header, if any
 }
@@ -318,6 +344,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 
 	resp := &Response{Status: httpResp.StatusCode, Body: data}
 	resp.retryAfter = httpResp.Header.Get("Retry-After")
+	if v := httpResp.Header.Get("X-Journal-Seq"); v != "" {
+		if seq, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			resp.JournalSeq, resp.HasJournalSeq = seq, true
+		}
+	}
 	switch {
 	case resp.Status < 300:
 		c.breaker.onSuccess()
@@ -409,16 +440,20 @@ func errorMessage(body []byte) string {
 }
 
 // breaker is a consecutive-failure circuit breaker: threshold failures
-// in a row open it for cooldown, after which a single half-open probe
-// decides whether to close it again.
+// in a row open it for cooldown (plus up to 50% jitter, so tripped
+// clients do not probe in lockstep), after which a single half-open
+// probe decides whether to close it again.
 type breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
+	rng       *rand.Rand // jitters the reopen horizon; nil disables jitter
 	failures  int
 	open      bool
 	openUntil time.Time
 	probing   bool
+	opens     uint64
+	probes    uint64
 }
 
 func (b *breaker) allow(now time.Time) bool {
@@ -437,6 +472,7 @@ func (b *breaker) allow(now time.Time) bool {
 		return false // one probe at a time
 	}
 	b.probing = true
+	b.probes++
 	return true
 }
 
@@ -456,11 +492,25 @@ func (b *breaker) onFailure(now time.Time) {
 		return
 	}
 	b.mu.Lock()
+	wasProbe := b.probing
 	b.failures++
 	b.probing = false
 	if b.failures >= b.threshold {
+		if !b.open || wasProbe {
+			b.opens++ // a fresh trip or a failed probe re-arming the cooldown
+		}
 		b.open = true
-		b.openUntil = now.Add(b.cooldown)
+		d := b.cooldown
+		if b.rng != nil {
+			d += time.Duration(b.rng.Int63n(int64(b.cooldown)/2 + 1))
+		}
+		b.openUntil = now.Add(d)
 	}
 	b.mu.Unlock()
+}
+
+func (b *breaker) counts() (opens, probes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.probes
 }

@@ -155,10 +155,10 @@ func TestBreakerOpensAndProbes(t *testing.T) {
 		t.Error("BreakerFastFails not counted")
 	}
 
-	// After cooldown the half-open probe goes through and, with the
-	// server healthy again, closes the breaker.
+	// After cooldown (plus up to 50% jitter) the half-open probe goes
+	// through and, with the server healthy again, closes the breaker.
 	healthy.Store(true)
-	time.Sleep(25 * time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
 	if _, err := c.Do(context.Background(), "GET", "/q", nil, true); err != nil {
 		t.Fatalf("probe after cooldown = %v, want success", err)
 	}

@@ -1,0 +1,375 @@
+package meshclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"extmesh"
+)
+
+// ClusterOptions configures a ClusterClient over one primary and any
+// number of read replicas.
+type ClusterOptions struct {
+	// Primary is the primary's base URL: every write goes here, and
+	// reads fall back here when no replica can answer acceptably.
+	Primary string
+	// Replicas are the read replicas' base URLs.
+	Replicas []string
+	// MaxStalenessRecords bounds how far (in journal records) a replica
+	// answer may lag the newest sequence number this client has
+	// observed. 0 — the default — demands read-your-writes: a replica
+	// must have applied everything this client has seen acknowledged.
+	MaxStalenessRecords uint64
+	// Node templates each per-node client; its BaseURL is ignored.
+	Node Options
+}
+
+// ClusterCounts is the cluster-level accounting: how reads spread,
+// failed over, and fell back.
+type ClusterCounts struct {
+	Reads        uint64 // read calls into the cluster client
+	Writes       uint64 // write calls (all routed to the primary)
+	PrimaryReads uint64 // reads ultimately answered by the primary
+	Failovers    uint64 // node switches after an error mid-read
+	StaleRejects uint64 // replica answers rejected for lagging the watermark
+	BreakerSkips uint64 // replicas skipped up front: breaker open
+}
+
+// ClusterClient spreads reads across replicas round-robin, skips and
+// fails over tripped or erroring nodes, bounds read staleness via the
+// X-Journal-Seq watermark, and routes every write to the primary.
+//
+// The watermark is the newest journal sequence number observed on any
+// accepted response (writes and reads alike), so the guarantee is
+// session-monotonic: once this client has seen state at sequence S, it
+// never accepts an answer older than S - MaxStalenessRecords.
+type ClusterClient struct {
+	primary  *Client
+	replicas []*Client
+	addrs    []string
+	opts     ClusterOptions
+
+	next      atomic.Uint64 // round-robin cursor
+	watermark atomic.Uint64
+
+	reads, writes, primaryReads       atomic.Uint64
+	failovers, staleRejects, breakers atomic.Uint64
+}
+
+// NewCluster assembles a cluster client.
+func NewCluster(opts ClusterOptions) (*ClusterClient, error) {
+	if opts.Primary == "" {
+		return nil, fmt.Errorf("meshclient: cluster needs a primary URL")
+	}
+	mk := func(base string) (*Client, error) {
+		o := opts.Node
+		o.BaseURL = base
+		return New(o)
+	}
+	primary, err := mk(opts.Primary)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClusterClient{primary: primary, opts: opts}
+	for _, addr := range opts.Replicas {
+		r, err := mk(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, r)
+		c.addrs = append(c.addrs, addr)
+	}
+	return c, nil
+}
+
+// Primary exposes the primary's node client (for counts inspection).
+func (c *ClusterClient) Primary() *Client { return c.primary }
+
+// ReplicaClients exposes the per-replica node clients in option order.
+func (c *ClusterClient) ReplicaClients() []*Client { return c.replicas }
+
+// Counts returns the cluster-level accounting so far.
+func (c *ClusterClient) Counts() ClusterCounts {
+	return ClusterCounts{
+		Reads:        c.reads.Load(),
+		Writes:       c.writes.Load(),
+		PrimaryReads: c.primaryReads.Load(),
+		Failovers:    c.failovers.Load(),
+		StaleRejects: c.staleRejects.Load(),
+		BreakerSkips: c.breakers.Load(),
+	}
+}
+
+// Watermark returns the newest journal sequence number this client has
+// observed on an accepted response.
+func (c *ClusterClient) Watermark() uint64 { return c.watermark.Load() }
+
+// observe raises the watermark to seq (monotonic).
+func (c *ClusterClient) observe(resp *Response) {
+	if resp == nil || !resp.HasJournalSeq {
+		return
+	}
+	for {
+		cur := c.watermark.Load()
+		if resp.JournalSeq <= cur || c.watermark.CompareAndSwap(cur, resp.JournalSeq) {
+			return
+		}
+	}
+}
+
+// fresh reports whether a replica response satisfies the staleness
+// bound. Responses without the header (pre-replication servers) are
+// accepted — there is no watermark protocol to hold them to.
+func (c *ClusterClient) fresh(resp *Response) bool {
+	if resp == nil || !resp.HasJournalSeq {
+		return true
+	}
+	return resp.JournalSeq+c.opts.MaxStalenessRecords >= c.watermark.Load()
+}
+
+// DoWrite performs a mutation against the primary. idempotent follows
+// Client.Do's contract. The response's sequence number becomes the
+// cluster watermark, so subsequent reads observe this write.
+func (c *ClusterClient) DoWrite(ctx context.Context, method, path string, body []byte, idempotent bool) (*Response, error) {
+	c.writes.Add(1)
+	resp, err := c.primary.Do(ctx, method, path, body, idempotent)
+	if err == nil {
+		c.observe(resp)
+	}
+	return resp, err
+}
+
+// DoRead performs a read, trying replicas round-robin and falling back
+// to the primary. A replica answer is accepted only when it is fresh
+// (within MaxStalenessRecords of the watermark); stale answers —
+// including stale 404s, which may simply not have seen a recent create
+// — fail over to the next node. Transport errors, 5xx and open
+// breakers fail over likewise. 4xx answers from a fresh node are
+// genuine and returned as-is.
+func (c *ClusterClient) DoRead(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	c.reads.Add(1)
+	n := len(c.replicas)
+	start := int(c.next.Add(1) - 1)
+	var lastResp *Response
+	var lastErr error
+	tried := false
+	for i := 0; i < n; i++ {
+		node := c.replicas[(start+i)%n]
+		if node.BreakerOpen() {
+			c.breakers.Add(1)
+			continue
+		}
+		if tried {
+			c.failovers.Add(1)
+		}
+		tried = true
+		resp, err := node.Do(ctx, method, path, body, true)
+		if ctx.Err() != nil {
+			return resp, err
+		}
+		switch {
+		case err == nil:
+			if c.fresh(resp) {
+				c.observe(resp)
+				return resp, nil
+			}
+			c.staleRejects.Add(1)
+			lastResp, lastErr = resp, nil
+		case resp != nil && resp.Status < 500 && resp.Status != http.StatusTooManyRequests:
+			// A definite 4xx — but a replica that has not caught up
+			// answers 404 for meshes it has never seen, so a stale 4xx
+			// fails over instead of being trusted.
+			if c.fresh(resp) {
+				c.observe(resp)
+				return resp, err
+			}
+			c.staleRejects.Add(1)
+			lastResp, lastErr = resp, err
+		default:
+			lastResp, lastErr = resp, err
+		}
+	}
+	if tried {
+		c.failovers.Add(1)
+	}
+	c.primaryReads.Add(1)
+	resp, err := c.primary.Do(ctx, method, path, body, true)
+	if err == nil || resp != nil {
+		c.observe(resp)
+		return resp, err
+	}
+	// The primary is down too; surface the most informative failure.
+	if lastErr != nil || lastResp != nil {
+		return lastResp, lastErr
+	}
+	return resp, err
+}
+
+// call mirrors Client.call over the cluster read/write router.
+func (c *ClusterClient) call(ctx context.Context, write bool, method, path string, req any, idempotent bool, out any) error {
+	var body []byte
+	if req != nil {
+		var err error
+		body, err = json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("meshclient: encode request: %w", err)
+		}
+	}
+	var resp *Response
+	var err error
+	if write {
+		resp, err = c.DoWrite(ctx, method, path, body, idempotent)
+	} else {
+		resp, err = c.DoRead(ctx, method, path, body)
+	}
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(resp.Body, out); err != nil {
+		return fmt.Errorf("meshclient: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// --- writes (primary only) -------------------------------------------
+
+// CreateMesh registers a named mesh on the primary.
+func (c *ClusterClient) CreateMesh(ctx context.Context, name string, width, height int, faults []extmesh.Coord) (*MeshInfo, error) {
+	req := map[string]any{"name": name, "width": width, "height": height, "faults": faults}
+	var info MeshInfo
+	if err := c.call(ctx, true, http.MethodPost, "/v1/mesh", req, false, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// UploadMesh creates or replaces a mesh on the primary.
+func (c *ClusterClient) UploadMesh(ctx context.Context, name string, blob []byte) (*MeshInfo, error) {
+	resp, err := c.DoWrite(ctx, http.MethodPut, meshPath(name, ""), blob, true)
+	if err != nil {
+		return nil, err
+	}
+	var info MeshInfo
+	if err := json.Unmarshal(resp.Body, &info); err != nil {
+		return nil, fmt.Errorf("meshclient: decode upload response: %w", err)
+	}
+	return &info, nil
+}
+
+// DeleteMesh removes a mesh via the primary.
+func (c *ClusterClient) DeleteMesh(ctx context.Context, name string) error {
+	return c.call(ctx, true, http.MethodDelete, meshPath(name, ""), nil, true, nil)
+}
+
+// ApplyFaults applies a fault mutation on the primary.
+func (c *ClusterClient) ApplyFaults(ctx context.Context, mesh string, req FaultsRequest) (*FaultsResult, error) {
+	var out FaultsResult
+	if err := c.call(ctx, true, http.MethodPost, meshPath(mesh, "/faults"), req, false, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- reads (replicas, primary fallback) ------------------------------
+
+// GetMesh exports a mesh.
+func (c *ClusterClient) GetMesh(ctx context.Context, name string) (*MeshState, error) {
+	var st MeshState
+	if err := c.call(ctx, false, http.MethodGet, meshPath(name, ""), nil, true, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ListMeshes returns the registered mesh summaries.
+func (c *ClusterClient) ListMeshes(ctx context.Context) ([]MeshInfo, error) {
+	var out struct {
+		Meshes []MeshInfo `json:"meshes"`
+	}
+	if err := c.call(ctx, false, http.MethodGet, "/v1/mesh", nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Meshes, nil
+}
+
+// Route asks for a Wu-protocol route.
+func (c *ClusterClient) Route(ctx context.Context, mesh string, q Query) (*RouteResult, error) {
+	var out RouteResult
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/route"), q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Safe evaluates the paper's Theorem-1 sufficient condition.
+func (c *ClusterClient) Safe(ctx context.Context, mesh string, q Query) (bool, error) {
+	var out struct {
+		Safe bool `json:"safe"`
+	}
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/safe"), q, true, &out); err != nil {
+		return false, err
+	}
+	return out.Safe, nil
+}
+
+// Ensure runs the strategy cascade and returns its verdict.
+func (c *ClusterClient) Ensure(ctx context.Context, mesh string, q Query) (*Assurance, error) {
+	var out Assurance
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/ensure"), q, true, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// HasMinimalPath asks the exact existence question.
+func (c *ClusterClient) HasMinimalPath(ctx context.Context, mesh string, q Query) (bool, error) {
+	var out struct {
+		Exists bool `json:"exists"`
+	}
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/has-minimal-path"), q, true, &out); err != nil {
+		return false, err
+	}
+	return out.Exists, nil
+}
+
+// RouteBatch routes many pairs in one request.
+func (c *ClusterClient) RouteBatch(ctx context.Context, mesh string, pairs []Pair, model string, omitPaths bool) ([]BatchRouteResult, error) {
+	req := map[string]any{"pairs": pairs, "model": model, "omit_paths": omitPaths}
+	var out struct {
+		Results []BatchRouteResult `json:"results"`
+	}
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/route/batch"), req, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// HasMinimalPathBatch answers existence for many destinations.
+func (c *ClusterClient) HasMinimalPathBatch(ctx context.Context, mesh string, src extmesh.Coord, dests []extmesh.Coord) ([]bool, error) {
+	req := map[string]any{"src": src, "dests": dests}
+	var out struct {
+		Results []bool `json:"results"`
+	}
+	if err := c.call(ctx, false, http.MethodPost, meshPath(mesh, "/has-minimal-path/batch"), req, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Ready reports whether the primary has finished recovery.
+func (c *ClusterClient) Ready(ctx context.Context) (bool, error) {
+	return c.primary.Ready(ctx)
+}
+
+// IsNotFound reports whether err is the server's 404 answer.
+func IsNotFound(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
