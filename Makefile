@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with lock-guarded or worker-pool concurrency that the race
 # detector must cover.
-RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/wire ./internal/chaos ./meshclient ./cmd/meshserved ./cmd/meshstress
+RACE_PKGS = . ./internal/wang ./internal/traffic ./internal/safety ./internal/sim ./internal/wormhole ./internal/serve ./internal/metrics ./internal/journal ./internal/wire ./internal/chaos ./internal/reliability ./meshclient ./cmd/meshserved ./cmd/meshstress
 
-.PHONY: all build test vet fmt race bench bench-smoke bench-diff smoke chaos verify clean
+.PHONY: all build test vet fmt race bench bench-smoke bench-diff smoke chaos rel-smoke verify clean
 
 all: build
 
@@ -73,10 +73,18 @@ chaos: build
 	$(GO) test -race ./internal/chaos ./meshclient
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReplicationFrames -fuzztime 5s
 
+# rel-smoke is the reliability-engine gate: a small Monte Carlo sweep
+# whose Theorem 2 analytic prediction must land inside the reported
+# confidence intervals (meshrel exits nonzero otherwise). The
+# configuration is the one internal/reliability's own analytic test
+# pins as agreeing.
+rel-smoke:
+	$(GO) run ./cmd/meshrel -w 32 -h 32 -k 8 -trials 512 -pairs 4 -seed 2 -check
+
 # verify is the gate for every change: formatting, static checks, full
-# build, the whole test suite, and the race detector on the concurrent
-# packages.
-verify: fmt vet build test race
+# build, the whole test suite, the race detector on the concurrent
+# packages, and the reliability analytic cross-check.
+verify: fmt vet build test race rel-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,8 +1,10 @@
 // Command meshbench measures the query-plane hot paths — minimal-path
 // existence, condition evaluation and routing, each in single-shot,
-// cached and batch form — on a paper-scale mesh, and writes the
-// results as machine-readable JSON (BENCH_routing.json) so the
-// performance trajectory is tracked from run to run.
+// cached and batch form — on a paper-scale mesh, plus the journal
+// durability plane and the Monte Carlo reliability engine
+// (trials/sec), and writes the results as machine-readable JSON
+// (BENCH_routing.json) so the performance trajectory is tracked from
+// run to run.
 //
 // Usage:
 //
@@ -42,11 +44,13 @@ import (
 	"time"
 
 	"extmesh"
+	"extmesh/internal/analytic"
 	"extmesh/internal/core"
 	"extmesh/internal/fault"
 	"extmesh/internal/journal"
 	"extmesh/internal/mesh"
 	"extmesh/internal/metrics"
+	"extmesh/internal/reliability"
 	"extmesh/internal/route"
 	"extmesh/internal/serve"
 	"extmesh/internal/wang"
@@ -55,15 +59,16 @@ import (
 
 // Report is the top-level JSON document.
 type Report struct {
-	Tool       string     `json:"tool"`
-	GoVersion  string     `json:"go_version"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	MeshWidth  int        `json:"mesh_width"`
-	MeshHeight int        `json:"mesh_height"`
-	Dests      int        `json:"dests_per_batch"`
-	Seed       int64      `json:"seed"`
-	Scenarios  []Scenario `json:"scenarios"`
-	Journal    []Result   `json:"journal,omitempty"`
+	Tool        string     `json:"tool"`
+	GoVersion   string     `json:"go_version"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	MeshWidth   int        `json:"mesh_width"`
+	MeshHeight  int        `json:"mesh_height"`
+	Dests       int        `json:"dests_per_batch"`
+	Seed        int64      `json:"seed"`
+	Scenarios   []Scenario `json:"scenarios"`
+	Journal     []Result   `json:"journal,omitempty"`
+	Reliability []Result   `json:"reliability,omitempty"`
 }
 
 // Scenario is one fault count's measurements.
@@ -106,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		baseline  = fs.String("baseline", "", "baseline report to diff against; exit nonzero on q/s regressions")
 		tolerance = fs.Float64("tolerance", 10, "allowed queries/sec drop versus the baseline, in percent")
 		doJournal = fs.Bool("journal", true, "measure the journal durability plane (too noisy at smoke benchtimes)")
+		doRel     = fs.Bool("reliability", true, "measure the Monte Carlo survivability engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,6 +160,13 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Journal = jr
 	}
+	if *doRel {
+		rr, err := measureReliability(out, *width, *height, *benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Reliability = rr
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -184,9 +197,13 @@ type resultKey struct {
 	name   string
 }
 
-// journalFaults is the pseudo fault count the fault-independent
-// journal measurements are filed under in a baseline diff.
-const journalFaults = -1
+// journalFaults and reliabilityFaults are the pseudo fault counts the
+// fault-independent journal and reliability measurements are filed
+// under in a baseline diff.
+const (
+	journalFaults     = -1
+	reliabilityFaults = -2
+)
 
 // indexResults flattens a report into a key->result map.
 func indexResults(rep Report) map[resultKey]Result {
@@ -198,6 +215,9 @@ func indexResults(rep Report) map[resultKey]Result {
 	}
 	for _, r := range rep.Journal {
 		idx[resultKey{faults: journalFaults, name: r.Name}] = r
+	}
+	for _, r := range rep.Reliability {
+		idx[resultKey{faults: reliabilityFaults, name: r.Name}] = r
 	}
 	return idx
 }
@@ -785,6 +805,75 @@ func measureServe(out io.Writer, w, h int, faults []extmesh.Coord, src extmesh.C
 	}); err != nil {
 		return nil, err
 	}
+	return results, nil
+}
+
+// measureReliability times the Monte Carlo survivability engine: raw
+// trial throughput (sample faults, rebuild blocks and reachability in
+// the arena, classify pairs) on the fixed 64x64 reference mesh and on
+// this run's full mesh, plus the Theorem 2 closed form the sweeps are
+// cross-checked against. QueriesPerSec here is trials/sec.
+func measureReliability(out io.Writer, w, h int, benchtime time.Duration) ([]Result, error) {
+	fmt.Fprintf(out, "reliability:\n")
+	var results []Result
+	record := func(name string, queriesPerOp int, fn func(b *testing.B)) {
+		if old := flag.Lookup("test.benchtime"); old != nil {
+			old.Value.Set(benchtime.String())
+		}
+		r := testing.Benchmark(fn)
+		res := Result{
+			Name:         name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			QueriesPerOp: queriesPerOp,
+		}
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = float64(queriesPerOp) * 1e9 / res.NsPerOp
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-28s %12.1f ns/op %8d B/op %6d allocs/op %14.0f trials/s\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.QueriesPerSec)
+	}
+
+	sweepBench := func(sw, sh, k, trials int) func(b *testing.B) {
+		cfg := reliability.Config{
+			Width: sw, Height: sh,
+			Points:        []reliability.Point{{K: k}},
+			Trials:        trials,
+			PairsPerTrial: 8,
+			Seed:          7,
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := reliability.Sweep(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// 64x64 at the paper's 1% density: the fixed reference point that
+	// stays comparable when -w/-h change.
+	record("reliability/sweep_64x64", 16, sweepBench(64, 64, 40, 16))
+	// The full mesh of this run (200x200 by default), at the same
+	// density, fewer trials per op to keep the measurement bounded.
+	kFull := w * h / 100
+	if kFull < 2 {
+		kFull = 2
+	}
+	if kFull > w*h-2 {
+		kFull = w*h - 2
+	}
+	record("reliability/sweep_full", 4, sweepBench(w, h, kFull, 4))
+	// The Theorem 2 closed form the Monte Carlo estimates are checked
+	// against — pure arithmetic, but on the sweep result path.
+	record("reliability/analytic_thm2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = analytic.ExpectedAffected(h, kFull)
+		}
+	})
 	return results, nil
 }
 

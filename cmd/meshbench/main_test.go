@@ -86,6 +86,26 @@ func TestRunProducesValidJSON(t *testing.T) {
 			}
 		}
 	}
+
+	wantRel := map[string]bool{
+		"reliability/sweep_64x64":   false,
+		"reliability/sweep_full":    false,
+		"reliability/analytic_thm2": false,
+	}
+	for _, r := range rep.Reliability {
+		if _, ok := wantRel[r.Name]; !ok {
+			t.Fatalf("unexpected reliability result %q", r.Name)
+		}
+		wantRel[r.Name] = true
+		if r.NsPerOp <= 0 || r.QueriesPerOp <= 0 || r.QueriesPerSec <= 0 {
+			t.Fatalf("%s: non-positive measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range wantRel {
+		if !seen {
+			t.Fatalf("missing reliability result %q", name)
+		}
+	}
 }
 
 // TestRunRejectsBadFaultList pins the flag validation.

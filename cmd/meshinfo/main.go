@@ -20,6 +20,7 @@ import (
 	"extmesh/internal/fault"
 	"extmesh/internal/infocost"
 	"extmesh/internal/mesh"
+	"extmesh/internal/reliability"
 	"extmesh/internal/safety"
 )
 
@@ -33,11 +34,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshinfo", flag.ContinueOnError)
 	var (
-		width  = fs.Int("w", 64, "mesh width")
-		height = fs.Int("h", 64, "mesh height")
-		faults = fs.String("faults", "", "explicit fault list x1,y1;x2,y2;...")
-		k      = fs.Int("k", 0, "number of random faults (when -faults is empty)")
-		seed   = fs.Int64("seed", 1, "PRNG seed for random faults")
+		width    = fs.Int("w", 64, "mesh width")
+		height   = fs.Int("h", 64, "mesh height")
+		faults   = fs.String("faults", "", "explicit fault list x1,y1;x2,y2;...")
+		k        = fs.Int("k", 0, "number of random faults (when -faults is empty)")
+		seed     = fs.Int64("seed", 1, "PRNG seed for random faults")
+		mcTrials = fs.Int("mc-trials", 200, "Monte Carlo trials for the Theorem 2 cross-check (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +79,31 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "information dissemination:\n")
 	fmt.Fprintf(out, "  affected rows:        %d / %d (Theorem 2 expects %.1f)\n",
 		rows, m.Height, analytic.ExpectedAffected(m.Height, len(flist)))
-	fmt.Fprintf(out, "  affected columns:     %d / %d\n", cols, m.Width)
+	fmt.Fprintf(out, "  affected columns:     %d / %d (Theorem 2 expects %.1f)\n",
+		cols, m.Width, analytic.ExpectedAffected(m.Width, len(flist)))
+
+	// Monte Carlo cross-check of the analytic model: resample this
+	// fault count many times and compare the estimated expectation
+	// against Theorem 2. (The single pattern above is one draw; the
+	// sweep says how typical it is.)
+	if *mcTrials > 0 && len(flist) > 0 && len(flist) <= m.Size()-2 {
+		res, err := reliability.EstimatePoint(reliability.Config{
+			Width:         m.Width,
+			Height:        m.Height,
+			Trials:        *mcTrials,
+			PairsPerTrial: 1,
+			Seed:          *seed,
+		}, reliability.Point{K: len(flist)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  Monte Carlo (%d trials): rows %.2f ±%.2f, cols %.2f ±%.2f\n",
+			res.Trials,
+			res.AffectedRows.Mean, res.AffectedRows.HalfWidth(),
+			res.AffectedCols.Mean, res.AffectedCols.HalfWidth())
+		fmt.Fprintf(out, "  analytic delta:       rows %+.2f, cols %+.2f\n",
+			res.AnalyticRows-res.AffectedRows.Mean, res.AnalyticCols-res.AffectedCols.Mean)
+	}
 
 	rep := infocost.Measure(m, blocked, bs.Blocks)
 	fmt.Fprintf(out, "  storage, global map:  %.1f ints/node\n", rep.PerNodeGlobal())

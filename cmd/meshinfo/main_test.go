@@ -32,8 +32,23 @@ func TestRunRandom(t *testing.T) {
 	if err := run([]string{"-w", "32", "-h", "32", "-k", "20"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if !strings.Contains(sb.String(), "storage, limited:") {
+	out := sb.String()
+	if !strings.Contains(out, "storage, limited:") {
 		t.Error("storage summary missing")
+	}
+	for _, want := range []string{"Monte Carlo (200 trials):", "analytic delta:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Theorem 2 cross-check missing %q:\n%s", want, out)
+		}
+	}
+
+	// The cross-check is skippable for scripted use.
+	sb.Reset()
+	if err := run([]string{"-w", "16", "-h", "16", "-k", "4", "-mc-trials", "0"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), "Monte Carlo") {
+		t.Error("-mc-trials 0 should omit the cross-check")
 	}
 }
 

@@ -1,0 +1,164 @@
+// Command meshrel runs Monte Carlo survivability sweeps: for a mesh
+// size and a grid of fault intensities (counts and/or probabilities)
+// it estimates the fraction of node pairs that keep a minimal path,
+// the fraction certified by the paper's safety conditions, and the
+// expected affected rows/columns — each with 95% confidence intervals
+// and the Theorem 2 analytic cross-check.
+//
+// Usage:
+//
+//	meshrel -w 64 -h 64 -k 10,20,40,80 -trials 500
+//	meshrel -w 200 -h 200 -p 0.001,0.005,0.01,0.02 -trials 200 -json
+//	meshrel -w 64 -h 64 -k 20 -target 0.01 -trials 20000   # stop at CI target
+//	meshrel -w 32 -h 32 -k 8 -check                        # exit 1 on analytic CI violation
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"extmesh/internal/reliability"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshrel:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the sweep and returns the process exit code: 0 on
+// success, 2 when -check found the analytic prediction outside a
+// Monte Carlo confidence interval.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("meshrel", flag.ContinueOnError)
+	var (
+		width   = fs.Int("w", 64, "mesh width")
+		height  = fs.Int("h", 64, "mesh height")
+		counts  = fs.String("k", "", "comma-separated fault counts to sweep")
+		probs   = fs.String("p", "", "comma-separated per-node fault probabilities to sweep")
+		trials  = fs.Int("trials", 400, "trials per sweep point (the budget when -target is set)")
+		pairs   = fs.Int("pairs", 16, "source/destination pairs classified per trial")
+		seed    = fs.Int64("seed", 1, "PRNG seed; reports are bit-reproducible")
+		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; result is identical)")
+		target  = fs.Float64("target", 0, "stop a point early when the minimal-path CI half-width reaches this")
+		asJSON  = fs.Bool("json", false, "emit the report as JSON instead of a table")
+		check   = fs.Bool("check", false, "exit 1 if Theorem 2 falls outside a Monte Carlo CI")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	points, err := parsePoints(*counts, *probs)
+	if err != nil {
+		return 0, err
+	}
+	cfg := reliability.Config{
+		Width:           *width,
+		Height:          *height,
+		Points:          points,
+		Trials:          *trials,
+		PairsPerTrial:   *pairs,
+		Seed:            *seed,
+		Workers:         *workers,
+		TargetHalfWidth: *target,
+	}
+	rep, err := reliability.Sweep(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 0, err
+		}
+	} else {
+		writeTable(out, rep)
+	}
+	if *check {
+		if bad := checkAnalytic(rep); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(out, "CHECK FAILED:", line)
+			}
+			return 2, nil
+		}
+		fmt.Fprintf(out, "check ok: Theorem 2 inside every Monte Carlo interval (%d points)\n", len(rep.Points))
+	}
+	return 0, nil
+}
+
+// parsePoints builds the sweep grid from the -k and -p lists. Both may
+// be given; counts come first, mirroring the paper's k-sweeps.
+func parsePoints(counts, probs string) ([]reliability.Point, error) {
+	var points []reliability.Point
+	for _, f := range splitList(counts) {
+		k, err := strconv.Atoi(f)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad fault count %q in -k", f)
+		}
+		points = append(points, reliability.Point{K: k})
+	}
+	for _, f := range splitList(probs) {
+		p, err := strconv.ParseFloat(f, 64)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad probability %q in -p", f)
+		}
+		points = append(points, reliability.Point{P: p})
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("nothing to sweep: give -k and/or -p")
+	}
+	return points, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// writeTable renders the sweep as one row per point.
+func writeTable(out io.Writer, rep *reliability.Report) {
+	fmt.Fprintf(out, "survivability sweep, %dx%d mesh, seed %d, %d pairs/trial\n\n",
+		rep.Width, rep.Height, rep.Seed, rep.PairsPerTrial)
+	fmt.Fprintf(out, "%-10s %7s  %-19s %-19s %-19s %-16s %9s\n",
+		"point", "trials", "minimal", "safe", "assured(s1)", "aff.rows (MC)", "thm2")
+	for _, p := range rep.Points {
+		fmt.Fprintf(out, "%-10s %7d  %-19s %-19s %-19s %7.2f ±%-6.2f %9.2f\n",
+			p.Point.String(), p.Trials,
+			fmtEst(p.Minimal), fmtEst(p.Safe), fmtEst(p.Assured),
+			p.AffectedRows.Mean, p.AffectedRows.HalfWidth(), p.AnalyticRows)
+	}
+}
+
+func fmtEst(e reliability.Estimate) string {
+	return fmt.Sprintf("%.4f ±%.4f", e.Fraction, e.HalfWidth())
+}
+
+// checkAnalytic returns one line per point whose Monte Carlo interval
+// excludes the Theorem 2 prediction.
+func checkAnalytic(rep *reliability.Report) []string {
+	var bad []string
+	for _, p := range rep.Points {
+		if !p.AffectedRows.Contains(p.AnalyticRows) {
+			bad = append(bad, fmt.Sprintf("%s: analytic rows %.3f outside [%.3f, %.3f]",
+				p.Point, p.AnalyticRows, p.AffectedRows.Lo, p.AffectedRows.Hi))
+		}
+		if !p.AffectedCols.Contains(p.AnalyticCols) {
+			bad = append(bad, fmt.Sprintf("%s: analytic cols %.3f outside [%.3f, %.3f]",
+				p.Point, p.AnalyticCols, p.AffectedCols.Lo, p.AffectedCols.Hi))
+		}
+	}
+	return bad
+}

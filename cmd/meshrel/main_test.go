@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"extmesh/internal/reliability"
+)
+
+func TestRunTable(t *testing.T) {
+	var sb strings.Builder
+	code, err := run([]string{"-w", "24", "-h", "24", "-k", "4,8", "-p", "0.02",
+		"-trials", "32", "-pairs", "4"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	out := sb.String()
+	for _, want := range []string{"survivability sweep, 24x24 mesh", "k=4", "k=8", "p=0.02", "thm2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	code, err := run([]string{"-w", "16", "-h", "16", "-k", "3", "-trials", "16",
+		"-pairs", "4", "-json"}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	var rep reliability.Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not a Report: %v\n%s", err, sb.String())
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Trials != 16 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// TestRunJSONMatchesLibrary pins the CLI to the library: -json output
+// is exactly the library report for the same flags.
+func TestRunJSONMatchesLibrary(t *testing.T) {
+	var sb strings.Builder
+	if code, err := run([]string{"-w", "24", "-h", "24", "-k", "5", "-trials", "24",
+		"-pairs", "8", "-seed", "9", "-json"}, &sb); err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	want, err := reliability.Sweep(reliability.Config{
+		Width: 24, Height: 24,
+		Points:        []reliability.Point{{K: 5}},
+		Trials:        24,
+		PairsPerTrial: 8,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got reliability.Report
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("CLI report diverges from library:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	// The reliability package's own analytic test pins this exact
+	// configuration as agreeing, so -check must pass it.
+	var sb strings.Builder
+	code, err := run([]string{"-w", "32", "-h", "32", "-k", "8", "-trials", "512",
+		"-pairs", "4", "-seed", "2", "-check"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("check failed unexpectedly:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "check ok") {
+		t.Errorf("missing check verdict:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	for name, args := range map[string][]string{
+		"no points":   {"-w", "16", "-h", "16"},
+		"bad count":   {"-k", "0"},
+		"bad count2":  {"-k", "x"},
+		"bad prob":    {"-p", "nope"},
+		"bad flag":    {"-zz"},
+		"bad config":  {"-k", "3", "-w", "1", "-h", "1"},
+		"huge counts": {"-k", "999999", "-w", "8", "-h", "8"},
+	} {
+		if _, err := run(args, &sb); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

@@ -4,7 +4,10 @@
 // the API, or uploaded as network blobs; /metrics and /debug/vars
 // expose counters, gauges, and latency histograms; an admission gate
 // sheds load with 429 once the configured concurrency and queue are
-// exhausted; SIGINT/SIGTERM triggers a graceful drain.
+// exhausted; SIGINT/SIGTERM triggers a graceful drain. POST
+// /v1/reliability runs Monte Carlo survivability sweeps behind a
+// separate concurrency gate with a cost budget (413 beyond it, 429
+// when every sweep slot is busy).
 //
 // With -data-dir the registry is durable: every mutation is appended
 // to a CRC-framed journal before it is acknowledged, snapshots compact

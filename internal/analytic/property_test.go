@@ -1,0 +1,132 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// choose returns the binomial coefficient C(n,k) as a float64 — exact
+// for the small arguments these tests use.
+func choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// exactExpectedAffected is the exact expectation Theorem 2
+// approximates: with k distinct faults placed uniformly in an n x n
+// mesh, a given row is clean with hypergeometric probability
+// C(n^2-n, k)/C(n^2, k), so by linearity of expectation
+//
+//	E[affected rows] = n * (1 - C(n^2-n, k)/C(n^2, k)).
+func exactExpectedAffected(n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k > n*n-n {
+		return float64(n) // too few cells remain to keep any row clean
+	}
+	return float64(n) * (1 - choose(n*n-n, k)/choose(n*n, k))
+}
+
+// enumerateAffected computes E[affected rows] by brute force: it walks
+// every one of the C(n^2, k) fault placements and averages the number
+// of rows containing a fault.
+func enumerateAffected(n, k int) float64 {
+	size := n * n
+	rowCount := make([]int, n)
+	chosen := make([]int, 0, k)
+	var total, placements float64
+	var walk func(start int)
+	walk = func(start int) {
+		if len(chosen) == k {
+			placements++
+			affected := 0
+			for _, c := range rowCount {
+				if c > 0 {
+					affected++
+				}
+			}
+			total += float64(affected)
+			return
+		}
+		// Not enough cells left to finish the subset: prune.
+		for cell := start; size-cell >= k-len(chosen); cell++ {
+			rowCount[cell/n]++
+			chosen = append(chosen, cell)
+			walk(cell + 1)
+			chosen = chosen[:len(chosen)-1]
+			rowCount[cell/n]--
+		}
+	}
+	walk(0)
+	return total / placements
+}
+
+// TestExactReferenceByEnumeration validates the closed-form exact
+// expectation against full enumeration of every fault placement on
+// meshes small enough to enumerate.
+func TestExactReferenceByEnumeration(t *testing.T) {
+	for _, tc := range []struct{ n, kMax int }{{2, 4}, {3, 9}, {4, 4}} {
+		for k := 1; k <= tc.kMax; k++ {
+			enum := enumerateAffected(tc.n, k)
+			exact := exactExpectedAffected(tc.n, k)
+			if math.Abs(enum-exact) > 1e-9 {
+				t.Errorf("n=%d k=%d: enumeration %v vs closed form %v", tc.n, k, enum, exact)
+			}
+		}
+	}
+}
+
+// TestTheorem2AgainstBruteForce pins the theorem's coupon-collector
+// approximation against the exact expectation for every (n, k) with
+// n <= 6 and k up to the full mesh. The probe that set these bounds
+// found the worst case at n=6, k=15: absolute error 0.168, relative
+// error 2.9%; small meshes are worst in relative terms (10% at n=2).
+func TestTheorem2AgainstBruteForce(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for k := 1; k <= n*n; k++ {
+			approx := ExpectedAffected(n, k)
+			exact := exactExpectedAffected(n, k)
+			if diff := math.Abs(approx - exact); diff > 0.2 && diff > 0.11*exact {
+				t.Errorf("n=%d k=%d: Theorem 2 gives %.4f, exact %.4f (diff %.4f)",
+					n, k, approx, exact, diff)
+			}
+			// Shared anchors of the approximation and the exact model.
+			if k == 1 && math.Abs(approx-1) > 1e-9 {
+				t.Errorf("n=%d: one fault must affect exactly one row, got %v", n, approx)
+			}
+			if exact > float64(k)+1e-9 {
+				t.Errorf("n=%d k=%d: exact expectation %v exceeds the fault count", n, k, exact)
+			}
+			if exact < 0 || exact > float64(n)+1e-9 {
+				t.Errorf("n=%d k=%d: exact expectation %v out of range", n, k, exact)
+			}
+		}
+		// Both models saturate once no clean row can remain.
+		if got := exactExpectedAffected(n, n*n-n+1); got != float64(n) {
+			t.Errorf("n=%d: exact expectation %v at saturation, want %d", n, got, n)
+		}
+	}
+}
+
+// TestExactMonotone checks the exact expectation is strictly monotone
+// in k below saturation — each extra fault has positive probability of
+// hitting a clean row.
+func TestExactMonotone(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		prev := 0.0
+		for k := 1; k <= n*n-n; k++ {
+			v := exactExpectedAffected(n, k)
+			if v <= prev {
+				t.Fatalf("n=%d k=%d: exact expectation %v not strictly above %v", n, k, v, prev)
+			}
+			prev = v
+		}
+	}
+}

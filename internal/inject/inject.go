@@ -11,7 +11,6 @@ package inject
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -92,7 +91,7 @@ func Random(m mesh.Mesh, cycles int, rate float64, seed int64) (Schedule, error)
 	if err := checkRate(m, cycles, rate); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := subRand(seed, streamRandom)
 	alive := make([]int, m.Size())
 	for i := range alive {
 		alive[i] = i
@@ -123,7 +122,7 @@ func Bursts(m mesh.Mesh, cycles, bursts, size, spread int, seed int64) (Schedule
 	if bursts <= 0 || size <= 0 || spread < 0 {
 		return nil, fmt.Errorf("inject: invalid burst shape count=%d size=%d spread=%d", bursts, size, spread)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := subRand(seed, streamBursts)
 	when := make([]int, bursts)
 	for i := range when {
 		when[i] = rng.Intn(cycles)
@@ -168,7 +167,7 @@ func Transient(m mesh.Mesh, cycles int, rate float64, repair int, seed int64) (S
 	if repair <= 0 {
 		return nil, fmt.Errorf("inject: repair delay must be positive, got %d", repair)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := subRand(seed, streamTransient)
 	downUntil := make([]int, m.Size())
 	var s Schedule
 	for c := 0; c < cycles; c++ {

@@ -1,0 +1,278 @@
+package reliability
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"extmesh/internal/mesh"
+)
+
+func testConfig() Config {
+	return Config{
+		Width:         24,
+		Height:        24,
+		Points:        []Point{{K: 6}, {P: 0.02}},
+		Trials:        48,
+		PairsPerTrial: 8,
+		Seed:          7,
+		CheckEvery:    16,
+	}
+}
+
+// TestSweepWorkerCountInvariant is the determinism acceptance test:
+// the same seed must produce a byte-identical report at any worker
+// count, including with early termination active.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	for _, early := range []bool{false, true} {
+		cfg := testConfig()
+		if early {
+			cfg.Trials = 4096
+			cfg.TargetHalfWidth = 0.08
+			cfg.MinTrials = 16
+		}
+		var want []byte
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			cfg.Workers = workers
+			rep, err := Sweep(cfg)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			got, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("early=%v workers=%d: report differs from workers=1:\n%s\nvs\n%s",
+					early, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepAgainstAnalytic is the Theorem 2 acceptance test: on three
+// (n,k) configurations the Monte Carlo expected-affected-rows/cols
+// estimates must contain the analytic prediction within their reported
+// confidence intervals. The configurations keep k well below n so the
+// theorem's geometric approximation bias stays well below the CI
+// half-width at this trial count. (A 95% interval still misses ~5% of
+// the time even unbiased; the pinned seed makes the run deterministic,
+// and the chosen one passes with margin on all three configurations.)
+func TestSweepAgainstAnalytic(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{32, 8}, {48, 12}, {64, 16}} {
+		res, err := EstimatePoint(Config{
+			Width:         tc.n,
+			Height:        tc.n,
+			Trials:        512,
+			PairsPerTrial: 4,
+			Seed:          2,
+		}, Point{K: tc.k})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if res.Trials != 512 {
+			t.Fatalf("n=%d k=%d: ran %d trials, want 512", tc.n, tc.k, res.Trials)
+		}
+		if !res.AffectedRows.Contains(res.AnalyticRows) {
+			t.Errorf("n=%d k=%d: analytic rows %.3f outside MC interval [%.3f, %.3f] (mean %.3f)",
+				tc.n, tc.k, res.AnalyticRows, res.AffectedRows.Lo, res.AffectedRows.Hi, res.AffectedRows.Mean)
+		}
+		if !res.AffectedCols.Contains(res.AnalyticCols) {
+			t.Errorf("n=%d k=%d: analytic cols %.3f outside MC interval [%.3f, %.3f] (mean %.3f)",
+				tc.n, tc.k, res.AnalyticCols, res.AffectedCols.Lo, res.AffectedCols.Hi, res.AffectedCols.Mean)
+		}
+	}
+}
+
+// TestTrialAllocationFree is the hot-path acceptance test: warm trials
+// allocate nothing.
+func TestTrialAllocationFree(t *testing.T) {
+	cfg := testConfig()
+	m := mesh.Mesh{Width: cfg.Width, Height: cfg.Height}
+	w := newWorker(m)
+	var acc pointAccum
+	// Warm the arena and slices.
+	for tr := uint64(0); tr < 4; tr++ {
+		w.runTrial(&cfg, m, 0, cfg.Points[0], tr, &acc)
+	}
+	tr := uint64(4)
+	for pi, pt := range cfg.Points {
+		allocs := testing.AllocsPerRun(50, func() {
+			w.runTrial(&cfg, m, pi, pt, tr, &acc)
+			tr++
+		})
+		if allocs != 0 {
+			t.Errorf("point %v: %.1f allocs per warm trial, want 0", pt, allocs)
+		}
+	}
+}
+
+// TestSweepFaultFree pins the degenerate point: with no faults every
+// pair has a minimal path, is safe, and is assured, and no row or
+// column is affected.
+func TestSweepFaultFree(t *testing.T) {
+	res, err := EstimatePoint(Config{
+		Width: 16, Height: 16, Trials: 8, PairsPerTrial: 8, Seed: 3,
+	}, Point{P: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]Estimate{
+		"minimal": res.Minimal, "safe": res.Safe, "assured": res.Assured,
+	} {
+		if e.Fraction != 1 {
+			t.Errorf("%s fraction = %v with no faults, want 1", name, e.Fraction)
+		}
+		if e.Samples != 64 {
+			t.Errorf("%s samples = %d, want 64", name, e.Samples)
+		}
+	}
+	if res.AffectedRows.Mean != 0 || res.AffectedCols.Mean != 0 {
+		t.Errorf("affected rows/cols = %v/%v with no faults, want 0",
+			res.AffectedRows.Mean, res.AffectedCols.Mean)
+	}
+	if res.MeanFaults != 0 {
+		t.Errorf("mean faults = %v, want 0", res.MeanFaults)
+	}
+}
+
+// TestSweepOrdering pins the safety-condition hierarchy: certified
+// (safe or assured) pairs are a subset of pairs with a minimal path,
+// and the base condition is no stronger than strategy 1.
+func TestSweepOrdering(t *testing.T) {
+	rep, err := Sweep(Config{
+		Width: 32, Height: 32,
+		Points:        []Point{{K: 8}, {K: 24}, {P: 0.05}},
+		Trials:        64,
+		PairsPerTrial: 8,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Points {
+		if res.Safe.Successes > res.Assured.Successes {
+			t.Errorf("%v: base condition certifies %d > strategy-1 %d pairs",
+				res.Point, res.Safe.Successes, res.Assured.Successes)
+		}
+		if res.Assured.Successes > res.Minimal.Successes {
+			t.Errorf("%v: assured %d exceeds existing minimal paths %d",
+				res.Point, res.Assured.Successes, res.Minimal.Successes)
+		}
+		if res.Point.K > 0 && res.MeanFaults != float64(res.Point.K) {
+			t.Errorf("%v: mean faults %v, want exactly %d", res.Point, res.MeanFaults, res.Point.K)
+		}
+		if res.Minimal.Lo > res.Minimal.Fraction || res.Minimal.Hi < res.Minimal.Fraction {
+			t.Errorf("%v: interval [%v, %v] does not contain the estimate %v",
+				res.Point, res.Minimal.Lo, res.Minimal.Hi, res.Minimal.Fraction)
+		}
+	}
+}
+
+// TestEarlyTermination checks that a reachable target half-width stops
+// a point before the trial budget, deterministically, on a round
+// boundary.
+func TestEarlyTermination(t *testing.T) {
+	var rounds int64
+	cfg := Config{
+		Width: 16, Height: 16,
+		Points:          []Point{{K: 2}},
+		Trials:          100000,
+		PairsPerTrial:   8,
+		Seed:            5,
+		CheckEvery:      32,
+		MinTrials:       32,
+		TargetHalfWidth: 0.2,
+		OnRound:         func(n int) { atomic.AddInt64(&rounds, int64(n)) },
+	}
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Points[0].Trials
+	if got >= cfg.Trials {
+		t.Fatalf("ran the full %d-trial budget despite a loose target", got)
+	}
+	if got%32 != 0 {
+		t.Errorf("stopped at %d trials, not a round boundary", got)
+	}
+	if int(atomic.LoadInt64(&rounds)) != got {
+		t.Errorf("OnRound observed %d trials, report says %d", rounds, got)
+	}
+	if rep.Points[0].Minimal.HalfWidth() > cfg.TargetHalfWidth {
+		t.Errorf("stopped with half-width %v above the %v target",
+			rep.Points[0].Minimal.HalfWidth(), cfg.TargetHalfWidth)
+	}
+}
+
+// TestSweepCancel checks that closing Done aborts between rounds.
+func TestSweepCancel(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	cfg := testConfig()
+	cfg.Done = done
+	if _, err := Sweep(cfg); err != ErrCanceled {
+		t.Fatalf("Sweep with closed Done = %v, want ErrCanceled", err)
+	}
+}
+
+// TestValidate covers the config guard rails.
+func TestValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"tiny mesh":      func(c *Config) { c.Width = 1 },
+		"no points":      func(c *Config) { c.Points = nil },
+		"k too large":    func(c *Config) { c.Points = []Point{{K: c.Width*c.Height - 1}} },
+		"negative k":     func(c *Config) { c.Points = []Point{{K: -1}} },
+		"p too large":    func(c *Config) { c.Points = []Point{{P: 0.95}} },
+		"no trials":      func(c *Config) { c.Trials = 0 },
+		"no pairs":       func(c *Config) { c.PairsPerTrial = 0 },
+		"negative width": func(c *Config) { c.TargetHalfWidth = -1 },
+	} {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+		if _, err := Sweep(c); err == nil {
+			t.Errorf("%s: sweep ran", name)
+		}
+	}
+}
+
+// TestEstimatePointMatchesSweep checks the convenience wrapper is the
+// same computation as a one-point sweep.
+func TestEstimatePointMatchesSweep(t *testing.T) {
+	cfg := testConfig()
+	pt := Point{K: 9}
+	cfg.Points = []Point{pt}
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := EstimatePoint(testConfig(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep.Points[0])
+	b, _ := json.Marshal(single)
+	if string(a) != string(b) {
+		t.Fatalf("EstimatePoint diverges from Sweep:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestCost pins the budget unit the serving plane caps against.
+func TestCost(t *testing.T) {
+	c := Config{Width: 10, Height: 20, Trials: 30, PairsPerTrial: 5, Points: []Point{{K: 1}, {K: 2}}}
+	if got, want := c.Cost(), int64((10*20+5)*30*2); got != want {
+		t.Fatalf("Cost = %d, want %d", got, want)
+	}
+}

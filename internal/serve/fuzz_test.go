@@ -40,12 +40,18 @@ func FuzzServeRequests(f *testing.F) {
 	f.Add("/v1/mesh", `{"name":"n","width":-5,"height":3}`)
 	f.Add("/v1/mesh/m/faults", `{"spec":"random:rate=0.5","fail":[{"x":1,"y":1}]}`)
 	f.Add("/v1/mesh/m/faults", `{"spec":"`+strings.Repeat("fail@0:1,1;", 50)+`"}`)
+	f.Add("/v1/reliability", `{"width":8,"height":8,"points":[{"k":3},{"p":0.05}],"trials":4,"pairs_per_trial":2,"seed":1}`)
+	f.Add("/v1/reliability", `{"width":8,"height":8,"points":[{"k":3}],"trials":4,"pairs_per_trial":2,"target_half_width":0.5,"min_trials":2,"check_every":2}`)
+	f.Add("/v1/reliability", `{"width":1000000,"height":8,"points":[{"k":1}],"trials":1,"pairs_per_trial":1}`)
+	f.Add("/v1/reliability", `{"width":8,"height":8,"points":[{"p":-4}],"trials":1,"pairs_per_trial":1}`)
+	f.Add("/v1/reliability", `{"width":8,"height":8,"points":[{"k":1}],"trials":99999999,"pairs_per_trial":1}`)
+	f.Add("/v1/reliability", `{"points":null,"trials":-1}`)
 
 	f.Fuzz(func(t *testing.T, path, body string) {
 		// Constrain the fuzzed path to the server's own routes; free-form
 		// paths only exercise the mux's 404, not our decoders.
 		switch {
-		case path == "/v1/mesh",
+		case path == "/v1/mesh", path == "/v1/reliability",
 			strings.HasPrefix(path, "/v1/mesh/") && !strings.Contains(path[len("/v1/mesh/"):], "//"):
 		default:
 			t.Skip()
@@ -65,8 +71,11 @@ func FuzzServeRequests(f *testing.F) {
 
 		// Fresh server per input: fault bodies mutate the mesh, and a
 		// shared fixture would make failures irreproducible. Each gets
-		// its own metrics registry so counters stay per-execution.
-		s := New(Options{Metrics: metrics.NewRegistry()})
+		// its own metrics registry so counters stay per-execution. The
+		// tiny sweep budget keeps any accepted reliability request to
+		// trivial work, so the fuzzer exercises the decoder, not the
+		// Monte Carlo engine.
+		s := New(Options{Metrics: metrics.NewRegistry(), ReliabilityMaxCost: 1 << 12})
 		d, err := extmesh.NewDynamic(8, 8)
 		if err != nil {
 			t.Fatal(err)

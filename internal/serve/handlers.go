@@ -635,12 +635,14 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the per-mesh observability view: the reach-cache
-// effectiveness of the current snapshot plus the mesh vitals.
+// effectiveness of the current snapshot, the mesh vitals, and the
+// server-wide reliability sweep counters.
 type statsResponse struct {
 	meshInfo
-	ReachHits    uint64  `json:"reach_hits"`
-	ReachMisses  uint64  `json:"reach_misses"`
-	ReachHitRate float64 `json:"reach_hit_rate"`
+	ReachHits    uint64           `json:"reach_hits"`
+	ReachMisses  uint64           `json:"reach_misses"`
+	ReachHitRate float64          `json:"reach_hit_rate"`
+	Reliability  reliabilityStats `json:"reliability"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -649,7 +651,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hits, misses := n.ReachCacheStats()
-	resp := statsResponse{meshInfo: infoOf(name, d), ReachHits: hits, ReachMisses: misses}
+	resp := statsResponse{meshInfo: infoOf(name, d), ReachHits: hits, ReachMisses: misses,
+		Reliability: s.reliabilityStats()}
 	if total := hits + misses; total > 0 {
 		resp.ReachHitRate = float64(hits) / float64(total)
 	}

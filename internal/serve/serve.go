@@ -33,7 +33,8 @@
 //	POST   /v1/mesh/{name}/ensure/batch          EnsureAll batch
 //	POST   /v1/mesh/{name}/has-minimal-path/batch  one sweep, many destinations
 //	POST   /v1/mesh/{name}/faults                apply fail/recover events (admin)
-//	GET    /v1/mesh/{name}/stats                 reach-cache hit rates, vitals
+//	GET    /v1/mesh/{name}/stats                 reach-cache hit rates, vitals, sweep counters
+//	POST   /v1/reliability                       Monte Carlo survivability sweep
 package serve
 
 import (
@@ -75,6 +76,15 @@ type Options struct {
 	// acknowledges them. The server starts not-ready; call Recover
 	// (which replays the store into the registry) before serving.
 	Journal *journal.Store
+	// MaxSweeps bounds concurrently executing /v1/reliability sweeps —
+	// a separate, much smaller gate than MaxInFlight, because one sweep
+	// is minutes of CPU where a route query is microseconds. Requests
+	// beyond it are shed with 429; 0 selects 2.
+	MaxSweeps int
+	// ReliabilityMaxCost caps the work of one accepted sweep, in the
+	// cost units of reliability.Config.Cost (trials times per-trial
+	// work). Costlier requests are rejected with 413; 0 selects 1<<28.
+	ReliabilityMaxCost int64
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +100,12 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = metrics.Default()
 	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 2
+	}
+	if o.ReliabilityMaxCost <= 0 {
+		o.ReliabilityMaxCost = 1 << 28
+	}
 	return o
 }
 
@@ -100,6 +116,7 @@ type Server struct {
 	meshes  *Registry
 	metrics *metrics.Registry
 	admit   *admission
+	sweeps  *sweepGate
 	persist *persister
 	ready   atomic.Bool
 	handler http.Handler
@@ -124,6 +141,7 @@ func New(opts Options) *Server {
 		metrics: opts.Metrics,
 		meshes:  NewRegistry(opts.Metrics),
 		admit:   newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait, opts.Metrics),
+		sweeps:  newSweepGate(opts.MaxSweeps, opts.Metrics),
 	}
 	s.persist = &persister{
 		store:   opts.Journal,
@@ -179,6 +197,7 @@ func New(opts Options) *Server {
 	v1("POST /v1/mesh/{name}/has-minimal-path/batch", "has_minimal_path_batch", s.handleHasMinimalPathBatch)
 	v1("POST /v1/mesh/{name}/faults", "faults", s.handleFaults)
 	v1("GET /v1/mesh/{name}/stats", "stats", s.handleStats)
+	v1("POST /v1/reliability", "reliability", s.handleReliability)
 
 	s.handler = logging(opts.Log, mux)
 	return s

@@ -611,6 +611,54 @@ func (w *Arena) Load(cfg Config, m mesh.Mesh, src mesh.Coord, k int, rng *rand.R
 	return fmt.Errorf("sim: could not place %d faults with the source outside every block", k)
 }
 
+// LoadFaults rebuilds the arena's block-model state in place for an
+// explicit fault list: the scenario, fault blocks, blocked grid, the
+// safety-level model, the fault grid, and the existence reach from
+// src. Unlike Load it never rejects a pattern (callers decide what a
+// blocked source means) and skips the MCC model, which the reliability
+// engine does not consult. Warm calls over a fixed mesh are
+// allocation-free.
+func (w *Arena) LoadFaults(m mesh.Mesh, src mesh.Coord, faults []mesh.Coord) error {
+	var err error
+	if w.sc == nil || w.sc.M != m {
+		w.sc, err = fault.NewScenario(m, faults)
+	} else {
+		err = w.sc.Reset(faults)
+	}
+	if err != nil {
+		return err
+	}
+	w.m, w.src = m, src
+	w.bs = fault.BuildBlocksInto(w.bs, w.sc)
+	w.blockGrid = w.bs.BlockedGridInto(w.blockGrid)
+	if err := w.blockMd.Reset(m, w.blockGrid); err != nil {
+		return err
+	}
+	if cap(w.faultGrid) < m.Size() {
+		w.faultGrid = make([]bool, m.Size())
+	} else {
+		w.faultGrid = w.faultGrid[:m.Size()]
+		clear(w.faultGrid)
+	}
+	for _, f := range faults {
+		w.faultGrid[m.Index(f)] = true
+	}
+	w.reach = wang.ReachFromInto(w.reach, m, src, w.faultGrid)
+	return nil
+}
+
+// Blocks returns the fault blocks of the last Load/LoadFaults. The set
+// is owned by the arena and invalidated by the next load.
+func (w *Arena) Blocks() *fault.BlockSet { return w.bs }
+
+// BlockModel returns the block-model safety levels of the last
+// Load/LoadFaults, invalidated by the next load.
+func (w *Arena) BlockModel() *core.Model { return &w.blockMd }
+
+// Reach returns the minimal-path existence grid from the last loaded
+// source over the raw fault grid, invalidated by the next load.
+func (w *Arena) Reach() *wang.Reach { return w.reach }
+
 // sampleDest draws a destination uniformly from the first-quadrant
 // submesh, outside every faulty block.
 func (w *Arena) sampleDest(rng *rand.Rand) mesh.Coord {
