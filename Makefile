@@ -66,11 +66,19 @@ smoke: build
 # through a noisy transport must answer exactly like the library, and
 # the replicated cluster (primary killed mid-stream, replication frames
 # torn/duplicated/corrupted, replicas partitioned) must converge
-# byte-identically with zero wrong cluster-client answers. A short
-# fuzz run over the replication frame decoder rides along.
+# byte-identically with zero wrong cluster-client answers. The failover
+# suite rides in ./internal/chaos: primary hard-killed mid-write-load
+# with a follower promoting into a new epoch and the old primary
+# rejoining demoted, dueling primaries across a healed partition ending
+# with one writable winner, and goodbye-driven fast failover — all with
+# zero acknowledged-write loss. The meshstress kill-the-primary audit
+# then proves the same over three real daemon processes and a real
+# SIGKILL. A short fuzz run over the replication frame decoder
+# (including its epoch field) rides along.
 chaos: build
 	$(GO) test ./cmd/meshserved -run 'TestCrashRecovery|TestRestartAfterGracefulDrain' -count=1
 	$(GO) test -race ./internal/chaos ./meshclient
+	$(GO) test ./cmd/meshstress -run TestFailoverSmoke -count=1
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReplicationFrames -fuzztime 5s
 
 # rel-smoke is the reliability-engine gate: a small Monte Carlo sweep

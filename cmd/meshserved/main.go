@@ -29,11 +29,22 @@
 // answering queries read-only (mutations get 403). GET /replication
 // reports the node's role, sequence number and follower lag.
 //
+// With -peers (alongside -replication-addr and -data-dir) the node
+// joins a failover cluster: followers that lose the primary past
+// -failover-timeout promote themselves by durably bumping the cluster
+// epoch, the epoch fences the old primary out of every write path, and
+// a SIGTERM'd primary says goodbye so its followers fail over
+// immediately. Exactly one fresh-cluster node omits -replicate-from
+// and starts as the primary; the rest name it (or discover it) and
+// start as followers. See DESIGN.md §17.
+//
 // Usage:
 //
 //	meshserved [-addr :8423] [-binary-addr :8424]
 //	           [-mesh name:WxH[:faults[:seed]]]...
 //	           [-replication-addr :8425 | -replicate-from host:8425]
+//	           [-peers host2:8425,host3:8425] [-failover-timeout 2s]
+//	           [-node-id n1] [-failover-rank 0] [-rep-heartbeat 500ms]
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-snapshot-every 4096]
 //	           [-max-inflight 0] [-max-queue 0] [-queue-wait 100ms]
@@ -103,6 +114,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		dataDir      = fs.String("data-dir", "", "durable state directory (empty = memory only)")
 		repAddr      = fs.String("replication-addr", "", "journal replication listener for read replicas (requires -data-dir)")
 		repFrom      = fs.String("replicate-from", "", "primary replication address to follow as a read-only replica (requires -data-dir)")
+		peers        = fs.String("peers", "", "comma-separated peer replication addresses; enables automatic failover (requires -replication-addr and -data-dir)")
+		failTimeout  = fs.Duration("failover-timeout", 2*time.Second, "failover deadline: followers promote after this much primary silence, a primary without acks fences itself")
+		failRank     = fs.Int("failover-rank", 0, "candidacy stagger rank; give each cluster node a distinct small integer")
+		repBeat      = fs.Duration("rep-heartbeat", 500*time.Millisecond, "primary-to-replica heartbeat interval; keep -failover-timeout at least 4x this")
+		nodeID       = fs.String("node-id", "", "cluster node identity for status and failover tie-breaks (default: the replication address)")
 		fsyncPolicy  = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
 		fsyncEvery   = fs.Duration("fsync-interval", 100*time.Millisecond, "max unsynced window under -fsync interval")
 		snapEvery    = fs.Int("snapshot-every", 4096, "journal records between snapshot compactions")
@@ -115,8 +131,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if (*repAddr != "" || *repFrom != "") && *dataDir == "" {
 		return fmt.Errorf("-replication-addr and -replicate-from require -data-dir")
 	}
-	if *repAddr != "" && *repFrom != "" {
-		return fmt.Errorf("-replication-addr and -replicate-from are mutually exclusive (chained replication is not supported)")
+	if *repAddr != "" && *repFrom != "" && *peers == "" {
+		// In a failover cluster every node both serves its journal and
+		// may follow; standalone replication keeps the one-hop shape.
+		return fmt.Errorf("-replication-addr and -replicate-from are mutually exclusive without -peers (chained replication is not supported)")
+	}
+	if *peers != "" && (*repAddr == "" || *dataDir == "") {
+		return fmt.Errorf("-peers requires -replication-addr and -data-dir")
 	}
 	if *repFrom != "" && len(specs) > 0 {
 		// A replica's state comes from the primary's journal; a local
@@ -153,12 +174,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer store.Close()
 	}
 
+	id := *nodeID
+	if id == "" {
+		id = *repAddr
+	}
 	srv := serve.New(serve.Options{
-		MaxInFlight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		QueueWait:   *queueWait,
-		Log:         accessLog,
-		Journal:     store,
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		Log:          accessLog,
+		Journal:      store,
+		NodeID:       id,
+		RepHeartbeat: *repBeat,
 	})
 	if store != nil {
 		start := time.Now()
@@ -225,6 +252,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// (read-only replica).
 	repErrc := make(chan error, 1)
 	switch {
+	case *peers != "":
+		rl, err := net.Listen("tcp", *repAddr)
+		if err != nil {
+			return fmt.Errorf("replication listener: %w", err)
+		}
+		fo, err := serve.NewFailover(srv, serve.FailoverOptions{
+			Listener:     rl,
+			Peers:        strings.Split(*peers, ","),
+			StartPrimary: *repFrom == "",
+			Source:       *repFrom,
+			Timeout:      *failTimeout,
+			Rank:         *failRank,
+			Log:          logger,
+		})
+		if err != nil {
+			return err
+		}
+		role := "follower"
+		if *repFrom == "" {
+			role = "primary"
+		}
+		logger.Printf("failover cluster: node %q on %s as %s, peers %s, timeout %s",
+			id, rl.Addr(), role, *peers, *failTimeout)
+		go func() {
+			repErrc <- fo.Run(srvCtx)
+			cancelAll()
+		}()
 	case *repAddr != "":
 		rl, err := net.Listen("tcp", *repAddr)
 		if err != nil {

@@ -23,10 +23,19 @@
 // the observed journal watermark by more than -max-staleness records,
 // and fall back to the primary when no replica can answer.
 //
+// With -kill-primary-after the tool becomes a failover audit instead of
+// a query benchmark: workers stream acknowledged fault writes through
+// the cluster client, the primary process (-kill-primary-pid) is
+// SIGKILLed mid-run, the writers ride the failover to the promoted
+// node, and the run ends by reading the surviving cluster state and
+// asserting that every acknowledged write is present — "lost: 0" is
+// the pass condition.
+//
 // Usage:
 //
 //	meshstress [-addr http://localhost:8423] [-mesh prod]
 //	           [-replicas http://r1:8423,http://r2:8423] [-max-staleness 0]
+//	           [-kill-primary-after 3s] [-kill-primary-pid PID]
 //	           [-proto json|binary] [-binary-addr localhost:8424]
 //	           [-endpoint route|has-minimal-path|ensure|safe]
 //	           [-workers 4] [-batch 64] [-paths] [-model blocks|mcc]
@@ -74,20 +83,22 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("meshstress", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "http://localhost:8423", "meshserved base URL (the primary in cluster mode)")
-		replicas = fs.String("replicas", "", "comma-separated replica base URLs: drive reads through the cluster client")
-		maxStale = fs.Uint64("max-staleness", 0, "records a replica answer may lag the observed watermark (with -replicas)")
-		proto    = fs.String("proto", "json", "transport: json (HTTP endpoints) or binary (wire protocol)")
-		binAddr  = fs.String("binary-addr", "localhost:8424", "binary listener address (with -proto binary)")
-		meshName = fs.String("mesh", "prod", "target mesh name")
-		endpoint = fs.String("endpoint", "route", "query kind: route, has-minimal-path, ensure, or safe")
-		workers  = fs.Int("workers", 4, "concurrent workers")
-		batch    = fs.Int("batch", 64, "pairs per request (1 = single-query endpoint)")
-		paths    = fs.Bool("paths", false, "include full paths in route responses (off = hop counts only)")
-		model    = fs.String("model", "blocks", "fault model: blocks or mcc")
-		duration = fs.Duration("duration", 10*time.Second, "run length (ignored if -requests > 0)")
-		requests = fs.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
-		seed     = fs.Int64("seed", 1, "PRNG seed for query endpoints")
+		addr      = fs.String("addr", "http://localhost:8423", "meshserved base URL (the primary in cluster mode)")
+		replicas  = fs.String("replicas", "", "comma-separated replica base URLs: drive reads through the cluster client")
+		maxStale  = fs.Uint64("max-staleness", 0, "records a replica answer may lag the observed watermark (with -replicas)")
+		killAfter = fs.Duration("kill-primary-after", 0, "failover audit: SIGKILL -kill-primary-pid this long into the run and assert zero acked-write loss (requires -replicas)")
+		killPid   = fs.Int("kill-primary-pid", 0, "primary daemon PID for -kill-primary-after")
+		proto     = fs.String("proto", "json", "transport: json (HTTP endpoints) or binary (wire protocol)")
+		binAddr   = fs.String("binary-addr", "localhost:8424", "binary listener address (with -proto binary)")
+		meshName  = fs.String("mesh", "prod", "target mesh name")
+		endpoint  = fs.String("endpoint", "route", "query kind: route, has-minimal-path, ensure, or safe")
+		workers   = fs.Int("workers", 4, "concurrent workers")
+		batch     = fs.Int("batch", 64, "pairs per request (1 = single-query endpoint)")
+		paths     = fs.Bool("paths", false, "include full paths in route responses (off = hop counts only)")
+		model     = fs.String("model", "blocks", "fault model: blocks or mcc")
+		duration  = fs.Duration("duration", 10*time.Second, "run length (ignored if -requests > 0)")
+		requests  = fs.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
+		seed      = fs.Int64("seed", 1, "PRNG seed for query endpoints")
 
 		dialTimeout    = fs.Duration("dial-timeout", 2*time.Second, "TCP connect timeout")
 		headerTimeout  = fs.Duration("header-timeout", 10*time.Second, "response-header timeout per attempt")
@@ -144,6 +155,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	info, err := fetchMeshInfo(ctx, client, *meshName)
 	if err != nil {
 		return err
+	}
+	if *killAfter > 0 {
+		if cluster == nil {
+			return fmt.Errorf("-kill-primary-after requires -replicas (cluster mode)")
+		}
+		if *killPid <= 0 {
+			return fmt.Errorf("-kill-primary-after requires -kill-primary-pid")
+		}
+		return runKillPrimary(ctx, out, cluster, info, *killAfter, *killPid, *duration, *workers)
 	}
 
 	// newFire builds one worker's request function plus its cleanup.
@@ -308,6 +328,99 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if ok == 0 {
 		return fmt.Errorf("no successful requests (%d errors)", failed.Load())
+	}
+	return nil
+}
+
+// runKillPrimary is the failover audit: stream acknowledged fault
+// writes through the cluster client, SIGKILL the primary mid-run, keep
+// writing through the failover, then read the surviving cluster state
+// and verify every acknowledged write landed. Each write fails one
+// unique coordinate, which makes the workload resend-safe (a duplicate
+// delivery is skipped server-side) and the audit exact (present or
+// lost, no ambiguity).
+func runKillPrimary(ctx context.Context, out io.Writer, cluster *meshclient.ClusterClient, info meshInfo, killAfter time.Duration, pid int, duration time.Duration, workers int) error {
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	var next atomic.Int64
+	total := int64(info.Width) * int64(info.Height)
+	var mu sync.Mutex
+	acked := make([]extmesh.Coord, 0, 1024)
+	var errs atomic.Int64
+
+	killT := time.AfterFunc(killAfter, func() {
+		fmt.Fprintf(out, "kill-primary: SIGKILL pid %d after %s\n", pid, killAfter)
+		syscall.Kill(pid, syscall.SIGKILL)
+	})
+	defer killT.Stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				// Wrap past W*H: re-failing a coordinate is idempotent and
+				// keeps the audit exact, so the writers never run dry
+				// mid-failover on a small mesh.
+				i := (next.Add(1) - 1) % total
+				c := extmesh.Coord{X: int(i % int64(info.Width)), Y: int((i / int64(info.Width)) % int64(info.Height))}
+				body, err := json.Marshal(meshclient.FaultsRequest{Fail: []extmesh.Coord{c}})
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if _, err := cluster.DoWrite(runCtx, "POST", "/v1/mesh/"+info.Name+"/faults", body, true); err != nil {
+					errs.Add(1)
+					continue
+				}
+				mu.Lock()
+				acked = append(acked, c)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Audit against whoever won: rediscover the primary, export the
+	// mesh, and check off every acknowledged coordinate.
+	actx, acancel := context.WithTimeout(ctx, 15*time.Second)
+	defer acancel()
+	var st *meshclient.MeshState
+	var err error
+	for actx.Err() == nil {
+		cluster.Rediscover(actx)
+		if st, err = cluster.GetMesh(actx, info.Name); err == nil {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if st == nil {
+		return fmt.Errorf("audit read failed: %w", err)
+	}
+	have := make(map[extmesh.Coord]bool, len(st.Faults))
+	for _, c := range st.Faults {
+		have[c] = true
+	}
+	lost := 0
+	for _, c := range acked {
+		if !have[c] {
+			lost++
+			if lost <= 8 {
+				fmt.Fprintf(out, "LOST acked write: fault (%d,%d)\n", c.X, c.Y)
+			}
+		}
+	}
+	cc := cluster.Counts()
+	fmt.Fprintf(out, "kill-primary audit: mesh %s, primary now %s (epoch %d)\n", info.label(), cluster.PrimaryAddr(), cluster.Epoch())
+	fmt.Fprintf(out, "cluster: %d writes, %d rediscoveries, %d stale rejects\n", cc.Writes, cc.Rediscoveries, cc.StaleRejects)
+	fmt.Fprintf(out, "acked writes: %d, write errors: %d, lost: %d\n", len(acked), errs.Load(), lost)
+	if lost > 0 {
+		return fmt.Errorf("%d acknowledged writes lost across failover", lost)
+	}
+	if len(acked) == 0 {
+		return fmt.Errorf("no acknowledged writes (%d errors)", errs.Load())
 	}
 	return nil
 }

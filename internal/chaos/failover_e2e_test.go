@@ -1,0 +1,493 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"extmesh"
+	"extmesh/internal/journal"
+	"extmesh/internal/metrics"
+	"extmesh/internal/serve"
+	"extmesh/meshclient"
+)
+
+// ---------------------------------------------------------------------
+// Failover chaos harness: in-process cluster nodes with a Failover
+// controller each, plus a partition fabric that owns every inter-node
+// connection — isolating a node refuses its future dials in both
+// directions AND severs its established streams, which is exactly what
+// a SIGKILL or a switch failure looks like from the other side.
+
+type partConn struct {
+	from, to string
+	c        net.Conn
+}
+
+type partition struct {
+	mu       sync.Mutex
+	isolated map[string]bool
+	addrNode map[string]string // replication addr -> node name
+	conns    []partConn
+}
+
+func newPartition() *partition {
+	return &partition{isolated: map[string]bool{}, addrNode: map[string]string{}}
+}
+
+// dialer returns the FailoverOptions.Dial seam for one node: every
+// stream and probe that node opens passes through the fabric.
+func (p *partition) dialer(from string) func(ctx context.Context, addr string) (net.Conn, error) {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		p.mu.Lock()
+		to := p.addrNode[addr]
+		blocked := p.isolated[from] || p.isolated[to]
+		p.mu.Unlock()
+		if blocked {
+			return nil, fmt.Errorf("chaos: %s->%s partitioned", from, to)
+		}
+		c, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		if p.isolated[from] || p.isolated[to] { // flipped mid-dial
+			p.mu.Unlock()
+			c.Close()
+			return nil, fmt.Errorf("chaos: %s->%s partitioned", from, to)
+		}
+		p.conns = append(p.conns, partConn{from: from, to: to, c: c})
+		p.mu.Unlock()
+		return c, nil
+	}
+}
+
+// isolate cuts (or heals) one node: future dials touching it are
+// refused and, on cut, its live connections are severed.
+func (p *partition) isolate(name string, cut bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated[name] = cut
+	if !cut {
+		return
+	}
+	keep := p.conns[:0]
+	for _, pc := range p.conns {
+		if pc.from == name || pc.to == name {
+			pc.c.Close()
+			continue
+		}
+		keep = append(keep, pc)
+	}
+	p.conns = keep
+}
+
+// foNode is one failover-managed cluster node, all in-process.
+type foNode struct {
+	name    string
+	dir     string
+	s       *serve.Server
+	store   *journal.Store
+	reg     *metrics.Registry
+	http    *httptest.Server
+	repL    net.Listener
+	repAddr string
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// newFoNode boots (or reboots, over the same dir and replication
+// address) a failover cluster node. addr "" picks a fresh port.
+func newFoNode(t *testing.T, dir, name, addr string) *foNode {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	store, err := journal.Open(dir, journal.Options{Policy: journal.SyncNever, CompactEvery: -1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Options{
+		Journal:      store,
+		Metrics:      reg,
+		NodeID:       name,
+		RepHeartbeat: 25 * time.Millisecond,
+	})
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &foNode{
+		name: name, dir: dir, s: s, store: store, reg: reg,
+		http: httptest.NewServer(s.Handler()),
+		repL: l, repAddr: l.Addr().String(),
+	}
+}
+
+// start attaches and runs the Failover controller. rank doubles as the
+// candidacy stagger.
+func (n *foNode) start(t *testing.T, p *partition, peers []string, startPrimary bool, rank int, timeout time.Duration) {
+	t.Helper()
+	fo, err := serve.NewFailover(n.s, serve.FailoverOptions{
+		Listener:     n.repL,
+		Peers:        peers,
+		StartPrimary: startPrimary,
+		Timeout:      timeout,
+		Rank:         rank,
+		Retry:        20 * time.Millisecond,
+		Dial:         p.dialer(n.name),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.done = make(chan struct{})
+	go func() { fo.Run(ctx); close(n.done) }()
+	t.Cleanup(func() { n.stop() })
+}
+
+// stop tears the node down; idempotent. With graceful=false the node is
+// first isolated so its goodbye frames cannot reach anyone — the
+// in-process equivalent of SIGKILL.
+func (n *foNode) stop() {
+	if n.cancel != nil {
+		n.cancel()
+		<-n.done
+		n.cancel = nil
+	}
+	n.repL.Close()
+	n.http.Close()
+	n.store.Close()
+}
+
+func (n *foNode) kill(p *partition) {
+	p.isolate(n.name, true)
+	n.stop()
+}
+
+func (n *foNode) status() serve.ReplicationStatus { return n.s.ReplicationStatus() }
+
+func (n *foNode) writable() bool {
+	st := n.status()
+	return st.Role == "primary" && !st.Fenced
+}
+
+// newFoCluster builds an n-node failover cluster: node 0 starts
+// primary, the rest follow it. Returns once every follower has attached
+// to the primary's stream — a managed primary refuses writes until one
+// has, so tests must not race formation.
+func newFoCluster(t *testing.T, p *partition, size int, timeout time.Duration) []*foNode {
+	t.Helper()
+	nodes := make([]*foNode, size)
+	for i := range nodes {
+		nodes[i] = newFoNode(t, t.TempDir(), fmt.Sprintf("n%d", i), "")
+		p.addrNode[nodes[i].repAddr] = nodes[i].name
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, m := range nodes {
+			if j != i {
+				peers = append(peers, m.repAddr)
+			}
+		}
+		n.start(t, p, peers, i == 0, i, timeout)
+	}
+	waitConverged(t, "cluster formation", 10*time.Second, func() bool {
+		return len(nodes[0].status().Followers) == size-1
+	})
+	return nodes
+}
+
+func foClusterClient(t *testing.T, nodes []*foNode) *meshclient.ClusterClient {
+	t.Helper()
+	var replicas []string
+	for _, n := range nodes[1:] {
+		replicas = append(replicas, n.http.URL)
+	}
+	cc, err := meshclient.NewCluster(meshclient.ClusterOptions{
+		Primary:  nodes[0].http.URL,
+		Replicas: replicas,
+		Node: meshclient.Options{
+			MaxRetries:       6,
+			BaseBackoff:      2 * time.Millisecond,
+			MaxBackoff:       20 * time.Millisecond,
+			BreakerThreshold: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// ackedFaultsPresent asserts every acknowledged fault write survived
+// into the given server's state.
+func ackedFaultsPresent(t *testing.T, s *serve.Server, mesh string, acked []extmesh.Coord) {
+	t.Helper()
+	d := s.Meshes().Get(mesh)
+	if d == nil {
+		t.Fatalf("mesh %q missing", mesh)
+	}
+	have := map[extmesh.Coord]bool{}
+	for _, c := range d.Faults() {
+		have[c] = true
+	}
+	lost := 0
+	for _, c := range acked {
+		if !have[c] {
+			lost++
+			t.Errorf("acked write lost: fault (%d,%d)", c.X, c.Y)
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d acknowledged writes lost", lost, len(acked))
+	}
+}
+
+// ---------------------------------------------------------------------
+
+// TestFailoverPrimaryKillPromotionAndRejoin is the tentpole e2e: the
+// primary of a three-node cluster is hard-killed mid-write-load, a
+// follower promotes itself into a new epoch, the cluster client's
+// writes fail over to it with zero acknowledged loss, and the old
+// primary restarts from its own journal as a demoted follower that
+// resyncs to byte-identical state.
+func TestFailoverPrimaryKillPromotionAndRejoin(t *testing.T) {
+	p := newPartition()
+	const timeout = 400 * time.Millisecond
+	nodes := newFoCluster(t, p, 3, timeout)
+	cc := foClusterClient(t, nodes)
+	ctx := context.Background()
+
+	if _, err := cc.CreateMesh(ctx, "m", 32, 32, nil); err != nil {
+		t.Fatal(err)
+	}
+	var acked []extmesh.Coord
+	write := func(i int) bool {
+		c := extmesh.Coord{X: i % 32, Y: (i / 32) % 32}
+		_, err := cc.DoWrite(ctx, "POST", "/v1/mesh/m/faults",
+			[]byte(fmt.Sprintf(`{"fail":[{"x":%d,"y":%d}]}`, c.X, c.Y)), true)
+		if err == nil {
+			acked = append(acked, c)
+			return true
+		}
+		return false
+	}
+	for i := 0; i < 10; i++ {
+		if !write(i) {
+			t.Fatalf("pre-kill write %d failed", i)
+		}
+	}
+
+	oldEpoch := nodes[0].status().Epoch
+	nodes[0].kill(p)
+
+	// Keep writing through the outage until 10 writes land on the new
+	// primary. Individual failures during the failover window are
+	// expected; durable refusal is not.
+	landed := 0
+	deadline := time.Now().Add(15 * time.Second)
+	for i := 10; landed < 10; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("writes never recovered after the primary kill (%d landed)", landed)
+		}
+		if write(i) {
+			landed++
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	winner := nodes[1]
+	if !winner.writable() {
+		winner = nodes[2]
+	}
+	if !winner.writable() {
+		t.Fatalf("no writable winner: %+v / %+v", nodes[1].status(), nodes[2].status())
+	}
+	st := winner.status()
+	if st.Epoch <= oldEpoch {
+		t.Fatalf("winner epoch %d did not advance past %d", st.Epoch, oldEpoch)
+	}
+	if st.Promotions == 0 {
+		t.Fatal("winner reports zero promotions")
+	}
+	if got := cc.PrimaryAddr(); got != winner.http.URL {
+		t.Fatalf("cluster client writes to %s, winner is %s", got, winner.http.URL)
+	}
+
+	// The old primary restarts from its own journal — same dir, same
+	// replication address — and must come back as a demoted follower
+	// (epoch-mismatch hello forces a full resync from the winner).
+	p.isolate("n0", false)
+	restarted := newFoNode(t, nodes[0].dir, "n0", nodes[0].repAddr)
+	p.addrNode[restarted.repAddr] = "n0"
+	restarted.start(t, p, []string{nodes[1].repAddr, nodes[2].repAddr}, false, 0, timeout)
+
+	head := func() uint64 { return winner.s.JournalSeq() }
+	waitConverged(t, "old primary to rejoin and all nodes to converge", 15*time.Second, func() bool {
+		h := head()
+		return restarted.s.JournalSeq() == h &&
+			nodes[1].s.JournalSeq() == h && nodes[2].s.JournalSeq() == h &&
+			restarted.status().Epoch == st.Epoch
+	})
+	if restarted.writable() {
+		t.Fatal("restarted old primary came back writable — split-brain")
+	}
+	assertBitIdentical(t, winner.s, restarted.s, nodes[1].s, nodes[2].s)
+	ackedFaultsPresent(t, winner.s, "m", acked)
+	t.Logf("promotion: epoch %d -> %d on %s; %d acked writes, 0 lost",
+		oldEpoch, st.Epoch, st.NodeID, len(acked))
+}
+
+// TestFailoverDuelingPrimariesConverge partitions the primary away from
+// both followers so the cluster briefly holds two primary claimants.
+// The isolated one must fence itself (zero acknowledged writes on its
+// side), and after the heal exactly one writable epoch winner remains,
+// with every node byte-identical.
+func TestFailoverDuelingPrimariesConverge(t *testing.T) {
+	p := newPartition()
+	const timeout = 400 * time.Millisecond
+	nodes := newFoCluster(t, p, 3, timeout)
+	cc := foClusterClient(t, nodes)
+	ctx := context.Background()
+
+	if _, err := cc.CreateMesh(ctx, "m", 32, 32, nil); err != nil {
+		t.Fatal(err)
+	}
+	var acked []extmesh.Coord
+	for i := 0; i < 8; i++ {
+		c := extmesh.Coord{X: i, Y: 1}
+		if _, err := cc.ApplyFaults(ctx, "m", meshclient.FaultsRequest{Fail: []extmesh.Coord{c}}); err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, c)
+	}
+
+	p.isolate("n0", true)
+
+	// The zombie side: n0 still thinks it is primary, but with its
+	// followers gone it must fence within the lease window and refuse
+	// every write for the whole duel.
+	zombie, err := meshclient.New(meshclient.Options{
+		BaseURL: nodes[0].http.URL, MaxRetries: 0, BreakerThreshold: -1,
+		BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, "isolated primary to fence itself", 5*time.Second, func() bool {
+		return nodes[0].status().Fenced
+	})
+	waitConverged(t, "a follower to promote", 10*time.Second, func() bool {
+		return nodes[1].writable() || nodes[2].writable()
+	})
+	winner := nodes[1]
+	if !winner.writable() {
+		winner = nodes[2]
+	}
+
+	// Dueling claimants exist right now. The zombie must refuse writes…
+	for i := 0; i < 5; i++ {
+		resp, err := zombie.Do(ctx, "POST", "/v1/mesh/m/faults", []byte(`{"fail":[{"x":30,"y":30}]}`), false)
+		if err == nil && resp.Status < 300 {
+			t.Fatal("isolated primary acknowledged a write while fenced — split-brain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// …while the winner's side keeps acknowledging through the client.
+	for i := 0; i < 8; i++ {
+		c := extmesh.Coord{X: i, Y: 3}
+		if _, err := cc.ApplyFaults(ctx, "m", meshclient.FaultsRequest{Fail: []extmesh.Coord{c}}); err != nil {
+			t.Fatalf("write on the winning side failed mid-duel: %v", err)
+		}
+		acked = append(acked, c)
+	}
+	winEpoch := winner.status().Epoch
+	if old := nodes[0].status().Epoch; winEpoch <= old {
+		t.Fatalf("winner epoch %d does not dominate the zombie's %d", winEpoch, old)
+	}
+
+	// Heal. The old primary must demote, resync from the winner, and
+	// drop any trace of its fenced era; the cluster ends with exactly
+	// one writable node and identical bytes everywhere.
+	p.isolate("n0", false)
+	waitConverged(t, "healed cluster to converge on one epoch", 15*time.Second, func() bool {
+		h := winner.s.JournalSeq()
+		if nodes[0].s.JournalSeq() != h || nodes[1].s.JournalSeq() != h || nodes[2].s.JournalSeq() != h {
+			return false
+		}
+		writable := 0
+		for _, n := range nodes {
+			if n.status().Epoch != winEpoch {
+				return false
+			}
+			if n.writable() {
+				writable++
+			}
+		}
+		return writable == 1
+	})
+	if nodes[0].writable() {
+		t.Fatal("the partitioned ex-primary is still writable after the heal")
+	}
+	assertBitIdentical(t, nodes[0].s, nodes[1].s, nodes[2].s)
+	ackedFaultsPresent(t, winner.s, "m", acked)
+	demotions := nodes[0].reg.Counter("cluster_demotions_total").Value()
+	if demotions == 0 {
+		t.Fatal("ex-primary never recorded its demotion")
+	}
+}
+
+// TestFailoverGoodbyeFastFailover pins the graceful-drain satellite: a
+// SIGTERM'd primary says goodbye on its replication streams, so its
+// follower starts failover immediately instead of waiting out the stall
+// deadline. With a 5s deadline, promotion inside 3s is only possible
+// via the goodbye.
+func TestFailoverGoodbyeFastFailover(t *testing.T) {
+	p := newPartition()
+	const timeout = 5 * time.Second
+	// Built by hand rather than via newFoCluster: the lone follower gets
+	// rank 0, so no candidacy stagger blurs the goodbye-vs-stall timing
+	// this test exists to measure.
+	nodes := []*foNode{
+		newFoNode(t, t.TempDir(), "n0", ""),
+		newFoNode(t, t.TempDir(), "n1", ""),
+	}
+	p.addrNode[nodes[0].repAddr] = "n0"
+	p.addrNode[nodes[1].repAddr] = "n1"
+	nodes[0].start(t, p, []string{nodes[1].repAddr}, true, 0, timeout)
+	nodes[1].start(t, p, []string{nodes[0].repAddr}, false, 0, timeout)
+	waitConverged(t, "cluster formation", 10*time.Second, func() bool {
+		return len(nodes[0].status().Followers) == 1
+	})
+	cc := foClusterClient(t, nodes)
+	ctx := context.Background()
+
+	if _, err := cc.CreateMesh(ctx, "m", 16, 16, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	nodes[0].stop() // graceful: ctx cancel → goodbye frame to the follower
+	waitConverged(t, "goodbye-driven promotion", 4*time.Second, func() bool {
+		return nodes[1].writable()
+	})
+	elapsed := time.Since(start)
+	if elapsed >= timeout {
+		t.Fatalf("promotion took %v — the stall deadline, not the goodbye, drove it", elapsed)
+	}
+	if g := nodes[0].reg.Counter("replication_goodbyes_sent_total").Value(); g == 0 {
+		t.Fatal("primary never sent a goodbye frame")
+	}
+	t.Logf("goodbye failover in %v (deadline %v)", elapsed, timeout)
+}

@@ -41,6 +41,11 @@ const (
 	// interleave failures and recoveries in ways a two-list batch
 	// cannot express.
 	OpEvents = "events"
+	// OpEpoch bumps the cluster epoch (failover fencing). The record
+	// mutates no mesh state; journaling it makes a promotion durable
+	// across crash recovery and ships it to followers through the
+	// ordinary replication stream.
+	OpEpoch = "epoch"
 )
 
 // FaultEvent is one step of an OpEvents record.
@@ -61,6 +66,7 @@ type Record struct {
 	Recover []extmesh.Coord `json:"recover,omitempty"` // OpApply
 	Events  []FaultEvent    `json:"events,omitempty"`  // OpEvents
 	Spec    string          `json:"spec,omitempty"`    // OpEvents: provenance (inject spec)
+	Epoch   uint64          `json:"epoch,omitempty"`   // OpEpoch: new cluster epoch
 }
 
 // Frame layout: a fixed 8-byte header — payload length then IEEE

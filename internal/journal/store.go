@@ -99,7 +99,8 @@ type SnapshotMesh struct {
 // snapshotFile is the on-disk snapshot format.
 type snapshotFile struct {
 	Gen    uint64                  `json:"gen"`
-	Seq    uint64                  `json:"seq"` // last record folded into this snapshot
+	Seq    uint64                  `json:"seq"`             // last record folded into this snapshot
+	Epoch  uint64                  `json:"epoch,omitempty"` // cluster epoch at snapshot time
 	Meshes map[string]SnapshotMesh `json:"meshes"`
 }
 
@@ -110,6 +111,11 @@ type Recovery struct {
 	Meshes    map[string]SnapshotMesh
 	Records   []Record
 	Truncated int
+	// Epoch is the cluster epoch reconstructed from the snapshot and
+	// any OpEpoch records in the replayed log — a torn epoch-bump at
+	// the tail is truncated like any other record, recovering the
+	// prior epoch with no sequence gap.
+	Epoch uint64
 }
 
 // Store manages one data directory: the current snapshot generation
@@ -124,6 +130,7 @@ type Store struct {
 	w         *os.File // current generation's log, opened for append
 	gen       uint64
 	seq       uint64
+	epoch     uint64 // cluster epoch: max of snapshot epoch and replayed/appended OpEpoch records
 	snapSeq   uint64 // last record folded into the current snapshot
 	pending   int    // records appended since the last fsync
 	walCount  int    // records in the current log generation
@@ -243,6 +250,7 @@ func (s *Store) Recover() (*Recovery, error) {
 		}
 		s.seq = sf.Seq
 		s.snapSeq = sf.Seq
+		s.epoch = sf.Epoch
 	}
 
 	walPath := filepath.Join(s.dir, walName(s.gen))
@@ -263,7 +271,11 @@ func (s *Store) Recover() (*Recovery, error) {
 		if r.Seq > s.seq {
 			s.seq = r.Seq
 		}
+		if r.Op == OpEpoch && r.Epoch > s.epoch {
+			s.epoch = r.Epoch
+		}
 	}
+	rec.Epoch = s.epoch
 	s.replayed.Add(uint64(len(recs)))
 	s.walCount = len(recs)
 	s.walGauge.Set(int64(s.walCount))
@@ -320,6 +332,9 @@ func (s *Store) appendLocked(r Record) error {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	s.seq = r.Seq
+	if r.Op == OpEpoch && r.Epoch > s.epoch {
+		s.epoch = r.Epoch
+	}
 	s.pending++
 	s.walCount++
 	s.appends.Inc()
@@ -384,27 +399,30 @@ func (s *Store) Compact(meshes map[string]SnapshotMesh) error {
 	if !s.recovered {
 		return fmt.Errorf("journal: Compact before Recover")
 	}
-	return s.compactLocked(meshes, s.seq)
+	return s.compactLocked(meshes, s.seq, s.epoch)
 }
 
 // InstallSnapshot replaces the store's contents with a full snapshot
 // received from a primary: a new snapshot generation at the given
-// sequence number, an empty log. Any local records — even ones beyond
-// seq — are discarded; the primary's state is authoritative.
-func (s *Store) InstallSnapshot(meshes map[string]SnapshotMesh, seq uint64) error {
+// sequence number and epoch, an empty log. Any local records — even
+// ones beyond seq — are discarded; the primary's state is
+// authoritative. This is also the path that truncates a demoted
+// ex-primary's divergent un-acked suffix when it resubscribes.
+func (s *Store) InstallSnapshot(meshes map[string]SnapshotMesh, seq, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.recovered {
 		return fmt.Errorf("journal: InstallSnapshot before Recover")
 	}
-	return s.compactLocked(meshes, seq)
+	return s.compactLocked(meshes, seq, epoch)
 }
 
 // compactLocked writes a new snapshot generation carrying the given
-// state and sequence number and rotates the log. Callers hold s.mu.
-func (s *Store) compactLocked(meshes map[string]SnapshotMesh, seq uint64) error {
+// state, sequence number and epoch, and rotates the log. Callers hold
+// s.mu.
+func (s *Store) compactLocked(meshes map[string]SnapshotMesh, seq, epoch uint64) error {
 	newGen := s.gen + 1
-	sf := snapshotFile{Gen: newGen, Seq: seq, Meshes: meshes}
+	sf := snapshotFile{Gen: newGen, Seq: seq, Epoch: epoch, Meshes: meshes}
 	blob, err := json.Marshal(sf)
 	if err != nil {
 		return fmt.Errorf("journal: encode snapshot: %w", err)
@@ -440,6 +458,7 @@ func (s *Store) compactLocked(meshes map[string]SnapshotMesh, seq uint64) error 
 	old, oldGen := s.w, s.gen
 	s.w, s.gen = w, newGen
 	s.seq, s.snapSeq = seq, seq
+	s.epoch = epoch
 	s.pending, s.walCount = 0, 0
 	s.walGauge.Set(0)
 	s.lag.Set(0)
@@ -488,6 +507,14 @@ func (s *Store) Seq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seq
+}
+
+// Epoch returns the cluster epoch as recovered from the snapshot and
+// raised by appended/replayed OpEpoch records.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Pending returns how many appended records are not yet fsynced — the

@@ -319,12 +319,16 @@ func TestInstallSnapshot(t *testing.T) {
 	state := map[string]SnapshotMesh{
 		"fresh": {Blob: json.RawMessage(`{"width":4,"height":4,"faults":[]}`), Version: 2},
 	}
-	// Install at a seq below the local head: authoritative rewind.
-	if err := s.InstallSnapshot(state, 2); err != nil {
+	// Install at a seq below the local head: authoritative rewind. The
+	// primary's epoch rides along and must survive recovery.
+	if err := s.InstallSnapshot(state, 2, 5); err != nil {
 		t.Fatal(err)
 	}
 	if s.Seq() != 2 || s.SnapSeq() != 2 {
 		t.Errorf("Seq/SnapSeq = %d/%d after install, want 2/2", s.Seq(), s.SnapSeq())
+	}
+	if s.Epoch() != 5 {
+		t.Errorf("Epoch = %d after install, want 5", s.Epoch())
 	}
 	// The stream continues with primary seqs after the snapshot point.
 	if err := s.AppendExact(Record{Seq: 3, Op: OpDelete, Name: "fresh"}); err != nil {
@@ -342,5 +346,88 @@ func TestInstallSnapshot(t *testing.T) {
 	}
 	if s2.Seq() != 3 {
 		t.Errorf("Seq = %d, want 3", s2.Seq())
+	}
+	if s2.Epoch() != 5 {
+		t.Errorf("Epoch = %d after reopen, want 5", s2.Epoch())
+	}
+}
+
+// TestRecoverTornEpochBumpTail pins the failover crash window: a node
+// crashes mid-append of the epoch-bump record itself. The torn frame
+// must be truncated like any other, recovering the prior epoch with no
+// sequence gap — the next append reuses the seq the torn bump would
+// have taken, so the replicated stream stays dense.
+func TestRecoverTornEpochBumpTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	if _, err := s.Append(Record{Op: OpEpoch, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Op: OpDelete, Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("Epoch = %d after bump, want 1", s.Epoch())
+	}
+	// Write a complete epoch-bump frame for epoch 2, then tear it by
+	// chopping bytes off the end — the crash landed mid-write.
+	frame, err := encodeFrame(nil, Record{Seq: 3, Op: OpEpoch, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := frame[:len(frame)-3]
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if rec.Epoch != 1 || s2.Epoch() != 1 {
+		t.Errorf("recovered epoch = %d/%d, want the prior epoch 1", rec.Epoch, s2.Epoch())
+	}
+	if rec.Truncated != len(torn) {
+		t.Errorf("Truncated = %d, want %d", rec.Truncated, len(torn))
+	}
+	if s2.Seq() != 2 {
+		t.Errorf("Seq = %d, want 2 (torn bump must not advance the head)", s2.Seq())
+	}
+	// No sequence gap: the next append takes the seq the torn bump
+	// would have occupied.
+	seq, err := s2.Append(Record{Op: OpEpoch, Epoch: 2})
+	if err != nil || seq != 3 {
+		t.Fatalf("re-append after torn bump = seq %d err %v, want 3", seq, err)
+	}
+	if s2.Epoch() != 2 {
+		t.Errorf("Epoch = %d after re-bump, want 2", s2.Epoch())
+	}
+}
+
+// TestEpochSurvivesCompaction pins that compaction folds the current
+// epoch into the snapshot so a recovery that never replays the OpEpoch
+// record still lands on the right epoch.
+func TestEpochSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOptions())
+	if _, err := s.Append(Record{Op: OpEpoch, Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(map[string]SnapshotMesh{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	if rec.Epoch != 7 || s2.Epoch() != 7 {
+		t.Errorf("epoch after compaction+reopen = %d/%d, want 7", rec.Epoch, s2.Epoch())
+	}
+	if len(rec.Records) != 0 {
+		t.Errorf("replayed %d records, want 0 (bump folded into snapshot)", len(rec.Records))
 	}
 }

@@ -1,0 +1,438 @@
+// Automatic primary failover.
+//
+// A Failover controller turns a set of replication-capable nodes into a
+// self-healing cluster: every node runs its replication listener for
+// its whole life, one node holds the primary role, and the rest follow
+// it. When the primary disappears — crash, partition, or graceful
+// drain — a follower promotes itself by durably bumping the cluster
+// epoch, and the epoch fences the old primary out of every write path:
+// its frames are rejected by followers, its hellos are answered with
+// RepFence by the winner, and clients that have seen the new epoch get
+// stale_epoch refusals from it.
+//
+// The safety argument, in brief:
+//
+//   - Acknowledged writes survive promotion because a failover-managed
+//     primary only acknowledges a mutation after a follower has acked
+//     its record (confirmWrite), and candidacy defers to any reachable
+//     peer holding more history. The node that promotes therefore holds
+//     every confirmed record.
+//   - Split-brain cannot acknowledge on both sides: a primary whose
+//     followers are gone loses its lease and fences its own writes, and
+//     once partitions heal the deterministic tie-break (epoch, then
+//     node ID) demotes the loser, which resyncs from an authoritative
+//     snapshot — truncating any unconfirmed suffix it wrote alone.
+//
+// This is deliberately not quorum consensus: a total partition makes
+// writes unavailable (every side is fenced) rather than electing
+// minority leaders. Choosing unavailability over divergence is the
+// right trade for a registry whose readers tolerate staleness but whose
+// mutations must never fork.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"extmesh/internal/metrics"
+	"extmesh/internal/wire"
+)
+
+// FailoverOptions configures a node's membership in a failover cluster.
+type FailoverOptions struct {
+	// Listener is this node's replication listener; the controller
+	// serves it for the node's whole life (probes are answered in any
+	// role, streams only while primary).
+	Listener net.Listener
+	// Peers are the replication addresses of the other cluster nodes.
+	Peers []string
+	// StartPrimary makes this node begin in the primary role; exactly
+	// one node per fresh cluster should set it. Rejoining nodes leave
+	// it false and discover the incumbent.
+	StartPrimary bool
+	// Source optionally seeds the first follower phase with a known
+	// primary address; empty discovers one from Peers. Ignored when
+	// StartPrimary is set.
+	Source string
+	// Timeout is the failover deadline: a follower that hears nothing
+	// from its primary for this long starts candidacy, and a primary
+	// whose followers stop acking for this long fences itself.
+	// 0 selects 2s. Keep it at least 4x the heartbeat interval.
+	Timeout time.Duration
+	// Rank staggers candidacy (rank * Timeout/4) so simultaneous
+	// candidates don't duel; give each node a distinct small integer.
+	Rank int
+	// Retry is the replica reconnect pause; 0 selects 200ms.
+	Retry time.Duration
+	// Dial overrides the TCP dialer for streams and probes — the chaos
+	// seam for partition tests. Nil selects a plain net.Dialer.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Log receives one line per role transition; nil disables.
+	Log *log.Logger
+}
+
+// Failover is the per-node controller: a state machine over
+// primary ⇄ follower ⇄ candidate, driven by stream liveness and peer
+// probes. Create with NewFailover, drive with Run.
+type Failover struct {
+	s    *Server
+	opts FailoverOptions
+
+	// nudgec wakes the control loop early when evidence of a newer
+	// epoch arrives on any plane (stream, ack, probe, client header).
+	nudgec chan struct{}
+	// source is the primary address the next follower phase should use
+	// ("" = discover); wasPrimary forces the resync handshake after a
+	// demotion, whose divergence is seq-undetectable at equal offsets.
+	source     string
+	wasPrimary bool
+
+	demotions  *metrics.Counter
+	probesSent *metrics.Counter
+}
+
+// NewFailover attaches a failover controller to s. The server must
+// have a journal: promotions are durable epoch bumps.
+func NewFailover(s *Server, opts FailoverOptions) (*Failover, error) {
+	if s.persist.store == nil {
+		return nil, errors.New("serve: failover requires a journal (-data-dir)")
+	}
+	if opts.Listener == nil {
+		return nil, errors.New("serve: failover requires a replication listener")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Retry <= 0 {
+		opts.Retry = 200 * time.Millisecond
+	}
+	if opts.Dial == nil {
+		d := &net.Dialer{}
+		opts.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	f := &Failover{
+		s:          s,
+		opts:       opts,
+		source:     opts.Source,
+		nudgec:     make(chan struct{}, 1),
+		demotions:  s.metrics.Counter("cluster_demotions_total"),
+		probesSent: s.metrics.Counter("cluster_probes_sent_total"),
+	}
+	s.failover.Store(f)
+	return f, nil
+}
+
+// nudge wakes the control loop; safe from any goroutine, never blocks.
+func (f *Failover) nudge() {
+	select {
+	case f.nudgec <- struct{}{}:
+	default:
+	}
+}
+
+func (f *Failover) logf(format string, args ...any) {
+	if f.opts.Log != nil {
+		f.opts.Log.Printf("failover[%s]: "+format, append([]any{f.s.opts.NodeID}, args...)...)
+	}
+}
+
+// Run drives the node's role until ctx is canceled. The replication
+// listener serves throughout; the loop alternates between the primary
+// and follower phases, with candidacy folded into the follower phase.
+func (f *Failover) Run(ctx context.Context) error {
+	go f.s.ServeReplication(ctx, f.opts.Listener)
+	if f.opts.StartPrimary {
+		f.s.role.Store(rolePrimary)
+		f.s.SetReadOnly(false)
+		f.s.hub.resetLease()
+		f.logf("starting as primary (epoch %d)", f.s.Epoch())
+	} else {
+		f.s.role.Store(roleFollower)
+		f.s.SetReadOnly(true)
+		f.logf("starting as follower")
+	}
+	for ctx.Err() == nil {
+		if f.s.role.Load() == rolePrimary {
+			f.runPrimary(ctx)
+		} else {
+			f.runFollower(ctx)
+		}
+	}
+	return ctx.Err()
+}
+
+// runPrimary holds the primary role: maintain the lease (fence writes
+// when no follower is confirming us) and watch for a stronger primary —
+// the healed-partition case, where the deterministic tie-break decides
+// which of two claimants demotes.
+func (f *Failover) runPrimary(ctx context.Context) {
+	t := time.NewTicker(f.opts.Timeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.nudgec:
+		case <-t.C:
+		}
+		followers, age := f.s.hub.lastAckAge()
+		f.s.setFenced(followers == 0 || age > f.opts.Timeout)
+		mine := f.s.nodeState()
+		for _, addr := range f.opts.Peers {
+			st, err := f.probe(ctx, addr)
+			if err != nil {
+				continue
+			}
+			if st.Epoch > mine.Epoch || (st.Role == "primary" && st.Stronger(mine)) {
+				f.logf("demoting to %s (%s, epoch %d) from epoch %d", st.NodeID, addr, st.Epoch, mine.Epoch)
+				f.demote(addr, st)
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// demote steps down to follower: stop streaming (live followers are cut
+// off; new hellos get RepFence), flip read-only, and mark the next
+// follower phase to force a full resync — an ex-primary's journal may
+// hold an unconfirmed suffix the winner never saw, at sequence numbers
+// the winner has reused, which resume-from-offset cannot detect.
+func (f *Failover) demote(source string, st *wire.NodeState) {
+	f.demotions.Inc()
+	f.wasPrimary = true
+	f.source = ""
+	if st.Role == "primary" {
+		f.source = source
+	}
+	f.s.role.Store(roleFollower)
+	f.s.SetReadOnly(true)
+	f.s.setFenced(false)
+	f.s.hub.closeFollowers()
+}
+
+// runFollower follows a primary (discovering one if needed) until the
+// stream goes silent past the deadline, the primary says goodbye, or
+// the primary fences us — then tears the replica down and either
+// rediscovers or stands for promotion.
+func (f *Failover) runFollower(ctx context.Context) {
+	src := f.source
+	f.source = ""
+	if src == "" {
+		var ok bool
+		src, ok = f.discover(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if !ok {
+			f.becomeCandidate(ctx)
+			return
+		}
+	}
+	f.logf("following %s", src)
+	rctx, cancel := context.WithCancel(ctx)
+	r := NewReplica(f.s, ReplicaOptions{
+		Source:       src,
+		Dial:         f.opts.Dial,
+		Retry:        f.opts.Retry,
+		StallTimeout: f.opts.Timeout,
+		ForceResync:  f.wasPrimary,
+	})
+	f.wasPrimary = false
+	done := make(chan struct{})
+	go func() { r.Run(rctx); close(done) }()
+	stop := func() {
+		cancel()
+		<-done
+		f.s.detachReplica(r)
+	}
+
+	t := time.NewTicker(f.opts.Timeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			stop()
+			return
+		case <-f.nudgec:
+		case <-t.C:
+		}
+		if r.SaidGoodbye() || time.Since(r.LastContact()) > f.opts.Timeout {
+			f.logf("primary %s lost (goodbye=%v): standing for promotion", src, r.SaidGoodbye())
+			stop()
+			f.becomeCandidate(ctx)
+			return
+		}
+		if st := r.FencedBy(); st != nil {
+			// Our source refuses to stream — it demoted, or a newer
+			// epoch exists. Rediscover from scratch.
+			f.logf("fenced by %s (epoch %d): rediscovering", st.NodeID, st.Epoch)
+			stop()
+			return
+		}
+	}
+}
+
+// discover probes the peer set for the strongest primary claimant at
+// our epoch or newer. It keeps trying for one Timeout (a rejoining node
+// racing the cluster's own startup), then gives up — the caller stands
+// for promotion.
+func (f *Failover) discover(ctx context.Context) (string, bool) {
+	deadline := time.Now().Add(f.opts.Timeout)
+	for ctx.Err() == nil {
+		var bestAddr string
+		var best *wire.NodeState
+		for _, addr := range f.opts.Peers {
+			st, err := f.probe(ctx, addr)
+			// A fenced primary still counts: following it is exactly
+			// what restores its lease.
+			if err != nil || st.Role != "primary" || st.Epoch < f.s.Epoch() {
+				continue
+			}
+			if best == nil || st.Stronger(best) {
+				best, bestAddr = st, addr
+			}
+		}
+		if best != nil {
+			return bestAddr, true
+		}
+		if time.Now().After(deadline) {
+			return "", false
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(f.opts.Timeout / 4):
+		}
+	}
+	return "", false
+}
+
+// becomeCandidate stands for promotion: stagger by rank, then defer —
+// boundedly — to any reachable peer that should win instead (newer
+// epoch, an existing primary, more history, or the node-ID tie-break at
+// equal history). Deferral is what preserves acknowledged writes: the
+// peer that acked the last confirmed record has the longer journal and
+// must be the one to promote. If nothing outranks us, promote.
+func (f *Failover) becomeCandidate(ctx context.Context) {
+	if f.opts.Rank > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Duration(f.opts.Rank) * f.opts.Timeout / 4):
+		}
+	}
+	const maxDefer = 3
+	for deferred := 0; ctx.Err() == nil; {
+		mine := f.s.nodeState()
+		defer_ := false
+		for _, addr := range f.opts.Peers {
+			st, err := f.probe(ctx, addr)
+			if err != nil {
+				continue
+			}
+			if st.Epoch > mine.Epoch || (st.Role == "primary" && st.Epoch >= mine.Epoch) {
+				// Someone already won this round (or a later one):
+				// follow a primary directly, rediscover otherwise.
+				f.source = ""
+				if st.Role == "primary" {
+					f.source = addr
+				}
+				f.logf("candidacy ceded to %s (epoch %d)", st.NodeID, st.Epoch)
+				return
+			}
+			if st.Head > mine.Head || (st.Head == mine.Head && st.NodeID > mine.NodeID) {
+				defer_ = true
+			}
+		}
+		if defer_ && deferred < maxDefer {
+			deferred++
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(f.opts.Timeout / 4):
+			}
+			continue
+		}
+		if err := f.s.Promote(); err != nil {
+			// The epoch bump could not be made durable; promotion
+			// without it would risk split-brain, so stay down and retry
+			// the whole follower cycle.
+			f.logf("promotion failed: %v", err)
+			return
+		}
+		f.logf("promoted: epoch %d at seq %d", f.s.Epoch(), f.s.journalSeq.Load())
+		return
+	}
+}
+
+// probe asks one peer for its NodeState over a fresh replication
+// connection (RepProbe → RepState) — the one-shot handshake every node
+// answers in every role.
+func (f *Failover) probe(ctx context.Context, addr string) (*wire.NodeState, error) {
+	f.probesSent.Inc()
+	dctx, cancel := context.WithTimeout(ctx, f.opts.Timeout/2)
+	defer cancel()
+	conn, err := f.opts.Dial(dctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(f.opts.Timeout / 2))
+	bw := bufio.NewWriter(conn)
+	if err := wire.WriteFrame(bw, wire.AppendRepProbe(nil, f.s.Epoch())); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	body, err := wire.ReadFrame(bufio.NewReader(conn), wire.MaxReplicationFrame, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.DecodeRepMessage(body)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != wire.RepState {
+		return nil, fmt.Errorf("serve: probe answered with frame type %d", m.Type)
+	}
+	return wire.DecodeNodeState(m.Payload)
+}
+
+// detachReplica clears the replica registration if r still holds it —
+// promotion and rediscovery both pass through here, and the CAS keeps a
+// stale teardown from clobbering a newer replica.
+func (s *Server) detachReplica(r *Replica) {
+	s.replica.CompareAndSwap(r, nil)
+}
+
+// Promote takes the primary role: durably bump the cluster epoch (an
+// OpEpoch journal record — the fencing token every subsequent frame and
+// response carries), then open for writes. The bump lands in the
+// journal before the role flips, so a crash mid-promotion recovers into
+// the new epoch with the node still read-only — safe on both sides.
+func (s *Server) Promote() error {
+	if r := s.replica.Load(); r != nil {
+		s.replica.CompareAndSwap(r, nil)
+	}
+	next := s.Epoch() + 1
+	if err := s.persist.bumpEpoch(next); err != nil {
+		return err
+	}
+	s.setEpoch(next)
+	s.promotions.Inc()
+	s.hub.resetLease()
+	s.role.Store(rolePrimary)
+	s.setFenced(false)
+	s.SetReadOnly(false)
+	return nil
+}

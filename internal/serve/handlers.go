@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"extmesh"
 	"extmesh/internal/inject"
@@ -24,9 +25,13 @@ const (
 	MaxRequestBytes = 8 << 20
 )
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code is a stable
+// machine-readable discriminator ("read_only", "fenced", "stale_epoch",
+// "replication_unconfirmed") so cluster clients can branch on the
+// failure class without parsing prose; plain errors omit it.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -38,6 +43,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // writeMutationError maps a persister failure to a status: a journal
@@ -137,18 +146,64 @@ type createRequest struct {
 	Faults []extmesh.Coord `json:"faults"`
 }
 
-// denyReadOnly rejects a mutation on a read-only node (a replica):
-// the replication stream is its only legal write path.
-func (s *Server) denyReadOnly(w http.ResponseWriter) bool {
+// denyWrite is the mutation gate, checked before any state changes.
+// Three refusals, in precedence order:
+//
+//   - stale_epoch (409): the client has observed a newer cluster epoch
+//     than this node knows — a promotion happened past us, so this node
+//     must not accept the write even if it still believes it is
+//     primary. The failover controller is nudged to re-probe.
+//   - read_only (403): the node is a replica; the replication stream
+//     is its only legal write path.
+//   - fenced (503 + Retry-After): the node is primary by role but has
+//     lost its lease (no replica confirms it); accepting writes here
+//     risks acknowledged-write loss if a promotion is under way.
+func (s *Server) denyWrite(w http.ResponseWriter, r *http.Request) bool {
+	if eh := r.Header.Get("X-Cluster-Epoch"); eh != "" {
+		if e, perr := strconv.ParseUint(eh, 10, 64); perr == nil && e > s.Epoch() {
+			s.fencedWrites.Inc()
+			s.nudgeFailover()
+			writeErrorCode(w, http.StatusConflict, "stale_epoch",
+				"node epoch %d is behind client-observed epoch %d: a newer primary exists", s.Epoch(), e)
+			return true
+		}
+	}
 	if s.readOnly.Load() {
-		writeError(w, http.StatusForbidden, "node is a read-only replica: route mutations to the primary")
+		writeErrorCode(w, http.StatusForbidden, "read_only",
+			"node is a read-only replica: route mutations to the primary")
+		return true
+	}
+	if s.fenced.Load() {
+		s.fencedWrites.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusServiceUnavailable, "fenced",
+			"primary lease lost: no replica is confirming writes; retry shortly")
 		return true
 	}
 	return false
 }
 
+// confirmWrite gates a mutation acknowledgment on replication in
+// failover-managed clusters: the response is held until one follower
+// acks the record, because a promotion only preserves writes the new
+// primary had applied. On timeout the client gets a 503 — the write
+// applied locally but MUST NOT be treated as cluster-durable (it may
+// vanish if a failover intervenes). Outside managed clusters this is a
+// no-op, preserving single-primary availability semantics.
+func (s *Server) confirmWrite(w http.ResponseWriter) bool {
+	if s.failover.Load() == nil || s.persist.store == nil {
+		return true
+	}
+	if err := s.hub.waitAcked(s.journalSeq.Load(), repAckWait); err != nil {
+		writeErrorCode(w, http.StatusServiceUnavailable, "replication_unconfirmed",
+			"write applied locally but not confirmed by any replica: %v", err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
-	if s.denyReadOnly(w) {
+	if s.denyWrite(w, r) {
 		return
 	}
 	var req createRequest
@@ -178,13 +233,16 @@ func (s *Server) handleCreateMesh(w http.ResponseWriter, r *http.Request) {
 		writeMutationError(w, err, http.StatusConflict)
 		return
 	}
+	if !s.confirmWrite(w) {
+		return
+	}
 	writeJSON(w, http.StatusCreated, infoOf(req.Name, d))
 }
 
 // handleUploadMesh is PUT /v1/mesh/{name}: create or replace from a
 // serialized network blob (Network.MarshalJSON format).
 func (s *Server) handleUploadMesh(w http.ResponseWriter, r *http.Request) {
-	if s.denyReadOnly(w) {
+	if s.denyWrite(w, r) {
 		return
 	}
 	name := r.PathValue("name")
@@ -205,6 +263,9 @@ func (s *Server) handleUploadMesh(w http.ResponseWriter, r *http.Request) {
 	replaced := s.meshes.Get(name) != nil
 	if err := s.persist.put(name, d); err != nil {
 		writeMutationError(w, err, http.StatusBadRequest)
+		return
+	}
+	if !s.confirmWrite(w) {
 		return
 	}
 	status := http.StatusCreated
@@ -242,7 +303,7 @@ func (s *Server) handleGetMesh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
-	if s.denyReadOnly(w) {
+	if s.denyWrite(w, r) {
 		return
 	}
 	name := r.PathValue("name")
@@ -253,6 +314,9 @@ func (s *Server) handleDeleteMesh(w http.ResponseWriter, r *http.Request) {
 	}
 	if !existed {
 		writeError(w, http.StatusNotFound, "mesh %q not registered", name)
+		return
+	}
+	if !s.confirmWrite(w) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -569,7 +633,7 @@ type faultsResponse struct {
 }
 
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	if s.denyReadOnly(w) {
+	if s.denyWrite(w, r) {
 		return
 	}
 	var req faultsRequest
@@ -626,6 +690,9 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if applied > 0 && !s.confirmWrite(w) {
+		return
+	}
 	writeJSON(w, http.StatusOK, faultsResponse{
 		Applied: applied,
 		Skipped: skipped,
@@ -643,6 +710,9 @@ type statsResponse struct {
 	ReachMisses  uint64           `json:"reach_misses"`
 	ReachHitRate float64          `json:"reach_hit_rate"`
 	Reliability  reliabilityStats `json:"reliability"`
+	Epoch        uint64           `json:"epoch"`
+	Promotions   uint64           `json:"promotions"`
+	FencedWrites uint64           `json:"fenced_writes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -652,7 +722,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, misses := n.ReachCacheStats()
 	resp := statsResponse{meshInfo: infoOf(name, d), ReachHits: hits, ReachMisses: misses,
-		Reliability: s.reliabilityStats()}
+		Reliability: s.reliabilityStats(),
+		Epoch:       s.Epoch(), Promotions: s.promotions.Value(), FencedWrites: s.fencedWrites.Value()}
 	if total := hits + misses; total > 0 {
 		resp.ReachHitRate = float64(hits) / float64(total)
 	}

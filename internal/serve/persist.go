@@ -79,6 +79,16 @@ func (p *persister) append(r journal.Record) error {
 	return nil
 }
 
+// bumpEpoch journals an epoch-bump record — the durable half of a
+// promotion. The record rides the ordinary append path, so connected
+// followers learn the new epoch through the stream in sequence order,
+// and crash recovery replays it like any other mutation.
+func (p *persister) bumpEpoch(epoch uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.append(journal.Record{Op: journal.OpEpoch, Epoch: epoch})
+}
+
 // putRecord builds the OpPut record for a mesh's current state.
 func putRecord(name string, d *extmesh.DynamicNetwork) (journal.Record, error) {
 	blob, err := d.MarshalJSON()
@@ -261,6 +271,7 @@ func (s *Server) Recover() error {
 		return err
 	}
 	s.journalSeq.Store(s.persist.store.Seq())
+	s.setEpoch(s.persist.store.Epoch())
 	s.SetReady(true)
 	return nil
 }
@@ -303,6 +314,11 @@ func (s *Server) applyRecord(r journal.Record) error {
 				d.Apply(nil, []extmesh.Coord{ev.Node})
 			}
 		}
+	case journal.OpEpoch:
+		// No mesh state changes; the record's whole job is raising the
+		// cluster epoch durably — on the promoting primary, on every
+		// follower that streams it, and on crash recovery.
+		s.setEpoch(r.Epoch)
 	default:
 		return fmt.Errorf("serve: journal record %d has unknown op %q", r.Seq, r.Op)
 	}

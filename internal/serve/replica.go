@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -25,7 +26,34 @@ type ReplicaOptions struct {
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
 	// Retry is the pause between reconnect attempts; 0 selects 200ms.
 	Retry time.Duration
+	// StallTimeout is how long the stream may be silent before the
+	// link is declared dead; 0 selects repStallTimeout. The failover
+	// controller sets it just under its promotion deadline so a dead
+	// primary is noticed before candidacy starts.
+	StallTimeout time.Duration
+	// ForceResync makes the first hello request a full snapshot
+	// (since = MaxUint64) regardless of the local watermark. A demoted
+	// ex-primary must set it: its journal may hold an un-acked suffix
+	// at sequence numbers the new primary reused under a newer epoch,
+	// a divergence resume-from-offset cannot detect at equal seq.
+	ForceResync bool
 }
+
+// errFenced marks a stream the primary refused with RepFence: this node
+// (or the node it dialed) is not entitled to the stream under the
+// current epoch. The fencing peer's state is retained for the failover
+// controller to chase.
+var errFenced = errors.New("serve: replication stream fenced")
+
+// errGoodbye marks a graceful primary departure: the stream ended with
+// RepGoodbye, so failover should begin immediately instead of waiting
+// out the stall timeout.
+var errGoodbye = errors.New("serve: primary said goodbye")
+
+// errStaleFrame marks a frame carrying an epoch older than ours — a
+// zombie ex-primary still streaming after a promotion it hasn't heard
+// about. The frame is rejected, never applied.
+var errStaleFrame = errors.New("serve: replication frame from stale epoch")
 
 // Replica follows a primary's replication stream: it applies every
 // record through the same deterministic applyRecord path crash
@@ -42,11 +70,22 @@ type Replica struct {
 	connected bool
 	lastErr   string
 	lag       atomic.Uint64
+	// lastContact is the wall-clock nanos of the last decoded frame —
+	// the failover controller's liveness input.
+	lastContact atomic.Int64
+	// goodbye latches when the primary announced a graceful drain.
+	goodbye atomic.Bool
+	// fencedBy holds the state of the peer that last fenced us.
+	fencedBy atomic.Pointer[wire.NodeState]
+	// forceResync mirrors opts.ForceResync but clears once a snapshot
+	// installs: the divergent suffix is gone after the first rewind.
+	forceResync atomic.Bool
 
 	lagGauge    *metrics.Gauge
 	applied     *metrics.Counter
 	resyncs     *metrics.Counter
 	disconnects *metrics.Counter
+	staleFrames *metrics.Counter
 }
 
 // NewReplica attaches a replica to s and flips it read-only. Call Run
@@ -54,6 +93,9 @@ type Replica struct {
 func NewReplica(s *Server, opts ReplicaOptions) *Replica {
 	if opts.Retry <= 0 {
 		opts.Retry = 200 * time.Millisecond
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = repStallTimeout
 	}
 	m := s.metrics
 	r := &Replica{
@@ -63,11 +105,26 @@ func NewReplica(s *Server, opts ReplicaOptions) *Replica {
 		applied:     m.Counter("replication_records_applied_total"),
 		resyncs:     m.Counter("replication_resyncs_total"),
 		disconnects: m.Counter("replication_disconnects_total"),
+		staleFrames: m.Counter("replication_stale_frames_total"),
 	}
+	r.forceResync.Store(opts.ForceResync)
+	r.lastContact.Store(time.Now().UnixNano())
 	s.replica.Store(r)
 	s.SetReadOnly(true)
 	return r
 }
+
+// LastContact reports when the stream last produced a decodable frame.
+func (r *Replica) LastContact() time.Time {
+	return time.Unix(0, r.lastContact.Load())
+}
+
+// SaidGoodbye reports whether the primary announced a graceful drain.
+func (r *Replica) SaidGoodbye() bool { return r.goodbye.Load() }
+
+// FencedBy returns the node state of the peer that last refused this
+// replica's stream, or nil.
+func (r *Replica) FencedBy() *wire.NodeState { return r.fencedBy.Load() }
 
 func (r *Replica) setConnected(ok bool) {
 	r.mu.Lock()
@@ -110,9 +167,10 @@ func (r *Replica) Run(ctx context.Context) error {
 
 // follow speaks one connection's worth of the stream: handshake with
 // the applied watermark, then apply frames until the stream errors.
-// Any protocol violation — CRC mismatch, sequence gap, unknown frame —
-// returns an error, dropping the connection; the reconnect handshake
-// is the single recovery path for all of them.
+// Any protocol violation — CRC mismatch, sequence gap, unknown frame,
+// a frame from a stale epoch — returns an error, dropping the
+// connection; the reconnect handshake is the single recovery path for
+// all of them.
 func (r *Replica) follow(ctx context.Context) error {
 	dial := r.opts.Dial
 	if dial == nil {
@@ -138,8 +196,15 @@ func (r *Replica) follow(ctx context.Context) error {
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
+	since := r.s.journalSeq.Load()
+	if r.forceResync.Load() {
+		// A since beyond any real head reads as "follower ahead of
+		// primary" on the hub, which answers with an authoritative
+		// snapshot — exactly the rewind a demoted ex-primary needs.
+		since = ^uint64(0)
+	}
 	conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
-	if err := wire.WriteFrame(bw, wire.AppendRepHello(nil, r.s.journalSeq.Load())); err != nil {
+	if err := wire.WriteFrame(bw, wire.AppendRepHello(nil, since, r.s.Epoch())); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -150,7 +215,9 @@ func (r *Replica) follow(ctx context.Context) error {
 
 	ack := func() error {
 		conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
-		body := wire.AppendRepMessage(nil, &wire.RepMessage{Type: wire.RepAck, Seq: r.s.journalSeq.Load()})
+		body := wire.AppendRepMessage(nil, &wire.RepMessage{
+			Type: wire.RepAck, Seq: r.s.journalSeq.Load(), Epoch: r.s.Epoch(),
+		})
 		if err := wire.WriteFrame(bw, body); err != nil {
 			return err
 		}
@@ -159,7 +226,7 @@ func (r *Replica) follow(ctx context.Context) error {
 
 	var buf []byte
 	for {
-		conn.SetReadDeadline(time.Now().Add(repStallTimeout))
+		conn.SetReadDeadline(time.Now().Add(r.opts.StallTimeout))
 		body, err := wire.ReadFrame(br, wire.MaxReplicationFrame, buf)
 		if err != nil {
 			return err
@@ -168,11 +235,19 @@ func (r *Replica) follow(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		r.lastContact.Store(time.Now().UnixNano())
+		if m.Epoch < r.s.Epoch() {
+			// A zombie ex-primary, still streaming under an epoch a
+			// promotion has superseded. Nothing it sends may be applied.
+			r.staleFrames.Inc()
+			return fmt.Errorf("%w: frame epoch %d, local epoch %d", errStaleFrame, m.Epoch, r.s.Epoch())
+		}
 		switch m.Type {
 		case wire.RepSnapshot:
-			if err := r.installSnapshot(m.Payload, m.Seq); err != nil {
+			if err := r.installSnapshot(m.Payload, m.Seq, m.Epoch); err != nil {
 				return err
 			}
+			r.forceResync.Store(false)
 			r.resyncs.Inc()
 			if err := ack(); err != nil {
 				return err
@@ -205,6 +280,15 @@ func (r *Replica) follow(ctx context.Context) error {
 			if err := ack(); err != nil {
 				return err
 			}
+		case wire.RepFence:
+			if st, err := wire.DecodeNodeState(m.Payload); err == nil {
+				r.fencedBy.Store(st)
+				r.s.setEpoch(st.Epoch)
+			}
+			return errFenced
+		case wire.RepGoodbye:
+			r.goodbye.Store(true)
+			return errGoodbye
 		default:
 			return fmt.Errorf("serve: unexpected replication frame type %d", m.Type)
 		}
@@ -250,9 +334,12 @@ func (r *Replica) applyReplicated(rec journal.Record) error {
 
 // installSnapshot replaces the registry and local journal with the
 // primary's full state at seq — the resync path when incremental
-// resume is impossible (compaction passed the watermark, or this
-// replica is ahead of a rolled-back primary).
-func (r *Replica) installSnapshot(payload []byte, seq uint64) error {
+// resume is impossible (compaction passed the watermark, this replica
+// is ahead of a rolled-back primary, or an epoch mismatch made the
+// local tail untrustworthy). Installing also truncates any divergent
+// local journal suffix: the store rotates to a fresh generation at
+// exactly (seq, epoch).
+func (r *Replica) installSnapshot(payload []byte, seq, epoch uint64) error {
 	var snap repSnapshotPayload
 	if err := json.Unmarshal(payload, &snap); err != nil {
 		return fmt.Errorf("serve: decode replication snapshot: %w", err)
@@ -275,10 +362,14 @@ func (r *Replica) installSnapshot(payload []byte, seq uint64) error {
 		}
 	}
 	if p.store != nil {
-		if err := p.store.InstallSnapshot(snap.Meshes, seq); err != nil {
+		if err := p.store.InstallSnapshot(snap.Meshes, seq, epoch); err != nil {
 			return err
 		}
 	}
+	r.s.setEpoch(epoch)
+	// note() stores the watermark unconditionally, so an authoritative
+	// rewind (seq below the local head: divergent suffix truncated)
+	// moves it down too.
 	p.note(seq)
 	return nil
 }

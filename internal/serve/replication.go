@@ -21,11 +21,15 @@ import (
 // Replication timing. Heartbeats flow primary → replica during idle
 // periods; a follower that cannot absorb a write within repWriteTimeout
 // is cut off (it reconnects and resumes), and a replica that sees
-// nothing for repStallTimeout treats the link as dead.
+// nothing for repStallTimeout treats the link as dead. repAckWait
+// bounds how long a mutation response waits for one follower to
+// acknowledge the record before answering 503 — the window in which a
+// write is applied locally but not yet confirmed replicated.
 const (
 	repHeartbeatEvery = 500 * time.Millisecond
 	repWriteTimeout   = 2 * time.Second
 	repStallTimeout   = 5 * time.Second
+	repAckWait        = 2 * time.Second
 )
 
 // repSub is one follower's live feed: journaled records are pushed into
@@ -50,12 +54,21 @@ type repHub struct {
 	mu        sync.Mutex
 	serving   bool
 	followers map[*repFollower]struct{}
+	// maxAcked is the highest sequence number any follower has
+	// acknowledged; ackWaiters are mutation responses blocked in
+	// waitAcked until it passes their record.
+	maxAcked   uint64
+	ackWaiters []*ackWaiter
+	lastAck    time.Time
 
 	followerGauge *metrics.Gauge
 	recordsSent   *metrics.Counter
 	snapshotsSent *metrics.Counter
 	connects      *metrics.Counter
 	drops         *metrics.Counter
+	fencesSent    *metrics.Counter
+	goodbyesSent  *metrics.Counter
+	probesServed  *metrics.Counter
 }
 
 // repFollower is one connected replica, as the primary sees it.
@@ -65,6 +78,18 @@ type repFollower struct {
 	since uint64
 	acked atomic.Uint64
 }
+
+// ackWaiter is one mutation response waiting for follower confirmation.
+type ackWaiter struct {
+	seq  uint64
+	ch   chan error
+	done bool
+}
+
+// errUnconfirmed is waitAcked's verdict when the record could not be
+// confirmed on any follower: the write applied locally but the client
+// must not treat it as cluster-durable.
+var errUnconfirmed = errors.New("serve: write not confirmed by any replica")
 
 func newRepHub(s *Server) *repHub {
 	m := s.metrics
@@ -76,12 +101,21 @@ func newRepHub(s *Server) *repHub {
 		snapshotsSent: m.Counter("replication_snapshots_sent_total"),
 		connects:      m.Counter("replication_connects_total"),
 		drops:         m.Counter("replication_drops_total"),
+		fencesSent:    m.Counter("replication_fences_sent_total"),
+		goodbyesSent:  m.Counter("replication_goodbyes_sent_total"),
+		probesServed:  m.Counter("replication_probes_served_total"),
 	}
 }
 
 // ServeReplication runs the replication listener until ctx is
-// canceled, then closes every follower connection. Requires a journal:
-// resume-from-offset is meaningless without one.
+// canceled, then closes every follower connection — after a best-effort
+// RepGoodbye to each, so followers start their failover deadline
+// immediately instead of waiting out a silent-link timeout. Requires a
+// journal: resume-from-offset is meaningless without one.
+//
+// In a failover-managed cluster every node runs ServeReplication for
+// its whole life: probes are answered in any role, but hellos are only
+// served a stream while the node is primary (others get RepFence).
 func (s *Server) ServeReplication(ctx context.Context, l net.Listener) error {
 	if s.persist.store == nil {
 		return fmt.Errorf("serve: replication requires a journal (-data-dir)")
@@ -117,6 +151,16 @@ func (s *Server) ServeReplication(ctx context.Context, l net.Listener) error {
 	case <-ctx.Done():
 		l.Close()
 		<-errc
+		// Bounded grace before severing connections: the follower loops
+		// are delivering their goodbye frames right now, and a goodbye
+		// that arrives is the difference between an immediate failover
+		// and a full stall-deadline wait on the other side.
+		drained := make(chan struct{})
+		go func() { wg.Wait(); close(drained) }()
+		select {
+		case <-drained:
+		case <-time.After(time.Second):
+		}
 	}
 	h.closeFollowers()
 	wg.Wait()
@@ -131,10 +175,120 @@ func (h *repHub) closeFollowers() {
 	}
 }
 
+// noteAck records a follower acknowledgment and wakes every waiter
+// whose record it confirms.
+func (h *repHub) noteAck(seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lastAck = time.Now()
+	if seq > h.maxAcked {
+		h.maxAcked = seq
+	}
+	kept := h.ackWaiters[:0]
+	for _, w := range h.ackWaiters {
+		if w.seq <= h.maxAcked {
+			w.done = true
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	h.ackWaiters = kept
+}
+
+// followerGone releases waiters when the follower set empties: in a
+// failover-managed cluster they fail (the write is unconfirmed and a
+// promotion could discard it); outside one they proceed, preserving
+// the single-primary availability semantics replication had before
+// failover existed.
+func (h *repHub) followerGone() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.followers) > 0 {
+		return
+	}
+	var verdict error
+	if h.s.failover.Load() != nil {
+		verdict = errUnconfirmed
+	}
+	for _, w := range h.ackWaiters {
+		w.done = true
+		w.ch <- verdict
+	}
+	h.ackWaiters = h.ackWaiters[:0]
+}
+
+// waitAcked blocks until any follower acknowledges seq, the follower
+// set empties, or the timeout passes. With no followers connected it
+// returns immediately: nil outside failover-managed clusters (the
+// pre-failover contract), errUnconfirmed inside them (the lease rule:
+// a primary that nobody replicates must not acknowledge writes).
+func (h *repHub) waitAcked(seq uint64, timeout time.Duration) error {
+	h.mu.Lock()
+	if h.maxAcked >= seq {
+		h.mu.Unlock()
+		return nil
+	}
+	if len(h.followers) == 0 {
+		managed := h.s.failover.Load() != nil
+		h.mu.Unlock()
+		if managed {
+			return errUnconfirmed
+		}
+		return nil
+	}
+	w := &ackWaiter{seq: seq, ch: make(chan error, 1)}
+	h.ackWaiters = append(h.ackWaiters, w)
+	h.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-t.C:
+		h.mu.Lock()
+		if !w.done {
+			for i, x := range h.ackWaiters {
+				if x == w {
+					h.ackWaiters = append(h.ackWaiters[:i], h.ackWaiters[i+1:]...)
+					break
+				}
+			}
+			h.mu.Unlock()
+			return errUnconfirmed
+		}
+		h.mu.Unlock()
+		return <-w.ch
+	}
+}
+
+// lastAckAge reports the follower count and how long ago the last ack
+// arrived — the failover controller's lease inputs.
+func (h *repHub) lastAckAge() (followers int, age time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastAck.IsZero() {
+		return len(h.followers), time.Duration(1<<62 - 1)
+	}
+	return len(h.followers), time.Since(h.lastAck)
+}
+
+// resetLease stamps the ack clock — called at promotion so the fresh
+// primary gets a full lease window to attract followers.
+func (h *repHub) resetLease() {
+	h.mu.Lock()
+	h.lastAck = time.Now()
+	h.mu.Unlock()
+}
+
 // serveFollower speaks one replica connection: handshake, catch-up
 // (incremental tail or full snapshot), then the live feed interleaved
 // with heartbeats. A reader goroutine consumes RepAcks for lag
-// accounting and closes the conn on any stream error.
+// accounting and closes the conn on any stream error. One-shot RepProbe
+// connections are answered with RepState in any role; hellos reaching a
+// non-primary (or carrying a newer epoch than ours — we are the stale
+// one) are answered with RepFence.
 func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	h.connects.Inc()
@@ -147,16 +301,62 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 		return
 	}
 	hello, err := wire.DecodeRepMessage(body)
-	if err != nil || hello.Type != wire.RepHello {
+	if err != nil {
 		return
 	}
+	send := func(m *wire.RepMessage) bool {
+		m.Epoch = h.s.Epoch()
+		conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
+		if wire.WriteFrame(bw, wire.AppendRepMessage(nil, m)) != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	stateFrame := func(typ uint8) *wire.RepMessage {
+		blob, _ := json.Marshal(h.s.nodeState())
+		return &wire.RepMessage{Type: typ, Seq: h.s.journalSeq.Load(), Payload: blob}
+	}
+
+	switch hello.Type {
+	case wire.RepProbe:
+		h.probesServed.Inc()
+		if hello.Epoch > h.s.Epoch() {
+			h.s.nudgeFailover()
+		}
+		send(stateFrame(wire.RepState))
+		return
+	case wire.RepHello:
+	default:
+		return
+	}
+
+	if hello.Epoch > h.s.Epoch() {
+		// The dialer has seen a newer epoch than ours: we are the stale
+		// node here. Fence the stream and let the failover controller
+		// re-evaluate who is primary.
+		h.fencesSent.Inc()
+		h.s.nudgeFailover()
+		send(stateFrame(wire.RepFence))
+		return
+	}
+	if !h.s.acceptsFollowers() {
+		h.fencesSent.Inc()
+		send(stateFrame(wire.RepFence))
+		return
+	}
+
 	f := &repFollower{conn: conn, addr: conn.RemoteAddr().String(), since: hello.Seq}
 	f.acked.Store(hello.Seq)
 
 	// Catch-up state and subscription are computed under one hold of
 	// the persister lock: nothing can be appended between the two, so
-	// the tail plus the feed is gap-free and duplicate-free.
-	snap, recs, sub, err := h.s.persist.subscribe(hello.Seq)
+	// the tail plus the feed is gap-free and duplicate-free. An epoch
+	// mismatch in the hello forces the snapshot path: a follower that
+	// lived through a different epoch may hold a divergent un-acked
+	// suffix at overlapping sequence numbers, which only an
+	// authoritative snapshot install can truncate.
+	forceSnap := hello.Epoch != h.s.Epoch()
+	snap, recs, sub, err := h.s.persist.subscribe(hello.Seq, forceSnap)
 	if err != nil {
 		return
 	}
@@ -171,12 +371,17 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 		delete(h.followers, f)
 		h.followerGauge.Set(int64(len(h.followers)))
 		h.mu.Unlock()
+		h.followerGone()
 		h.drops.Inc()
 	}()
 
 	// Ack reader: updates the follower's applied watermark and closes
-	// the conn on error, which unblocks the writer below.
+	// the conn on error, which unblocks the writer below. An ack from a
+	// newer epoch means a promotion happened past us: drop the conn and
+	// nudge the controller to re-probe.
+	readerDone := make(chan struct{})
 	go func() {
+		defer close(readerDone)
 		buf := []byte(nil)
 		for {
 			conn.SetReadDeadline(time.Now().Add(repStallTimeout))
@@ -191,17 +396,24 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 				conn.Close()
 				return
 			}
+			if m.Epoch > h.s.Epoch() {
+				h.s.nudgeFailover()
+				conn.Close()
+				return
+			}
 			f.acked.Store(m.Seq)
+			h.noteAck(m.Seq)
 		}
 	}()
 
-	send := func(m *wire.RepMessage) bool {
+	push := func(m *wire.RepMessage) bool {
+		m.Epoch = h.s.Epoch()
 		conn.SetWriteDeadline(time.Now().Add(repWriteTimeout))
 		return wire.WriteFrame(bw, wire.AppendRepMessage(nil, m)) == nil
 	}
 	if snap != nil {
 		h.snapshotsSent.Inc()
-		if !send(&wire.RepMessage{Type: wire.RepSnapshot, Seq: snap.seq, Payload: snap.blob}) {
+		if !push(&wire.RepMessage{Type: wire.RepSnapshot, Seq: snap.seq, Payload: snap.blob}) {
 			return
 		}
 	}
@@ -210,7 +422,7 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+		if !push(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
 			return
 		}
 		h.recordsSent.Inc()
@@ -219,11 +431,24 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 		return
 	}
 
-	hb := time.NewTicker(repHeartbeatEvery)
+	hb := time.NewTicker(h.s.opts.RepHeartbeat)
 	defer hb.Stop()
 	for {
 		select {
 		case <-ctx.Done():
+			// Graceful drain: tell the follower we are leaving so it
+			// starts failover immediately rather than timing the link
+			// out. Then wait (briefly) for the follower to hang up:
+			// closing our end the instant the frame is flushed can turn
+			// an unread ack in our receive buffer into a connection
+			// reset that destroys the goodbye before it is read.
+			h.goodbyesSent.Inc()
+			if send(&wire.RepMessage{Type: wire.RepGoodbye, Seq: h.s.journalSeq.Load()}) {
+				select {
+				case <-readerDone:
+				case <-time.After(500 * time.Millisecond):
+				}
+			}
 			return
 		case r, ok := <-sub.ch:
 			if !ok {
@@ -233,7 +458,7 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+			if !push(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
 				return
 			}
 			h.recordsSent.Inc()
@@ -248,7 +473,7 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 				if err != nil {
 					return
 				}
-				if !send(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
+				if !push(&wire.RepMessage{Type: wire.RepRecord, Seq: r.Seq, Payload: blob}) {
 					return
 				}
 				h.recordsSent.Inc()
@@ -257,13 +482,33 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 				return
 			}
 		case <-hb.C:
-			if !send(&wire.RepMessage{Type: wire.RepHeartbeat, Seq: h.s.journalSeq.Load()}) {
+			if !push(&wire.RepMessage{Type: wire.RepHeartbeat, Seq: h.s.journalSeq.Load()}) {
 				return
 			}
 			if bw.Flush() != nil {
 				return
 			}
 		}
+	}
+}
+
+// nodeState is this node's self-description for probes, fences and
+// client rediscovery.
+func (s *Server) nodeState() *wire.NodeState {
+	return &wire.NodeState{
+		NodeID: s.opts.NodeID,
+		Role:   s.roleString(),
+		Epoch:  s.Epoch(),
+		Head:   s.journalSeq.Load(),
+		Fenced: s.fenced.Load(),
+	}
+}
+
+// nudgeFailover pokes the failover controller (if any) to re-probe the
+// peer set — called when evidence of a newer epoch arrives.
+func (s *Server) nudgeFailover() {
+	if f := s.failover.Load(); f != nil {
+		f.nudge()
 	}
 }
 
@@ -276,14 +521,15 @@ type repCatchup struct {
 // subscribe registers a follower resuming after `since` and computes
 // its catch-up under one hold of the mutation lock: either the
 // incremental record tail, or — when compaction folded the requested
-// offset away, or the follower is ahead of us (a rewind) — a full
-// snapshot at the current head. Gap-freedom follows from the lock:
-// every record appended after this call lands in sub.ch.
-func (p *persister) subscribe(since uint64) (snap *repCatchup, recs []journal.Record, sub *repSub, err error) {
+// offset away, the follower is ahead of us (a rewind), or forceSnap is
+// set (epoch mismatch: the follower may hold a divergent suffix) — a
+// full snapshot at the current head. Gap-freedom follows from the
+// lock: every record appended after this call lands in sub.ch.
+func (p *persister) subscribe(since uint64, forceSnap bool) (snap *repCatchup, recs []journal.Record, sub *repSub, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	head := p.store.Seq()
-	needSnap := since > head // follower ahead of us: authoritative rewind
+	needSnap := forceSnap || since > head // follower ahead of us: authoritative rewind
 	if !needSnap {
 		var ok bool
 		recs, ok, err = p.store.ReadSince(since)
@@ -327,31 +573,41 @@ type FollowerStatus struct {
 	Lag      uint64 `json:"lag"`
 }
 
-// ReplicationStatus is the GET /replication body.
+// ReplicationStatus is the GET /replication body. NodeID and Epoch are
+// what cluster clients use for primary rediscovery after a failover.
 type ReplicationStatus struct {
-	Role      string           `json:"role"` // "primary", "replica" or "single"
-	Seq       uint64           `json:"seq"`
-	Followers []FollowerStatus `json:"followers,omitempty"`
-	Source    string           `json:"source,omitempty"`
-	Connected bool             `json:"connected,omitempty"`
-	Lag       uint64           `json:"lag,omitempty"`
-	LastError string           `json:"last_error,omitempty"`
+	Role         string           `json:"role"` // "primary", "replica" or "single"
+	NodeID       string           `json:"node_id,omitempty"`
+	Epoch        uint64           `json:"epoch"`
+	Seq          uint64           `json:"seq"`
+	Fenced       bool             `json:"fenced,omitempty"`
+	Promotions   uint64           `json:"promotions"`
+	FencedWrites uint64           `json:"fenced_writes"`
+	Followers    []FollowerStatus `json:"followers,omitempty"`
+	Source       string           `json:"source,omitempty"`
+	Connected    bool             `json:"connected,omitempty"`
+	Lag          uint64           `json:"lag,omitempty"`
+	LastError    string           `json:"last_error,omitempty"`
 }
 
 // ReplicationStatus reports the node's replication role and progress.
 func (s *Server) ReplicationStatus() ReplicationStatus {
-	st := ReplicationStatus{Role: "single", Seq: s.journalSeq.Load()}
-	if r := s.replica.Load(); r != nil {
-		st.Role = "replica"
+	st := ReplicationStatus{
+		Role:         s.roleString(),
+		NodeID:       s.opts.NodeID,
+		Epoch:        s.Epoch(),
+		Seq:          s.journalSeq.Load(),
+		Fenced:       s.fenced.Load(),
+		Promotions:   s.promotions.Value(),
+		FencedWrites: s.fencedWrites.Value(),
+	}
+	if r := s.replica.Load(); r != nil && st.Role == "replica" {
 		st.Source, st.Connected, st.Lag, st.LastError = r.status()
 		return st
 	}
 	h := s.hub
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.serving {
-		st.Role = "primary"
-	}
 	for f := range h.followers {
 		acked := f.acked.Load()
 		var lag uint64

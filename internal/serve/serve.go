@@ -85,6 +85,13 @@ type Options struct {
 	// cost units of reliability.Config.Cost (trials times per-trial
 	// work). Costlier requests are rejected with 413; 0 selects 1<<28.
 	ReliabilityMaxCost int64
+	// NodeID names this node in cluster status and failover tie-breaks.
+	// Empty is fine for standalone servers; failover-managed nodes need
+	// distinct IDs (the daemon defaults it to the replication address).
+	NodeID string
+	// RepHeartbeat is the primary→replica heartbeat interval; 0 selects
+	// 500ms. Failover tests shrink it so sub-second deadlines work.
+	RepHeartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -106,8 +113,21 @@ func (o Options) withDefaults() Options {
 	if o.ReliabilityMaxCost <= 0 {
 		o.ReliabilityMaxCost = 1 << 28
 	}
+	if o.RepHeartbeat <= 0 {
+		o.RepHeartbeat = repHeartbeatEvery
+	}
 	return o
 }
+
+// Cluster roles. roleAuto preserves the pre-failover behavior: the
+// role is derived from whether the node streams (primary) or follows
+// (replica). The failover controller pins an explicit role and flips
+// it on promotion/demotion.
+const (
+	roleAuto int32 = iota
+	rolePrimary
+	roleFollower
+)
 
 // Server is the meshserved request handler: the mesh registry, the
 // admission gate and the endpoint mux.
@@ -128,9 +148,28 @@ type Server struct {
 	// readOnly rejects registry mutations with 403 — the replica mode,
 	// where the only legal write path is the replication stream.
 	readOnly atomic.Bool
+	// epoch is the cluster epoch: monotonic, bumped by serve.Promote,
+	// persisted as an OpEpoch journal record, stamped on every
+	// replication frame and /v1 response (X-Cluster-Epoch). Writes and
+	// frames from an older epoch are fenced.
+	epoch atomic.Uint64
+	// role is the failover-pinned cluster role (roleAuto outside
+	// failover-managed clusters).
+	role atomic.Int32
+	// fenced rejects writes on a primary that has lost its follower
+	// lease: with no follower able to acknowledge replication, an
+	// acknowledged write could be silently discarded by a later
+	// promotion, so the node refuses to acknowledge at all.
+	fenced atomic.Bool
 
-	hub     *repHub
-	replica atomic.Pointer[Replica]
+	hub      *repHub
+	replica  atomic.Pointer[Replica]
+	failover atomic.Pointer[Failover]
+
+	epochGauge   *metrics.Gauge
+	fencedGauge  *metrics.Gauge
+	promotions   *metrics.Counter
+	fencedWrites *metrics.Counter
 }
 
 // New assembles a server.
@@ -143,6 +182,10 @@ func New(opts Options) *Server {
 		admit:   newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait, opts.Metrics),
 		sweeps:  newSweepGate(opts.MaxSweeps, opts.Metrics),
 	}
+	s.epochGauge = opts.Metrics.Gauge("cluster_epoch")
+	s.fencedGauge = opts.Metrics.Gauge("cluster_fenced")
+	s.promotions = opts.Metrics.Counter("cluster_promotions_total")
+	s.fencedWrites = opts.Metrics.Counter("cluster_fenced_writes_total")
 	s.persist = &persister{
 		store:   opts.Journal,
 		reg:     s.meshes,
@@ -229,6 +272,72 @@ func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 // value /v1 responses carry as X-Journal-Seq.
 func (s *Server) JournalSeq() uint64 { return s.journalSeq.Load() }
 
+// Epoch returns the current cluster epoch — the value /v1 responses
+// carry as X-Cluster-Epoch and every replication frame is stamped with.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// setEpoch raises the cluster epoch; it never regresses.
+func (s *Server) setEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			s.epochGauge.Set(int64(e))
+			return
+		}
+	}
+}
+
+// NodeID returns this node's cluster identity.
+func (s *Server) NodeID() string { return s.opts.NodeID }
+
+// Fenced reports whether writes are currently lease-fenced.
+func (s *Server) Fenced() bool { return s.fenced.Load() }
+
+func (s *Server) setFenced(f bool) {
+	if s.fenced.Swap(f) != f {
+		if f {
+			s.fencedGauge.Set(1)
+		} else {
+			s.fencedGauge.Set(0)
+		}
+	}
+}
+
+// roleString names the node's current cluster role: the explicit
+// failover-pinned role when one is set, otherwise derived from whether
+// the node follows a primary or streams to followers.
+func (s *Server) roleString() string {
+	switch s.role.Load() {
+	case rolePrimary:
+		return "primary"
+	case roleFollower:
+		return "replica"
+	}
+	if s.replica.Load() != nil {
+		return "replica"
+	}
+	s.hub.mu.Lock()
+	serving := s.hub.serving
+	s.hub.mu.Unlock()
+	if serving {
+		return "primary"
+	}
+	return "single"
+}
+
+// acceptsFollowers reports whether this node may stream records to
+// followers: in a failover-managed cluster only the pinned primary
+// may; outside one, running ServeReplication is the primary claim.
+func (s *Server) acceptsFollowers() bool {
+	if s.failover.Load() != nil {
+		return s.role.Load() == rolePrimary
+	}
+	return true
+}
+
 // seqWriter stamps X-Journal-Seq at write time (not at dispatch time),
 // so a mutation's response carries the sequence number of the mutation
 // it just journaled — the watermark cluster clients bound staleness by.
@@ -242,6 +351,7 @@ func (w *seqWriter) stamp() {
 	if !w.stamped {
 		w.stamped = true
 		w.Header().Set("X-Journal-Seq", strconv.FormatUint(w.s.journalSeq.Load(), 10))
+		w.Header().Set("X-Cluster-Epoch", strconv.FormatUint(w.s.epoch.Load(), 10))
 	}
 }
 

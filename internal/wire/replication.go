@@ -6,50 +6,70 @@
 //
 //	u8  type
 //	u64 seq
-//	u32 crc32-IEEE of type+seq+payload
+//	u64 epoch
+//	u32 crc32-IEEE of type+seq+epoch+payload
 //	u32 payload length
 //	... payload
 //
 // The conversation is: replica sends RepHello carrying the last
 // sequence number it applied (seq field; payload is the protocol
-// magic). The primary answers either an incremental stream of
-// RepRecord frames — one journal record each, seq strictly ascending —
-// or, when the requested offset predates its snapshot horizon (or lies
-// beyond its head: a rewind), a single RepSnapshot carrying the full
-// registry state at seq, followed by RepRecords from there. RepHeartbeat
-// frames (empty payload, seq = primary head) flow during idle periods so
-// followers can distinguish a quiet primary from a dead link; replicas
-// answer with RepAck (seq = applied watermark) so the primary can
-// export per-replica lag.
+// magic) and the epoch it last observed. The primary answers either an
+// incremental stream of RepRecord frames — one journal record each,
+// seq strictly ascending — or, when the requested offset predates its
+// snapshot horizon (or lies beyond its head: a rewind), or when the
+// hello's epoch differs from its own (the follower may hold a
+// divergent suffix written under a dead epoch), a single RepSnapshot
+// carrying the full registry state at seq, followed by RepRecords from
+// there. RepHeartbeat frames (empty payload, seq = primary head) flow
+// during idle periods so followers can distinguish a quiet primary
+// from a dead link; replicas answer with RepAck (seq = applied
+// watermark) so the primary can export per-replica lag.
 //
-// Each frame carries a CRC over its type, sequence number and payload
-// on top of the frame length prefix: a torn or bit-flipped frame —
-// including a flipped seq, which unchecked could silently rewind or
-// wedge a follower's watermark — is detected at the message layer, and
-// the follower's only recovery is to drop the connection and
-// re-handshake from its applied watermark — exactly the reconnect path
-// it already needs for network faults, so corruption never makes it
-// into Apply.
+// The epoch field fences failover: every frame carries the sender's
+// cluster epoch, a monotonic counter bumped on each promotion. A
+// receiver that knows a newer epoch rejects the frame — so a zombie
+// ex-primary's stream dies at the first frame instead of rewinding a
+// follower — and a listener that is not the primary answers a hello
+// with RepFence (payload: its NodeState) instead of a stream.
+// RepProbe/RepState are a one-shot status exchange used by the
+// failover controller to discover who is primary at which epoch;
+// RepGoodbye is the primary's parting frame on graceful shutdown,
+// telling followers to start their failover deadline immediately.
+//
+// Each frame carries a CRC over its type, sequence number, epoch and
+// payload on top of the frame length prefix: a torn or bit-flipped
+// frame — including a flipped seq, which unchecked could silently
+// rewind or wedge a follower's watermark, or a flipped epoch, which
+// could spuriously fence a healthy stream — is detected at the message
+// layer, and the follower's only recovery is to drop the connection
+// and re-handshake from its applied watermark — exactly the reconnect
+// path it already needs for network faults, so corruption never makes
+// it into Apply.
 package wire
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 )
 
 // Replication message types.
 const (
-	RepHello     = 1 // replica → primary: seq = resume-after offset, payload = magic
+	RepHello     = 1 // replica → primary: seq = resume-after offset, epoch = last observed, payload = magic
 	RepSnapshot  = 2 // primary → replica: seq = snapshot horizon, payload = state JSON
 	RepRecord    = 3 // primary → replica: seq = record seq, payload = journal record JSON
 	RepHeartbeat = 4 // primary → replica: seq = primary head, empty payload
-	RepAck       = 5 // replica → primary: seq = applied watermark, empty payload
+	RepAck       = 5 // replica → primary: seq = applied watermark, epoch = replica epoch, empty payload
+	RepFence     = 6 // listener → dialer: you may not stream from me; payload = NodeState JSON
+	RepGoodbye   = 7 // primary → replica: graceful shutdown, start failover deadline now
+	RepProbe     = 8 // dialer → listener: one-shot status request, payload = magic
+	RepState     = 9 // listener → dialer: seq = head, epoch = epoch, payload = NodeState JSON
 )
 
-// RepMagic is the RepHello payload ("MRP1" little-endian): a version
-// gate so a query client dialing the replication port (or vice versa)
-// fails the handshake instead of desynchronizing.
-const RepMagic uint32 = 0x3150524D
+// RepMagic is the RepHello/RepProbe payload ("MRP2" little-endian): a
+// version gate so a query client dialing the replication port (or a
+// pre-epoch peer) fails the handshake instead of desynchronizing.
+const RepMagic uint32 = 0x3250524D
 
 // MaxReplicationFrame bounds replication frame bodies. Snapshots carry
 // the whole registry (every mesh blob), so the ceiling is well above
@@ -57,15 +77,54 @@ const RepMagic uint32 = 0x3150524D
 const MaxReplicationFrame = 64 << 20
 
 // repHeader is the fixed-size prefix of a RepMessage body.
-const repHeader = 1 + 8 + 4 + 4
+const repHeader = 1 + 8 + 8 + 4 + 4
+
+// repCRCPrefix is the number of body bytes the CRC covers before the
+// payload: type + seq + epoch.
+const repCRCPrefix = 1 + 8 + 8
 
 // RepMessage is one replication stream message. Payload is opaque at
-// this layer — journal record JSON, snapshot JSON, or empty — and is
-// integrity-checked by the embedded CRC.
+// this layer — journal record JSON, snapshot JSON, node state JSON, or
+// empty — and is integrity-checked by the embedded CRC.
 type RepMessage struct {
 	Type    uint8
 	Seq     uint64
+	Epoch   uint64
 	Payload []byte
+}
+
+// NodeState is the JSON payload of RepState and RepFence frames: one
+// node's view of its own role in the cluster. Head is its journal
+// sequence watermark; the failover controller compares (Epoch, NodeID)
+// to break dueling-primary ties deterministically.
+type NodeState struct {
+	NodeID string `json:"node_id"`
+	Role   string `json:"role"`
+	Epoch  uint64 `json:"epoch"`
+	Head   uint64 `json:"head"`
+	Fenced bool   `json:"fenced,omitempty"`
+}
+
+// DecodeNodeState parses the JSON NodeState payload of a RepState or
+// RepFence frame.
+func DecodeNodeState(payload []byte) (*NodeState, error) {
+	st := &NodeState{}
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("wire: decode node state: %w", err)
+	}
+	return st, nil
+}
+
+// Stronger reports whether a beats b in the deterministic failover
+// tie-break: higher epoch wins; at equal epochs the greater node ID
+// wins. Every node applies the same rule, so a healed
+// dueling-primary pair agrees on the single winner without
+// coordination.
+func (a *NodeState) Stronger(b *NodeState) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	return a.NodeID > b.NodeID
 }
 
 // AppendU64 appends v little-endian.
@@ -88,23 +147,32 @@ func (c *Cursor) U64() (uint64, error) {
 	return v, nil
 }
 
-// AppendRepMessage encodes m onto b. The CRC chains over the type and
-// seq bytes just written plus the payload, so header corruption is as
-// detectable as payload corruption.
+// AppendRepMessage encodes m onto b. The CRC chains over the type, seq
+// and epoch bytes just written plus the payload, so header corruption
+// is as detectable as payload corruption.
 func AppendRepMessage(b []byte, m *RepMessage) []byte {
 	b = append(b, m.Type)
 	b = AppendU64(b, m.Seq)
-	crc := crc32.ChecksumIEEE(b[len(b)-9:])
+	b = AppendU64(b, m.Epoch)
+	crc := crc32.ChecksumIEEE(b[len(b)-repCRCPrefix:])
 	crc = crc32.Update(crc, crc32.IEEETable, m.Payload)
 	b = AppendU32(b, crc)
 	b = AppendU32(b, uint32(len(m.Payload)))
 	return append(b, m.Payload...)
 }
 
-// AppendRepHello encodes the handshake: resume after `since`.
-func AppendRepHello(b []byte, since uint64) []byte {
+// AppendRepHello encodes the handshake: resume after `since`, last
+// observed cluster epoch `epoch`.
+func AppendRepHello(b []byte, since, epoch uint64) []byte {
 	magic := AppendU32(nil, RepMagic)
-	return AppendRepMessage(b, &RepMessage{Type: RepHello, Seq: since, Payload: magic})
+	return AppendRepMessage(b, &RepMessage{Type: RepHello, Seq: since, Epoch: epoch, Payload: magic})
+}
+
+// AppendRepProbe encodes a one-shot status probe from a node at
+// `epoch`. The listener answers with RepState and closes.
+func AppendRepProbe(b []byte, epoch uint64) []byte {
+	magic := AppendU32(nil, RepMagic)
+	return AppendRepMessage(b, &RepMessage{Type: RepProbe, Epoch: epoch, Payload: magic})
 }
 
 // DecodeRepMessage decodes and integrity-checks one replication
@@ -117,10 +185,14 @@ func DecodeRepMessage(body []byte) (*RepMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	if typ < RepHello || typ > RepAck {
+	if typ < RepHello || typ > RepState {
 		return nil, fmt.Errorf("wire: unknown replication message type %d", typ)
 	}
 	seq, err := cur.U64()
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := cur.U64()
 	if err != nil {
 		return nil, err
 	}
@@ -139,27 +211,27 @@ func DecodeRepMessage(body []byte) (*RepMessage, error) {
 	if err != nil {
 		return nil, err
 	}
-	if got := crc32.Update(crc32.ChecksumIEEE(body[:9]), crc32.IEEETable, payload); got != crc {
+	if got := crc32.Update(crc32.ChecksumIEEE(body[:repCRCPrefix]), crc32.IEEETable, payload); got != crc {
 		return nil, fmt.Errorf("wire: replication frame crc mismatch (frame %08x, computed %08x)", crc, got)
 	}
-	m := &RepMessage{Type: typ, Seq: seq, Payload: payload}
-	if typ == RepHello {
-		if err := m.checkHello(); err != nil {
+	m := &RepMessage{Type: typ, Seq: seq, Epoch: epoch, Payload: payload}
+	if typ == RepHello || typ == RepProbe {
+		if err := m.checkMagic(); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
 }
 
-// checkHello validates the handshake payload against the magic.
-func (m *RepMessage) checkHello() error {
+// checkMagic validates the handshake/probe payload against the magic.
+func (m *RepMessage) checkMagic() error {
 	if len(m.Payload) != 4 {
-		return fmt.Errorf("wire: replication hello payload is %d bytes, want 4", len(m.Payload))
+		return fmt.Errorf("wire: replication handshake payload is %d bytes, want 4", len(m.Payload))
 	}
 	got := uint32(m.Payload[0]) | uint32(m.Payload[1])<<8 |
 		uint32(m.Payload[2])<<16 | uint32(m.Payload[3])<<24
 	if got != RepMagic {
-		return fmt.Errorf("wire: replication hello magic %08x, want %08x", got, RepMagic)
+		return fmt.Errorf("wire: replication handshake magic %08x, want %08x", got, RepMagic)
 	}
 	return nil
 }

@@ -6,13 +6,16 @@ import (
 )
 
 // TestRepMessageRoundTrip pins encode/decode identity for every
-// message type, including empty payloads.
+// message type, including empty payloads and epoch-bearing frames.
 func TestRepMessageRoundTrip(t *testing.T) {
 	msgs := []*RepMessage{
-		{Type: RepSnapshot, Seq: 42, Payload: []byte(`{"meshes":{}}`)},
-		{Type: RepRecord, Seq: 43, Payload: []byte(`{"seq":43,"op":"apply"}`)},
-		{Type: RepHeartbeat, Seq: 99, Payload: []byte{}},
-		{Type: RepAck, Seq: 77, Payload: []byte{}},
+		{Type: RepSnapshot, Seq: 42, Epoch: 3, Payload: []byte(`{"meshes":{}}`)},
+		{Type: RepRecord, Seq: 43, Epoch: 3, Payload: []byte(`{"seq":43,"op":"apply"}`)},
+		{Type: RepHeartbeat, Seq: 99, Epoch: 0, Payload: []byte{}},
+		{Type: RepAck, Seq: 77, Epoch: ^uint64(0), Payload: []byte{}},
+		{Type: RepFence, Seq: 5, Epoch: 9, Payload: []byte(`{"node_id":"n2","role":"follower","epoch":9,"head":5}`)},
+		{Type: RepGoodbye, Seq: 12, Epoch: 2, Payload: []byte{}},
+		{Type: RepState, Seq: 88, Epoch: 4, Payload: []byte(`{"node_id":"n1","role":"primary","epoch":4,"head":88}`)},
 	}
 	for _, m := range msgs {
 		body := AppendRepMessage(nil, m)
@@ -20,22 +23,31 @@ func TestRepMessageRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode type %d: %v", m.Type, err)
 		}
-		if got.Type != m.Type || got.Seq != m.Seq || !bytes.Equal(got.Payload, m.Payload) {
+		if got.Type != m.Type || got.Seq != m.Seq || got.Epoch != m.Epoch || !bytes.Equal(got.Payload, m.Payload) {
 			t.Errorf("round trip type %d: got %+v, want %+v", m.Type, got, m)
 		}
 	}
 }
 
-// TestRepHello pins the handshake: magic accepted, wrong magic and
-// wrong payload size rejected.
+// TestRepHello pins the handshake: magic accepted, epoch round-trips,
+// wrong magic and wrong payload size rejected. The same magic gate
+// covers RepProbe.
 func TestRepHello(t *testing.T) {
-	body := AppendRepHello(nil, 123)
+	body := AppendRepHello(nil, 123, 7)
 	m, err := DecodeRepMessage(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Type != RepHello || m.Seq != 123 {
-		t.Errorf("hello = %+v, want type %d seq 123", m, RepHello)
+	if m.Type != RepHello || m.Seq != 123 || m.Epoch != 7 {
+		t.Errorf("hello = %+v, want type %d seq 123 epoch 7", m, RepHello)
+	}
+
+	probe, err := DecodeRepMessage(AppendRepProbe(nil, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Type != RepProbe || probe.Epoch != 9 {
+		t.Errorf("probe = %+v, want type %d epoch 9", probe, RepProbe)
 	}
 
 	bad := AppendRepMessage(nil, &RepMessage{Type: RepHello, Seq: 1, Payload: []byte{1, 2, 3, 4}})
@@ -46,15 +58,20 @@ func TestRepHello(t *testing.T) {
 	if _, err := DecodeRepMessage(short); err == nil {
 		t.Error("short hello payload accepted")
 	}
+	badProbe := AppendRepMessage(nil, &RepMessage{Type: RepProbe, Payload: []byte{9, 9, 9, 9}})
+	if _, err := DecodeRepMessage(badProbe); err == nil {
+		t.Error("wrong probe magic accepted")
+	}
 }
 
 // TestRepMessageCorruption pins that a bit flip anywhere in the body —
 // header included: a flipped seq could silently rewind a follower's
-// watermark — fails the CRC or a structural check, and damage
+// watermark, and a flipped epoch could spuriously fence a healthy
+// stream — fails the CRC or a structural check, and damage
 // (truncation, bad type, length mismatch) is rejected rather than
 // misread.
 func TestRepMessageCorruption(t *testing.T) {
-	base := AppendRepMessage(nil, &RepMessage{Type: RepRecord, Seq: 7, Payload: []byte(`{"op":"delete","name":"m"}`)})
+	base := AppendRepMessage(nil, &RepMessage{Type: RepRecord, Seq: 7, Epoch: 2, Payload: []byte(`{"op":"delete","name":"m"}`)})
 
 	for i := 0; i < len(base); i++ {
 		mut := append([]byte(nil), base...)
@@ -78,20 +95,43 @@ func TestRepMessageCorruption(t *testing.T) {
 	}
 }
 
+// TestNodeStateStronger pins the deterministic failover tie-break:
+// higher epoch wins outright; equal epochs fall back to node ID.
+func TestNodeStateStronger(t *testing.T) {
+	a := &NodeState{NodeID: "a", Epoch: 2}
+	b := &NodeState{NodeID: "z", Epoch: 1}
+	if !a.Stronger(b) || b.Stronger(a) {
+		t.Error("higher epoch must win regardless of node ID")
+	}
+	b.Epoch = 2
+	if a.Stronger(b) || !b.Stronger(a) {
+		t.Error("equal epochs must tie-break on node ID")
+	}
+	if a.Stronger(a) {
+		t.Error("a node must not beat itself")
+	}
+}
+
 // FuzzReplicationFrames feeds arbitrary bytes to the replication
 // message decoder. Nothing may panic, and any body the decoder accepts
 // must re-encode to exactly the input — the encoding is canonical, so
-// decode success implies byte-identity.
+// decode success implies byte-identity. Seeds cover every epoch-bearing
+// frame type, including fence/probe/state/goodbye.
 func FuzzReplicationFrames(f *testing.F) {
-	f.Add(AppendRepHello(nil, 0))
-	f.Add(AppendRepHello(nil, ^uint64(0)))
-	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepSnapshot, Seq: 9, Payload: []byte(`{"meshes":{"m":{"blob":{},"version":3}}}`)}))
-	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepRecord, Seq: 10, Payload: []byte(`{"seq":10,"op":"apply","name":"m"}`)}))
-	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepHeartbeat, Seq: 11}))
-	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepAck, Seq: 12}))
+	f.Add(AppendRepHello(nil, 0, 0))
+	f.Add(AppendRepHello(nil, ^uint64(0), ^uint64(0)))
+	f.Add(AppendRepProbe(nil, 3))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepSnapshot, Seq: 9, Epoch: 1, Payload: []byte(`{"meshes":{"m":{"blob":{},"version":3}}}`)}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepRecord, Seq: 10, Epoch: 2, Payload: []byte(`{"seq":10,"op":"apply","name":"m"}`)}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepRecord, Seq: 11, Epoch: 2, Payload: []byte(`{"seq":11,"op":"epoch","epoch":2}`)}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepHeartbeat, Seq: 11, Epoch: 4}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepAck, Seq: 12, Epoch: 4}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepFence, Seq: 13, Epoch: 5, Payload: []byte(`{"node_id":"n2","role":"primary","epoch":5,"head":13}`)}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepGoodbye, Seq: 14, Epoch: 5}))
+	f.Add(AppendRepMessage(nil, &RepMessage{Type: RepState, Seq: 15, Epoch: 6, Payload: []byte(`{"node_id":"n3","role":"follower","epoch":6,"head":15,"fenced":true}`)}))
 	// Adversarial: empty, bare header, absurd payload length, zero type.
 	f.Add([]byte{})
-	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 1, 2, 3})
 
 	f.Fuzz(func(t *testing.T, body []byte) {

@@ -118,10 +118,13 @@ func (o Options) withDefaults() Options {
 var ErrCircuitOpen = errors.New("meshclient: circuit breaker open")
 
 // APIError is a non-2xx response from the server that was not (or
-// could no longer be) retried.
+// could no longer be) retried. Code is the server's machine-readable
+// discriminator ("read_only", "fenced", "stale_epoch",
+// "replication_unconfirmed"), empty for plain errors.
 type APIError struct {
 	Status  int
 	Message string
+	Code    string
 }
 
 func (e *APIError) Error() string {
@@ -239,6 +242,16 @@ type Response struct {
 	JournalSeq    uint64
 	HasJournalSeq bool
 
+	// Epoch is the server's X-Cluster-Epoch header — the cluster epoch
+	// the response was answered under. Cluster clients track the
+	// highest epoch observed and stamp it on writes, which is what lets
+	// a zombie ex-primary reject them as stale.
+	Epoch    uint64
+	HasEpoch bool
+
+	// ErrorCode is the machine-readable code of a non-2xx body, if any.
+	ErrorCode string
+
 	retryAfter string // Retry-After header, if any
 }
 
@@ -255,6 +268,13 @@ const maxResponseBytes = 32 << 20
 // A 2xx returns (resp, nil); any other final status returns the
 // *APIError alongside the response.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte, idempotent bool) (*Response, error) {
+	return c.DoWithHeader(ctx, method, path, body, idempotent, nil)
+}
+
+// DoWithHeader is Do with extra request headers applied to every
+// attempt — the hook cluster clients use to stamp X-Cluster-Epoch on
+// writes.
+func (c *Client) DoWithHeader(ctx context.Context, method, path string, body []byte, idempotent bool, hdr http.Header) (*Response, error) {
 	c.requests.Add(1)
 	var lastErr error
 	maxAttempts := 1 + c.opts.MaxRetries
@@ -273,7 +293,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte, idemp
 			return nil, ErrCircuitOpen
 		}
 
-		resp, retryable, err := c.attempt(ctx, method, path, body, idempotent)
+		resp, retryable, err := c.attempt(ctx, method, path, body, idempotent, hdr)
 		if err == nil && resp.Status < 300 {
 			return resp, nil
 		}
@@ -281,7 +301,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte, idemp
 		if err != nil {
 			lastErr = err
 		} else {
-			apiErr := &APIError{Status: resp.Status, Message: errorMessage(resp.Body)}
+			apiErr := &APIError{Status: resp.Status, Message: errorMessage(resp.Body), Code: resp.ErrorCode}
 			lastErr = apiErr
 			if !retryable || attempt == maxAttempts-1 {
 				return resp, apiErr
@@ -302,7 +322,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte, idemp
 }
 
 // attempt runs one HTTP exchange and classifies the outcome.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, idempotent bool) (*Response, bool, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, idempotent bool, hdr http.Header) (*Response, bool, error) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -315,6 +335,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	c.attempts.Add(1)
 
@@ -348,6 +373,14 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		if seq, perr := strconv.ParseUint(v, 10, 64); perr == nil {
 			resp.JournalSeq, resp.HasJournalSeq = seq, true
 		}
+	}
+	if v := httpResp.Header.Get("X-Cluster-Epoch"); v != "" {
+		if e, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			resp.Epoch, resp.HasEpoch = e, true
+		}
+	}
+	if resp.Status >= 300 {
+		resp.ErrorCode = errorCode(data)
 	}
 	switch {
 	case resp.Status < 300:
@@ -387,16 +420,20 @@ func (c *Client) retryAfterHint(resp *Response) time.Duration {
 	return d
 }
 
-// backoff computes the delay before retry number attempt+1: the larger
-// of the server's hint and the exponential schedule, plus up to 50%
-// jitter so a shed fleet does not retry in lockstep.
+// backoff computes the delay before retry number attempt+1. A server
+// Retry-After hint takes precedence over the exponential schedule
+// outright — the server knows its own queue depth, so when it says
+// "come back in 1s" the client neither returns early (hammering a
+// shedding server) nor pads the hint with schedule it has outgrown.
+// Hintless failures use the blind schedule. Both get up to 50% jitter
+// so a shed fleet does not retry in lockstep.
 func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
-	d := c.opts.BaseBackoff << uint(attempt)
-	if d > c.opts.MaxBackoff || d <= 0 {
-		d = c.opts.MaxBackoff
-	}
-	if hint > d {
-		d = hint
+	d := hint
+	if d <= 0 {
+		d = c.opts.BaseBackoff << uint(attempt)
+		if d > c.opts.MaxBackoff || d <= 0 {
+			d = c.opts.MaxBackoff
+		}
 	}
 	c.mu.Lock()
 	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
@@ -437,6 +474,17 @@ func errorMessage(body []byte) string {
 		s = s[:200] + "..."
 	}
 	return s
+}
+
+// errorCode extracts the server's {"code": ...} discriminator, if any.
+func errorCode(body []byte) string {
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &e); err == nil {
+		return e.Code
+	}
+	return ""
 }
 
 // breaker is a consecutive-failure circuit breaker: threshold failures

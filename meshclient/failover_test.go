@@ -1,0 +1,269 @@
+package meshclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffPrefersRetryAfterHint pins the precedence rule: a server
+// hint replaces the exponential schedule outright — it is not merely a
+// floor under it.
+func TestBackoffPrefersRetryAfterHint(t *testing.T) {
+	opts := fastOpts("http://localhost:1")
+	opts.BaseBackoff = 4 * time.Second
+	opts.MaxBackoff = 8 * time.Second
+	c := newClient(t, opts)
+
+	// Hinted: the 1s hint governs even though the schedule says 4s.
+	if d := c.backoff(0, time.Second); d < time.Second || d > 1500*time.Millisecond {
+		t.Fatalf("backoff with 1s hint = %v, want hint + up to 50%% jitter", d)
+	}
+	// Hintless: the schedule governs.
+	if d := c.backoff(0, 0); d < 4*time.Second {
+		t.Fatalf("hintless backoff = %v, want schedule (>= 4s)", d)
+	}
+}
+
+// sheddingStub answers its first n requests with 429 + Retry-After,
+// then succeeds.
+type sheddingStub struct {
+	ts    *httptest.Server
+	sheds atomic.Int64
+	left  atomic.Int64
+}
+
+func newSheddingStub(t *testing.T, sheds int, retryAfter string) *sheddingStub {
+	t.Helper()
+	s := &sheddingStub{}
+	s.left.Store(int64(sheds))
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.left.Add(-1) >= 0 {
+			s.sheds.Add(1)
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shedding"}`)
+			return
+		}
+		w.Header().Set("X-Journal-Seq", "1")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{}`)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// TestRetryAfterGovernsSheddingRetry proves the end-to-end behavior
+// against a shedding stub: with a schedule far above the hint, the old
+// max(hint, schedule) rule would wait 3s+; honoring the hint retries
+// after ~1s.
+func TestRetryAfterGovernsSheddingRetry(t *testing.T) {
+	stub := newSheddingStub(t, 1, "1")
+	opts := fastOpts(stub.ts.URL)
+	opts.MaxRetries = 2
+	opts.BaseBackoff = 3 * time.Second
+	opts.MaxBackoff = 3 * time.Second
+	opts.RetryAfterCap = 5 * time.Second
+	c := newClient(t, opts)
+
+	start := time.Now()
+	resp, err := c.Do(context.Background(), "GET", "/q", nil, true)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("Do = %v/%v, want eventual 200", resp, err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After hint", elapsed)
+	}
+	if elapsed >= 2500*time.Millisecond {
+		t.Fatalf("retried after %v: hint did not take precedence over the 3s schedule", elapsed)
+	}
+	if stub.sheds.Load() != 1 {
+		t.Fatalf("sheds = %d, want 1", stub.sheds.Load())
+	}
+}
+
+// TestClusterWriteHonorsRetryAfter covers the same precedence through
+// the cluster client's write path.
+func TestClusterWriteHonorsRetryAfter(t *testing.T) {
+	stub := newSheddingStub(t, 1, "1")
+	opts := ClusterOptions{Primary: stub.ts.URL, Node: fastOpts("")}
+	opts.Node.MaxRetries = 2
+	opts.Node.BaseBackoff = 3 * time.Second
+	opts.Node.MaxBackoff = 3 * time.Second
+	opts.Node.RetryAfterCap = 5 * time.Second
+	c := newCluster(t, opts)
+
+	start := time.Now()
+	if _, err := c.DoWrite(context.Background(), "POST", "/w", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < time.Second || elapsed >= 2500*time.Millisecond {
+		t.Fatalf("cluster write retried after %v, want ~1s (the hint, not the 3s schedule)", elapsed)
+	}
+}
+
+// failoverNode scripts one cluster member for write-failover tests: a
+// role it reports on GET /replication and a canned answer for writes.
+type failoverNode struct {
+	ts        *httptest.Server
+	role      atomic.Pointer[string]
+	nodeID    string
+	epoch     atomic.Uint64
+	seq       atomic.Uint64
+	writes    atomic.Int64
+	lastEpoch atomic.Pointer[string] // last X-Cluster-Epoch request header seen
+}
+
+func newFailoverNode(t *testing.T, nodeID, role string, epoch, seq uint64) *failoverNode {
+	t.Helper()
+	n := &failoverNode{nodeID: nodeID}
+	n.role.Store(&role)
+	n.epoch.Store(epoch)
+	n.seq.Store(seq)
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/replication" {
+			json.NewEncoder(w).Encode(map[string]any{
+				"role": *n.role.Load(), "node_id": n.nodeID, "epoch": n.epoch.Load(),
+			})
+			return
+		}
+		w.Header().Set("X-Journal-Seq", fmt.Sprint(n.seq.Load()))
+		w.Header().Set("X-Cluster-Epoch", fmt.Sprint(n.epoch.Load()))
+		if r.Method != http.MethodGet {
+			n.writes.Add(1)
+			h := r.Header.Get("X-Cluster-Epoch")
+			n.lastEpoch.Store(&h)
+			if *n.role.Load() != "primary" {
+				w.WriteHeader(http.StatusForbidden)
+				fmt.Fprint(w, `{"error":"node is a read-only replica","code":"read_only"}`)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{}`)
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestClusterWriteFailsOverToNewPrimary drives the tentpole client
+// behavior: a write refused with read_only triggers rediscovery via
+// GET /replication, the client follows the highest-epoch primary
+// claimant, resends the refused write once, and stamps subsequent
+// writes with the observed epoch.
+func TestClusterWriteFailsOverToNewPrimary(t *testing.T) {
+	demoted := newFailoverNode(t, "a", "replica", 2, 10)
+	promoted := newFailoverNode(t, "b", "primary", 2, 10)
+	opts := ClusterOptions{Primary: demoted.ts.URL, Replicas: []string{promoted.ts.URL}, Node: fastOpts("")}
+	opts.Node.MaxRetries = -1
+	c := newCluster(t, opts)
+	ctx := context.Background()
+
+	if _, err := c.DoWrite(ctx, "POST", "/v1/mesh", []byte(`{}`), false); err != nil {
+		t.Fatalf("write did not fail over: %v", err)
+	}
+	if got := c.PrimaryAddr(); got != promoted.ts.URL {
+		t.Fatalf("primary after failover = %s, want %s", got, promoted.ts.URL)
+	}
+	if c.Counts().Rediscoveries != 1 {
+		t.Fatalf("Rediscoveries = %d, want 1", c.Counts().Rediscoveries)
+	}
+	if promoted.writes.Load() != 1 || demoted.writes.Load() != 1 {
+		t.Fatalf("writes demoted/promoted = %d/%d, want 1/1 (refused once, resent once)",
+			demoted.writes.Load(), promoted.writes.Load())
+	}
+	// The refusal carried epoch 2; the resent write must have been
+	// stamped with it, fencing any zombie that hasn't heard.
+	if got := promoted.lastEpoch.Load(); got == nil || *got != "2" {
+		t.Fatalf("resent write X-Cluster-Epoch = %v, want 2", got)
+	}
+
+	// Subsequent writes go straight to the new primary.
+	if _, err := c.DoWrite(ctx, "POST", "/v1/mesh", []byte(`{}`), false); err != nil {
+		t.Fatal(err)
+	}
+	if demoted.writes.Load() != 1 {
+		t.Fatal("later write still consulted the demoted node")
+	}
+	if c.Epoch() != 2 {
+		t.Fatalf("observed epoch = %d, want 2", c.Epoch())
+	}
+}
+
+// TestClusterAmbiguousWriteNotResent pins the exactly-once guard: a
+// non-idempotent write that failed ambiguously (the node answered
+// replication_unconfirmed — it may have applied) is NOT resent after
+// rediscovery; the error surfaces instead.
+func TestClusterAmbiguousWriteNotResent(t *testing.T) {
+	promoted := newFailoverNode(t, "b", "primary", 2, 10)
+	ambiguous := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/replication" {
+			fmt.Fprint(w, `{"role":"replica","node_id":"a","epoch":1}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"write applied locally but not confirmed","code":"replication_unconfirmed"}`)
+	}))
+	defer ambiguous.Close()
+
+	opts := ClusterOptions{Primary: ambiguous.URL, Replicas: []string{promoted.ts.URL}, Node: fastOpts("")}
+	opts.Node.MaxRetries = -1
+	c := newCluster(t, opts)
+
+	_, err := c.DoWrite(context.Background(), "POST", "/v1/mesh", []byte(`{}`), false)
+	if err == nil {
+		t.Fatal("ambiguous write reported success")
+	}
+	if promoted.writes.Load() != 0 {
+		t.Fatal("ambiguous non-idempotent write was resent — double-apply risk")
+	}
+	// Rediscovery still happened, so the NEXT write goes to the winner.
+	if got := c.PrimaryAddr(); got != promoted.ts.URL {
+		t.Fatalf("primary after rediscovery = %s, want %s", got, promoted.ts.URL)
+	}
+}
+
+// TestClusterEvictsRepeatedlyStaleReplica is the satellite regression:
+// a replica that keeps answering stale 404s is dropped from the read
+// rotation after EvictThreshold consecutive rejections instead of
+// costing every read a wasted round-trip.
+func TestClusterEvictsRepeatedlyStaleReplica(t *testing.T) {
+	primary := newFakeNode(t, 200, 9, `{}`)
+	stale := newFakeNode(t, 404, 1, `{"error":"mesh not found"}`)
+	opts := clusterOpts(primary, stale)
+	opts.EvictThreshold = 2
+	opts.EvictCooldown = time.Hour
+	c := newCluster(t, opts)
+	ctx := context.Background()
+
+	// Establish a watermark the stale replica can never satisfy.
+	if _, err := c.DoWrite(ctx, "POST", "/w", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := c.DoRead(ctx, "GET", "/v1/mesh/m", nil)
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("read %d = %v/%v, want the primary's 200", i, resp, err)
+		}
+	}
+	counts := c.Counts()
+	if counts.StaleEvictions != 1 {
+		t.Fatalf("StaleEvictions = %d, want 1", counts.StaleEvictions)
+	}
+	if stale.calls.Load() != 2 {
+		t.Fatalf("stale replica served %d reads, want exactly EvictThreshold=2 before eviction", stale.calls.Load())
+	}
+	if counts.EvictSkips != 3 {
+		t.Fatalf("EvictSkips = %d, want 3 (the post-eviction reads)", counts.EvictSkips)
+	}
+	if counts.PrimaryReads != 5 {
+		t.Fatalf("PrimaryReads = %d, want all 5", counts.PrimaryReads)
+	}
+}
