@@ -14,9 +14,14 @@
 //
 //   - Acknowledged writes survive promotion because a failover-managed
 //     primary only acknowledges a mutation after a follower has acked
-//     its record (confirmWrite), and candidacy defers to any reachable
-//     peer holding more history. The node that promotes therefore holds
-//     every confirmed record.
+//     its record (confirmWrite), and candidacy yields to any reachable
+//     peer that could hold — or reach — more history: it defers, for as
+//     long as the peer stays reachable, to one whose journal is longer
+//     (or that wins the tie-break at equal length), and it cedes
+//     outright to one that still hears a live primary, which covers the
+//     asymmetric partition where only the candidate's link to the
+//     incumbent is down. The node that promotes therefore holds every
+//     confirmed record.
 //   - Split-brain cannot acknowledge on both sides: a primary whose
 //     followers are gone loses its lease and fences its own writes, and
 //     once partitions heal the deterministic tie-break (epoch, then
@@ -316,12 +321,29 @@ func (f *Failover) discover(ctx context.Context) (string, bool) {
 	return "", false
 }
 
-// becomeCandidate stands for promotion: stagger by rank, then defer —
-// boundedly — to any reachable peer that should win instead (newer
-// epoch, an existing primary, more history, or the node-ID tie-break at
-// equal history). Deferral is what preserves acknowledged writes: the
-// peer that acked the last confirmed record has the longer journal and
-// must be the one to promote. If nothing outranks us, promote.
+// becomeCandidate stands for promotion: stagger by rank, then yield to
+// any reachable peer that should win instead. Two distinct yields:
+//
+//   - Cede (abandon candidacy) when a peer already won — it reports a
+//     newer epoch or the primary role — or when a peer at our epoch
+//     still hears a live primary (fresh PrimaryAgeMS). The latter is
+//     the asymmetric-partition case: only our link to the primary is
+//     down, the incumbent keeps confirming writes through that peer,
+//     and promoting past it would truncate acknowledged history when
+//     the partition heals. We go back to rediscovery instead.
+//   - Defer (re-probe and wait) while a peer holds more history, or
+//     wins the node-ID tie-break at equal history. Deferral is what
+//     preserves acknowledged writes — the peer that acked the last
+//     confirmed record has the longer journal and must be the one to
+//     promote — so it is UNBOUNDED: we stand down for as long as that
+//     peer remains reachable, until it promotes (we cede and follow),
+//     starts following someone (we cede on its fresh primary contact),
+//     or stops answering (we promote). The (Head, NodeID) order is
+//     total, so among live candidates exactly one node defers to no
+//     other and promotes; a wedged outranking peer costs availability,
+//     never divergence — the trade the package comment commits to.
+//
+// If nothing outranks us, promote.
 func (f *Failover) becomeCandidate(ctx context.Context) {
 	if f.opts.Rank > 0 {
 		select {
@@ -330,10 +352,9 @@ func (f *Failover) becomeCandidate(ctx context.Context) {
 		case <-time.After(time.Duration(f.opts.Rank) * f.opts.Timeout / 4):
 		}
 	}
-	const maxDefer = 3
 	for deferred := 0; ctx.Err() == nil; {
 		mine := f.s.nodeState()
-		defer_ := false
+		outranked := ""
 		for _, addr := range f.opts.Peers {
 			st, err := f.probe(ctx, addr)
 			if err != nil {
@@ -349,12 +370,22 @@ func (f *Failover) becomeCandidate(ctx context.Context) {
 				f.logf("candidacy ceded to %s (epoch %d)", st.NodeID, st.Epoch)
 				return
 			}
+			if st.Epoch >= mine.Epoch && st.PrimaryAgeMS >= 0 &&
+				time.Duration(st.PrimaryAgeMS)*time.Millisecond < f.opts.Timeout {
+				// The peer still hears a primary we cannot reach: the
+				// incumbent is alive across an asymmetric partition.
+				f.source = ""
+				f.logf("candidacy ceded: %s heard its primary %dms ago", st.NodeID, st.PrimaryAgeMS)
+				return
+			}
 			if st.Head > mine.Head || (st.Head == mine.Head && st.NodeID > mine.NodeID) {
-				defer_ = true
+				outranked = st.NodeID
 			}
 		}
-		if defer_ && deferred < maxDefer {
-			deferred++
+		if outranked != "" {
+			if deferred++; deferred == 1 {
+				f.logf("deferring candidacy to %s (more history or tie-break)", outranked)
+			}
 			select {
 			case <-ctx.Done():
 				return
@@ -369,7 +400,7 @@ func (f *Failover) becomeCandidate(ctx context.Context) {
 			f.logf("promotion failed: %v", err)
 			return
 		}
-		f.logf("promoted: epoch %d at seq %d", f.s.Epoch(), f.s.journalSeq.Load())
+		f.logf("promoted: epoch %d at seq %d (deferred %d rounds)", f.s.Epoch(), f.s.journalSeq.Load(), deferred)
 		return
 	}
 }

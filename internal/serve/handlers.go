@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"extmesh"
 	"extmesh/internal/inject"
@@ -152,7 +153,12 @@ type createRequest struct {
 //   - stale_epoch (409): the client has observed a newer cluster epoch
 //     than this node knows — a promotion happened past us, so this node
 //     must not accept the write even if it still believes it is
-//     primary. The failover controller is nudged to re-probe.
+//     primary. The failover controller is nudged to re-probe, but only
+//     at a bounded rate: the header is unauthenticated client input,
+//     and a fabricated epoch the node can never corroborate must not
+//     become a lever for keeping the prober spinning. The refusal
+//     itself stays per-request and carries no trust — it never alters
+//     node state.
 //   - read_only (403): the node is a replica; the replication stream
 //     is its only legal write path.
 //   - fenced (503 + Retry-After): the node is primary by role but has
@@ -162,7 +168,10 @@ func (s *Server) denyWrite(w http.ResponseWriter, r *http.Request) bool {
 	if eh := r.Header.Get("X-Cluster-Epoch"); eh != "" {
 		if e, perr := strconv.ParseUint(eh, 10, 64); perr == nil && e > s.Epoch() {
 			s.fencedWrites.Inc()
-			s.nudgeFailover()
+			if now, last := time.Now().UnixNano(), s.clientNudge.Load(); now-last >= int64(clientNudgeMinGap) &&
+				s.clientNudge.CompareAndSwap(last, now) {
+				s.nudgeFailover()
+			}
 			writeErrorCode(w, http.StatusConflict, "stale_epoch",
 				"node epoch %d is behind client-observed epoch %d: a newer primary exists", s.Epoch(), e)
 			return true

@@ -30,6 +30,10 @@ const (
 	repWriteTimeout   = 2 * time.Second
 	repStallTimeout   = 5 * time.Second
 	repAckWait        = 2 * time.Second
+	// clientNudgeMinGap floors the interval between failover re-probes
+	// triggered by client-supplied X-Cluster-Epoch headers, which are
+	// unauthenticated and may be fabricated.
+	clientNudgeMinGap = time.Second
 )
 
 // repSub is one follower's live feed: journaled records are pushed into
@@ -493,15 +497,22 @@ func (h *repHub) serveFollower(ctx context.Context, conn net.Conn) {
 }
 
 // nodeState is this node's self-description for probes, fences and
-// client rediscovery.
+// client rediscovery. PrimaryAgeMS carries the liveness evidence a
+// candidate needs to recognize an asymmetric partition: if this node
+// still hears its primary, a peer that cannot must not promote.
 func (s *Server) nodeState() *wire.NodeState {
-	return &wire.NodeState{
-		NodeID: s.opts.NodeID,
-		Role:   s.roleString(),
-		Epoch:  s.Epoch(),
-		Head:   s.journalSeq.Load(),
-		Fenced: s.fenced.Load(),
+	st := &wire.NodeState{
+		NodeID:       s.opts.NodeID,
+		Role:         s.roleString(),
+		Epoch:        s.Epoch(),
+		Head:         s.journalSeq.Load(),
+		Fenced:       s.fenced.Load(),
+		PrimaryAgeMS: -1,
 	}
+	if r := s.replica.Load(); r != nil && st.Role == "replica" {
+		st.PrimaryAgeMS = max(time.Since(r.LastContact()).Milliseconds(), 0)
+	}
+	return st
 }
 
 // nudgeFailover pokes the failover controller (if any) to re-probe the

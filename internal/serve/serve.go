@@ -161,6 +161,12 @@ type Server struct {
 	// acknowledged write could be silently discarded by a later
 	// promotion, so the node refuses to acknowledge at all.
 	fenced atomic.Bool
+	// clientNudge is the unix-nano time of the last failover nudge
+	// driven by a client's X-Cluster-Epoch header. The header is
+	// unauthenticated, so nudges on that evidence alone are rate
+	// limited — an attacker sending inflated epochs gets 409s but
+	// cannot keep the prober spinning.
+	clientNudge atomic.Int64
 
 	hub      *repHub
 	replica  atomic.Pointer[Replica]

@@ -69,6 +69,14 @@ const (
 // RepMagic is the RepHello/RepProbe payload ("MRP2" little-endian): a
 // version gate so a query client dialing the replication port (or a
 // pre-epoch peer) fails the handshake instead of desynchronizing.
+//
+// The MRP1→MRP2 bump is deliberate and hard: pre-epoch binaries carry
+// no fencing token, so letting them stream would reopen every
+// split-brain hole the epoch closes. The operational consequence is
+// that replication is incompatible across the boundary — a rolling
+// upgrade leaves old/new pairs unable to replicate (replicas serve
+// increasingly stale reads) until every node runs the new binary, so
+// upgrade all cluster nodes together. See README "Upgrading".
 const RepMagic uint32 = 0x3250524D
 
 // MaxReplicationFrame bounds replication frame bodies. Snapshots carry
@@ -103,12 +111,21 @@ type NodeState struct {
 	Epoch  uint64 `json:"epoch"`
 	Head   uint64 `json:"head"`
 	Fenced bool   `json:"fenced,omitempty"`
+	// PrimaryAgeMS is the age, in milliseconds, of the node's last
+	// contact with the primary it is streaming from; -1 when it is not
+	// following one (it is a primary itself, or between streams). A
+	// candidate that probes a peer reporting fresh primary contact
+	// cedes its candidacy: the incumbent is alive and merely
+	// unreachable from the candidate (an asymmetric partition), so
+	// promoting past it would fork acknowledged history.
+	PrimaryAgeMS int64 `json:"primary_age_ms"`
 }
 
 // DecodeNodeState parses the JSON NodeState payload of a RepState or
-// RepFence frame.
+// RepFence frame. PrimaryAgeMS defaults to -1 (not following) when the
+// sender omitted it, so its zero value never reads as fresh contact.
 func DecodeNodeState(payload []byte) (*NodeState, error) {
-	st := &NodeState{}
+	st := &NodeState{PrimaryAgeMS: -1}
 	if err := json.Unmarshal(payload, st); err != nil {
 		return nil, fmt.Errorf("wire: decode node state: %w", err)
 	}
